@@ -1,0 +1,300 @@
+// Package attribution is the public API of this repository: code
+// stylometry, authorship attribution, ChatGPT-style code
+// transformation, and ChatGPT-vs-human detection for C++ sources, as
+// studied in "Attributing ChatGPT-Transformed Synthetic Code"
+// (ICDCS 2025).
+//
+// The package wraps the internal pipeline behind four entry points:
+//
+//   - Features extracts the stylometric feature vector of one source.
+//   - TrainAuthorship fits a multi-author attribution model from
+//     labelled sources and predicts authors for new code.
+//   - NewTransformer simulates ChatGPT code transformation (NCT and CT
+//     protocols) with verified behaviour preservation.
+//   - TrainDetector fits a binary ChatGPT-vs-human classifier.
+package attribution
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/corpus"
+	"gptattr/internal/gpt"
+	"gptattr/internal/ml"
+	"gptattr/internal/style"
+	"gptattr/internal/stylometry"
+)
+
+// Features returns the stylometric feature map (lexical, layout, and
+// syntactic features per Caliskan-Islam et al.) for a C++ source.
+func Features(src string) (map[string]float64, error) {
+	f, err := stylometry.Extract(src)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64(f), nil
+}
+
+// Params tunes model training. The zero value uses sensible defaults
+// (100 trees, 700 selected features).
+type Params struct {
+	// Trees is the random-forest size.
+	Trees int
+	// TopFeatures bounds information-gain feature selection.
+	TopFeatures int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (p Params) config() attrib.Config {
+	return attrib.Config{Trees: p.Trees, TopFeatures: p.TopFeatures, Seed: p.Seed}
+}
+
+// AuthorshipModel attributes C++ code to known authors.
+type AuthorshipModel struct {
+	oracle *attrib.Oracle
+}
+
+// TrainAuthorship fits an attribution model from labelled sources:
+// samples maps each author name to that author's source files. Every
+// author needs at least one sample; two or more authors are required.
+func TrainAuthorship(samples map[string][]string, p Params) (*AuthorshipModel, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("attribution: need at least 2 authors, got %d", len(samples))
+	}
+	authors := make([]string, 0, len(samples))
+	for a := range samples {
+		authors = append(authors, a)
+	}
+	sort.Strings(authors)
+	c := &corpus.Corpus{}
+	for _, a := range authors {
+		srcs := samples[a]
+		if len(srcs) == 0 {
+			return nil, fmt.Errorf("attribution: author %q has no samples", a)
+		}
+		for i, src := range srcs {
+			c.Samples = append(c.Samples, corpus.Sample{
+				Source:    src,
+				Author:    a,
+				Challenge: fmt.Sprintf("C%d", i+1),
+				Origin:    corpus.OriginHuman,
+			})
+		}
+	}
+	oracle, err := attrib.TrainOracle(c, p.config())
+	if err != nil {
+		return nil, err
+	}
+	return &AuthorshipModel{oracle: oracle}, nil
+}
+
+// Authors lists the model's known author labels.
+func (m *AuthorshipModel) Authors() []string { return m.oracle.Labels() }
+
+// Save serializes the trained model to w (JSON).
+func (m *AuthorshipModel) Save(w io.Writer) error { return m.oracle.Save(w) }
+
+// LoadAuthorshipModel restores a model saved with Save.
+func LoadAuthorshipModel(r io.Reader) (*AuthorshipModel, error) {
+	o, err := attrib.LoadOracle(r)
+	if err != nil {
+		return nil, err
+	}
+	return &AuthorshipModel{oracle: o}, nil
+}
+
+// Predict attributes one source to the most likely known author.
+func (m *AuthorshipModel) Predict(src string) (string, error) {
+	return m.oracle.Predict(src)
+}
+
+// DetectStyle infers the style axes of one C++ source (naming
+// convention, indentation, brace placement, I/O idiom, loop idiom,
+// decomposition) as a readable map.
+func DetectStyle(src string) map[string]string {
+	p := style.Detect(src)
+	out := map[string]string{
+		"naming": p.Naming.String(),
+		"io":     map[style.IO]string{style.IOStreams: "streams", style.IOStdio: "stdio", style.IOMixed: "mixed"}[p.IO],
+		"braces": map[style.Brace]string{style.BraceKR: "k&r", style.BraceAllman: "allman"}[p.Brace],
+		"loops":  map[style.Loop]string{style.LoopFor: "for", style.LoopWhile: "while"}[p.Loop],
+	}
+	switch {
+	case p.Indent.UseTabs:
+		out["indent"] = "tabs"
+	default:
+		out["indent"] = fmt.Sprintf("%d spaces", p.Indent.Width)
+	}
+	switch p.Decomp {
+	case style.DecompInline:
+		out["decomposition"] = "inline main"
+	case style.DecompSolvePrint:
+		out["decomposition"] = "helper prints"
+	default:
+		out["decomposition"] = "helper returns value"
+	}
+	if p.UsingNamespaceStd {
+		out["namespace"] = "using namespace std"
+	} else {
+		out["namespace"] = "std:: qualified"
+	}
+	return out
+}
+
+// Transformer rewrites C++ code in the simulated ChatGPT's styles.
+type Transformer struct {
+	model *gpt.Model
+}
+
+// TransformerConfig tunes the simulated model; the zero value uses the
+// paper-calibrated defaults (12 styles, Zipf-skewed usage).
+type TransformerConfig struct {
+	// Styles bounds the style repertoire (default 12).
+	Styles int
+	// Seed makes transformation sequences deterministic.
+	Seed int64
+}
+
+// NewTransformer builds a simulated ChatGPT transformer.
+func NewTransformer(cfg TransformerConfig) *Transformer {
+	return &Transformer{model: gpt.NewModel(gpt.Config{NumStyles: cfg.Styles, Seed: cfg.Seed})}
+}
+
+// Transform rewrites src once in a sampled style. When inputs are
+// given, the rewrite is verified to produce identical stdout on each
+// input (and the call fails rather than return a behaviour-changing
+// rewrite).
+func (t *Transformer) Transform(src string, inputs ...string) (string, error) {
+	r, err := t.model.Transform(src, -1, inputs)
+	if err != nil {
+		return "", err
+	}
+	return r.Source, nil
+}
+
+// NCT applies the paper's non-chaining protocol: rounds independent
+// transformations of the same original.
+func (t *Transformer) NCT(src string, rounds int, inputs ...string) ([]string, error) {
+	rs, err := t.model.NCT(src, rounds, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return sources(rs), nil
+}
+
+// CT applies the chaining protocol: each round transforms the previous
+// round's output.
+func (t *Transformer) CT(src string, rounds int, inputs ...string) ([]string, error) {
+	rs, err := t.model.CT(src, rounds, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return sources(rs), nil
+}
+
+func sources(rs []gpt.Result) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Source
+	}
+	return out
+}
+
+// Detector is a binary ChatGPT-vs-human classifier.
+type Detector struct {
+	clf *attrib.Classifier
+}
+
+// TrainDetector fits a detector from human-written and
+// ChatGPT-produced sources.
+func TrainDetector(human, chatgpt []string, p Params) (*Detector, error) {
+	if len(human) == 0 || len(chatgpt) == 0 {
+		return nil, fmt.Errorf("attribution: both classes need samples (human %d, chatgpt %d)",
+			len(human), len(chatgpt))
+	}
+	h := &corpus.Corpus{}
+	for i, src := range human {
+		h.Samples = append(h.Samples, corpus.Sample{
+			Source: src, Author: "human",
+			Challenge: fmt.Sprintf("C%d", i%8+1),
+			Origin:    corpus.OriginHuman,
+		})
+	}
+	g := &corpus.Corpus{}
+	for i, src := range chatgpt {
+		g.Samples = append(g.Samples, corpus.Sample{
+			Source: src, Author: "ChatGPT",
+			Challenge: fmt.Sprintf("C%d", i%8+1),
+			Origin:    corpus.OriginGPTTransformed,
+		})
+	}
+	clf, err := attrib.TrainBinary(h, g, p.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{clf: clf}, nil
+}
+
+// IsChatGPT reports whether the source looks ChatGPT-made, with the
+// forest's vote share as confidence in [0,1].
+func (d *Detector) IsChatGPT(src string) (bool, float64, error) {
+	return d.clf.IsChatGPT(src)
+}
+
+// Save serializes the trained detector to w (JSON).
+func (d *Detector) Save(w io.Writer) error { return d.clf.Save(w) }
+
+// LoadDetector restores a detector saved with Save.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	clf, err := attrib.LoadClassifier(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{clf: clf}, nil
+}
+
+// CrossValidateAuthorship estimates attribution accuracy by stratified
+// k-fold cross-validation over the labelled samples, returning the
+// mean accuracy.
+func CrossValidateAuthorship(samples map[string][]string, k int, p Params) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("attribution: k = %d, want >= 2", k)
+	}
+	authors := make([]string, 0, len(samples))
+	for a := range samples {
+		authors = append(authors, a)
+	}
+	sort.Strings(authors)
+	var sources []string
+	var labels []int
+	for i, a := range authors {
+		for _, s := range samples[a] {
+			sources = append(sources, s)
+			labels = append(labels, i)
+		}
+	}
+	d, _, err := stylometry.BuildDataset(sources, labels, len(authors),
+		stylometry.VectorizerConfig{MinDocFreq: 2})
+	if err != nil {
+		return 0, err
+	}
+	topK := p.TopFeatures
+	if topK <= 0 {
+		topK = 700
+	}
+	reduced, _ := ml.ReduceByInformationGain(d, topK, 10)
+	folds, err := ml.StratifiedKFold(reduced.Y, k, nil)
+	if err != nil {
+		return 0, err
+	}
+	results, err := ml.CrossValidateForest(reduced, folds, ml.ForestConfig{
+		NumTrees: p.config().Trees, Seed: p.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ml.MeanAccuracy(results), nil
+}

@@ -1,0 +1,152 @@
+// Command attr trains an authorship model from a directory of labelled
+// C++ sources and attributes query files.
+//
+// The training directory holds one subdirectory per author, each
+// containing that author's .cc/.cpp files (the layout cmd/gencorpus
+// writes under gcj<year>/):
+//
+//	attr -train datasets/gcj2017 query1.cc query2.cc
+//	attr -train datasets/gcj2017 -cv 4            # cross-validated accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gptattr/attribution"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attr", flag.ContinueOnError)
+	trainDir := fs.String("train", "", "directory with one subdirectory of sources per author")
+	trees := fs.Int("trees", 100, "random-forest size")
+	seed := fs.Int64("seed", 1, "random seed")
+	cv := fs.Int("cv", 0, "run k-fold cross-validation instead of prediction")
+	maxAuthors := fs.Int("max-authors", 0, "limit the number of authors loaded (0 = all)")
+	saveModel := fs.String("save", "", "write the trained model to this file")
+	loadModel := fs.String("model", "", "load a previously saved model instead of training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	queries := fs.Args()
+
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		model, err := attribution.LoadAuthorshipModel(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded model with %d authors from %s\n", len(model.Authors()), *loadModel)
+		return predict(model, queries)
+	}
+
+	if *trainDir == "" {
+		return fmt.Errorf("-train directory (or -model) is required")
+	}
+	samples, err := loadAuthors(*trainDir, *maxAuthors)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d authors from %s\n", len(samples), *trainDir)
+	params := attribution.Params{Trees: *trees, Seed: *seed}
+
+	if *cv > 0 {
+		acc, err := attribution.CrossValidateAuthorship(samples, *cv, params)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d-fold cross-validated accuracy: %.1f%%\n", *cv, 100*acc)
+		return nil
+	}
+
+	if len(queries) == 0 && *saveModel == "" {
+		return fmt.Errorf("no query files given (or use -cv / -save)")
+	}
+	model, err := attribution.TrainAuthorship(samples, params)
+	if err != nil {
+		return err
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			return err
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("saved model to", *saveModel)
+	}
+	return predict(model, queries)
+}
+
+func predict(model *attribution.AuthorshipModel, queries []string) error {
+	for _, q := range queries {
+		data, err := os.ReadFile(q)
+		if err != nil {
+			return err
+		}
+		author, err := model.Predict(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", q, err)
+		}
+		fmt.Printf("%s: %s\n", q, author)
+	}
+	return nil
+}
+
+func loadAuthors(dir string, max int) (map[string][]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if max > 0 && len(out) >= max {
+			break
+		}
+		files, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var srcs []string
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || !(strings.HasSuffix(name, ".cc") || strings.HasSuffix(name, ".cpp")) {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name(), name))
+			if err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, string(data))
+		}
+		if len(srcs) > 0 {
+			out[e.Name()] = srcs
+		}
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("found %d author directories under %s, need >= 2", len(out), dir)
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/style"
+)
+
+// writeCorpus writes n authors x 8 files under dir.
+func writeCorpus(t *testing.T, dir string, n int) []style.Profile {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var profs []style.Profile
+	for a := 0; a < n; a++ {
+		prof := style.Random(string(rune('A'+a)), rng)
+		profs = append(profs, prof)
+		adir := filepath.Join(dir, "author"+string(rune('A'+a)))
+		if err := os.MkdirAll(adir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range challenge.ByYear(2017) {
+			src := codegen.Render(ch.Prog, prof, rng.Int63())
+			if err := os.WriteFile(filepath.Join(adir, ch.ID+".cc"), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return profs
+}
+
+func TestRunPredict(t *testing.T) {
+	dir := t.TempDir()
+	profs := writeCorpus(t, dir, 4)
+	// Query: a fresh 2018 file by authorB.
+	ch, err := challenge.Get(2018, "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(t.TempDir(), "query.cc")
+	if err := os.WriteFile(q, []byte(codegen.Render(ch.Prog, profs[1], 99)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-train", dir, "-trees", "20", q}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCV(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir, 3)
+	if err := run([]string{"-train", dir, "-trees", "12", "-cv", "3"}); err != nil {
+		t.Fatalf("run -cv: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -train accepted")
+	}
+	dir := t.TempDir()
+	writeCorpus(t, dir, 2)
+	if err := run([]string{"-train", dir}); err == nil {
+		t.Error("no queries and no -cv accepted")
+	}
+	if err := run([]string{"-train", filepath.Join(dir, "nope")}); err == nil {
+		t.Error("missing train dir accepted")
+	}
+	empty := t.TempDir()
+	if err := run([]string{"-train", empty, "-cv", "2"}); err == nil {
+		t.Error("empty train dir accepted")
+	}
+}
+
+func TestRunSaveAndLoadModel(t *testing.T) {
+	dir := t.TempDir()
+	profs := writeCorpus(t, dir, 3)
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	if err := run([]string{"-train", dir, "-trees", "12", "-save", modelPath}); err != nil {
+		t.Fatalf("train+save: %v", err)
+	}
+	if st, err := os.Stat(modelPath); err != nil || st.Size() == 0 {
+		t.Fatalf("model file missing: %v", err)
+	}
+	ch, err := challenge.Get(2018, "C3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(t.TempDir(), "q.cc")
+	if err := os.WriteFile(q, []byte(codegen.Render(ch.Prog, profs[0], 7)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", modelPath, q}); err != nil {
+		t.Fatalf("predict from saved model: %v", err)
+	}
+	if err := run([]string{"-model", filepath.Join(dir, "missing.json"), q}); err == nil {
+		t.Error("missing model file accepted")
+	}
+}
+
+func TestRunMaxAuthors(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir, 5)
+	if err := run([]string{"-train", dir, "-max-authors", "3", "-trees", "10", "-cv", "2"}); err != nil {
+		t.Fatalf("run with -max-authors: %v", err)
+	}
+}

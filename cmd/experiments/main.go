@@ -1,0 +1,174 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale quick|paper] [-authors N] [-rounds N] [-trees N]
+//	            [-styles N] [-seed N] [-verify] [-table I|II|...|X] [-figure 2|3]
+//
+// Without -table/-figure it runs everything. The quick scale finishes
+// in under a minute; the paper scale mirrors the paper's dataset sizes
+// (204 authors, 50 rounds) and takes several minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gptattr/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "preset scale: quick or paper")
+	authors := fs.Int("authors", 0, "override authors per year")
+	rounds := fs.Int("rounds", 0, "override transformation rounds per setting")
+	trees := fs.Int("trees", 0, "override random-forest size")
+	styles := fs.Int("styles", 0, "override simulated-ChatGPT style count")
+	seed := fs.Int64("seed", 0, "override random seed")
+	verify := fs.Bool("verify", false, "force behaviour verification of every transformation")
+	table := fs.String("table", "", "run one table: I II III IV V VI VII VIII IX X")
+	figure := fs.String("figure", "", "run one figure: 1, 2, or 3 (3 prints figures 3-5)")
+	ablation := fs.String("ablation", "", "run one ablation: features repertoire stickiness trees selection classifier (or 'all')")
+	extension := fs.String("extension", "", "run one future-work extension: multillm crossyear chaindepth gen500 generated evasion (or 'all')")
+	jsonPath := fs.String("json", "", "write structured results (tables IV, VIII-X) as JSON to this file and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := experiments.QuickScale
+	if *scaleName == "paper" {
+		scale = experiments.PaperScale
+	}
+	if *authors > 0 {
+		scale.Authors = *authors
+	}
+	if *rounds > 0 {
+		scale.Rounds = *rounds
+	}
+	if *trees > 0 {
+		scale.Trees = *trees
+	}
+	if *styles > 0 {
+		scale.NumStyles = *styles
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	if *verify {
+		scale.Verify = true
+	}
+	s := experiments.NewSuite(scale)
+	fmt.Printf("scale: %d authors/year, %d rounds/setting, %d trees, %d GPT styles, seed %d, verify=%v\n\n",
+		scale.Authors, scale.Rounds, scale.Trees, scale.NumStyles, scale.Seed, scale.Verify)
+
+	type runner struct {
+		name string
+		fn   func() (string, error)
+	}
+	all := []runner{
+		{"I", s.TableI},
+		{"II", s.TableII},
+		{"III", s.TableIII},
+		{"IV", s.TableIV},
+		{"V", func() (string, error) { return s.TableDiversity(2017) }},
+		{"VI", func() (string, error) { return s.TableDiversity(2018) }},
+		{"VII", func() (string, error) { return s.TableDiversity(2019) }},
+		{"VIII", s.TableVIII},
+		{"IX", s.TableIX},
+		{"X", s.TableX},
+	}
+	figures := []runner{
+		{"1", s.Figure1},
+		{"2", s.Figure2},
+		{"3", s.Figure345},
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonPath)
+		return nil
+	}
+
+	var selected []runner
+	switch {
+	case *extension != "":
+		exts := s.Extensions()
+		if *extension == "all" {
+			for _, name := range []string{"chaindepth", "crossyear", "evasion", "gen500", "generated", "multillm"} {
+				selected = append(selected, runner{"extension/" + name, exts[name]})
+			}
+			break
+		}
+		fn, ok := exts[*extension]
+		if !ok {
+			return fmt.Errorf("unknown extension %q (have: chaindepth crossyear evasion gen500 generated multillm)", *extension)
+		}
+		selected = append(selected, runner{"extension/" + *extension, fn})
+	case *ablation != "":
+		abls := s.Ablations()
+		if *ablation == "all" {
+			for _, name := range s.AblationNames() {
+				selected = append(selected, runner{"ablation/" + name, abls[name]})
+			}
+			break
+		}
+		fn, ok := abls[*ablation]
+		if !ok {
+			return fmt.Errorf("unknown ablation %q (have: %s)", *ablation, strings.Join(s.AblationNames(), " "))
+		}
+		selected = append(selected, runner{"ablation/" + *ablation, fn})
+	case *table != "":
+		want := strings.ToUpper(*table)
+		for _, r := range all {
+			if r.name == want {
+				selected = append(selected, r)
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("unknown table %q", *table)
+		}
+	case *figure != "":
+		for _, r := range figures {
+			if r.name == *figure {
+				selected = append(selected, r)
+			}
+		}
+		if len(selected) == 0 {
+			return fmt.Errorf("unknown figure %q", *figure)
+		}
+	default:
+		selected = append(selected, all...)
+		selected = append(selected, figures...)
+	}
+
+	for _, r := range selected {
+		start := time.Now()
+		out, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("table/figure %s: %w", r.name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s in %.1fs)\n\n", r.name, time.Since(start).Seconds())
+	}
+	return nil
+}

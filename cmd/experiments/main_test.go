@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-authors", "8", "-rounds", "2", "-trees", "8", "-styles", "4", "-seed", "5",
+	}
+	return append(base, extra...)
+}
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run(tinyArgs("-table", "I")); err != nil {
+		t.Fatalf("run -table I: %v", err)
+	}
+	if err := run(tinyArgs("-table", "IV")); err != nil {
+		t.Fatalf("run -table IV: %v", err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run(tinyArgs("-figure", "2")); err != nil {
+		t.Fatalf("run -figure 2: %v", err)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	if err := run(tinyArgs("-ablation", "stickiness")); err != nil {
+		t.Fatalf("run -ablation stickiness: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(tinyArgs("-table", "XIV")); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run(tinyArgs("-figure", "9")); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run(tinyArgs("-ablation", "nope")); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

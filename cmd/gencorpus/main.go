@@ -1,0 +1,88 @@
+// Command gencorpus generates the synthetic GCJ datasets (Tables I-II)
+// and writes them to disk in a GCJ-like layout:
+//
+//	<out>/gcj<year>/<author>/<challenge>[_<setting>_<round>].cc
+//
+// Usage:
+//
+//	gencorpus -out datasets [-years 2017,2018,2019] [-authors 204]
+//	          [-rounds 50] [-styles 12] [-seed 1] [-skip-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gptattr/internal/corpus"
+	"gptattr/internal/gpt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gencorpus", flag.ContinueOnError)
+	out := fs.String("out", "datasets", "output directory")
+	yearsFlag := fs.String("years", "2017,2018,2019", "comma-separated years")
+	authors := fs.Int("authors", 204, "authors per year")
+	rounds := fs.Int("rounds", 50, "transformation rounds per setting")
+	styles := fs.Int("styles", 12, "simulated-ChatGPT style repertoire size")
+	seed := fs.Int64("seed", 1, "random seed")
+	skipVerify := fs.Bool("skip-verify", false, "skip behaviour verification of transformations")
+	humanOnly := fs.Bool("human-only", false, "generate only the non-ChatGPT corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var years []int
+	for _, part := range strings.Split(*yearsFlag, ",") {
+		y, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad year %q: %w", part, err)
+		}
+		years = append(years, y)
+	}
+
+	for _, y := range years {
+		start := time.Now()
+		human, _, err := corpus.GenerateYear(corpus.YearConfig{
+			Year: y, NumAuthors: *authors, Seed: *seed + int64(y),
+		})
+		if err != nil {
+			return err
+		}
+		if err := corpus.Save(human, *out); err != nil {
+			return err
+		}
+		fmt.Printf("gcj%d: %d human samples (%d authors x 8 challenges) in %.1fs\n",
+			y, len(human.Samples), *authors, time.Since(start).Seconds())
+		if *humanOnly {
+			continue
+		}
+
+		start = time.Now()
+		model := gpt.NewModel(gpt.Config{Seed: *seed*31 + int64(y), NumStyles: *styles})
+		transformed, err := corpus.GenerateTransformed(corpus.TransformedConfig{
+			Year: y, Rounds: *rounds, Model: model,
+			Seed: *seed*17 + int64(y), SkipVerify: *skipVerify,
+		})
+		if err != nil {
+			return err
+		}
+		if err := corpus.Save(transformed, *out); err != nil {
+			return err
+		}
+		fmt.Printf("gcj%d: %d transformed samples (4 settings x %d rounds x 8 challenges) in %.1fs\n",
+			y, len(transformed.Samples), *rounds, time.Since(start).Seconds())
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesLayout(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir, "-years", "2017", "-authors", "3",
+		"-rounds", "2", "-styles", "4", "-skip-verify",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Human author layout.
+	files, err := filepath.Glob(filepath.Join(dir, "gcj2017", "A001", "*.cc"))
+	if err != nil || len(files) != 8 {
+		t.Fatalf("A001 has %d files (err %v), want 8", len(files), err)
+	}
+	// Transformed layout.
+	files, err = filepath.Glob(filepath.Join(dir, "gcj2017", "ChatGPT", "*.cc"))
+	if err != nil || len(files) != 4*2*8 {
+		t.Fatalf("ChatGPT has %d files (err %v), want 64", len(files), err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil || len(data) == 0 {
+		t.Fatalf("sample unreadable: %v", err)
+	}
+}
+
+func TestRunHumanOnly(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-years", "2018", "-authors", "2", "-human-only"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gcj2018", "ChatGPT")); !os.IsNotExist(err) {
+		t.Error("human-only run still wrote transformed samples")
+	}
+}
+
+func TestRunBadYear(t *testing.T) {
+	if err := run([]string{"-years", "twenty"}); err == nil {
+		t.Error("bad year accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-years", "1999"}); err == nil {
+		t.Error("unknown year accepted")
+	}
+}

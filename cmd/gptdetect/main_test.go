@@ -1,0 +1,61 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gptattr/attribution"
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/style"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	humanDir := t.TempDir()
+	gptDir := t.TempDir()
+	var sample string
+	for a := 0; a < 4; a++ {
+		prof := style.Random(string(rune('A'+a)), rng)
+		for _, ch := range challenge.ByYear(2017)[:6] {
+			src := codegen.Render(ch.Prog, prof, rng.Int63())
+			path := filepath.Join(humanDir, string(rune('A'+a))+ch.ID+".cc")
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if sample == "" {
+				sample = src
+			}
+		}
+	}
+	tr := attribution.NewTransformer(attribution.TransformerConfig{Seed: 2})
+	variants, err := tr.NCT(sample, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range variants {
+		path := filepath.Join(gptDir, "v"+string(rune('a'+i))+".cc")
+		if err := os.WriteFile(path, []byte(v), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := filepath.Join(t.TempDir(), "q.cc")
+	if err := os.WriteFile(query, []byte(variants[0]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-human", humanDir, "-gpt", gptDir, "-trees", "20", query}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing dirs accepted")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-human", dir, "-gpt", dir, "x.cc"}); err == nil {
+		t.Error("empty source dirs accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command gpttransform rewrites a C++ file through the simulated
+// ChatGPT, using the paper's non-chaining (NCT) or chaining (CT)
+// protocol, optionally verifying behaviour preservation against an
+// input file.
+//
+//	gpttransform -in solution.cc -mode nct -rounds 3 -stdin sample.txt
+//	gpttransform -in solution.cc -mode ct -rounds 5 -out variants/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gptattr/attribution"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gpttransform:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gpttransform", flag.ContinueOnError)
+	in := fs.String("in", "", "C++ source file to transform")
+	mode := fs.String("mode", "nct", "protocol: nct (independent rounds) or ct (chained)")
+	rounds := fs.Int("rounds", 1, "number of transformation rounds")
+	stdinFile := fs.String("stdin", "", "input file for behaviour verification (optional)")
+	outDir := fs.String("out", "", "write variants to this directory instead of stdout")
+	styles := fs.Int("styles", 12, "style repertoire size")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in file is required")
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var inputs []string
+	if *stdinFile != "" {
+		data, err := os.ReadFile(*stdinFile)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, string(data))
+	}
+
+	tr := attribution.NewTransformer(attribution.TransformerConfig{Styles: *styles, Seed: *seed})
+	var variants []string
+	switch *mode {
+	case "nct":
+		variants, err = tr.NCT(string(src), *rounds, inputs...)
+	case "ct":
+		variants, err = tr.CT(string(src), *rounds, inputs...)
+	default:
+		return fmt.Errorf("unknown mode %q (want nct or ct)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *outDir == "" {
+		for i, v := range variants {
+			fmt.Printf("// --- %s round %d ---\n%s\n", *mode, i+1, v)
+		}
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Base(*in)
+	for i, v := range variants {
+		path := filepath.Join(*outDir, fmt.Sprintf("%s.%s%02d.cc", base, *mode, i+1))
+		if err := os.WriteFile(path, []byte(v), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

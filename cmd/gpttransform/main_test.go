@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+func writeSolution(t *testing.T) (srcPath, stdinPath string) {
+	t.Helper()
+	ch, err := challenge.Get(2017, "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := style.Random("X", rand.New(rand.NewSource(2)))
+	src := codegen.Render(ch.Prog, prof, 1)
+	run, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srcPath = filepath.Join(dir, "sol.cc")
+	stdinPath = filepath.Join(dir, "input.txt")
+	if err := os.WriteFile(srcPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stdinPath, []byte(run.Input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return srcPath, stdinPath
+}
+
+func TestRunNCTToDir(t *testing.T) {
+	srcPath, stdinPath := writeSolution(t)
+	out := t.TempDir()
+	err := run([]string{"-in", srcPath, "-mode", "nct", "-rounds", "3", "-stdin", stdinPath, "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(out, "*.cc"))
+	if err != nil || len(files) != 3 {
+		t.Fatalf("wrote %d variants (err %v), want 3", len(files), err)
+	}
+}
+
+func TestRunCTStdout(t *testing.T) {
+	srcPath, _ := writeSolution(t)
+	if err := run([]string{"-in", srcPath, "-mode", "ct", "-rounds", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -in accepted")
+	}
+	srcPath, _ := writeSolution(t)
+	if err := run([]string{"-in", srcPath, "-mode", "zigzag"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.cc"}); err == nil {
+		t.Error("missing input file accepted")
+	}
+}

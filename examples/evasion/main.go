@@ -1,0 +1,87 @@
+// Evasion study: measure how often ChatGPT-style transformation flips
+// an authorship model's verdict, comparing the paper's NCT and CT
+// protocols — a miniature of the paper's RQ1 experiment, with every
+// transformation verified behaviour-preserving.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gptattr/attribution"
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+const (
+	numAuthors = 8
+	rounds     = 10
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evasion:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(3))
+	corpus := map[string][]string{}
+	var victim style.Profile
+	for i := 0; i < numAuthors; i++ {
+		name := fmt.Sprintf("author-%d", i+1)
+		prof := style.Random(name, rng)
+		if i == 0 {
+			victim = prof
+		}
+		for _, ch := range challenge.ByYear(2017) {
+			corpus[name] = append(corpus[name], codegen.Render(ch.Prog, prof, rng.Int63()))
+		}
+	}
+	model, err := attribution.TrainAuthorship(corpus, attribution.Params{Trees: 60, Seed: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attribution model over %d authors; victim = author-1\n\n", numAuthors)
+
+	tr := attribution.NewTransformer(attribution.TransformerConfig{Seed: 5})
+
+	for _, mode := range []string{"NCT", "CT"} {
+		evaded, verified := 0, 0
+		for _, ch := range challenge.ByYear(2018)[:4] {
+			src := codegen.Render(ch.Prog, victim, rng.Int63())
+			run, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(9)))
+			if err != nil {
+				return err
+			}
+			var variants []string
+			if mode == "NCT" {
+				variants, err = tr.NCT(src, rounds, run.Input)
+			} else {
+				variants, err = tr.CT(src, rounds, run.Input)
+			}
+			if err != nil {
+				return err
+			}
+			for _, v := range variants {
+				verified++
+				pred, err := model.Predict(v)
+				if err != nil {
+					return err
+				}
+				if pred != "author-1" {
+					evaded++
+				}
+			}
+		}
+		fmt.Printf("%s: %d/%d behaviour-verified variants misattributed (%.0f%% evasion)\n",
+			mode, evaded, verified, 100*float64(evaded)/float64(verified))
+	}
+	fmt.Println("\n(the paper reports ChatGPT transformations can reliably change the")
+	fmt.Println(" predicted author while preserving functionality — RQ1)")
+	return nil
+}

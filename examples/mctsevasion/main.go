@@ -1,0 +1,103 @@
+// MCTS evasion: the related-work attack the paper's threat model
+// builds on (Quiring et al., USENIX Security 2019). Train an
+// attribution oracle, then run Monte-Carlo tree search over verified
+// style transformations to find a variant the oracle misattributes —
+// and show the winning transformation sequence.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/corpus"
+	"gptattr/internal/evade"
+	"gptattr/internal/ir"
+)
+
+type oracleScorer struct {
+	oracle *attrib.Oracle
+	truth  string
+}
+
+func (s *oracleScorer) Score(src string) (float64, string, error) {
+	proba, pred, err := s.oracle.Proba(src)
+	if err != nil {
+		return 1, "", err
+	}
+	return proba[s.truth], pred, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mctsevasion:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("training a 12-author attribution oracle...")
+	human, profiles, err := corpus.GenerateYear(corpus.YearConfig{Year: 2017, NumAuthors: 12, Seed: 1})
+	if err != nil {
+		return err
+	}
+	oracle, err := attrib.TrainOracle(human, attrib.Config{Trees: 40, Seed: 2})
+	if err != nil {
+		return err
+	}
+
+	// The victim writes a fresh solution in their usual style (the
+	// third synthetic author's actual profile).
+	victim := "A003"
+	prof := profiles[2]
+	ch, err := challenge.Get(2018, "C5")
+	if err != nil {
+		return err
+	}
+	src := codegen.Render(ch.Prog, prof, 77)
+	runSpec, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		return err
+	}
+
+	scorer := &oracleScorer{oracle: oracle, truth: victim}
+	prob, pred, err := scorer.Score(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("original attribution: %s (vote share for %s: %.2f)\n", pred, victim, prob)
+	if pred != victim {
+		fmt.Println("(oracle already misattributes this file; attack is trivial)")
+	}
+
+	fmt.Println("\nrunning MCTS over the transformation action space (behaviour-verified)...")
+	res, err := evade.Attack(src, victim, scorer, evade.Config{
+		Iterations:   60,
+		Seed:         9,
+		VerifyInputs: []string{runSpec.Input},
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Evaded {
+		fmt.Println("attack failed: every verified variant still attributes to the victim")
+		return nil
+	}
+	fmt.Printf("evaded! now attributed to %s (victim vote share %.2f, %d model evaluations)\n",
+		res.Predicted, res.TrueAuthorProb, res.Evaluations)
+	fmt.Printf("winning transformation sequence: %s\n", strings.Join(res.Trace, " -> "))
+	fmt.Println("\nfirst lines of the evading variant:")
+	lines := strings.Split(res.Source, "\n")
+	if len(lines) > 12 {
+		lines = lines[:12]
+	}
+	for _, l := range lines {
+		fmt.Println("  | " + l)
+	}
+	fmt.Println("\n(the variant still prints byte-identical output on the sample input)")
+	return nil
+}

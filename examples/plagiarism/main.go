@@ -1,0 +1,96 @@
+// Plagiarism screening: the paper's motivating scenario. A course
+// staff trains a ChatGPT-vs-human detector on known samples, then
+// screens a batch of "submissions" — some genuinely written by
+// students (synthetic authors), some produced by the simulated ChatGPT
+// transforming a solution. Mirrors the paper's binary-classification
+// experiment (Table X).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gptattr/attribution"
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/style"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plagiarism:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(13))
+
+	// Training data: 10 students' past submissions + transformed
+	// variants the staff generated themselves.
+	var humanTrain []string
+	var students []style.Profile
+	for i := 0; i < 10; i++ {
+		prof := style.Random(fmt.Sprintf("student-%02d", i), rng)
+		students = append(students, prof)
+		for _, ch := range challenge.ByYear(2017) {
+			humanTrain = append(humanTrain, codegen.Render(ch.Prog, prof, rng.Int63()))
+		}
+	}
+	tr := attribution.NewTransformer(attribution.TransformerConfig{Seed: 21})
+	var gptTrain []string
+	for _, src := range humanTrain[:16] {
+		variants, err := tr.NCT(src, 4)
+		if err != nil {
+			return err
+		}
+		gptTrain = append(gptTrain, variants...)
+	}
+	det, err := attribution.TrainDetector(humanTrain, gptTrain, attribution.Params{Trees: 80, Seed: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detector trained on %d human and %d ChatGPT samples\n\n", len(humanTrain), len(gptTrain))
+
+	// Screening batch: fresh 2019 submissions. Even-numbered students
+	// submit their own work; odd-numbered ones pass their solution
+	// through ChatGPT first.
+	var correct, total int
+	fmt.Println("submission screening (challenge 2019/C3):")
+	ch, err := challenge.Get(2019, "C3")
+	if err != nil {
+		return err
+	}
+	for i, prof := range students {
+		src := codegen.Render(ch.Prog, prof, rng.Int63())
+		cheated := i%2 == 1
+		if cheated {
+			variants, err := tr.NCT(src, 1)
+			if err != nil {
+				return err
+			}
+			src = variants[0]
+		}
+		flagged, conf, err := det.IsChatGPT(src)
+		if err != nil {
+			return err
+		}
+		verdict := "clean "
+		if flagged {
+			verdict = "FLAGGED"
+		}
+		truth := "honest "
+		if cheated {
+			truth = "chatgpt"
+		}
+		ok := flagged == cheated
+		if ok {
+			correct++
+		}
+		total++
+		fmt.Printf("  student-%02d  %s  (truth: %s, confidence %.2f)\n", i, verdict, truth, conf)
+	}
+	fmt.Printf("\nscreening accuracy: %d/%d (paper reports up to 93%% binary accuracy)\n", correct, total)
+	return nil
+}

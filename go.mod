@@ -1,0 +1,3 @@
+module gptattr
+
+go 1.22

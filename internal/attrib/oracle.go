@@ -1,0 +1,152 @@
+package attrib
+
+import (
+	"fmt"
+	"sort"
+
+	"gptattr/internal/corpus"
+	"gptattr/internal/ml"
+	"gptattr/internal/stylometry"
+)
+
+// Oracle is the pre-trained non-ChatGPT authorship model: a random
+// forest over the stylometric feature space of one year's 204-author
+// corpus. The paper uses it "as an oracle to identify and narrow down
+// the stylistic patterns present in [transformed] code".
+type Oracle struct {
+	forest *ml.Forest
+	vec    *stylometry.Vectorizer
+	cols   []int
+	labels []string
+	index  map[string]int
+}
+
+// TrainOracle fits the oracle on a human (non-ChatGPT) corpus.
+func TrainOracle(human *corpus.Corpus, cfg Config) (*Oracle, error) {
+	if len(human.Samples) == 0 {
+		return nil, fmt.Errorf("attrib: empty oracle corpus")
+	}
+	labels := human.Authors()
+	sort.Strings(labels)
+	index := make(map[string]int, len(labels))
+	for i, l := range labels {
+		index[l] = i
+	}
+	feats, err := ExtractAll(human, cfg.workers())
+	if err != nil {
+		return nil, err
+	}
+	d, vec, cols := buildDataset(human, feats, func(s corpus.Sample) int {
+		return index[s.Author]
+	}, len(labels), cfg)
+	forest, err := ml.FitForest(d, ml.ForestConfig{
+		NumTrees: cfg.trees(),
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("attrib: oracle training: %w", err)
+	}
+	return &Oracle{forest: forest, vec: vec, cols: cols, labels: labels, index: index}, nil
+}
+
+// Labels returns the author labels in class order.
+func (o *Oracle) Labels() []string {
+	out := make([]string, len(o.labels))
+	copy(out, o.labels)
+	return out
+}
+
+// vector produces the reduced feature row for one source.
+func (o *Oracle) vector(f stylometry.Features) []float64 {
+	full := o.vec.Vector(f)
+	row := make([]float64, len(o.cols))
+	for i, c := range o.cols {
+		row[i] = full[c]
+	}
+	return row
+}
+
+// Predict attributes one source to an author label.
+func (o *Oracle) Predict(src string) (string, error) {
+	f, err := stylometry.Extract(src)
+	if err != nil {
+		return "", err
+	}
+	return o.labels[o.forest.Predict(o.vector(f))], nil
+}
+
+// Proba returns the forest's vote share per author label for one
+// source, alongside the predicted label.
+func (o *Oracle) Proba(src string) (map[string]float64, string, error) {
+	f, err := stylometry.Extract(src)
+	if err != nil {
+		return nil, "", err
+	}
+	row := o.vector(f)
+	proba := o.forest.PredictProba(row)
+	out := make(map[string]float64, len(o.labels))
+	best := 0
+	for i, p := range proba {
+		out[o.labels[i]] = p
+		if p > proba[best] {
+			best = i
+		}
+	}
+	return out, o.labels[best], nil
+}
+
+// PredictCorpus attributes every sample, in order, reusing
+// pre-extracted features when provided (pass nil to extract here).
+func (o *Oracle) PredictCorpus(c *corpus.Corpus, feats []stylometry.Features) ([]string, error) {
+	var err error
+	if feats == nil {
+		feats, err = ExtractAll(c, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(feats) != len(c.Samples) {
+		return nil, fmt.Errorf("attrib: %d features for %d samples", len(feats), len(c.Samples))
+	}
+	rows := make([][]float64, len(feats))
+	for i, f := range feats {
+		rows[i] = o.vector(f)
+	}
+	preds := o.forest.PredictAll(rows)
+	out := make([]string, len(preds))
+	for i, p := range preds {
+		out[i] = o.labels[p]
+	}
+	return out, nil
+}
+
+// SelfAccuracy evaluates the oracle with grouped (per-challenge)
+// cross-validation over its own training corpus — a sanity metric
+// mirroring Caliskan-Islam's headline result.
+func SelfAccuracy(human *corpus.Corpus, cfg Config) (float64, error) {
+	labels := human.Authors()
+	sort.Strings(labels)
+	index := make(map[string]int, len(labels))
+	for i, l := range labels {
+		index[l] = i
+	}
+	feats, err := ExtractAll(human, cfg.workers())
+	if err != nil {
+		return 0, err
+	}
+	d, _, _ := buildDataset(human, feats, func(s corpus.Sample) int {
+		return index[s.Author]
+	}, len(labels), cfg)
+	folds, err := ml.GroupKFold(d.Groups)
+	if err != nil {
+		return 0, err
+	}
+	results, err := ml.CrossValidateForest(d, folds, ml.ForestConfig{
+		NumTrees: cfg.trees(), Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ml.MeanAccuracy(results), nil
+}

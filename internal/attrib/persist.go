@@ -1,0 +1,88 @@
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gptattr/internal/ml"
+	"gptattr/internal/stylometry"
+)
+
+// modelEnvelope is the on-disk container for trained models: a header
+// with vectorizer, selected columns, and labels, followed by the
+// forest.
+type modelEnvelope struct {
+	Kind   string                 `json:"kind"` // "oracle" or "binary"
+	Vec    *stylometry.Vectorizer `json:"vectorizer"`
+	Cols   []int                  `json:"columns"`
+	Labels []string               `json:"labels,omitempty"`
+}
+
+// Save writes the oracle to w as JSON (header line + forest line).
+func (o *Oracle) Save(w io.Writer) error {
+	env := modelEnvelope{Kind: "oracle", Vec: o.vec, Cols: o.cols, Labels: o.labels}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("attrib: save oracle header: %w", err)
+	}
+	return o.forest.Encode(w)
+}
+
+// LoadOracle reads an oracle previously written by Save.
+func LoadOracle(r io.Reader) (*Oracle, error) {
+	dec := json.NewDecoder(r)
+	var env modelEnvelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("attrib: load oracle header: %w", err)
+	}
+	if env.Kind != "oracle" {
+		return nil, fmt.Errorf("attrib: model kind %q, want oracle", env.Kind)
+	}
+	if len(env.Labels) < 2 || env.Vec == nil {
+		return nil, fmt.Errorf("attrib: malformed oracle header")
+	}
+	forest, err := ml.DecodeForest(io.MultiReader(dec.Buffered(), r))
+	if err != nil {
+		return nil, err
+	}
+	o := &Oracle{
+		forest: forest,
+		vec:    env.Vec,
+		cols:   env.Cols,
+		labels: env.Labels,
+		index:  make(map[string]int, len(env.Labels)),
+	}
+	for i, l := range o.labels {
+		o.index[l] = i
+	}
+	return o, nil
+}
+
+// Save writes the binary classifier to w as JSON.
+func (c *Classifier) Save(w io.Writer) error {
+	env := modelEnvelope{Kind: "binary", Vec: c.vec, Cols: c.cols}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("attrib: save classifier header: %w", err)
+	}
+	return c.forest.Encode(w)
+}
+
+// LoadClassifier reads a classifier previously written by Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	dec := json.NewDecoder(r)
+	var env modelEnvelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("attrib: load classifier header: %w", err)
+	}
+	if env.Kind != "binary" {
+		return nil, fmt.Errorf("attrib: model kind %q, want binary", env.Kind)
+	}
+	if env.Vec == nil {
+		return nil, fmt.Errorf("attrib: malformed classifier header")
+	}
+	forest, err := ml.DecodeForest(io.MultiReader(dec.Buffered(), r))
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{forest: forest, vec: env.Vec, cols: env.Cols}, nil
+}

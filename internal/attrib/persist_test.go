@@ -1,0 +1,82 @@
+package attrib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOracleSaveLoadRoundTrip(t *testing.T) {
+	fx := fixture(t)
+	var buf bytes.Buffer
+	if err := fx.oracle.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadOracle(&buf)
+	if err != nil {
+		t.Fatalf("LoadOracle: %v", err)
+	}
+	if strings.Join(loaded.Labels(), ",") != strings.Join(fx.oracle.Labels(), ",") {
+		t.Error("labels changed across round trip")
+	}
+	// Predictions must be identical.
+	for _, s := range fx.human.Samples[:24] {
+		a, err := fx.oracle.Predict(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Predict(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("prediction diverged after round trip: %q vs %q", a, b)
+		}
+	}
+}
+
+func TestClassifierSaveLoadRoundTrip(t *testing.T) {
+	fx := fixture(t)
+	clf, err := TrainBinary(fx.human, fx.transformed, fx.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatalf("LoadClassifier: %v", err)
+	}
+	for _, s := range append(fx.human.Samples[:10], fx.transformed.Samples[:10]...) {
+		_, ca, err := clf.IsChatGPT(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cb, err := loaded.IsChatGPT(s.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca != cb {
+			t.Fatalf("confidence diverged: %v vs %v", ca, cb)
+		}
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	fx := fixture(t)
+	var buf bytes.Buffer
+	if err := fx.oracle.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClassifier(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("oracle loaded as classifier")
+	}
+	if _, err := LoadOracle(strings.NewReader("not json")); err == nil {
+		t.Error("garbage loaded as oracle")
+	}
+	if _, err := LoadOracle(strings.NewReader(`{"kind":"oracle"}`)); err == nil {
+		t.Error("headerless oracle accepted")
+	}
+}

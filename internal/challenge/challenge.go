@@ -1,0 +1,443 @@
+// Package challenge defines the synthetic Google-Code-Jam-style
+// problem set: 8 challenges per simulated year (2017, 2018, 2019),
+// each an ir.Program whose rendered C++ solutions form the non-ChatGPT
+// corpus of Tables I-III. The set deliberately spans the constructs
+// the renderer and transformations must handle: counted and while
+// loops, conditionals, accumulators, arrays, vectors with sorting,
+// float and integer outputs, and math builtins.
+package challenge
+
+import (
+	"fmt"
+
+	"gptattr/internal/ir"
+)
+
+// Challenge is one problem statement with its reference solution in IR
+// form.
+type Challenge struct {
+	// ID is "C1".."C8" within the year.
+	ID string
+	// Year is the simulated GCJ year (2017, 2018, or 2019).
+	Year int
+	// Title is a short problem name.
+	Title string
+	// Prog is the per-case reference solution.
+	Prog *ir.Program
+}
+
+// Key returns a unique "2017/C3"-style identifier.
+func (c Challenge) Key() string { return fmt.Sprintf("%d/%s", c.Year, c.ID) }
+
+// Years lists the simulated dataset years in order.
+func Years() []int { return []int{2017, 2018, 2019} }
+
+// ByYear returns the year's eight challenges in order C1..C8.
+func ByYear(year int) []Challenge {
+	switch year {
+	case 2017:
+		return year2017()
+	case 2018:
+		return year2018()
+	case 2019:
+		return year2019()
+	default:
+		return nil
+	}
+}
+
+// All returns every challenge across all years, year-major.
+func All() []Challenge {
+	var out []Challenge
+	for _, y := range Years() {
+		out = append(out, ByYear(y)...)
+	}
+	return out
+}
+
+// Get returns the challenge with the given year and id.
+func Get(year int, id string) (Challenge, error) {
+	for _, c := range ByYear(year) {
+		if c.ID == id {
+			return c, nil
+		}
+	}
+	return Challenge{}, fmt.Errorf("challenge: no %d/%s", year, id)
+}
+
+// Expression helpers keep the definitions readable.
+func v(name string) ir.Var                              { return ir.Var{Name: name} }
+func il(x int64) ir.IntLit                              { return ir.IntLit{V: x} }
+func fl(x float64) ir.FloatLit                          { return ir.FloatLit{V: x} }
+func bin(op string, l, r ir.Expr) ir.Bin                { return ir.Bin{Op: op, L: l, R: r} }
+func add(l, r ir.Expr) ir.Bin                           { return bin("+", l, r) }
+func sub(l, r ir.Expr) ir.Bin                           { return bin("-", l, r) }
+func mul(l, r ir.Expr) ir.Bin                           { return bin("*", l, r) }
+func div(l, r ir.Expr) ir.Bin                           { return bin("/", l, r) }
+func mod(l, r ir.Expr) ir.Bin                           { return bin("%", l, r) }
+func toF(x ir.Expr) ir.Cast                             { return ir.Cast{To: ir.TFloat, X: x} }
+func call(fn string, args ...ir.Expr) ir.Call           { return ir.Call{Fn: fn, Args: args} }
+func maxE(l, r ir.Expr) ir.Call                         { return call("max", l, r) }
+func minE(l, r ir.Expr) ir.Call                         { return call("min", l, r) }
+func set(name string, x ir.Expr) ir.Assign              { return ir.Assign{Name: name, Op: "=", X: x} }
+func inc(name string, x ir.Expr) ir.Assign              { return ir.Assign{Name: name, Op: "+=", X: x} }
+func decl(name string, t ir.Type, init ir.Expr) ir.Decl { return ir.Decl{Name: name, T: t, Init: init} }
+func loop(varName string, from, to ir.Expr, body ...ir.Stmt) ir.CountLoop {
+	return ir.CountLoop{Var: varName, From: from, To: to, Body: body}
+}
+func while(cond ir.Expr, body ...ir.Stmt) ir.WhileLoop {
+	return ir.WhileLoop{Cond: cond, Body: body}
+}
+func ifThen(cond ir.Expr, then ...ir.Stmt) ir.If { return ir.If{Cond: cond, Then: then} }
+
+func year2017() []Challenge {
+	horse := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadDecl{T: ir.TInt, Vars: []ir.ReadVar{{Name: "dist", Lo: 10, Hi: 1000}, {Name: "count", Lo: 1, Hi: 12}}},
+			decl("best", ir.TFloat, fl(0)),
+			loop("i", il(0), v("count"),
+				ir.ReadDecl{T: ir.TInt, Vars: []ir.ReadVar{{Name: "pos", Lo: 0, Hi: 9}, {Name: "speed", Lo: 1, Hi: 100}}},
+				set("pos", sub(v("dist"), v("pos"))),
+				set("best", maxE(v("best"), div(toF(v("pos")), toF(v("speed"))))),
+			),
+		},
+		Out: ir.Output{X: div(toF(v("dist")), v("best")), T: ir.TFloat, Precision: 6},
+	}
+	sumSeries := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 60, "count"),
+			decl("sum", ir.TInt, nil),
+			loop("i", il(0), v("count"),
+				ir.Read(-100, 100, "val"),
+				inc("sum", v("val")),
+			),
+		},
+		Out: ir.Output{X: v("sum"), T: ir.TInt},
+	}
+	maxGap := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(2, 40, "count"),
+			decl("mx", ir.TInt, il(-1000000000)),
+			decl("mn", ir.TInt, il(1000000000)),
+			loop("i", il(0), v("count"),
+				ir.Read(-10000, 10000, "val"),
+				set("mx", maxE(v("mx"), v("val"))),
+				set("mn", minE(v("mn"), v("val"))),
+			),
+		},
+		Out: ir.Output{X: sub(v("mx"), v("mn")), T: ir.TInt},
+	}
+	countEvens := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 50, "count"),
+			decl("res", ir.TInt, nil),
+			loop("i", il(0), v("count"),
+				ir.Read(0, 1000000, "val"),
+				ifThen(bin("==", mod(v("val"), il(2)), il(0)),
+					inc("res", il(1)),
+				),
+			),
+		},
+		Out: ir.Output{X: v("res"), T: ir.TInt},
+	}
+	average := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 30, "count"),
+			decl("sum", ir.TFloat, fl(0)),
+			loop("i", il(0), v("count"),
+				ir.ReadF(0, 100, "val"),
+				inc("sum", v("val")),
+			),
+		},
+		Out: ir.Output{X: div(v("sum"), toF(v("count"))), T: ir.TFloat, Precision: 6},
+	}
+	threshold := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadDecl{T: ir.TInt, Vars: []ir.ReadVar{{Name: "count", Lo: 1, Hi: 50}, {Name: "limit", Lo: 0, Hi: 500}}},
+			decl("res", ir.TInt, nil),
+			loop("i", il(0), v("count"),
+				ir.Read(0, 1000, "val"),
+				ifThen(bin(">", v("val"), v("limit")),
+					inc("res", il(1)),
+				),
+			),
+		},
+		Out: ir.Output{X: v("res"), T: ir.TInt},
+	}
+	triangle := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 1000000, "count"),
+		},
+		Out: ir.Output{X: div(mul(v("count"), add(v("count"), il(1))), il(2)), T: ir.TInt},
+	}
+	coins := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(0, 10000, "amount"),
+			ir.DeclArray{Name: "denoms", T: ir.TInt, Size: il(4)},
+			ir.AssignIndex{Arr: "denoms", Idx: il(0), Op: "=", X: il(25)},
+			ir.AssignIndex{Arr: "denoms", Idx: il(1), Op: "=", X: il(10)},
+			ir.AssignIndex{Arr: "denoms", Idx: il(2), Op: "=", X: il(5)},
+			ir.AssignIndex{Arr: "denoms", Idx: il(3), Op: "=", X: il(1)},
+			decl("coins", ir.TInt, nil),
+			loop("i", il(0), il(4),
+				while(bin(">=", v("amount"), ir.Index{Arr: "denoms", Idx: v("i")}),
+					ir.Assign{Name: "amount", Op: "-=", X: ir.Index{Arr: "denoms", Idx: v("i")}},
+					inc("coins", il(1)),
+				),
+			),
+		},
+		Out: ir.Output{X: v("coins"), T: ir.TInt},
+	}
+	return []Challenge{
+		{ID: "C1", Year: 2017, Title: "Steed Speed", Prog: horse},
+		{ID: "C2", Year: 2017, Title: "Signed Sum", Prog: sumSeries},
+		{ID: "C3", Year: 2017, Title: "Widest Gap", Prog: maxGap},
+		{ID: "C4", Year: 2017, Title: "Even Census", Prog: countEvens},
+		{ID: "C5", Year: 2017, Title: "Plain Average", Prog: average},
+		{ID: "C6", Year: 2017, Title: "Over The Line", Prog: threshold},
+		{ID: "C7", Year: 2017, Title: "Staircase Blocks", Prog: triangle},
+		{ID: "C8", Year: 2017, Title: "Greedy Change", Prog: coins},
+	}
+}
+
+func year2018() []Challenge {
+	gcd := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 1000000, "a", "b"),
+			while(bin(">", v("b"), il(0)),
+				decl("tmp", ir.TInt, v("b")),
+				set("b", mod(v("a"), v("b"))),
+				set("a", v("tmp")),
+			),
+		},
+		Out: ir.Output{X: v("a"), T: ir.TInt},
+	}
+	digitSum := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(0, 1000000000, "val"),
+			decl("sum", ir.TInt, nil),
+			while(bin(">", v("val"), il(0)),
+				inc("sum", mod(v("val"), il(10))),
+				ir.Assign{Name: "val", Op: "/=", X: il(10)},
+			),
+		},
+		Out: ir.Output{X: v("sum"), T: ir.TInt},
+	}
+	fib := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 80, "count"),
+			decl("fa", ir.TInt, il(0)),
+			decl("fb", ir.TInt, il(1)),
+			loop("i", il(0), v("count"),
+				decl("tmp", ir.TInt, add(v("fa"), v("fb"))),
+				set("fa", v("fb")),
+				set("fb", v("tmp")),
+			),
+		},
+		Out: ir.Output{X: v("fa"), T: ir.TInt},
+	}
+	powMod := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadDecl{T: ir.TInt, Vars: []ir.ReadVar{
+				{Name: "basev", Lo: 1, Hi: 1000000},
+				{Name: "e", Lo: 0, Hi: 1000000000},
+				{Name: "m", Lo: 2, Hi: 1000000},
+			}},
+			decl("res", ir.TInt, il(1)),
+			set("basev", mod(v("basev"), v("m"))),
+			while(bin(">", v("e"), il(0)),
+				ifThen(bin("==", mod(v("e"), il(2)), il(1)),
+					set("res", mod(mul(v("res"), v("basev")), v("m"))),
+				),
+				set("basev", mod(mul(v("basev"), v("basev")), v("m"))),
+				ir.Assign{Name: "e", Op: "/=", X: il(2)},
+			),
+		},
+		Out: ir.Output{X: v("res"), T: ir.TInt},
+	}
+	kadane := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 50, "count"),
+			decl("best", ir.TInt, il(-1000000000)),
+			decl("cur", ir.TInt, nil),
+			loop("i", il(0), v("count"),
+				ir.Read(-100, 100, "val"),
+				set("cur", maxE(add(v("cur"), v("val")), v("val"))),
+				set("best", maxE(v("best"), v("cur"))),
+			),
+		},
+		Out: ir.Output{X: v("best"), T: ir.TInt},
+	}
+	median := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 15, "count"),
+			decl("m", ir.TInt, add(mul(il(2), v("count")), il(1))),
+			ir.DeclVec{Name: "vals", T: ir.TInt},
+			loop("i", il(0), v("m"),
+				ir.Read(0, 10000, "val"),
+				ir.PushBack{Vec: "vals", X: v("val")},
+			),
+			ir.SortVec{Vec: "vals"},
+		},
+		Out: ir.Output{X: ir.Index{Arr: "vals", Idx: v("count")}, T: ir.TInt},
+	}
+	distance := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadF(0, 100, "x1", "y1", "x2", "y2"),
+			decl("a", ir.TFloat, sub(v("x2"), v("x1"))),
+			decl("b", ir.TFloat, sub(v("y2"), v("y1"))),
+		},
+		Out: ir.Output{X: call("sqrt", add(mul(v("a"), v("a")), mul(v("b"), v("b")))), T: ir.TFloat, Precision: 6},
+	}
+	remPairs := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadDecl{T: ir.TInt, Vars: []ir.ReadVar{{Name: "count", Lo: 1, Hi: 100}, {Name: "k", Lo: 1, Hi: 50}}},
+			ir.DeclArray{Name: "cnt", T: ir.TInt, Size: v("k")},
+			loop("i", il(0), v("count"),
+				ir.Read(0, 1000000, "val"),
+				ir.AssignIndex{Arr: "cnt", Idx: mod(v("val"), v("k")), Op: "+=", X: il(1)},
+			),
+			decl("pairs", ir.TInt, div(mul(ir.Index{Arr: "cnt", Idx: il(0)}, sub(ir.Index{Arr: "cnt", Idx: il(0)}, il(1))), il(2))),
+			loop("r", il(1), v("k"),
+				ifThen(bin("<", v("r"), sub(v("k"), v("r"))),
+					ir.Assign{Name: "pairs", Op: "+=", X: mul(ir.Index{Arr: "cnt", Idx: v("r")}, ir.Index{Arr: "cnt", Idx: sub(v("k"), v("r"))})},
+				),
+				ifThen(bin("==", mul(il(2), v("r")), v("k")),
+					ir.Assign{Name: "pairs", Op: "+=", X: div(mul(ir.Index{Arr: "cnt", Idx: v("r")}, sub(ir.Index{Arr: "cnt", Idx: v("r")}, il(1))), il(2))},
+				),
+			),
+		},
+		Out: ir.Output{X: v("pairs"), T: ir.TInt},
+	}
+	return []Challenge{
+		{ID: "C1", Year: 2018, Title: "Common Measure", Prog: gcd},
+		{ID: "C2", Year: 2018, Title: "Digit Drain", Prog: digitSum},
+		{ID: "C3", Year: 2018, Title: "Rabbit Pairs", Prog: fib},
+		{ID: "C4", Year: 2018, Title: "Modular Tower", Prog: powMod},
+		{ID: "C5", Year: 2018, Title: "Best Stretch", Prog: kadane},
+		{ID: "C6", Year: 2018, Title: "Middle Ground", Prog: median},
+		{ID: "C7", Year: 2018, Title: "Crow Flies", Prog: distance},
+		{ID: "C8", Year: 2018, Title: "Divisible Duos", Prog: remPairs},
+	}
+}
+
+func year2019() []Challenge {
+	harmonic := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 1000, "count"),
+			decl("h", ir.TFloat, fl(0)),
+			loop("i", il(0), v("count"),
+				inc("h", div(fl(1), toF(add(v("i"), il(1))))),
+			),
+		},
+		Out: ir.Output{X: v("h"), T: ir.TFloat, Precision: 6},
+	}
+	compound := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadF(100, 10000, "p"),
+			ir.Read(1, 20, "rate"),
+			ir.Read(1, 30, "years"),
+		},
+		Out: ir.Output{
+			X:         mul(v("p"), call("pow", add(fl(1), div(toF(v("rate")), fl(100))), toF(v("years")))),
+			T:         ir.TFloat,
+			Precision: 2,
+		},
+	}
+	countMax := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 60, "count"),
+			decl("mx", ir.TInt, il(-1000000000)),
+			decl("res", ir.TInt, nil),
+			loop("i", il(0), v("count"),
+				ir.Read(-1000, 1000, "val"),
+				ir.If{
+					Cond: bin(">", v("val"), v("mx")),
+					Then: []ir.Stmt{set("mx", v("val")), set("res", il(1))},
+					Else: []ir.Stmt{ifThen(bin("==", v("val"), v("mx")), inc("res", il(1)))},
+				},
+			),
+		},
+		Out: ir.Output{X: v("res"), T: ir.TInt},
+	}
+	runningMin := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 50, "count"),
+			decl("mn", ir.TInt, il(1000000000)),
+			decl("sum", ir.TInt, nil),
+			loop("i", il(0), v("count"),
+				ir.Read(0, 100000, "val"),
+				set("mn", minE(v("mn"), v("val"))),
+				inc("sum", v("mn")),
+			),
+		},
+		Out: ir.Output{X: v("sum"), T: ir.TInt},
+	}
+	rectOverlap := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadDecl{T: ir.TInt, Vars: []ir.ReadVar{
+				{Name: "x1", Lo: 0, Hi: 50}, {Name: "y1", Lo: 0, Hi: 50},
+				{Name: "w1", Lo: 1, Hi: 60}, {Name: "h1", Lo: 1, Hi: 60},
+			}},
+			ir.ReadDecl{T: ir.TInt, Vars: []ir.ReadVar{
+				{Name: "x2", Lo: 0, Hi: 50}, {Name: "y2", Lo: 0, Hi: 50},
+				{Name: "w2", Lo: 1, Hi: 60}, {Name: "h2", Lo: 1, Hi: 60},
+			}},
+			decl("a", ir.TInt, maxE(il(0), sub(minE(add(v("x1"), v("w1")), add(v("x2"), v("w2"))), maxE(v("x1"), v("x2"))))),
+			decl("b", ir.TInt, maxE(il(0), sub(minE(add(v("y1"), v("h1")), add(v("y2"), v("h2"))), maxE(v("y1"), v("y2"))))),
+		},
+		Out: ir.Output{X: mul(v("a"), v("b")), T: ir.TInt},
+	}
+	circle := &ir.Program{
+		Body: []ir.Stmt{
+			ir.ReadF(1, 100, "radius"),
+			decl("p", ir.TFloat, fl(3.141592653589793)),
+		},
+		Out: ir.Output{
+			X:         add(mul(mul(v("p"), v("radius")), v("radius")), mul(mul(fl(2), v("p")), v("radius"))),
+			T:         ir.TFloat,
+			Precision: 4,
+		},
+	}
+	sortedGap := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(2, 40, "count"),
+			ir.DeclVec{Name: "vals", T: ir.TInt},
+			loop("i", il(0), v("count"),
+				ir.Read(0, 100000, "val"),
+				ir.PushBack{Vec: "vals", X: v("val")},
+			),
+			ir.SortVec{Vec: "vals"},
+			decl("gap", ir.TInt, nil),
+			loop("j", il(1), v("count"),
+				set("gap", maxE(v("gap"), sub(ir.Index{Arr: "vals", Idx: v("j")}, ir.Index{Arr: "vals", Idx: sub(v("j"), il(1))}))),
+			),
+		},
+		Out: ir.Output{X: v("gap"), T: ir.TInt},
+	}
+	collatz := &ir.Program{
+		Body: []ir.Stmt{
+			ir.Read(1, 1000000, "val"),
+			decl("steps", ir.TInt, nil),
+			while(bin(">", v("val"), il(1)),
+				ir.If{
+					Cond: bin("==", mod(v("val"), il(2)), il(0)),
+					Then: []ir.Stmt{ir.Assign{Name: "val", Op: "/=", X: il(2)}},
+					Else: []ir.Stmt{set("val", add(mul(il(3), v("val")), il(1)))},
+				},
+				inc("steps", il(1)),
+			),
+		},
+		Out: ir.Output{X: v("steps"), T: ir.TInt},
+	}
+	return []Challenge{
+		{ID: "C1", Year: 2019, Title: "Harmonic Hike", Prog: harmonic},
+		{ID: "C2", Year: 2019, Title: "Compound Fortune", Prog: compound},
+		{ID: "C3", Year: 2019, Title: "Counting Champions", Prog: countMax},
+		{ID: "C4", Year: 2019, Title: "Sinking Floor", Prog: runningMin},
+		{ID: "C5", Year: 2019, Title: "Shared Ground", Prog: rectOverlap},
+		{ID: "C6", Year: 2019, Title: "Round Measures", Prog: circle},
+		{ID: "C7", Year: 2019, Title: "Sorted Spread", Prog: sortedGap},
+		{ID: "C8", Year: 2019, Title: "Hailstone Hops", Prog: collatz},
+	}
+}

@@ -1,0 +1,660 @@
+// Package codegen renders an ir.Program into C++ source in a given
+// author style: the synthetic-author substrate standing in for the
+// paper's Google Code Jam participant corpus. Every rendering of the
+// same program is behaviourally identical (verified against the IR
+// evaluator by this package's tests via cppinterp) while the surface
+// form — naming, layout, decomposition, I/O idiom, loop forms — tracks
+// the style.Profile.
+package codegen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+// Render produces C++ source for prog in the profile's style. fileSeed
+// jitters per-file details (comments, blank lines) so that an author's
+// files vary naturally while their style axes stay fixed; naming
+// synonym choices derive from the profile name, so the same author
+// names the same program the same way every time.
+func Render(prog *ir.Program, prof style.Profile, fileSeed int64) string {
+	h := fnv.New64a()
+	h.Write([]byte(prof.Name))
+	authorRng := rand.New(rand.NewSource(int64(h.Sum64())))
+	r := &renderer{
+		prof:    prof,
+		nm:      style.NewNamer(prof.Naming, authorRng),
+		fileRng: rand.New(rand.NewSource(fileSeed)),
+	}
+	return r.render(prog)
+}
+
+type renderer struct {
+	prof    style.Profile
+	nm      *style.Namer
+	fileRng *rand.Rand
+	b       strings.Builder
+	level   int
+
+	usesVector bool
+	usesMath   bool
+	usesAlgo   bool
+}
+
+// --- type and name helpers ---
+
+// intType is the rendered integer type.
+func (r *renderer) intType() string {
+	switch {
+	case r.prof.TypedefLL:
+		return "ll"
+	case r.prof.WideInt:
+		return "long long"
+	default:
+		return "int"
+	}
+}
+
+func (r *renderer) typeOf(t ir.Type) string {
+	if t == ir.TFloat {
+		return "double"
+	}
+	return r.intType()
+}
+
+// qual prefixes std:: when the file does not import the namespace.
+func (r *renderer) qual(name string) string {
+	if r.prof.UsingNamespaceStd {
+		return name
+	}
+	return "std::" + name
+}
+
+// --- layout helpers ---
+
+func (r *renderer) indent() string {
+	if r.prof.Indent.UseTabs {
+		return strings.Repeat("\t", r.level)
+	}
+	w := r.prof.Indent.Width
+	if w <= 0 {
+		w = 4
+	}
+	return strings.Repeat(" ", w*r.level)
+}
+
+func (r *renderer) line(s string) {
+	r.b.WriteString(r.indent())
+	r.b.WriteString(s)
+	r.b.WriteByte('\n')
+}
+
+func (r *renderer) blank() { r.b.WriteByte('\n') }
+
+func (r *renderer) maybeBlank() {
+	if r.fileRng.Float64() < r.prof.BlankLineDensity {
+		r.blank()
+	}
+}
+
+// open starts a braced block after header text (e.g. "if (x)"),
+// honoring the brace style, and increases the indent level.
+func (r *renderer) open(header string) {
+	if r.prof.Brace == style.BraceAllman {
+		r.line(header)
+		r.line("{")
+	} else {
+		r.line(header + " {")
+	}
+	r.level++
+}
+
+// close ends a braced block, optionally with a trailing suffix like
+// ";" for do-while (unused) or nothing.
+func (r *renderer) close(suffix string) {
+	r.level--
+	r.line("}" + suffix)
+}
+
+// sp is the spacing around binary operators.
+func (r *renderer) sp() string {
+	if r.prof.SpaceAroundOps {
+		return " "
+	}
+	return ""
+}
+
+// kw formats a control keyword heading: "if (" vs "if(".
+func (r *renderer) kw(word string) string {
+	if r.prof.SpaceAroundOps {
+		return word + " ("
+	}
+	return word + "("
+}
+
+// commaSep joins with the profile's comma spacing.
+func (r *renderer) commaSep(parts []string) string {
+	sep := ","
+	if r.prof.SpaceAfterComma {
+		sep = ", "
+	}
+	return strings.Join(parts, sep)
+}
+
+// comment emits a comment line with probability CommentDensity.
+func (r *renderer) comment(pool ...string) {
+	if r.prof.Comments == style.CommentNone || len(pool) == 0 {
+		return
+	}
+	if r.fileRng.Float64() >= r.prof.CommentDensity {
+		return
+	}
+	text := pool[r.fileRng.Intn(len(pool))]
+	if r.prof.Comments == style.CommentBlock {
+		r.line("/* " + text + " */")
+	} else {
+		r.line("// " + text)
+	}
+}
+
+// --- program structure ---
+
+func (r *renderer) render(prog *ir.Program) string {
+	// Render the body into a scratch buffer first to discover which
+	// headers are needed, then assemble the final file.
+	body := r.renderProgram(prog)
+	var out strings.Builder
+	out.WriteString(r.headers(prog))
+	if r.prof.UsingNamespaceStd {
+		out.WriteString("using namespace std;\n")
+	}
+	if r.prof.TypedefLL {
+		out.WriteString("typedef long long ll;\n")
+	}
+	out.WriteByte('\n')
+	out.WriteString(body)
+	return out.String()
+}
+
+func (r *renderer) headers(prog *ir.Program) string {
+	if r.prof.BitsHeader {
+		return "#include <bits/stdc++.h>\n"
+	}
+	var hs []string
+	usesStreams := r.prof.IO == style.IOStreams || r.prof.IO == style.IOMixed
+	usesStdio := r.prof.IO == style.IOStdio || r.prof.IO == style.IOMixed
+	if usesStreams {
+		hs = append(hs, "iostream")
+	}
+	if usesStdio {
+		hs = append(hs, "cstdio")
+	}
+	if r.usesAlgo {
+		hs = append(hs, "algorithm")
+	}
+	if r.usesMath {
+		hs = append(hs, "cmath")
+	}
+	if r.usesVector {
+		hs = append(hs, "vector")
+	}
+	if usesStreams && r.prof.IO != style.IOMixed && prog.Out.T == ir.TFloat {
+		hs = append(hs, "iomanip")
+	}
+	var b strings.Builder
+	for _, h := range hs {
+		b.WriteString("#include <" + h + ">\n")
+	}
+	return b.String()
+}
+
+func (r *renderer) renderProgram(prog *ir.Program) string {
+	r.b.Reset()
+	casesVar := r.nm.Name("cases")
+	caseVar := r.nm.Name("caseno")
+
+	switch r.prof.Decomp {
+	case style.DecompSolvePrint:
+		fn := r.nm.Name("solvefn")
+		r.comment("handle one test case", "per-case work", "solve a single case")
+		r.open("void " + fn + "(" + r.commaSep([]string{r.intType() + " " + caseVar}) + ")")
+		r.stmts(prog.Body)
+		r.output(prog.Out, caseVar)
+		r.close("")
+		r.blank()
+		r.open("int main()")
+		r.readCases(casesVar)
+		r.caseLoop(caseVar, casesVar, func() {
+			r.line(fn + "(" + caseVar + ");")
+		})
+		if r.prof.ReturnZero {
+			r.line("return 0;")
+		}
+		r.close("")
+	case style.DecompSolveValue:
+		fn := r.nm.Name("solvefn")
+		resType := r.typeOf(prog.Out.T)
+		r.comment("compute the answer for one case", "per-case computation")
+		r.open(resType + " " + fn + "()")
+		r.stmts(prog.Body)
+		r.line("return " + r.expr(prog.Out.X, 0) + ";")
+		r.close("")
+		r.blank()
+		r.open("int main()")
+		r.readCases(casesVar)
+		r.caseLoop(caseVar, casesVar, func() {
+			resVar := r.nm.Name("res")
+			if resVar == caseVar || resVar == casesVar {
+				resVar = "answer"
+			}
+			r.line(resType + " " + resVar + r.sp() + "=" + r.sp() + fn + "();")
+			r.outputValue(prog.Out, caseVar, resVar)
+		})
+		if r.prof.ReturnZero {
+			r.line("return 0;")
+		}
+		r.close("")
+	default: // DecompInline
+		r.open("int main()")
+		r.readCases(casesVar)
+		r.caseLoop(caseVar, casesVar, func() {
+			r.stmts(prog.Body)
+			r.output(prog.Out, caseVar)
+		})
+		if r.prof.ReturnZero {
+			r.line("return 0;")
+		}
+		r.close("")
+	}
+	return r.b.String()
+}
+
+func (r *renderer) readCases(casesVar string) {
+	r.comment("read the number of test cases", "how many cases follow")
+	r.line(r.intType() + " " + casesVar + ";")
+	r.readInto([]string{casesVar}, ir.TInt, false)
+	r.maybeBlank()
+}
+
+// caseLoop emits the 1..T loop with the case counter visible as
+// caseVar.
+func (r *renderer) caseLoop(caseVar, casesVar string, body func()) {
+	s := r.sp()
+	post := caseVar + "++"
+	if r.prof.PreIncrement {
+		post = "++" + caseVar
+	}
+	if r.prof.Loop == style.LoopWhile {
+		r.line(r.intType() + " " + caseVar + s + "=" + s + "1;")
+		r.open(r.kw("while") + caseVar + s + "<=" + s + casesVar + ")")
+		body()
+		r.line(post + ";")
+		r.close("")
+		return
+	}
+	header := r.kw("for") + r.intType() + " " + caseVar + s + "=" + s + "1; " +
+		caseVar + s + "<=" + s + casesVar + "; " + post + ")"
+	r.open(header)
+	body()
+	r.close("")
+}
+
+// --- statements ---
+
+func (r *renderer) stmts(list []ir.Stmt) {
+	for _, s := range list {
+		r.stmt(s)
+	}
+}
+
+func (r *renderer) stmt(s ir.Stmt) {
+	sp := r.sp()
+	switch n := s.(type) {
+	case ir.Decl:
+		init := ""
+		if n.Init != nil {
+			init = sp + "=" + sp + r.expr(n.Init, 0)
+		} else if n.T == ir.TFloat {
+			init = sp + "=" + sp + "0.0"
+		} else {
+			init = sp + "=" + sp + "0"
+		}
+		r.line(r.typeOf(n.T) + " " + r.nm.Name(n.Name) + init + ";")
+	case ir.DeclArray:
+		r.comment("bucket storage", "fixed-size table")
+		name := r.nm.Name(n.Name)
+		r.line(r.typeOf(n.T) + " " + name + "[" + r.expr(n.Size, 0) + "];")
+		// Zero-initialize explicitly (VLA-safe and style-visible).
+		iv := r.nm.Name("j")
+		r.open(r.kw("for") + r.intType() + " " + iv + sp + "=" + sp + "0; " + iv + sp + "<" + sp + r.expr(n.Size, 0) + "; " + r.incExpr(iv) + ")")
+		r.line(name + "[" + iv + "]" + sp + "=" + sp + "0;")
+		r.close("")
+	case ir.DeclVec:
+		r.usesVector = true
+		elem := r.typeOf(n.T)
+		r.line(r.qual("vector") + "<" + elem + "> " + r.nm.Name(n.Name) + ";")
+	case ir.ReadDecl:
+		names := make([]string, len(n.Vars))
+		for i, rv := range n.Vars {
+			names[i] = r.nm.Name(rv.Name)
+		}
+		r.comment("read input values", "grab the next inputs", "input for this case")
+		t := r.typeOf(n.T)
+		if len(names) == 1 {
+			r.line(t + " " + names[0] + ";")
+		} else if r.prof.ChainReads {
+			r.line(t + " " + r.commaSep(names) + ";")
+		} else {
+			for _, nm := range names {
+				r.line(t + " " + nm + ";")
+			}
+		}
+		r.readInto(names, n.T, true)
+	case ir.Assign:
+		r.line(r.assignText(r.nm.Name(n.Name), n.Op, n.X) + ";")
+	case ir.AssignIndex:
+		target := r.nm.Name(n.Arr) + "[" + r.expr(n.Idx, 0) + "]"
+		r.line(r.assignText(target, n.Op, n.X) + ";")
+	case ir.PushBack:
+		r.line(r.nm.Name(n.Vec) + ".push_back(" + r.expr(n.X, 0) + ");")
+	case ir.SortVec:
+		r.usesAlgo = true
+		vec := r.nm.Name(n.Vec)
+		r.comment("order the values", "sort ascending")
+		r.line(r.qual("sort") + "(" + r.commaSep([]string{vec + ".begin()", vec + ".end()"}) + ");")
+	case ir.CountLoop:
+		r.renderCountLoop(n)
+	case ir.WhileLoop:
+		r.comment("iterate until done", "keep going while possible")
+		r.open(r.kw("while") + r.expr(n.Cond, 0) + ")")
+		r.stmts(n.Body)
+		r.close("")
+	case ir.If:
+		r.renderIf(n)
+	default:
+		r.line(fmt.Sprintf("/* unsupported IR statement %T */", s))
+	}
+}
+
+// assignText renders "x = e" with special-casing for x += 1 -> x++
+// style variation.
+func (r *renderer) assignText(target, op string, x ir.Expr) string {
+	sp := r.sp()
+	if op == "+=" {
+		if lit, ok := x.(ir.IntLit); ok && lit.V == 1 {
+			return r.incExpr(target)
+		}
+	}
+	prec := 1 // assignment context: comma needs parens, nothing else
+	return target + sp + op + sp + r.expr(x, prec)
+}
+
+func (r *renderer) incExpr(target string) string {
+	if r.prof.PreIncrement {
+		return "++" + target
+	}
+	return target + "++"
+}
+
+func (r *renderer) renderCountLoop(n ir.CountLoop) {
+	sp := r.sp()
+	lv := r.nm.Name(n.Var)
+	from := r.expr(n.From, 0)
+	to := r.expr(n.To, 0)
+	r.comment("loop over the items", "process each entry", "main loop")
+	if r.prof.Loop == style.LoopWhile {
+		r.line(r.intType() + " " + lv + sp + "=" + sp + from + ";")
+		r.open(r.kw("while") + lv + sp + "<" + sp + to + ")")
+		r.stmts(n.Body)
+		r.line(r.incExpr(lv) + ";")
+		r.close("")
+		return
+	}
+	header := r.kw("for") + r.intType() + " " + lv + sp + "=" + sp + from + "; " +
+		lv + sp + "<" + sp + to + "; " + r.incExpr(lv) + ")"
+	if !r.prof.BracesAlways && len(n.Body) == 1 && isSimpleStmt(n.Body[0]) {
+		r.line(header)
+		r.level++
+		r.stmts(n.Body)
+		r.level--
+		return
+	}
+	r.open(header)
+	r.stmts(n.Body)
+	r.close("")
+}
+
+func (r *renderer) renderIf(n ir.If) {
+	header := r.kw("if") + r.expr(n.Cond, 0) + ")"
+	braceThen := r.prof.BracesAlways || len(n.Then) != 1 || !isSimpleStmt(n.Then[0]) || len(n.Else) > 0
+	if braceThen {
+		r.open(header)
+		r.stmts(n.Then)
+		if len(n.Else) > 0 {
+			// "} else {" for K&R; "else" on its own line for Allman.
+			if r.prof.Brace == style.BraceAllman {
+				r.close("")
+				r.open("else")
+			} else {
+				r.level--
+				r.line("} else {")
+				r.level++
+			}
+			r.stmts(n.Else)
+		}
+		r.close("")
+		return
+	}
+	r.line(header)
+	r.level++
+	r.stmts(n.Then)
+	r.level--
+}
+
+// isSimpleStmt reports whether a statement can stand unbraced.
+func isSimpleStmt(s ir.Stmt) bool {
+	switch s.(type) {
+	case ir.Assign, ir.AssignIndex, ir.PushBack:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- I/O ---
+
+// readInto emits the read statement(s) for already-declared variables.
+func (r *renderer) readInto(names []string, t ir.Type, allowChain bool) {
+	switch r.prof.IO {
+	case style.IOStdio:
+		verb := "%lld"
+		if r.intType() == "int" {
+			verb = "%d"
+		}
+		if t == ir.TFloat {
+			verb = "%lf"
+		}
+		verbs := make([]string, len(names))
+		addrs := make([]string, len(names))
+		for i, nm := range names {
+			verbs[i] = verb
+			addrs[i] = "&" + nm
+		}
+		args := append([]string{"\"" + strings.Join(verbs, " ") + "\""}, addrs...)
+		r.line("scanf(" + r.commaSep(args) + ");")
+	default: // streams and mixed both read with cin
+		if allowChain && r.prof.ChainReads || len(names) == 1 {
+			r.line(r.qual("cin") + " >> " + strings.Join(names, " >> ") + ";")
+		} else {
+			for _, nm := range names {
+				r.line(r.qual("cin") + " >> " + nm + ";")
+			}
+		}
+	}
+}
+
+// output emits the "Case #k: value" line computing the value inline.
+func (r *renderer) output(out ir.Output, caseVar string) {
+	r.outputValue(out, caseVar, r.expr(out.X, 2))
+}
+
+// outputValue emits the case line for an already-rendered value
+// expression.
+func (r *renderer) outputValue(out ir.Output, caseVar, valueExpr string) {
+	useStdio := r.prof.IO == style.IOStdio || r.prof.IO == style.IOMixed
+	if useStdio {
+		caseVerb := "%lld"
+		if r.intType() == "int" {
+			caseVerb = "%d"
+		}
+		valVerb := caseVerb
+		if out.T == ir.TFloat {
+			prec := out.Precision
+			if prec <= 0 {
+				prec = 6
+			}
+			valVerb = "%." + strconv.Itoa(prec) + "lf"
+		}
+		args := []string{
+			"\"Case #" + caseVerb + ": " + valVerb + "\\n\"",
+			caseVar,
+			valueExpr,
+		}
+		r.line("printf(" + r.commaSep(args) + ");")
+		return
+	}
+	// Streams.
+	end := `"\n"`
+	if r.prof.EndlStyle == 1 {
+		end = r.qual("endl")
+	}
+	var mid string
+	if out.T == ir.TFloat {
+		prec := out.Precision
+		if prec <= 0 {
+			prec = 6
+		}
+		mid = r.qual("fixed") + " << " + r.qual("setprecision") + "(" + strconv.Itoa(prec) + ") << "
+	}
+	r.line(r.qual("cout") + " << \"Case #\" << " + caseVar + " << \": \" << " + mid + valueExpr + " << " + end + ";")
+}
+
+// --- expressions ---
+
+// precedence for parenthesization decisions.
+var precOf = map[string]int{
+	"||": 3, "&&": 4,
+	"==": 8, "!=": 8,
+	"<": 9, "<=": 9, ">": 9, ">=": 9,
+	"+": 11, "-": 11,
+	"*": 12, "/": 12, "%": 12,
+}
+
+// expr renders e; parent is the precedence of the enclosing operator
+// (0 = statement/argument context).
+func (r *renderer) expr(e ir.Expr, parent int) string {
+	sp := r.sp()
+	switch n := e.(type) {
+	case ir.Var:
+		return r.nm.Name(n.Name)
+	case ir.IntLit:
+		return strconv.FormatInt(n.V, 10)
+	case ir.FloatLit:
+		s := strconv.FormatFloat(n.V, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".e") {
+			s += ".0"
+		}
+		return s
+	case ir.Bin:
+		prec := precOf[n.Op]
+		l := r.expr(n.L, prec)
+		rr := r.expr(n.R, prec+1)
+		gap := sp
+		// Logical connectives read better spaced even in tight styles;
+		// and a '-'/'+' operator must not glue onto a same-signed
+		// operand ("v--8" would re-tokenize as a decrement).
+		if !r.prof.SpaceAroundOps {
+			if n.Op == "&&" || n.Op == "||" {
+				gap = " "
+			} else if len(rr) > 0 && n.Op[len(n.Op)-1] == rr[0] {
+				gap = " "
+			}
+		}
+		s := l + gap + n.Op + gap + rr
+		if prec < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case ir.Call:
+		r.noteCall(n.Fn)
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = r.expr(a, 0)
+		}
+		name := n.Fn
+		switch n.Fn {
+		case "min", "max":
+			name = r.qual(n.Fn)
+		}
+		return name + "(" + r.commaSep(args) + ")"
+	case ir.Cast:
+		return r.cast(n, parent)
+	case ir.Index:
+		return r.nm.Name(n.Arr) + "[" + r.expr(n.Idx, 0) + "]"
+	case ir.Len:
+		base := r.nm.Name(n.Arr) + ".size()"
+		if parent > 0 {
+			return "(" + r.intType() + ")" + base
+		}
+		return base
+	default:
+		return fmt.Sprintf("/*expr %T*/0", e)
+	}
+}
+
+func (r *renderer) noteCall(fn string) {
+	switch fn {
+	case "sqrt", "pow", "abs":
+		r.usesMath = true
+	case "min", "max":
+		r.usesAlgo = true
+	}
+}
+
+// cast renders an int<->double conversion per the profile's CastStyle.
+func (r *renderer) cast(n ir.Cast, parent int) string {
+	if n.To == ir.TInt {
+		return "(" + r.intType() + ")" + r.castOperand(n.X)
+	}
+	switch r.prof.CastStyle {
+	case 1:
+		return "double(" + r.expr(n.X, 0) + ")"
+	case 2:
+		// 1.0 * x promotes; safe for the multiplicative contexts the
+		// IR uses casts in.
+		s := "1.0" + r.sp() + "*" + r.sp() + r.expr(n.X, 12)
+		if 12 < parent {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "(double)" + r.castOperand(n.X)
+	}
+}
+
+// castOperand renders the operand of a C-style cast, parenthesized
+// unless it is a primary expression.
+func (r *renderer) castOperand(e ir.Expr) string {
+	switch e.(type) {
+	case ir.Var, ir.IntLit, ir.FloatLit, ir.Index:
+		return r.expr(e, 0)
+	default:
+		return "(" + r.expr(e, 0) + ")"
+	}
+}

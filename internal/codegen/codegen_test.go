@@ -1,0 +1,273 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gptattr/internal/challenge"
+	"gptattr/internal/cppinterp"
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+// TestEveryChallengeEveryProfileShape is the core substrate-correctness
+// test: for every challenge and a spread of random author profiles, the
+// rendered C++ executed by cppinterp must produce byte-identical output
+// to the IR evaluator's ground truth.
+func TestEveryChallengeEveryProfileShape(t *testing.T) {
+	profiles := make([]style.Profile, 0, 12)
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 12; i++ {
+		profiles = append(profiles, style.Random(fmt.Sprintf("Author%02d", i), rng))
+	}
+	for _, c := range challenge.All() {
+		c := c
+		t.Run(c.Key(), func(t *testing.T) {
+			run, err := ir.Synthesize(c.Prog, 5, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			for pi, prof := range profiles {
+				src := Render(c.Prog, prof, int64(pi))
+				got, err := cppinterp.Run(src, run.Input)
+				if err != nil {
+					t.Fatalf("profile %d (%s): interpreter error: %v\n--- source ---\n%s",
+						pi, prof.Name, err, src)
+				}
+				if got != run.Output {
+					t.Fatalf("profile %d (%s): output mismatch\n got: %q\nwant: %q\n--- source ---\n%s",
+						pi, prof.Name, got, run.Output, src)
+				}
+			}
+		})
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	c, err := challenge.Get(2017, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := style.Random("A", rand.New(rand.NewSource(1)))
+	a := Render(c.Prog, prof, 5)
+	b := Render(c.Prog, prof, 5)
+	if a != b {
+		t.Error("Render not deterministic for equal inputs")
+	}
+}
+
+func TestRenderFileJitterVariesOnlyCosmetics(t *testing.T) {
+	c, err := challenge.Get(2017, "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := style.Random("A", rand.New(rand.NewSource(3)))
+	prof.Comments = style.CommentLine
+	prof.CommentDensity = 0.9
+	prof.BlankLineDensity = 0.5
+	a := Render(c.Prog, prof, 1)
+	b := Render(c.Prog, prof, 2)
+	if a == b {
+		t.Skip("file seeds produced identical files (possible but unlikely); skipping")
+	}
+	// Behaviour must be unchanged.
+	run, err := ir.Synthesize(c.Prog, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, err := cppinterp.Run(a, run.Input)
+	if err != nil {
+		t.Fatalf("run a: %v", err)
+	}
+	outB, err := cppinterp.Run(b, run.Input)
+	if err != nil {
+		t.Fatalf("run b: %v", err)
+	}
+	if outA != outB || outA != run.Output {
+		t.Error("file jitter changed program behaviour")
+	}
+}
+
+func TestRenderStyleAxesVisible(t *testing.T) {
+	c, err := challenge.Get(2017, "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := style.Profile{
+		Name:              "base",
+		Naming:            style.NamingCamel,
+		Indent:            style.Indent{Width: 4},
+		Brace:             style.BraceKR,
+		IO:                style.IOStreams,
+		Loop:              style.LoopFor,
+		Decomp:            style.DecompInline,
+		Comments:          style.CommentNone,
+		UsingNamespaceStd: true,
+		SpaceAroundOps:    true,
+		SpaceAfterComma:   true,
+		BracesAlways:      true,
+		ReturnZero:        true,
+	}
+
+	t.Run("io stdio", func(t *testing.T) {
+		p := base
+		p.IO = style.IOStdio
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "scanf(") || !strings.Contains(src, "printf(") {
+			t.Errorf("stdio profile lacks scanf/printf:\n%s", src)
+		}
+		if strings.Contains(src, "cin") {
+			t.Errorf("stdio profile uses cin:\n%s", src)
+		}
+	})
+	t.Run("io streams", func(t *testing.T) {
+		src := Render(c.Prog, base, 0)
+		if !strings.Contains(src, "cin >>") || !strings.Contains(src, "cout <<") {
+			t.Errorf("streams profile lacks cin/cout:\n%s", src)
+		}
+	})
+	t.Run("allman braces", func(t *testing.T) {
+		p := base
+		p.Brace = style.BraceAllman
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "int main()\n{") {
+			t.Errorf("allman profile keeps brace on same line:\n%s", src)
+		}
+	})
+	t.Run("tabs", func(t *testing.T) {
+		p := base
+		p.Indent = style.Indent{UseTabs: true}
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "\n\t") {
+			t.Errorf("tab profile has no tab indentation:\n%s", src)
+		}
+	})
+	t.Run("snake naming", func(t *testing.T) {
+		p := base
+		p.Naming = style.NamingSnake
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "num_cases") && !strings.Contains(src, "test_cases") &&
+			!strings.Contains(src, "case_num") && !strings.Contains(src, "case_id") {
+			t.Errorf("snake profile shows no snake_case names:\n%s", src)
+		}
+	})
+	t.Run("helper decomposition", func(t *testing.T) {
+		p := base
+		p.Decomp = style.DecompSolveValue
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "solve") {
+			t.Errorf("solve-value profile has no helper:\n%s", src)
+		}
+		fns := strings.Count(src, "\n}")
+		if fns < 2 {
+			t.Errorf("expected two functions, source:\n%s", src)
+		}
+	})
+	t.Run("typedef ll", func(t *testing.T) {
+		p := base
+		p.TypedefLL = true
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "typedef long long ll;") || !strings.Contains(src, "ll ") {
+			t.Errorf("typedef profile lacks ll usage:\n%s", src)
+		}
+	})
+	t.Run("bits header", func(t *testing.T) {
+		p := base
+		p.BitsHeader = true
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "<bits/stdc++.h>") {
+			t.Errorf("bits profile lacks bits header:\n%s", src)
+		}
+		if strings.Contains(src, "<iostream>") {
+			t.Errorf("bits profile also includes iostream:\n%s", src)
+		}
+	})
+	t.Run("no using namespace", func(t *testing.T) {
+		p := base
+		p.UsingNamespaceStd = false
+		src := Render(c.Prog, p, 0)
+		if strings.Contains(src, "using namespace std") {
+			t.Errorf("profile still imports namespace:\n%s", src)
+		}
+		if !strings.Contains(src, "std::cin") {
+			t.Errorf("profile does not qualify std::cin:\n%s", src)
+		}
+	})
+	t.Run("tight spacing", func(t *testing.T) {
+		p := base
+		p.SpaceAroundOps = false
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "=0") && !strings.Contains(src, "=1") {
+			t.Errorf("tight profile still spaces operators:\n%s", src)
+		}
+	})
+	t.Run("while case loop", func(t *testing.T) {
+		p := base
+		p.Loop = style.LoopWhile
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "while (") {
+			t.Errorf("while profile has no while loop:\n%s", src)
+		}
+	})
+	t.Run("comments", func(t *testing.T) {
+		p := base
+		p.Comments = style.CommentLine
+		p.CommentDensity = 1.0
+		src := Render(c.Prog, p, 0)
+		if !strings.Contains(src, "// ") {
+			t.Errorf("comment profile produced no comments:\n%s", src)
+		}
+		p.Comments = style.CommentBlock
+		src = Render(c.Prog, p, 0)
+		if !strings.Contains(src, "/* ") {
+			t.Errorf("block-comment profile produced no block comments:\n%s", src)
+		}
+	})
+	t.Run("return zero", func(t *testing.T) {
+		p := base
+		p.ReturnZero = false
+		src := Render(c.Prog, p, 0)
+		if strings.Contains(src, "return 0;") {
+			t.Errorf("no-return profile still returns 0:\n%s", src)
+		}
+	})
+}
+
+// TestRenderedSourceDistinguishesAuthors checks that two different
+// profiles produce textually distinct sources for the same challenge —
+// the property the whole attribution pipeline depends on.
+func TestRenderedSourceDistinguishesAuthors(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	c, err := challenge.Get(2018, "C5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Render(c.Prog, style.Random("A", rng), 0)
+	b := Render(c.Prog, style.Random("B", rng), 0)
+	if a == b {
+		t.Error("different profiles rendered identical sources")
+	}
+}
+
+func TestDecompositionsBehaviourallyEqual(t *testing.T) {
+	for _, decomp := range []style.Decomp{style.DecompInline, style.DecompSolvePrint, style.DecompSolveValue} {
+		for _, c := range challenge.All()[:8] {
+			prof := style.Random("X", rand.New(rand.NewSource(8)))
+			prof.Decomp = decomp
+			run, err := ir.Synthesize(c.Prog, 3, rand.New(rand.NewSource(4)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := Render(c.Prog, prof, 0)
+			got, err := cppinterp.Run(src, run.Input)
+			if err != nil {
+				t.Fatalf("%s decomp %d: %v\n%s", c.Key(), decomp, err, src)
+			}
+			if got != run.Output {
+				t.Fatalf("%s decomp %d: mismatch\n got %q\nwant %q\n%s", c.Key(), decomp, got, run.Output, src)
+			}
+		}
+	}
+}

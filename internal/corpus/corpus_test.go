@@ -1,0 +1,217 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"gptattr/internal/cppinterp"
+	"gptattr/internal/gpt"
+	"gptattr/internal/ir"
+
+	"gptattr/internal/challenge"
+)
+
+func TestGenerateYearShape(t *testing.T) {
+	c, profiles, err := GenerateYear(YearConfig{Year: 2017, NumAuthors: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("GenerateYear: %v", err)
+	}
+	if len(c.Samples) != 10*8 {
+		t.Fatalf("samples = %d, want 80", len(c.Samples))
+	}
+	if len(profiles) != 10 {
+		t.Fatalf("profiles = %d, want 10", len(profiles))
+	}
+	authors := c.Authors()
+	if len(authors) != 10 {
+		t.Fatalf("authors = %d, want 10", len(authors))
+	}
+	if authors[0] != "A001" || authors[9] != "A010" {
+		t.Errorf("author labels wrong: %v", authors)
+	}
+	perAuthor := map[string]map[string]bool{}
+	for _, s := range c.Samples {
+		if perAuthor[s.Author] == nil {
+			perAuthor[s.Author] = map[string]bool{}
+		}
+		perAuthor[s.Author][s.Challenge] = true
+		if s.Origin != OriginHuman {
+			t.Errorf("origin = %v, want human", s.Origin)
+		}
+	}
+	for a, chs := range perAuthor {
+		if len(chs) != 8 {
+			t.Errorf("author %s solved %d challenges, want 8", a, len(chs))
+		}
+	}
+}
+
+func TestGenerateYearDefaultIs204(t *testing.T) {
+	cfg := YearConfig{Year: 2018}
+	if cfg.numAuthors() != 204 {
+		t.Errorf("default authors = %d, want 204 (Table I)", cfg.numAuthors())
+	}
+}
+
+func TestGenerateYearUnknown(t *testing.T) {
+	if _, _, err := GenerateYear(YearConfig{Year: 1999}); err == nil {
+		t.Error("unknown year accepted")
+	}
+}
+
+func TestGenerateYearSamplesAreCorrectPrograms(t *testing.T) {
+	c, _, err := GenerateYear(YearConfig{Year: 2019, NumAuthors: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Samples {
+		ch, err := challenge.Get(s.Year, s.Challenge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := ir.Synthesize(ch.Prog, 2, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cppinterp.Run(s.Source, run.Input)
+		if err != nil {
+			t.Fatalf("%s/%s by %s: %v", s.Author, s.Challenge, s.Author, err)
+		}
+		if got != run.Output {
+			t.Fatalf("%s/%s: wrong output", s.Author, s.Challenge)
+		}
+	}
+}
+
+func TestGenerateTransformedShape(t *testing.T) {
+	m := gpt.NewModel(gpt.Config{Seed: 3})
+	c, err := GenerateTransformed(TransformedConfig{
+		Year: 2017, Rounds: 3, Model: m, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("GenerateTransformed: %v", err)
+	}
+	// 4 settings x 3 rounds x 8 challenges.
+	if len(c.Samples) != 4*3*8 {
+		t.Fatalf("samples = %d, want 96", len(c.Samples))
+	}
+	counts := map[Setting]int{}
+	for _, s := range c.Samples {
+		counts[s.Setting]++
+		if s.Origin != OriginGPTTransformed {
+			t.Errorf("origin = %v, want transformed", s.Origin)
+		}
+		if s.Author != "ChatGPT" {
+			t.Errorf("author = %q, want ChatGPT", s.Author)
+		}
+		if s.Round < 1 || s.Round > 3 {
+			t.Errorf("round = %d out of range", s.Round)
+		}
+	}
+	for _, set := range Settings() {
+		if counts[set] != 24 {
+			t.Errorf("setting %s has %d samples, want 24", set, counts[set])
+		}
+	}
+}
+
+func TestGenerateTransformedVerifiedBehaviour(t *testing.T) {
+	m := gpt.NewModel(gpt.Config{Seed: 5})
+	c, err := GenerateTransformed(TransformedConfig{
+		Year: 2018, Rounds: 2, Model: m, Seed: 6, VerifyInputs: 1,
+	})
+	if err != nil {
+		t.Fatalf("GenerateTransformed: %v", err)
+	}
+	// Spot-check: every transformed sample still solves its challenge.
+	for _, s := range c.Samples[:16] {
+		ch, err := challenge.Get(s.Year, s.Challenge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := ir.Synthesize(ch.Prog, 2, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cppinterp.Run(s.Source, run.Input)
+		if err != nil {
+			t.Fatalf("%s %s round %d: %v\n%s", s.Challenge, s.Setting, s.Round, err, s.Source)
+		}
+		if got != run.Output {
+			t.Fatalf("%s %s round %d: wrong output", s.Challenge, s.Setting, s.Round)
+		}
+	}
+}
+
+func TestGenerateTransformedRequiresModel(t *testing.T) {
+	if _, err := GenerateTransformed(TransformedConfig{Year: 2017}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestMergeAndFilter(t *testing.T) {
+	a := &Corpus{Samples: []Sample{{Author: "A001", Challenge: "C1"}}}
+	b := &Corpus{Samples: []Sample{{Author: "ChatGPT", Challenge: "C2"}}}
+	m := Merge(a, b)
+	if len(m.Samples) != 2 {
+		t.Fatalf("merged = %d, want 2", len(m.Samples))
+	}
+	f := m.Filter(func(s Sample) bool { return s.Author == "ChatGPT" })
+	if len(f.Samples) != 1 || f.Samples[0].Challenge != "C2" {
+		t.Errorf("filter wrong: %+v", f.Samples)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := gpt.NewModel(gpt.Config{Seed: 7})
+	human, _, err := GenerateYear(YearConfig{Year: 2017, NumAuthors: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := GenerateTransformed(TransformedConfig{Year: 2017, Rounds: 2, Model: m, Seed: 9, SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Merge(human, trans)
+	if err := Save(orig, dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loaded.Samples) != len(orig.Samples) {
+		t.Fatalf("loaded %d samples, want %d", len(loaded.Samples), len(orig.Samples))
+	}
+	// Index by identity and compare sources and provenance.
+	key := func(s Sample) string {
+		return s.Author + "/" + s.Challenge + "/" + string(s.Setting) + "/" + itoa(s.Round)
+	}
+	origBy := map[string]Sample{}
+	for _, s := range orig.Samples {
+		origBy[key(s)] = s
+	}
+	for _, s := range loaded.Samples {
+		o, ok := origBy[key(s)]
+		if !ok {
+			t.Fatalf("loaded unexpected sample %s", key(s))
+		}
+		if o.Source != s.Source {
+			t.Fatalf("source mismatch for %s", key(s))
+		}
+		if o.Year != s.Year || o.Setting != s.Setting {
+			t.Fatalf("provenance mismatch for %s", key(s))
+		}
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i%10))
+}
+
+func TestLoadMissingRoot(t *testing.T) {
+	if _, err := Load("/nonexistent/path/zzz"); err == nil {
+		t.Error("Load of missing root succeeded")
+	}
+}

@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveSanitizesAuthorNames(t *testing.T) {
+	dir := t.TempDir()
+	c := &Corpus{Samples: []Sample{{
+		Source:    "int main() { return 0; }",
+		Author:    "we/ird name!",
+		Year:      2017,
+		Challenge: "C1",
+		Origin:    OriginHuman,
+	}}}
+	if err := Save(c, dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "gcj2017"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("author dirs = %d, want 1", len(entries))
+	}
+	name := entries[0].Name()
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+		default:
+			t.Errorf("unsanitized rune %q in %q", r, name)
+		}
+	}
+}
+
+func TestSettingSlugRoundTrip(t *testing.T) {
+	for _, s := range Settings() {
+		if got := settingFromSlug(settingSlug(s)); got != s {
+			t.Errorf("slug round trip %q -> %q", s, got)
+		}
+	}
+	if settingFromSlug("bogus") != SettingNone {
+		t.Error("bogus slug not mapped to none")
+	}
+}
+
+func TestLoadIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	adir := filepath.Join(dir, "gcj2019", "A001")
+	if err := os.MkdirAll(adir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(adir, "C1.cc"), []byte("int main(){return 0;}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(adir, "README.txt"), []byte("not code"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "unrelated"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(c.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1 (foreign files ignored)", len(c.Samples))
+	}
+	if c.Samples[0].Year != 2019 || c.Samples[0].Challenge != "C1" {
+		t.Errorf("provenance wrong: %+v", c.Samples[0])
+	}
+}

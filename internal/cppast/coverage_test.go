@@ -1,0 +1,214 @@
+package cppast
+
+import (
+	"testing"
+)
+
+func TestParseBraceInitializers(t *testing.T) {
+	src := "int main() { int a[] = {1, 2, 3}; int x = 0; return x; }"
+	tu, _ := Parse(src)
+	kinds := CountKinds(tu)
+	if kinds["VarDecl"] != 2 {
+		t.Errorf("VarDecl = %d, want 2", kinds["VarDecl"])
+	}
+	// The {1,2,3} initializer is modeled as a synthetic call.
+	if kinds["CallExpr"] < 1 {
+		t.Errorf("brace initializer not captured: %v", kinds)
+	}
+}
+
+func TestParseDefaultParamAndArrayParam(t *testing.T) {
+	src := "int f(int a[], int b = 3) { return b; }\nint main() { return f(0, 1); }"
+	tu, _ := Parse(src)
+	f := tu.Function("f")
+	if f == nil {
+		t.Fatal("f not parsed")
+	}
+	if len(f.Params) != 2 {
+		t.Fatalf("params = %d, want 2", len(f.Params))
+	}
+}
+
+func TestParseFunctionalCastKeywords(t *testing.T) {
+	for _, src := range []string{
+		"int main() { double d = float(2); return int(d); }",
+		"int main() { long x = long(5); return 0; }",
+		"int main() { char c = char(65); return 0; }",
+		"int main() { bool b = bool(1); return 0; }",
+		"int main() { unsigned u = unsigned(7); return 0; }",
+		"int main() { short s = short(3); return 0; }",
+	} {
+		tu, _ := Parse(src)
+		if CountKinds(tu)["Unknown"] != 0 {
+			t.Errorf("%q produced Unknown nodes", src)
+		}
+	}
+}
+
+func TestParseKeywordLiterals(t *testing.T) {
+	tu := MustParse("int main() { bool a = true, b = false; int p = nullptr ? 1 : 0; return 0; }")
+	kinds := CountKinds(tu)
+	if kinds["Lit"] < 2 {
+		t.Errorf("bool literals not parsed: %v", kinds)
+	}
+}
+
+func TestParseNestedTemplates(t *testing.T) {
+	src := "#include <vector>\nusing namespace std;\nint main() { vector<vector<int> > grid; return 0; }"
+	tu, _ := Parse(src)
+	var decl *VarDecl
+	Walk(tu, func(n Node, _ int) bool {
+		if v, ok := n.(*VarDecl); ok {
+			decl = v
+		}
+		return true
+	})
+	if decl == nil {
+		t.Fatal("nested template decl not parsed")
+	}
+	if decl.Type == "" || decl.Names[0].Name != "grid" {
+		t.Errorf("decl = %q %q", decl.Type, decl.Names[0].Name)
+	}
+}
+
+func TestParseShiftCloseTemplates(t *testing.T) {
+	// C++11 style without the space: vector<vector<int>>.
+	src := "#include <vector>\nusing namespace std;\nint main() { vector<vector<int>> g; int x = 1; return x; }"
+	tu, _ := Parse(src)
+	if tu.Function("main") == nil {
+		t.Fatal("main lost")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	// Exercise Kind/Children on the less common nodes.
+	nodes := []Node{
+		NewComment("hi", false),
+		&UsingDirective{Text: "using namespace std;"},
+		&TypedefDecl{Text: "typedef int i32;"},
+		&Unknown{Text: "???"},
+		&Param{Type: "int", Name: "x"},
+		&EmptyStmt{},
+		&Break{},
+		&Continue{},
+	}
+	for _, n := range nodes {
+		if n.Kind() == "" {
+			t.Errorf("%T has empty kind", n)
+		}
+		_ = n.Children()
+		_ = n.Line()
+	}
+	c := NewComment("x", true)
+	if !c.Block || c.Text != "x" {
+		t.Error("NewComment fields wrong")
+	}
+}
+
+func TestParseStructWithAccessSpecifiers(t *testing.T) {
+	src := `class Point {
+public:
+    int x;
+private:
+    int y;
+};
+int main() { return 0; }`
+	tu, _ := Parse(src)
+	var sd *StructDecl
+	for _, d := range tu.Decls {
+		if s, ok := d.(*StructDecl); ok {
+			sd = s
+		}
+	}
+	if sd == nil || sd.Keyword != "class" || len(sd.Members) != 2 {
+		t.Fatalf("class parse wrong: %+v", sd)
+	}
+}
+
+func TestParseForwardStructDecl(t *testing.T) {
+	src := "struct Node;\nint main() { return 0; }"
+	tu, _ := Parse(src)
+	if tu.Function("main") == nil {
+		t.Fatal("main lost after forward declaration")
+	}
+}
+
+func TestParseSizeofVariants(t *testing.T) {
+	src := "int main() { int x = sizeof(int); int y = sizeof x; return x + y; }"
+	tu, _ := Parse(src)
+	if tu.Function("main") == nil {
+		t.Fatal("main lost")
+	}
+}
+
+func TestMaxDepthNil(t *testing.T) {
+	if MaxDepth(nil) != 0 {
+		t.Error("MaxDepth(nil) != 0")
+	}
+}
+
+func TestFunctionLookupMisses(t *testing.T) {
+	tu := MustParse("int f();\nint main() { return 0; }")
+	if tu.Function("f") != nil {
+		t.Error("prototype (bodyless) returned by Function")
+	}
+	if tu.Function("ghost") != nil {
+		t.Error("missing function returned")
+	}
+}
+
+// TestParseMutatedSourcesNeverPanic randomly corrupts a valid source
+// and checks the tolerant parser survives (returns some tree).
+func TestParseMutatedSourcesNeverPanic(t *testing.T) {
+	base := `#include <iostream>
+using namespace std;
+int helper(int v) { return v * 2; }
+int main() {
+    int n;
+    cin >> n;
+    for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) {
+            cout << helper(i) << endl;
+        }
+    }
+    return 0;
+}`
+	mutations := []func(string) string{
+		func(s string) string { return s[:len(s)/2] },
+		func(s string) string { return s[len(s)/3:] },
+		func(s string) string { return replaceAll(s, "{", "") },
+		func(s string) string { return replaceAll(s, "}", "") },
+		func(s string) string { return replaceAll(s, ";", "") },
+		func(s string) string { return replaceAll(s, "(", "[") },
+		func(s string) string { return replaceAll(s, "int", "@nt") },
+		func(s string) string { return s + "}}}}))((" },
+	}
+	for i, m := range mutations {
+		mutated := m(base)
+		tu, _ := Parse(mutated)
+		if tu == nil {
+			t.Errorf("mutation %d returned nil tree", i)
+		}
+	}
+}
+
+func replaceAll(s, old, new string) string {
+	out := ""
+	for {
+		i := indexOf(s, old)
+		if i < 0 {
+			return out + s
+		}
+		out += s[:i] + new
+		s = s[i+len(old):]
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

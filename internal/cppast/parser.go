@@ -1,0 +1,953 @@
+package cppast
+
+import (
+	"strings"
+
+	"gptattr/internal/cpptok"
+)
+
+// Parse builds a TranslationUnit from C++ source. It never fails: any
+// region it cannot understand becomes an Unknown node. The returned
+// error reports the first lexical error, if any, for callers that care.
+func Parse(src string) (*TranslationUnit, error) {
+	toks, err := cpptok.Scan(src)
+	p := newParser(cpptok.StripComments(toks))
+	return p.parseUnit(), err
+}
+
+// MustParse is Parse for trusted input, discarding the lexical error.
+func MustParse(src string) *TranslationUnit {
+	tu, _ := Parse(src)
+	return tu
+}
+
+type parser struct {
+	toks []cpptok.Token
+	pos  int
+}
+
+func newParser(toks []cpptok.Token) *parser {
+	return &parser{toks: toks}
+}
+
+func (p *parser) cur() cpptok.Token { return p.toks[p.pos] }
+func (p *parser) at(i int) cpptok.Token {
+	if p.pos+i >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+i]
+}
+func (p *parser) eof() bool { return p.cur().Kind == cpptok.KindEOF }
+func (p *parser) next() cpptok.Token {
+	t := p.cur()
+	if !p.eof() {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the current token if it matches text.
+func (p *parser) accept(text string) bool {
+	if p.cur().Is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a token with the given text, or reports failure.
+func (p *parser) expect(text string) bool { return p.accept(text) }
+
+func (p *parser) here() pos { return pos{line: p.cur().Line} }
+
+// textBetween joins token texts in [from, to) with single spaces.
+func (p *parser) textBetween(from, to int) string {
+	var b strings.Builder
+	for i := from; i < to && i < len(p.toks); i++ {
+		if i > from {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.toks[i].Text)
+	}
+	return b.String()
+}
+
+// skipToRecovery advances past the next ';' at brace depth 0, past a
+// balanced '}' region, or up to (not including) a token that plausibly
+// starts a fresh declaration, and returns the raw text skipped.
+func (p *parser) skipToRecovery() string {
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		if depth == 0 && p.pos > start && p.startsDecl() {
+			return p.textBetween(start, p.pos)
+		}
+		t := p.next()
+		switch {
+		case t.Is("{"):
+			depth++
+		case t.Is("}"):
+			depth--
+			if depth <= 0 {
+				return p.textBetween(start, p.pos)
+			}
+		case t.Is(";") && depth == 0:
+			return p.textBetween(start, p.pos)
+		}
+	}
+	return p.textBetween(start, p.pos)
+}
+
+// startsDecl reports whether the current token plausibly begins a new
+// top-level declaration, used to bound error recovery.
+func (p *parser) startsDecl() bool {
+	t := p.cur()
+	if t.Kind == cpptok.KindPreproc {
+		return true
+	}
+	if t.Kind != cpptok.KindKeyword {
+		return false
+	}
+	return typeKeywords[t.Text] || t.Text == "using" || t.Text == "typedef" ||
+		t.Text == "struct" || t.Text == "class" || t.Text == "template"
+}
+
+func (p *parser) parseUnit() *TranslationUnit {
+	tu := &TranslationUnit{pos: p.here()}
+	for !p.eof() {
+		d := p.parseTopDecl()
+		if d != nil {
+			tu.Decls = append(tu.Decls, d)
+		}
+	}
+	return tu
+}
+
+func (p *parser) parseTopDecl() Node {
+	t := p.cur()
+	switch {
+	case t.Kind == cpptok.KindPreproc:
+		p.next()
+		return &Preproc{pos: pos{t.Line}, Text: t.Text}
+	case t.Is("using"):
+		start := p.pos
+		p.skipPastSemi()
+		return &UsingDirective{pos: pos{t.Line}, Text: p.textBetween(start, p.pos)}
+	case t.Is("typedef"):
+		start := p.pos
+		p.skipPastSemi()
+		return &TypedefDecl{pos: pos{t.Line}, Text: p.textBetween(start, p.pos)}
+	case t.Is("struct"), t.Is("class"):
+		return p.parseStruct()
+	case t.Is(";"):
+		p.next()
+		return &EmptyStmt{pos: pos{t.Line}}
+	case t.Is("template"):
+		// template<...> followed by a function or struct; skip the
+		// template header and parse what follows.
+		p.next()
+		if p.cur().Is("<") {
+			p.skipAngles()
+		}
+		return p.parseTopDecl()
+	default:
+		return p.parseFuncOrVar()
+	}
+}
+
+func (p *parser) skipPastSemi() {
+	for !p.eof() {
+		if p.next().Is(";") {
+			return
+		}
+	}
+}
+
+// skipAngles consumes a balanced <...> group starting at '<'.
+func (p *parser) skipAngles() {
+	depth := 0
+	for !p.eof() {
+		t := p.next()
+		switch {
+		case t.Is("<"):
+			depth++
+		case t.Is(">"):
+			depth--
+			if depth == 0 {
+				return
+			}
+		case t.Is(">>"):
+			depth -= 2
+			if depth <= 0 {
+				return
+			}
+		case t.Is(";"), t.Is("{"):
+			// Not actually a template argument list; bail out.
+			p.pos--
+			return
+		}
+	}
+}
+
+func (p *parser) parseStruct() Node {
+	at := p.here()
+	kw := p.next().Text // struct or class
+	name := ""
+	if p.cur().Kind == cpptok.KindIdent {
+		name = p.next().Text
+	}
+	sd := &StructDecl{pos: at, Keyword: kw, Name: name}
+	if !p.accept("{") {
+		// Forward declaration or variable of struct type; treat the
+		// rest as unknown.
+		start := p.pos
+		p.skipPastSemi()
+		return &Unknown{pos: at, Text: kw + " " + name + " " + p.textBetween(start, p.pos)}
+	}
+	for !p.eof() && !p.cur().Is("}") {
+		if p.cur().Is("public") || p.cur().Is("private") || p.cur().Is("protected") {
+			p.next()
+			p.accept(":")
+			continue
+		}
+		sd.Members = append(sd.Members, p.parseStmt())
+	}
+	p.expect("}")
+	p.accept(";")
+	return sd
+}
+
+// typeKeywords are keywords that can begin or extend a type name.
+var typeKeywords = map[string]bool{
+	"int": true, "long": true, "short": true, "char": true,
+	"double": true, "float": true, "bool": true, "void": true,
+	"unsigned": true, "signed": true, "auto": true, "wchar_t": true,
+	"char16_t": true, "char32_t": true,
+}
+
+// typeQualifiers may precede a type.
+var typeQualifiers = map[string]bool{
+	"const": true, "static": true, "constexpr": true, "inline": true,
+	"volatile": true, "register": true, "extern": true, "mutable": true,
+}
+
+// tryParseType attempts to parse a type at the current position. On
+// success it returns the normalized type text and true, leaving the
+// parser after the type. On failure it restores the position.
+func (p *parser) tryParseType() (string, bool) {
+	start := p.pos
+	var parts []string
+	seenBase := false
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == cpptok.KindKeyword && typeQualifiers[t.Text]:
+			parts = append(parts, t.Text)
+			p.next()
+		case t.Kind == cpptok.KindKeyword && typeKeywords[t.Text]:
+			parts = append(parts, t.Text)
+			seenBase = true
+			p.next()
+			// "long long", "unsigned int", etc. continue the loop.
+		case !seenBase && t.Kind == cpptok.KindIdent:
+			// Possibly a user/library type: ident(::ident)*(<...>)?
+			name := t.Text
+			p.next()
+			for p.cur().Is("::") && p.at(1).Kind == cpptok.KindIdent {
+				p.next()
+				name += "::" + p.next().Text
+			}
+			if p.cur().Is("<") {
+				tplStart := p.pos
+				if tpl, ok := p.tryParseTemplateArgs(); ok {
+					name += tpl
+				} else {
+					p.pos = tplStart
+				}
+			}
+			parts = append(parts, name)
+			seenBase = true
+		default:
+			goto post
+		}
+	}
+post:
+	if !seenBase {
+		p.pos = start
+		return "", false
+	}
+	for p.cur().Is("*") || p.cur().Is("&") || p.cur().Is("const") {
+		parts = append(parts, p.next().Text)
+	}
+	return strings.Join(parts, " "), true
+}
+
+// tryParseTemplateArgs parses a balanced template argument list at '<',
+// returning its text (including angle brackets).
+func (p *parser) tryParseTemplateArgs() (string, bool) {
+	if !p.cur().Is("<") {
+		return "", false
+	}
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		t := p.cur()
+		switch {
+		case t.Is("<"):
+			depth++
+		case t.Is(">"):
+			depth--
+		case t.Is(">>"):
+			depth -= 2
+		case t.Is(";"), t.Is("{"), t.Is(")"):
+			p.pos = start
+			return "", false
+		case t.Kind == cpptok.KindEOF:
+			p.pos = start
+			return "", false
+		}
+		p.next()
+		if depth <= 0 {
+			var b strings.Builder
+			for i := start; i < p.pos; i++ {
+				b.WriteString(p.toks[i].Text)
+			}
+			return b.String(), true
+		}
+	}
+	p.pos = start
+	return "", false
+}
+
+// parseFuncOrVar parses a top-level function definition or global
+// variable declaration.
+func (p *parser) parseFuncOrVar() Node {
+	at := p.here()
+	typ, ok := p.tryParseType()
+	if !ok || p.cur().Kind != cpptok.KindIdent {
+		return &Unknown{pos: at, Text: p.skipToRecovery()}
+	}
+	name := p.next().Text
+	if p.cur().Is("(") {
+		return p.parseFuncRest(at, typ, name)
+	}
+	return p.parseVarDeclRest(at, typ, name)
+}
+
+func (p *parser) parseFuncRest(at pos, retType, name string) Node {
+	p.expect("(")
+	f := &FuncDecl{pos: at, RetType: retType, Name: name}
+	for !p.eof() && !p.cur().Is(")") {
+		pp := p.here()
+		ptype, ok := p.tryParseType()
+		if !ok {
+			// void f() or unparseable parameter list.
+			if p.cur().Is("void") {
+				p.next()
+				continue
+			}
+			p.skipToCommaOrClose()
+			continue
+		}
+		ref := strings.HasSuffix(ptype, "&")
+		pname := ""
+		if p.cur().Kind == cpptok.KindIdent {
+			pname = p.next().Text
+		}
+		// Array parameter or default value.
+		for p.cur().Is("[") {
+			p.skipBalanced("[", "]")
+		}
+		if p.accept("=") {
+			p.parseAssign()
+		}
+		f.Params = append(f.Params, &Param{pos: pp, Type: ptype, Name: pname, Ref: ref})
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.expect(")")
+	if p.accept(";") {
+		return f // prototype
+	}
+	if p.cur().Is("{") {
+		f.Body = p.parseBlock()
+		return f
+	}
+	return &Unknown{pos: at, Text: retType + " " + name + "(...)" + p.skipToRecovery()}
+}
+
+func (p *parser) skipToCommaOrClose() {
+	depth := 0
+	for !p.eof() {
+		t := p.cur()
+		switch {
+		case t.Is("("), t.Is("["):
+			depth++
+		case t.Is(")"), t.Is("]"):
+			if depth == 0 {
+				return
+			}
+			depth--
+		case t.Is(",") && depth == 0:
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) skipBalanced(open, close string) {
+	if !p.accept(open) {
+		return
+	}
+	depth := 1
+	for !p.eof() && depth > 0 {
+		t := p.next()
+		if t.Is(open) {
+			depth++
+		} else if t.Is(close) {
+			depth--
+		}
+	}
+}
+
+func (p *parser) parseVarDeclRest(at pos, typ, firstName string) Node {
+	vd := &VarDecl{pos: at, Type: typ}
+	name := firstName
+	for {
+		d := &Declarator{pos: p.here(), Name: name}
+		for p.cur().Is("[") {
+			p.next()
+			if !p.cur().Is("]") {
+				d.ArrayLen = append(d.ArrayLen, p.parseAssign())
+			} else {
+				d.ArrayLen = append(d.ArrayLen, nil)
+			}
+			p.expect("]")
+		}
+		switch {
+		case p.accept("="):
+			if p.cur().Is("{") {
+				d.Init = p.parseBraceInit()
+			} else {
+				d.Init = p.parseAssign()
+			}
+		case p.cur().Is("("):
+			// Constructor-style init: T x(expr).
+			p.next()
+			if !p.cur().Is(")") {
+				d.Init = p.parseExpr()
+			}
+			p.expect(")")
+		case p.cur().Is("{"):
+			d.Init = p.parseBraceInit()
+		}
+		vd.Names = append(vd.Names, d)
+		if !p.accept(",") {
+			break
+		}
+		if p.cur().Kind != cpptok.KindIdent {
+			break
+		}
+		name = p.next().Text
+	}
+	if !p.accept(";") {
+		return &Unknown{pos: at, Text: typ + " ... " + p.skipToRecovery()}
+	}
+	return vd
+}
+
+// parseBraceInit parses a {a, b, c} initializer into a CallExpr with a
+// synthetic "{}" function, preserving the element expressions.
+func (p *parser) parseBraceInit() Node {
+	at := p.here()
+	p.expect("{")
+	call := &CallExpr{pos: at, Fun: &Ident{pos: at, Name: "{}"}}
+	for !p.eof() && !p.cur().Is("}") {
+		call.Args = append(call.Args, p.parseAssign())
+		if !p.accept(",") {
+			break
+		}
+	}
+	p.expect("}")
+	return call
+}
+
+func (p *parser) parseBlock() *Block {
+	b := &Block{pos: p.here()}
+	p.expect("{")
+	for !p.eof() && !p.cur().Is("}") {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect("}")
+	return b
+}
+
+// looksLikeDecl reports whether the current position begins a variable
+// declaration rather than an expression.
+func (p *parser) looksLikeDecl() bool {
+	t := p.cur()
+	if t.Kind == cpptok.KindKeyword && (typeKeywords[t.Text] || typeQualifiers[t.Text]) {
+		return true
+	}
+	if t.Kind != cpptok.KindIdent {
+		return false
+	}
+	// ident ident  => decl (e.g. "ll x", "string s")
+	// ident<...> ident => decl (e.g. "vector<int> v")
+	// ident::ident ident => decl (e.g. "std::string s")
+	save := p.pos
+	defer func() { p.pos = save }()
+	if _, ok := p.tryParseType(); !ok {
+		return false
+	}
+	return p.cur().Kind == cpptok.KindIdent &&
+		(p.at(1).Is(";") || p.at(1).Is("=") || p.at(1).Is(",") ||
+			p.at(1).Is("[") || p.at(1).Is("(") || p.at(1).Is("{"))
+}
+
+func (p *parser) parseStmt() Node {
+	at := p.here()
+	t := p.cur()
+	switch {
+	case t.Kind == cpptok.KindPreproc:
+		p.next()
+		return &Preproc{pos: pos{t.Line}, Text: t.Text}
+	case t.Is("{"):
+		return p.parseBlock()
+	case t.Is(";"):
+		p.next()
+		return &EmptyStmt{pos: at}
+	case t.Is("if"):
+		return p.parseIf()
+	case t.Is("for"):
+		return p.parseFor()
+	case t.Is("while"):
+		return p.parseWhile()
+	case t.Is("do"):
+		return p.parseDoWhile()
+	case t.Is("switch"):
+		return p.parseSwitch()
+	case t.Is("return"):
+		p.next()
+		r := &Return{pos: at}
+		if !p.cur().Is(";") {
+			r.Value = p.parseExpr()
+		}
+		if !p.accept(";") {
+			return &Unknown{pos: at, Text: "return " + p.skipToRecovery()}
+		}
+		return r
+	case t.Is("break"):
+		p.next()
+		p.accept(";")
+		return &Break{pos: at}
+	case t.Is("continue"):
+		p.next()
+		p.accept(";")
+		return &Continue{pos: at}
+	case t.Is("using"):
+		start := p.pos
+		p.skipPastSemi()
+		return &UsingDirective{pos: at, Text: p.textBetween(start, p.pos)}
+	case t.Is("typedef"):
+		start := p.pos
+		p.skipPastSemi()
+		return &TypedefDecl{pos: at, Text: p.textBetween(start, p.pos)}
+	case t.Is("struct"), t.Is("class"):
+		return p.parseStruct()
+	case p.looksLikeDecl():
+		typ, _ := p.tryParseType()
+		if p.cur().Kind != cpptok.KindIdent {
+			return &Unknown{pos: at, Text: typ + " " + p.skipToRecovery()}
+		}
+		name := p.next().Text
+		return p.parseVarDeclRest(at, typ, name)
+	default:
+		x := p.parseExpr()
+		if x == nil {
+			return &Unknown{pos: at, Text: p.skipToRecovery()}
+		}
+		if !p.accept(";") {
+			return &Unknown{pos: at, Text: p.skipToRecovery()}
+		}
+		return &ExprStmt{pos: at, X: x}
+	}
+}
+
+func (p *parser) parseParenCond() Node {
+	if !p.expect("(") {
+		return nil
+	}
+	cond := p.parseExpr()
+	p.expect(")")
+	return cond
+}
+
+func (p *parser) parseIf() Node {
+	at := p.here()
+	p.expect("if")
+	n := &If{pos: at, Cond: p.parseParenCond()}
+	n.Then = p.parseStmt()
+	if p.accept("else") {
+		n.Else = p.parseStmt()
+	}
+	return n
+}
+
+func (p *parser) parseFor() Node {
+	at := p.here()
+	p.expect("for")
+	p.expect("(")
+	n := &For{pos: at}
+	// Init clause.
+	if !p.cur().Is(";") {
+		if p.looksLikeDecl() {
+			typ, _ := p.tryParseType()
+			name := ""
+			if p.cur().Kind == cpptok.KindIdent {
+				name = p.next().Text
+			}
+			// Range-based for: for (auto x : xs)
+			if p.cur().Is(":") {
+				p.next()
+				rangeExpr := p.parseExpr()
+				p.expect(")")
+				body := p.parseStmt()
+				// Model as a While over an opaque range condition so
+				// the tree still records a loop.
+				return &For{
+					pos:  at,
+					Init: &VarDecl{pos: at, Type: typ, Names: []*Declarator{{pos: at, Name: name}}},
+					Cond: rangeExpr,
+					Body: body,
+				}
+			}
+			n.Init = p.parseVarDeclRest(at, typ, name)
+			// parseVarDeclRest consumed the ';'.
+		} else {
+			n.Init = &ExprStmt{pos: at, X: p.parseExpr()}
+			p.expect(";")
+		}
+	} else {
+		p.next()
+	}
+	if !p.cur().Is(";") {
+		n.Cond = p.parseExpr()
+	}
+	p.expect(";")
+	if !p.cur().Is(")") {
+		n.Post = p.parseExpr()
+	}
+	p.expect(")")
+	n.Body = p.parseStmt()
+	return n
+}
+
+func (p *parser) parseWhile() Node {
+	at := p.here()
+	p.expect("while")
+	n := &While{pos: at, Cond: p.parseParenCond()}
+	n.Body = p.parseStmt()
+	return n
+}
+
+func (p *parser) parseDoWhile() Node {
+	at := p.here()
+	p.expect("do")
+	n := &DoWhile{pos: at}
+	n.Body = p.parseStmt()
+	p.expect("while")
+	n.Cond = p.parseParenCond()
+	p.accept(";")
+	return n
+}
+
+func (p *parser) parseSwitch() Node {
+	at := p.here()
+	p.expect("switch")
+	n := &Switch{pos: at, Cond: p.parseParenCond()}
+	if !p.expect("{") {
+		return n
+	}
+	var case_ *SwitchCase
+	for !p.eof() && !p.cur().Is("}") {
+		switch {
+		case p.cur().Is("case"):
+			p.next()
+			case_ = &SwitchCase{pos: p.here(), Value: p.parseExpr()}
+			p.expect(":")
+			n.Cases = append(n.Cases, case_)
+		case p.cur().Is("default"):
+			p.next()
+			p.expect(":")
+			case_ = &SwitchCase{pos: p.here()}
+			n.Cases = append(n.Cases, case_)
+		default:
+			s := p.parseStmt()
+			if case_ == nil {
+				case_ = &SwitchCase{pos: p.here()}
+				n.Cases = append(n.Cases, case_)
+			}
+			case_.Stmts = append(case_.Stmts, s)
+		}
+	}
+	p.expect("}")
+	return n
+}
+
+// --- expressions ---
+
+// binaryPrec maps binary operators to precedence; higher binds tighter.
+// Assignment (prec 1) and ternary (prec 2) are right-associative.
+var binaryPrec = map[string]int{
+	"=": 1, "+=": 1, "-=": 1, "*=": 1, "/=": 1, "%=": 1,
+	"&=": 1, "|=": 1, "^=": 1, "<<=": 1, ">>=": 1,
+	"||": 3, "&&": 4,
+	"|": 5, "^": 6, "&": 7,
+	"==": 8, "!=": 8,
+	"<": 9, ">": 9, "<=": 9, ">=": 9,
+	"<<": 10, ">>": 10,
+	"+": 11, "-": 11,
+	"*": 12, "/": 12, "%": 12,
+}
+
+// parseExpr parses a full expression including the comma operator.
+func (p *parser) parseExpr() Node {
+	x := p.parseAssign()
+	for p.cur().Is(",") {
+		at := p.here()
+		p.next()
+		y := p.parseAssign()
+		if y == nil {
+			return x
+		}
+		x = &BinaryExpr{pos: at, Op: ",", L: x, R: y}
+	}
+	return x
+}
+
+// parseAssign parses an assignment-level expression (no top-level
+// commas), which is also the argument/initializer grammar production.
+func (p *parser) parseAssign() Node { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) Node {
+	x := p.parseUnary()
+	if x == nil {
+		return nil
+	}
+	for {
+		t := p.cur()
+		if t.Kind != cpptok.KindPunct {
+			break
+		}
+		// Ternary has precedence 2.
+		if t.Text == "?" && minPrec <= 2 {
+			at := p.here()
+			p.next()
+			then := p.parseAssign()
+			p.expect(":")
+			els := p.parseBinary(2)
+			x = &TernaryExpr{pos: at, Cond: x, Then: then, Else: els}
+			continue
+		}
+		prec, ok := binaryPrec[t.Text]
+		if !ok || prec < minPrec {
+			break
+		}
+		at := p.here()
+		p.next()
+		nextMin := prec + 1
+		if prec == 1 { // right-associative assignment
+			nextMin = prec
+		}
+		y := p.parseBinary(nextMin)
+		if y == nil {
+			return x
+		}
+		x = &BinaryExpr{pos: at, Op: t.Text, L: x, R: y}
+	}
+	return x
+}
+
+func (p *parser) parseUnary() Node {
+	t := p.cur()
+	at := p.here()
+	switch {
+	case t.Is("+"), t.Is("-"), t.Is("!"), t.Is("~"), t.Is("++"), t.Is("--"), t.Is("*"), t.Is("&"):
+		p.next()
+		x := p.parseUnary()
+		if x == nil {
+			return nil
+		}
+		return &UnaryExpr{pos: at, Op: t.Text, X: x}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() Node {
+	x := p.parsePrimary()
+	if x == nil {
+		return nil
+	}
+	for {
+		t := p.cur()
+		at := p.here()
+		switch {
+		case t.Is("("):
+			p.next()
+			call := &CallExpr{pos: at, Fun: x}
+			for !p.eof() && !p.cur().Is(")") {
+				arg := p.parseAssign()
+				if arg == nil {
+					break
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(",") {
+					break
+				}
+			}
+			p.expect(")")
+			x = call
+		case t.Is("["):
+			p.next()
+			idx := p.parseExpr()
+			p.expect("]")
+			x = &IndexExpr{pos: at, X: x, Index: idx}
+		case t.Is("."), t.Is("->"):
+			arrow := t.Text == "->"
+			p.next()
+			sel := ""
+			if p.cur().Kind == cpptok.KindIdent {
+				sel = p.next().Text
+			}
+			x = &MemberExpr{pos: at, X: x, Sel: sel, Arrow: arrow}
+		case t.Is("++"), t.Is("--"):
+			p.next()
+			x = &UnaryExpr{pos: at, Op: t.Text, X: x, Postfix: true}
+		default:
+			return x
+		}
+	}
+}
+
+// castKeywords are base types accepted inside a C-style cast.
+var castKeywords = map[string]bool{
+	"int": true, "long": true, "short": true, "char": true,
+	"double": true, "float": true, "bool": true, "unsigned": true,
+	"signed": true, "void": true,
+}
+
+// tryCast recognizes (type)expr at the current '(' and returns the cast
+// node, or nil (restoring position) if this paren is not a cast.
+func (p *parser) tryCast() Node {
+	save := p.pos
+	at := p.here()
+	p.expect("(")
+	var parts []string
+	seenKeyword := false
+	for {
+		t := p.cur()
+		if t.Kind == cpptok.KindKeyword && (castKeywords[t.Text] || t.Text == "const") {
+			seenKeyword = true
+			parts = append(parts, p.next().Text)
+			continue
+		}
+		if t.Is("*") || t.Is("&") {
+			parts = append(parts, p.next().Text)
+			continue
+		}
+		break
+	}
+	if !seenKeyword || !p.cur().Is(")") {
+		p.pos = save
+		return nil
+	}
+	p.next() // ')'
+	// A cast must be followed by something that starts an expression.
+	t := p.cur()
+	startsExpr := t.Kind == cpptok.KindIdent || t.Kind == cpptok.KindIntLit ||
+		t.Kind == cpptok.KindFloatLit || t.Kind == cpptok.KindStringLit ||
+		t.Kind == cpptok.KindCharLit || t.Is("(") ||
+		t.Is("-") || t.Is("+") || t.Is("!") || t.Is("~") || t.Is("++") || t.Is("--")
+	if !startsExpr {
+		p.pos = save
+		return nil
+	}
+	x := p.parseUnary()
+	if x == nil {
+		p.pos = save
+		return nil
+	}
+	return &CastExpr{pos: at, Type: strings.Join(parts, " "), X: x}
+}
+
+func (p *parser) parsePrimary() Node {
+	t := p.cur()
+	at := p.here()
+	switch t.Kind {
+	case cpptok.KindIntLit:
+		p.next()
+		return &Lit{pos: at, LitKind: "int", Text: t.Text}
+	case cpptok.KindFloatLit:
+		p.next()
+		return &Lit{pos: at, LitKind: "float", Text: t.Text}
+	case cpptok.KindStringLit:
+		p.next()
+		return &Lit{pos: at, LitKind: "string", Text: t.Text}
+	case cpptok.KindCharLit:
+		p.next()
+		return &Lit{pos: at, LitKind: "char", Text: t.Text}
+	case cpptok.KindKeyword:
+		switch t.Text {
+		case "true", "false":
+			p.next()
+			return &Lit{pos: at, LitKind: "bool", Text: t.Text}
+		case "sizeof":
+			p.next()
+			if p.cur().Is("(") {
+				p.skipBalanced("(", ")")
+			}
+			return &Ident{pos: at, Name: "sizeof"}
+		case "new", "delete", "this", "nullptr":
+			p.next()
+			return &Ident{pos: at, Name: t.Text}
+		// Functional casts: int(x), double(y).
+		case "int", "double", "float", "long", "char", "bool", "unsigned", "short":
+			if p.at(1).Is("(") {
+				typ := p.next().Text
+				p.next() // (
+				x := p.parseExpr()
+				p.expect(")")
+				return &CastExpr{pos: at, Type: typ, X: x}
+			}
+		}
+		return nil
+	case cpptok.KindIdent:
+		name := p.next().Text
+		for p.cur().Is("::") && p.at(1).Kind == cpptok.KindIdent {
+			p.next()
+			name += "::" + p.next().Text
+		}
+		return &Ident{pos: at, Name: name}
+	case cpptok.KindPunct:
+		if t.Is("(") {
+			if c := p.tryCast(); c != nil {
+				return c
+			}
+			p.next()
+			x := p.parseExpr()
+			p.expect(")")
+			if x == nil {
+				return nil
+			}
+			return &ParenExpr{pos: at, X: x}
+		}
+		if t.Is("{") {
+			return p.parseBraceInit()
+		}
+		return nil
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,1121 @@
+package cppinterp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// Stream marker names. cin/cout/cerr evaluate to string-kinded values
+// with these sentinels so that << and >> chains can thread them.
+const (
+	streamIn  = "\x00cin"
+	streamOut = "\x00cout"
+	streamErr = "\x00cerr"
+)
+
+func isStream(v Value) bool {
+	return v.Kind == KindString && strings.HasPrefix(v.S, "\x00c")
+}
+
+func (ip *Interp) evalExpr(f *frame, e cppast.Node) (Value, error) {
+	if err := ip.step(e.Line()); err != nil {
+		return Value{}, err
+	}
+	switch n := e.(type) {
+	case *cppast.Lit:
+		return ip.evalLit(n)
+	case *cppast.Ident:
+		return ip.evalIdent(f, n)
+	case *cppast.ParenExpr:
+		return ip.evalExpr(f, n.X)
+	case *cppast.CastExpr:
+		v, err := ip.evalExpr(f, n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		k, _ := ip.resolveType(n.Type)
+		return coerce(v, k), nil
+	case *cppast.UnaryExpr:
+		return ip.evalUnary(f, n)
+	case *cppast.BinaryExpr:
+		return ip.evalBinary(f, n)
+	case *cppast.TernaryExpr:
+		cond, err := ip.evalExpr(f, n.Cond)
+		if err != nil {
+			return Value{}, err
+		}
+		if cond.Truthy() {
+			return ip.evalExpr(f, n.Then)
+		}
+		return ip.evalExpr(f, n.Else)
+	case *cppast.CallExpr:
+		return ip.evalCall(f, n)
+	case *cppast.IndexExpr:
+		ref, err := ip.evalRef(f, n)
+		if err != nil {
+			return Value{}, err
+		}
+		return *ref, nil
+	case *cppast.MemberExpr:
+		return Value{}, ip.errf(n, "member %q used outside a call", n.Sel)
+	default:
+		return Value{}, ip.errf(e, "unsupported expression kind %s", e.Kind())
+	}
+}
+
+func (ip *Interp) evalLit(n *cppast.Lit) (Value, error) {
+	switch n.LitKind {
+	case "int":
+		text := strings.TrimRight(n.Text, "uUlL")
+		i, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Value{}, ip.errf(n, "bad int literal %q", n.Text)
+		}
+		return IntVal(i), nil
+	case "float":
+		text := strings.TrimRight(n.Text, "fFlL")
+		fv, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, ip.errf(n, "bad float literal %q", n.Text)
+		}
+		return FloatVal(fv), nil
+	case "string":
+		s, err := unescapeCpp(n.Text)
+		if err != nil {
+			return Value{}, ip.errf(n, "bad string literal: %v", err)
+		}
+		return StringVal(s), nil
+	case "char":
+		s, err := unescapeCpp(n.Text)
+		if err != nil || len(s) == 0 {
+			return Value{}, ip.errf(n, "bad char literal %q", n.Text)
+		}
+		return CharVal(s[0]), nil
+	case "bool":
+		return BoolVal(n.Text == "true"), nil
+	default:
+		return Value{}, ip.errf(n, "unknown literal kind %q", n.LitKind)
+	}
+}
+
+// unescapeCpp interprets a quoted C++ string/char literal.
+func unescapeCpp(lit string) (string, error) {
+	if strings.HasPrefix(lit, "R\"") {
+		open := strings.Index(lit, "(")
+		close_ := strings.LastIndex(lit, ")")
+		if open < 0 || close_ < open {
+			return "", &RunError{Msg: "malformed raw string"}
+		}
+		return lit[open+1 : close_], nil
+	}
+	if len(lit) < 2 {
+		return "", &RunError{Msg: "short literal"}
+	}
+	body := lit[1 : len(lit)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			break
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\', '"', '\'':
+			b.WriteByte(body[i])
+		default:
+			b.WriteByte(body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func (ip *Interp) evalIdent(f *frame, n *cppast.Ident) (Value, error) {
+	name := strings.TrimPrefix(n.Name, "std::")
+	switch name {
+	case "cin":
+		return StringVal(streamIn), nil
+	case "cout":
+		return StringVal(streamOut), nil
+	case "cerr":
+		return StringVal(streamErr), nil
+	case "endl":
+		return StringVal("\n"), nil
+	case "true":
+		return BoolVal(true), nil
+	case "false":
+		return BoolVal(false), nil
+	case "sizeof":
+		// The parser folds sizeof(...) into a bare sizeof identifier;
+		// answer with the common 4 so size-based sanity checks behave.
+		return IntVal(4), nil
+	}
+	if v, ok := f.lookup(n.Name); ok {
+		return *v, nil
+	}
+	if v, ok := f.lookup(name); ok {
+		return *v, nil
+	}
+	if v, ok := ip.defines[n.Name]; ok {
+		return v, nil
+	}
+	return Value{}, ip.errf(n, "undefined identifier %q", n.Name)
+}
+
+func (ip *Interp) evalUnary(f *frame, n *cppast.UnaryExpr) (Value, error) {
+	switch n.Op {
+	case "++", "--":
+		ref, err := ip.evalRef(f, n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		old := *ref
+		delta := int64(1)
+		if n.Op == "--" {
+			delta = -1
+		}
+		switch ref.Kind {
+		case KindFloat:
+			ref.F += float64(delta)
+		default:
+			ref.I += delta
+		}
+		if n.Postfix {
+			return old, nil
+		}
+		return *ref, nil
+	case "-":
+		v, err := ip.evalExpr(f, n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind == KindFloat {
+			return FloatVal(-v.F), nil
+		}
+		return IntVal(-v.AsInt()), nil
+	case "+":
+		return ip.evalExpr(f, n.X)
+	case "!":
+		v, err := ip.evalExpr(f, n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(!v.Truthy()), nil
+	case "~":
+		v, err := ip.evalExpr(f, n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(^v.AsInt()), nil
+	case "&":
+		// Address-of: used by scanf; return a marker carrying the ref.
+		// Callers that need the ref use evalRef on n.X directly.
+		return ip.evalExpr(f, n.X)
+	case "*":
+		return Value{}, ip.errf(n, "pointer dereference unsupported")
+	default:
+		return Value{}, ip.errf(n, "unsupported unary %q", n.Op)
+	}
+}
+
+func (ip *Interp) evalBinary(f *frame, n *cppast.BinaryExpr) (Value, error) {
+	switch n.Op {
+	case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+		return ip.evalAssign(f, n)
+	case "&&":
+		l, err := ip.evalExpr(f, n.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.Truthy() {
+			return BoolVal(false), nil
+		}
+		r, err := ip.evalExpr(f, n.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(r.Truthy()), nil
+	case "||":
+		l, err := ip.evalExpr(f, n.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Truthy() {
+			return BoolVal(true), nil
+		}
+		r, err := ip.evalExpr(f, n.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(r.Truthy()), nil
+	case ",":
+		if _, err := ip.evalExpr(f, n.L); err != nil {
+			return Value{}, err
+		}
+		return ip.evalExpr(f, n.R)
+	case ">>":
+		l, err := ip.evalExpr(f, n.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if isStream(l) && l.S == streamIn {
+			if err := ip.readInto(f, n.R); err != nil {
+				return Value{}, err
+			}
+			return l, nil
+		}
+		r, err := ip.evalExpr(f, n.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(l.AsInt() >> uint(r.AsInt())), nil
+	case "<<":
+		l, err := ip.evalExpr(f, n.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if isStream(l) {
+			if err := ip.writeFrom(f, l.S, n.R); err != nil {
+				return Value{}, err
+			}
+			return l, nil
+		}
+		r, err := ip.evalExpr(f, n.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(l.AsInt() << uint(r.AsInt())), nil
+	default:
+		l, err := ip.evalExpr(f, n.L)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := ip.evalExpr(f, n.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return ip.arith(n, n.Op, l, r)
+	}
+}
+
+func (ip *Interp) arith(at cppast.Node, op string, l, r Value) (Value, error) {
+	// String operations.
+	if l.Kind == KindString || r.Kind == KindString {
+		switch op {
+		case "+":
+			return StringVal(coerce(l, KindString).S + coerce(r, KindString).S), nil
+		case "==":
+			return BoolVal(l.S == r.S), nil
+		case "!=":
+			return BoolVal(l.S != r.S), nil
+		case "<":
+			return BoolVal(l.S < r.S), nil
+		case ">":
+			return BoolVal(l.S > r.S), nil
+		case "<=":
+			return BoolVal(l.S <= r.S), nil
+		case ">=":
+			return BoolVal(l.S >= r.S), nil
+		default:
+			return Value{}, ip.errf(at, "unsupported string op %q", op)
+		}
+	}
+	isFloat := l.Kind == KindFloat || r.Kind == KindFloat
+	switch op {
+	case "+", "-", "*", "/":
+		if isFloat {
+			a, b := l.AsFloat(), r.AsFloat()
+			switch op {
+			case "+":
+				return FloatVal(a + b), nil
+			case "-":
+				return FloatVal(a - b), nil
+			case "*":
+				return FloatVal(a * b), nil
+			default:
+				return FloatVal(a / b), nil
+			}
+		}
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case "+":
+			return IntVal(a + b), nil
+		case "-":
+			return IntVal(a - b), nil
+		case "*":
+			return IntVal(a * b), nil
+		default:
+			if b == 0 {
+				return Value{}, ip.errf(at, "integer division by zero")
+			}
+			return IntVal(a / b), nil
+		}
+	case "%":
+		b := r.AsInt()
+		if b == 0 {
+			return Value{}, ip.errf(at, "modulo by zero")
+		}
+		return IntVal(l.AsInt() % b), nil
+	case "==", "!=", "<", ">", "<=", ">=":
+		var c int
+		if isFloat {
+			a, b := l.AsFloat(), r.AsFloat()
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		} else {
+			a, b := l.AsInt(), r.AsInt()
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		}
+		switch op {
+		case "==":
+			return BoolVal(c == 0), nil
+		case "!=":
+			return BoolVal(c != 0), nil
+		case "<":
+			return BoolVal(c < 0), nil
+		case ">":
+			return BoolVal(c > 0), nil
+		case "<=":
+			return BoolVal(c <= 0), nil
+		default:
+			return BoolVal(c >= 0), nil
+		}
+	case "&":
+		return IntVal(l.AsInt() & r.AsInt()), nil
+	case "|":
+		return IntVal(l.AsInt() | r.AsInt()), nil
+	case "^":
+		return IntVal(l.AsInt() ^ r.AsInt()), nil
+	default:
+		return Value{}, ip.errf(at, "unsupported operator %q", op)
+	}
+}
+
+func (ip *Interp) evalAssign(f *frame, n *cppast.BinaryExpr) (Value, error) {
+	ref, err := ip.evalRef(f, n.L)
+	if err != nil {
+		return Value{}, err
+	}
+	rhs, err := ip.evalExpr(f, n.R)
+	if err != nil {
+		return Value{}, err
+	}
+	if n.Op == "=" {
+		*ref = coerce(rhs, ref.Kind)
+		return *ref, nil
+	}
+	op := strings.TrimSuffix(n.Op, "=")
+	res, err := ip.arith(n, op, *ref, rhs)
+	if err != nil {
+		return Value{}, err
+	}
+	*ref = coerce(res, ref.Kind)
+	return *ref, nil
+}
+
+// evalRef resolves an lvalue expression to its storage.
+func (ip *Interp) evalRef(f *frame, e cppast.Node) (*Value, error) {
+	switch n := e.(type) {
+	case *cppast.Ident:
+		if v, ok := f.lookup(n.Name); ok {
+			return v, nil
+		}
+		if v, ok := f.lookup(strings.TrimPrefix(n.Name, "std::")); ok {
+			return v, nil
+		}
+		return nil, ip.errf(n, "undefined variable %q", n.Name)
+	case *cppast.ParenExpr:
+		return ip.evalRef(f, n.X)
+	case *cppast.UnaryExpr:
+		if n.Op == "&" || (n.Op == "*" && !n.Postfix) {
+			return ip.evalRef(f, n.X)
+		}
+		return nil, ip.errf(n, "%q is not an lvalue", n.Op)
+	case *cppast.IndexExpr:
+		base, err := ip.evalRef(f, n.X)
+		if err != nil {
+			return nil, err
+		}
+		idxV, err := ip.evalExpr(f, n.Index)
+		if err != nil {
+			return nil, err
+		}
+		idx := idxV.AsInt()
+		if base.Kind == KindString {
+			return nil, ip.errf(n, "string element assignment unsupported")
+		}
+		if base.Elems == nil {
+			return nil, ip.errf(n, "indexing non-container")
+		}
+		if idx < 0 || idx >= int64(len(*base.Elems)) {
+			return nil, ip.errf(n, "index %d out of range [0,%d)", idx, len(*base.Elems))
+		}
+		return &(*base.Elems)[idx], nil
+	default:
+		return nil, ip.errf(e, "not an lvalue: %s", e.Kind())
+	}
+}
+
+// --- stream I/O ---
+
+func (ip *Interp) skipSpace() {
+	for ip.inPos < len(ip.in) {
+		switch ip.in[ip.inPos] {
+		case ' ', '\t', '\n', '\r':
+			ip.inPos++
+		default:
+			return
+		}
+	}
+}
+
+// readToken consumes the next whitespace-delimited token from stdin.
+func (ip *Interp) readToken() (string, bool) {
+	ip.skipSpace()
+	start := ip.inPos
+	for ip.inPos < len(ip.in) {
+		c := ip.in[ip.inPos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		ip.inPos++
+	}
+	if ip.inPos == start {
+		return "", false
+	}
+	return string(ip.in[start:ip.inPos]), true
+}
+
+// readInto performs cin >> target.
+func (ip *Interp) readInto(f *frame, target cppast.Node) error {
+	ref, err := ip.evalRef(f, target)
+	if err != nil {
+		return err
+	}
+	switch ref.Kind {
+	case KindChar:
+		ip.skipSpace()
+		if ip.inPos >= len(ip.in) {
+			return ip.errf(target, "input exhausted reading char")
+		}
+		ref.I = int64(ip.in[ip.inPos])
+		ip.inPos++
+		return nil
+	case KindString:
+		tok, ok := ip.readToken()
+		if !ok {
+			return ip.errf(target, "input exhausted reading string")
+		}
+		ref.S = tok
+		return nil
+	case KindFloat:
+		tok, ok := ip.readToken()
+		if !ok {
+			return ip.errf(target, "input exhausted reading double")
+		}
+		fv, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return ip.errf(target, "bad double input %q", tok)
+		}
+		ref.F = fv
+		return nil
+	default:
+		tok, ok := ip.readToken()
+		if !ok {
+			return ip.errf(target, "input exhausted reading int")
+		}
+		iv, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return ip.errf(target, "bad int input %q", tok)
+		}
+		ref.I = iv
+		return nil
+	}
+}
+
+// writeFrom performs cout << expr, handling manipulators.
+func (ip *Interp) writeFrom(f *frame, stream string, e cppast.Node) error {
+	// Manipulators.
+	switch n := e.(type) {
+	case *cppast.Ident:
+		switch strings.TrimPrefix(n.Name, "std::") {
+		case "endl":
+			if stream == streamOut {
+				ip.out.WriteByte('\n')
+			}
+			return nil
+		case "fixed":
+			ip.stream.fixed = true
+			return nil
+		case "scientific":
+			ip.stream.fixed = false
+			return nil
+		}
+	case *cppast.CallExpr:
+		if id, ok := n.Fun.(*cppast.Ident); ok {
+			switch strings.TrimPrefix(id.Name, "std::") {
+			case "setprecision":
+				if len(n.Args) == 1 {
+					v, err := ip.evalExpr(f, n.Args[0])
+					if err != nil {
+						return err
+					}
+					ip.stream.precision = int(v.AsInt())
+					return nil
+				}
+			case "setw", "setfill":
+				return nil // accepted and ignored
+			}
+		}
+	}
+	v, err := ip.evalExpr(f, e)
+	if err != nil {
+		return err
+	}
+	if stream == streamOut {
+		ip.out.WriteString(formatCout(v, &ip.stream))
+	}
+	return nil
+}
+
+// --- calls ---
+
+func (ip *Interp) evalCall(f *frame, n *cppast.CallExpr) (Value, error) {
+	if m, ok := n.Fun.(*cppast.MemberExpr); ok {
+		return ip.evalMethod(f, m, n.Args)
+	}
+	id, ok := n.Fun.(*cppast.Ident)
+	if !ok {
+		return Value{}, ip.errf(n, "unsupported call target %s", n.Fun.Kind())
+	}
+	name := strings.TrimPrefix(id.Name, "std::")
+
+	if fn, ok := ip.funcs[name]; ok {
+		args := make([]*Value, 0, len(n.Args))
+		for i, a := range n.Args {
+			// Reference params get the caller's storage.
+			if i < len(fn.Params) && fn.Params[i].Ref {
+				ref, err := ip.evalRef(f, a)
+				if err != nil {
+					return Value{}, err
+				}
+				args = append(args, ref)
+				continue
+			}
+			v, err := ip.evalExpr(f, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args = append(args, &v)
+		}
+		return ip.callFunc(fn, args)
+	}
+	return ip.evalBuiltin(f, n, name)
+}
+
+func (ip *Interp) evalMethod(f *frame, m *cppast.MemberExpr, args []cppast.Node) (Value, error) {
+	recv, err := ip.evalRef(f, m.X)
+	if err != nil {
+		return Value{}, err
+	}
+	switch m.Sel {
+	case "push_back":
+		if recv.Kind != KindVector || len(args) != 1 {
+			return Value{}, ip.errf(m, "push_back on non-vector")
+		}
+		v, err := ip.evalExpr(f, args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		*recv.Elems = append(*recv.Elems, coerce(v, recv.ElemKind))
+		return Value{}, nil
+	case "pop_back":
+		if recv.Kind != KindVector || len(*recv.Elems) == 0 {
+			return Value{}, ip.errf(m, "pop_back on empty or non-vector")
+		}
+		*recv.Elems = (*recv.Elems)[:len(*recv.Elems)-1]
+		return Value{}, nil
+	case "size", "length":
+		switch recv.Kind {
+		case KindString:
+			return IntVal(int64(len(recv.S))), nil
+		case KindVector, KindArray:
+			return IntVal(int64(len(*recv.Elems))), nil
+		}
+		return Value{}, ip.errf(m, "size() on %s", recv.Kind)
+	case "empty":
+		switch recv.Kind {
+		case KindString:
+			return BoolVal(recv.S == ""), nil
+		case KindVector, KindArray:
+			return BoolVal(len(*recv.Elems) == 0), nil
+		}
+		return Value{}, ip.errf(m, "empty() on %s", recv.Kind)
+	case "clear":
+		if recv.Kind == KindVector {
+			*recv.Elems = (*recv.Elems)[:0]
+			return Value{}, nil
+		}
+		if recv.Kind == KindString {
+			recv.S = ""
+			return Value{}, nil
+		}
+		return Value{}, ip.errf(m, "clear() on %s", recv.Kind)
+	case "back":
+		if recv.Kind == KindVector && len(*recv.Elems) > 0 {
+			return (*recv.Elems)[len(*recv.Elems)-1], nil
+		}
+		return Value{}, ip.errf(m, "back() on empty or non-vector")
+	case "front":
+		if recv.Kind == KindVector && len(*recv.Elems) > 0 {
+			return (*recv.Elems)[0], nil
+		}
+		return Value{}, ip.errf(m, "front() on empty or non-vector")
+	case "substr":
+		if recv.Kind != KindString {
+			return Value{}, ip.errf(m, "substr on %s", recv.Kind)
+		}
+		if len(args) == 0 {
+			return *recv, nil
+		}
+		sv, err := ip.evalExpr(f, args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		start := int(sv.AsInt())
+		if start < 0 || start > len(recv.S) {
+			return Value{}, ip.errf(m, "substr start out of range")
+		}
+		end := len(recv.S)
+		if len(args) > 1 {
+			lv, err := ip.evalExpr(f, args[1])
+			if err != nil {
+				return Value{}, err
+			}
+			if e := start + int(lv.AsInt()); e < end {
+				end = e
+			}
+		}
+		return StringVal(recv.S[start:end]), nil
+	case "begin", "end":
+		// Only meaningful inside sort(...) which handles them itself.
+		return *recv, nil
+	default:
+		return Value{}, ip.errf(m, "unsupported method %q", m.Sel)
+	}
+}
+
+func (ip *Interp) evalBuiltin(f *frame, n *cppast.CallExpr, name string) (Value, error) {
+	evalAll := func() ([]Value, error) {
+		out := make([]Value, 0, len(n.Args))
+		for _, a := range n.Args {
+			v, err := ip.evalExpr(f, a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	switch name {
+	case "max", "min":
+		args, err := evalAll()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(args) < 2 {
+			return Value{}, ip.errf(n, "%s needs 2 args", name)
+		}
+		a, b := args[0], args[1]
+		isFloat := a.Kind == KindFloat || b.Kind == KindFloat
+		pick := func(cond bool) Value {
+			if cond {
+				return a
+			}
+			return b
+		}
+		if isFloat {
+			af, bf := a.AsFloat(), b.AsFloat()
+			if name == "max" {
+				return coerce(pick(af >= bf), KindFloat), nil
+			}
+			return coerce(pick(af <= bf), KindFloat), nil
+		}
+		ai, bi := a.AsInt(), b.AsInt()
+		if name == "max" {
+			return pick(ai >= bi), nil
+		}
+		return pick(ai <= bi), nil
+	case "abs", "labs", "llabs":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "abs needs 1 arg")
+		}
+		if args[0].Kind == KindFloat {
+			return FloatVal(math.Abs(args[0].F)), nil
+		}
+		i := args[0].AsInt()
+		if i < 0 {
+			i = -i
+		}
+		return IntVal(i), nil
+	case "fabs":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "fabs needs 1 arg")
+		}
+		return FloatVal(math.Abs(args[0].AsFloat())), nil
+	case "sqrt":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "sqrt needs 1 arg")
+		}
+		return FloatVal(math.Sqrt(args[0].AsFloat())), nil
+	case "pow":
+		args, err := evalAll()
+		if err != nil || len(args) != 2 {
+			return Value{}, ip.errOr(err, n, "pow needs 2 args")
+		}
+		return FloatVal(math.Pow(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "floor":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "floor needs 1 arg")
+		}
+		return FloatVal(math.Floor(args[0].AsFloat())), nil
+	case "ceil":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "ceil needs 1 arg")
+		}
+		return FloatVal(math.Ceil(args[0].AsFloat())), nil
+	case "round":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "round needs 1 arg")
+		}
+		return FloatVal(math.Round(args[0].AsFloat())), nil
+	case "swap":
+		if len(n.Args) != 2 {
+			return Value{}, ip.errf(n, "swap needs 2 args")
+		}
+		a, err := ip.evalRef(f, n.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := ip.evalRef(f, n.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		*a, *b = *b, *a
+		return Value{}, nil
+	case "sort":
+		return ip.builtinSort(f, n)
+	case "to_string":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "to_string needs 1 arg")
+		}
+		v := args[0]
+		if v.Kind == KindFloat {
+			return StringVal(strconv.FormatFloat(v.F, 'f', 6, 64)), nil
+		}
+		return StringVal(strconv.FormatInt(v.AsInt(), 10)), nil
+	case "printf":
+		return ip.builtinPrintf(f, n)
+	case "scanf":
+		return ip.builtinScanf(f, n)
+	case "puts":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "puts needs 1 arg")
+		}
+		ip.out.WriteString(args[0].S)
+		ip.out.WriteByte('\n')
+		return IntVal(0), nil
+	case "putchar":
+		args, err := evalAll()
+		if err != nil || len(args) != 1 {
+			return Value{}, ip.errOr(err, n, "putchar needs 1 arg")
+		}
+		ip.out.WriteByte(byte(args[0].AsInt()))
+		return IntVal(0), nil
+	case "{}":
+		// Bare brace initializer in expression position: value is its
+		// first element (subset semantics).
+		if len(n.Args) == 0 {
+			return IntVal(0), nil
+		}
+		return ip.evalExpr(f, n.Args[0])
+	default:
+		return Value{}, ip.errf(n, "unknown function %q", name)
+	}
+}
+
+// errOr returns err if non-nil, else a formatted error at n.
+func (ip *Interp) errOr(err error, n cppast.Node, msg string) error {
+	if err != nil {
+		return err
+	}
+	return ip.errf(n, "%s", msg)
+}
+
+// builtinSort implements sort(v.begin(), v.end()) on vectors.
+func (ip *Interp) builtinSort(f *frame, n *cppast.CallExpr) (Value, error) {
+	if len(n.Args) != 2 {
+		return Value{}, ip.errf(n, "sort needs begin/end args")
+	}
+	m, ok := firstMember(n.Args[0])
+	if !ok {
+		return Value{}, ip.errf(n, "sort supports only v.begin(), v.end()")
+	}
+	recv, err := ip.evalRef(f, m.X)
+	if err != nil {
+		return Value{}, err
+	}
+	if recv.Elems == nil {
+		return Value{}, ip.errf(n, "sort on non-container")
+	}
+	elems := *recv.Elems
+	sort.SliceStable(elems, func(i, j int) bool {
+		a, b := elems[i], elems[j]
+		if a.Kind == KindFloat || b.Kind == KindFloat {
+			return a.AsFloat() < b.AsFloat()
+		}
+		if a.Kind == KindString {
+			return a.S < b.S
+		}
+		return a.AsInt() < b.AsInt()
+	})
+	return Value{}, nil
+}
+
+func firstMember(e cppast.Node) (*cppast.MemberExpr, bool) {
+	if c, ok := e.(*cppast.CallExpr); ok {
+		if m, ok := c.Fun.(*cppast.MemberExpr); ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// builtinPrintf implements a practical subset of printf:
+// %d %i %u %ld %lld %zu, %f %lf %e %g with optional precision and
+// width, %s %c %%.
+func (ip *Interp) builtinPrintf(f *frame, n *cppast.CallExpr) (Value, error) {
+	if len(n.Args) == 0 {
+		return Value{}, ip.errf(n, "printf needs a format")
+	}
+	fv, err := ip.evalExpr(f, n.Args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	args := n.Args[1:]
+	out, err := ip.formatPrintf(f, n, fv.S, args)
+	if err != nil {
+		return Value{}, err
+	}
+	ip.out.WriteString(out)
+	return IntVal(int64(len(out))), nil
+}
+
+func (ip *Interp) formatPrintf(f *frame, at cppast.Node, format string, args []cppast.Node) (string, error) {
+	var b strings.Builder
+	argIdx := 0
+	nextArg := func() (Value, error) {
+		if argIdx >= len(args) {
+			return Value{}, ip.errf(at, "printf: missing argument %d", argIdx+1)
+		}
+		v, err := ip.evalExpr(f, args[argIdx])
+		argIdx++
+		return v, err
+	}
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			b.WriteByte('%')
+			i++
+			continue
+		}
+		// Parse flags, width, precision, length.
+		spec := "%"
+		for i < len(format) && strings.IndexByte("-+ 0#", format[i]) >= 0 {
+			spec += string(format[i])
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			spec += string(format[i])
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			spec += "."
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				spec += string(format[i])
+				i++
+			}
+		}
+		for i < len(format) && strings.IndexByte("hlLqjzt", format[i]) >= 0 {
+			i++ // length modifiers are irrelevant for int64 backing
+		}
+		if i >= len(format) {
+			return "", ip.errf(at, "printf: truncated format")
+		}
+		verb := format[i]
+		i++
+		v, err := nextArg()
+		if err != nil {
+			return "", err
+		}
+		switch verb {
+		case 'd', 'i':
+			b.WriteString(sprintfGo(spec+"d", v.AsInt()))
+		case 'u':
+			b.WriteString(sprintfGo(spec+"d", v.AsInt()))
+		case 'f', 'F':
+			b.WriteString(sprintfGo(withDefaultPrec(spec)+"f", v.AsFloat()))
+		case 'e', 'E':
+			b.WriteString(sprintfGo(withDefaultPrec(spec)+string(verb), v.AsFloat()))
+		case 'g', 'G':
+			b.WriteString(sprintfGo(spec+string(verb), v.AsFloat()))
+		case 's':
+			b.WriteString(sprintfGo(spec+"s", coerce(v, KindString).S))
+		case 'c':
+			b.WriteString(string(byte(v.AsInt())))
+		case 'x':
+			b.WriteString(sprintfGo(spec+"x", v.AsInt()))
+		default:
+			return "", ip.errf(at, "printf: unsupported verb %%%c", verb)
+		}
+	}
+	return b.String(), nil
+}
+
+// withDefaultPrec adds C's default %f precision (6) when absent.
+func withDefaultPrec(spec string) string {
+	if strings.Contains(spec, ".") {
+		return spec
+	}
+	return spec + ".6"
+}
+
+func sprintfGo(spec string, v any) string {
+	return fmt.Sprintf(spec, v)
+}
+
+// builtinScanf reads per the format's conversions; each conversion
+// consumes one whitespace-delimited token, matching the generator's
+// usage (%d, %lf, %lld, %s, %c).
+func (ip *Interp) builtinScanf(f *frame, n *cppast.CallExpr) (Value, error) {
+	if len(n.Args) == 0 {
+		return Value{}, ip.errf(n, "scanf needs a format")
+	}
+	fv, err := ip.evalExpr(f, n.Args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	format := fv.S
+	count := int64(0)
+	argIdx := 1
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && strings.IndexByte("hlLqjzt0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		i++
+		if argIdx >= len(n.Args) {
+			return IntVal(count), ip.errf(n, "scanf: missing argument")
+		}
+		target := n.Args[argIdx]
+		argIdx++
+		// scanf args are &x; evalRef unwraps the address-of.
+		ref, err := ip.evalRef(f, target)
+		if err != nil {
+			return IntVal(count), err
+		}
+		switch verb {
+		case 'd', 'i', 'u':
+			tok, ok := ip.readToken()
+			if !ok {
+				return IntVal(count), nil
+			}
+			iv, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return IntVal(count), ip.errf(n, "scanf: bad int %q", tok)
+			}
+			*ref = coerce(IntVal(iv), ref.Kind)
+		case 'f', 'e', 'g':
+			tok, ok := ip.readToken()
+			if !ok {
+				return IntVal(count), nil
+			}
+			fl, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return IntVal(count), ip.errf(n, "scanf: bad float %q", tok)
+			}
+			*ref = coerce(FloatVal(fl), ref.Kind)
+		case 's':
+			tok, ok := ip.readToken()
+			if !ok {
+				return IntVal(count), nil
+			}
+			*ref = StringVal(tok)
+		case 'c':
+			ip.skipSpace()
+			if ip.inPos >= len(ip.in) {
+				return IntVal(count), nil
+			}
+			*ref = CharVal(ip.in[ip.inPos])
+			ip.inPos++
+		default:
+			return IntVal(count), ip.errf(n, "scanf: unsupported verb %%%c", verb)
+		}
+		count++
+	}
+	return IntVal(count), nil
+}

@@ -1,0 +1,591 @@
+package cppinterp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// DefaultMaxSteps bounds evaluation so that a buggy transformation that
+// breaks a loop condition surfaces as an error instead of a hang.
+const DefaultMaxSteps = 5_000_000
+
+// RunError is a runtime (or unsupported-construct) error with source
+// position.
+type RunError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// streamState tracks ostream formatting flags.
+type streamState struct {
+	fixed     bool
+	precision int
+}
+
+// control is the statement-level control-flow signal.
+type control int
+
+const (
+	ctrlNone control = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// Interp executes one translation unit.
+type Interp struct {
+	funcs    map[string]*cppast.FuncDecl
+	globals  map[string]*Value
+	typedefs map[string]string
+	defines  map[string]Value
+
+	in    []byte
+	inPos int
+	out   strings.Builder
+
+	stream   streamState
+	steps    int
+	maxSteps int
+}
+
+// Option configures an Interp.
+type Option func(*Interp)
+
+// WithMaxSteps overrides the evaluation step budget.
+func WithMaxSteps(n int) Option {
+	return func(ip *Interp) { ip.maxSteps = n }
+}
+
+// Run parses src and executes main with the given stdin, returning the
+// program's stdout.
+func Run(src, stdin string, opts ...Option) (string, error) {
+	tu, err := cppast.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("lex: %w", err)
+	}
+	return RunAST(tu, stdin, opts...)
+}
+
+// RunAST executes an already-parsed unit.
+func RunAST(tu *cppast.TranslationUnit, stdin string, opts ...Option) (string, error) {
+	ip := &Interp{
+		funcs:    make(map[string]*cppast.FuncDecl),
+		globals:  make(map[string]*Value),
+		typedefs: make(map[string]string),
+		defines:  make(map[string]Value),
+		in:       []byte(stdin),
+		stream:   streamState{precision: 6},
+		maxSteps: DefaultMaxSteps,
+	}
+	for _, o := range opts {
+		o(ip)
+	}
+	if err := ip.loadUnit(tu); err != nil {
+		return ip.out.String(), err
+	}
+	main := ip.funcs["main"]
+	if main == nil || main.Body == nil {
+		return "", &RunError{Msg: "no main function"}
+	}
+	_, err := ip.callFunc(main, nil)
+	return ip.out.String(), err
+}
+
+func (ip *Interp) loadUnit(tu *cppast.TranslationUnit) error {
+	// First pass: functions, typedefs, defines, so globals can use them.
+	for _, d := range tu.Decls {
+		switch n := d.(type) {
+		case *cppast.FuncDecl:
+			if n.Body != nil || ip.funcs[n.Name] == nil {
+				ip.funcs[n.Name] = n
+			}
+		case *cppast.TypedefDecl:
+			ip.loadTypedef(n.Text)
+		case *cppast.Preproc:
+			ip.loadDefine(n.Text)
+		}
+	}
+	// Second pass: global variables.
+	frame := &frame{ip: ip}
+	for _, d := range tu.Decls {
+		if vd, ok := d.(*cppast.VarDecl); ok {
+			if err := ip.declare(frame, vd, ip.globals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadTypedef records "typedef <underlying...> <name> ;".
+func (ip *Interp) loadTypedef(text string) {
+	fields := strings.Fields(strings.TrimSuffix(text, ";"))
+	// fields[0] == "typedef"; last non-";" field is the alias.
+	if len(fields) < 3 {
+		return
+	}
+	last := fields[len(fields)-1]
+	if last == ";" {
+		fields = fields[:len(fields)-1]
+		if len(fields) < 3 {
+			return
+		}
+		last = fields[len(fields)-1]
+	}
+	underlying := strings.Join(fields[1:len(fields)-1], " ")
+	ip.typedefs[last] = underlying
+}
+
+// loadDefine records simple object-like constant macros:
+// "#define NAME 123" or "#define NAME 1.5".
+func (ip *Interp) loadDefine(text string) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "#"))
+	if !strings.HasPrefix(rest, "define") {
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 3 {
+		return
+	}
+	name, val := fields[1], fields[2]
+	if strings.ContainsAny(name, "()") {
+		return // function-like macro: unsupported
+	}
+	if i, err := strconv.ParseInt(val, 0, 64); err == nil {
+		ip.defines[name] = IntVal(i)
+		return
+	}
+	if f, err := strconv.ParseFloat(strings.TrimSuffix(val, "f"), 64); err == nil {
+		ip.defines[name] = FloatVal(f)
+	}
+}
+
+// resolveType expands typedef aliases before kind mapping.
+func (ip *Interp) resolveType(typ string) (ValueKind, ValueKind) {
+	t := strings.TrimSpace(typ)
+	for i := 0; i < 4; i++ {
+		base := strings.TrimPrefix(strings.TrimPrefix(t, "const "), "static ")
+		base = strings.TrimSuffix(strings.TrimSuffix(base, " &"), "&")
+		base = strings.TrimSpace(base)
+		under, ok := ip.typedefs[base]
+		if !ok {
+			break
+		}
+		t = under
+	}
+	return kindOfType(t)
+}
+
+// frame is one function activation.
+type frame struct {
+	ip      *Interp
+	scopes  []map[string]*Value
+	retKind ValueKind
+	retVal  Value
+}
+
+func (f *frame) push() { f.scopes = append(f.scopes, make(map[string]*Value)) }
+func (f *frame) pop()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+
+// lookup finds a variable in the innermost scope that declares it.
+func (f *frame) lookup(name string) (*Value, bool) {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if v, ok := f.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	if v, ok := f.ip.globals[name]; ok {
+		return v, true
+	}
+	return nil, false
+}
+
+func (f *frame) bind(name string, v *Value) {
+	if len(f.scopes) == 0 {
+		f.push()
+	}
+	f.scopes[len(f.scopes)-1][name] = v
+}
+
+func (ip *Interp) step(line int) error {
+	ip.steps++
+	if ip.steps > ip.maxSteps {
+		return &RunError{Line: line, Msg: "step budget exceeded (possible non-termination)"}
+	}
+	return nil
+}
+
+func (ip *Interp) errf(n cppast.Node, format string, args ...any) error {
+	line := 0
+	if n != nil {
+		line = n.Line()
+	}
+	return &RunError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// callFunc invokes fn with evaluated arguments. Reference parameters
+// receive the caller's storage.
+func (ip *Interp) callFunc(fn *cppast.FuncDecl, args []*Value) (Value, error) {
+	if fn.Body == nil {
+		return Value{}, ip.errf(fn, "call of bodyless function %s", fn.Name)
+	}
+	retKind, _ := ip.resolveType(fn.RetType)
+	f := &frame{ip: ip, retKind: retKind}
+	f.push()
+	for i, p := range fn.Params {
+		if i >= len(args) {
+			break
+		}
+		if p.Ref {
+			f.bind(p.Name, args[i])
+			continue
+		}
+		pk, pek := ip.resolveType(p.Type)
+		v := *args[i]
+		if pk != KindVector && pk != KindArray {
+			v = coerce(v, pk)
+		} else if v.Kind == KindVector || v.Kind == KindArray {
+			// Pass containers by value: deep-copy the elements.
+			elems := make([]Value, len(*v.Elems))
+			copy(elems, *v.Elems)
+			v = Value{Kind: v.Kind, Elems: &elems, ElemKind: pek}
+		}
+		nv := v
+		f.bind(p.Name, &nv)
+	}
+	ctrl, err := ip.execBlock(f, fn.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if ctrl == ctrlReturn {
+		return f.retVal, nil
+	}
+	return Value{}, nil
+}
+
+func (ip *Interp) execBlock(f *frame, b *cppast.Block) (control, error) {
+	f.push()
+	defer f.pop()
+	for _, s := range b.Stmts {
+		ctrl, err := ip.execStmt(f, s)
+		if err != nil || ctrl != ctrlNone {
+			return ctrl, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (ip *Interp) execStmt(f *frame, s cppast.Node) (control, error) {
+	if err := ip.step(s.Line()); err != nil {
+		return ctrlNone, err
+	}
+	switch n := s.(type) {
+	case *cppast.Block:
+		return ip.execBlock(f, n)
+	case *cppast.EmptyStmt, *cppast.Preproc, *cppast.UsingDirective, *cppast.TypedefDecl, *cppast.Comment:
+		if td, ok := s.(*cppast.TypedefDecl); ok {
+			ip.loadTypedef(td.Text)
+		}
+		return ctrlNone, nil
+	case *cppast.VarDecl:
+		return ctrlNone, ip.declareLocal(f, n)
+	case *cppast.ExprStmt:
+		_, err := ip.evalExpr(f, n.X)
+		return ctrlNone, err
+	case *cppast.If:
+		cond, err := ip.evalExpr(f, n.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if cond.Truthy() {
+			return ip.execStmt(f, n.Then)
+		}
+		if n.Else != nil {
+			return ip.execStmt(f, n.Else)
+		}
+		return ctrlNone, nil
+	case *cppast.While:
+		for {
+			if err := ip.step(n.Line()); err != nil {
+				return ctrlNone, err
+			}
+			cond, err := ip.evalExpr(f, n.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !cond.Truthy() {
+				return ctrlNone, nil
+			}
+			ctrl, err := ip.execStmt(f, n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ctrl == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, nil
+			}
+		}
+	case *cppast.DoWhile:
+		for {
+			if err := ip.step(n.Line()); err != nil {
+				return ctrlNone, err
+			}
+			ctrl, err := ip.execStmt(f, n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ctrl == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, nil
+			}
+			cond, err := ip.evalExpr(f, n.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !cond.Truthy() {
+				return ctrlNone, nil
+			}
+		}
+	case *cppast.For:
+		f.push()
+		defer f.pop()
+		if n.Init != nil {
+			if _, err := ip.execStmt(f, n.Init); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if err := ip.step(n.Line()); err != nil {
+				return ctrlNone, err
+			}
+			if n.Cond != nil {
+				cond, err := ip.evalExpr(f, n.Cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !cond.Truthy() {
+					return ctrlNone, nil
+				}
+			}
+			ctrl, err := ip.execStmt(f, n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ctrl == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ctrl == ctrlReturn {
+				return ctrl, nil
+			}
+			if n.Post != nil {
+				if _, err := ip.evalExpr(f, n.Post); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+	case *cppast.Switch:
+		return ip.execSwitch(f, n)
+	case *cppast.Return:
+		if n.Value != nil {
+			v, err := ip.evalExpr(f, n.Value)
+			if err != nil {
+				return ctrlNone, err
+			}
+			f.retVal = coerce(v, f.retKind)
+		}
+		return ctrlReturn, nil
+	case *cppast.Break:
+		return ctrlBreak, nil
+	case *cppast.Continue:
+		return ctrlContinue, nil
+	case *cppast.Unknown:
+		return ctrlNone, ip.errf(n, "unsupported construct: %.60s", n.Text)
+	default:
+		return ctrlNone, ip.errf(s, "unsupported statement kind %s", s.Kind())
+	}
+}
+
+func (ip *Interp) execSwitch(f *frame, n *cppast.Switch) (control, error) {
+	cond, err := ip.evalExpr(f, n.Cond)
+	if err != nil {
+		return ctrlNone, err
+	}
+	match := -1
+	defaultIdx := -1
+	for i, c := range n.Cases {
+		if c.Value == nil {
+			defaultIdx = i
+			continue
+		}
+		v, err := ip.evalExpr(f, c.Value)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if v.AsInt() == cond.AsInt() {
+			match = i
+			break
+		}
+	}
+	if match < 0 {
+		match = defaultIdx
+	}
+	if match < 0 {
+		return ctrlNone, nil
+	}
+	f.push()
+	defer f.pop()
+	for i := match; i < len(n.Cases); i++ {
+		for _, s := range n.Cases[i].Stmts {
+			ctrl, err := ip.execStmt(f, s)
+			if err != nil {
+				return ctrlNone, err
+			}
+			switch ctrl {
+			case ctrlBreak:
+				return ctrlNone, nil
+			case ctrlReturn, ctrlContinue:
+				return ctrl, nil
+			}
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (ip *Interp) declareLocal(f *frame, vd *cppast.VarDecl) error {
+	scope := f.scopes[len(f.scopes)-1]
+	return ip.declare(f, vd, scope)
+}
+
+func (ip *Interp) declare(f *frame, vd *cppast.VarDecl, scope map[string]*Value) error {
+	kind, elemKind := ip.resolveType(vd.Type)
+	for _, d := range vd.Names {
+		v, err := ip.initialValue(f, vd, d, kind, elemKind)
+		if err != nil {
+			return err
+		}
+		nv := v
+		scope[d.Name] = &nv
+	}
+	return nil
+}
+
+func (ip *Interp) initialValue(f *frame, vd *cppast.VarDecl, d *cppast.Declarator, kind, elemKind ValueKind) (Value, error) {
+	// Array declarator: int a[n][m].
+	if len(d.ArrayLen) > 0 {
+		return ip.makeArray(f, vd, d.ArrayLen, kind)
+	}
+	switch kind {
+	case KindVector:
+		n := int64(0)
+		var fill Value
+		switch init := d.Init.(type) {
+		case nil:
+		case *cppast.CallExpr:
+			if id, ok := init.Fun.(*cppast.Ident); ok && id.Name == "{}" {
+				elems := make([]Value, 0, len(init.Args))
+				for _, a := range init.Args {
+					av, err := ip.evalExpr(f, a)
+					if err != nil {
+						return Value{}, err
+					}
+					elems = append(elems, coerce(av, elemKind))
+				}
+				return Value{Kind: KindVector, Elems: &elems, ElemKind: elemKind}, nil
+			}
+			return Value{}, ip.errf(vd, "unsupported vector initializer")
+		default:
+			// vector<int> v(n) or v(n, fill) parses Init as expr or comma expr.
+			if be, ok := init.(*cppast.BinaryExpr); ok && be.Op == "," {
+				nv, err := ip.evalExpr(f, be.L)
+				if err != nil {
+					return Value{}, err
+				}
+				fv, err := ip.evalExpr(f, be.R)
+				if err != nil {
+					return Value{}, err
+				}
+				n, fill = nv.AsInt(), coerce(fv, elemKind)
+			} else {
+				nv, err := ip.evalExpr(f, init)
+				if err != nil {
+					return Value{}, err
+				}
+				n = nv.AsInt()
+				fill = zeroOf(elemKind)
+			}
+		}
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = fill
+		}
+		return Value{Kind: KindVector, Elems: &elems, ElemKind: elemKind}, nil
+	default:
+		if d.Init == nil {
+			return zeroOf(kind), nil
+		}
+		v, err := ip.evalExpr(f, d.Init)
+		if err != nil {
+			return Value{}, err
+		}
+		return coerce(v, kind), nil
+	}
+}
+
+func (ip *Interp) makeArray(f *frame, at cppast.Node, dims []cppast.Node, elemKind ValueKind) (Value, error) {
+	if len(dims) == 0 {
+		return zeroOf(elemKind), nil
+	}
+	if dims[0] == nil {
+		return Value{}, ip.errf(at, "array dimension required")
+	}
+	nv, err := ip.evalExpr(f, dims[0])
+	if err != nil {
+		return Value{}, err
+	}
+	n := nv.AsInt()
+	if n < 0 || n > 50_000_000 {
+		return Value{}, ip.errf(at, "array dimension %d out of range", n)
+	}
+	elems := make([]Value, n)
+	if len(dims) > 1 {
+		for i := range elems {
+			sub, err := ip.makeArray(f, at, dims[1:], elemKind)
+			if err != nil {
+				return Value{}, err
+			}
+			elems[i] = sub
+		}
+	} else {
+		for i := range elems {
+			elems[i] = zeroOf(elemKind)
+		}
+	}
+	return Value{Kind: KindArray, Elems: &elems, ElemKind: elemKind}, nil
+}
+
+func zeroOf(k ValueKind) Value {
+	switch k {
+	case KindFloat:
+		return FloatVal(0)
+	case KindString:
+		return StringVal("")
+	case KindChar:
+		return CharVal(0)
+	case KindBool:
+		return BoolVal(false)
+	default:
+		return IntVal(0)
+	}
+}

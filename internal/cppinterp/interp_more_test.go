@@ -1,0 +1,170 @@
+package cppinterp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTableMore covers interpreter corners the first table misses.
+func TestRunTableMore(t *testing.T) {
+	tests := []struct {
+		name  string
+		src   string
+		stdin string
+		want  string
+	}{
+		{
+			name:  "cin into array element",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){int a[3];for(int i=0;i<3;i++)cin>>a[i];cout<<a[0]+a[1]+a[2]<<endl;}",
+			stdin: "1 2 3",
+			want:  "6\n",
+		},
+		{
+			name:  "scanf into array element",
+			src:   "#include <cstdio>\nint main(){int a[2];scanf(\"%d %d\",&a[0],&a[1]);printf(\"%d\\n\",a[0]*a[1]);}",
+			stdin: "6 7",
+			want:  "42\n",
+		},
+		{
+			name: "2d compound assignment",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int g[2][2];for(int i=0;i<2;i++)for(int j=0;j<2;j++)g[i][j]=0;g[1][0]+=5;g[1][0]*=3;cout<<g[1][0]<<endl;}",
+			want: "15\n",
+		},
+		{
+			name:  "while with decrement condition",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){int t;cin>>t;int n=0;while(t--){n++;}cout<<n<<endl;}",
+			stdin: "5",
+			want:  "5\n",
+		},
+		{
+			name: "nested ternary",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int x=5;cout<<(x<3?1:x<7?2:3)<<endl;}",
+			want: "2\n",
+		},
+		{
+			name: "unary minus chains",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int a=5;cout<<-a<<\" \"<<-(-a)<<endl;}",
+			want: "-5 5\n",
+		},
+		{
+			name: "char arithmetic",
+			src:  "#include <cstdio>\nint main(){char c='A';int shifted=c+2;printf(\"%c%d\\n\",shifted,c);}",
+			want: "C65\n",
+		},
+		{
+			name: "vector back front pop",
+			src:  "#include <iostream>\n#include <vector>\nusing namespace std;\nint main(){vector<int> v;v.push_back(1);v.push_back(2);v.push_back(3);cout<<v.front()<<v.back();v.pop_back();cout<<v.back()<<v.size()<<endl;}",
+			want: "1322\n",
+		},
+		{
+			name: "string substr and compare",
+			src:  "#include <iostream>\n#include <string>\nusing namespace std;\nint main(){string s=\"hello\";cout<<s.substr(1,3)<<\" \"<<(s==\"hello\")<<\" \"<<(s<\"world\")<<endl;}",
+			want: "ell 1 1\n",
+		},
+		{
+			name: "empty and clear",
+			src:  "#include <iostream>\n#include <vector>\nusing namespace std;\nint main(){vector<int> v;cout<<v.empty();v.push_back(9);cout<<v.empty();v.clear();cout<<v.empty()<<endl;}",
+			want: "101\n",
+		},
+		{
+			name: "do while false runs once",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int n=0;do{n++;}while(false);cout<<n<<endl;}",
+			want: "1\n",
+		},
+		{
+			name: "setw accepted and ignored",
+			src:  "#include <iostream>\n#include <iomanip>\nusing namespace std;\nint main(){cout<<setw(8)<<42<<endl;}",
+			want: "42\n",
+		},
+		{
+			name: "to_string",
+			src:  "#include <iostream>\n#include <string>\nusing namespace std;\nint main(){string s=to_string(42)+\"!\";cout<<s<<endl;}",
+			want: "42!\n",
+		},
+		{
+			name: "abs and fabs",
+			src:  "#include <cstdio>\n#include <cmath>\nint main(){printf(\"%d %.1f\\n\", abs(-3), fabs(-2.5));}",
+			want: "3 2.5\n",
+		},
+		{
+			name: "round",
+			src:  "#include <cstdio>\n#include <cmath>\nint main(){printf(\"%.0f %.0f\\n\", round(2.4), round(2.6));}",
+			want: "2 3\n",
+		},
+		{
+			name: "printf percent literal and width",
+			src:  "#include <cstdio>\nint main(){printf(\"100%% [%5d]\\n\", 42);}",
+			want: "100% [   42]\n",
+		},
+		{
+			name: "typedef inside function",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){typedef long long big;big x=1000000007;cout<<x*2<<endl;}",
+			want: "2000000014\n",
+		},
+		{
+			name: "global define and const interplay",
+			src:  "#include <iostream>\n#define OFFSET 100\nusing namespace std;\nconst int SCALE = 3;\nint main(){cout<<OFFSET*SCALE<<endl;}",
+			want: "300\n",
+		},
+		{
+			name: "prototype then definition",
+			src:  "#include <iostream>\nusing namespace std;\nint twice(int x);\nint main(){cout<<twice(21)<<endl;}\nint twice(int x){return 2*x;}",
+			want: "42\n",
+		},
+		{
+			name: "mutual recursion",
+			src: `#include <iostream>
+using namespace std;
+int isOdd(int n);
+int isEven(int n){ if(n==0) return 1; return isOdd(n-1); }
+int isOdd(int n){ if(n==0) return 0; return isEven(n-1); }
+int main(){cout<<isEven(10)<<isOdd(10)<<endl;}`,
+			want: "10\n",
+		},
+		{
+			name:  "negative modulo truncation",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){cout<<(-7%3)<<\" \"<<(-7/2)<<endl;}",
+			want:  "-1 -3\n",
+			stdin: "",
+		},
+		{
+			name: "shadowing in nested blocks",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int x=1;{int x=2;cout<<x;}cout<<x<<endl;}",
+			want: "21\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Run(tt.src, tt.stdin)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("output = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	src := "#include <iostream>\nusing namespace std;\nint main(){int s=0;for(int i=0;i<100;i++)s+=i*i;cout<<s<<endl;}"
+	a, err := Run(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("interpreter nondeterministic")
+	}
+}
+
+func TestDeepRecursionHitsBudget(t *testing.T) {
+	src := "int f(int n){return f(n+1);}\nint main(){return f(0);}"
+	_, err := Run(src, "", WithMaxSteps(100_000))
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("unbounded recursion not stopped: %v", err)
+	}
+}

@@ -1,0 +1,417 @@
+package cppinterp
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src, stdin string) string {
+	t.Helper()
+	out, err := Run(src, stdin)
+	if err != nil {
+		t.Fatalf("Run failed: %v\noutput so far: %q", err, out)
+	}
+	return out
+}
+
+func TestRunHelloStyle(t *testing.T) {
+	src := `#include <iostream>
+using namespace std;
+int main() {
+    int a, b;
+    cin >> a >> b;
+    cout << a + b << endl;
+    return 0;
+}`
+	if got := run(t, src, "3 4\n"); got != "7\n" {
+		t.Errorf("output = %q, want %q", got, "7\n")
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	tests := []struct {
+		name  string
+		src   string
+		stdin string
+		want  string
+	}{
+		{
+			name:  "integer division truncates",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){int a=7,b=2;cout<<a/b<<\" \"<<a%b<<endl;}",
+			want:  "3 1\n",
+			stdin: "",
+		},
+		{
+			name: "double division",
+			src:  "#include <cstdio>\nint main(){int a=7,b=2;printf(\"%.2f\\n\",(double)a/(double)b);}",
+			want: "3.50\n",
+		},
+		{
+			name:  "for loop sum",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){int n;cin>>n;long long s=0;for(int i=1;i<=n;i++)s+=i;cout<<s<<endl;}",
+			stdin: "100",
+			want:  "5050\n",
+		},
+		{
+			name:  "while countdown",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){int n;cin>>n;while(n>0){cout<<n<<\" \";n--;}cout<<endl;}",
+			stdin: "3",
+			want:  "3 2 1 \n",
+		},
+		{
+			name: "do while",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int n=0;do{n++;}while(n<5);cout<<n<<endl;}",
+			want: "5\n",
+		},
+		{
+			name:  "if else",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){int x;cin>>x;if(x%2==0)cout<<\"even\"<<endl;else cout<<\"odd\"<<endl;}",
+			stdin: "17",
+			want:  "odd\n",
+		},
+		{
+			name: "ternary and max",
+			src:  "#include <iostream>\n#include <algorithm>\nusing namespace std;\nint main(){int a=3,b=9;cout<<(a>b?a:b)<<\" \"<<max(a,b)<<\" \"<<min(a,b)<<endl;}",
+			want: "9 9 3\n",
+		},
+		{
+			name:  "arrays",
+			src:   "#include <iostream>\nusing namespace std;\nint main(){int a[5];for(int i=0;i<5;i++)cin>>a[i];int s=0;for(int i=0;i<5;i++)s+=a[i];cout<<s<<endl;}",
+			stdin: "1 2 3 4 5",
+			want:  "15\n",
+		},
+		{
+			name: "2d array",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int g[3][3];for(int i=0;i<3;i++)for(int j=0;j<3;j++)g[i][j]=i*3+j;cout<<g[2][1]<<endl;}",
+			want: "7\n",
+		},
+		{
+			name:  "vector push_back and sort",
+			src:   "#include <iostream>\n#include <vector>\n#include <algorithm>\nusing namespace std;\nint main(){int n;cin>>n;vector<int> v;for(int i=0;i<n;i++){int x;cin>>x;v.push_back(x);}sort(v.begin(),v.end());for(int i=0;i<(int)v.size();i++)cout<<v[i]<<\" \";cout<<endl;}",
+			stdin: "4\n3 1 4 1",
+			want:  "1 1 3 4 \n",
+		},
+		{
+			name:  "functions with args",
+			src:   "#include <iostream>\nusing namespace std;\nint add(int a, int b){return a+b;}\nint main(){int x,y;cin>>x>>y;cout<<add(x,y)<<endl;}",
+			stdin: "5 6",
+			want:  "11\n",
+		},
+		{
+			name: "recursion factorial",
+			src:  "#include <iostream>\nusing namespace std;\nlong long f(int n){if(n<=1)return 1;return n*f(n-1);}\nint main(){cout<<f(10)<<endl;}",
+			want: "3628800\n",
+		},
+		{
+			name: "reference params",
+			src:  "#include <iostream>\nusing namespace std;\nvoid twice(int &x){x*=2;}\nint main(){int v=21;twice(v);cout<<v<<endl;}",
+			want: "42\n",
+		},
+		{
+			name: "globals and typedef",
+			src:  "#include <iostream>\nusing namespace std;\ntypedef long long ll;\nll total = 0;\nvoid bump(ll d){total += d;}\nint main(){bump(40);bump(2);cout<<total<<endl;}",
+			want: "42\n",
+		},
+		{
+			name: "define constant",
+			src:  "#include <iostream>\n#define LIMIT 6\nusing namespace std;\nint main(){int s=0;for(int i=0;i<LIMIT;i++)s+=i;cout<<s<<endl;}",
+			want: "15\n",
+		},
+		{
+			name:  "scanf printf",
+			src:   "#include <cstdio>\nint main(){int a,b;scanf(\"%d %d\",&a,&b);printf(\"%d\\n\",a*b);}",
+			stdin: "6 7",
+			want:  "42\n",
+		},
+		{
+			name:  "scanf double",
+			src:   "#include <cstdio>\nint main(){double x;scanf(\"%lf\",&x);printf(\"%.3f\\n\",x/2);}",
+			stdin: "5.5",
+			want:  "2.750\n",
+		},
+		{
+			name: "fixed setprecision",
+			src:  "#include <iostream>\n#include <iomanip>\nusing namespace std;\nint main(){double x=1.0/3.0;cout<<fixed<<setprecision(4)<<x<<endl;}",
+			want: "0.3333\n",
+		},
+		{
+			name: "switch fallthrough and break",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int k=2;switch(k){case 1: cout<<\"one\";break;case 2: cout<<\"two\";case 3: cout<<\"three\";break;default: cout<<\"other\";}cout<<endl;}",
+			want: "twothree\n",
+		},
+		{
+			name: "break continue",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int s=0;for(int i=0;i<10;i++){if(i==7)break;if(i%2)continue;s+=i;}cout<<s<<endl;}",
+			want: "12\n",
+		},
+		{
+			name:  "strings",
+			src:   "#include <iostream>\n#include <string>\nusing namespace std;\nint main(){string a,b;cin>>a>>b;string c=a+\"-\"+b;cout<<c<<\" \"<<c.size()<<endl;}",
+			stdin: "foo bar",
+			want:  "foo-bar 7\n",
+		},
+		{
+			name: "compound assignment ops",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int x=10;x+=5;x-=3;x*=2;x/=4;x%=5;cout<<x<<endl;}",
+			want: "1\n",
+		},
+		{
+			name: "pre and post increment",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int i=5;cout<<i++<<\" \"<<i<<\" \"<<++i<<endl;}",
+			want: "5 6 7\n",
+		},
+		{
+			name: "bit operations",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int a=12,b=10;cout<<(a&b)<<\" \"<<(a|b)<<\" \"<<(a^b)<<\" \"<<(1<<4)<<endl;}",
+			want: "8 14 6 16\n",
+		},
+		{
+			name: "math builtins",
+			src:  "#include <cstdio>\n#include <cmath>\nint main(){printf(\"%.1f %.1f %.1f %.1f\\n\", sqrt(16.0), pow(2.0,10.0), floor(2.7), ceil(2.1));}",
+			want: "4.0 1024.0 2.0 3.0\n",
+		},
+		{
+			name: "swap builtin",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int a=1,b=2;swap(a,b);cout<<a<<\" \"<<b<<endl;}",
+			want: "2 1\n",
+		},
+		{
+			name: "comma in for",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){int i,j,c=0;for(i=0,j=10;i<j;i++,j--)c++;cout<<c<<\" \"<<i<<\" \"<<j<<endl;}",
+			want: "5 5 5\n",
+		},
+		{
+			name: "bool printing",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){bool t=true,f=false;cout<<t<<\" \"<<f<<\" \"<<(3<5)<<endl;}",
+			want: "1 0 1\n",
+		},
+		{
+			name: "vector constructor size",
+			src:  "#include <iostream>\n#include <vector>\nusing namespace std;\nint main(){int n=4;vector<long long> v(n);v[2]=9;cout<<v.size()<<\" \"<<v[0]<<\" \"<<v[2]<<endl;}",
+			want: "4 0 9\n",
+		},
+		{
+			name: "logical short circuit",
+			src:  "#include <iostream>\nusing namespace std;\nint bang(){cout<<\"X\";return 1;}\nint main(){int a=0;if(a!=0 && bang())cout<<\"no\";if(a==0||bang())cout<<\"yes\";cout<<endl;}",
+			want: "yes\n",
+		},
+		{
+			name: "functional cast",
+			src:  "#include <iostream>\nusing namespace std;\nint main(){double d=3.9;cout<<int(d)<<endl;}",
+			want: "3\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := run(t, tt.src, tt.stdin)
+			if got != tt.want {
+				t.Errorf("output = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+// Paper fixtures: the original Figure 3 program and its transformations
+// in Figures 4a/4b/5a/5b must be behaviourally identical.
+const paperInput = "2\n10 2\n3 2 8 4\n100 3\n0 5 10 2 40 3\n"
+
+const fig3 = `#include <iostream>
+#include <cstdio>
+#include <algorithm>
+using namespace std;
+int main() {
+    int nCase;
+    cin >> nCase;
+    for (int iCase = 1; iCase <= nCase; ++iCase) {
+        int d, n;
+        double t = 0;
+        cin >> d >> n;
+        for (int i = 0; i < n; ++i) {
+            int x, y;
+            cin >> x >> y;
+            x = d - x;
+            t = max(t, (double)x / (double)y);
+        }
+        printf("Case #%d: %.6lf\n", iCase, (double)d / t);
+    }
+}`
+
+const fig4a = `#include <iostream>
+#include <cstdio>
+#include <algorithm>
+using namespace std;
+double solveTestCase(int d, int n) {
+    double maxTime = 0;
+    for (int i = 0; i < n; ++i) {
+        int x, y;
+        cin >> x >> y;
+        x = d - x;
+        maxTime = max(maxTime, (double)x / (double)y);
+    }
+    return (double)d / maxTime;
+}
+int main() {
+    int numCase;
+    cin >> numCase;
+    for (int iCase = 1; iCase <= numCase; ++iCase) {
+        int distance, numHorses;
+        cin >> distance >> numHorses;
+        double result = solveTestCase(distance, numHorses);
+        printf("Case #%d: %.6lf\n", iCase, result);
+    }
+}`
+
+const fig5b = `#include <iostream>
+#include <cstdio>
+#include <algorithm>
+using namespace std;
+double solve_test_case(int case_number) {
+    int d, n;
+    cin >> d >> n;
+    double max_time = 0;
+    for (int i = 0; i < n; ++i) {
+        int x, y;
+        cin >> x >> y;
+        x = d - x;
+        max_time = max(max_time, (double)x / (double)y);
+    }
+    return (double)d / max_time;
+}
+int main() {
+    int num_cases;
+    cin >> num_cases;
+    for (int case_num = 1; case_num <= num_cases; ++case_num) {
+        double result = solve_test_case(case_num);
+        printf("Case #%d: %.6lf\n", case_num, result);
+    }
+}`
+
+func TestPaperFiguresBehaviourallyEquivalent(t *testing.T) {
+	// Figure 4b reads d,n inside solveTestCase like 5b; fig4a reads in
+	// main. All must agree with the original.
+	want := run(t, fig3, paperInput)
+	if !strings.HasPrefix(want, "Case #1: ") {
+		t.Fatalf("unexpected original output %q", want)
+	}
+	for _, tc := range []struct {
+		name string
+		src  string
+	}{
+		{"figure 4a (NCT round 1)", fig4a},
+		{"figure 5b (CT round 2)", fig5b},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := run(t, tc.src, paperInput)
+			if got != want {
+				t.Errorf("transformed output differs:\n got %q\nwant %q", got, want)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		src     string
+		stdin   string
+		wantSub string
+	}{
+		{
+			name:    "no main",
+			src:     "int helper() { return 1; }",
+			wantSub: "no main",
+		},
+		{
+			name:    "division by zero",
+			src:     "int main(){int a=1,b=0;int c=a/b;return c;}",
+			wantSub: "division by zero",
+		},
+		{
+			name:    "modulo by zero",
+			src:     "int main(){int a=1,b=0;int c=a%b;return c;}",
+			wantSub: "modulo by zero",
+		},
+		{
+			name:    "undefined variable",
+			src:     "int main(){x=1;return 0;}",
+			wantSub: "undefined",
+		},
+		{
+			name:    "input exhausted",
+			src:     "#include <iostream>\nusing namespace std;\nint main(){int x;cin>>x;return 0;}",
+			stdin:   "",
+			wantSub: "input exhausted",
+		},
+		{
+			name:    "index out of range",
+			src:     "int main(){int a[3];a[5]=1;return 0;}",
+			wantSub: "out of range",
+		},
+		{
+			name:    "infinite loop hits step budget",
+			src:     "int main(){int x=0;while(1){x++;}return x;}",
+			wantSub: "step budget",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Run(tt.src, tt.stdin, WithMaxSteps(200_000))
+			if err == nil {
+				t.Fatalf("Run succeeded, want error containing %q", tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestRunErrorHasLine(t *testing.T) {
+	src := "int main() {\n  int a = 1;\n  int b = a / 0;\n  return b;\n}"
+	_, err := Run(src, "")
+	re, ok := err.(*RunError)
+	if !ok {
+		t.Fatalf("error type %T, want *RunError", err)
+	}
+	if re.Line != 3 {
+		t.Errorf("error line = %d, want 3", re.Line)
+	}
+}
+
+func TestCoutDefaultDoubleFormatting(t *testing.T) {
+	src := "#include <iostream>\nusing namespace std;\nint main(){cout<<2.5<<\" \"<<100.0<<\" \"<<(1.0/3.0)<<endl;}"
+	got := run(t, src, "")
+	if got != "2.5 100 0.333333\n" {
+		t.Errorf("default formatting = %q, want %q", got, "2.5 100 0.333333\n")
+	}
+}
+
+func TestContainerPassByValueVsReference(t *testing.T) {
+	src := `#include <iostream>
+#include <vector>
+using namespace std;
+void byval(vector<int> v){v[0]=99;}
+void byref(vector<int> &v){v[0]=42;}
+int main(){vector<int> v(2);byval(v);cout<<v[0];byref(v);cout<<" "<<v[0]<<endl;}`
+	got := run(t, src, "")
+	if got != "0 42\n" {
+		t.Errorf("got %q, want %q", got, "0 42\n")
+	}
+}
+
+func TestGlobalArrayMemo(t *testing.T) {
+	src := `#include <iostream>
+using namespace std;
+long long memo[50];
+long long fib(int n){
+    if(n<2) return n;
+    if(memo[n]!=0) return memo[n];
+    memo[n]=fib(n-1)+fib(n-2);
+    return memo[n];
+}
+int main(){cout<<fib(40)<<endl;}`
+	got := run(t, src, "")
+	if got != "102334155\n" {
+		t.Errorf("fib(40) = %q, want 102334155", got)
+	}
+}

@@ -1,0 +1,70 @@
+package cppprint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/cppast"
+	"gptattr/internal/style"
+)
+
+// structuralKinds are node kinds whose counts printing must preserve
+// exactly (layout-only reprinting cannot add or drop control flow).
+var structuralKinds = []string{
+	"FuncDecl", "For", "While", "DoWhile", "If", "Switch", "Return",
+	"Break", "Continue", "CallExpr", "VarDecl", "CastExpr", "TernaryExpr",
+}
+
+// TestPrintPreservesStructure: parse -> print -> reparse keeps every
+// structural node count, for every challenge x several profiles x all
+// printer configs.
+func TestPrintPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for ci, c := range challenge.All() {
+		prof := style.Random(fmt.Sprintf("S%d", ci), rng)
+		src := codegen.Render(c.Prog, prof, int64(ci))
+		orig := cppast.CountKinds(cppast.MustParse(src))
+		for cfgI, cfg := range configs {
+			printed := Print(cppast.MustParse(src), cfg)
+			got := cppast.CountKinds(cppast.MustParse(printed))
+			for _, kind := range structuralKinds {
+				if got[kind] != orig[kind] {
+					t.Fatalf("%s config %d: %s count %d -> %d\n--- printed ---\n%s",
+						c.Key(), cfgI, kind, orig[kind], got[kind], printed)
+				}
+			}
+			if got["Unknown"] != 0 {
+				t.Fatalf("%s config %d: printed source does not reparse cleanly:\n%s",
+					c.Key(), cfgI, printed)
+			}
+		}
+	}
+}
+
+// TestPrintNeverPanicsOnParserOutput feeds the printer arbitrary-ish
+// sources through the tolerant parser: whatever the parser produces,
+// printing must not panic and the output must re-parse.
+func TestPrintNeverPanicsOnParserOutput(t *testing.T) {
+	snippets := []string{
+		"",
+		";;;",
+		"int x",
+		"int main() { if (x) }",
+		"void f(int, double) {}",
+		"struct P { int x; };",
+		"template <typename T> T id(T v) { return v; }",
+		"int main() { for (;;) break; }",
+		"int a[10]; int main() { return a[0]; }",
+		"@#$%^&*",
+		"int main() { switch (x) { } }",
+		"using x = int; int main() {}",
+	}
+	for _, src := range snippets {
+		tu := cppast.MustParse(src)
+		printed := Print(tu, Config{})
+		_ = cppast.MustParse(printed) // must not panic either
+	}
+}

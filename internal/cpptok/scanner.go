@@ -1,0 +1,342 @@
+package cpptok
+
+import (
+	"fmt"
+	"strings"
+)
+
+// operators lists all multi-character operators, longest first, so the
+// scanner can apply maximal munch. Single-character punctuation is
+// handled as a fallback.
+var operators = []string{
+	"<<=", ">>=", "...", "->*", "<=>",
+	"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+}
+
+// ScanError describes a lexical error with its source position.
+type ScanError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ScanError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Scan tokenizes src. It is tolerant: unterminated strings and comments
+// are returned as tokens extending to end of input, and an error is
+// reported alongside the tokens so stylometry can proceed on partially
+// malformed files. The returned slice always ends with a KindEOF token.
+func Scan(src string) ([]Token, error) {
+	s := &scanner{src: src, line: 1, col: 1}
+	var firstErr error
+	var toks []Token
+	for {
+		tok, err := s.next()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if tok.Kind != KindInvalid {
+			toks = append(toks, tok)
+		}
+		if tok.Kind == KindEOF {
+			break
+		}
+	}
+	return toks, firstErr
+}
+
+// MustScan tokenizes src, ignoring lexical errors. It is intended for
+// sources produced by this module's own code generator, which are always
+// lexically valid.
+func MustScan(src string) []Token {
+	toks, _ := Scan(src)
+	return toks
+}
+
+type scanner struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func (s *scanner) eof() bool { return s.off >= len(s.src) }
+
+func (s *scanner) peek() byte {
+	if s.eof() {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *scanner) peekAt(n int) byte {
+	if s.off+n >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+n]
+}
+
+// advance consumes n bytes, maintaining line/col.
+func (s *scanner) advance(n int) {
+	for i := 0; i < n && s.off < len(s.src); i++ {
+		if s.src[s.off] == '\n' {
+			s.line++
+			s.col = 1
+		} else {
+			s.col++
+		}
+		s.off++
+	}
+}
+
+func (s *scanner) errorf(line, col int, format string, args ...any) error {
+	return &ScanError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// atLineStart reports whether only whitespace precedes the current
+// offset on this line. Used to recognize preprocessor directives.
+func (s *scanner) atLineStart() bool {
+	for i := s.off - 1; i >= 0; i-- {
+		switch s.src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *scanner) next() (Token, error) {
+	// Skip whitespace.
+	for !s.eof() {
+		c := s.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			s.advance(1)
+			continue
+		}
+		break
+	}
+	if s.eof() {
+		return Token{Kind: KindEOF, Line: s.line, Col: s.col}, nil
+	}
+
+	startLine, startCol, startOff := s.line, s.col, s.off
+	c := s.peek()
+
+	mk := func(kind Kind) Token {
+		return Token{Kind: kind, Text: s.src[startOff:s.off], Line: startLine, Col: startCol}
+	}
+
+	switch {
+	case c == '#' && s.atLineStart():
+		// Preprocessor directive: consume to end of line, honoring
+		// backslash continuations.
+		for !s.eof() && s.peek() != '\n' {
+			if s.peek() == '\\' && s.peekAt(1) == '\n' {
+				s.advance(2)
+				continue
+			}
+			s.advance(1)
+		}
+		return mk(KindPreproc), nil
+
+	case c == '/' && s.peekAt(1) == '/':
+		for !s.eof() && s.peek() != '\n' {
+			s.advance(1)
+		}
+		return mk(KindLineComment), nil
+
+	case c == '/' && s.peekAt(1) == '*':
+		s.advance(2)
+		for !s.eof() {
+			if s.peek() == '*' && s.peekAt(1) == '/' {
+				s.advance(2)
+				return mk(KindBlockComment), nil
+			}
+			s.advance(1)
+		}
+		return mk(KindBlockComment), s.errorf(startLine, startCol, "unterminated block comment")
+
+	case isIdentStart(c):
+		// Raw string literal R"(...)"
+		if c == 'R' && s.peekAt(1) == '"' {
+			return s.rawString(startLine, startCol, startOff)
+		}
+		for !s.eof() && isIdentCont(s.peek()) {
+			s.advance(1)
+		}
+		text := s.src[startOff:s.off]
+		if cppKeywords[text] {
+			return mk(KindKeyword), nil
+		}
+		return mk(KindIdent), nil
+
+	case c >= '0' && c <= '9', c == '.' && isDigit(s.peekAt(1)):
+		return s.number(startLine, startCol, startOff)
+
+	case c == '"':
+		return s.quoted('"', KindStringLit, startLine, startCol, startOff)
+
+	case c == '\'':
+		return s.quoted('\'', KindCharLit, startLine, startCol, startOff)
+
+	default:
+		for _, op := range operators {
+			if strings.HasPrefix(s.src[s.off:], op) {
+				s.advance(len(op))
+				return mk(KindPunct), nil
+			}
+		}
+		s.advance(1)
+		if !isPunct(c) {
+			return mk(KindPunct), s.errorf(startLine, startCol, "unexpected character %q", c)
+		}
+		return mk(KindPunct), nil
+	}
+}
+
+func (s *scanner) rawString(line, col, startOff int) (Token, error) {
+	// R"delim( ... )delim"
+	s.advance(2) // R"
+	delimStart := s.off
+	for !s.eof() && s.peek() != '(' {
+		s.advance(1)
+	}
+	if s.eof() {
+		return Token{Kind: KindStringLit, Text: s.src[startOff:s.off], Line: line, Col: col},
+			s.errorf(line, col, "unterminated raw string")
+	}
+	delim := s.src[delimStart:s.off]
+	s.advance(1) // (
+	closer := ")" + delim + `"`
+	for !s.eof() {
+		if strings.HasPrefix(s.src[s.off:], closer) {
+			s.advance(len(closer))
+			return Token{Kind: KindStringLit, Text: s.src[startOff:s.off], Line: line, Col: col}, nil
+		}
+		s.advance(1)
+	}
+	return Token{Kind: KindStringLit, Text: s.src[startOff:s.off], Line: line, Col: col},
+		s.errorf(line, col, "unterminated raw string")
+}
+
+func (s *scanner) quoted(q byte, kind Kind, line, col, startOff int) (Token, error) {
+	s.advance(1)
+	for !s.eof() {
+		c := s.peek()
+		if c == '\\' {
+			s.advance(2)
+			continue
+		}
+		if c == q {
+			s.advance(1)
+			return Token{Kind: kind, Text: s.src[startOff:s.off], Line: line, Col: col}, nil
+		}
+		if c == '\n' {
+			break
+		}
+		s.advance(1)
+	}
+	return Token{Kind: kind, Text: s.src[startOff:s.off], Line: line, Col: col},
+		s.errorf(line, col, "unterminated %s literal", kind)
+}
+
+func (s *scanner) number(line, col, startOff int) (Token, error) {
+	isFloat := false
+	if s.peek() == '0' && (s.peekAt(1) == 'x' || s.peekAt(1) == 'X') {
+		s.advance(2)
+		for !s.eof() && isHexDigit(s.peek()) {
+			s.advance(1)
+		}
+	} else {
+		for !s.eof() && isDigit(s.peek()) {
+			s.advance(1)
+		}
+		if s.peek() == '.' && s.peekAt(1) != '.' {
+			isFloat = true
+			s.advance(1)
+			for !s.eof() && isDigit(s.peek()) {
+				s.advance(1)
+			}
+		}
+		if c := s.peek(); c == 'e' || c == 'E' {
+			next := s.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(s.peekAt(2))) {
+				isFloat = true
+				s.advance(2)
+				for !s.eof() && isDigit(s.peek()) {
+					s.advance(1)
+				}
+			}
+		}
+	}
+	// Suffixes: u, l, ll, f, etc.
+	for !s.eof() {
+		switch s.peek() {
+		case 'u', 'U', 'l', 'L':
+			s.advance(1)
+		case 'f', 'F':
+			isFloat = true
+			s.advance(1)
+		default:
+			goto done
+		}
+	}
+done:
+	kind := KindIntLit
+	if isFloat {
+		kind = KindFloatLit
+	}
+	return Token{Kind: kind, Text: s.src[startOff:s.off], Line: line, Col: col}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func isPunct(c byte) bool {
+	switch c {
+	case '{', '}', '(', ')', '[', ']', ';', ',', '.', ':', '?',
+		'+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '~', '#', '\\', '@', '$', '`':
+		return true
+	}
+	return false
+}
+
+// StripComments returns toks without comment tokens. The input slice is
+// not modified.
+func StripComments(toks []Token) []Token {
+	out := make([]Token, 0, len(toks))
+	for _, t := range toks {
+		if !t.IsComment() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Idents returns the text of every identifier token, in order.
+func Idents(toks []Token) []string {
+	var out []string
+	for _, t := range toks {
+		if t.Kind == KindIdent {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}

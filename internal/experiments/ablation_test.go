@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationFeatureFamilies(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.AblationFeatureFamilies()
+	if err != nil {
+		t.Fatalf("AblationFeatureFamilies: %v", err)
+	}
+	for _, fam := range []string{"lexical", "layout", "syntactic", "all"} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("missing %s row:\n%s", fam, out)
+		}
+	}
+}
+
+func TestAblationStickiness(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.AblationStickiness()
+	if err != nil {
+		t.Fatalf("AblationStickiness: %v", err)
+	}
+	if !strings.Contains(out, "0.95") || !strings.Contains(out, "NCT distinct") {
+		t.Errorf("malformed table:\n%s", out)
+	}
+}
+
+func TestAblationForestSizeAndSelection(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.AblationForestSize()
+	if err != nil {
+		t.Fatalf("AblationForestSize: %v", err)
+	}
+	if !strings.Contains(out, "Trees") {
+		t.Errorf("malformed:\n%s", out)
+	}
+	out, err = s.AblationFeatureSelection()
+	if err != nil {
+		t.Fatalf("AblationFeatureSelection: %v", err)
+	}
+	if !strings.Contains(out, "TopFeatures") {
+		t.Errorf("malformed:\n%s", out)
+	}
+}
+
+func TestAblationRepertoire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repertoire ablation regenerates six transformed corpora")
+	}
+	s := testSuite(t)
+	out, err := s.AblationRepertoire()
+	if err != nil {
+		t.Fatalf("AblationRepertoire: %v", err)
+	}
+	if !strings.Contains(out, "MaxObserved") {
+		t.Errorf("malformed:\n%s", out)
+	}
+}
+
+func TestAblationClassifier(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.AblationClassifier()
+	if err != nil {
+		t.Fatalf("AblationClassifier: %v", err)
+	}
+	if !strings.Contains(out, "random forest") || !strings.Contains(out, "kNN (k=3)") {
+		t.Errorf("malformed classifier ablation:\n%s", out)
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	s := testSuite(t)
+	names := s.AblationNames()
+	if len(names) != 6 {
+		t.Fatalf("ablations = %d, want 6", len(names))
+	}
+	abls := s.Ablations()
+	for _, n := range names {
+		if abls[n] == nil {
+			t.Errorf("ablation %q has nil runner", n)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gptattr/internal/corpus"
+)
+
+// suite is shared across tests at a small scale; building it exercises
+// the full dataset + oracle pipeline.
+var shared *Suite
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	if shared == nil {
+		shared = NewSuite(Scale{
+			Authors: 12, Rounds: 4, Trees: 16, TopFeatures: 250, NumStyles: 6, Seed: 7,
+		})
+	}
+	return shared
+}
+
+func TestTableIShapes(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.TableI()
+	if err != nil {
+		t.Fatalf("TableI: %v", err)
+	}
+	if !strings.Contains(out, "GCJ 2017") || !strings.Contains(out, "GCJ 2019") {
+		t.Errorf("missing year rows:\n%s", out)
+	}
+	// 12 authors x 8 challenges = 96.
+	if !strings.Contains(out, "96") {
+		t.Errorf("expected total 96:\n%s", out)
+	}
+}
+
+func TestTableIIShapes(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.TableII()
+	if err != nil {
+		t.Fatalf("TableII: %v", err)
+	}
+	// 4 settings x 4 rounds x 8 challenges = 128 per year.
+	if !strings.Contains(out, "128 (16x8)") {
+		t.Errorf("expected 128 (16x8):\n%s", out)
+	}
+}
+
+func TestTableIIIShapes(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.TableIII()
+	if err != nil {
+		t.Fatalf("TableIII: %v", err)
+	}
+	if !strings.Contains(out, "Combined") {
+		t.Errorf("no combined row:\n%s", out)
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	s := testSuite(t)
+	data, err := s.TableIVData()
+	if err != nil {
+		t.Fatalf("TableIVData: %v", err)
+	}
+	if data.Max < 1 || data.Max > 12 {
+		t.Errorf("max styles = %d, want within [1, 12] (repertoire bound)", data.Max)
+	}
+	for _, y := range Years() {
+		for _, set := range corpus.Settings() {
+			avg := data.Averages[y][set]
+			if avg < 1 || avg > 12 {
+				t.Errorf("%d/%s average = %v out of range", y, set, avg)
+			}
+		}
+	}
+	out, err := s.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "measured max styles") {
+		t.Errorf("missing footer:\n%s", out)
+	}
+}
+
+func TestTableDiversity(t *testing.T) {
+	s := testSuite(t)
+	for _, y := range Years() {
+		out, err := s.TableDiversity(y)
+		if err != nil {
+			t.Fatalf("TableDiversity(%d): %v", y, err)
+		}
+		if !strings.Contains(out, "Occurrences") {
+			t.Errorf("year %d: malformed table:\n%s", y, out)
+		}
+	}
+}
+
+func TestTablesVIIIandIX(t *testing.T) {
+	s := testSuite(t)
+	naive, err := s.TableVIIIData()
+	if err != nil {
+		t.Fatalf("TableVIIIData: %v", err)
+	}
+	fb, err := s.TableIXData()
+	if err != nil {
+		t.Fatalf("TableIXData: %v", err)
+	}
+	if len(naive) != 3 || len(fb) != 3 {
+		t.Fatalf("rows: naive %d, fb %d; want 3 each", len(naive), len(fb))
+	}
+	for i := range naive {
+		if naive[i].Result.MeanAccuracy <= 0.3 {
+			t.Errorf("year %d naive accuracy %.3f suspiciously low", naive[i].Year, naive[i].Result.MeanAccuracy)
+		}
+		if fb[i].Result.TargetLabel == "" {
+			t.Errorf("year %d: no target label", fb[i].Year)
+		}
+	}
+	// Aggregate paper-shape check: feature-based should not be worse
+	// than naive at attributing the ChatGPT set, summed over years.
+	var naiveRate, fbRate float64
+	for i := range naive {
+		naiveRate += naive[i].Result.ChatGPTRate
+		fbRate += fb[i].Result.ChatGPTRate
+	}
+	if fbRate+0.5 < naiveRate {
+		t.Errorf("feature-based total rate %.2f clearly below naive %.2f (paper shape violated)", fbRate, naiveRate)
+	}
+	outVIII, err := s.TableVIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outIX, err := s.TableIX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outVIII, "naive") || !strings.Contains(outIX, "feature-based") {
+		t.Error("table titles wrong")
+	}
+}
+
+func TestTableX(t *testing.T) {
+	s := testSuite(t)
+	data, err := s.TableXData()
+	if err != nil {
+		t.Fatalf("TableXData: %v", err)
+	}
+	if len(data) != 4 {
+		t.Fatalf("datasets = %d, want 4 (3 years + combined)", len(data))
+	}
+	for _, d := range data {
+		if d.Result.MeanAccuracy < 0.6 {
+			t.Errorf("dataset %d: binary accuracy %.3f < 0.6", d.Year, d.Result.MeanAccuracy)
+		}
+	}
+	combined := data[3]
+	if combined.Year != -1 {
+		t.Errorf("last dataset year = %d, want -1 (combined)", combined.Year)
+	}
+	if len(combined.Result.Folds) != 15 {
+		t.Errorf("combined folds = %d, want 15 (3 years x 5 challenges)", len(combined.Result.Folds))
+	}
+	out, err := s.TableX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Combined") {
+		t.Errorf("no combined column:\n%s", out)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	for _, want := range []string{"Figure 1", "transformation", "attribution", "feature-based"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if !strings.Contains(out, "NCT") || !strings.Contains(out, "CT") || !strings.Contains(out, "->") {
+		t.Errorf("figure 2 malformed:\n%s", out)
+	}
+}
+
+func TestFigure345(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.Figure345()
+	if err != nil {
+		t.Fatalf("Figure345: %v", err)
+	}
+	for _, want := range []string{"Figure 3", "Figure 4a", "Figure 4b", "Figure 5a", "Figure 5b", "int main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+}
+
+func TestSuiteDefaultsToQuickScale(t *testing.T) {
+	s := NewSuite(Scale{})
+	if s.Scale().Authors != QuickScale.Authors {
+		t.Errorf("zero scale not defaulted: %+v", s.Scale())
+	}
+}
+
+func TestYearCaching(t *testing.T) {
+	s := testSuite(t)
+	a, err := s.Year(2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Year(2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Year not cached")
+	}
+}
+
+func TestYearUnknown(t *testing.T) {
+	s := testSuite(t)
+	if _, err := s.Year(2031); err == nil {
+		t.Error("unknown year accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionCrossYear(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.ExtensionCrossYear()
+	if err != nil {
+		t.Fatalf("ExtensionCrossYear: %v", err)
+	}
+	if !strings.Contains(out, "2017") || !strings.Contains(out, "train\\test") {
+		t.Errorf("malformed cross-year table:\n%s", out)
+	}
+}
+
+func TestExtensionMultiLLM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-LLM extension regenerates three transformed corpora")
+	}
+	s := testSuite(t)
+	out, err := s.ExtensionMultiLLM()
+	if err != nil {
+		t.Fatalf("ExtensionMultiLLM: %v", err)
+	}
+	for _, want := range []string{"SimGPT", "SimGemini", "SimClaude", "transfer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	s := testSuite(t)
+	exts := s.Extensions()
+	for _, name := range []string{"multillm", "crossyear", "chaindepth", "gen500", "generated", "evasion"} {
+		if exts[name] == nil {
+			t.Errorf("extension %q missing", name)
+		}
+	}
+	if len(exts) != 6 {
+		t.Errorf("extensions = %d, want 6", len(exts))
+	}
+}
+
+func TestExtensionGeneratedAttribution(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.ExtensionGeneratedAttribution()
+	if err != nil {
+		t.Fatalf("ExtensionGeneratedAttribution: %v", err)
+	}
+	if !strings.Contains(out, "naive") || !strings.Contains(out, "feature-based") {
+		t.Errorf("malformed generated-attribution table:\n%s", out)
+	}
+}
+
+func TestExtensionGeneration500(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 500 sources")
+	}
+	s := testSuite(t)
+	out, err := s.ExtensionGeneration500()
+	if err != nil {
+		t.Fatalf("ExtensionGeneration500: %v", err)
+	}
+	if !strings.Contains(out, "distinct oracle labels") {
+		t.Errorf("malformed gen500 output:\n%s", out)
+	}
+}
+
+func TestExtensionEvasion(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.ExtensionEvasion()
+	if err != nil {
+		t.Fatalf("ExtensionEvasion: %v", err)
+	}
+	if !strings.Contains(out, "MCTS") && !strings.Contains(out, "nothing to attack") {
+		t.Errorf("malformed evasion output:\n%s", out)
+	}
+}
+
+func TestExtensionChainDepth(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.ExtensionChainDepth()
+	if err != nil {
+		t.Fatalf("ExtensionChainDepth: %v", err)
+	}
+	if !strings.Contains(out, "Rounds") || !strings.Contains(out, "BalancedAcc") {
+		t.Errorf("malformed chain-depth table:\n%s", out)
+	}
+}

@@ -1,0 +1,438 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/corpus"
+)
+
+// renderTable formats rows with aligned columns.
+func renderTable(title string, header []string, rows [][]string, footer string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	if footer != "" {
+		b.WriteString(footer + "\n")
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+func itos(i int) string    { return fmt.Sprintf("%d", i) }
+func f1s(f float64) string { return fmt.Sprintf("%.1f", f) }
+func mark(ok bool) string {
+	if ok {
+		return "Y"
+	}
+	return "x"
+}
+
+// TableI reports the non-ChatGPT dataset shapes (paper Table I:
+// 204 authors x 8 challenges = 1,632 per year).
+func (s *Suite) TableI() (string, error) {
+	var rows [][]string
+	for _, y := range Years() {
+		yd, err := s.Year(y)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("GCJ %d", y),
+			itos(len(yd.Human.Authors())),
+			"8", "C++",
+			itos(len(yd.Human.Samples)),
+		})
+	}
+	return renderTable(
+		"Table I: non-ChatGPT datasets (paper: 204 authors, 8 challenges, 1,632 total per year)",
+		[]string{"Dataset", "Authors", "Challenges", "Language", "Total"},
+		rows, ""), nil
+}
+
+// TableII reports the transformed dataset shapes (paper Table II:
+// 50 per setting per challenge; 1,600 per year).
+func (s *Suite) TableII() (string, error) {
+	var rows [][]string
+	for _, y := range Years() {
+		yd, err := s.Year(y)
+		if err != nil {
+			return "", err
+		}
+		counts := map[corpus.Setting]int{}
+		for _, smp := range yd.Transformed.Samples {
+			counts[smp.Setting]++
+		}
+		per := func(set corpus.Setting) string { return itos(counts[set] / 8) }
+		rows = append(rows, []string{
+			fmt.Sprintf("GCJ %d", y),
+			per(corpus.SettingGPTNCT), per(corpus.SettingGPTCT),
+			per(corpus.SettingHumNCT), per(corpus.SettingHumCT),
+			fmt.Sprintf("%d (%dx8)", len(yd.Transformed.Samples), len(yd.Transformed.Samples)/8),
+		})
+	}
+	return renderTable(
+		"Table II: ChatGPT-transformed datasets per challenge (paper: 50 per setting; 1,600 (200x8) per year)",
+		[]string{"Dataset", "+N", "+C", "±N", "±C", "Total"},
+		rows, ""), nil
+}
+
+// TableIII reports the binary-classification dataset shapes (paper
+// Table III: 3,200 per year; combined 6,000 over 15 challenges).
+func (s *Suite) TableIII() (string, error) {
+	var rows [][]string
+	for _, y := range Years() {
+		yd, err := s.Year(y)
+		if err != nil {
+			return "", err
+		}
+		perCh := len(yd.Transformed.Samples) / 8
+		total := 2 * len(yd.Transformed.Samples)
+		rows = append(rows, []string{
+			fmt.Sprintf("GCJ %d", y), "8", itos(2 * perCh), "C++", itos(total),
+		})
+	}
+	// Combined: 5 challenges per year across 3 years.
+	combinedTotal := 0
+	for _, y := range Years() {
+		yd, err := s.Year(y)
+		if err != nil {
+			return "", err
+		}
+		kept := yd.Transformed.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) })
+		combinedTotal += 2 * len(kept.Samples)
+	}
+	perCh := 0
+	if yd, err := s.Year(2017); err == nil {
+		perCh = 2 * len(yd.Transformed.Samples) / 8
+	}
+	rows = append(rows, []string{"Combined", "15", itos(perCh), "C++", itos(combinedTotal)})
+	return renderTable(
+		"Table III: binary classification datasets (paper: 3,200 per year; combined 6,000)",
+		[]string{"Dataset", "Challenges", "Codes/challenge", "Language", "Total"},
+		rows, ""), nil
+}
+
+// keepCombined keeps challenges C1..C5 for the combined dataset (the
+// paper reduces 8 challenges to 5 per year to balance at 6,000).
+func keepCombined(ch string) bool {
+	switch ch {
+	case "C1", "C2", "C3", "C4", "C5":
+		return true
+	}
+	return false
+}
+
+// TableIVResult holds the number-of-styles analysis.
+type TableIVResult struct {
+	// Counts[year][challenge][setting] = distinct oracle labels.
+	Counts map[int]map[string]map[corpus.Setting]int
+	// Averages[year][setting] = mean over challenges.
+	Averages map[int]map[corpus.Setting]float64
+	// Max is the largest cell (paper: 12).
+	Max int
+}
+
+// TableIVData computes the structured Table IV result.
+func (s *Suite) TableIVData() (*TableIVResult, error) {
+	res := &TableIVResult{
+		Counts:   make(map[int]map[string]map[corpus.Setting]int),
+		Averages: make(map[int]map[corpus.Setting]float64),
+	}
+	for _, y := range Years() {
+		yd, err := s.Year(y)
+		if err != nil {
+			return nil, err
+		}
+		res.Counts[y] = yd.Stats.CountsByChallenge
+		res.Averages[y] = make(map[corpus.Setting]float64)
+		for _, set := range corpus.Settings() {
+			res.Averages[y][set] = yd.Stats.AverageStyleCount(set)
+		}
+		if m := yd.Stats.MaxStyleCount(); m > res.Max {
+			res.Max = m
+		}
+	}
+	return res, nil
+}
+
+// TableIV renders the number-of-styles table (paper Table IV; averages
+// 3.1/1.8/2.5/2.0, 3.9/1.8/9.6/3.8, 3.3/1.5/7.1/2.4; max 12).
+func (s *Suite) TableIV() (string, error) {
+	data, err := s.TableIVData()
+	if err != nil {
+		return "", err
+	}
+	header := []string{"C"}
+	for range Years() {
+		header = append(header, "+N", "+C", "±N", "±C")
+	}
+	var rows [][]string
+	for c := 1; c <= 8; c++ {
+		ch := fmt.Sprintf("C%d", c)
+		row := []string{ch}
+		for _, y := range Years() {
+			for _, set := range corpus.Settings() {
+				row = append(row, itos(data.Counts[y][ch][set]))
+			}
+		}
+		rows = append(rows, row)
+	}
+	avg := []string{"A"}
+	for _, y := range Years() {
+		for _, set := range corpus.Settings() {
+			avg = append(avg, f1s(data.Averages[y][set]))
+		}
+	}
+	rows = append(rows, avg)
+	title := "Table IV: number of styles (columns grouped 2017 | 2018 | 2019)\n" +
+		"paper averages: 2017: 3.1/1.8/2.5/2.0  2018: 3.9/1.8/9.6/3.8  2019: 3.3/1.5/7.1/2.4; max 12"
+	footer := fmt.Sprintf("measured max styles: %d (paper: 12)", data.Max)
+	return renderTable(title, header, rows, footer), nil
+}
+
+// TableDiversity renders the diversity-of-styles histogram for one
+// year (paper Tables V-VII).
+func (s *Suite) TableDiversity(year int) (string, error) {
+	yd, err := s.Year(year)
+	if err != nil {
+		return "", err
+	}
+	top := yd.Stats.TopLabels(2)
+	var rows [][]string
+	for _, l := range top {
+		rows = append(rows, []string{l.Label, itos(l.Occurrences), fmt.Sprintf("%.1f", l.Percentage)})
+	}
+	singles := 0
+	for _, c := range yd.Stats.Histogram {
+		if c < 2 {
+			singles++
+		}
+	}
+	paper := map[int]string{
+		2017: "paper: head label A49 at 77.1%",
+		2018: "paper: top three labels total 66.5% (24.8/23.4/18.3)",
+		2019: "paper: top two labels total 58.6% (39.9/18.7)",
+	}
+	title := fmt.Sprintf("Table %s: diversity of styles - GCJ %d (%s)",
+		map[int]string{2017: "V", 2018: "VI", 2019: "VII"}[year], year, paper[year])
+	footer := fmt.Sprintf("filtered %d label(s) with fewer than two occurrences", singles)
+	return renderTable(title, []string{"Label", "Occurrences", "Percentage"}, rows, footer), nil
+}
+
+// AttributionRow bundles one year's Table VIII/IX result.
+type AttributionRow struct {
+	Year   int
+	Result *attrib.AttributionResult
+}
+
+// TableVIIIData evaluates the naive approach per year.
+func (s *Suite) TableVIIIData() ([]AttributionRow, error) {
+	return s.attributionData(attrib.ApproachNaive)
+}
+
+// TableIXData evaluates the feature-based approach per year.
+func (s *Suite) TableIXData() ([]AttributionRow, error) {
+	return s.attributionData(attrib.ApproachFeatureBased)
+}
+
+func (s *Suite) attributionData(a attrib.Approach) ([]AttributionRow, error) {
+	var out []AttributionRow
+	for _, y := range Years() {
+		yd, err := s.Year(y)
+		if err != nil {
+			return nil, err
+		}
+		res, err := attrib.EvaluateAttribution(yd.Human, yd.Transformed, yd.Oracle, a, s.attribConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: year %d %s: %w", y, a, err)
+		}
+		out = append(out, AttributionRow{Year: y, Result: res})
+	}
+	return out, nil
+}
+
+// TableVIII renders the naive-approach accuracies (paper Table VIII:
+// averages 90.2/80.2/85.4; N rates 100/50/37.5).
+func (s *Suite) TableVIII() (string, error) {
+	data, err := s.TableVIIIData()
+	if err != nil {
+		return "", err
+	}
+	return renderAttribution("Table VIII: naive approach, 205 authors\n"+
+		"paper: avg accuracy 90.2/80.2/85.4; ChatGPT-set rate 100/50/37.5", data, false), nil
+}
+
+// TableIX renders the feature-based accuracies (paper Table IX:
+// averages 90.2/79.6/85.2; T 100/100/62.5; F 100/87.5/62.5).
+func (s *Suite) TableIX() (string, error) {
+	data, err := s.TableIXData()
+	if err != nil {
+		return "", err
+	}
+	return renderAttribution("Table IX: feature-based approach, 205 authors\n"+
+		"paper: avg accuracy 90.2/79.6/85.2; target rate 100/100/62.5; ChatGPT-set rate 100/87.5/62.5", data, true), nil
+}
+
+func renderAttribution(title string, data []AttributionRow, withTarget bool) string {
+	header := []string{"C"}
+	for _, row := range data {
+		if withTarget {
+			header = append(header, fmt.Sprintf("%d", row.Year), "T", "F")
+		} else {
+			header = append(header, fmt.Sprintf("%d", row.Year), "N")
+		}
+	}
+	var rows [][]string
+	for c := 0; c < 8; c++ {
+		row := []string{fmt.Sprintf("C%d", c+1)}
+		for _, d := range data {
+			if c >= len(d.Result.Folds) {
+				row = append(row, "-", "-")
+				if withTarget {
+					row = append(row, "-")
+				}
+				continue
+			}
+			f := d.Result.Folds[c]
+			row = append(row, pct(f.Accuracy))
+			if withTarget {
+				row = append(row, mark(f.TargetOK), mark(f.ChatGPTOK))
+			} else {
+				row = append(row, mark(f.ChatGPTOK))
+			}
+		}
+		rows = append(rows, row)
+	}
+	avg := []string{"A"}
+	for _, d := range data {
+		avg = append(avg, pct(d.Result.MeanAccuracy))
+		if withTarget {
+			avg = append(avg, pct(d.Result.TargetRate), pct(d.Result.ChatGPTRate))
+		} else {
+			avg = append(avg, pct(d.Result.ChatGPTRate))
+		}
+	}
+	rows = append(rows, avg)
+	footer := ""
+	for _, d := range data {
+		if d.Result.TargetLabel != "" {
+			footer += fmt.Sprintf("%d target label: %s (set size %d)  ", d.Year, d.Result.TargetLabel, d.Result.SetSize)
+		}
+	}
+	return renderTable(title, header, rows, strings.TrimSpace(footer))
+}
+
+// TableXData evaluates binary classification for each year and the
+// combined dataset; the combined entry carries year -1.
+func (s *Suite) TableXData() ([]struct {
+	Year   int
+	Result *attrib.BinaryResult
+}, error) {
+	var out []struct {
+		Year   int
+		Result *attrib.BinaryResult
+	}
+	cfg := s.attribConfig()
+	var humans, gpts []*corpus.Corpus
+	for _, y := range Years() {
+		yd, err := s.Year(y)
+		if err != nil {
+			return nil, err
+		}
+		res, err := attrib.EvaluateBinary(yd.Human, yd.Transformed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: binary %d: %w", y, err)
+		}
+		out = append(out, struct {
+			Year   int
+			Result *attrib.BinaryResult
+		}{y, res})
+		humans = append(humans, yd.Human.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) }))
+		gpts = append(gpts, yd.Transformed.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) }))
+	}
+	combined, err := attrib.EvaluateBinary(corpus.Merge(humans...), corpus.Merge(gpts...), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: binary combined: %w", err)
+	}
+	out = append(out, struct {
+		Year   int
+		Result *attrib.BinaryResult
+	}{-1, combined})
+	return out, nil
+}
+
+// TableX renders the binary-classification accuracies (paper Table X:
+// individual averages 90.9/89.7/93.8; combined 93.1).
+func (s *Suite) TableX() (string, error) {
+	data, err := s.TableXData()
+	if err != nil {
+		return "", err
+	}
+	header := []string{"Fold"}
+	for _, d := range data {
+		if d.Year < 0 {
+			header = append(header, "Combined")
+		} else {
+			header = append(header, fmt.Sprintf("%d", d.Year))
+		}
+	}
+	maxFolds := 0
+	for _, d := range data {
+		if len(d.Result.Folds) > maxFolds {
+			maxFolds = len(d.Result.Folds)
+		}
+	}
+	var rows [][]string
+	for i := 0; i < maxFolds; i++ {
+		row := []string{fmt.Sprintf("F%d", i+1)}
+		for _, d := range data {
+			if i < len(d.Result.Folds) {
+				f := d.Result.Folds[i]
+				row = append(row, fmt.Sprintf("%s=%s", f.Challenge, pct(f.Accuracy)))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	avg := []string{"A"}
+	for _, d := range data {
+		avg = append(avg, pct(d.Result.MeanAccuracy))
+	}
+	rows = append(rows, avg)
+	return renderTable("Table X: binary classification accuracy\n"+
+		"paper: individual averages 90.9/89.7/93.8; combined 93.1",
+		header, rows, ""), nil
+}

@@ -1,0 +1,89 @@
+package gpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/style"
+)
+
+// TestDetectRecognizesRenderedProfiles checks the codegen -> Detect
+// round trip underpinning self-affinity: a source rendered from a
+// profile must be detected closer to that profile than to most others.
+func TestDetectRecognizesRenderedProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ch, err := challenge.Get(2017, "C3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := make([]style.Profile, 8)
+	for i := range profiles {
+		profiles[i] = style.Random(string(rune('A'+i)), rng)
+	}
+	better := 0
+	for i, p := range profiles {
+		src := codegen.Render(ch.Prog, p, int64(i))
+		det := style.Detect(src)
+		own := style.Distance(det, p)
+		closerCount := 0
+		for j, q := range profiles {
+			if j != i && style.Distance(det, q) < own {
+				closerCount++
+			}
+		}
+		if closerCount <= 1 {
+			better++
+		}
+	}
+	if better < 6 {
+		t.Errorf("detection matched own profile best for only %d/8 profiles", better)
+	}
+}
+
+// TestSelfAffinityReducesNCTDiversity verifies the mechanism behind
+// the paper's +N < ±N observation: NCT over the model's own generation
+// stays more concentrated than NCT over foreign-style code.
+func TestSelfAffinityReducesNCTDiversity(t *testing.T) {
+	m := NewModel(Config{Seed: 23, NumStyles: 12, Skew: 1.0})
+	ch, err := challenge.Get(2017, "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownSrc, _ := m.Generate(ch.Prog)
+	foreign := codegen.Render(ch.Prog, style.Profile{
+		Name:              "foreigner",
+		Naming:            style.NamingVerbose,
+		Indent:            style.Indent{Width: 8},
+		Brace:             style.BraceAllman,
+		IO:                style.IOMixed,
+		Loop:              style.LoopWhile,
+		Decomp:            style.DecompSolvePrint,
+		Comments:          style.CommentBlock,
+		CommentDensity:    0.8,
+		UsingNamespaceStd: false,
+		SpaceAroundOps:    false,
+	}, 1)
+
+	distinct := func(rs []Result) int {
+		set := map[int]bool{}
+		for _, r := range rs {
+			set[r.StyleIndex] = true
+		}
+		return len(set)
+	}
+	own, err := m.NCT(ownSrc, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for_, err := m.NCT(foreign, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct(own) >= distinct(for_) {
+		t.Errorf("own-code NCT used %d styles, foreign-code NCT %d; want own < foreign",
+			distinct(own), distinct(for_))
+	}
+	t.Logf("own-code NCT styles: %d; foreign-code NCT styles: %d", distinct(own), distinct(for_))
+}

@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEvalErrorBranches(t *testing.T) {
+	run := func(p *Program) error {
+		_, err := Synthesize(p, 1, rand.New(rand.NewSource(1)))
+		return err
+	}
+	tests := []struct {
+		name    string
+		p       *Program
+		wantSub string
+	}{
+		{
+			name: "modulo by zero",
+			p: &Program{
+				Body: []Stmt{Decl{Name: "x", T: TInt, Init: Bin{Op: "%", L: IntLit{5}, R: IntLit{0}}}},
+				Out:  Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "modulo by zero",
+		},
+		{
+			name: "unknown operator",
+			p: &Program{
+				Body: []Stmt{Decl{Name: "x", T: TInt, Init: Bin{Op: "**", L: IntLit{2}, R: IntLit{3}}}},
+				Out:  Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "unsupported operator",
+		},
+		{
+			name: "unknown builtin",
+			p: &Program{
+				Body: []Stmt{Decl{Name: "x", T: TInt, Init: Call{Fn: "frobnicate", Args: []Expr{IntLit{1}}}}},
+				Out:  Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "unknown builtin",
+		},
+		{
+			name: "builtin arity",
+			p: &Program{
+				Body: []Stmt{Decl{Name: "x", T: TInt, Init: Call{Fn: "max", Args: []Expr{IntLit{1}}}}},
+				Out:  Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "expects",
+		},
+		{
+			name: "push to non-vector",
+			p: &Program{
+				Body: []Stmt{
+					Decl{Name: "x", T: TInt},
+					PushBack{Vec: "x", X: IntLit{1}},
+				},
+				Out: Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "not a vector",
+		},
+		{
+			name: "sort non-container",
+			p: &Program{
+				Body: []Stmt{
+					Decl{Name: "x", T: TInt},
+					SortVec{Vec: "x"},
+				},
+				Out: Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "not a container",
+		},
+		{
+			name: "len of scalar",
+			p: &Program{
+				Body: []Stmt{Decl{Name: "x", T: TInt, Init: Len{Arr: "x"}}},
+				Out:  Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "",
+		},
+		{
+			name: "huge array",
+			p: &Program{
+				Body: []Stmt{DeclArray{Name: "a", T: TInt, Size: IntLit{1 << 40}}},
+				Out:  Output{X: IntLit{0}, T: TInt},
+			},
+			wantSub: "out of range",
+		},
+		{
+			name: "assign index of scalar",
+			p: &Program{
+				Body: []Stmt{
+					Decl{Name: "x", T: TInt},
+					AssignIndex{Arr: "x", Idx: IntLit{0}, Op: "=", X: IntLit{1}},
+				},
+				Out: Output{X: Var{"x"}, T: TInt},
+			},
+			wantSub: "not a container",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.p)
+			if err == nil {
+				t.Fatal("Synthesize succeeded, want error")
+			}
+			if tt.wantSub != "" && !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestEvalLogicalAndFloatPaths(t *testing.T) {
+	p := &Program{
+		Body: []Stmt{
+			Decl{Name: "a", T: TInt, Init: IntLit{3}},
+			Decl{Name: "b", T: TFloat, Init: FloatLit{1.5}},
+			// Short-circuit both ways.
+			Decl{Name: "c", T: TInt, Init: Bin{Op: "&&", L: Bin{Op: ">", L: Var{"a"}, R: IntLit{0}}, R: Bin{Op: "<", L: Var{"b"}, R: FloatLit{2}}}},
+			Decl{Name: "d", T: TInt, Init: Bin{Op: "||", L: Bin{Op: "<", L: Var{"a"}, R: IntLit{0}}, R: Bin{Op: ">=", L: Var{"b"}, R: FloatLit{1.5}}}},
+			Decl{Name: "e", T: TInt, Init: Bin{Op: "&&", L: IntLit{0}, R: IntLit{1}}},
+			Decl{Name: "f", T: TInt, Init: Bin{Op: "||", L: IntLit{1}, R: IntLit{0}}},
+			// Float comparisons and abs/pow/sqrt.
+			Decl{Name: "g", T: TFloat, Init: Call{Fn: "abs", Args: []Expr{FloatLit{-2.5}}}},
+			Decl{Name: "h", T: TFloat, Init: Call{Fn: "pow", Args: []Expr{FloatLit{2}, FloatLit{3}}}},
+			Decl{Name: "i2", T: TFloat, Init: Call{Fn: "sqrt", Args: []Expr{FloatLit{16}}}},
+			Decl{Name: "j2", T: TFloat, Init: Call{Fn: "min", Args: []Expr{Var{"g"}, Var{"i2"}}}},
+			Decl{Name: "sum", T: TFloat, Init: Bin{Op: "+", L: Bin{Op: "+", L: Var{"g"}, R: Var{"h"}}, R: Bin{Op: "+", L: Var{"i2"}, R: Var{"j2"}}}},
+			Assign{Name: "sum", Op: "+=", X: Cast{To: TFloat, X: Bin{Op: "+", L: Bin{Op: "+", L: Var{"c"}, R: Var{"d"}}, R: Bin{Op: "+", L: Var{"e"}, R: Var{"f"}}}}},
+		},
+		Out: Output{X: Var{"sum"}, T: TFloat, Precision: 2},
+	}
+	run, err := Synthesize(p, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g=2.5 h=8 i2=4 j2=2.5 => 17; c=1 d=1 e=0 f=1 => +3 => 20.
+	if run.Output != "Case #1: 20.00\n" {
+		t.Errorf("output = %q, want Case #1: 20.00", run.Output)
+	}
+}
+
+func TestEvalIntAbsAndNegDivision(t *testing.T) {
+	p := &Program{
+		Body: []Stmt{
+			Decl{Name: "a", T: TInt, Init: Call{Fn: "abs", Args: []Expr{IntLit{-7}}}},
+			Decl{Name: "b", T: TInt, Init: Bin{Op: "/", L: IntLit{-7}, R: IntLit{2}}},
+			Decl{Name: "c", T: TInt, Init: Cast{To: TInt, X: FloatLit{3.9}}},
+		},
+		Out: Output{X: Bin{Op: "+", L: Bin{Op: "+", L: Var{"a"}, R: Var{"b"}}, R: Var{"c"}}, T: TInt},
+	}
+	run, err := Synthesize(p, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 + (-3) + 3 = 7.
+	if run.Output != "Case #1: 7\n" {
+		t.Errorf("output = %q, want Case #1: 7", run.Output)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TInt.String() != "int" || TFloat.String() != "float" {
+		t.Error("type names wrong")
+	}
+	if Type(9).String() == "" {
+		t.Error("unknown type has empty name")
+	}
+}
+
+func TestVecLenAndIfElse(t *testing.T) {
+	p := &Program{
+		Body: []Stmt{
+			DeclVec{Name: "vals", T: TInt},
+			PushBack{Vec: "vals", X: IntLit{4}},
+			PushBack{Vec: "vals", X: IntLit{2}},
+			Decl{Name: "n", T: TInt, Init: Len{Arr: "vals"}},
+			If{
+				Cond: Bin{Op: "==", L: Var{"n"}, R: IntLit{2}},
+				Then: []Stmt{Assign{Name: "n", Op: "*=", X: IntLit{10}}},
+				Else: []Stmt{Assign{Name: "n", Op: "=", X: IntLit{-1}}},
+			},
+		},
+		Out: Output{X: Var{"n"}, T: TInt},
+	}
+	run, err := Synthesize(p, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Output != "Case #1: 20\n" {
+		t.Errorf("output = %q", run.Output)
+	}
+}

@@ -1,0 +1,530 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// maxEvalSteps bounds IR execution per program run.
+const maxEvalSteps = 2_000_000
+
+// cell is an IR runtime value or container.
+type cell struct {
+	t   Type
+	i   int64
+	f   float64
+	arr []cell
+	vec bool // distinguishes vector (growable) from array
+}
+
+func (c cell) asFloat() float64 {
+	if c.t == TFloat {
+		return c.f
+	}
+	return float64(c.i)
+}
+
+func (c cell) asInt() int64 {
+	if c.t == TFloat {
+		return int64(c.f)
+	}
+	return c.i
+}
+
+func (c cell) truthy() bool {
+	if c.t == TFloat {
+		return c.f != 0
+	}
+	return c.i != 0
+}
+
+// Run is the result of evaluating a program on synthesized input.
+type Run struct {
+	// Input is the full stdin, including the leading case count.
+	Input string
+	// Output is the ground-truth stdout.
+	Output string
+	// Cases is the number of test cases.
+	Cases int
+}
+
+// Synthesize executes p for the given number of cases, generating
+// random input values (honoring each ReadDecl's bounds) as reads are
+// encountered, and returns both the assembled stdin and the
+// ground-truth stdout.
+func Synthesize(p *Program, cases int, rng *rand.Rand) (*Run, error) {
+	if cases < 1 {
+		return nil, fmt.Errorf("ir: cases = %d, want >= 1", cases)
+	}
+	var in, out strings.Builder
+	in.WriteString(strconv.Itoa(cases))
+	in.WriteByte('\n')
+	ev := &evaluator{rng: rng, in: &in}
+	for k := 1; k <= cases; k++ {
+		ev.env = make(map[string]*cell)
+		if err := ev.stmts(p.Body); err != nil {
+			return nil, fmt.Errorf("ir: case %d: %w", k, err)
+		}
+		v, err := ev.expr(p.Out.X)
+		if err != nil {
+			return nil, fmt.Errorf("ir: case %d output: %w", k, err)
+		}
+		out.WriteString(FormatCaseLine(k, v.asFloat(), v.asInt(), p.Out.T, p.Out.Precision))
+	}
+	return &Run{Input: in.String(), Output: out.String(), Cases: cases}, nil
+}
+
+// FormatCaseLine renders one "Case #k: value" line exactly the way both
+// printf("%.Nf") and cout<<fixed<<setprecision(N) would.
+func FormatCaseLine(k int, f float64, i int64, t Type, precision int) string {
+	if t == TFloat {
+		if precision <= 0 {
+			precision = 6
+		}
+		return fmt.Sprintf("Case #%d: %.*f\n", k, precision, f)
+	}
+	return fmt.Sprintf("Case #%d: %d\n", k, i)
+}
+
+type evaluator struct {
+	rng   *rand.Rand
+	in    *strings.Builder
+	env   map[string]*cell
+	steps int
+}
+
+func (ev *evaluator) step() error {
+	ev.steps++
+	if ev.steps > maxEvalSteps {
+		return fmt.Errorf("step budget exceeded")
+	}
+	return nil
+}
+
+func (ev *evaluator) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := ev.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) stmt(s Stmt) error {
+	if err := ev.step(); err != nil {
+		return err
+	}
+	switch n := s.(type) {
+	case Decl:
+		c := &cell{t: n.T}
+		if n.Init != nil {
+			v, err := ev.expr(n.Init)
+			if err != nil {
+				return err
+			}
+			*c = convert(v, n.T)
+		}
+		ev.env[n.Name] = c
+		return nil
+	case DeclArray:
+		sz, err := ev.expr(n.Size)
+		if err != nil {
+			return err
+		}
+		k := sz.asInt()
+		if k < 0 || k > 10_000_000 {
+			return fmt.Errorf("array %q size %d out of range", n.Name, k)
+		}
+		arr := make([]cell, k)
+		for i := range arr {
+			arr[i] = cell{t: n.T}
+		}
+		ev.env[n.Name] = &cell{t: n.T, arr: arr}
+		return nil
+	case DeclVec:
+		ev.env[n.Name] = &cell{t: n.T, arr: []cell{}, vec: true}
+		return nil
+	case ReadDecl:
+		for _, rv := range n.Vars {
+			c := &cell{t: n.T}
+			if n.T == TFloat {
+				f := float64(rv.Lo) + ev.rng.Float64()*float64(rv.Hi-rv.Lo)
+				f = math.Round(f*100) / 100 // two decimals keeps tokens exact
+				c.f = f
+				fmt.Fprintf(ev.in, "%s ", strconv.FormatFloat(f, 'f', 2, 64))
+			} else {
+				span := rv.Hi - rv.Lo + 1
+				if span <= 0 {
+					return fmt.Errorf("read %q: bad bounds [%d,%d]", rv.Name, rv.Lo, rv.Hi)
+				}
+				c.i = rv.Lo + ev.rng.Int63n(span)
+				fmt.Fprintf(ev.in, "%d ", c.i)
+			}
+			ev.env[rv.Name] = c
+		}
+		ev.in.WriteByte('\n')
+		return nil
+	case Assign:
+		return ev.assign(n.Name, n.Op, n.X)
+	case AssignIndex:
+		tgt, err := ev.elem(n.Arr, n.Idx)
+		if err != nil {
+			return err
+		}
+		v, err := ev.expr(n.X)
+		if err != nil {
+			return err
+		}
+		return applyOp(tgt, n.Op, v)
+	case PushBack:
+		c, ok := ev.env[n.Vec]
+		if !ok || !c.vec {
+			return fmt.Errorf("push_back on %q: not a vector", n.Vec)
+		}
+		v, err := ev.expr(n.X)
+		if err != nil {
+			return err
+		}
+		c.arr = append(c.arr, convert(v, c.t))
+		return nil
+	case SortVec:
+		c, ok := ev.env[n.Vec]
+		if !ok || c.arr == nil {
+			return fmt.Errorf("sort on %q: not a container", n.Vec)
+		}
+		sort.SliceStable(c.arr, func(i, j int) bool {
+			if c.t == TFloat {
+				return c.arr[i].f < c.arr[j].f
+			}
+			return c.arr[i].i < c.arr[j].i
+		})
+		return nil
+	case CountLoop:
+		from, err := ev.expr(n.From)
+		if err != nil {
+			return err
+		}
+		lv := &cell{t: TInt, i: from.asInt()}
+		ev.env[n.Var] = lv
+		for {
+			// Re-evaluate the bound every iteration, exactly like the
+			// rendered C++ for-loop condition does.
+			to, err := ev.expr(n.To)
+			if err != nil {
+				return err
+			}
+			if lv.i >= to.asInt() {
+				return nil
+			}
+			if err := ev.step(); err != nil {
+				return err
+			}
+			if err := ev.stmts(n.Body); err != nil {
+				return err
+			}
+			lv.i++
+		}
+	case WhileLoop:
+		for {
+			if err := ev.step(); err != nil {
+				return err
+			}
+			c, err := ev.expr(n.Cond)
+			if err != nil {
+				return err
+			}
+			if !c.truthy() {
+				return nil
+			}
+			if err := ev.stmts(n.Body); err != nil {
+				return err
+			}
+		}
+	case If:
+		c, err := ev.expr(n.Cond)
+		if err != nil {
+			return err
+		}
+		if c.truthy() {
+			return ev.stmts(n.Then)
+		}
+		return ev.stmts(n.Else)
+	default:
+		return fmt.Errorf("unsupported statement %T", s)
+	}
+}
+
+func (ev *evaluator) assign(name, op string, x Expr) error {
+	c, ok := ev.env[name]
+	if !ok {
+		return fmt.Errorf("assign to undeclared %q", name)
+	}
+	v, err := ev.expr(x)
+	if err != nil {
+		return err
+	}
+	return applyOp(c, op, v)
+}
+
+func applyOp(c *cell, op string, v cell) error {
+	if op == "=" {
+		*c = convert(v, c.t)
+		return nil
+	}
+	cur := *c
+	var res cell
+	var err error
+	res, err = binOp(strings.TrimSuffix(op, "="), cur, v)
+	if err != nil {
+		return err
+	}
+	*c = convert(res, c.t)
+	return nil
+}
+
+func (ev *evaluator) elem(arr string, idx Expr) (*cell, error) {
+	c, ok := ev.env[arr]
+	if !ok || c.arr == nil {
+		return nil, fmt.Errorf("%q is not a container", arr)
+	}
+	iv, err := ev.expr(idx)
+	if err != nil {
+		return nil, err
+	}
+	i := iv.asInt()
+	if i < 0 || i >= int64(len(c.arr)) {
+		return nil, fmt.Errorf("%q[%d] out of range [0,%d)", arr, i, len(c.arr))
+	}
+	return &c.arr[i], nil
+}
+
+func (ev *evaluator) expr(e Expr) (cell, error) {
+	if err := ev.step(); err != nil {
+		return cell{}, err
+	}
+	switch n := e.(type) {
+	case Var:
+		c, ok := ev.env[n.Name]
+		if !ok {
+			return cell{}, fmt.Errorf("undefined variable %q", n.Name)
+		}
+		return *c, nil
+	case IntLit:
+		return cell{t: TInt, i: n.V}, nil
+	case FloatLit:
+		return cell{t: TFloat, f: n.V}, nil
+	case Cast:
+		v, err := ev.expr(n.X)
+		if err != nil {
+			return cell{}, err
+		}
+		return convert(v, n.To), nil
+	case Index:
+		c, err := ev.elem(n.Arr, n.Idx)
+		if err != nil {
+			return cell{}, err
+		}
+		return *c, nil
+	case Len:
+		c, ok := ev.env[n.Arr]
+		if !ok || c.arr == nil {
+			return cell{}, fmt.Errorf("len of non-container %q", n.Arr)
+		}
+		return cell{t: TInt, i: int64(len(c.arr))}, nil
+	case Bin:
+		switch n.Op {
+		case "&&":
+			l, err := ev.expr(n.L)
+			if err != nil {
+				return cell{}, err
+			}
+			if !l.truthy() {
+				return cell{t: TInt}, nil
+			}
+			r, err := ev.expr(n.R)
+			if err != nil {
+				return cell{}, err
+			}
+			return boolCell(r.truthy()), nil
+		case "||":
+			l, err := ev.expr(n.L)
+			if err != nil {
+				return cell{}, err
+			}
+			if l.truthy() {
+				return boolCell(true), nil
+			}
+			r, err := ev.expr(n.R)
+			if err != nil {
+				return cell{}, err
+			}
+			return boolCell(r.truthy()), nil
+		}
+		l, err := ev.expr(n.L)
+		if err != nil {
+			return cell{}, err
+		}
+		r, err := ev.expr(n.R)
+		if err != nil {
+			return cell{}, err
+		}
+		return binOp(n.Op, l, r)
+	case Call:
+		args := make([]cell, len(n.Args))
+		for i, a := range n.Args {
+			v, err := ev.expr(a)
+			if err != nil {
+				return cell{}, err
+			}
+			args[i] = v
+		}
+		return callBuiltin(n.Fn, args)
+	default:
+		return cell{}, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func boolCell(b bool) cell {
+	if b {
+		return cell{t: TInt, i: 1}
+	}
+	return cell{t: TInt}
+}
+
+func convert(v cell, to Type) cell {
+	if v.t == to {
+		return v
+	}
+	if to == TFloat {
+		return cell{t: TFloat, f: float64(v.i)}
+	}
+	return cell{t: TInt, i: int64(v.f)}
+}
+
+func binOp(op string, l, r cell) (cell, error) {
+	isFloat := l.t == TFloat || r.t == TFloat
+	switch op {
+	case "+", "-", "*", "/":
+		if isFloat {
+			a, b := l.asFloat(), r.asFloat()
+			switch op {
+			case "+":
+				return cell{t: TFloat, f: a + b}, nil
+			case "-":
+				return cell{t: TFloat, f: a - b}, nil
+			case "*":
+				return cell{t: TFloat, f: a * b}, nil
+			default:
+				return cell{t: TFloat, f: a / b}, nil
+			}
+		}
+		a, b := l.i, r.i
+		switch op {
+		case "+":
+			return cell{t: TInt, i: a + b}, nil
+		case "-":
+			return cell{t: TInt, i: a - b}, nil
+		case "*":
+			return cell{t: TInt, i: a * b}, nil
+		default:
+			if b == 0 {
+				return cell{}, fmt.Errorf("integer division by zero")
+			}
+			return cell{t: TInt, i: a / b}, nil
+		}
+	case "%":
+		if r.asInt() == 0 {
+			return cell{}, fmt.Errorf("modulo by zero")
+		}
+		return cell{t: TInt, i: l.asInt() % r.asInt()}, nil
+	case "<", "<=", ">", ">=", "==", "!=":
+		var c int
+		if isFloat {
+			a, b := l.asFloat(), r.asFloat()
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		} else {
+			switch {
+			case l.i < r.i:
+				c = -1
+			case l.i > r.i:
+				c = 1
+			}
+		}
+		switch op {
+		case "<":
+			return boolCell(c < 0), nil
+		case "<=":
+			return boolCell(c <= 0), nil
+		case ">":
+			return boolCell(c > 0), nil
+		case ">=":
+			return boolCell(c >= 0), nil
+		case "==":
+			return boolCell(c == 0), nil
+		default:
+			return boolCell(c != 0), nil
+		}
+	default:
+		return cell{}, fmt.Errorf("unsupported operator %q", op)
+	}
+}
+
+func callBuiltin(fn string, args []cell) (cell, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d args, got %d", fn, n, len(args))
+		}
+		return nil
+	}
+	switch fn {
+	case "min", "max":
+		if err := need(2); err != nil {
+			return cell{}, err
+		}
+		a, b := args[0], args[1]
+		if a.t == TFloat || b.t == TFloat {
+			af, bf := a.asFloat(), b.asFloat()
+			if (fn == "max") == (af >= bf) {
+				return cell{t: TFloat, f: af}, nil
+			}
+			return cell{t: TFloat, f: bf}, nil
+		}
+		if (fn == "max") == (a.i >= b.i) {
+			return a, nil
+		}
+		return b, nil
+	case "abs":
+		if err := need(1); err != nil {
+			return cell{}, err
+		}
+		if args[0].t == TFloat {
+			return cell{t: TFloat, f: math.Abs(args[0].f)}, nil
+		}
+		i := args[0].i
+		if i < 0 {
+			i = -i
+		}
+		return cell{t: TInt, i: i}, nil
+	case "sqrt":
+		if err := need(1); err != nil {
+			return cell{}, err
+		}
+		return cell{t: TFloat, f: math.Sqrt(args[0].asFloat())}, nil
+	case "pow":
+		if err := need(2); err != nil {
+			return cell{}, err
+		}
+		return cell{t: TFloat, f: math.Pow(args[0].asFloat(), args[1].asFloat())}, nil
+	default:
+		return cell{}, fmt.Errorf("unknown builtin %q", fn)
+	}
+}

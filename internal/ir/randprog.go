@@ -1,0 +1,221 @@
+package ir
+
+import "math/rand"
+
+// RandomProgram generates a random, well-formed challenge program for
+// differential testing: the program is guaranteed free of undefined
+// behaviour the toolchain would disagree on (no division or modulo by
+// anything but nonzero literals, no NaN-producing math, bounded loops,
+// globally unique names, distinct nested loop variables), so the IR
+// evaluator, the code generator, the printer, the transformation
+// engine, and the interpreter must all agree on its output. Programs
+// cover reads, scalar declarations, arithmetic, casts, min/max/abs,
+// counted loops (with reads inside), and conditionals.
+func RandomProgram(rng *rand.Rand) *Program {
+	g := &progGen{rng: rng}
+	return g.program()
+}
+
+// namePool supplies semantic names the style Namer knows.
+var namePool = []string{
+	"val", "sum", "count", "best", "mx", "mn", "a", "b", "tmp",
+	"cur", "res", "gap", "steps", "h", "pos", "speed", "limit", "amount",
+}
+
+type progGen struct {
+	rng      *rand.Rand
+	intVars  []string
+	fltVars  []string
+	nextName int
+	loopVars int
+	stmts    int
+}
+
+func (g *progGen) freshName() (string, bool) {
+	if g.nextName >= len(namePool) {
+		return "", false
+	}
+	n := namePool[g.nextName]
+	g.nextName++
+	return n, true
+}
+
+func (g *progGen) program() *Program {
+	p := &Program{}
+	// Always begin with a read so every program consumes input.
+	first, _ := g.freshName()
+	p.Body = append(p.Body, ReadDecl{T: TInt, Vars: []ReadVar{{Name: first, Lo: 1, Hi: 15}}})
+	g.intVars = append(g.intVars, first)
+
+	n := 2 + g.rng.Intn(5)
+	for i := 0; i < n; i++ {
+		if s := g.stmt(0); s != nil {
+			p.Body = append(p.Body, s)
+		}
+	}
+	p.Out = g.output()
+	return p
+}
+
+func (g *progGen) output() Output {
+	if len(g.fltVars) > 0 && g.rng.Intn(2) == 0 {
+		prec := []int{2, 4, 6}[g.rng.Intn(3)]
+		return Output{X: Var{g.fltVars[g.rng.Intn(len(g.fltVars))]}, T: TFloat, Precision: prec}
+	}
+	return Output{X: g.intExpr(2), T: TInt}
+}
+
+// stmt emits one random statement; depth bounds nesting.
+func (g *progGen) stmt(depth int) Stmt {
+	g.stmts++
+	if g.stmts > 40 {
+		return nil
+	}
+	choices := 6
+	if depth >= 2 {
+		choices = 4 // no further nesting
+	}
+	switch g.rng.Intn(choices) {
+	case 0: // int declaration (init generated before the name is visible)
+		name, ok := g.freshName()
+		if !ok {
+			return g.assign()
+		}
+		init := g.intExpr(1)
+		g.intVars = append(g.intVars, name)
+		return Decl{Name: name, T: TInt, Init: init}
+	case 1: // float declaration
+		name, ok := g.freshName()
+		if !ok {
+			return g.assign()
+		}
+		init := g.fltExpr(1)
+		g.fltVars = append(g.fltVars, name)
+		return Decl{Name: name, T: TFloat, Init: init}
+	case 2: // read
+		name, ok := g.freshName()
+		if !ok {
+			return g.assign()
+		}
+		if g.rng.Intn(3) == 0 {
+			g.fltVars = append(g.fltVars, name)
+			return ReadDecl{T: TFloat, Vars: []ReadVar{{Name: name, Lo: 0, Hi: 50}}}
+		}
+		g.intVars = append(g.intVars, name)
+		return ReadDecl{T: TInt, Vars: []ReadVar{{Name: name, Lo: -20, Hi: 40}}}
+	case 3: // assignment
+		return g.assign()
+	case 4: // counted loop
+		if g.loopVars >= 2 {
+			return g.assign()
+		}
+		lv := []string{"i", "j"}[g.loopVars]
+		g.loopVars++
+		// Names declared inside the loop body go out of scope at the
+		// closing brace of the rendered C++; restore visibility after.
+		lenI, lenF := len(g.intVars), len(g.fltVars)
+		body := []Stmt{}
+		for k := 0; k < 1+g.rng.Intn(3); k++ {
+			if s := g.stmt(depth + 1); s != nil {
+				body = append(body, s)
+			}
+		}
+		if len(body) == 0 {
+			body = append(body, g.assign())
+		}
+		g.intVars = g.intVars[:lenI]
+		g.fltVars = g.fltVars[:lenF]
+		to := Expr(IntLit{int64(2 + g.rng.Intn(8))})
+		if len(g.intVars) > 0 && g.rng.Intn(2) == 0 {
+			// Bound by a read variable; reads are capped well below the
+			// step budget even when nested.
+			to = Call{Fn: "min", Args: []Expr{Var{g.intVars[0]}, IntLit{12}}}
+		}
+		g.loopVars--
+		return CountLoop{Var: lv, From: IntLit{0}, To: to, Body: body}
+	default: // if/else
+		then := []Stmt{g.assign()}
+		var els []Stmt
+		if g.rng.Intn(2) == 0 {
+			els = []Stmt{g.assign()}
+		}
+		return If{Cond: g.cond(), Then: then, Else: els}
+	}
+}
+
+func (g *progGen) assign() Stmt {
+	if len(g.fltVars) > 0 && g.rng.Intn(3) == 0 {
+		name := g.fltVars[g.rng.Intn(len(g.fltVars))]
+		op := []string{"=", "+=", "-=", "*="}[g.rng.Intn(4)]
+		return Assign{Name: name, Op: op, X: g.fltExpr(1)}
+	}
+	if len(g.intVars) == 0 {
+		// Cannot happen (program seeds one int var) but stay safe.
+		return Assign{Name: namePool[0], Op: "=", X: IntLit{0}}
+	}
+	name := g.intVars[g.rng.Intn(len(g.intVars))]
+	op := []string{"=", "+=", "-=", "*=", "%="}[g.rng.Intn(5)]
+	if op == "%=" {
+		// Modulo only by a nonzero literal.
+		return Assign{Name: name, Op: op, X: IntLit{int64(2 + g.rng.Intn(9))}}
+	}
+	return Assign{Name: name, Op: op, X: g.intExpr(1)}
+}
+
+func (g *progGen) cond() Expr {
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+	return Bin{Op: op, L: g.intExpr(1), R: g.intExpr(1)}
+}
+
+// intExpr builds a random integer expression of bounded depth.
+func (g *progGen) intExpr(depth int) Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if len(g.intVars) > 0 && g.rng.Intn(2) == 0 {
+			return Var{g.intVars[g.rng.Intn(len(g.intVars))]}
+		}
+		return IntLit{int64(g.rng.Intn(41) - 10)}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return Bin{Op: "+", L: g.intExpr(depth - 1), R: g.intExpr(depth - 1)}
+	case 1:
+		return Bin{Op: "-", L: g.intExpr(depth - 1), R: g.intExpr(depth - 1)}
+	case 2:
+		return Bin{Op: "*", L: g.intExpr(depth - 1), R: g.intExpr(depth - 1)}
+	case 3:
+		// Division by nonzero literal only.
+		return Bin{Op: "/", L: g.intExpr(depth - 1), R: IntLit{int64(2 + g.rng.Intn(9))}}
+	case 4:
+		return Call{Fn: []string{"min", "max"}[g.rng.Intn(2)], Args: []Expr{g.intExpr(depth - 1), g.intExpr(depth - 1)}}
+	default:
+		return Call{Fn: "abs", Args: []Expr{g.intExpr(depth - 1)}}
+	}
+}
+
+// fltExpr builds a random float expression of bounded depth; NaN and
+// huge magnitudes are structurally impossible (no sqrt of negatives,
+// no pow).
+func (g *progGen) fltExpr(depth int) Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if len(g.fltVars) > 0 && g.rng.Intn(2) == 0 {
+			return Var{g.fltVars[g.rng.Intn(len(g.fltVars))]}
+		}
+		if len(g.intVars) > 0 && g.rng.Intn(2) == 0 {
+			return Cast{To: TFloat, X: Var{g.intVars[g.rng.Intn(len(g.intVars))]}}
+		}
+		return FloatLit{float64(g.rng.Intn(200)) / 4.0}
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return Bin{Op: "+", L: g.fltExpr(depth - 1), R: g.fltExpr(depth - 1)}
+	case 1:
+		return Bin{Op: "-", L: g.fltExpr(depth - 1), R: g.fltExpr(depth - 1)}
+	case 2:
+		return Bin{Op: "*", L: g.fltExpr(depth - 1), R: FloatLit{float64(1+g.rng.Intn(8)) / 2.0}}
+	case 3:
+		// Division by a positive literal only.
+		return Bin{Op: "/", L: g.fltExpr(depth - 1), R: FloatLit{float64(1 + g.rng.Intn(9))}}
+	default:
+		return Call{Fn: []string{"min", "max"}[g.rng.Intn(2)], Args: []Expr{g.fltExpr(depth - 1), g.fltExpr(depth - 1)}}
+	}
+}

@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRandomProgramsSynthesize(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomProgram(rng)
+		run, err := Synthesize(p, 3, rand.New(rand.NewSource(seed+1000)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lines := strings.Split(strings.TrimSpace(run.Output), "\n")
+		if len(lines) != 3 {
+			t.Fatalf("seed %d: %d output lines, want 3", seed, len(lines))
+		}
+		for _, ln := range lines {
+			if !strings.HasPrefix(ln, "Case #") {
+				t.Fatalf("seed %d: malformed line %q", seed, ln)
+			}
+		}
+	}
+}
+
+func TestRandomProgramsAreDeterministic(t *testing.T) {
+	a := RandomProgram(rand.New(rand.NewSource(5)))
+	b := RandomProgram(rand.New(rand.NewSource(5)))
+	ra, err := Synthesize(a, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Synthesize(b, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Input != rb.Input || ra.Output != rb.Output {
+		t.Error("same-seed random programs diverge")
+	}
+}
+
+func TestRandomProgramsUseVariety(t *testing.T) {
+	// Across many programs, loops, conditionals, reads, and float
+	// outputs must all appear.
+	var loops, ifs, reads, floatOut int
+	for seed := int64(0); seed < 100; seed++ {
+		p := RandomProgram(rand.New(rand.NewSource(seed)))
+		var walk func(ss []Stmt)
+		walk = func(ss []Stmt) {
+			for _, s := range ss {
+				switch n := s.(type) {
+				case CountLoop:
+					loops++
+					walk(n.Body)
+				case If:
+					ifs++
+					walk(n.Then)
+					walk(n.Else)
+				case ReadDecl:
+					reads++
+				}
+			}
+		}
+		walk(p.Body)
+		if p.Out.T == TFloat {
+			floatOut++
+		}
+	}
+	if loops == 0 || ifs == 0 || reads < 100 || floatOut == 0 {
+		t.Errorf("variety too low: loops=%d ifs=%d reads=%d floatOut=%d",
+			loops, ifs, reads, floatOut)
+	}
+}
+
+func TestCountLoopReevaluatesBound(t *testing.T) {
+	// The loop bound depends on a variable the body mutates; the IR
+	// semantics must match C++ (condition re-evaluated per iteration).
+	p := &Program{
+		Body: []Stmt{
+			Read(6, 6, "count"),
+			Decl{Name: "sum", T: TInt},
+			CountLoop{Var: "i", From: IntLit{0}, To: Var{"count"}, Body: []Stmt{
+				Assign{Name: "sum", Op: "+=", X: IntLit{1}},
+				Assign{Name: "count", Op: "-=", X: IntLit{1}},
+			}},
+		},
+		Out: Output{X: Var{"sum"}, T: TInt},
+	}
+	run, err := Synthesize(p, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count=6: iterations at i=0,1,2 (count drops 5,4,3), stop when
+	// i=3 >= count=3. So sum = 3.
+	if run.Output != "Case #1: 3\n" {
+		t.Errorf("output = %q, want Case #1: 3 (bound must re-evaluate)", run.Output)
+	}
+}

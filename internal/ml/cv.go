@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fold is one train/test index split.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// StratifiedKFold splits sample indices into k folds preserving class
+// proportions. Classes with fewer than k samples still appear in some
+// test folds (round-robin).
+func StratifiedKFold(y []int, k int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: k = %d, want >= 2", k)
+	}
+	if len(y) < k {
+		return nil, fmt.Errorf("ml: %d samples for %d folds", len(y), k)
+	}
+	byClass := make(map[int][]int)
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+
+	assign := make([]int, len(y))
+	for _, c := range classes {
+		idx := byClass[c]
+		if rng != nil {
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+		for j, i := range idx {
+			assign[i] = j % k
+		}
+	}
+	return foldsFromAssignment(assign, k), nil
+}
+
+// GroupKFold produces one fold per distinct group value: the paper's
+// leave-one-challenge-out protocol, where each fold tests on the
+// held-out challenge and trains on the rest.
+func GroupKFold(groups []int) ([]Fold, error) {
+	if len(groups) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	distinct := make(map[int]int)
+	var order []int
+	for _, g := range groups {
+		if _, ok := distinct[g]; !ok {
+			distinct[g] = len(order)
+			order = append(order, g)
+		}
+	}
+	if len(order) < 2 {
+		return nil, fmt.Errorf("ml: only %d group(s); need >= 2", len(order))
+	}
+	sort.Ints(order)
+	rank := make(map[int]int, len(order))
+	for i, g := range order {
+		rank[g] = i
+	}
+	assign := make([]int, len(groups))
+	for i, g := range groups {
+		assign[i] = rank[g]
+	}
+	return foldsFromAssignment(assign, len(order)), nil
+}
+
+func foldsFromAssignment(assign []int, k int) []Fold {
+	folds := make([]Fold, k)
+	for i, f := range assign {
+		for j := 0; j < k; j++ {
+			if j == f {
+				folds[j].Test = append(folds[j].Test, i)
+			} else {
+				folds[j].Train = append(folds[j].Train, i)
+			}
+		}
+	}
+	return folds
+}
+
+// FoldResult is the outcome of evaluating one fold.
+type FoldResult struct {
+	Fold     int
+	Accuracy float64
+	Pred     []int
+	Truth    []int
+	// TestIdx are the dataset row indices of Pred/Truth entries.
+	TestIdx []int
+}
+
+// CrossValidateForest trains a forest per fold and evaluates it on the
+// held-out fold.
+func CrossValidateForest(d *Dataset, folds []Fold, cfg ForestConfig) ([]FoldResult, error) {
+	results := make([]FoldResult, 0, len(folds))
+	for fi, fold := range folds {
+		train := d.Subset(fold.Train)
+		fcfg := cfg
+		fcfg.Seed = cfg.Seed + int64(fi)*7919
+		forest, err := FitForest(train, fcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fold %d: %w", fi, err)
+		}
+		testX := make([][]float64, len(fold.Test))
+		truth := make([]int, len(fold.Test))
+		for i, j := range fold.Test {
+			testX[i] = d.X[j]
+			truth[i] = d.Y[j]
+		}
+		pred := forest.PredictAll(testX)
+		results = append(results, FoldResult{
+			Fold:     fi,
+			Accuracy: Accuracy(pred, truth),
+			Pred:     pred,
+			Truth:    truth,
+			TestIdx:  fold.Test,
+		})
+	}
+	return results, nil
+}
+
+// MeanAccuracy averages fold accuracies.
+func MeanAccuracy(rs []FoldResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rs {
+		s += r.Accuracy
+	}
+	return s / float64(len(rs))
+}

@@ -1,0 +1,138 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// InformationGain scores every feature by the mutual information
+// between an equal-width discretization of the feature (numBins bins)
+// and the class label — the WEKA InfoGainAttributeEval procedure that
+// Caliskan-Islam et al. use to prune the stylometric feature space.
+func InformationGain(d *Dataset, numBins int) []float64 {
+	if numBins < 2 {
+		numBins = 10
+	}
+	n := len(d.X)
+	if n == 0 {
+		return nil
+	}
+	hy := classEntropy(d.Y, d.NumClasses)
+	nf := d.NumFeatures()
+	gains := make([]float64, nf)
+	for f := 0; f < nf; f++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range d.X {
+			v := row[f]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			gains[f] = 0 // constant feature carries no information
+			continue
+		}
+		width := (hi - lo) / float64(numBins)
+		// joint[bin][class]
+		joint := make([][]int, numBins)
+		for b := range joint {
+			joint[b] = make([]int, d.NumClasses)
+		}
+		binTotals := make([]int, numBins)
+		for i, row := range d.X {
+			b := int((row[f] - lo) / width)
+			if b >= numBins {
+				b = numBins - 1
+			}
+			joint[b][d.Y[i]]++
+			binTotals[b]++
+		}
+		// H(Y|X) = sum_b p(b) H(Y|b)
+		cond := 0.0
+		for b := 0; b < numBins; b++ {
+			if binTotals[b] == 0 {
+				continue
+			}
+			pb := float64(binTotals[b]) / float64(n)
+			hb := 0.0
+			for _, c := range joint[b] {
+				if c == 0 {
+					continue
+				}
+				p := float64(c) / float64(binTotals[b])
+				hb -= p * math.Log2(p)
+			}
+			cond += pb * hb
+		}
+		gains[f] = hy - cond
+		if gains[f] < 0 {
+			gains[f] = 0
+		}
+	}
+	return gains
+}
+
+func classEntropy(y []int, numClasses int) float64 {
+	counts := make([]int, numClasses)
+	for _, c := range y {
+		counts[c]++
+	}
+	h := 0.0
+	n := float64(len(y))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// SelectTopK returns the indices of the k highest-scoring features (all
+// features with positive score if fewer than k), sorted ascending so
+// column selection preserves original order.
+func SelectTopK(scores []float64, k int) []int {
+	type fs struct {
+		idx   int
+		score float64
+	}
+	ranked := make([]fs, len(scores))
+	for i, s := range scores {
+		ranked[i] = fs{i, s}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].score != ranked[b].score {
+			return ranked[a].score > ranked[b].score
+		}
+		return ranked[a].idx < ranked[b].idx
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	var out []int
+	for i := 0; i < k; i++ {
+		if ranked[i].score <= 0 && i > 0 {
+			break
+		}
+		out = append(out, ranked[i].idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReduceByInformationGain selects (up to) k informative columns and
+// returns the reduced dataset along with the chosen column indices.
+func ReduceByInformationGain(d *Dataset, k, numBins int) (*Dataset, []int) {
+	gains := InformationGain(d, numBins)
+	cols := SelectTopK(gains, k)
+	if len(cols) == 0 {
+		// Degenerate: keep the first column so downstream code has a
+		// non-empty matrix.
+		cols = []int{0}
+	}
+	return d.SelectColumns(cols), cols
+}

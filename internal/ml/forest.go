@@ -1,0 +1,176 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// NumTrees is the ensemble size (default 100).
+	NumTrees int
+	// MaxDepth bounds each tree; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf per tree (default 1).
+	MinSamplesLeaf int
+	// MTry is the per-split feature sample size; 0 means sqrt(d).
+	MTry int
+	// Seed makes training deterministic. Trees are seeded Seed+i, so
+	// results do not depend on scheduling.
+	Seed int64
+	// Workers bounds build parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c ForestConfig) numTrees() int {
+	if c.NumTrees <= 0 {
+		return 100
+	}
+	return c.NumTrees
+}
+
+// Forest is a fitted random forest.
+type Forest struct {
+	trees      []*Tree
+	numClasses int
+}
+
+// FitForest trains a random forest on d: each tree sees a bootstrap
+// sample of the rows and samples MTry features at every split. Tree
+// construction runs on a bounded worker pool and is deterministic for a
+// given seed regardless of worker count.
+func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	nTrees := cfg.numTrees()
+	mtry := cfg.MTry
+	if mtry <= 0 {
+		mtry = int(math.Sqrt(float64(d.NumFeatures())))
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	tcfg := TreeConfig{MaxDepth: cfg.MaxDepth, MinSamplesLeaf: cfg.MinSamplesLeaf, MTry: mtry}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nTrees {
+		workers = nTrees
+	}
+
+	f := &Forest{trees: make([]*Tree, nTrees), numClasses: d.NumClasses}
+	n := len(d.X)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)*2654435761))
+				boot := make([]int, n)
+				for i := range boot {
+					boot[i] = rng.Intn(n)
+				}
+				tree, err := FitTree(d, boot, tcfg, rng)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tree %d: %w", ti, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				f.trees[ti] = tree
+			}
+		}()
+	}
+	for ti := 0; ti < nTrees; ti++ {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return f, nil
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Votes returns the per-class vote counts for one sample.
+func (f *Forest) Votes(x []float64) []int {
+	votes := make([]int, f.numClasses)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	return votes
+}
+
+// Predict returns the majority-vote class for one sample; ties break
+// toward the lower class index, deterministically.
+func (f *Forest) Predict(x []float64) int {
+	votes := f.Votes(x)
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictProba returns vote fractions per class.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	votes := f.Votes(x)
+	out := make([]float64, len(votes))
+	n := float64(len(f.trees))
+	for c, v := range votes {
+		out[c] = float64(v) / n
+	}
+	return out
+}
+
+// PredictAll classifies every row of X, in parallel.
+func (f *Forest) PredictAll(X [][]float64) []int {
+	out := make([]int, len(X))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(X) {
+		workers = len(X)
+	}
+	if workers <= 1 {
+		for i, x := range X {
+			out[i] = f.Predict(x)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = f.Predict(X[i])
+			}
+		}()
+	}
+	for i := range X {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbours classifier over Euclidean distance,
+// kept as a simple baseline against the random forest.
+type KNN struct {
+	k          int
+	X          [][]float64
+	Y          []int
+	numClasses int
+}
+
+// FitKNN memorizes the training set.
+func FitKNN(d *Dataset, k int) (*KNN, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ml: k = %d, want >= 1", k)
+	}
+	return &KNN{k: k, X: d.X, Y: d.Y, numClasses: d.NumClasses}, nil
+}
+
+// Predict returns the majority class among the k nearest neighbours;
+// ties break toward the nearer neighbour's class.
+func (m *KNN) Predict(x []float64) int {
+	type nb struct {
+		dist float64
+		y    int
+	}
+	nbs := make([]nb, len(m.X))
+	for i, row := range m.X {
+		nbs[i] = nb{dist: sqDist(row, x), y: m.Y[i]}
+	}
+	sort.Slice(nbs, func(a, b int) bool { return nbs[a].dist < nbs[b].dist })
+	k := m.k
+	if k > len(nbs) {
+		k = len(nbs)
+	}
+	votes := make([]int, m.numClasses)
+	best, bestVotes := nbs[0].y, 0
+	for i := 0; i < k; i++ {
+		votes[nbs[i].y]++
+		if votes[nbs[i].y] > bestVotes {
+			bestVotes = votes[nbs[i].y]
+			best = nbs[i].y
+		}
+	}
+	return best
+}
+
+// PredictAll classifies each row.
+func (m *KNN) PredictAll(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	if math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitForestOOB(t *testing.T) {
+	d := blobs(4, 40, 6, 0.8, 21)
+	f, oob, err := FitForestOOB(d, ForestConfig{NumTrees: 30, Seed: 5})
+	if err != nil {
+		t.Fatalf("FitForestOOB: %v", err)
+	}
+	if oob.Covered < len(d.X)*9/10 {
+		t.Errorf("OOB covered %d/%d samples; each sample should be OOB for ~1/3 of 30 trees",
+			oob.Covered, len(d.X))
+	}
+	if oob.Accuracy < 0.9 {
+		t.Errorf("OOB accuracy = %.3f, want >= 0.9 on separable blobs", oob.Accuracy)
+	}
+	// The returned forest must behave like a plain FitForest with the
+	// same seed (identical per-tree seeding).
+	plain, err := FitForest(d, ForestConfig{NumTrees: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X[:25] {
+		if f.Predict(x) != plain.Predict(x) {
+			t.Fatalf("sample %d: OOB-trained forest diverges from plain forest", i)
+		}
+	}
+}
+
+func TestOOBTracksGeneralization(t *testing.T) {
+	// OOB accuracy should roughly match held-out accuracy.
+	train := blobs(3, 50, 5, 1.2, 22)
+	test := blobs(3, 20, 5, 1.2, 23)
+	f, oob, err := FitForestOOB(train, ForestConfig{NumTrees: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout := Accuracy(f.PredictAll(test.X), test.Y)
+	if math.Abs(oob.Accuracy-holdout) > 0.15 {
+		t.Errorf("OOB %.3f vs holdout %.3f differ by more than 0.15", oob.Accuracy, holdout)
+	}
+}
+
+func TestFitForestOOBEmpty(t *testing.T) {
+	if _, _, err := FitForestOOB(&Dataset{NumClasses: 1}, ForestConfig{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// forestDTO is the JSON wire form of a Forest.
+type forestDTO struct {
+	NumClasses int       `json:"num_classes"`
+	Trees      []treeDTO `json:"trees"`
+}
+
+type treeDTO struct {
+	Feature   []int     `json:"feature"`
+	Threshold []float64 `json:"threshold"`
+	Left      []int32   `json:"left"`
+	Right     []int32   `json:"right"`
+	Class     []int32   `json:"class"`
+}
+
+// Encode writes the forest as JSON.
+func (f *Forest) Encode(w io.Writer) error {
+	dto := forestDTO{NumClasses: f.numClasses}
+	for _, t := range f.trees {
+		td := treeDTO{
+			Feature:   make([]int, len(t.nodes)),
+			Threshold: make([]float64, len(t.nodes)),
+			Left:      make([]int32, len(t.nodes)),
+			Right:     make([]int32, len(t.nodes)),
+			Class:     make([]int32, len(t.nodes)),
+		}
+		for i, n := range t.nodes {
+			td.Feature[i] = n.feature
+			td.Threshold[i] = n.threshold
+			td.Left[i] = n.left
+			td.Right[i] = n.right
+			td.Class[i] = n.class
+		}
+		dto.Trees = append(dto.Trees, td)
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// DecodeForest reads a forest previously written by Encode.
+func DecodeForest(r io.Reader) (*Forest, error) {
+	var dto forestDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ml: decode forest: %w", err)
+	}
+	if dto.NumClasses < 1 {
+		return nil, fmt.Errorf("ml: decoded forest has %d classes", dto.NumClasses)
+	}
+	f := &Forest{numClasses: dto.NumClasses}
+	for ti, td := range dto.Trees {
+		n := len(td.Feature)
+		if len(td.Threshold) != n || len(td.Left) != n || len(td.Right) != n || len(td.Class) != n {
+			return nil, fmt.Errorf("ml: tree %d has inconsistent node arrays", ti)
+		}
+		t := &Tree{numClasses: dto.NumClasses, nodes: make([]treeNode, n)}
+		for i := 0; i < n; i++ {
+			if td.Feature[i] >= 0 {
+				if td.Left[i] < 0 || int(td.Left[i]) >= n || td.Right[i] < 0 || int(td.Right[i]) >= n {
+					return nil, fmt.Errorf("ml: tree %d node %d has out-of-range children", ti, i)
+				}
+			}
+			t.nodes[i] = treeNode{
+				feature:   td.Feature[i],
+				threshold: td.Threshold[i],
+				left:      td.Left[i],
+				right:     td.Right[i],
+				class:     td.Class[i],
+			}
+		}
+		f.trees = append(f.trees, t)
+	}
+	if len(f.trees) == 0 {
+		return nil, fmt.Errorf("ml: decoded forest has no trees")
+	}
+	return f, nil
+}

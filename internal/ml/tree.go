@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART tree induction.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples a leaf may hold (default 1).
+	MinSamplesLeaf int
+	// MTry is the number of features sampled at each split; 0 means use
+	// all features (a plain CART tree). Random forests set this to
+	// roughly sqrt(d).
+	MTry int
+}
+
+func (c TreeConfig) minLeaf() int {
+	if c.MinSamplesLeaf < 1 {
+		return 1
+	}
+	return c.MinSamplesLeaf
+}
+
+// treeNode is one node of a fitted tree; leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int32 // child indices into Tree.nodes
+	right     int32
+	class     int32 // majority class at this node
+}
+
+// Tree is a fitted CART decision tree using the Gini criterion and
+// binary splits of the form x[f] <= t.
+type Tree struct {
+	nodes      []treeNode
+	numClasses int
+}
+
+// FitTree grows a tree on the rows of d indexed by idx (all rows when
+// idx is nil). The rng drives feature subsampling; it may be nil when
+// cfg.MTry is 0.
+func FitTree(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if idx == nil {
+		idx = make([]int, len(d.X))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	t := &Tree{numClasses: d.NumClasses}
+	b := &treeBuilder{d: d, cfg: cfg, rng: rng, tree: t}
+	b.grow(idx, 0)
+	return t, nil
+}
+
+type treeBuilder struct {
+	d    *Dataset
+	cfg  TreeConfig
+	rng  *rand.Rand
+	tree *Tree
+	// scratch buffers reused across nodes
+	order []int
+}
+
+// grow builds the subtree for samples idx and returns its node index.
+func (b *treeBuilder) grow(idx []int, depth int) int32 {
+	counts := make([]int, b.d.NumClasses)
+	for _, i := range idx {
+		counts[b.d.Y[i]]++
+	}
+	best := 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	nodeIdx := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, treeNode{feature: -1, class: int32(best)})
+
+	pure := counts[best] == len(idx)
+	if pure || len(idx) < 2*b.cfg.minLeaf() ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return nodeIdx
+	}
+
+	feat, thr, ok := b.bestSplit(idx, counts)
+	if !ok {
+		return nodeIdx
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if b.d.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nodeIdx
+	}
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	n := &b.tree.nodes[nodeIdx]
+	n.feature = feat
+	n.threshold = thr
+	n.left = l
+	n.right = r
+	return nodeIdx
+}
+
+// bestSplit scans candidate features for the split minimizing weighted
+// Gini impurity.
+func (b *treeBuilder) bestSplit(idx []int, parentCounts []int) (int, float64, bool) {
+	nf := b.d.NumFeatures()
+	mtry := b.cfg.MTry
+	if mtry <= 0 || mtry > nf {
+		mtry = nf
+	}
+
+	var candidates []int
+	if mtry == nf {
+		candidates = make([]int, nf)
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		// Sample mtry distinct features (partial Fisher-Yates).
+		perm := b.rng.Perm(nf)
+		candidates = perm[:mtry]
+	}
+
+	n := len(idx)
+	if cap(b.order) < n {
+		b.order = make([]int, n)
+	}
+	order := b.order[:n]
+
+	// Zero-gain splits are accepted (like scikit-learn): problems such
+	// as XOR have no first split with positive Gini gain, yet the
+	// children become separable. Termination holds because both sides
+	// of an accepted split are non-empty.
+	bestGain := math.Inf(-1)
+	bestFeat, bestThr := -1, 0.0
+	parentGini := giniFromCounts(parentCounts, n)
+
+	leftCounts := make([]int, b.d.NumClasses)
+	rightCounts := make([]int, b.d.NumClasses)
+
+	for _, f := range candidates {
+		copy(order, idx)
+		x := b.d.X
+		sort.Slice(order, func(a, c int) bool { return x[order[a]][f] < x[order[c]][f] })
+
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = parentCounts[c]
+		}
+		nl, nr := 0, n
+		minLeaf := b.cfg.minLeaf()
+		for i := 0; i < n-1; i++ {
+			y := b.d.Y[order[i]]
+			leftCounts[y]++
+			rightCounts[y]--
+			nl++
+			nr--
+			v, next := x[order[i]][f], x[order[i+1]][f]
+			if v == next {
+				continue
+			}
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			g := (float64(nl)*giniFromCounts(leftCounts, nl) +
+				float64(nr)*giniFromCounts(rightCounts, nr)) / float64(n)
+			if gain := parentGini - g; gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (v + next) / 2
+			}
+		}
+	}
+	return bestFeat, bestThr, bestFeat >= 0
+}
+
+// giniFromCounts computes 1 - sum(p^2).
+func giniFromCounts(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	fn := float64(n)
+	for _, c := range counts {
+		p := float64(c) / fn
+		s += p * p
+	}
+	return 1 - s
+}
+
+// Predict returns the class for one sample.
+func (t *Tree) Predict(x []float64) int {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return int(n.class)
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// NumNodes returns the node count (diagnostics).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the fitted tree (root = 0).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var rec func(i int32) int
+	rec = func(i int32) int {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := rec(n.left), rec(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(0)
+}

@@ -1,0 +1,74 @@
+package style
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomCoversStyleSpace: over many draws every categorical axis
+// value must appear — otherwise the synthetic author population would
+// silently collapse onto a subspace.
+func TestRandomCoversStyleSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	namings := map[Naming]bool{}
+	braces := map[Brace]bool{}
+	ios := map[IO]bool{}
+	loops := map[Loop]bool{}
+	decomps := map[Decomp]bool{}
+	comments := map[Comment]bool{}
+	indents := map[Indent]bool{}
+	for i := 0; i < 500; i++ {
+		p := Random("x", rng)
+		namings[p.Naming] = true
+		braces[p.Brace] = true
+		ios[p.IO] = true
+		loops[p.Loop] = true
+		decomps[p.Decomp] = true
+		comments[p.Comments] = true
+		indents[p.Indent] = true
+	}
+	if len(namings) != 5 {
+		t.Errorf("namings covered = %d, want 5", len(namings))
+	}
+	if len(braces) != 2 {
+		t.Errorf("braces covered = %d, want 2", len(braces))
+	}
+	if len(ios) != 3 {
+		t.Errorf("IO idioms covered = %d, want 3", len(ios))
+	}
+	if len(loops) != 2 {
+		t.Errorf("loops covered = %d, want 2", len(loops))
+	}
+	if len(decomps) != 3 {
+		t.Errorf("decomps covered = %d, want 3", len(decomps))
+	}
+	if len(comments) != 3 {
+		t.Errorf("comments covered = %d, want 3", len(comments))
+	}
+	if len(indents) < 3 {
+		t.Errorf("indents covered = %d, want >= 3", len(indents))
+	}
+}
+
+// TestProfileCollisionRate: with 204 authors some near-identical
+// profiles are expected (that is what bounds oracle accuracy below
+// 100%), but wholesale collapse is not.
+func TestProfileCollisionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	profiles := make([]Profile, 204)
+	for i := range profiles {
+		profiles[i] = Random("a", rng)
+	}
+	identical := 0
+	for i := 0; i < len(profiles); i++ {
+		for j := i + 1; j < len(profiles); j++ {
+			if Distance(profiles[i], profiles[j]) == 0 {
+				identical++
+			}
+		}
+	}
+	if identical > 20 {
+		t.Errorf("identical profile pairs = %d; style space too small", identical)
+	}
+	t.Logf("identical pairs among 204 authors: %d", identical)
+}

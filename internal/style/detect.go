@@ -1,0 +1,281 @@
+package style
+
+import (
+	"strings"
+
+	"gptattr/internal/cppast"
+	"gptattr/internal/cpptok"
+)
+
+// Detect infers a style profile from C++ source by measuring each
+// profile axis directly: indentation, brace placement, I/O idiom,
+// naming convention, decomposition, and the smaller habits. It is the
+// inverse of codegen's rendering (approximately — jitter and mixed
+// styles resolve to the majority) and powers the simulated model's
+// self-affinity: recognizing code that is already in one of its own
+// styles.
+func Detect(src string) Profile {
+	toks := cpptok.MustScan(src)
+	tu := cppast.MustParse(src)
+	p := Profile{Name: "detected"}
+
+	p.Indent = detectIndent(src)
+	p.Brace = detectBrace(src)
+	p.IO = detectIO(src)
+	p.Naming = detectNaming(toks)
+	p.Loop, p.PreIncrement = detectLoops(tu)
+	p.Decomp = detectDecomp(tu)
+	p.Comments, p.CommentDensity = detectComments(toks, tu)
+	p.UsingNamespaceStd = strings.Contains(src, "using namespace std")
+	p.BitsHeader = strings.Contains(src, "bits/stdc++.h")
+	p.TypedefLL = strings.Contains(src, "typedef long long ll")
+	p.SpaceAroundOps = detectSpacedOps(src)
+	p.SpaceAfterComma = detectSpacedCommas(src)
+	p.BracesAlways = true // conservative; singles are rare signals
+	p.ReturnZero = strings.Contains(src, "return 0;")
+	p.CastStyle = detectCastStyle(src)
+	p.ChainReads = strings.Contains(src, ">> ") && strings.Count(src, ">>") > strings.Count(src, "cin")
+	if strings.Contains(src, "endl") {
+		p.EndlStyle = 1
+	}
+	p.WideInt = strings.Contains(src, "long long") || strings.Contains(src, "ll ")
+	return p
+}
+
+func detectIndent(src string) Indent {
+	tabs, width2, width4, width8 := 0, 0, 0, 0
+	for _, ln := range strings.Split(src, "\n") {
+		switch {
+		case strings.HasPrefix(ln, "\t"):
+			tabs++
+		case strings.HasPrefix(ln, "        "):
+			width8++
+		case strings.HasPrefix(ln, "    "):
+			width4++
+		case strings.HasPrefix(ln, "  "):
+			width2++
+		}
+	}
+	// Deeper nesting inflates wider counts; compare in priority order.
+	if tabs > width2+width4+width8 {
+		return Indent{UseTabs: true}
+	}
+	// width4 lines are also counted by width2's prefix check only when
+	// exactly two spaces lead; prefixes are exclusive above.
+	switch {
+	case width2 > width4 && width2 > width8:
+		return Indent{Width: 2}
+	case width8 > width4:
+		return Indent{Width: 8}
+	default:
+		return Indent{Width: 4}
+	}
+}
+
+func detectBrace(src string) Brace {
+	own, same := 0, 0
+	for _, ln := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(ln)
+		if t == "{" {
+			own++
+		} else if strings.HasSuffix(t, "{") && len(t) > 1 {
+			same++
+		}
+	}
+	if own > same {
+		return BraceAllman
+	}
+	return BraceKR
+}
+
+func detectIO(src string) IO {
+	hasCin := strings.Contains(src, "cin")
+	hasCout := strings.Contains(src, "cout")
+	hasPrintf := strings.Contains(src, "printf")
+	hasScanf := strings.Contains(src, "scanf")
+	switch {
+	case (hasCin || hasCout) && (hasPrintf || hasScanf):
+		return IOMixed
+	case hasPrintf || hasScanf:
+		return IOStdio
+	default:
+		return IOStreams
+	}
+}
+
+func detectNaming(toks []cpptok.Token) Naming {
+	counts := map[string]int{}
+	seen := map[string]bool{}
+	for _, t := range toks {
+		if t.Kind != cpptok.KindIdent || seen[t.Text] || len(t.Text) < 2 {
+			continue
+		}
+		seen[t.Text] = true
+		hasUnder := strings.Contains(t.Text, "_")
+		hasUpper := strings.IndexFunc(t.Text, func(r rune) bool { return r >= 'A' && r <= 'Z' }) >= 0
+		hasLower := strings.IndexFunc(t.Text, func(r rune) bool { return r >= 'a' && r <= 'z' }) >= 0
+		switch {
+		case hasUnder && hasLower:
+			counts["snake"]++
+		case hasUpper && hasLower && isHungarianPrefix(t.Text):
+			counts["hungarian"]++
+		case hasUpper && hasLower:
+			counts["camel"]++
+		}
+	}
+	shortCount := 0
+	for s := range seen {
+		if len(s) <= 2 {
+			shortCount++
+		}
+	}
+	best, bestN := "", 0
+	for k, n := range counts {
+		if n > bestN {
+			best, bestN = k, n
+		}
+	}
+	if shortCount > bestN+2 {
+		return NamingShort
+	}
+	switch best {
+	case "snake":
+		return NamingSnake
+	case "hungarian":
+		return NamingHungarian
+	case "camel":
+		return NamingCamel
+	default:
+		return NamingShort
+	}
+}
+
+func detectLoops(tu *cppast.TranslationUnit) (Loop, bool) {
+	kinds := cppast.CountKinds(tu)
+	loop := LoopFor
+	if kinds["While"] > kinds["For"] {
+		loop = LoopWhile
+	}
+	pre, post := 0, 0
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		if u, ok := n.(*cppast.UnaryExpr); ok && (u.Op == "++" || u.Op == "--") {
+			if u.Postfix {
+				post++
+			} else {
+				pre++
+			}
+		}
+		return true
+	})
+	return loop, pre > post
+}
+
+func detectDecomp(tu *cppast.TranslationUnit) Decomp {
+	helpers := 0
+	var helperReturnsValue bool
+	for _, f := range tu.Functions() {
+		if f.Name != "main" && f.Body != nil {
+			helpers++
+			if f.RetType != "void" {
+				helperReturnsValue = true
+			}
+		}
+	}
+	switch {
+	case helpers == 0:
+		return DecompInline
+	case helperReturnsValue:
+		return DecompSolveValue
+	default:
+		return DecompSolvePrint
+	}
+}
+
+func detectComments(toks []cpptok.Token, tu *cppast.TranslationUnit) (Comment, float64) {
+	line, block := 0, 0
+	for _, t := range toks {
+		switch t.Kind {
+		case cpptok.KindLineComment:
+			line++
+		case cpptok.KindBlockComment:
+			block++
+		}
+	}
+	total := line + block
+	if total == 0 {
+		return CommentNone, 0
+	}
+	stmts := 0
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		switch n.(type) {
+		case *cppast.ExprStmt, *cppast.VarDecl, *cppast.For, *cppast.While, *cppast.If:
+			stmts++
+		}
+		return true
+	})
+	density := 0.3
+	if stmts > 0 {
+		density = float64(total) / float64(stmts)
+		if density > 1 {
+			density = 1
+		}
+	}
+	if block > line {
+		return CommentBlock, density
+	}
+	return CommentLine, density
+}
+
+func detectSpacedOps(src string) bool {
+	spaced := strings.Count(src, " = ")
+	tight := 0
+	for i := 1; i+1 < len(src); i++ {
+		if src[i] == '=' && src[i-1] != ' ' && src[i+1] != ' ' &&
+			!isOpByte(src[i-1]) && !isOpByte(src[i+1]) {
+			tight++
+		}
+	}
+	return spaced >= tight
+}
+
+func detectSpacedCommas(src string) bool {
+	spaced := strings.Count(src, ", ")
+	total := strings.Count(src, ",")
+	return total == 0 || spaced*2 >= total
+}
+
+func detectCastStyle(src string) int {
+	cStyle := strings.Count(src, "(double)")
+	fnStyle := strings.Count(src, "double(")
+	mulStyle := strings.Count(src, "1.0 *") + strings.Count(src, "1.0*")
+	switch {
+	case fnStyle > cStyle && fnStyle >= mulStyle:
+		return 1
+	case mulStyle > cStyle:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// isHungarianPrefix detects n/i/sz/f-prefixed camel names (nCase,
+// iIndex, fValue).
+func isHungarianPrefix(s string) bool {
+	for _, p := range []string{"n", "i", "f", "sz", "b", "p"} {
+		if strings.HasPrefix(s, p) && len(s) > len(p) {
+			c := s[len(p)]
+			if c >= 'A' && c <= 'Z' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isOpByte(c byte) bool {
+	switch c {
+	case '=', '<', '>', '!', '+', '-', '*', '/', '%', '&', '|', '^':
+		return true
+	}
+	return false
+}

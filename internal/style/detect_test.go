@@ -1,0 +1,147 @@
+package style
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const allmanTabsStdio = `#include <cstdio>
+int solve_case(int case_id)
+{
+	int first_val;
+	int second_val;
+	scanf("%d %d", &first_val, &second_val);
+	return first_val + second_val;
+}
+int main()
+{
+	int num_cases;
+	scanf("%d", &num_cases);
+	int i = 0;
+	while (i < num_cases)
+	{
+		printf("Case #%d: %d\n", i + 1, solve_case(i));
+		++i;
+	}
+	return 0;
+}`
+
+const krSpacesStreams = `#include <iostream>
+using namespace std;
+int main() {
+    int numCases;
+    cin >> numCases;
+    for (int caseIdx = 1; caseIdx <= numCases; caseIdx++) {
+        int inputValue;
+        cin >> inputValue;
+        cout << "Case #" << caseIdx << ": " << inputValue * 2 << endl;
+    }
+    return 0;
+}`
+
+func TestDetectAxes(t *testing.T) {
+	a := Detect(allmanTabsStdio)
+	if !a.Indent.UseTabs {
+		t.Error("tabs not detected")
+	}
+	if a.Brace != BraceAllman {
+		t.Error("Allman not detected")
+	}
+	if a.IO != IOStdio {
+		t.Errorf("IO = %v, want stdio", a.IO)
+	}
+	if a.Naming != NamingSnake {
+		t.Errorf("naming = %v, want snake", a.Naming)
+	}
+	if a.Loop != LoopWhile {
+		t.Errorf("loop = %v, want while", a.Loop)
+	}
+	if !a.PreIncrement {
+		t.Error("pre-increment not detected")
+	}
+	if a.Decomp == DecompInline {
+		t.Error("helper function not detected")
+	}
+	if a.UsingNamespaceStd {
+		t.Error("namespace import falsely detected")
+	}
+
+	b := Detect(krSpacesStreams)
+	if b.Indent.UseTabs || b.Indent.Width != 4 {
+		t.Errorf("indent = %+v, want 4 spaces", b.Indent)
+	}
+	if b.Brace != BraceKR {
+		t.Error("K&R not detected")
+	}
+	if b.IO != IOStreams {
+		t.Errorf("IO = %v, want streams", b.IO)
+	}
+	if b.Naming != NamingCamel {
+		t.Errorf("naming = %v, want camel", b.Naming)
+	}
+	if b.Loop != LoopFor {
+		t.Errorf("loop = %v, want for", b.Loop)
+	}
+	if b.PreIncrement {
+		t.Error("post-increment misdetected as pre")
+	}
+	if !b.UsingNamespaceStd {
+		t.Error("namespace import missed")
+	}
+	if b.EndlStyle != 1 {
+		t.Error("endl style missed")
+	}
+	if b.Decomp != DecompInline {
+		t.Errorf("decomp = %v, want inline", b.Decomp)
+	}
+}
+
+// TestDetectRecoversOwnProfiles is the round-trip property the GPT
+// self-affinity mechanism relies on: detecting a profile-rendered
+// source must land near the profile that rendered it.
+func TestDetectRecoversOwnProfiles(t *testing.T) {
+	// Deferred import cycle note: render through codegen is exercised
+	// in gpt tests; here we check Detect(sample) is self-consistent:
+	// detecting the same source twice gives identical profiles.
+	a1 := Detect(allmanTabsStdio)
+	a2 := Detect(allmanTabsStdio)
+	if Distance(a1, a2) != 0 {
+		t.Error("Detect is not deterministic")
+	}
+	// Distinct styles must be far apart.
+	b := Detect(krSpacesStreams)
+	if d := Distance(a1, b); d < 0.3 {
+		t.Errorf("distance between opposite styles = %v, want >= 0.3", d)
+	}
+}
+
+func TestDetectOnDegenerateSource(t *testing.T) {
+	p := Detect("int main() { return 0; }")
+	if p.Name != "detected" {
+		t.Error("profile name wrong")
+	}
+	// No panic, sensible zero-ish defaults.
+	if p.IO != IOStreams {
+		t.Errorf("empty-IO default = %v, want streams", p.IO)
+	}
+}
+
+func TestDetectMixedIO(t *testing.T) {
+	src := "#include <iostream>\n#include <cstdio>\nusing namespace std;\nint main(){int x;cin>>x;printf(\"%d\\n\",x);return 0;}"
+	if got := Detect(src).IO; got != IOMixed {
+		t.Errorf("IO = %v, want mixed", got)
+	}
+}
+
+func TestDetectDistanceToRandomProfiles(t *testing.T) {
+	// Sanity: distances stay in range against arbitrary profiles.
+	rng := rand.New(rand.NewSource(4))
+	d := Detect(krSpacesStreams)
+	for i := 0; i < 20; i++ {
+		p := Random("r", rng)
+		dist := Distance(d, p)
+		if dist < 0 || dist > 1 {
+			t.Fatalf("distance %v out of range", dist)
+		}
+	}
+}

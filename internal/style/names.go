@@ -1,0 +1,235 @@
+package style
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// concept describes how one semantic variable can be named across
+// conventions. Words are candidate phrases (each a word sequence);
+// Shorts are candidate terse names; Hung is the Hungarian-notation
+// prefix letter(s); Verbose is the candidate long-form phrase.
+type concept struct {
+	Words   [][]string
+	Shorts  []string
+	Hung    string
+	Verbose []string
+}
+
+// concepts maps the semantic variable names used by challenge IR
+// programs to naming material. Unknown semantics fall back to a
+// deterministic generic scheme.
+var concepts = map[string]concept{
+	"cases":  {Words: [][]string{{"num", "cases"}, {"test", "cases"}, {"cases"}}, Shorts: []string{"t", "tc"}, Hung: "n", Verbose: []string{"number", "of", "test", "cases"}},
+	"caseno": {Words: [][]string{{"case", "num"}, {"case", "id"}, {"tc"}}, Shorts: []string{"q", "cs"}, Hung: "i", Verbose: []string{"current", "case", "number"}},
+	"i":      {Words: [][]string{{"i"}, {"idx"}}, Shorts: []string{"i"}, Hung: "i", Verbose: []string{"index"}},
+	"j":      {Words: [][]string{{"j"}, {"pos"}}, Shorts: []string{"j"}, Hung: "j", Verbose: []string{"inner", "index"}},
+	"r":      {Words: [][]string{{"rem"}, {"residue"}}, Shorts: []string{"r"}, Hung: "i", Verbose: []string{"remainder", "value"}},
+	"dist":   {Words: [][]string{{"dist"}, {"distance"}, {"track", "len"}}, Shorts: []string{"d"}, Hung: "n", Verbose: []string{"total", "distance"}},
+	"count":  {Words: [][]string{{"count"}, {"num", "items"}, {"cnt"}}, Shorts: []string{"n", "m"}, Hung: "n", Verbose: []string{"number", "of", "items"}},
+	"best":   {Words: [][]string{{"best"}, {"max", "time"}, {"result"}}, Shorts: []string{"t", "b"}, Hung: "f", Verbose: []string{"best", "so", "far"}},
+	"pos":    {Words: [][]string{{"pos"}, {"position"}, {"start"}}, Shorts: []string{"x", "p"}, Hung: "n", Verbose: []string{"start", "position"}},
+	"speed":  {Words: [][]string{{"speed"}, {"velocity"}, {"rate"}}, Shorts: []string{"y", "v"}, Hung: "n", Verbose: []string{"movement", "speed"}},
+	"sum":    {Words: [][]string{{"sum"}, {"total"}, {"acc"}}, Shorts: []string{"s"}, Hung: "n", Verbose: []string{"running", "total"}},
+	"val":    {Words: [][]string{{"val"}, {"value"}, {"cur"}}, Shorts: []string{"v", "x"}, Hung: "n", Verbose: []string{"current", "value"}},
+	"limit":  {Words: [][]string{{"limit"}, {"bound"}, {"cap"}}, Shorts: []string{"k", "l"}, Hung: "n", Verbose: []string{"upper", "limit"}},
+	"amount": {Words: [][]string{{"amount"}, {"total"}, {"money"}}, Shorts: []string{"a", "m"}, Hung: "n", Verbose: []string{"remaining", "amount"}},
+	"coins":  {Words: [][]string{{"coins"}, {"num", "coins"}, {"used"}}, Shorts: []string{"c"}, Hung: "n", Verbose: []string{"coins", "used"}},
+	"denoms": {Words: [][]string{{"denoms"}, {"coins"}, {"values"}}, Shorts: []string{"d", "w"}, Hung: "a", Verbose: []string{"denomination", "values"}},
+	"a":      {Words: [][]string{{"a"}, {"first"}, {"left"}}, Shorts: []string{"a"}, Hung: "n", Verbose: []string{"first", "number"}},
+	"b":      {Words: [][]string{{"b"}, {"second"}, {"right"}}, Shorts: []string{"b"}, Hung: "n", Verbose: []string{"second", "number"}},
+	"tmp":    {Words: [][]string{{"tmp"}, {"temp"}, {"swap", "val"}}, Shorts: []string{"t", "z"}, Hung: "n", Verbose: []string{"temporary", "value"}},
+	"steps":  {Words: [][]string{{"steps"}, {"ops"}, {"moves"}}, Shorts: []string{"s", "c"}, Hung: "n", Verbose: []string{"step", "count"}},
+	"mx":     {Words: [][]string{{"mx"}, {"max", "val"}, {"biggest"}}, Shorts: []string{"M", "hi"}, Hung: "n", Verbose: []string{"maximum", "value"}},
+	"mn":     {Words: [][]string{{"mn"}, {"min", "val"}, {"smallest"}}, Shorts: []string{"m", "lo"}, Hung: "n", Verbose: []string{"minimum", "value"}},
+	"gap":    {Words: [][]string{{"gap"}, {"diff"}, {"spread"}}, Shorts: []string{"g"}, Hung: "n", Verbose: []string{"largest", "gap"}},
+	"h":      {Words: [][]string{{"h"}, {"harmonic"}, {"series", "sum"}}, Shorts: []string{"h"}, Hung: "f", Verbose: []string{"harmonic", "sum"}},
+	"p":      {Words: [][]string{{"p"}, {"principal"}, {"base", "amt"}}, Shorts: []string{"p"}, Hung: "f", Verbose: []string{"principal", "amount"}},
+	"rate":   {Words: [][]string{{"rate"}, {"interest"}, {"pct"}}, Shorts: []string{"r"}, Hung: "n", Verbose: []string{"interest", "rate"}},
+	"years":  {Words: [][]string{{"years"}, {"periods"}, {"terms"}}, Shorts: []string{"y"}, Hung: "n", Verbose: []string{"number", "of", "years"}},
+	"cnt":    {Words: [][]string{{"cnt"}, {"counts"}, {"buckets"}}, Shorts: []string{"c", "f"}, Hung: "a", Verbose: []string{"bucket", "counts"}},
+	"vals":   {Words: [][]string{{"vals"}, {"nums"}, {"data"}}, Shorts: []string{"v", "xs"}, Hung: "a", Verbose: []string{"input", "values"}},
+	"k":      {Words: [][]string{{"k"}, {"mod"}, {"divisor"}}, Shorts: []string{"k"}, Hung: "n", Verbose: []string{"divisor", "value"}},
+	"m":      {Words: [][]string{{"m"}, {"mod"}, {"modulus"}}, Shorts: []string{"m"}, Hung: "n", Verbose: []string{"modulus", "value"}},
+	"e":      {Words: [][]string{{"e"}, {"exp"}, {"power"}}, Shorts: []string{"e"}, Hung: "n", Verbose: []string{"exponent", "value"}},
+	"pairs":  {Words: [][]string{{"pairs"}, {"matches"}, {"combos"}}, Shorts: []string{"p", "res"}, Hung: "n", Verbose: []string{"number", "of", "pairs"}},
+	"cur":    {Words: [][]string{{"cur"}, {"running"}, {"here"}}, Shorts: []string{"c", "u"}, Hung: "n", Verbose: []string{"current", "best"}},
+	"x1":     {Words: [][]string{{"x1"}, {"ax"}, {"left1"}}, Shorts: []string{"x1"}, Hung: "n", Verbose: []string{"first", "rect", "x"}},
+	"y1":     {Words: [][]string{{"y1"}, {"ay"}, {"bottom1"}}, Shorts: []string{"y1"}, Hung: "n", Verbose: []string{"first", "rect", "y"}},
+	"w1":     {Words: [][]string{{"w1"}, {"aw"}, {"width1"}}, Shorts: []string{"w1"}, Hung: "n", Verbose: []string{"first", "rect", "width"}},
+	"h1":     {Words: [][]string{{"h1"}, {"ah"}, {"height1"}}, Shorts: []string{"h1"}, Hung: "n", Verbose: []string{"first", "rect", "height"}},
+	"x2":     {Words: [][]string{{"x2"}, {"bx"}, {"left2"}}, Shorts: []string{"x2"}, Hung: "n", Verbose: []string{"second", "rect", "x"}},
+	"y2":     {Words: [][]string{{"y2"}, {"by"}, {"bottom2"}}, Shorts: []string{"y2"}, Hung: "n", Verbose: []string{"second", "rect", "y"}},
+	"w2":     {Words: [][]string{{"w2"}, {"bw"}, {"width2"}}, Shorts: []string{"w2"}, Hung: "n", Verbose: []string{"second", "rect", "width"}},
+	"h2":     {Words: [][]string{{"h2"}, {"bh"}, {"height2"}}, Shorts: []string{"h2"}, Hung: "n", Verbose: []string{"second", "rect", "height"}},
+	"radius": {Words: [][]string{{"radius"}, {"rad"}}, Shorts: []string{"r"}, Hung: "f", Verbose: []string{"circle", "radius"}},
+	"fa":     {Words: [][]string{{"fa"}, {"prev"}, {"first", "fib"}}, Shorts: []string{"a", "u"}, Hung: "n", Verbose: []string{"previous", "term"}},
+	"fb":     {Words: [][]string{{"fb"}, {"next"}, {"second", "fib"}}, Shorts: []string{"b", "w"}, Hung: "n", Verbose: []string{"current", "term"}},
+	"res":    {Words: [][]string{{"res"}, {"result"}, {"answer"}}, Shorts: []string{"r", "z"}, Hung: "n", Verbose: []string{"final", "result"}},
+	"basev":  {Words: [][]string{{"base"}, {"factor"}}, Shorts: []string{"g"}, Hung: "n", Verbose: []string{"base", "value"}},
+	"solvefn": {Words: [][]string{{"solve"}, {"solve", "case"}, {"process", "case"}, {"handle", "case"}},
+		Shorts: []string{"go", "run"}, Hung: "do", Verbose: []string{"solve", "single", "test", "case"}},
+}
+
+// Namer produces per-file consistent, convention-correct variable
+// names: one semantic variable maps to exactly one rendered name and no
+// two semantics collide.
+type Namer struct {
+	naming Naming
+	rng    *rand.Rand
+	byVar  map[string]string
+	used   map[string]bool
+}
+
+// NewNamer creates a Namer for the given convention. rng jitters the
+// synonym choice per variable (pass a per-file rng so two files by the
+// same author vary naturally); a nil rng always picks the first
+// candidate.
+func NewNamer(naming Naming, rng *rand.Rand) *Namer {
+	return &Namer{
+		naming: naming,
+		rng:    rng,
+		byVar:  make(map[string]string),
+		used:   make(map[string]bool),
+	}
+}
+
+// Name returns the rendered name for a semantic variable, stable for
+// the Namer's lifetime.
+func (nm *Namer) Name(semantic string) string {
+	if got, ok := nm.byVar[semantic]; ok {
+		return got
+	}
+	cands := nm.candidates(semantic)
+	var chosen string
+	for _, c := range cands {
+		if !nm.used[c] && !reservedWord(c) {
+			chosen = c
+			break
+		}
+	}
+	if chosen == "" {
+		// All candidates collide: suffix until free.
+		base := cands[0]
+		for i := 2; ; i++ {
+			c := base + string(rune('0'+i%10))
+			if !nm.used[c] {
+				chosen = c
+				break
+			}
+		}
+	}
+	nm.used[chosen] = true
+	nm.byVar[semantic] = chosen
+	return chosen
+}
+
+func (nm *Namer) pick(n int) int {
+	if nm.rng == nil || n <= 1 {
+		return 0
+	}
+	return nm.rng.Intn(n)
+}
+
+// candidates returns rendered name options for a semantic, preferred
+// first.
+func (nm *Namer) candidates(semantic string) []string {
+	c, ok := concepts[semantic]
+	if !ok {
+		c = concept{
+			Words:   [][]string{{semantic}},
+			Shorts:  []string{semantic[:1]},
+			Hung:    "n",
+			Verbose: []string{semantic, "value"},
+		}
+	}
+	var out []string
+	switch nm.naming {
+	case NamingShort:
+		i := nm.pick(len(c.Shorts))
+		out = append(out, c.Shorts[i])
+		out = append(out, c.Shorts...)
+		// Fall back to first letters of phrases.
+		for _, w := range c.Words {
+			out = append(out, strings.ToLower(w[0][:1]))
+		}
+	case NamingSnake:
+		i := nm.pick(len(c.Words))
+		out = append(out, joinSnake(c.Words[i]))
+		for _, w := range c.Words {
+			out = append(out, joinSnake(w))
+		}
+		out = append(out, joinSnake(c.Verbose))
+	case NamingCamel:
+		i := nm.pick(len(c.Words))
+		out = append(out, joinCamel(c.Words[i]))
+		for _, w := range c.Words {
+			out = append(out, joinCamel(w))
+		}
+		out = append(out, joinCamel(c.Verbose))
+	case NamingVerbose:
+		out = append(out, joinCamel(c.Verbose))
+		for _, w := range c.Words {
+			out = append(out, joinCamel(w))
+		}
+	case NamingHungarian:
+		i := nm.pick(len(c.Words))
+		out = append(out, joinHungarian(c.Hung, c.Words[i]))
+		for _, w := range c.Words {
+			out = append(out, joinHungarian(c.Hung, w))
+		}
+		out = append(out, joinHungarian(c.Hung, c.Verbose))
+	default:
+		out = append(out, joinCamel(c.Words[0]))
+	}
+	return out
+}
+
+func joinSnake(words []string) string {
+	return strings.ToLower(strings.Join(words, "_"))
+}
+
+func joinCamel(words []string) string {
+	if len(words) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(strings.ToLower(words[0]))
+	for _, w := range words[1:] {
+		b.WriteString(title(w))
+	}
+	return b.String()
+}
+
+func joinHungarian(prefix string, words []string) string {
+	var b strings.Builder
+	b.WriteString(prefix)
+	for _, w := range words {
+		b.WriteString(title(w))
+	}
+	return b.String()
+}
+
+func title(w string) string {
+	if w == "" {
+		return ""
+	}
+	return strings.ToUpper(w[:1]) + strings.ToLower(w[1:])
+}
+
+// reservedWord rejects names that collide with C++ keywords or the
+// identifiers the renderer itself emits (the renderer allocates its own
+// variables, e.g. the case counter, through the same Namer, so
+// renderer/author collisions are already prevented by `used`).
+func reservedWord(s string) bool {
+	switch s {
+	case "int", "long", "double", "float", "char", "bool", "void",
+		"for", "while", "if", "else", "do", "return", "main", "ll",
+		"cin", "cout", "endl", "std", "max", "min", "abs", "sqrt",
+		"pow", "sort", "vector", "string", "case", "switch",
+		"break", "continue", "const", "using", "namespace", "true",
+		"false", "new", "delete", "this", "class", "struct":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+// Package style models an author's coding style as a structured
+// profile: the set of choices (naming convention, indentation, brace
+// placement, I/O idiom, decomposition, commenting, spacing, ...) that
+// code stylometry recovers from source text. Profiles drive two
+// subsystems: codegen renders IR challenges in a profile's style (the
+// synthetic GCJ author substrate), and the gpt simulator owns a small
+// repertoire of profiles it transforms code toward.
+package style
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Naming is an identifier naming convention.
+type Naming int
+
+// Naming conventions.
+const (
+	NamingCamel     Naming = iota + 1 // numCases
+	NamingSnake                       // num_cases
+	NamingHungarian                   // nCase, iCase
+	NamingShort                       // n, t, i
+	NamingVerbose                     // numberOfTestCases
+)
+
+var namingNames = map[Naming]string{
+	NamingCamel:     "camel",
+	NamingSnake:     "snake",
+	NamingHungarian: "hungarian",
+	NamingShort:     "short",
+	NamingVerbose:   "verbose",
+}
+
+// String names the convention.
+func (n Naming) String() string {
+	if s, ok := namingNames[n]; ok {
+		return s
+	}
+	return fmt.Sprintf("Naming(%d)", int(n))
+}
+
+// Brace is a brace-placement style.
+type Brace int
+
+// Brace styles.
+const (
+	BraceKR     Brace = iota + 1 // opening brace on the same line
+	BraceAllman                  // opening brace on its own line
+)
+
+// IO is the input/output idiom.
+type IO int
+
+// IO idioms.
+const (
+	IOStreams IO = iota + 1 // cin/cout
+	IOStdio                 // scanf/printf
+	IOMixed                 // cin for input, printf for output (common in GCJ)
+)
+
+// Loop is the preferred loop form for counted iteration.
+type Loop int
+
+// Loop preferences.
+const (
+	LoopFor   Loop = iota + 1 // for (int i = 0; i < n; i++)
+	LoopWhile                 // int i = 0; while (i < n) { ...; i++ }
+)
+
+// Decomp is how much logic the author hoists out of main.
+type Decomp int
+
+// Decomposition habits.
+const (
+	DecompInline     Decomp = iota + 1 // everything in main
+	DecompSolvePrint                   // void solve(int k) reads+prints
+	DecompSolveValue                   // T solve(...) returns, main prints
+)
+
+// Comment is the comment idiom.
+type Comment int
+
+// Comment styles.
+const (
+	CommentNone  Comment = iota + 1
+	CommentLine          // // ...
+	CommentBlock         // /* ... */
+)
+
+// Indent describes indentation.
+type Indent struct {
+	// UseTabs selects tab indentation; Width is ignored then.
+	UseTabs bool
+	// Width is the number of spaces per level (2, 3, 4, or 8).
+	Width int
+}
+
+// Profile is a complete author style.
+type Profile struct {
+	// Name labels the profile (author id or GPT style id).
+	Name string
+
+	Naming Naming
+	Indent Indent
+	Brace  Brace
+	IO     IO
+	Loop   Loop
+	Decomp Decomp
+
+	// Comments controls comment style; CommentDensity in [0,1] is the
+	// probability a block of statements gets a comment.
+	Comments       Comment
+	CommentDensity float64
+
+	// UsingNamespaceStd emits "using namespace std;" (otherwise
+	// std::-qualified names).
+	UsingNamespaceStd bool
+	// BitsHeader includes <bits/stdc++.h> instead of individual headers.
+	BitsHeader bool
+	// TypedefLL emits "typedef long long ll;" and uses ll for wide ints.
+	TypedefLL bool
+	// PreIncrement uses ++i in loop posts (else i++).
+	PreIncrement bool
+	// SpaceAroundOps writes "a = b + c" (else "a=b+c").
+	SpaceAroundOps bool
+	// SpaceAfterComma writes "f(a, b)" (else "f(a,b)").
+	SpaceAfterComma bool
+	// BracesAlways wraps single-statement bodies in braces.
+	BracesAlways bool
+	// ReturnZero ends main with an explicit "return 0;".
+	ReturnZero bool
+	// BlankLineDensity in [0,1] is the probability of a blank line
+	// between top-level statement groups.
+	BlankLineDensity float64
+	// CastStyle selects (double)x (0) versus double(x) (1) versus
+	// multiplying by 1.0 (2) for int->double conversion.
+	CastStyle int
+	// ChainReads reads several variables in one statement
+	// (cin >> a >> b) rather than one per statement.
+	ChainReads bool
+	// EndlStyle: 0 = "\n" string, 1 = endl.
+	EndlStyle int
+	// WideInt uses "long long" (or ll with TypedefLL) for integers
+	// instead of plain int.
+	WideInt bool
+}
+
+// Random draws a uniformly random profile (all axes independent) from
+// rng, named name. Corpus generation draws one per synthetic author.
+func Random(name string, rng *rand.Rand) Profile {
+	p := Profile{
+		Name:   name,
+		Naming: []Naming{NamingCamel, NamingSnake, NamingHungarian, NamingShort, NamingVerbose}[rng.Intn(5)],
+		Brace:  []Brace{BraceKR, BraceKR, BraceAllman}[rng.Intn(3)], // K&R is more common
+		IO:     []IO{IOStreams, IOStdio, IOMixed}[rng.Intn(3)],
+		Loop:   []Loop{LoopFor, LoopFor, LoopFor, LoopWhile}[rng.Intn(4)],
+		Decomp: []Decomp{DecompInline, DecompInline, DecompSolvePrint, DecompSolveValue}[rng.Intn(4)],
+	}
+	switch rng.Intn(4) {
+	case 0:
+		p.Indent = Indent{UseTabs: true}
+	case 1:
+		p.Indent = Indent{Width: 2}
+	case 2, 3:
+		p.Indent = Indent{Width: 4}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		p.Comments = CommentNone
+	case 1:
+		p.Comments = CommentLine
+		p.CommentDensity = 0.2 + rng.Float64()*0.5
+	case 2:
+		p.Comments = CommentBlock
+		p.CommentDensity = 0.1 + rng.Float64()*0.4
+	}
+	p.UsingNamespaceStd = rng.Float64() < 0.8
+	p.BitsHeader = rng.Float64() < 0.35
+	p.TypedefLL = rng.Float64() < 0.3
+	p.PreIncrement = rng.Float64() < 0.35
+	p.SpaceAroundOps = rng.Float64() < 0.7
+	p.SpaceAfterComma = rng.Float64() < 0.75
+	p.BracesAlways = rng.Float64() < 0.6
+	p.ReturnZero = rng.Float64() < 0.7
+	p.BlankLineDensity = rng.Float64() * 0.5
+	p.CastStyle = rng.Intn(3)
+	p.ChainReads = rng.Float64() < 0.7
+	p.EndlStyle = rng.Intn(2)
+	p.WideInt = rng.Float64() < 0.5
+	return p
+}
+
+// Distance is a normalized dissimilarity in [0,1] between two profiles,
+// counting disagreeing axes. Used in tests and diagnostics.
+func Distance(a, b Profile) float64 {
+	axes := 0
+	diff := 0
+	cmp := func(eq bool) {
+		axes++
+		if !eq {
+			diff++
+		}
+	}
+	cmp(a.Naming == b.Naming)
+	cmp(a.Indent == b.Indent)
+	cmp(a.Brace == b.Brace)
+	cmp(a.IO == b.IO)
+	cmp(a.Loop == b.Loop)
+	cmp(a.Decomp == b.Decomp)
+	cmp(a.Comments == b.Comments)
+	cmp(a.UsingNamespaceStd == b.UsingNamespaceStd)
+	cmp(a.BitsHeader == b.BitsHeader)
+	cmp(a.TypedefLL == b.TypedefLL)
+	cmp(a.PreIncrement == b.PreIncrement)
+	cmp(a.SpaceAroundOps == b.SpaceAroundOps)
+	cmp(a.SpaceAfterComma == b.SpaceAfterComma)
+	cmp(a.BracesAlways == b.BracesAlways)
+	cmp(a.ReturnZero == b.ReturnZero)
+	cmp(a.CastStyle == b.CastStyle)
+	cmp(a.ChainReads == b.ChainReads)
+	cmp(a.EndlStyle == b.EndlStyle)
+	cmp(a.WideInt == b.WideInt)
+	return float64(diff) / float64(axes)
+}

@@ -1,0 +1,69 @@
+package stylometry
+
+import "strings"
+
+// FeatureFamily groups features the way the paper's background section
+// does: lexical (token stream), layout (formatting), syntactic (AST).
+type FeatureFamily int
+
+// Families.
+const (
+	FamilyLexical FeatureFamily = iota + 1
+	FamilyLayout
+	FamilySyntactic
+)
+
+// String names the family.
+func (f FeatureFamily) String() string {
+	switch f {
+	case FamilyLexical:
+		return "lexical"
+	case FamilyLayout:
+		return "layout"
+	case FamilySyntactic:
+		return "syntactic"
+	default:
+		return "unknown"
+	}
+}
+
+// layoutPrefixes mark layout features; checked before the broader
+// lexical Ln* prefix.
+var layoutPrefixes = []string{
+	"LnTabDensity", "LnSpaceDensity", "LnEmptyLineDensity",
+	"WhitespaceRatio", "TabsLeadLines", "IndentUnit",
+	"NewlineBeforeOpenBrace", "BraceOwnLineRatio", "LineCommentRatio",
+	"SpacedAssignRatio", "SpaceAfterCommaRatio",
+}
+
+var syntacticPrefixes = []string{
+	"AST", "MaxASTDepth", "AvgASTDepth", "LeafTF:",
+	"HelperFunctionCount", "ForWhileRatio",
+}
+
+// Family classifies a feature name.
+func Family(name string) FeatureFamily {
+	for _, p := range layoutPrefixes {
+		if strings.HasPrefix(name, p) {
+			return FamilyLayout
+		}
+	}
+	for _, p := range syntacticPrefixes {
+		if strings.HasPrefix(name, p) {
+			return FamilySyntactic
+		}
+	}
+	return FamilyLexical
+}
+
+// FilterFamily returns a copy of the document restricted to one
+// feature family.
+func FilterFamily(doc Features, fam FeatureFamily) Features {
+	out := make(Features)
+	for name, v := range doc {
+		if Family(name) == fam {
+			out[name] = v
+		}
+	}
+	return out
+}

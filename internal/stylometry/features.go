@@ -1,0 +1,277 @@
+// Package stylometry extracts the code-stylometry feature set of
+// Caliskan-Islam et al. (USENIX Security 2015) from C++ source: lexical
+// features from the token stream, layout features from raw text, and
+// syntactic features from the cppast parse tree (node-kind term
+// frequencies, parent-child bigrams, depths). Documents become sparse
+// name->value maps; Vectorizer aligns a corpus into a dense ml.Dataset.
+package stylometry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gptattr/internal/cppast"
+	"gptattr/internal/cpptok"
+)
+
+// Features is a sparse feature vector: name -> value.
+type Features map[string]float64
+
+// Extract computes the full feature set for one source file.
+func Extract(src string) (Features, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("stylometry: empty source")
+	}
+	f := make(Features)
+	toks, _ := cpptok.Scan(src) // tolerate lexical errors
+	tu, _ := cppast.Parse(src)
+
+	length := float64(len(src))
+	lexicalFeatures(f, src, toks, tu, length)
+	layoutFeatures(f, src, toks, length)
+	syntacticFeatures(f, tu)
+	return f, nil
+}
+
+// lnDensity computes ln((1+count)/length): the paper's
+// ln(count/length) family, add-one smoothed so absent constructs stay
+// finite.
+func lnDensity(count int, length float64) float64 {
+	return math.Log((1 + float64(count)) / length)
+}
+
+func lexicalFeatures(f Features, src string, toks []cpptok.Token, tu *cppast.TranslationUnit, length float64) {
+	ctrlCounts := make(map[string]int)
+	var (
+		numTokens, numComments, numLiterals int
+		numKeywords, numMacros, numTernary  int
+		identLenSum, identCount             int
+	)
+	for _, t := range toks {
+		switch t.Kind {
+		case cpptok.KindEOF:
+			continue
+		case cpptok.KindLineComment, cpptok.KindBlockComment:
+			numComments++
+			continue
+		case cpptok.KindPreproc:
+			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(t.Text, "#")), "define") {
+				numMacros++
+			}
+		case cpptok.KindIntLit, cpptok.KindFloatLit, cpptok.KindStringLit, cpptok.KindCharLit:
+			numLiterals++
+		case cpptok.KindKeyword:
+			numKeywords++
+			if _, ok := ctrlKeywordSet[t.Text]; ok {
+				ctrlCounts[t.Text]++
+			}
+		case cpptok.KindIdent:
+			identLenSum += len(t.Text)
+			identCount++
+			// Word unigrams over identifiers (the dominant lexical
+			// signal: naming conventions).
+			f["WordUnigram:"+t.Text]++
+		case cpptok.KindPunct:
+			if t.Text == "?" {
+				numTernary++
+			}
+		}
+		numTokens++
+	}
+	for _, kw := range cpptok.ControlKeywords() {
+		f["LnKeywordDensity:"+kw] = lnDensity(ctrlCounts[kw], length)
+	}
+	f["LnTernaryDensity"] = lnDensity(numTernary, length)
+	f["LnTokenDensity"] = lnDensity(numTokens, length)
+	f["LnCommentDensity"] = lnDensity(numComments, length)
+	f["LnLiteralDensity"] = lnDensity(numLiterals, length)
+	f["LnKeywordTotalDensity"] = lnDensity(numKeywords, length)
+	f["LnMacroDensity"] = lnDensity(numMacros, length)
+	if identCount > 0 {
+		f["AvgIdentLength"] = float64(identLenSum) / float64(identCount)
+	}
+
+	fns := tu.Functions()
+	f["LnFunctionDensity"] = lnDensity(len(fns), length)
+	if len(fns) > 0 {
+		var sum, sumSq float64
+		for _, fn := range fns {
+			p := float64(len(fn.Params))
+			sum += p
+			sumSq += p * p
+		}
+		mean := sum / float64(len(fns))
+		f["AvgParams"] = mean
+		f["StdDevParams"] = math.Sqrt(maxf(0, sumSq/float64(len(fns))-mean*mean))
+	}
+
+	lines := strings.Split(src, "\n")
+	var lineSum, lineSumSq float64
+	for _, ln := range lines {
+		l := float64(len(ln))
+		lineSum += l
+		lineSumSq += l * l
+	}
+	nl := float64(len(lines))
+	meanLine := lineSum / nl
+	f["AvgLineLength"] = meanLine
+	f["StdDevLineLength"] = math.Sqrt(maxf(0, lineSumSq/nl-meanLine*meanLine))
+
+	// Naming-convention indicators: fractions of identifiers matching
+	// snake_case, camelCase, UPPER_CASE, and short (<=2 chars) names.
+	if identCount > 0 {
+		var snake, camel, upper, short, hungarian int
+		seen := make(map[string]bool)
+		for _, t := range toks {
+			if t.Kind != cpptok.KindIdent || seen[t.Text] {
+				continue
+			}
+			seen[t.Text] = true
+			switch classifyName(t.Text) {
+			case "snake":
+				snake++
+			case "camel":
+				camel++
+			case "upper":
+				upper++
+			case "hungarian":
+				hungarian++
+			}
+			if len(t.Text) <= 2 {
+				short++
+			}
+		}
+		n := float64(len(seen))
+		f["NameFracSnake"] = float64(snake) / n
+		f["NameFracCamel"] = float64(camel) / n
+		f["NameFracUpper"] = float64(upper) / n
+		f["NameFracHungarian"] = float64(hungarian) / n
+		f["NameFracShort"] = float64(short) / n
+	}
+}
+
+var ctrlKeywordSet = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, k := range cpptok.ControlKeywords() {
+		m[k] = true
+	}
+	return m
+}()
+
+// classifyName buckets an identifier into a naming convention.
+func classifyName(s string) string {
+	if s == "" {
+		return "other"
+	}
+	hasUnderscore := strings.Contains(s, "_")
+	hasLower := strings.IndexFunc(s, func(r rune) bool { return r >= 'a' && r <= 'z' }) >= 0
+	hasUpper := strings.IndexFunc(s, func(r rune) bool { return r >= 'A' && r <= 'Z' }) >= 0
+	switch {
+	case hasUpper && !hasLower:
+		return "upper"
+	case hasUnderscore && hasLower && !hasUpper:
+		return "snake"
+	case len(s) > 2 && isHungarianPrefix(s):
+		return "hungarian"
+	case hasLower && hasUpper && !hasUnderscore:
+		return "camel"
+	default:
+		return "other"
+	}
+}
+
+// isHungarianPrefix detects n/i/sz/f-prefixed camel names (nCase,
+// iIndex, fValue).
+func isHungarianPrefix(s string) bool {
+	prefixes := []string{"n", "i", "f", "sz", "b", "p"}
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) && len(s) > len(p) {
+			c := s[len(p)]
+			if c >= 'A' && c <= 'Z' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func syntacticFeatures(f Features, tu *cppast.TranslationUnit) {
+	maxDepth := 0
+	var totalDepth, nodeCount int
+	depthByKind := make(map[string][]int)
+	// Walk with parent tracking for bigrams.
+	var rec func(n cppast.Node, depth int, parent string)
+	rec = func(n cppast.Node, depth int, parent string) {
+		if n == nil {
+			return
+		}
+		k := n.Kind()
+		f["ASTNodeTF:"+k]++
+		if parent != "" {
+			f["ASTBigramTF:"+parent+">"+k]++
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		totalDepth += depth
+		nodeCount++
+		depthByKind[k] = append(depthByKind[k], depth)
+		for _, c := range n.Children() {
+			rec(c, depth+1, k)
+		}
+	}
+	rec(tu, 0, "")
+
+	f["MaxASTDepth"] = float64(maxDepth)
+	if nodeCount > 0 {
+		f["AvgASTDepth"] = float64(totalDepth) / float64(nodeCount)
+	}
+	for k, depths := range depthByKind {
+		s := 0
+		for _, d := range depths {
+			s += d
+		}
+		f["ASTAvgDepth:"+k] = float64(s) / float64(len(depths))
+	}
+
+	// AST leaf terms (identifiers and literals at the leaves).
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		switch l := n.(type) {
+		case *cppast.Ident:
+			f["LeafTF:"+l.Name]++
+		case *cppast.Lit:
+			if len(l.Text) <= 24 {
+				f["LeafTF:"+l.Text]++
+			}
+		}
+		return true
+	})
+
+	// Structural style signals used by the grouping stage: how much
+	// logic lives outside main.
+	fns := tu.Functions()
+	var helpers int
+	for _, fn := range fns {
+		if fn.Name != "main" && fn.Body != nil {
+			helpers++
+		}
+	}
+	f["HelperFunctionCount"] = float64(helpers)
+	kinds := cppast.CountKinds(tu)
+	f["ForWhileRatio"] = ratio(kinds["For"], kinds["For"]+kinds["While"]+kinds["DoWhile"])
+}
+
+func ratio(a, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(a) / float64(total)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

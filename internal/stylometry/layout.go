@@ -1,0 +1,154 @@
+package stylometry
+
+import (
+	"strings"
+
+	"gptattr/internal/cpptok"
+)
+
+// layoutFeatures derives formatting features from the raw source text:
+// whitespace densities, indentation style, brace placement, comment
+// style, and operator spacing.
+func layoutFeatures(f Features, src string, toks []cpptok.Token, length float64) {
+	var tabs, spaces, emptyLines, wsChars int
+	lines := strings.Split(src, "\n")
+	tabLeadLines, spaceLeadLines := 0, 0
+	indentWidths := make(map[int]int)
+
+	for _, ln := range lines {
+		if strings.TrimSpace(ln) == "" {
+			emptyLines++
+			continue
+		}
+		switch {
+		case strings.HasPrefix(ln, "\t"):
+			tabLeadLines++
+		case strings.HasPrefix(ln, " "):
+			spaceLeadLines++
+			w := 0
+			for w < len(ln) && ln[w] == ' ' {
+				w++
+			}
+			indentWidths[w]++
+		}
+	}
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\t':
+			tabs++
+			wsChars++
+		case ' ':
+			spaces++
+			wsChars++
+		case '\n', '\r':
+			wsChars++
+		}
+	}
+
+	f["LnTabDensity"] = lnDensity(tabs, length)
+	f["LnSpaceDensity"] = lnDensity(spaces, length)
+	f["LnEmptyLineDensity"] = lnDensity(emptyLines, length)
+	nonWs := len(src) - wsChars
+	if nonWs > 0 {
+		f["WhitespaceRatio"] = float64(wsChars) / float64(nonWs)
+	}
+	if tabLeadLines > spaceLeadLines {
+		f["TabsLeadLines"] = 1
+	}
+
+	// Dominant indentation unit: the smallest leading-space width that
+	// occurs often (>= 20% of indented lines); buckets 2/4/8.
+	total := 0
+	for _, c := range indentWidths {
+		total += c
+	}
+	if total > 0 {
+		for _, unit := range []int{2, 3, 4, 8} {
+			if float64(indentWidths[unit]) >= 0.2*float64(total) {
+				f["IndentUnit"] = float64(unit)
+				break
+			}
+		}
+	}
+
+	// Brace placement: newline before '{' (Allman) vs same-line (K&R).
+	sameLine, ownLine := 0, 0
+	for _, ln := range lines {
+		t := strings.TrimSpace(ln)
+		if t == "{" {
+			ownLine++
+		} else if strings.HasSuffix(t, "{") && len(t) > 1 {
+			sameLine++
+		}
+	}
+	if ownLine > sameLine {
+		f["NewlineBeforeOpenBrace"] = 1
+	}
+	f["BraceOwnLineRatio"] = ratio(ownLine, ownLine+sameLine)
+
+	// Comment style: line vs block.
+	lineC, blockC := 0, 0
+	for _, t := range toks {
+		switch t.Kind {
+		case cpptok.KindLineComment:
+			lineC++
+		case cpptok.KindBlockComment:
+			blockC++
+		}
+	}
+	f["LineCommentRatio"] = ratio(lineC, lineC+blockC)
+
+	// Operator spacing: fraction of '=' assignments written with
+	// surrounding spaces, and of commas followed by a space.
+	f["SpacedAssignRatio"] = spacedRatio(src, "=")
+	f["SpaceAfterCommaRatio"] = spaceAfterCommaRatio(src)
+}
+
+// spacedRatio estimates how often the single-character operator op
+// appears with spaces on both sides (ignores compound operators by
+// requiring non-operator neighbours).
+func spacedRatio(src, op string) float64 {
+	spaced, total := 0, 0
+	for i := 1; i < len(src)-1; i++ {
+		if string(src[i]) != op {
+			continue
+		}
+		prev, next := src[i-1], src[i+1]
+		if isOpChar(prev) || isOpChar(next) {
+			continue // part of ==, <=, +=, etc.
+		}
+		total++
+		if prev == ' ' && next == ' ' {
+			spaced++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(spaced) / float64(total)
+}
+
+func spaceAfterCommaRatio(src string) float64 {
+	spaced, total := 0, 0
+	for i := 0; i < len(src)-1; i++ {
+		if src[i] != ',' {
+			continue
+		}
+		total++
+		if src[i+1] == ' ' {
+			spaced++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(spaced) / float64(total)
+}
+
+func isOpChar(c byte) bool {
+	switch c {
+	case '=', '<', '>', '!', '+', '-', '*', '/', '%', '&', '|', '^':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package stylometry
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+
+	"gptattr/internal/ml"
+)
+
+// jsonMarshal/jsonUnmarshal alias the stdlib so method receivers avoid
+// accidental recursion through MarshalJSON.
+func jsonMarshal(v any) ([]byte, error)   { return json.Marshal(v) }
+func jsonUnmarshal(d []byte, v any) error { return json.Unmarshal(d, v) }
+
+// VectorizerConfig controls corpus vectorization.
+type VectorizerConfig struct {
+	// MinDocFreq drops term features (WordUnigram/LeafTF/ASTBigramTF)
+	// appearing in fewer than this many documents; scalar features are
+	// always kept. Default 2.
+	MinDocFreq int
+	// UseTFIDF reweights term features by log(N/df) (the paper's TFIDF
+	// feature variants).
+	UseTFIDF bool
+}
+
+func (c VectorizerConfig) minDF() int {
+	if c.MinDocFreq < 1 {
+		return 2
+	}
+	return c.MinDocFreq
+}
+
+// Vectorizer aligns sparse feature maps into dense rows with a fixed,
+// deterministic column order learned from a training corpus.
+type Vectorizer struct {
+	names []string
+	index map[string]int
+	idf   map[string]float64
+	cfg   VectorizerConfig
+}
+
+// termFeature reports whether the feature name is an open-vocabulary
+// term (subject to MinDocFreq and IDF) as opposed to a fixed scalar.
+func termFeature(name string) bool {
+	for _, p := range []string{"WordUnigram:", "LeafTF:", "ASTBigramTF:", "ASTNodeTF:", "ASTAvgDepth:"} {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// NewVectorizer learns the feature dictionary from a document corpus.
+func NewVectorizer(docs []Features, cfg VectorizerConfig) *Vectorizer {
+	df := make(map[string]int)
+	for _, d := range docs {
+		for name := range d {
+			df[name]++
+		}
+	}
+	v := &Vectorizer{index: make(map[string]int), idf: make(map[string]float64), cfg: cfg}
+	minDF := cfg.minDF()
+	for name, n := range df {
+		if termFeature(name) && n < minDF {
+			continue
+		}
+		v.names = append(v.names, name)
+	}
+	sort.Strings(v.names)
+	for i, name := range v.names {
+		v.index[name] = i
+	}
+	if cfg.UseTFIDF {
+		total := float64(len(docs))
+		for _, name := range v.names {
+			if termFeature(name) {
+				v.idf[name] = math.Log(total/float64(df[name])) + 1
+			}
+		}
+	}
+	return v
+}
+
+// NumFeatures returns the dictionary size.
+func (v *Vectorizer) NumFeatures() int { return len(v.names) }
+
+// FeatureNames returns the column names in order (shared slice; do not
+// mutate).
+func (v *Vectorizer) FeatureNames() []string { return v.names }
+
+// Vector produces the dense row for one document. Unknown features are
+// ignored (the document may be out-of-vocabulary).
+func (v *Vectorizer) Vector(doc Features) []float64 {
+	row := make([]float64, len(v.names))
+	for name, val := range doc {
+		i, ok := v.index[name]
+		if !ok {
+			continue
+		}
+		if v.cfg.UseTFIDF {
+			if w, ok := v.idf[name]; ok {
+				val *= w
+			}
+		}
+		row[i] = val
+	}
+	return row
+}
+
+// vectorizerDTO is the JSON wire form of a Vectorizer.
+type vectorizerDTO struct {
+	Names []string           `json:"names"`
+	IDF   map[string]float64 `json:"idf,omitempty"`
+	Cfg   VectorizerConfig   `json:"cfg"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v *Vectorizer) MarshalJSON() ([]byte, error) {
+	return jsonMarshal(vectorizerDTO{Names: v.names, IDF: v.idf, Cfg: v.cfg})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Vectorizer) UnmarshalJSON(data []byte) error {
+	var dto vectorizerDTO
+	if err := jsonUnmarshal(data, &dto); err != nil {
+		return err
+	}
+	v.names = dto.Names
+	v.idf = dto.IDF
+	if v.idf == nil {
+		v.idf = map[string]float64{}
+	}
+	v.cfg = dto.Cfg
+	v.index = make(map[string]int, len(v.names))
+	for i, n := range v.names {
+		v.index[n] = i
+	}
+	return nil
+}
+
+// BuildDataset extracts features for every source, learns a vectorizer
+// on them, and assembles an ml.Dataset with the given labels.
+func BuildDataset(sources []string, labels []int, numClasses int, cfg VectorizerConfig) (*ml.Dataset, *Vectorizer, error) {
+	docs := make([]Features, len(sources))
+	for i, src := range sources {
+		f, err := Extract(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		docs[i] = f
+	}
+	v := NewVectorizer(docs, cfg)
+	d := &ml.Dataset{
+		Y:            labels,
+		NumClasses:   numClasses,
+		FeatureNames: v.FeatureNames(),
+	}
+	d.X = make([][]float64, len(docs))
+	for i, doc := range docs {
+		d.X[i] = v.Vector(doc)
+	}
+	return d, v, nil
+}

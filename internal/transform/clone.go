@@ -1,0 +1,131 @@
+package transform
+
+import "gptattr/internal/cppast"
+
+// cloneStmts deep-copies a statement list so an inlined body can be
+// substituted without aliasing the original function.
+func cloneStmts(stmts []cppast.Node) []cppast.Node {
+	out := make([]cppast.Node, len(stmts))
+	for i, s := range stmts {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s cppast.Node) cppast.Node {
+	switch n := s.(type) {
+	case *cppast.Block:
+		return &cppast.Block{Stmts: cloneStmts(n.Stmts)}
+	case *cppast.VarDecl:
+		nd := &cppast.VarDecl{Type: n.Type}
+		for _, d := range n.Names {
+			dd := &cppast.Declarator{Name: d.Name}
+			for _, a := range d.ArrayLen {
+				dd.ArrayLen = append(dd.ArrayLen, cloneExprOrNil(a))
+			}
+			if d.Init != nil {
+				dd.Init = cloneExpr(d.Init)
+			}
+			nd.Names = append(nd.Names, dd)
+		}
+		return nd
+	case *cppast.ExprStmt:
+		return &cppast.ExprStmt{X: cloneExpr(n.X)}
+	case *cppast.If:
+		ni := &cppast.If{Cond: cloneExpr(n.Cond), Then: cloneStmt(n.Then)}
+		if n.Else != nil {
+			ni.Else = cloneStmt(n.Else)
+		}
+		return ni
+	case *cppast.For:
+		nf := &cppast.For{Body: cloneStmt(n.Body)}
+		if n.Init != nil {
+			nf.Init = cloneStmt(n.Init)
+		}
+		if n.Cond != nil {
+			nf.Cond = cloneExpr(n.Cond)
+		}
+		if n.Post != nil {
+			nf.Post = cloneExpr(n.Post)
+		}
+		return nf
+	case *cppast.While:
+		return &cppast.While{Cond: cloneExpr(n.Cond), Body: cloneStmt(n.Body)}
+	case *cppast.DoWhile:
+		return &cppast.DoWhile{Body: cloneStmt(n.Body), Cond: cloneExpr(n.Cond)}
+	case *cppast.Return:
+		nr := &cppast.Return{}
+		if n.Value != nil {
+			nr.Value = cloneExpr(n.Value)
+		}
+		return nr
+	case *cppast.Break:
+		return &cppast.Break{}
+	case *cppast.Continue:
+		return &cppast.Continue{}
+	case *cppast.EmptyStmt:
+		return &cppast.EmptyStmt{}
+	case *cppast.Switch:
+		ns := &cppast.Switch{Cond: cloneExpr(n.Cond)}
+		for _, c := range n.Cases {
+			nc := &cppast.SwitchCase{Stmts: cloneStmts(c.Stmts)}
+			if c.Value != nil {
+				nc.Value = cloneExpr(c.Value)
+			}
+			ns.Cases = append(ns.Cases, nc)
+		}
+		return ns
+	case *cppast.Comment:
+		return cppast.NewComment(n.Text, n.Block)
+	case *cppast.Preproc:
+		return &cppast.Preproc{Text: n.Text}
+	case *cppast.UsingDirective:
+		return &cppast.UsingDirective{Text: n.Text}
+	case *cppast.TypedefDecl:
+		return &cppast.TypedefDecl{Text: n.Text}
+	case *cppast.Unknown:
+		return &cppast.Unknown{Text: n.Text}
+	default:
+		// Fall back to sharing; callers only clone subset statements.
+		return s
+	}
+}
+
+func cloneExprOrNil(e cppast.Node) cppast.Node {
+	if e == nil {
+		return nil
+	}
+	return cloneExpr(e)
+}
+
+// cloneExpr deep-copies an expression tree.
+func cloneExpr(e cppast.Node) cppast.Node {
+	switch n := e.(type) {
+	case *cppast.Ident:
+		return &cppast.Ident{Name: n.Name}
+	case *cppast.Lit:
+		return &cppast.Lit{LitKind: n.LitKind, Text: n.Text}
+	case *cppast.BinaryExpr:
+		return &cppast.BinaryExpr{Op: n.Op, L: cloneExpr(n.L), R: cloneExpr(n.R)}
+	case *cppast.UnaryExpr:
+		return &cppast.UnaryExpr{Op: n.Op, X: cloneExpr(n.X), Postfix: n.Postfix}
+	case *cppast.ParenExpr:
+		return &cppast.ParenExpr{X: cloneExpr(n.X)}
+	case *cppast.CastExpr:
+		return &cppast.CastExpr{Type: n.Type, X: cloneExpr(n.X)}
+	case *cppast.TernaryExpr:
+		return &cppast.TernaryExpr{Cond: cloneExpr(n.Cond), Then: cloneExpr(n.Then), Else: cloneExpr(n.Else)}
+	case *cppast.CallExpr:
+		nc := &cppast.CallExpr{Fun: cloneExpr(n.Fun)}
+		for _, a := range n.Args {
+			nc.Args = append(nc.Args, cloneExpr(a))
+		}
+		return nc
+	case *cppast.IndexExpr:
+		return &cppast.IndexExpr{X: cloneExpr(n.X), Index: cloneExpr(n.Index)}
+	case *cppast.MemberExpr:
+		return &cppast.MemberExpr{X: cloneExpr(n.X), Sel: n.Sel, Arrow: n.Arrow}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,231 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"gptattr/internal/cppast"
+	"gptattr/internal/cppprint"
+	"gptattr/internal/style"
+)
+
+// TestCloneStatements exercises the deep-clone over every statement
+// form by inlining a function containing them all.
+func TestCloneStatements(t *testing.T) {
+	src := `#include <cstdio>
+void work(int k) {
+    int arr[3];
+    arr[0] = k;
+    int sum = 0;
+    for (int i = 0; i < 3; i++) {
+        sum += arr[0];
+    }
+    while (sum > 100) {
+        sum /= 2;
+    }
+    do {
+        sum--;
+    } while (sum > 50);
+    if (sum % 2 == 0) {
+        sum++;
+    } else {
+        sum--;
+    }
+    switch (k) {
+    case 1:
+        sum += 10;
+        break;
+    default:
+        sum += 1;
+    }
+    int m = k > 0 ? sum : -sum;
+    printf("%d %d\n", sum, m);
+}
+int main() {
+    work(5);
+    work(7);
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	n := InlineVoidCalls(tu)
+	if n != 2 {
+		t.Fatalf("inlined %d calls, want 2", n)
+	}
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if strings.Contains(printed, "void work") {
+		t.Errorf("work not removed:\n%s", printed)
+	}
+	if err := Verify(src, printed, []string{""}); err != nil {
+		t.Fatalf("clone-based inlining changed behaviour: %v\n%s", err, printed)
+	}
+	// Both inlined copies must be independent: the first call's k=5 and
+	// the second's k=7 substitutions must not alias.
+	if !strings.Contains(printed, "5") || !strings.Contains(printed, "7") {
+		t.Errorf("argument substitution lost:\n%s", printed)
+	}
+}
+
+func TestSymTableExprKinds(t *testing.T) {
+	src := `#include <vector>
+#include <string>
+#include <cmath>
+using namespace std;
+double ratio(int a, int b) { return (double)a / b; }
+int main() {
+    vector<int> v;
+    string s = "x";
+    double d = 1.5;
+    int i = 2;
+    char c = 'y';
+    bool flag = i > 1 && d < 2.0;
+    double e = sqrt(d) + max(d, 2.0);
+    int m = max(i, 3);
+    int sz = (int)v.size();
+    double r = ratio(i, m);
+    int t = flag ? i : m;
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	st := CollectSymbols(tu)
+	main := tu.Function("main")
+	// Walk declarations and check inferred kinds of initializers.
+	wants := map[string]SymKind{
+		"flag": SymInt,   // comparison
+		"e":    SymFloat, // sqrt + max(float)
+		"m":    SymInt,   // max(int)
+		"sz":   SymInt,   // cast + size()
+		"r":    SymFloat, // user function return
+		"t":    SymInt,   // ternary of ints
+	}
+	for _, stmt := range main.Body.Stmts {
+		vd, ok := stmt.(*cppast.VarDecl)
+		if !ok {
+			continue
+		}
+		for _, d := range vd.Names {
+			want, tracked := wants[d.Name]
+			if !tracked || d.Init == nil {
+				continue
+			}
+			if got := st.ExprKind(d.Init); got != want {
+				t.Errorf("ExprKind(init of %s) = %v, want %v", d.Name, got, want)
+			}
+		}
+	}
+	// Kind on qualified and unknown names.
+	if st.Kind("std::ghost") != SymInt {
+		t.Error("unknown name should default to int")
+	}
+	if st.Kind("s") != SymString || st.Kind("c") != SymChar || st.Kind("v") != SymVector {
+		t.Error("declared kinds wrong")
+	}
+}
+
+func TestConvertIOUnconvertibleLeftAlone(t *testing.T) {
+	// printf with a computed format string cannot be converted; it must
+	// survive untouched rather than break.
+	src := `#include <cstdio>
+#include <string>
+using namespace std;
+int main() {
+    string fmt = "%d";
+    int x = 42;
+    printf("%d\n", x);
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	ConvertIO(tu, ToStreams)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "cout") {
+		t.Errorf("convertible printf not converted:\n%s", printed)
+	}
+	// String reads cannot go to scanf; they stay as cin.
+	src2 := `#include <iostream>
+#include <string>
+using namespace std;
+int main() {
+    string w;
+    cin >> w;
+    cout << w << endl;
+    return 0;
+}`
+	tu2 := cppast.MustParse(src2)
+	ConvertIO(tu2, ToStdio)
+	printed2 := cppprint.Print(tu2, cppprint.Config{})
+	if !strings.Contains(printed2, "cin >> w") {
+		t.Errorf("string read converted to scanf (invalid):\n%s", printed2)
+	}
+	if err := Verify(src2, printed2, []string{"hello\n"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertIOCharAndIndexTargets(t *testing.T) {
+	src := `#include <iostream>
+using namespace std;
+int main() {
+    int a[2];
+    char c;
+    cin >> a[0] >> c >> a[1];
+    cout << a[0] + a[1] << c << "\n";
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	ConvertIO(tu, ToStdio)
+	RegenerateHeaders(tu, false)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "scanf(") {
+		t.Errorf("no scanf:\n%s", printed)
+	}
+	if err := Verify(src, printed, []string{"3 z 4\n"}); err != nil {
+		t.Fatalf("%v\n%s", err, printed)
+	}
+}
+
+func TestSetUsingNamespaceQualifiedTypes(t *testing.T) {
+	src := `#include <vector>
+#include <string>
+int main() {
+    std::vector<int> v;
+    std::string s;
+    const std::string name = "x";
+    std::vector<double> f(3);
+    v.push_back((int)f.size());
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	SetUsingNamespace(tu, true)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if strings.Contains(printed, "std::") {
+		t.Errorf("qualifications survive import:\n%s", printed)
+	}
+	if !strings.Contains(printed, "using namespace std;") {
+		t.Errorf("directive missing:\n%s", printed)
+	}
+	// And back out: const-qualified types must requalify too.
+	tu2 := cppast.MustParse(printed)
+	SetUsingNamespace(tu2, false)
+	printed2 := cppprint.Print(tu2, cppprint.Config{})
+	if !strings.Contains(printed2, "const std::string") {
+		t.Errorf("const type not requalified:\n%s", printed2)
+	}
+}
+
+func TestRenameHandlesDegenerateIdentifiers(t *testing.T) {
+	// Identifiers that collide after conversion get deterministic
+	// suffixes.
+	src := `int main() {
+    int numCases = 1;
+    int num_cases = 2;
+    return numCases + num_cases;
+}`
+	tu := cppast.MustParse(src)
+	mapping := Rename(tu, style.NamingSnake)
+	a, b := mapping["numCases"], mapping["num_cases"]
+	if a == b {
+		t.Fatalf("collision not resolved: both -> %q", a)
+	}
+	if err := Verify(src, cppprint.Print(tu, cppprint.Config{}), []string{""}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+package transform
+
+import (
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// collectDeclared returns names declared by the statements themselves.
+func collectDeclared(stmts []cppast.Node) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range stmts {
+		cppast.Walk(s, func(n cppast.Node, _ int) bool {
+			if vd, ok := n.(*cppast.VarDecl); ok {
+				for _, d := range vd.Names {
+					out[d.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectUsed returns identifier names referenced by the statements.
+func collectUsed(stmts []cppast.Node) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range stmts {
+		cppast.Walk(s, func(n cppast.Node, _ int) bool {
+			if id, ok := n.(*cppast.Ident); ok {
+				out[strings.TrimPrefix(id.Name, "std::")] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// globalsOf returns names declared at translation-unit scope.
+func globalsOf(tu *cppast.TranslationUnit) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range tu.Decls {
+		switch n := d.(type) {
+		case *cppast.VarDecl:
+			for _, dd := range n.Names {
+				out[dd.Name] = true
+			}
+		case *cppast.FuncDecl:
+			out[n.Name] = true
+		}
+	}
+	return out
+}
+
+// ExtractSolve hoists the body of main's per-case loop into a new
+// function `void <name>(<intType> <caseVar>)` and replaces it with a
+// call — the paper's Figure 4a transformation. It returns false
+// (leaving the tree unchanged) when main has no such loop or the body
+// captures locals other than the loop variable.
+func ExtractSolve(tu *cppast.TranslationUnit, name string) bool {
+	main := tu.Function("main")
+	if main == nil || tu.Function(name) != nil {
+		return false
+	}
+	for _, s := range main.Body.Stmts {
+		f, ok := s.(*cppast.For)
+		if !ok {
+			continue
+		}
+		body, ok := f.Body.(*cppast.Block)
+		if !ok || len(body.Stmts) == 0 {
+			continue
+		}
+		// Identify the loop variable.
+		var loopVar, loopType string
+		if vd, ok := f.Init.(*cppast.VarDecl); ok && len(vd.Names) == 1 {
+			loopVar = vd.Names[0].Name
+			loopType = vd.Type
+		}
+		if loopVar == "" {
+			continue
+		}
+		if containsKind(f.Body, "Break") || containsKind(f.Body, "Return") {
+			return false
+		}
+		declared := collectDeclared(body.Stmts)
+		used := collectUsed(body.Stmts)
+		globals := globalsOf(tu)
+		for u := range used {
+			if declared[u] || globals[u] || protectedNames[u] || u == loopVar {
+				continue
+			}
+			// Free variable beyond the loop counter: bail out.
+			return false
+		}
+		if !used[loopVar] {
+			// Nothing references the case number; still fine, pass it.
+			_ = loopVar
+		}
+		fn := &cppast.FuncDecl{
+			RetType: "void",
+			Name:    name,
+			Params:  []*cppast.Param{{Type: loopType, Name: loopVar}},
+			Body:    &cppast.Block{Stmts: body.Stmts},
+		}
+		call := &cppast.CallExpr{Fun: &cppast.Ident{Name: name}, Args: []cppast.Node{&cppast.Ident{Name: loopVar}}}
+		f.Body = &cppast.Block{Stmts: []cppast.Node{&cppast.ExprStmt{X: call}}}
+
+		// Insert the function before main.
+		var decls []cppast.Node
+		inserted := false
+		for _, d := range tu.Decls {
+			if d == cppast.Node(main) && !inserted {
+				decls = append(decls, fn)
+				inserted = true
+			}
+			decls = append(decls, d)
+		}
+		tu.Decls = decls
+		return true
+	}
+	return false
+}
+
+// InlineVoidCalls replaces statement-level calls to user-defined void
+// functions with their bodies (parameters substituted) when this is
+// safe: arguments are identifiers or literals, the body contains no
+// return, and inlining introduces no name collisions. It returns the
+// number of calls inlined; fully-inlined functions are removed.
+func InlineVoidCalls(tu *cppast.TranslationUnit) int {
+	inlined := 0
+	called := map[string]int{}
+
+	inlineIn := func(caller *cppast.FuncDecl) {
+		mapCallerStmts(caller, func(list []cppast.Node) []cppast.Node {
+			var out []cppast.Node
+			for _, s := range list {
+				es, ok := s.(*cppast.ExprStmt)
+				if !ok {
+					out = append(out, s)
+					continue
+				}
+				call, ok := es.X.(*cppast.CallExpr)
+				if !ok {
+					out = append(out, s)
+					continue
+				}
+				fnName, ok := call.Fun.(*cppast.Ident)
+				if !ok {
+					out = append(out, s)
+					continue
+				}
+				target := tu.Function(fnName.Name)
+				if target == nil || target.RetType != "void" || target == caller ||
+					containsKind(target.Body, "Return") ||
+					len(call.Args) != len(target.Params) {
+					out = append(out, s)
+					if target != nil {
+						called[target.Name]++
+					}
+					continue
+				}
+				subst := map[string]cppast.Node{}
+				safe := true
+				for i, a := range call.Args {
+					switch a.(type) {
+					case *cppast.Ident, *cppast.Lit:
+						subst[target.Params[i].Name] = a
+					default:
+						safe = false
+					}
+				}
+				// Collision check: body-declared names vs caller names.
+				if safe {
+					bodyDecls := collectDeclared(target.Body.Stmts)
+					callerNames := collectDeclared(caller.Body.Stmts)
+					for n := range bodyDecls {
+						if callerNames[n] {
+							safe = false
+							break
+						}
+					}
+				}
+				if !safe {
+					called[target.Name]++
+					out = append(out, s)
+					continue
+				}
+				clone := cloneStmts(target.Body.Stmts)
+				substituteIdents(clone, subst)
+				out = append(out, clone...)
+				inlined++
+			}
+			return out
+		})
+	}
+
+	for _, d := range tu.Decls {
+		if f, ok := d.(*cppast.FuncDecl); ok && f.Body != nil {
+			inlineIn(f)
+		}
+	}
+	if inlined > 0 {
+		// Remove functions that are no longer referenced anywhere.
+		used := collectUsed(allStmts(tu))
+		var decls []cppast.Node
+		for _, d := range tu.Decls {
+			if f, ok := d.(*cppast.FuncDecl); ok && f.Name != "main" && !used[f.Name] {
+				continue
+			}
+			decls = append(decls, d)
+		}
+		tu.Decls = decls
+	}
+	return inlined
+}
+
+func allStmts(tu *cppast.TranslationUnit) []cppast.Node {
+	var out []cppast.Node
+	for _, d := range tu.Decls {
+		if f, ok := d.(*cppast.FuncDecl); ok && f.Body != nil {
+			out = append(out, f.Body.Stmts...)
+		}
+	}
+	return out
+}
+
+// mapCallerStmts rewrites the statement lists of one function.
+func mapCallerStmts(f *cppast.FuncDecl, fn func([]cppast.Node) []cppast.Node) {
+	var visit func(n cppast.Node)
+	rewrite := func(list []cppast.Node) []cppast.Node {
+		for _, s := range list {
+			visit(s)
+		}
+		return fn(list)
+	}
+	visit = func(n cppast.Node) {
+		switch s := n.(type) {
+		case *cppast.Block:
+			s.Stmts = rewrite(s.Stmts)
+		case *cppast.If:
+			visit(s.Then)
+			if s.Else != nil {
+				visit(s.Else)
+			}
+		case *cppast.For:
+			visit(s.Body)
+		case *cppast.While:
+			visit(s.Body)
+		case *cppast.DoWhile:
+			visit(s.Body)
+		case *cppast.Switch:
+			for _, c := range s.Cases {
+				c.Stmts = rewrite(c.Stmts)
+			}
+		}
+	}
+	if f.Body != nil {
+		f.Body.Stmts = rewrite(f.Body.Stmts)
+	}
+}
+
+// substituteIdents renames identifier references per the mapping
+// (expression substitution for inlined parameters).
+func substituteIdents(stmts []cppast.Node, subst map[string]cppast.Node) {
+	replaceExpr := func(e cppast.Node) cppast.Node {
+		if id, ok := e.(*cppast.Ident); ok {
+			if repl, ok := subst[id.Name]; ok {
+				return cloneExpr(repl)
+			}
+		}
+		return e
+	}
+	var fixExpr func(e cppast.Node) cppast.Node
+	fixExpr = func(e cppast.Node) cppast.Node {
+		switch n := e.(type) {
+		case *cppast.BinaryExpr:
+			n.L = fixExpr(n.L)
+			n.R = fixExpr(n.R)
+		case *cppast.UnaryExpr:
+			n.X = fixExpr(n.X)
+		case *cppast.ParenExpr:
+			n.X = fixExpr(n.X)
+		case *cppast.CastExpr:
+			n.X = fixExpr(n.X)
+		case *cppast.TernaryExpr:
+			n.Cond = fixExpr(n.Cond)
+			n.Then = fixExpr(n.Then)
+			n.Else = fixExpr(n.Else)
+		case *cppast.CallExpr:
+			n.Fun = fixExpr(n.Fun)
+			for i := range n.Args {
+				n.Args[i] = fixExpr(n.Args[i])
+			}
+		case *cppast.IndexExpr:
+			n.X = fixExpr(n.X)
+			n.Index = fixExpr(n.Index)
+		case *cppast.MemberExpr:
+			n.X = fixExpr(n.X)
+		}
+		return replaceExpr(e)
+	}
+	var fixStmt func(s cppast.Node)
+	fixStmt = func(s cppast.Node) {
+		switch n := s.(type) {
+		case *cppast.ExprStmt:
+			n.X = fixExpr(n.X)
+		case *cppast.VarDecl:
+			for _, d := range n.Names {
+				if d.Init != nil {
+					d.Init = fixExpr(d.Init)
+				}
+				for i, a := range d.ArrayLen {
+					if a != nil {
+						d.ArrayLen[i] = fixExpr(a)
+					}
+				}
+			}
+		case *cppast.Return:
+			if n.Value != nil {
+				n.Value = fixExpr(n.Value)
+			}
+		case *cppast.If:
+			n.Cond = fixExpr(n.Cond)
+			fixStmt(n.Then)
+			if n.Else != nil {
+				fixStmt(n.Else)
+			}
+		case *cppast.For:
+			if n.Init != nil {
+				fixStmt(n.Init)
+			}
+			if n.Cond != nil {
+				n.Cond = fixExpr(n.Cond)
+			}
+			if n.Post != nil {
+				n.Post = fixExpr(n.Post)
+			}
+			fixStmt(n.Body)
+		case *cppast.While:
+			n.Cond = fixExpr(n.Cond)
+			fixStmt(n.Body)
+		case *cppast.DoWhile:
+			n.Cond = fixExpr(n.Cond)
+			fixStmt(n.Body)
+		case *cppast.Block:
+			for _, st := range n.Stmts {
+				fixStmt(st)
+			}
+		case *cppast.Switch:
+			n.Cond = fixExpr(n.Cond)
+			for _, c := range n.Cases {
+				for _, st := range c.Stmts {
+					fixStmt(st)
+				}
+			}
+		}
+	}
+	for _, s := range stmts {
+		fixStmt(s)
+	}
+}

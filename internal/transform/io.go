@@ -1,0 +1,352 @@
+package transform
+
+import (
+	"strconv"
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// IOTarget selects the I/O idiom ConvertIO rewrites toward.
+type IOTarget int
+
+// Targets.
+const (
+	ToStreams IOTarget = iota + 1 // cin/cout
+	ToStdio                       // scanf/printf
+)
+
+// ConvertIO rewrites every input and output statement in the unit to
+// the target idiom. Statements it cannot model (unknown chain shapes)
+// are left untouched, keeping the transformation safe.
+func ConvertIO(tu *cppast.TranslationUnit, to IOTarget) {
+	st := CollectSymbols(tu)
+	var rewriteBlock func(b *cppast.Block)
+	var rewriteStmt func(s cppast.Node) cppast.Node
+	rewriteStmt = func(s cppast.Node) cppast.Node {
+		switch n := s.(type) {
+		case *cppast.Block:
+			rewriteBlock(n)
+		case *cppast.ExprStmt:
+			if repl := convertIOExpr(n.X, st, to); repl != nil {
+				return &cppast.ExprStmt{X: repl}
+			}
+		case *cppast.If:
+			n.Then = rewriteStmt(n.Then)
+			if n.Else != nil {
+				n.Else = rewriteStmt(n.Else)
+			}
+		case *cppast.For:
+			n.Body = rewriteStmt(n.Body)
+		case *cppast.While:
+			n.Body = rewriteStmt(n.Body)
+		case *cppast.DoWhile:
+			n.Body = rewriteStmt(n.Body)
+		case *cppast.Switch:
+			for _, c := range n.Cases {
+				for i, cs := range c.Stmts {
+					c.Stmts[i] = rewriteStmt(cs)
+				}
+			}
+		}
+		return s
+	}
+	rewriteBlock = func(b *cppast.Block) {
+		for i, s := range b.Stmts {
+			b.Stmts[i] = rewriteStmt(s)
+		}
+	}
+	for _, d := range tu.Decls {
+		if f, ok := d.(*cppast.FuncDecl); ok && f.Body != nil {
+			rewriteBlock(f.Body)
+		}
+	}
+}
+
+// convertIOExpr returns a replacement expression for an I/O statement
+// expression, or nil when not an I/O statement (or already in the
+// target idiom / not convertible).
+func convertIOExpr(e cppast.Node, st *SymTable, to IOTarget) cppast.Node {
+	switch to {
+	case ToStdio:
+		if targets, ok := matchCinChain(e); ok {
+			return buildScanf(targets, st)
+		}
+		if segs, ok := matchCoutChain(e); ok {
+			return buildPrintf(segs, st)
+		}
+	case ToStreams:
+		if call, ok := callNamed(e, "scanf"); ok {
+			return scanfToCin(call)
+		}
+		if call, ok := callNamed(e, "printf"); ok {
+			return printfToCout(call, st)
+		}
+	}
+	return nil
+}
+
+func callNamed(e cppast.Node, name string) (*cppast.CallExpr, bool) {
+	c, ok := e.(*cppast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := c.Fun.(*cppast.Ident)
+	if !ok || strings.TrimPrefix(id.Name, "std::") != name {
+		return nil, false
+	}
+	return c, true
+}
+
+func isStreamIdent(e cppast.Node, name string) bool {
+	id, ok := e.(*cppast.Ident)
+	return ok && strings.TrimPrefix(id.Name, "std::") == name
+}
+
+// matchCinChain recognizes cin >> a >> b ... and returns the targets.
+func matchCinChain(e cppast.Node) ([]cppast.Node, bool) {
+	var targets []cppast.Node
+	cur := e
+	for {
+		be, ok := cur.(*cppast.BinaryExpr)
+		if !ok || be.Op != ">>" {
+			break
+		}
+		targets = append([]cppast.Node{be.R}, targets...)
+		cur = be.L
+	}
+	if !isStreamIdent(cur, "cin") || len(targets) == 0 {
+		return nil, false
+	}
+	return targets, true
+}
+
+// coutSeg is one element of an output chain.
+type coutSeg struct {
+	expr      cppast.Node // nil for manipulators handled via fields
+	isEndl    bool
+	isFixed   bool
+	precision int // -1 unless setprecision
+}
+
+// matchCoutChain recognizes cout << ... and returns the segments in
+// output order.
+func matchCoutChain(e cppast.Node) ([]coutSeg, bool) {
+	var segs []coutSeg
+	cur := e
+	for {
+		be, ok := cur.(*cppast.BinaryExpr)
+		if !ok || be.Op != "<<" {
+			break
+		}
+		segs = append([]coutSeg{classifySeg(be.R)}, segs...)
+		cur = be.L
+	}
+	if !isStreamIdent(cur, "cout") || len(segs) == 0 {
+		return nil, false
+	}
+	return segs, true
+}
+
+func classifySeg(e cppast.Node) coutSeg {
+	if isStreamIdent(e, "endl") {
+		return coutSeg{isEndl: true, precision: -1}
+	}
+	if isStreamIdent(e, "fixed") {
+		return coutSeg{isFixed: true, precision: -1}
+	}
+	if call, ok := callNamed(e, "setprecision"); ok && len(call.Args) == 1 {
+		if lit, ok := call.Args[0].(*cppast.Lit); ok && lit.LitKind == "int" {
+			p, err := strconv.Atoi(lit.Text)
+			if err == nil {
+				return coutSeg{precision: p}
+			}
+		}
+		return coutSeg{precision: 6}
+	}
+	return coutSeg{expr: e, precision: -1}
+}
+
+func ident(name string) *cppast.Ident { return &cppast.Ident{Name: name} }
+
+func strLit(s string) *cppast.Lit {
+	return &cppast.Lit{LitKind: "string", Text: "\"" + s + "\""}
+}
+
+// buildScanf turns read targets into scanf("...", &a, &b).
+func buildScanf(targets []cppast.Node, st *SymTable) cppast.Node {
+	verbs := make([]string, 0, len(targets))
+	args := make([]cppast.Node, 0, len(targets)+1)
+	for _, t := range targets {
+		var kind SymKind
+		switch n := t.(type) {
+		case *cppast.Ident:
+			kind = st.Kind(n.Name)
+		case *cppast.IndexExpr:
+			kind = st.ExprKind(n)
+		default:
+			return nil // unconvertible target
+		}
+		switch kind {
+		case SymFloat:
+			verbs = append(verbs, "%lf")
+		case SymString:
+			return nil // scanf into std::string is not valid; keep cin
+		case SymChar:
+			verbs = append(verbs, " %c")
+		default:
+			verbs = append(verbs, "%d")
+		}
+		args = append(args, &cppast.UnaryExpr{Op: "&", X: t})
+	}
+	call := &cppast.CallExpr{Fun: ident("scanf")}
+	call.Args = append([]cppast.Node{strLit(strings.Join(verbs, " "))}, args...)
+	return call
+}
+
+// buildPrintf turns cout segments into printf(fmt, args...). Returns
+// nil when a segment cannot be mapped.
+func buildPrintf(segs []coutSeg, st *SymTable) cppast.Node {
+	var format strings.Builder
+	var args []cppast.Node
+	precision := 6
+	for _, s := range segs {
+		switch {
+		case s.isEndl:
+			format.WriteString("\\n")
+		case s.isFixed:
+			// formatting state only
+		case s.precision >= 0:
+			precision = s.precision
+		case s.expr != nil:
+			if lit, ok := s.expr.(*cppast.Lit); ok && lit.LitKind == "string" {
+				body := lit.Text[1 : len(lit.Text)-1]
+				format.WriteString(strings.ReplaceAll(body, "%", "%%"))
+				continue
+			}
+			switch st.ExprKind(s.expr) {
+			case SymFloat:
+				format.WriteString("%." + strconv.Itoa(precision) + "lf")
+			case SymString:
+				return nil // printf("%s", std::string) is invalid; keep cout
+			case SymChar:
+				format.WriteString("%c")
+			default:
+				format.WriteString("%d")
+			}
+			args = append(args, s.expr)
+		}
+	}
+	call := &cppast.CallExpr{Fun: ident("printf")}
+	call.Args = append([]cppast.Node{strLit(format.String())}, args...)
+	return call
+}
+
+// scanfToCin converts scanf("fmt", &a, &b) into cin >> a >> b.
+func scanfToCin(call *cppast.CallExpr) cppast.Node {
+	if len(call.Args) < 2 {
+		return nil
+	}
+	var chain cppast.Node = ident("cin")
+	for _, a := range call.Args[1:] {
+		target := a
+		if u, ok := a.(*cppast.UnaryExpr); ok && u.Op == "&" {
+			target = u.X
+		}
+		chain = &cppast.BinaryExpr{Op: ">>", L: chain, R: target}
+	}
+	return chain
+}
+
+// printfToCout converts printf("fmt", args...) into a cout chain,
+// mapping %.Nf to fixed << setprecision(N).
+func printfToCout(call *cppast.CallExpr, st *SymTable) cppast.Node {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	fmtLit, ok := call.Args[0].(*cppast.Lit)
+	if !ok || fmtLit.LitKind != "string" {
+		return nil
+	}
+	format := fmtLit.Text[1 : len(fmtLit.Text)-1]
+	args := call.Args[1:]
+	argIdx := 0
+
+	var chain cppast.Node = ident("cout")
+	emit := func(seg cppast.Node) {
+		chain = &cppast.BinaryExpr{Op: "<<", L: chain, R: seg}
+	}
+	var text strings.Builder
+	flushText := func() {
+		if text.Len() > 0 {
+			emit(strLit(text.String()))
+			text.Reset()
+		}
+	}
+	fixedEmitted := false
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			// Escapes stay escaped inside the new string literal.
+			text.WriteByte(c)
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			text.WriteByte('%')
+			i++
+			continue
+		}
+		// parse %[flags][width][.prec][len]verb
+		prec := -1
+		for i < len(format) && strings.IndexByte("-+ 0#", format[i]) >= 0 {
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			p := 0
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				p = p*10 + int(format[i]-'0')
+				i++
+			}
+			prec = p
+		}
+		for i < len(format) && strings.IndexByte("hlLqjzt", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) || argIdx >= len(args) {
+			return nil
+		}
+		verb := format[i]
+		i++
+		arg := args[argIdx]
+		argIdx++
+		switch verb {
+		case 'd', 'i', 'u', 'c', 's', 'x':
+			flushText()
+			emit(arg)
+		case 'f', 'F', 'e', 'g':
+			flushText()
+			if prec < 0 {
+				prec = 6
+			}
+			if !fixedEmitted {
+				emit(ident("fixed"))
+				fixedEmitted = true
+			}
+			sp := &cppast.CallExpr{Fun: ident("setprecision")}
+			sp.Args = []cppast.Node{&cppast.Lit{LitKind: "int", Text: strconv.Itoa(prec)}}
+			emit(sp)
+			emit(arg)
+		default:
+			return nil
+		}
+	}
+	flushText()
+	return chain
+}

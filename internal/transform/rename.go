@@ -1,0 +1,212 @@
+package transform
+
+import (
+	"strings"
+
+	"gptattr/internal/cppast"
+	"gptattr/internal/style"
+)
+
+// protectedNames are identifiers renaming must never touch: library
+// names, entry point, and common std members.
+var protectedNames = map[string]bool{
+	"main": true, "cin": true, "cout": true, "cerr": true, "endl": true,
+	"fixed": true, "scientific": true, "setprecision": true, "setw": true,
+	"printf": true, "scanf": true, "puts": true, "putchar": true,
+	"max": true, "min": true, "abs": true, "fabs": true, "sqrt": true,
+	"pow": true, "floor": true, "ceil": true, "round": true, "swap": true,
+	"sort": true, "to_string": true, "std": true, "vector": true,
+	"string": true, "ll": true, "size": true, "length": true,
+	"push_back": true, "pop_back": true, "begin": true, "end": true,
+	"empty": true, "clear": true, "back": true, "front": true,
+	"substr": true, "{}": true,
+}
+
+// DeclaredNames collects every user-declared identifier in the unit:
+// function names (except main), parameters, and variables.
+func DeclaredNames(tu *cppast.TranslationUnit) []string {
+	var order []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name == "" || protectedNames[name] || seen[name] {
+			return
+		}
+		seen[name] = true
+		order = append(order, name)
+	}
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		switch d := n.(type) {
+		case *cppast.FuncDecl:
+			if d.Name != "main" {
+				add(d.Name)
+			}
+			for _, p := range d.Params {
+				add(p.Name)
+			}
+		case *cppast.VarDecl:
+			for _, dd := range d.Names {
+				add(dd.Name)
+			}
+		}
+		return true
+	})
+	return order
+}
+
+// splitWords decomposes an identifier into lowercase words, splitting
+// on underscores and camel-case boundaries; digit runs attach to the
+// preceding word.
+func splitWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	var prev rune
+	for _, r := range name {
+		switch {
+		case r == '_':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			if !(prev >= 'A' && prev <= 'Z') {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+		prev = r
+	}
+	flush()
+	if len(words) == 0 {
+		return []string{strings.ToLower(name)}
+	}
+	return words
+}
+
+// convertName renders words in the target convention.
+func convertName(name string, to style.Naming) string {
+	words := splitWords(name)
+	switch to {
+	case style.NamingSnake:
+		return strings.Join(words, "_")
+	case style.NamingCamel, style.NamingVerbose:
+		var b strings.Builder
+		b.WriteString(words[0])
+		for _, w := range words[1:] {
+			b.WriteString(titleWord(w))
+		}
+		return b.String()
+	case style.NamingHungarian:
+		if len(name) <= 2 {
+			return name
+		}
+		var b strings.Builder
+		b.WriteString("n")
+		for _, w := range words {
+			b.WriteString(titleWord(w))
+		}
+		return b.String()
+	case style.NamingShort:
+		if len(words) == 1 && len(words[0]) <= 3 {
+			return words[0]
+		}
+		var b strings.Builder
+		for _, w := range words {
+			b.WriteByte(w[0])
+		}
+		return b.String()
+	default:
+		return name
+	}
+}
+
+func titleWord(w string) string {
+	if w == "" {
+		return ""
+	}
+	return strings.ToUpper(w[:1]) + w[1:]
+}
+
+// Rename rewrites every user-declared identifier into the target
+// convention, resolving collisions deterministically, and returns the
+// applied mapping.
+func Rename(tu *cppast.TranslationUnit, to style.Naming) map[string]string {
+	names := DeclaredNames(tu)
+	mapping := make(map[string]string, len(names))
+	used := make(map[string]bool)
+	for _, n := range protectedNamesList() {
+		used[n] = true
+	}
+	for _, name := range names {
+		cand := convertName(name, to)
+		if cand == "" || cand == name && !used[cand] {
+			mapping[name] = name
+			used[name] = true
+			continue
+		}
+		final := cand
+		for i := 2; used[final] || cppKeyword(final); i++ {
+			final = cand + string(rune('0'+i%10))
+			if i > 20 {
+				final = name // give up; keep original
+				break
+			}
+		}
+		used[final] = true
+		mapping[name] = final
+	}
+	ApplyRename(tu, mapping)
+	return mapping
+}
+
+func protectedNamesList() []string {
+	out := make([]string, 0, len(protectedNames))
+	for n := range protectedNames {
+		out = append(out, n)
+	}
+	return out
+}
+
+func cppKeyword(s string) bool {
+	switch s {
+	case "int", "long", "double", "float", "char", "bool", "void", "for",
+		"while", "if", "else", "do", "return", "break", "continue",
+		"const", "case", "switch", "new", "delete", "this", "using",
+		"namespace", "true", "false", "struct", "class", "auto":
+		return true
+	}
+	return false
+}
+
+// ApplyRename rewrites identifiers per the mapping across declarations
+// and uses.
+func ApplyRename(tu *cppast.TranslationUnit, mapping map[string]string) {
+	ren := func(name string) string {
+		if nn, ok := mapping[name]; ok {
+			return nn
+		}
+		// std::-qualified use of a renamed symbol never happens for
+		// user names; leave qualified names alone.
+		return name
+	}
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		switch d := n.(type) {
+		case *cppast.FuncDecl:
+			d.Name = ren(d.Name)
+			for _, p := range d.Params {
+				p.Name = ren(p.Name)
+			}
+		case *cppast.VarDecl:
+			for _, dd := range d.Names {
+				dd.Name = ren(dd.Name)
+			}
+		case *cppast.Ident:
+			d.Name = ren(d.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,334 @@
+package transform
+
+import (
+	"math/rand"
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// mapStmts applies fn to every statement list in the unit (function
+// bodies and nested blocks), allowing statement replacement and
+// expansion.
+func mapStmts(tu *cppast.TranslationUnit, fn func([]cppast.Node) []cppast.Node) {
+	var visit func(n cppast.Node)
+	rewrite := func(list []cppast.Node) []cppast.Node {
+		for _, s := range list {
+			visit(s)
+		}
+		return fn(list)
+	}
+	visit = func(n cppast.Node) {
+		switch s := n.(type) {
+		case *cppast.FuncDecl:
+			if s.Body != nil {
+				s.Body.Stmts = rewrite(s.Body.Stmts)
+			}
+		case *cppast.Block:
+			s.Stmts = rewrite(s.Stmts)
+		case *cppast.If:
+			visit(s.Then)
+			if s.Else != nil {
+				visit(s.Else)
+			}
+		case *cppast.For:
+			visit(s.Body)
+		case *cppast.While:
+			visit(s.Body)
+		case *cppast.DoWhile:
+			visit(s.Body)
+		case *cppast.Switch:
+			for _, c := range s.Cases {
+				c.Stmts = rewrite(c.Stmts)
+			}
+		}
+	}
+	for _, d := range tu.Decls {
+		visit(d)
+	}
+}
+
+// containsKind reports whether the subtree holds a node of the kind.
+func containsKind(n cppast.Node, kind string) bool {
+	found := false
+	cppast.Walk(n, func(m cppast.Node, _ int) bool {
+		if m.Kind() == kind {
+			found = true
+			return false
+		}
+		// Do not descend into nested loops when looking for loop-control
+		// statements that would bind to them instead.
+		if kind == "Continue" || kind == "Break" {
+			switch m.Kind() {
+			case "For", "While", "DoWhile":
+				if m != n {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ForToWhile rewrites every for loop whose body has no continue into
+// the equivalent init; while(cond){body; post;} form.
+func ForToWhile(tu *cppast.TranslationUnit) {
+	mapStmts(tu, func(list []cppast.Node) []cppast.Node {
+		var out []cppast.Node
+		for _, s := range list {
+			f, ok := s.(*cppast.For)
+			if !ok || containsKind(f.Body, "Continue") || f.Cond == nil {
+				out = append(out, s)
+				continue
+			}
+			if f.Init != nil {
+				out = append(out, f.Init)
+			}
+			bodyStmts := []cppast.Node{}
+			if b, ok := f.Body.(*cppast.Block); ok {
+				bodyStmts = append(bodyStmts, b.Stmts...)
+			} else {
+				bodyStmts = append(bodyStmts, f.Body)
+			}
+			if f.Post != nil {
+				bodyStmts = append(bodyStmts, &cppast.ExprStmt{X: f.Post})
+			}
+			out = append(out, &cppast.While{
+				Cond: f.Cond,
+				Body: &cppast.Block{Stmts: bodyStmts},
+			})
+		}
+		return out
+	})
+}
+
+// WhileToFor rewrites while loops into for(; cond ;) form — a purely
+// syntactic restyling that shifts AST node distributions.
+func WhileToFor(tu *cppast.TranslationUnit) {
+	mapStmts(tu, func(list []cppast.Node) []cppast.Node {
+		for i, s := range list {
+			if w, ok := s.(*cppast.While); ok {
+				list[i] = &cppast.For{Cond: w.Cond, Body: w.Body}
+			}
+		}
+		return list
+	})
+}
+
+// SetIncrementStyle rewrites value-discarded ++/-- (statement
+// expressions and for-posts) to prefix or postfix form.
+func SetIncrementStyle(tu *cppast.TranslationUnit, pre bool) {
+	fix := func(e cppast.Node) {
+		if u, ok := e.(*cppast.UnaryExpr); ok && (u.Op == "++" || u.Op == "--") {
+			u.Postfix = !pre
+		}
+	}
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		switch s := n.(type) {
+		case *cppast.ExprStmt:
+			fix(s.X)
+		case *cppast.For:
+			if s.Post != nil {
+				fix(s.Post)
+			}
+		}
+		return true
+	})
+}
+
+// stdNames are unqualified std symbols the namespace toggle rewrites.
+var stdNames = map[string]bool{
+	"cin": true, "cout": true, "cerr": true, "endl": true, "fixed": true,
+	"scientific": true, "setprecision": true, "setw": true, "max": true,
+	"min": true, "swap": true, "sort": true, "to_string": true,
+	"abs": true,
+}
+
+// stdTypes are type-name prefixes that gain/lose the std:: prefix.
+var stdTypes = []string{"vector", "string", "pair"}
+
+// SetUsingNamespace toggles "using namespace std;": when use is true
+// it inserts the directive (after includes) and strips std::
+// qualifications; when false it removes the directive and qualifies
+// known std names and types.
+func SetUsingNamespace(tu *cppast.TranslationUnit, use bool) {
+	// Drop existing using-namespace-std directives.
+	var decls []cppast.Node
+	for _, d := range tu.Decls {
+		if u, ok := d.(*cppast.UsingDirective); ok {
+			t := strings.ReplaceAll(u.Text, " ", "")
+			if strings.HasPrefix(t, "usingnamespacestd") {
+				continue
+			}
+		}
+		decls = append(decls, d)
+	}
+	tu.Decls = decls
+
+	rewriteType := func(t string) string {
+		if use {
+			return strings.ReplaceAll(t, "std::", "")
+		}
+		for _, st := range stdTypes {
+			if strings.HasPrefix(t, st+"<") || t == st {
+				return "std::" + t
+			}
+			// Also qualify after const/static prefixes.
+			for _, q := range []string{"const ", "static "} {
+				if strings.HasPrefix(t, q+st) {
+					return q + "std::" + strings.TrimPrefix(t, q)
+				}
+			}
+		}
+		return t
+	}
+
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		switch d := n.(type) {
+		case *cppast.Ident:
+			if use {
+				d.Name = strings.TrimPrefix(d.Name, "std::")
+			} else if stdNames[d.Name] {
+				d.Name = "std::" + d.Name
+			}
+		case *cppast.VarDecl:
+			d.Type = rewriteType(d.Type)
+		case *cppast.FuncDecl:
+			d.RetType = rewriteType(d.RetType)
+			for _, p := range d.Params {
+				p.Type = rewriteType(p.Type)
+			}
+		}
+		return true
+	})
+
+	if use {
+		// Insert after the trailing include.
+		insertAt := 0
+		for i, d := range tu.Decls {
+			if _, ok := d.(*cppast.Preproc); ok {
+				insertAt = i + 1
+			}
+		}
+		using := &cppast.UsingDirective{Text: "using namespace std;"}
+		tu.Decls = append(tu.Decls[:insertAt],
+			append([]cppast.Node{using}, tu.Decls[insertAt:]...)...)
+	}
+}
+
+// StripComments removes every synthetic comment node (parsed units have
+// none; this is for re-transformed trees).
+func StripComments(tu *cppast.TranslationUnit) {
+	mapStmts(tu, func(list []cppast.Node) []cppast.Node {
+		out := list[:0]
+		for _, s := range list {
+			if _, ok := s.(*cppast.Comment); !ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	})
+	var decls []cppast.Node
+	for _, d := range tu.Decls {
+		if _, ok := d.(*cppast.Comment); !ok {
+			decls = append(decls, d)
+		}
+	}
+	tu.Decls = decls
+}
+
+// commentPool is the simulated-ChatGPT comment vocabulary.
+var commentPool = []string{
+	"Read the input values",
+	"Process the current case",
+	"Update the running answer",
+	"Iterate over the input",
+	"Compute the result",
+	"Handle this test case",
+	"Output the answer",
+	"Initialize state",
+}
+
+// InjectComments inserts comments before statements with the given
+// density (deterministic per rng), in line or block style.
+func InjectComments(tu *cppast.TranslationUnit, density float64, block bool, rng *rand.Rand) {
+	if density <= 0 {
+		return
+	}
+	mapStmts(tu, func(list []cppast.Node) []cppast.Node {
+		var out []cppast.Node
+		for _, s := range list {
+			switch s.(type) {
+			case *cppast.For, *cppast.While, *cppast.DoWhile, *cppast.If, *cppast.VarDecl:
+				if rng.Float64() < density {
+					out = append(out, cppast.NewComment(commentPool[rng.Intn(len(commentPool))], block))
+				}
+			}
+			out = append(out, s)
+		}
+		return out
+	})
+}
+
+// headerNeeds scans the unit for required standard headers.
+func headerNeeds(tu *cppast.TranslationUnit) []string {
+	needs := map[string]bool{}
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		switch d := n.(type) {
+		case *cppast.Ident:
+			switch strings.TrimPrefix(d.Name, "std::") {
+			case "cin", "cout", "cerr", "endl":
+				needs["iostream"] = true
+			case "printf", "scanf", "puts", "putchar":
+				needs["cstdio"] = true
+			case "sort", "max", "min", "swap":
+				needs["algorithm"] = true
+			case "sqrt", "pow", "fabs", "floor", "ceil", "round":
+				needs["cmath"] = true
+			case "setprecision", "setw", "fixed":
+				needs["iomanip"] = true
+			}
+		case *cppast.VarDecl:
+			t := d.Type
+			if strings.Contains(t, "vector<") {
+				needs["vector"] = true
+			}
+			if strings.Contains(t, "string") {
+				needs["string"] = true
+			}
+		}
+		return true
+	})
+	// fixed alone lives in <iostream>; only setprecision needs iomanip.
+	order := []string{"iostream", "cstdio", "algorithm", "cmath", "vector", "string", "iomanip"}
+	var out []string
+	for _, h := range order {
+		if needs[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// RegenerateHeaders removes all #include directives and re-emits
+// either <bits/stdc++.h> or the minimal canonical set for what the
+// code actually uses.
+func RegenerateHeaders(tu *cppast.TranslationUnit, bits bool) {
+	var rest []cppast.Node
+	for _, d := range tu.Decls {
+		if p, ok := d.(*cppast.Preproc); ok && strings.Contains(p.Text, "#include") {
+			continue
+		}
+		rest = append(rest, d)
+	}
+	var headers []cppast.Node
+	if bits {
+		headers = append(headers, &cppast.Preproc{Text: "#include <bits/stdc++.h>"})
+	} else {
+		for _, h := range headerNeeds(tu) {
+			headers = append(headers, &cppast.Preproc{Text: "#include <" + h + ">"})
+		}
+	}
+	tu.Decls = append(headers, rest...)
+}

@@ -1,0 +1,200 @@
+// Package transform implements verified source-to-source style
+// transformations over the cppast tree: identifier renaming between
+// conventions, I/O idiom conversion (streams <-> stdio), loop form
+// conversion, namespace qualification toggling, increment style,
+// solve-function extraction and inlining, comment injection/stripping,
+// and header regeneration. These are the moves the simulated ChatGPT
+// composes to "rewrite code in its own style"; every composed pipeline
+// is checked behaviour-preserving by running original and transformed
+// programs on the same inputs under cppinterp.
+package transform
+
+import (
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// SymKind classifies a symbol's value type for I/O conversion.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymInt SymKind = iota + 1
+	SymFloat
+	SymString
+	SymChar
+	SymVector
+	SymArray
+	SymFunc
+)
+
+// SymTable maps identifier names to kinds, collected from declarations
+// across the unit (flat: competitive-programming files rarely shadow
+// with different types).
+type SymTable struct {
+	kinds   map[string]SymKind
+	retKind map[string]SymKind
+}
+
+// CollectSymbols builds the symbol table for a unit.
+func CollectSymbols(tu *cppast.TranslationUnit) *SymTable {
+	st := &SymTable{kinds: make(map[string]SymKind), retKind: make(map[string]SymKind)}
+	typedefs := map[string]string{}
+	var record func(n cppast.Node)
+	record = func(n cppast.Node) {
+		switch d := n.(type) {
+		case *cppast.TypedefDecl:
+			fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(d.Text), ";"))
+			if len(fields) >= 3 {
+				alias := strings.TrimSuffix(fields[len(fields)-1], ";")
+				typedefs[alias] = strings.Join(fields[1:len(fields)-1], " ")
+			}
+		case *cppast.FuncDecl:
+			st.kinds[d.Name] = SymFunc
+			st.retKind[d.Name] = kindOfTypeText(d.RetType, typedefs)
+			for _, p := range d.Params {
+				st.kinds[p.Name] = kindOfTypeText(p.Type, typedefs)
+			}
+		case *cppast.VarDecl:
+			k := kindOfTypeText(d.Type, typedefs)
+			for _, dd := range d.Names {
+				if len(dd.ArrayLen) > 0 {
+					st.kinds[dd.Name] = SymArray
+				} else {
+					st.kinds[dd.Name] = k
+				}
+			}
+		}
+	}
+	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
+		record(n)
+		return true
+	})
+	return st
+}
+
+// Kind returns the symbol kind, defaulting to SymInt for unknown names.
+func (st *SymTable) Kind(name string) SymKind {
+	if k, ok := st.kinds[strings.TrimPrefix(name, "std::")]; ok {
+		return k
+	}
+	if k, ok := st.kinds[name]; ok {
+		return k
+	}
+	return SymInt
+}
+
+// Return gives a function's return kind (SymInt when unknown).
+func (st *SymTable) Return(name string) SymKind {
+	if k, ok := st.retKind[name]; ok {
+		return k
+	}
+	return SymInt
+}
+
+func kindOfTypeText(typ string, typedefs map[string]string) SymKind {
+	t := strings.TrimSpace(typ)
+	for i := 0; i < 4; i++ {
+		base := strings.TrimPrefix(strings.TrimPrefix(t, "const "), "static ")
+		base = strings.TrimSpace(strings.TrimSuffix(strings.TrimSuffix(base, "&"), "*"))
+		if u, ok := typedefs[base]; ok {
+			t = u
+			continue
+		}
+		t = base
+		break
+	}
+	switch {
+	case strings.HasPrefix(t, "vector<") || strings.HasPrefix(t, "std::vector<"):
+		return SymVector
+	case t == "string" || t == "std::string":
+		return SymString
+	case strings.Contains(t, "double") || strings.Contains(t, "float"):
+		return SymFloat
+	case t == "char":
+		return SymChar
+	default:
+		return SymInt
+	}
+}
+
+// ExprKind infers the value kind of an expression under the table.
+func (st *SymTable) ExprKind(e cppast.Node) SymKind {
+	switch n := e.(type) {
+	case *cppast.Lit:
+		switch n.LitKind {
+		case "float":
+			return SymFloat
+		case "string":
+			return SymString
+		case "char":
+			return SymChar
+		default:
+			return SymInt
+		}
+	case *cppast.Ident:
+		return st.Kind(n.Name)
+	case *cppast.ParenExpr:
+		return st.ExprKind(n.X)
+	case *cppast.CastExpr:
+		if strings.Contains(n.Type, "double") || strings.Contains(n.Type, "float") {
+			return SymFloat
+		}
+		return SymInt
+	case *cppast.UnaryExpr:
+		return st.ExprKind(n.X)
+	case *cppast.TernaryExpr:
+		return st.ExprKind(n.Then)
+	case *cppast.IndexExpr:
+		if id, ok := n.X.(*cppast.Ident); ok {
+			// The element kind of a container is tracked as the
+			// container's scalar declaration kind when it is not a
+			// container kind itself; default int.
+			k := st.Kind(id.Name)
+			if k == SymArray || k == SymVector {
+				return SymInt
+			}
+			return k
+		}
+		return SymInt
+	case *cppast.BinaryExpr:
+		switch n.Op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			return SymInt
+		}
+		lk, rk := st.ExprKind(n.L), st.ExprKind(n.R)
+		if lk == SymString || rk == SymString {
+			return SymString
+		}
+		if lk == SymFloat || rk == SymFloat {
+			return SymFloat
+		}
+		return SymInt
+	case *cppast.CallExpr:
+		if id, ok := n.Fun.(*cppast.Ident); ok {
+			switch strings.TrimPrefix(id.Name, "std::") {
+			case "sqrt", "pow", "fabs", "floor", "ceil", "round":
+				return SymFloat
+			case "max", "min", "abs":
+				for _, a := range n.Args {
+					if st.ExprKind(a) == SymFloat {
+						return SymFloat
+					}
+				}
+				return SymInt
+			default:
+				return st.Return(strings.TrimPrefix(id.Name, "std::"))
+			}
+		}
+		if m, ok := n.Fun.(*cppast.MemberExpr); ok {
+			switch m.Sel {
+			case "size", "length":
+				return SymInt
+			}
+		}
+		return SymInt
+	default:
+		return SymInt
+	}
+}

@@ -1,0 +1,527 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/cppast"
+	"gptattr/internal/cppprint"
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+// sourcesForTest renders a spread of (challenge, profile) sources with
+// verification inputs.
+func sourcesForTest(t *testing.T, n int) []struct {
+	key    string
+	src    string
+	inputs []string
+} {
+	t.Helper()
+	var out []struct {
+		key    string
+		src    string
+		inputs []string
+	}
+	rng := rand.New(rand.NewSource(31))
+	all := challenge.All()
+	for i := 0; i < n; i++ {
+		c := all[i%len(all)]
+		prof := style.Random(fmt.Sprintf("T%d", i), rng)
+		run, err := ir.Synthesize(c.Prog, 3, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatalf("Synthesize %s: %v", c.Key(), err)
+		}
+		out = append(out, struct {
+			key    string
+			src    string
+			inputs []string
+		}{
+			key:    c.Key(),
+			src:    codegen.Render(c.Prog, prof, int64(i)),
+			inputs: []string{run.Input},
+		})
+	}
+	return out
+}
+
+// applyAndVerify parses, applies fn, reprints, and verifies behaviour.
+func applyAndVerify(t *testing.T, key, src string, inputs []string, fn func(*cppast.TranslationUnit)) string {
+	t.Helper()
+	tu := cppast.MustParse(src)
+	fn(tu)
+	RegenerateHeaders(tu, false)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if err := Verify(src, printed, inputs); err != nil {
+		t.Fatalf("%s: %v\n--- original ---\n%s\n--- transformed ---\n%s", key, err, src, printed)
+	}
+	return printed
+}
+
+func TestRenameConventionsPreserveBehaviour(t *testing.T) {
+	srcs := sourcesForTest(t, 24)
+	for _, naming := range []style.Naming{style.NamingCamel, style.NamingSnake, style.NamingHungarian, style.NamingShort, style.NamingVerbose} {
+		for _, s := range srcs[:12] {
+			applyAndVerify(t, s.key, s.src, s.inputs, func(tu *cppast.TranslationUnit) {
+				Rename(tu, naming)
+			})
+		}
+	}
+}
+
+func TestRenameChangesNames(t *testing.T) {
+	src := `#include <iostream>
+using namespace std;
+int main() {
+    int numCases;
+    cin >> numCases;
+    for (int caseIdx = 1; caseIdx <= numCases; caseIdx++) {
+        int inputValue;
+        cin >> inputValue;
+        cout << "Case #" << caseIdx << ": " << inputValue * 2 << "\n";
+    }
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	mapping := Rename(tu, style.NamingSnake)
+	if mapping["numCases"] != "num_cases" {
+		t.Errorf("numCases -> %q, want num_cases", mapping["numCases"])
+	}
+	if mapping["caseIdx"] != "case_idx" {
+		t.Errorf("caseIdx -> %q, want case_idx", mapping["caseIdx"])
+	}
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if strings.Contains(printed, "numCases") {
+		t.Errorf("old name survives:\n%s", printed)
+	}
+	if !strings.Contains(printed, "num_cases") {
+		t.Errorf("new name missing:\n%s", printed)
+	}
+	// Library calls untouched.
+	if !strings.Contains(printed, "cin >> num_cases") {
+		t.Errorf("cin mangled:\n%s", printed)
+	}
+}
+
+func TestSplitWordsAndConvert(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"numCases", []string{"num", "cases"}},
+		{"num_cases", []string{"num", "cases"}},
+		{"MAXN", []string{"maxn"}},
+		{"solveTestCase", []string{"solve", "test", "case"}},
+		{"x", []string{"x"}},
+		{"nCase", []string{"n", "case"}},
+	}
+	for _, tt := range tests {
+		got := splitWords(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("splitWords(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("splitWords(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+	if got := convertName("numCases", style.NamingSnake); got != "num_cases" {
+		t.Errorf("convertName snake = %q", got)
+	}
+	if got := convertName("num_cases", style.NamingCamel); got != "numCases" {
+		t.Errorf("convertName camel = %q", got)
+	}
+	if got := convertName("numCases", style.NamingShort); got != "nc" {
+		t.Errorf("convertName short = %q", got)
+	}
+	if got := convertName("num_cases", style.NamingHungarian); got != "nNumCases" {
+		t.Errorf("convertName hungarian = %q", got)
+	}
+}
+
+func TestConvertIOPreservesBehaviour(t *testing.T) {
+	for _, s := range sourcesForTest(t, 24) {
+		// to stdio then back to streams, verifying each hop.
+		step1 := applyAndVerify(t, s.key+"/to-stdio", s.src, s.inputs, func(tu *cppast.TranslationUnit) {
+			ConvertIO(tu, ToStdio)
+		})
+		applyAndVerify(t, s.key+"/to-streams", step1, s.inputs, func(tu *cppast.TranslationUnit) {
+			ConvertIO(tu, ToStreams)
+		})
+	}
+}
+
+func TestConvertIOChangesIdiom(t *testing.T) {
+	src := `#include <iostream>
+#include <iomanip>
+using namespace std;
+int main() {
+    int n;
+    double x;
+    cin >> n >> x;
+    cout << "got " << n << " and " << fixed << setprecision(3) << x << endl;
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	ConvertIO(tu, ToStdio)
+	RegenerateHeaders(tu, false)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "scanf(") {
+		t.Errorf("no scanf after conversion:\n%s", printed)
+	}
+	if !strings.Contains(printed, `%.3lf`) {
+		t.Errorf("precision lost:\n%s", printed)
+	}
+	if strings.Contains(printed, "cin") || strings.Contains(printed, "cout") {
+		t.Errorf("streams survive:\n%s", printed)
+	}
+	if err := Verify(src, printed, []string{"7 1.5\n"}); err != nil {
+		t.Fatalf("behaviour changed: %v\n%s", err, printed)
+	}
+}
+
+func TestForToWhilePreservesBehaviour(t *testing.T) {
+	for _, s := range sourcesForTest(t, 12) {
+		printed := applyAndVerify(t, s.key, s.src, s.inputs, func(tu *cppast.TranslationUnit) {
+			ForToWhile(tu)
+		})
+		if strings.Contains(printed, "for (") || strings.Contains(printed, "for(") {
+			t.Errorf("%s: for loops remain:\n%s", s.key, printed)
+		}
+	}
+}
+
+func TestWhileToForPreservesBehaviour(t *testing.T) {
+	for _, s := range sourcesForTest(t, 12) {
+		applyAndVerify(t, s.key, s.src, s.inputs, func(tu *cppast.TranslationUnit) {
+			WhileToFor(tu)
+		})
+	}
+}
+
+func TestForToWhileSkipsContinue(t *testing.T) {
+	src := `#include <cstdio>
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i % 2 == 1) continue;
+        s += i;
+    }
+    printf("%d\n", s);
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	ForToWhile(tu)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "for") {
+		t.Errorf("for with continue was converted (unsafe):\n%s", printed)
+	}
+}
+
+func TestSetIncrementStyle(t *testing.T) {
+	src := "#include <cstdio>\nint main(){int s=0;for(int i=0;i<4;i++){s+=i;}printf(\"%d\\n\",s);return 0;}"
+	tu := cppast.MustParse(src)
+	SetIncrementStyle(tu, true)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "++i") {
+		t.Errorf("no pre-increment:\n%s", printed)
+	}
+	if err := Verify(src, printed, []string{""}); err != nil {
+		t.Fatal(err)
+	}
+	SetIncrementStyle(tu, false)
+	printed = cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "i++") {
+		t.Errorf("no post-increment:\n%s", printed)
+	}
+}
+
+func TestSetUsingNamespace(t *testing.T) {
+	src := `#include <iostream>
+using namespace std;
+int main() {
+    vector<int> v;
+    v.push_back(3);
+    cout << max(v[0], 2) << endl;
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	SetUsingNamespace(tu, false)
+	RegenerateHeaders(tu, false)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if strings.Contains(printed, "using namespace") {
+		t.Errorf("directive survives:\n%s", printed)
+	}
+	for _, want := range []string{"std::vector<int>", "std::cout", "std::max", "std::endl"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("missing %s:\n%s", want, printed)
+		}
+	}
+	if err := Verify(src, printed, []string{""}); err != nil {
+		t.Fatal(err)
+	}
+	// And back.
+	tu2 := cppast.MustParse(printed)
+	SetUsingNamespace(tu2, true)
+	printed2 := cppprint.Print(tu2, cppprint.Config{})
+	if strings.Contains(printed2, "std::") {
+		t.Errorf("qualifications survive:\n%s", printed2)
+	}
+	if !strings.Contains(printed2, "using namespace std;") {
+		t.Errorf("directive missing:\n%s", printed2)
+	}
+	if err := Verify(src, printed2, []string{""}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamespaceToggleOnCorpus(t *testing.T) {
+	for _, s := range sourcesForTest(t, 12) {
+		applyAndVerify(t, s.key+"/qualify", s.src, s.inputs, func(tu *cppast.TranslationUnit) {
+			SetUsingNamespace(tu, false)
+		})
+		applyAndVerify(t, s.key+"/import", s.src, s.inputs, func(tu *cppast.TranslationUnit) {
+			SetUsingNamespace(tu, true)
+		})
+	}
+}
+
+func TestExtractSolve(t *testing.T) {
+	src := `#include <iostream>
+#include <cstdio>
+using namespace std;
+int main() {
+    int t;
+    cin >> t;
+    for (int i = 1; i <= t; i++) {
+        int a, b;
+        cin >> a >> b;
+        printf("Case #%d: %d\n", i, a + b);
+    }
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	if !ExtractSolve(tu, "solve") {
+		t.Fatal("ExtractSolve returned false")
+	}
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "void solve(int i)") {
+		t.Errorf("solve function missing:\n%s", printed)
+	}
+	if !strings.Contains(printed, "solve(i);") {
+		t.Errorf("solve call missing:\n%s", printed)
+	}
+	if err := Verify(src, printed, []string{"2\n1 2\n10 20\n"}); err != nil {
+		t.Fatal(err)
+	}
+	// Extracting again must fail (name taken).
+	if ExtractSolve(tu, "solve") {
+		t.Error("second extraction succeeded unexpectedly")
+	}
+}
+
+func TestExtractSolveRefusesCapture(t *testing.T) {
+	src := `#include <iostream>
+using namespace std;
+int main() {
+    int t, total = 0;
+    cin >> t;
+    for (int i = 1; i <= t; i++) {
+        int a;
+        cin >> a;
+        total += a;
+        cout << "Case #" << i << ": " << total << "\n";
+    }
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	if ExtractSolve(tu, "solve") {
+		t.Error("extraction with captured local should fail")
+	}
+}
+
+func TestExtractOnGeneratedInlineSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	count := 0
+	for _, c := range challenge.All() {
+		prof := style.Random("E", rng)
+		prof.Decomp = style.DecompInline
+		prof.Loop = style.LoopFor
+		run, err := ir.Synthesize(c.Prog, 3, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := codegen.Render(c.Prog, prof, 0)
+		tu := cppast.MustParse(src)
+		if !ExtractSolve(tu, "solveTestCase") {
+			continue // capture-refused cases are fine
+		}
+		count++
+		RegenerateHeaders(tu, false)
+		printed := cppprint.Print(tu, cppprint.Config{})
+		if err := Verify(src, printed, []string{run.Input}); err != nil {
+			t.Fatalf("%s: %v\n%s", c.Key(), err, printed)
+		}
+	}
+	if count < 12 {
+		t.Errorf("extraction succeeded on only %d/24 generated sources", count)
+	}
+}
+
+func TestInlineVoidCalls(t *testing.T) {
+	src := `#include <iostream>
+#include <cstdio>
+using namespace std;
+void solve(int i) {
+    int a, b;
+    cin >> a >> b;
+    printf("Case #%d: %d\n", i, a + b);
+}
+int main() {
+    int t;
+    cin >> t;
+    for (int i = 1; i <= t; i++) {
+        solve(i);
+    }
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	if n := InlineVoidCalls(tu); n != 1 {
+		t.Fatalf("inlined %d calls, want 1", n)
+	}
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if strings.Contains(printed, "void solve") {
+		t.Errorf("solve not removed:\n%s", printed)
+	}
+	if err := Verify(src, printed, []string{"2\n3 4\n5 6\n"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInlineRefusesCollision(t *testing.T) {
+	src := `#include <cstdio>
+void bump(int k) {
+    int x = k * 2;
+    printf("%d\n", x);
+}
+int main() {
+    int x = 5;
+    bump(x);
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	if n := InlineVoidCalls(tu); n != 0 {
+		t.Errorf("inlined %d calls despite collision", n)
+	}
+}
+
+func TestInjectAndStripComments(t *testing.T) {
+	src := "#include <cstdio>\nint main(){int s=0;for(int i=0;i<3;i++){s+=i;}printf(\"%d\\n\",s);return 0;}"
+	tu := cppast.MustParse(src)
+	InjectComments(tu, 1.0, false, rand.New(rand.NewSource(1)))
+	printed := cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "// ") {
+		t.Errorf("no comments injected:\n%s", printed)
+	}
+	if err := Verify(src, printed, []string{""}); err != nil {
+		t.Fatal(err)
+	}
+	StripComments(tu)
+	printed = cppprint.Print(tu, cppprint.Config{})
+	if strings.Contains(printed, "// ") {
+		t.Errorf("comments survive strip:\n%s", printed)
+	}
+}
+
+func TestRegenerateHeaders(t *testing.T) {
+	src := `#include <bits/stdc++.h>
+using namespace std;
+int main() {
+    vector<int> v;
+    v.push_back(1);
+    sort(v.begin(), v.end());
+    double d = sqrt(2.0);
+    printf("%f\n", d);
+    cout << v[0] << endl;
+    return 0;
+}`
+	tu := cppast.MustParse(src)
+	RegenerateHeaders(tu, false)
+	printed := cppprint.Print(tu, cppprint.Config{})
+	for _, h := range []string{"<iostream>", "<cstdio>", "<algorithm>", "<cmath>", "<vector>"} {
+		if !strings.Contains(printed, h) {
+			t.Errorf("missing header %s:\n%s", h, printed)
+		}
+	}
+	if strings.Contains(printed, "bits/stdc++.h") {
+		t.Errorf("bits header survives:\n%s", printed)
+	}
+	RegenerateHeaders(tu, true)
+	printed = cppprint.Print(tu, cppprint.Config{})
+	if !strings.Contains(printed, "bits/stdc++.h") || strings.Contains(printed, "<iostream>") {
+		t.Errorf("bits regeneration wrong:\n%s", printed)
+	}
+}
+
+func TestSymTable(t *testing.T) {
+	src := `typedef long long ll;
+double ratio;
+int count_;
+ll big;
+vector<int> vs;
+string name;
+double f(int x) { return x * 1.0; }
+int main() { return 0; }`
+	tu := cppast.MustParse(src)
+	st := CollectSymbols(tu)
+	tests := []struct {
+		name string
+		want SymKind
+	}{
+		{"ratio", SymFloat},
+		{"count_", SymInt},
+		{"big", SymInt},
+		{"vs", SymVector},
+		{"name", SymString},
+		{"f", SymFunc},
+		{"x", SymInt},
+	}
+	for _, tt := range tests {
+		if got := st.Kind(tt.name); got != tt.want {
+			t.Errorf("Kind(%q) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	if st.Return("f") != SymFloat {
+		t.Errorf("Return(f) = %v, want float", st.Return("f"))
+	}
+	// Expression kinds.
+	expr := cppast.MustParse("int main(){double d; int i; d = d + i;}")
+	st2 := CollectSymbols(expr)
+	main := expr.Function("main")
+	es := main.Body.Stmts[2].(*cppast.ExprStmt)
+	assign := es.X.(*cppast.BinaryExpr)
+	if st2.ExprKind(assign.R) != SymFloat {
+		t.Error("double + int should infer float")
+	}
+}
+
+func TestVerifyDetectsDifferences(t *testing.T) {
+	a := "#include <cstdio>\nint main(){printf(\"1\\n\");return 0;}"
+	b := "#include <cstdio>\nint main(){printf(\"2\\n\");return 0;}"
+	if err := Verify(a, b, []string{""}); err == nil {
+		t.Error("Verify accepted differing programs")
+	}
+	if err := Verify(a, a, []string{""}); err != nil {
+		t.Errorf("Verify rejected identical programs: %v", err)
+	}
+	if err := Verify(a, a, nil); err == nil {
+		t.Error("Verify accepted empty input set")
+	}
+}

@@ -1,0 +1,31 @@
+package transform
+
+import (
+	"fmt"
+
+	"gptattr/internal/cppinterp"
+)
+
+// Verify checks that two programs are behaviourally equivalent on the
+// given inputs: both must run without error and produce byte-identical
+// stdout. This is the executable form of the paper's requirement that
+// code transformations maintain the original functionality.
+func Verify(origSrc, newSrc string, inputs []string) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("transform: no verification inputs")
+	}
+	for i, in := range inputs {
+		want, err := cppinterp.Run(origSrc, in)
+		if err != nil {
+			return fmt.Errorf("transform: input %d: original failed: %w", i, err)
+		}
+		got, err := cppinterp.Run(newSrc, in)
+		if err != nil {
+			return fmt.Errorf("transform: input %d: transformed failed: %w", i, err)
+		}
+		if got != want {
+			return fmt.Errorf("transform: input %d: output mismatch: got %q want %q", i, got, want)
+		}
+	}
+	return nil
+}
