@@ -21,6 +21,7 @@ import (
 
 	"gptattr/internal/attrib"
 	"gptattr/internal/corpus"
+	"gptattr/internal/featcache"
 	"gptattr/internal/gpt"
 	"gptattr/internal/ml"
 	"gptattr/internal/style"
@@ -46,10 +47,25 @@ type Params struct {
 	TopFeatures int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds parallel feature extraction, cross-validation,
+	// and tree building (0 = GOMAXPROCS). Results are identical at any
+	// worker count.
+	Workers int
+	// CacheDir enables an on-disk feature cache so repeated runs over
+	// unchanged sources skip extraction.
+	CacheDir string
 }
 
-func (p Params) config() attrib.Config {
-	return attrib.Config{Trees: p.Trees, TopFeatures: p.TopFeatures, Seed: p.Seed}
+func (p Params) config() (attrib.Config, error) {
+	cfg := attrib.Config{Trees: p.Trees, TopFeatures: p.TopFeatures, Seed: p.Seed, Workers: p.Workers}
+	if p.CacheDir != "" {
+		cache, err := featcache.New(featcache.Options{Dir: p.CacheDir})
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Cache = cache
+	}
+	return cfg, nil
 }
 
 // AuthorshipModel attributes C++ code to known authors.
@@ -84,7 +100,11 @@ func TrainAuthorship(samples map[string][]string, p Params) (*AuthorshipModel, e
 			})
 		}
 	}
-	oracle, err := attrib.TrainOracle(c, p.config())
+	cfg, err := p.config()
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := attrib.TrainOracle(c, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +205,20 @@ func (t *Transformer) NCT(src string, rounds int, inputs ...string) ([]string, e
 	return sources(rs), nil
 }
 
+// NCTParallel is NCT with the independent rounds spread over a bounded
+// worker pool (workers <= 0 means GOMAXPROCS). Each round is seeded
+// from the transformer seed and the round index, so for a given seed
+// the variants are identical at any worker count — though they differ
+// from the sequential NCT stream, which threads one RNG through all
+// rounds.
+func (t *Transformer) NCTParallel(src string, rounds, workers int, inputs ...string) ([]string, error) {
+	rs, err := t.model.NCTParallel(src, rounds, inputs, workers)
+	if err != nil {
+		return nil, err
+	}
+	return sources(rs), nil
+}
+
 // CT applies the chaining protocol: each round transforms the previous
 // round's output.
 func (t *Transformer) CT(src string, rounds int, inputs ...string) ([]string, error) {
@@ -231,7 +265,11 @@ func TrainDetector(human, chatgpt []string, p Params) (*Detector, error) {
 			Origin:    corpus.OriginGPTTransformed,
 		})
 	}
-	clf, err := attrib.TrainBinary(h, g, p.config())
+	cfg, err := p.config()
+	if err != nil {
+		return nil, err
+	}
+	clf, err := attrib.TrainBinary(h, g, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -276,8 +314,13 @@ func CrossValidateAuthorship(samples map[string][]string, k int, p Params) (floa
 			labels = append(labels, i)
 		}
 	}
-	d, _, err := stylometry.BuildDataset(sources, labels, len(authors),
-		stylometry.VectorizerConfig{MinDocFreq: 2})
+	cfg, err := p.config()
+	if err != nil {
+		return 0, err
+	}
+	d, _, err := stylometry.BuildDatasetWith(sources, labels, len(authors),
+		stylometry.VectorizerConfig{MinDocFreq: 2},
+		stylometry.ExtractConfig{Workers: p.Workers, Cache: cfg.Cache})
 	if err != nil {
 		return 0, err
 	}
@@ -291,10 +334,10 @@ func CrossValidateAuthorship(samples map[string][]string, k int, p Params) (floa
 		return 0, err
 	}
 	results, err := ml.CrossValidateForest(reduced, folds, ml.ForestConfig{
-		NumTrees: p.config().Trees, Seed: p.Seed,
+		NumTrees: cfg.Trees, Seed: p.Seed, Workers: p.Workers,
 	})
 	if err != nil {
 		return 0, err
 	}
-	return ml.MeanAccuracy(results), nil
+	return ml.AggregateFolds(results)
 }

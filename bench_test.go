@@ -7,7 +7,9 @@
 package gptattr
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"gptattr/internal/cpptok"
 	"gptattr/internal/evade"
 	"gptattr/internal/experiments"
+	"gptattr/internal/featcache"
 	"gptattr/internal/gpt"
 	"gptattr/internal/ir"
 	"gptattr/internal/ml"
@@ -299,6 +302,128 @@ func BenchmarkForestOOB(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- pipeline concurrency and caching benchmarks ---
+
+// benchSources renders a labelled source corpus for pipeline benches.
+func benchSources(b *testing.B, authors int) ([]string, []int, int) {
+	b.Helper()
+	human, _, err := corpus.GenerateYear(corpus.YearConfig{Year: 2017, NumAuthors: authors, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := human.Authors()
+	index := make(map[string]int, len(names))
+	for i, a := range names {
+		index[a] = i
+	}
+	sources := make([]string, len(human.Samples))
+	labels := make([]int, len(human.Samples))
+	for i, s := range human.Samples {
+		sources[i] = s.Source
+		labels[i] = index[s.Author]
+	}
+	return sources, labels, len(names)
+}
+
+// benchWorkerCounts compares the sequential path against the full
+// machine. On a 1-CPU host the two coincide; the sub-benchmark names
+// keep results comparable across hosts.
+func benchWorkerCounts() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1}
+}
+
+// BenchmarkBuildDatasetParallel measures parallel feature extraction +
+// vectorization at each worker count, reporting samples/sec.
+func BenchmarkBuildDatasetParallel(b *testing.B) {
+	sources, labels, classes := benchSources(b, 12)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := stylometry.BuildDatasetWith(sources, labels, classes,
+					stylometry.VectorizerConfig{MinDocFreq: 2},
+					stylometry.ExtractConfig{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(sources)*b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
+// BenchmarkCrossValidateParallel measures fold-parallel cross-validation
+// at each worker count, reporting samples/sec (training+test rows
+// processed per second across all folds).
+func BenchmarkCrossValidateParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	d := &ml.Dataset{NumClasses: 16}
+	for c := 0; c < 16; c++ {
+		for s := 0; s < 8; s++ {
+			row := make([]float64, 150)
+			for j := range row {
+				row[j] = float64(c)*0.15 + rng.NormFloat64()
+			}
+			d.X = append(d.X, row)
+			d.Y = append(d.Y, c)
+		}
+	}
+	folds, err := ml.StratifiedKFold(d.Y, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ml.CrossValidateForest(d, folds,
+					ml.ForestConfig{NumTrees: 16, Seed: 23, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(d.X)*b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
+// BenchmarkFeatureCache compares dataset builds against a cold cache
+// (every extraction misses, then populates) and a warm cache (every
+// extraction hits), reporting samples/sec.
+func BenchmarkFeatureCache(b *testing.B) {
+	sources, labels, classes := benchSources(b, 12)
+	vcfg := stylometry.VectorizerConfig{MinDocFreq: 2}
+	build := func(b *testing.B, cache stylometry.FeatureCache) {
+		if _, _, err := stylometry.BuildDatasetWith(sources, labels, classes, vcfg,
+			stylometry.ExtractConfig{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache, err := featcache.New(featcache.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			build(b, cache)
+		}
+		b.ReportMetric(float64(len(sources)*b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := featcache.New(featcache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		build(b, cache) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			build(b, cache)
+		}
+		b.ReportMetric(float64(len(sources)*b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
 }
 
 // BenchmarkCorpusGeneration measures rendering one year of authors.

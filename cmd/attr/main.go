@@ -32,6 +32,8 @@ func run(args []string) error {
 	trees := fs.Int("trees", 100, "random-forest size")
 	seed := fs.Int64("seed", 1, "random seed")
 	cv := fs.Int("cv", 0, "run k-fold cross-validation instead of prediction")
+	workers := fs.Int("workers", 0, "bound pipeline parallelism (0 = GOMAXPROCS); results are identical at any setting")
+	cacheDir := fs.String("cache-dir", "", "content-addressed feature cache directory, reused across runs")
 	maxAuthors := fs.Int("max-authors", 0, "limit the number of authors loaded (0 = all)")
 	saveModel := fs.String("save", "", "write the trained model to this file")
 	loadModel := fs.String("model", "", "load a previously saved model instead of training")
@@ -62,7 +64,7 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("loaded %d authors from %s\n", len(samples), *trainDir)
-	params := attribution.Params{Trees: *trees, Seed: *seed}
+	params := attribution.Params{Trees: *trees, Seed: *seed, Workers: *workers, CacheDir: *cacheDir}
 
 	if *cv > 0 {
 		acc, err := attribution.CrossValidateAuthorship(samples, *cv, params)

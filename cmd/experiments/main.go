@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gptattr/internal/experiments"
+	"gptattr/internal/featcache"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func run(args []string) error {
 	styles := fs.Int("styles", 0, "override simulated-ChatGPT style count")
 	seed := fs.Int64("seed", 0, "override random seed")
 	verify := fs.Bool("verify", false, "force behaviour verification of every transformation")
+	workers := fs.Int("workers", 0, "bound pipeline parallelism (0 = GOMAXPROCS); results are identical at any setting")
+	cacheDir := fs.String("cache-dir", "", "content-addressed feature cache directory, reused across runs")
 	table := fs.String("table", "", "run one table: I II III IV V VI VII VIII IX X")
 	figure := fs.String("figure", "", "run one figure: 1, 2, or 3 (3 prints figures 3-5)")
 	ablation := fs.String("ablation", "", "run one ablation: features repertoire stickiness trees selection classifier (or 'all')")
@@ -67,7 +70,17 @@ func run(args []string) error {
 	if *verify {
 		scale.Verify = true
 	}
+	if *workers > 0 {
+		scale.Workers = *workers
+	}
 	s := experiments.NewSuite(scale)
+	if *cacheDir != "" {
+		cache, err := featcache.New(featcache.Options{Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+		s.UseCache(cache)
+	}
 	fmt.Printf("scale: %d authors/year, %d rounds/setting, %d trees, %d GPT styles, seed %d, verify=%v\n\n",
 		scale.Authors, scale.Rounds, scale.Trees, scale.NumStyles, scale.Seed, scale.Verify)
 

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gptattr/internal/corpus"
@@ -38,6 +40,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	skipVerify := fs.Bool("skip-verify", false, "skip behaviour verification of transformations")
 	humanOnly := fs.Bool("human-only", false, "generate only the non-ChatGPT corpus")
+	workers := fs.Int("workers", 0, "generate years in parallel (0 = GOMAXPROCS); output is identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,38 +54,77 @@ func run(args []string) error {
 		years = append(years, y)
 	}
 
-	for _, y := range years {
-		start := time.Now()
-		human, _, err := corpus.GenerateYear(corpus.YearConfig{
-			Year: y, NumAuthors: *authors, Seed: *seed + int64(y),
-		})
-		if err != nil {
-			return err
+	// Years are seeded independently, so they can generate in parallel
+	// with byte-identical output at any worker count. Per-year logs are
+	// buffered and printed in year order.
+	pool := *workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if pool > len(years) {
+		pool = len(years)
+	}
+	logs := make([]string, len(years))
+	errs := make([]error, len(years))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				logs[i], errs[i] = genYear(years[i], *out, *authors, *rounds, *styles, *seed, *skipVerify, *humanOnly)
+			}
+		}()
+	}
+	for i := range years {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i := range years {
+		if errs[i] != nil {
+			return fmt.Errorf("gcj%d: %w", years[i], errs[i])
 		}
-		if err := corpus.Save(human, *out); err != nil {
-			return err
-		}
-		fmt.Printf("gcj%d: %d human samples (%d authors x 8 challenges) in %.1fs\n",
-			y, len(human.Samples), *authors, time.Since(start).Seconds())
-		if *humanOnly {
-			continue
-		}
-
-		start = time.Now()
-		model := gpt.NewModel(gpt.Config{Seed: *seed*31 + int64(y), NumStyles: *styles})
-		transformed, err := corpus.GenerateTransformed(corpus.TransformedConfig{
-			Year: y, Rounds: *rounds, Model: model,
-			Seed: *seed*17 + int64(y), SkipVerify: *skipVerify,
-		})
-		if err != nil {
-			return err
-		}
-		if err := corpus.Save(transformed, *out); err != nil {
-			return err
-		}
-		fmt.Printf("gcj%d: %d transformed samples (4 settings x %d rounds x 8 challenges) in %.1fs\n",
-			y, len(transformed.Samples), *rounds, time.Since(start).Seconds())
+		fmt.Print(logs[i])
 	}
 	fmt.Println("wrote", *out)
 	return nil
+}
+
+// genYear generates and saves one year's corpora, returning its log
+// lines.
+func genYear(y int, out string, authors, rounds, styles int, seed int64, skipVerify, humanOnly bool) (string, error) {
+	var log strings.Builder
+	start := time.Now()
+	human, _, err := corpus.GenerateYear(corpus.YearConfig{
+		Year: y, NumAuthors: authors, Seed: seed + int64(y),
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := corpus.Save(human, out); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&log, "gcj%d: %d human samples (%d authors x 8 challenges) in %.1fs\n",
+		y, len(human.Samples), authors, time.Since(start).Seconds())
+	if humanOnly {
+		return log.String(), nil
+	}
+
+	start = time.Now()
+	model := gpt.NewModel(gpt.Config{Seed: seed*31 + int64(y), NumStyles: styles})
+	transformed, err := corpus.GenerateTransformed(corpus.TransformedConfig{
+		Year: y, Rounds: rounds, Model: model,
+		Seed: seed*17 + int64(y), SkipVerify: skipVerify,
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := corpus.Save(transformed, out); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&log, "gcj%d: %d transformed samples (4 settings x %d rounds x 8 challenges) in %.1fs\n",
+		y, len(transformed.Samples), rounds, time.Since(start).Seconds())
+	return log.String(), nil
 }

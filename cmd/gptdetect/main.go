@@ -33,6 +33,8 @@ func run(args []string) error {
 	trees := fs_.Int("trees", 100, "random-forest size")
 	seed := fs_.Int64("seed", 1, "random seed")
 	threshold := fs_.Float64("threshold", 0.5, "flag when ChatGPT vote share exceeds this")
+	workers := fs_.Int("workers", 0, "bound pipeline parallelism (0 = GOMAXPROCS); results are identical at any setting")
+	cacheDir := fs_.String("cache-dir", "", "content-addressed feature cache directory, reused across runs")
 	if err := fs_.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +55,9 @@ func run(args []string) error {
 		return fmt.Errorf("loading ChatGPT sources: %w", err)
 	}
 	fmt.Printf("training on %d human and %d ChatGPT samples\n", len(human), len(gpt))
-	det, err := attribution.TrainDetector(human, gpt, attribution.Params{Trees: *trees, Seed: *seed})
+	det, err := attribution.TrainDetector(human, gpt, attribution.Params{
+		Trees: *trees, Seed: *seed, Workers: *workers, CacheDir: *cacheDir,
+	})
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,8 @@ func run(args []string) error {
 	outDir := fs.String("out", "", "write variants to this directory instead of stdout")
 	styles := fs.Int("styles", 12, "style repertoire size")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 1, "run nct rounds in parallel (0 = GOMAXPROCS); any value > 1 "+
+		"uses per-round seeds, deterministic but distinct from the sequential stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,8 +57,15 @@ func run(args []string) error {
 	var variants []string
 	switch *mode {
 	case "nct":
-		variants, err = tr.NCT(string(src), *rounds, inputs...)
+		if *workers != 1 {
+			variants, err = tr.NCTParallel(string(src), *rounds, *workers, inputs...)
+		} else {
+			variants, err = tr.NCT(string(src), *rounds, inputs...)
+		}
 	case "ct":
+		if *workers != 1 {
+			return fmt.Errorf("-workers applies only to nct (ct rounds are inherently sequential)")
+		}
 		variants, err = tr.CT(string(src), *rounds, inputs...)
 	default:
 		return fmt.Errorf("unknown mode %q (want nct or ct)", *mode)

@@ -56,7 +56,7 @@ func EvaluateBinary(human, transformed *corpus.Corpus, cfg Config) (*BinaryResul
 	})
 
 	combined := corpus.Merge(humanKept, gptKept)
-	feats, err := ExtractAll(combined, cfg.workers())
+	feats, err := extractAll(combined, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +130,7 @@ type Classifier struct {
 // (label 1 = ChatGPT).
 func TrainBinary(human, transformed *corpus.Corpus, cfg Config) (*Classifier, error) {
 	combined := corpus.Merge(human, transformed)
-	feats, err := ExtractAll(combined, cfg.workers())
+	feats, err := extractAll(combined, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -9,9 +9,9 @@
 package attrib
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"gptattr/internal/corpus"
 	"gptattr/internal/ml"
@@ -29,9 +29,12 @@ type Config struct {
 	MinDocFreq int
 	// Seed drives all randomized steps.
 	Seed int64
-	// Workers bounds parallel feature extraction and tree building
-	// (default GOMAXPROCS).
+	// Workers bounds parallel feature extraction, cross-validation,
+	// and tree building (default GOMAXPROCS).
 	Workers int
+	// Cache, when non-nil, memoizes feature extraction by source
+	// content (see internal/featcache).
+	Cache stylometry.FeatureCache
 }
 
 func (c Config) trees() int {
@@ -58,39 +61,32 @@ func (c Config) workers() int {
 // ExtractAll computes stylometry features for every sample, in
 // parallel, preserving order.
 func ExtractAll(c *corpus.Corpus, workers int) ([]stylometry.Features, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return ExtractAllCached(c, workers, nil)
+}
+
+// ExtractAllCached is ExtractAll with an optional feature cache
+// consulted before extraction.
+func ExtractAllCached(c *corpus.Corpus, workers int, cache stylometry.FeatureCache) ([]stylometry.Features, error) {
+	sources := make([]string, len(c.Samples))
+	for i, s := range c.Samples {
+		sources[i] = s.Source
 	}
-	if workers > len(c.Samples) {
-		workers = len(c.Samples)
-	}
-	out := make([]stylometry.Features, len(c.Samples))
-	errs := make([]error, len(c.Samples))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				f, err := stylometry.Extract(c.Samples[i].Source)
-				out[i] = f
-				errs[i] = err
-			}
-		}()
-	}
-	for i := range c.Samples {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
+	out, err := stylometry.ExtractAll(sources, stylometry.ExtractConfig{Workers: workers, Cache: cache})
+	if err != nil {
+		var ee *stylometry.ExtractError
+		if errors.As(err, &ee) {
+			s := c.Samples[ee.Index]
 			return nil, fmt.Errorf("attrib: sample %d (%s/%s): %w",
-				i, c.Samples[i].Author, c.Samples[i].Challenge, err)
+				ee.Index, s.Author, s.Challenge, ee.Err)
 		}
+		return nil, err
 	}
 	return out, nil
+}
+
+// extractAll applies the config's worker bound and cache.
+func extractAll(c *corpus.Corpus, cfg Config) ([]stylometry.Features, error) {
+	return ExtractAllCached(c, cfg.workers(), cfg.Cache)
 }
 
 // challengeIndex maps "C1".."C8" to a fold group id.

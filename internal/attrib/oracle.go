@@ -32,7 +32,7 @@ func TrainOracle(human *corpus.Corpus, cfg Config) (*Oracle, error) {
 	for i, l := range labels {
 		index[l] = i
 	}
-	feats, err := ExtractAll(human, cfg.workers())
+	feats, err := extractAll(human, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func SelfAccuracy(human *corpus.Corpus, cfg Config) (float64, error) {
 	for i, l := range labels {
 		index[l] = i
 	}
-	feats, err := ExtractAll(human, cfg.workers())
+	feats, err := extractAll(human, cfg)
 	if err != nil {
 		return 0, err
 	}

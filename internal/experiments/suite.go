@@ -7,13 +7,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"gptattr/internal/attrib"
 	"gptattr/internal/corpus"
 	"gptattr/internal/gpt"
 	"gptattr/internal/style"
+	"gptattr/internal/stylometry"
 )
 
 // Scale sets the experiment size. PaperScale mirrors the paper;
@@ -35,6 +38,10 @@ type Scale struct {
 	Seed int64
 	// Verify behaviour-checks every transformation (slower).
 	Verify bool
+	// Workers bounds pipeline parallelism (feature extraction,
+	// per-fold cross-validation, per-year suite entries); 0 means
+	// GOMAXPROCS. Results are identical at any worker count.
+	Workers int
 }
 
 // PaperScale reproduces the paper's dataset sizes.
@@ -56,9 +63,19 @@ type YearData struct {
 // Suite runs the reproduction.
 type Suite struct {
 	scale Scale
+	cache stylometry.FeatureCache
 
 	mu    sync.Mutex
-	years map[int]*YearData
+	years map[int]*yearSlot
+}
+
+// yearSlot guards one year's lazily built data, so different years can
+// build concurrently while repeat requests for one year wait on its
+// first build.
+type yearSlot struct {
+	once sync.Once
+	yd   *YearData
+	err  error
 }
 
 // NewSuite builds a suite at the given scale.
@@ -66,27 +83,88 @@ func NewSuite(scale Scale) *Suite {
 	if scale.Authors <= 0 {
 		scale = QuickScale
 	}
-	return &Suite{scale: scale, years: make(map[int]*YearData)}
+	return &Suite{scale: scale, years: make(map[int]*yearSlot)}
 }
+
+// UseCache installs a feature cache shared by every experiment in the
+// suite (see internal/featcache). Must be called before running
+// experiments.
+func (s *Suite) UseCache(c stylometry.FeatureCache) { s.cache = c }
 
 // Scale reports the configured scale.
 func (s *Suite) Scale() Scale { return s.scale }
+
+func (s *Suite) workers() int {
+	if s.scale.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.scale.Workers
+}
 
 func (s *Suite) attribConfig() attrib.Config {
 	return attrib.Config{
 		Trees:       s.scale.Trees,
 		TopFeatures: s.scale.TopFeatures,
 		Seed:        s.scale.Seed,
+		Workers:     s.scale.Workers,
+		Cache:       s.cache,
 	}
 }
 
-// Year lazily builds and caches one year's data.
+// forYears runs fn once per dataset year on a bounded worker pool and
+// joins the per-year errors. Callers index output slices by the year's
+// position, so results stay ordered regardless of scheduling.
+func (s *Suite) forYears(fn func(i, year int) error) error {
+	years := Years()
+	workers := s.workers()
+	if workers > len(years) {
+		workers = len(years)
+	}
+	if workers <= 1 {
+		for i, y := range years {
+			if err := fn(i, y); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(years))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i, years[i])
+			}
+		}()
+	}
+	for i := range years {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Year lazily builds and caches one year's data. Concurrent calls for
+// different years build in parallel; calls for the same year share one
+// build.
 func (s *Suite) Year(year int) (*YearData, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if yd, ok := s.years[year]; ok {
-		return yd, nil
+	slot, ok := s.years[year]
+	if !ok {
+		slot = &yearSlot{}
+		s.years[year] = slot
 	}
+	s.mu.Unlock()
+	slot.once.Do(func() { slot.yd, slot.err = s.buildYear(year) })
+	return slot.yd, slot.err
+}
+
+// buildYear constructs one year's corpora, oracle, and style stats.
+func (s *Suite) buildYear(year int) (*YearData, error) {
 	yd := &YearData{Year: year}
 	var err error
 	yd.Human, yd.Profiles, err = corpus.GenerateYear(corpus.YearConfig{
@@ -127,11 +205,14 @@ func (s *Suite) Year(year int) (*YearData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: year %d oracle: %w", year, err)
 	}
-	yd.Stats, err = attrib.AnalyzeStyles(yd.Oracle, yd.Transformed, nil)
+	transFeats, err := attrib.ExtractAllCached(yd.Transformed, s.scale.Workers, s.cache)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: year %d features: %w", year, err)
+	}
+	yd.Stats, err = attrib.AnalyzeStyles(yd.Oracle, yd.Transformed, transFeats)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: year %d styles: %w", year, err)
 	}
-	s.years[year] = yd
 	return yd, nil
 }
 

@@ -268,17 +268,21 @@ func (s *Suite) TableIXData() ([]AttributionRow, error) {
 }
 
 func (s *Suite) attributionData(a attrib.Approach) ([]AttributionRow, error) {
-	var out []AttributionRow
-	for _, y := range Years() {
+	out := make([]AttributionRow, len(Years()))
+	err := s.forYears(func(i, y int) error {
 		yd, err := s.Year(y)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := attrib.EvaluateAttribution(yd.Human, yd.Transformed, yd.Oracle, a, s.attribConfig())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: year %d %s: %w", y, a, err)
+			return fmt.Errorf("experiments: year %d %s: %w", y, a, err)
 		}
-		out = append(out, AttributionRow{Year: y, Result: res})
+		out[i] = AttributionRow{Year: y, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -360,27 +364,33 @@ func (s *Suite) TableXData() ([]struct {
 	Year   int
 	Result *attrib.BinaryResult
 }, error) {
-	var out []struct {
+	cfg := s.attribConfig()
+	years := Years()
+	out := make([]struct {
 		Year   int
 		Result *attrib.BinaryResult
-	}
-	cfg := s.attribConfig()
-	var humans, gpts []*corpus.Corpus
-	for _, y := range Years() {
+	}, len(years))
+	humans := make([]*corpus.Corpus, len(years))
+	gpts := make([]*corpus.Corpus, len(years))
+	err := s.forYears(func(i, y int) error {
 		yd, err := s.Year(y)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := attrib.EvaluateBinary(yd.Human, yd.Transformed, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: binary %d: %w", y, err)
+			return fmt.Errorf("experiments: binary %d: %w", y, err)
 		}
-		out = append(out, struct {
+		out[i] = struct {
 			Year   int
 			Result *attrib.BinaryResult
-		}{y, res})
-		humans = append(humans, yd.Human.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) }))
-		gpts = append(gpts, yd.Transformed.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) }))
+		}{y, res}
+		humans[i] = yd.Human.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) })
+		gpts[i] = yd.Transformed.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) })
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	combined, err := attrib.EvaluateBinary(corpus.Merge(humans...), corpus.Merge(gpts...), cfg)
 	if err != nil {

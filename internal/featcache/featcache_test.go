@@ -1,0 +1,190 @@
+package featcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gptattr/internal/stylometry"
+)
+
+func TestKeyStableAndDistinct(t *testing.T) {
+	k1 := Key("fp1", "int main() {}")
+	if k2 := Key("fp1", "int main() {}"); k2 != k1 {
+		t.Errorf("key not stable: %s vs %s", k1, k2)
+	}
+	if k := Key("fp2", "int main() {}"); k == k1 {
+		t.Error("different fingerprints produced the same key")
+	}
+	if k := Key("fp1", "int main() { return 0; }"); k == k1 {
+		t.Error("different sources produced the same key")
+	}
+	// Length-prefixing: moving bytes across the fingerprint/source
+	// boundary must change the key.
+	if Key("ab", "cd") == Key("abc", "d") {
+		t.Error("boundary shift produced the same key")
+	}
+}
+
+func TestMemoryCacheRoundTrip(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("src"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	f := stylometry.Features{"A": 1, "B": 2.5}
+	c.Put("src", f)
+	got, ok := c.Get("src")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got["A"] != 1 || got["B"] != 2.5 || len(got) != 2 {
+		t.Errorf("wrong features: %v", got)
+	}
+	// The cache must be insulated from caller mutations on both sides.
+	f["A"] = 99
+	got["B"] = 99
+	again, _ := c.Get("src")
+	if again["A"] != 1 || again["B"] != 2.5 {
+		t.Errorf("cache shares maps with callers: %v", again)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits 1 miss", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Options{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", stylometry.Features{"x": 1})
+	c.Put("b", stylometry.Features{"x": 2})
+	c.Get("a") // refresh a; b is now least recent
+	c.Put("c", stylometry.Features{"x": 3})
+	if _, ok := c.Get("b"); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("Evictions = %d, want 1", ev)
+	}
+}
+
+func TestDiskLayerSurvivesNewCache(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("src", stylometry.Features{"A": 1.25})
+
+	// A fresh cache instance with an empty memory layer must hit disk.
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("src")
+	if !ok {
+		t.Fatal("disk layer miss")
+	}
+	if got["A"] != 1.25 {
+		t.Errorf("disk features = %v", got)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", st.DiskHits)
+	}
+
+	// A different fingerprint must not see the entry.
+	c3, err := New(Options{Dir: dir, Fingerprint: "other/v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get("src"); ok {
+		t.Error("fingerprint mismatch still hit disk")
+	}
+}
+
+func TestDiskLayerIgnoresCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(ExtractorFingerprint, "src")
+	path := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("src"); ok {
+		t.Error("corrupt disk entry treated as a hit")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(Options{MaxEntries: 64, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := fmt.Sprintf("src-%d", i%10)
+				if f, ok := c.Get(src); ok {
+					if f["i"] != float64(i%10) {
+						t.Errorf("wrong cached value for %s: %v", src, f)
+						return
+					}
+					continue
+				}
+				c.Put(src, stylometry.Features{"i": float64(i % 10)})
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// FuzzFeatureCacheKey checks that keys are stable across calls and
+// that no two differing (fingerprint, source) pairs — including
+// boundary shifts between the two parts — collide.
+func FuzzFeatureCacheKey(f *testing.F) {
+	f.Add("caliskan-islam/v1", "int main() { return 0; }")
+	f.Add("", "")
+	f.Add("fp", "x")
+	f.Add("a", "bc")
+	f.Fuzz(func(t *testing.T, fingerprint, source string) {
+		k := Key(fingerprint, source)
+		if len(k) != 64 {
+			t.Fatalf("key length %d, want 64 hex chars", len(k))
+		}
+		if again := Key(fingerprint, source); again != k {
+			t.Fatalf("key unstable: %s vs %s", k, again)
+		}
+		if Key(fingerprint+"x", source) == k || Key(fingerprint, source+"x") == k {
+			t.Fatal("suffix change did not change key")
+		}
+		// Shift the boundary: (fp, s) and (fp+s[:1], s[1:]) must differ.
+		if len(source) > 0 {
+			shifted := Key(fingerprint+source[:1], source[1:])
+			if shifted == k {
+				t.Fatalf("boundary shift collision for %q/%q", fingerprint, source)
+			}
+		}
+	})
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"gptattr/internal/codegen"
 	"gptattr/internal/cppast"
@@ -280,6 +282,53 @@ func (m *Model) NCT(src string, rounds int, inputs []string) ([]Result, error) {
 			return out, fmt.Errorf("gpt: NCT round %d: %w", i+1, err)
 		}
 		out = append(out, r)
+	}
+	return out, nil
+}
+
+// fork returns a model sharing the (immutable) style repertoire and
+// weights but drawing from a private RNG, so forks can run
+// concurrently.
+func (m *Model) fork(seed int64) *Model {
+	return &Model{cfg: m.cfg, styles: m.styles, weights: m.weights, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NCTParallel runs rounds of independent transformations of src on a
+// bounded worker pool. Each round draws from a private RNG seeded by
+// the model seed and the round index, so for a given seed the result
+// set is bit-identical at any worker count — but it is a different
+// (equally distributed) sample than the sequential NCT stream, which
+// threads one RNG through all rounds.
+func (m *Model) NCTParallel(src string, rounds int, inputs []string, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rounds {
+		workers = rounds
+	}
+	out := make([]Result, rounds)
+	errs := make([]error, rounds)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				round := m.fork(m.cfg.Seed + int64(i+1)*15485863)
+				out[i], errs[i] = round.Transform(src, -1, inputs)
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("gpt: NCT round %d: %w", i+1, err)
+		}
 	}
 	return out, nil
 }

@@ -1,9 +1,12 @@
 package ml
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Fold is one train/test index split.
@@ -97,46 +100,131 @@ type FoldResult struct {
 	Truth    []int
 	// TestIdx are the dataset row indices of Pred/Truth entries.
 	TestIdx []int
+	// Err records a per-fold training failure; such folds carry no
+	// predictions and are excluded from aggregation.
+	Err error
 }
 
 // CrossValidateForest trains a forest per fold and evaluates it on the
-// held-out fold.
+// held-out fold. Folds run concurrently on a worker pool bounded by
+// cfg.Workers (0 means GOMAXPROCS); the budget is split between
+// fold-level and tree-level parallelism. Fold seeds derive only from
+// cfg.Seed and the fold index, so results are bit-identical at any
+// worker count. On failure the per-fold results (with Err set) are
+// returned alongside an error joining every fold failure.
 func CrossValidateForest(d *Dataset, folds []Fold, cfg ForestConfig) ([]FoldResult, error) {
-	results := make([]FoldResult, 0, len(folds))
-	for fi, fold := range folds {
-		train := d.Subset(fold.Train)
-		fcfg := cfg
-		fcfg.Seed = cfg.Seed + int64(fi)*7919
-		forest, err := FitForest(train, fcfg)
-		if err != nil {
-			return nil, fmt.Errorf("fold %d: %w", fi, err)
+	if len(folds) == 0 {
+		return nil, errors.New("ml: no folds")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	foldWorkers := workers
+	if foldWorkers > len(folds) {
+		foldWorkers = len(folds)
+	}
+	treeWorkers := workers / foldWorkers
+	if treeWorkers < 1 {
+		treeWorkers = 1
+	}
+
+	results := make([]FoldResult, len(folds))
+	if foldWorkers == 1 {
+		for fi, fold := range folds {
+			results[fi] = evaluateFold(d, fold, fi, cfg, workers)
 		}
-		testX := make([][]float64, len(fold.Test))
-		truth := make([]int, len(fold.Test))
-		for i, j := range fold.Test {
-			testX[i] = d.X[j]
-			truth[i] = d.Y[j]
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < foldWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for fi := range jobs {
+					results[fi] = evaluateFold(d, folds[fi], fi, cfg, treeWorkers)
+				}
+			}()
 		}
-		pred := forest.PredictAll(testX)
-		results = append(results, FoldResult{
-			Fold:     fi,
-			Accuracy: Accuracy(pred, truth),
-			Pred:     pred,
-			Truth:    truth,
-			TestIdx:  fold.Test,
-		})
+		for fi := range folds {
+			jobs <- fi
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	var errs []error
+	for fi := range results {
+		if results[fi].Err != nil {
+			errs = append(errs, fmt.Errorf("fold %d: %w", fi, results[fi].Err))
+		}
+	}
+	if len(errs) > 0 {
+		return results, errors.Join(errs...)
 	}
 	return results, nil
 }
 
-// MeanAccuracy averages fold accuracies.
-func MeanAccuracy(rs []FoldResult) float64 {
+// evaluateFold trains on the fold's train split and scores the held-out
+// samples, using the given tree-building worker budget.
+func evaluateFold(d *Dataset, fold Fold, fi int, cfg ForestConfig, treeWorkers int) FoldResult {
+	res := FoldResult{Fold: fi, TestIdx: fold.Test}
+	train := d.Subset(fold.Train)
+	fcfg := cfg
+	fcfg.Seed = cfg.Seed + int64(fi)*7919
+	fcfg.Workers = treeWorkers
+	forest, err := FitForest(train, fcfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	testX := make([][]float64, len(fold.Test))
+	truth := make([]int, len(fold.Test))
+	for i, j := range fold.Test {
+		testX[i] = d.X[j]
+		truth[i] = d.Y[j]
+	}
+	res.Pred = forest.PredictAll(testX)
+	res.Truth = truth
+	res.Accuracy = Accuracy(res.Pred, truth)
+	return res
+}
+
+// AggregateFolds averages fold accuracies, excluding folds that failed
+// or evaluated no samples. The error (which may accompany a usable
+// mean) describes every excluded fold; it is nil only when every fold
+// contributed.
+func AggregateFolds(rs []FoldResult) (float64, error) {
 	if len(rs) == 0 {
-		return 0
+		return 0, errors.New("ml: no fold results")
 	}
-	s := 0.0
+	var (
+		sum  float64
+		n    int
+		errs []error
+	)
 	for _, r := range rs {
-		s += r.Accuracy
+		switch {
+		case r.Err != nil:
+			errs = append(errs, fmt.Errorf("fold %d: %w", r.Fold, r.Err))
+		case len(r.Truth) == 0:
+			errs = append(errs, fmt.Errorf("fold %d: no test samples", r.Fold))
+		default:
+			sum += r.Accuracy
+			n++
+		}
 	}
-	return s / float64(len(rs))
+	if n == 0 {
+		errs = append(errs, errors.New("ml: no usable folds"))
+		return 0, errors.Join(errs...)
+	}
+	return sum / float64(n), errors.Join(errs...)
+}
+
+// MeanAccuracy averages fold accuracies, guarding empty inputs and
+// skipping failed or empty folds (see AggregateFolds for the variant
+// that surfaces what was skipped).
+func MeanAccuracy(rs []FoldResult) float64 {
+	m, _ := AggregateFolds(rs)
+	return m
 }

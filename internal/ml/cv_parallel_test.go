@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// cvTestDataset builds a deterministic, separable multi-class dataset.
+func cvTestDataset(classes, perClass, features int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{NumClasses: classes}
+	for c := 0; c < classes; c++ {
+		for s := 0; s < perClass; s++ {
+			row := make([]float64, features)
+			for j := range row {
+				row[j] = float64(c)*0.6 + rng.NormFloat64()
+			}
+			d.X = append(d.X, row)
+			d.Y = append(d.Y, c)
+		}
+	}
+	return d
+}
+
+// TestCrossValidateForestWorkersDeterministic asserts fold-parallel CV
+// returns bit-identical results at every worker count.
+func TestCrossValidateForestWorkersDeterministic(t *testing.T) {
+	d := cvTestDataset(3, 12, 30, 11)
+	folds, err := StratifiedKFold(d.Y, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []FoldResult
+	for _, workers := range []int{1, 2, 5} {
+		got, err := CrossValidateForest(d, folds, ForestConfig{NumTrees: 15, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results differ from workers=1", workers)
+		}
+	}
+}
+
+// TestCrossValidateForestSurfacesFoldErrors asserts a failing fold is
+// reported per-fold while healthy folds still evaluate.
+func TestCrossValidateForestSurfacesFoldErrors(t *testing.T) {
+	d := cvTestDataset(2, 6, 10, 3)
+	all := make([]int, len(d.X))
+	for i := range all {
+		all[i] = i
+	}
+	folds := []Fold{
+		{Train: nil, Test: []int{0}}, // empty train split: FitForest must fail
+		{Train: all[2:], Test: all[:2]},
+	}
+	results, err := CrossValidateForest(d, folds, ForestConfig{NumTrees: 5, Seed: 1})
+	if err == nil {
+		t.Fatal("want error for empty training fold")
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d fold results, want 2 (including the failed fold)", len(results))
+	}
+	if results[0].Err == nil {
+		t.Error("fold 0 should carry its error")
+	}
+	if results[1].Err != nil || len(results[1].Pred) != 2 {
+		t.Errorf("fold 1 should have evaluated: %+v", results[1])
+	}
+	// Aggregation must use only the healthy fold — and say so.
+	mean, aerr := AggregateFolds(results)
+	if aerr == nil {
+		t.Error("AggregateFolds should report the failed fold")
+	}
+	if mean != results[1].Accuracy {
+		t.Errorf("mean = %v, want fold 1 accuracy %v", mean, results[1].Accuracy)
+	}
+}
+
+func TestAggregateFoldsGuards(t *testing.T) {
+	if _, err := AggregateFolds(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if m := MeanAccuracy(nil); m != 0 {
+		t.Errorf("MeanAccuracy(nil) = %v, want 0", m)
+	}
+
+	// Folds with no test samples are excluded instead of dragging the
+	// mean toward zero.
+	rs := []FoldResult{
+		{Fold: 0, Accuracy: 0.8, Truth: []int{1, 0}, Pred: []int{1, 0}},
+		{Fold: 1}, // no samples
+	}
+	mean, err := AggregateFolds(rs)
+	if err == nil {
+		t.Error("empty fold should be reported")
+	}
+	if mean != 0.8 {
+		t.Errorf("mean = %v, want 0.8", mean)
+	}
+	if m := MeanAccuracy(rs); m != 0.8 {
+		t.Errorf("MeanAccuracy = %v, want 0.8", m)
+	}
+
+	// All folds healthy: no error.
+	rs = []FoldResult{
+		{Fold: 0, Accuracy: 1, Truth: []int{1}, Pred: []int{1}},
+		{Fold: 1, Accuracy: 0.5, Truth: []int{0, 1}, Pred: []int{0, 0}},
+	}
+	mean, err = AggregateFolds(rs)
+	if err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if mean != 0.75 {
+		t.Errorf("mean = %v, want 0.75", mean)
+	}
+}

@@ -1,0 +1,133 @@
+package stylometry
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gptattr/internal/ml"
+)
+
+// FeatureCache is a pluggable source->Features cache consulted before
+// extraction (see internal/featcache for the content-addressed
+// implementation with an in-memory LRU and an optional on-disk layer).
+// Implementations must be safe for concurrent use and must return
+// feature maps the caller may treat as read-only.
+type FeatureCache interface {
+	Get(src string) (Features, bool)
+	Put(src string, f Features)
+}
+
+// ExtractConfig controls parallel feature extraction.
+type ExtractConfig struct {
+	// Workers bounds the extraction worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is consulted before extracting and updated
+	// after.
+	Cache FeatureCache
+}
+
+func (c ExtractConfig) workers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ExtractError records which source of a batch failed to extract.
+type ExtractError struct {
+	Index int
+	Err   error
+}
+
+func (e *ExtractError) Error() string {
+	return fmt.Sprintf("stylometry: source %d: %v", e.Index, e.Err)
+}
+
+func (e *ExtractError) Unwrap() error { return e.Err }
+
+// ExtractAll computes features for every source on a bounded worker
+// pool, preserving input order. Results are deterministic for any
+// worker count: each output slot is written only by the worker that
+// drew its index. The first failing source is reported as an
+// *ExtractError.
+func ExtractAll(sources []string, cfg ExtractConfig) ([]Features, error) {
+	out := make([]Features, len(sources))
+	errs := make([]error, len(sources))
+	workers := cfg.workers(len(sources))
+	if workers == 1 {
+		for i, src := range sources {
+			out[i], errs[i] = extractCached(src, cfg.Cache)
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					out[i], errs[i] = extractCached(sources[i], cfg.Cache)
+				}
+			}()
+		}
+		for i := range sources {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, &ExtractError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+func extractCached(src string, cache FeatureCache) (Features, error) {
+	if cache != nil {
+		if f, ok := cache.Get(src); ok {
+			return f, nil
+		}
+	}
+	f, err := Extract(src)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.Put(src, f)
+	}
+	return f, nil
+}
+
+// BuildDatasetWith extracts features for every source (in parallel,
+// through the optional cache), learns a vectorizer on them, and
+// assembles an ml.Dataset with the given labels. The vocabulary is
+// learned from the documents in input order and column names are
+// sorted, so the dataset is bit-identical at any worker count.
+func BuildDatasetWith(sources []string, labels []int, numClasses int,
+	cfg VectorizerConfig, ex ExtractConfig) (*ml.Dataset, *Vectorizer, error) {
+	docs, err := ExtractAll(sources, ex)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := NewVectorizer(docs, cfg)
+	d := &ml.Dataset{
+		Y:            labels,
+		NumClasses:   numClasses,
+		FeatureNames: v.FeatureNames(),
+	}
+	d.X = make([][]float64, len(docs))
+	for i, doc := range docs {
+		d.X[i] = v.Vector(doc)
+	}
+	return d, v, nil
+}

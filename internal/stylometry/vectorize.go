@@ -141,24 +141,8 @@ func (v *Vectorizer) UnmarshalJSON(data []byte) error {
 
 // BuildDataset extracts features for every source, learns a vectorizer
 // on them, and assembles an ml.Dataset with the given labels.
+// Extraction runs on a GOMAXPROCS-bounded worker pool; use
+// BuildDatasetWith to control the pool size or add a feature cache.
 func BuildDataset(sources []string, labels []int, numClasses int, cfg VectorizerConfig) (*ml.Dataset, *Vectorizer, error) {
-	docs := make([]Features, len(sources))
-	for i, src := range sources {
-		f, err := Extract(src)
-		if err != nil {
-			return nil, nil, err
-		}
-		docs[i] = f
-	}
-	v := NewVectorizer(docs, cfg)
-	d := &ml.Dataset{
-		Y:            labels,
-		NumClasses:   numClasses,
-		FeatureNames: v.FeatureNames(),
-	}
-	d.X = make([][]float64, len(docs))
-	for i, doc := range docs {
-		d.X[i] = v.Vector(doc)
-	}
-	return d, v, nil
+	return BuildDatasetWith(sources, labels, numClasses, cfg, ExtractConfig{})
 }
