@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gptattr/internal/serve"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil || !strings.Contains(err.Error(), "required") {
+		t.Fatalf("err = %v, want missing-flag error", err)
+	}
+	err := run([]string{"-url", "http://x", "-corpus", t.TempDir(), "-endpoint", "bogus"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "endpoint") {
+		t.Fatalf("err = %v, want endpoint error", err)
+	}
+}
+
+func TestLoadSources(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadSources(dir); err == nil {
+		t.Fatal("empty dir yielded sources")
+	}
+	sub := filepath.Join(dir, "a")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string]string{
+		filepath.Join(dir, "one.cc"):   "int main() {}",
+		filepath.Join(sub, "two.cpp"):  "int x;",
+		filepath.Join(dir, "skip.txt"): "not code",
+	} {
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcs, err := loadSources(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("loaded %d sources, want 2 (.txt excluded)", len(srcs))
+	}
+}
+
+// stubServer mimics attrserve: answers attribute/detect with canned
+// JSON and injects 429s every rejectEvery-th request.
+func stubServer(t *testing.T, rejectEvery int) (*httptest.Server, *atomic.Uint64, *atomic.Uint64) {
+	t.Helper()
+	var attrs, dets atomic.Uint64
+	var seq atomic.Uint64
+	mux := http.NewServeMux()
+	handle := func(hits *atomic.Uint64, payload any) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req serve.AttributeRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Source == "" {
+				t.Errorf("bad request body: %v", err)
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			if n := seq.Add(1); rejectEvery > 0 && n%uint64(rejectEvery) == 0 {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusTooManyRequests)
+				json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "saturated"})
+				return
+			}
+			hits.Add(1)
+			json.NewEncoder(w).Encode(payload)
+		}
+	}
+	mux.Handle("/v1/attribute", handle(&attrs, serve.AttributeResponse{Author: "a", ModelGeneration: 1}))
+	mux.Handle("/v1/detect", handle(&dets, serve.DetectResponse{ChatGPT: true, Confidence: 0.9, ModelGeneration: 1}))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &attrs, &dets
+}
+
+func TestLoadTestReportsOutcomes(t *testing.T) {
+	srv, attrs, dets := stubServer(t, 5)
+	rep := loadTest(loadConfig{
+		BaseURL:  srv.URL,
+		Endpoint: "mixed",
+		Sources:  []string{"int main() {}", "int y;"},
+		Clients:  8,
+		Duration: 5 * time.Second,
+		Requests: 200,
+		Timeout:  5 * time.Second,
+	})
+	if rep.Total != 200 {
+		t.Fatalf("total = %d, want 200", rep.Total)
+	}
+	want429 := uint64(200 / 5)
+	if got := rep.ByStatus[http.StatusTooManyRequests]; got != want429 {
+		t.Errorf("429s = %d, want %d", got, want429)
+	}
+	if rep.OK != 200-want429 {
+		t.Errorf("ok = %d, want %d", rep.OK, 200-want429)
+	}
+	if rep.OK != rep.ByStatus[http.StatusOK] {
+		t.Errorf("ok %d != status-200 count %d", rep.OK, rep.ByStatus[http.StatusOK])
+	}
+	if got := attrs.Load() + dets.Load(); got != rep.OK {
+		t.Errorf("server saw %d ok requests, client counted %d", got, rep.OK)
+	}
+	if attrs.Load() == 0 || dets.Load() == 0 {
+		t.Errorf("mixed endpoint skewed: attribute=%d detect=%d", attrs.Load(), dets.Load())
+	}
+	if rep.NetErrs != 0 {
+		t.Errorf("network errors = %d", rep.NetErrs)
+	}
+	if s := rep.Latency; s.Count != uint64(rep.Total) || s.P50 <= 0 || s.P99 < s.P50 {
+		t.Errorf("latency snapshot inconsistent: %+v", s)
+	}
+	text := rep.String()
+	for _, want := range []string{"200 total", "status 200:", "status 429:", "throughput:", "latency:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunEndToEndAgainstStub(t *testing.T) {
+	srv, _, _ := stubServer(t, 0)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.cc"), []byte("int main() {}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-url", srv.URL,
+		"-corpus", dir,
+		"-clients", "4",
+		"-duration", "30s",
+		"-requests", "50",
+		"-server-metrics=false",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "50 total, 50 ok") {
+		t.Errorf("unexpected report:\n%s", out.String())
+	}
+}

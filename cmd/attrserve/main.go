@@ -1,0 +1,139 @@
+// Command attrserve is the attribution inference server: it loads
+// trained models from a directory and answers attribution and
+// detection queries over HTTP with micro-batched feature extraction,
+// bounded admission, and hot model reload.
+//
+//	attrserve -models ./models -addr :8080
+//
+// The model directory holds oracle.model (written by attr -save)
+// and/or detector.model (written by gptdetect -save); either may be
+// absent and can be supplied later via reload.
+//
+// Signals: SIGHUP reloads the models in place (as does POST
+// /v1/reload) without dropping in-flight requests; SIGINT/SIGTERM
+// drain the queue and exit cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gptattr/internal/featcache"
+	"gptattr/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "attrserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until a shutdown signal. When
+// ready is non-nil it receives the bound address once listening
+// (tests use this with -addr 127.0.0.1:0).
+func run(args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("attrserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelDir := fs.String("models", "", "directory with oracle.model / detector.model")
+	queueDepth := fs.Int("queue-depth", 256, "admission queue bound; overflow answers 429")
+	maxBatch := fs.Int("batch", 16, "max requests coalesced into one extraction batch")
+	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max wait to fill a batch")
+	workers := fs.Int("workers", 0, "extraction workers per batch (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed feature cache directory shared across requests")
+	cacheEntries := fs.Int("cache-entries", 4096, "in-memory feature cache size")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelDir == "" {
+		return fmt.Errorf("-models directory is required")
+	}
+
+	registry, err := serve.NewRegistry(*modelDir)
+	if err != nil {
+		return err
+	}
+	cache, err := featcache.New(featcache.Options{MaxEntries: *cacheEntries, Dir: *cacheDir})
+	if err != nil {
+		return err
+	}
+	batcher := serve.NewBatcher(serve.BatchConfig{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *batchDelay,
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+		Cache:      cache,
+	})
+	srv, err := serve.New(serve.Config{
+		Registry: registry,
+		Batcher:  batcher,
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Register signal handling before announcing readiness so a signal
+	// sent the moment the address is known is never lost (or fatal).
+	sigs := make(chan os.Signal, 4)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	m := registry.Current()
+	fmt.Fprintf(stdout, "attrserve listening on %s (generation %d, oracle=%v, detector=%v)\n",
+		ln.Addr(), m.Generation, m.Oracle != nil, m.Detector != nil)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	for {
+		select {
+		case err := <-serveErr:
+			batcher.Close()
+			return err
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				if err := registry.Load(); err != nil {
+					// Keep serving the previous generation.
+					fmt.Fprintf(stdout, "attrserve: reload failed, keeping generation %d: %v\n",
+						registry.Current().Generation, err)
+				} else {
+					fmt.Fprintf(stdout, "attrserve: reloaded models, generation %d\n",
+						registry.Current().Generation)
+				}
+				continue
+			}
+			// Graceful shutdown: stop accepting, let in-flight requests
+			// finish, then drain the batch queue.
+			fmt.Fprintf(stdout, "attrserve: %v, draining\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			err := httpSrv.Shutdown(ctx)
+			cancel()
+			batcher.Close()
+			<-serveErr // Serve has returned ErrServerClosed
+			if err != nil {
+				return fmt.Errorf("drain incomplete: %w", err)
+			}
+			fmt.Fprintln(stdout, "attrserve: drained, bye")
+			return nil
+		}
+	}
+}

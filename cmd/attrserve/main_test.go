@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/corpus"
+	"gptattr/internal/serve"
+)
+
+var (
+	fixOnce     sync.Once
+	fixErr      error
+	oracleBytes []byte
+	fixSource   string
+)
+
+func trainFixture() {
+	human, _, err := corpus.GenerateYear(corpus.YearConfig{Year: 2017, NumAuthors: 4, Seed: 11})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	oracle, err := attrib.TrainOracle(human, attrib.Config{Trees: 8, TopFeatures: 120, Seed: 42})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	var buf bytes.Buffer
+	if err := oracle.Save(&buf); err != nil {
+		fixErr = err
+		return
+	}
+	oracleBytes = buf.Bytes()
+	fixSource = human.Samples[0].Source
+}
+
+func fixtureModelDir(t *testing.T) string {
+	t.Helper()
+	fixOnce.Do(trainFixture)
+	if fixErr != nil {
+		t.Fatalf("training fixture: %v", fixErr)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, serve.OracleFile), oracleBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// syncWriter makes run()'s log output safe to read while it still runs.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestRunRequiresModelDir(t *testing.T) {
+	if err := run(nil, io.Discard, nil); err == nil || !strings.Contains(err.Error(), "-models") {
+		t.Fatalf("err = %v, want -models requirement", err)
+	}
+	if err := run([]string{"-models", filepath.Join(t.TempDir(), "missing")}, io.Discard, nil); err == nil {
+		t.Fatal("run over missing model dir succeeded")
+	}
+}
+
+func healthz(t *testing.T, base string) serve.HealthResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	return h
+}
+
+// TestRunLifecycle drives the full binary path in-process: listen on
+// an ephemeral port, serve a real attribution request, hot-reload on
+// SIGHUP, and drain cleanly on SIGTERM.
+func TestRunLifecycle(t *testing.T) {
+	dir := fixtureModelDir(t)
+	out := &syncWriter{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-models", dir,
+			"-drain", "5s",
+		}, out, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	h := healthz(t, base)
+	if h.ModelGeneration != 1 || !h.Oracle {
+		t.Fatalf("healthz = %+v, want generation 1 with oracle", h)
+	}
+
+	body, _ := json.Marshal(serve.AttributeRequest{Source: fixSource})
+	resp, err := http.Post(base+"/v1/attribute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar serve.AttributeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ar.Author == "" {
+		t.Fatalf("attribute: status %d, author %q", resp.StatusCode, ar.Author)
+	}
+
+	// SIGHUP reloads in place: the generation advances without restart.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	bumped := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if healthz(t, base).ModelGeneration >= 2 {
+			bumped = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bumped {
+		t.Fatalf("generation never advanced after SIGHUP; log:\n%s", out.String())
+	}
+
+	// SIGTERM drains and exits zero.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM; log:\n%s", err, out.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("run did not exit after SIGTERM; log:\n%s", out.String())
+	}
+	if log := out.String(); !strings.Contains(log, "drained, bye") {
+		t.Errorf("drain message missing from log:\n%s", log)
+	}
+}
+
+// TestRunReloadFailureKeepsServing corrupts the model file, SIGHUPs,
+// and verifies the old generation still answers.
+func TestRunReloadFailureKeepsServing(t *testing.T) {
+	dir := fixtureModelDir(t)
+	out := &syncWriter{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-models", dir}, out, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		<-done
+	}()
+
+	if err := os.WriteFile(filepath.Join(dir, serve.OracleFile), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if strings.Contains(out.String(), "reload failed") {
+			failed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !failed {
+		t.Fatalf("reload failure never logged:\n%s", out.String())
+	}
+	h := healthz(t, base)
+	if h.ModelGeneration != 1 || !h.Oracle {
+		t.Fatalf("healthz after failed reload = %+v, want generation 1 with oracle", h)
+	}
+	body, _ := json.Marshal(serve.AttributeRequest{Source: fixSource})
+	resp, err := http.Post(base+"/v1/attribute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attribute after failed reload: status %d", resp.StatusCode)
+	}
+}

@@ -5,7 +5,9 @@
 //	gptdetect -human datasets/gcj2017 -gpt variants/ query1.cc query2.cc
 //
 // The -human directory may be flat or contain per-author
-// subdirectories (the gencorpus layout); -gpt likewise.
+// subdirectories (the gencorpus layout); -gpt likewise. With -save the
+// trained detector is serialized for later use (attrserve loads it as
+// detector.model), and query files become optional.
 package main
 
 import (
@@ -35,6 +37,7 @@ func run(args []string) error {
 	threshold := fs_.Float64("threshold", 0.5, "flag when ChatGPT vote share exceeds this")
 	workers := fs_.Int("workers", 0, "bound pipeline parallelism (0 = GOMAXPROCS); results are identical at any setting")
 	cacheDir := fs_.String("cache-dir", "", "content-addressed feature cache directory, reused across runs")
+	savePath := fs_.String("save", "", "write the trained detector here (attrserve's detector.model); queries become optional")
 	if err := fs_.Parse(args); err != nil {
 		return err
 	}
@@ -42,8 +45,8 @@ func run(args []string) error {
 		return fmt.Errorf("-human and -gpt directories are required")
 	}
 	queries := fs_.Args()
-	if len(queries) == 0 {
-		return fmt.Errorf("no query files given")
+	if len(queries) == 0 && *savePath == "" {
+		return fmt.Errorf("no query files given (use -save to train without querying)")
 	}
 
 	human, err := loadSources(*humanDir)
@@ -60,6 +63,20 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if err := det.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("detector saved to %s\n", *savePath)
 	}
 	for _, q := range queries {
 		data, err := os.ReadFile(q)

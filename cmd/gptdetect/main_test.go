@@ -45,8 +45,56 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(query, []byte(variants[0]), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-human", humanDir, "-gpt", gptDir, "-trees", "20", query}); err != nil {
+	saved := filepath.Join(t.TempDir(), "detector.model")
+	if err := run([]string{"-human", humanDir, "-gpt", gptDir, "-trees", "20", "-save", saved, query}); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	// The saved detector must round-trip and still classify.
+	f, err := os.Open(saved)
+	if err != nil {
+		t.Fatalf("detector not saved: %v", err)
+	}
+	defer f.Close()
+	det, err := attribution.LoadDetector(f)
+	if err != nil {
+		t.Fatalf("loading saved detector: %v", err)
+	}
+	if _, conf, err := det.IsChatGPT(variants[0]); err != nil || conf < 0 || conf > 1 {
+		t.Fatalf("saved detector classify: conf=%v err=%v", conf, err)
+	}
+}
+
+func TestRunSaveWithoutQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	humanDir := t.TempDir()
+	gptDir := t.TempDir()
+	prof := style.Random("Z", rng)
+	var sample string
+	for _, ch := range challenge.ByYear(2017)[:6] {
+		src := codegen.Render(ch.Prog, prof, rng.Int63())
+		if err := os.WriteFile(filepath.Join(humanDir, ch.ID+".cc"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if sample == "" {
+			sample = src
+		}
+	}
+	tr := attribution.NewTransformer(attribution.TransformerConfig{Seed: 5})
+	variants, err := tr.NCT(sample, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range variants {
+		if err := os.WriteFile(filepath.Join(gptDir, "v"+string(rune('a'+i))+".cc"), []byte(v), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saved := filepath.Join(t.TempDir(), "det.model")
+	if err := run([]string{"-human", humanDir, "-gpt", gptDir, "-trees", "10", "-save", saved}); err != nil {
+		t.Fatalf("run with -save and no queries: %v", err)
+	}
+	if fi, err := os.Stat(saved); err != nil || fi.Size() == 0 {
+		t.Fatalf("saved model missing or empty: %v", err)
 	}
 }
 

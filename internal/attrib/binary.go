@@ -193,11 +193,18 @@ func (c *Classifier) IsChatGPT(src string) (bool, float64, error) {
 	if err != nil {
 		return false, 0, err
 	}
+	verdict, conf := c.DetectFeatures(f)
+	return verdict, conf, nil
+}
+
+// DetectFeatures classifies pre-extracted features (the serving path:
+// extraction is batched separately through the feature cache).
+func (c *Classifier) DetectFeatures(f stylometry.Features) (bool, float64) {
 	full := c.vec.Vector(f)
 	row := make([]float64, len(c.cols))
 	for i, col := range c.cols {
 		row[i] = full[col]
 	}
 	proba := c.forest.PredictProba(row)
-	return proba[1] > 0.5, proba[1], nil
+	return proba[1] > 0.5, proba[1]
 }

@@ -73,7 +73,14 @@ func (o *Oracle) Predict(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return o.labels[o.forest.Predict(o.vector(f))], nil
+	return o.PredictFeatures(f), nil
+}
+
+// PredictFeatures attributes pre-extracted features. This is the
+// serving path: extraction is batched separately (through the feature
+// cache) and the model only votes.
+func (o *Oracle) PredictFeatures(f stylometry.Features) string {
+	return o.labels[o.forest.Predict(o.vector(f))]
 }
 
 // Proba returns the forest's vote share per author label for one
@@ -83,8 +90,13 @@ func (o *Oracle) Proba(src string) (map[string]float64, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	row := o.vector(f)
-	proba := o.forest.PredictProba(row)
+	out, best := o.ProbaFeatures(f)
+	return out, best, nil
+}
+
+// ProbaFeatures is Proba over pre-extracted features.
+func (o *Oracle) ProbaFeatures(f stylometry.Features) (map[string]float64, string) {
+	proba := o.forest.PredictProba(o.vector(f))
 	out := make(map[string]float64, len(o.labels))
 	best := 0
 	for i, p := range proba {
@@ -93,7 +105,7 @@ func (o *Oracle) Proba(src string) (map[string]float64, string, error) {
 			best = i
 		}
 	}
-	return out, o.labels[best], nil
+	return out, o.labels[best]
 }
 
 // PredictCorpus attributes every sample, in order, reusing

@@ -9,41 +9,74 @@ import (
 	"gptattr/internal/stylometry"
 )
 
+// FormatVersion is the on-disk model format. Loaders reject any other
+// version outright: a model written by a different feature pipeline
+// must never be silently served.
+const FormatVersion = 1
+
 // modelEnvelope is the on-disk container for trained models: a header
-// with vectorizer, selected columns, and labels, followed by the
-// forest.
+// with version, vectorizer, selected columns, and labels, followed by
+// the forest.
 type modelEnvelope struct {
-	Kind   string                 `json:"kind"` // "oracle" or "binary"
-	Vec    *stylometry.Vectorizer `json:"vectorizer"`
-	Cols   []int                  `json:"columns"`
-	Labels []string               `json:"labels,omitempty"`
+	Version int                    `json:"version"`
+	Kind    string                 `json:"kind"` // "oracle" or "binary"
+	Vec     *stylometry.Vectorizer `json:"vectorizer"`
+	Cols    []int                  `json:"columns"`
+	Labels  []string               `json:"labels,omitempty"`
 }
 
 // Save writes the oracle to w as JSON (header line + forest line).
 func (o *Oracle) Save(w io.Writer) error {
-	env := modelEnvelope{Kind: "oracle", Vec: o.vec, Cols: o.cols, Labels: o.labels}
+	env := modelEnvelope{Version: FormatVersion, Kind: "oracle", Vec: o.vec, Cols: o.cols, Labels: o.labels}
 	if err := json.NewEncoder(w).Encode(env); err != nil {
 		return fmt.Errorf("attrib: save oracle header: %w", err)
 	}
 	return o.forest.Encode(w)
 }
 
-// LoadOracle reads an oracle previously written by Save.
-func LoadOracle(r io.Reader) (*Oracle, error) {
+// loadEnvelope decodes and validates the model header, then the forest
+// that follows it. The input is untrusted disk state: the version and
+// kind must match, and the forest must be consistent with the header
+// (class count, feature width) so prediction can never index out of
+// range.
+func loadEnvelope(r io.Reader, kind string) (modelEnvelope, *ml.Forest, error) {
 	dec := json.NewDecoder(r)
 	var env modelEnvelope
 	if err := dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("attrib: load oracle header: %w", err)
+		return env, nil, fmt.Errorf("attrib: load %s header: %w", kind, err)
 	}
-	if env.Kind != "oracle" {
-		return nil, fmt.Errorf("attrib: model kind %q, want oracle", env.Kind)
+	if env.Version != FormatVersion {
+		return env, nil, fmt.Errorf("attrib: model format version %d, want %d", env.Version, FormatVersion)
 	}
-	if len(env.Labels) < 2 || env.Vec == nil {
-		return nil, fmt.Errorf("attrib: malformed oracle header")
+	if env.Kind != kind {
+		return env, nil, fmt.Errorf("attrib: model kind %q, want %s", env.Kind, kind)
+	}
+	if env.Vec == nil {
+		return env, nil, fmt.Errorf("attrib: malformed %s header", kind)
 	}
 	forest, err := ml.DecodeForest(io.MultiReader(dec.Buffered(), r))
 	if err != nil {
+		return env, nil, err
+	}
+	if forest.MaxFeature() >= len(env.Cols) {
+		return env, nil, fmt.Errorf("attrib: forest consults feature %d but header has %d columns",
+			forest.MaxFeature(), len(env.Cols))
+	}
+	return env, forest, nil
+}
+
+// LoadOracle reads an oracle previously written by Save.
+func LoadOracle(r io.Reader) (*Oracle, error) {
+	env, forest, err := loadEnvelope(r, "oracle")
+	if err != nil {
 		return nil, err
+	}
+	if len(env.Labels) < 2 {
+		return nil, fmt.Errorf("attrib: malformed oracle header")
+	}
+	if forest.NumClasses() != len(env.Labels) {
+		return nil, fmt.Errorf("attrib: forest has %d classes for %d labels",
+			forest.NumClasses(), len(env.Labels))
 	}
 	o := &Oracle{
 		forest: forest,
@@ -60,7 +93,7 @@ func LoadOracle(r io.Reader) (*Oracle, error) {
 
 // Save writes the binary classifier to w as JSON.
 func (c *Classifier) Save(w io.Writer) error {
-	env := modelEnvelope{Kind: "binary", Vec: c.vec, Cols: c.cols}
+	env := modelEnvelope{Version: FormatVersion, Kind: "binary", Vec: c.vec, Cols: c.cols}
 	if err := json.NewEncoder(w).Encode(env); err != nil {
 		return fmt.Errorf("attrib: save classifier header: %w", err)
 	}
@@ -69,20 +102,12 @@ func (c *Classifier) Save(w io.Writer) error {
 
 // LoadClassifier reads a classifier previously written by Save.
 func LoadClassifier(r io.Reader) (*Classifier, error) {
-	dec := json.NewDecoder(r)
-	var env modelEnvelope
-	if err := dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("attrib: load classifier header: %w", err)
-	}
-	if env.Kind != "binary" {
-		return nil, fmt.Errorf("attrib: model kind %q, want binary", env.Kind)
-	}
-	if env.Vec == nil {
-		return nil, fmt.Errorf("attrib: malformed classifier header")
-	}
-	forest, err := ml.DecodeForest(io.MultiReader(dec.Buffered(), r))
+	env, forest, err := loadEnvelope(r, "binary")
 	if err != nil {
 		return nil, err
+	}
+	if forest.NumClasses() != 2 {
+		return nil, fmt.Errorf("attrib: binary classifier forest has %d classes", forest.NumClasses())
 	}
 	return &Classifier{forest: forest, vec: env.Vec, cols: env.Cols}, nil
 }

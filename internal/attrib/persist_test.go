@@ -2,6 +2,7 @@ package attrib
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,68 @@ func TestClassifierSaveLoadRoundTrip(t *testing.T) {
 		}
 		if ca != cb {
 			t.Fatalf("confidence diverged: %v vs %v", ca, cb)
+		}
+	}
+}
+
+// TestLoadRejectsVersionMismatch pins the format-version gate: a model
+// written by a different (future or corrupted) pipeline version must
+// fail to load, never be silently served.
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	fx := fixture(t)
+	var buf bytes.Buffer
+	if err := fx.oracle.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bumped := bytes.Replace(buf.Bytes(),
+		[]byte(`{"version":1,`), []byte(`{"version":2,`), 1)
+	if bytes.Equal(bumped, buf.Bytes()) {
+		t.Fatal("version field not found in saved header")
+	}
+	if _, err := LoadOracle(bytes.NewReader(bumped)); err == nil {
+		t.Error("oracle with future format version accepted")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Errorf("want version error, got: %v", err)
+	}
+	// A header predating versioning decodes as version 0.
+	if _, err := LoadOracle(strings.NewReader(`{"kind":"oracle","labels":["a","b"]}`)); err == nil {
+		t.Error("unversioned oracle header accepted")
+	}
+}
+
+// TestLoadRejectsTruncation saves a model and checks that every
+// truncation point fails cleanly: an error, never a panic or a model
+// that half-loaded. The server loads models from disk state that can
+// be mid-write or torn.
+func TestLoadRejectsTruncation(t *testing.T) {
+	fx := fixture(t)
+	clf, err := TrainBinary(fx.human, fx.transformed, fx.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saves := map[string]func(io.Writer) error{
+		"oracle": fx.oracle.Save,
+		"binary": clf.Save,
+	}
+	loads := map[string]func(io.Reader) error{
+		"oracle": func(r io.Reader) error { _, err := LoadOracle(r); return err },
+		"binary": func(r io.Reader) error { _, err := LoadClassifier(r); return err },
+	}
+	for kind, save := range saves {
+		var buf bytes.Buffer
+		if err := save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		// Cut inside the header, at the header/forest boundary region,
+		// and inside the forest blob.
+		for _, cut := range []int{0, 1, 10, len(full) / 4, len(full) / 2, len(full) - 2} {
+			if err := loads[kind](bytes.NewReader(full[:cut])); err == nil {
+				t.Errorf("%s truncated at %d/%d bytes loaded without error", kind, cut, len(full))
+			}
+		}
+		if err := loads[kind](bytes.NewReader(full)); err != nil {
+			t.Errorf("untruncated %s failed to load: %v", kind, err)
 		}
 	}
 }

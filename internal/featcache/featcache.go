@@ -180,13 +180,20 @@ func (c *Cache) diskPath(key string) string {
 	return filepath.Join(c.opts.Dir, key[:2], key+".json")
 }
 
+// loadDisk reads one on-disk entry. A file that exists but does not
+// decode — truncated by a crash, corrupted, or written by something
+// else — is treated exactly like a miss: the bad file is deleted so
+// the recomputed entry can be stored cleanly, and the caller
+// re-extracts. Nothing downstream ever sees a partial entry.
 func (c *Cache) loadDisk(key string) (stylometry.Features, bool) {
-	data, err := os.ReadFile(c.diskPath(key))
+	path := c.diskPath(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	var f stylometry.Features
 	if err := json.Unmarshal(data, &f); err != nil {
+		os.Remove(path)
 		return nil, false
 	}
 	return f, true

@@ -115,22 +115,60 @@ func TestDiskLayerSurvivesNewCache(t *testing.T) {
 	}
 }
 
-func TestDiskLayerIgnoresCorruptEntry(t *testing.T) {
-	dir := t.TempDir()
-	c, err := New(Options{Dir: dir})
-	if err != nil {
-		t.Fatal(err)
+// TestDiskLayerRecoversFromCorruptEntry writes garbage where a cache
+// entry should live and asserts full recovery: the read is a miss, the
+// bad file is deleted, and a recomputed entry lands cleanly and is
+// served on the next read — including from a fresh cache over the same
+// directory.
+func TestDiskLayerRecoversFromCorruptEntry(t *testing.T) {
+	garbage := [][]byte{
+		[]byte("{not json"),
+		[]byte(""),                     // zero-length (crashed writer)
+		[]byte(`{"A":1`),               // truncated mid-object
+		[]byte(`[1,2,3]`),              // valid JSON, wrong shape
+		{0xff, 0xfe, 0x00, 0x01, 0x02}, // binary junk
 	}
-	key := Key(ExtractorFingerprint, "src")
-	path := filepath.Join(dir, key[:2], key+".json")
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := c.Get("src"); ok {
-		t.Error("corrupt disk entry treated as a hit")
+	for gi, junk := range garbage {
+		dir := t.TempDir()
+		c, err := New(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := fmt.Sprintf("int main() { return %d; }", gi)
+		key := Key(ExtractorFingerprint, src)
+		path := filepath.Join(dir, key[:2], key+".json")
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(src); ok {
+			t.Errorf("garbage %d: corrupt disk entry treated as a hit", gi)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("garbage %d: corrupt entry not deleted (stat err: %v)", gi, err)
+		}
+		// Recompute path: store fresh features over the cleaned slot.
+		f := stylometry.Features{"A": float64(gi), "B": 2}
+		c.Put(src, f)
+		got, ok := c.Get(src)
+		if !ok || got["A"] != float64(gi) {
+			t.Fatalf("garbage %d: recomputed entry not served (ok=%v, got=%v)", gi, ok, got)
+		}
+		// A brand-new cache over the same dir must read the rewritten
+		// file — proving the disk slot itself recovered.
+		c2, err := New(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok = c2.Get(src)
+		if !ok || got["B"] != 2 {
+			t.Fatalf("garbage %d: rewritten disk entry unreadable (ok=%v, got=%v)", gi, ok, got)
+		}
+		if s := c2.Stats(); s.DiskHits != 1 {
+			t.Errorf("garbage %d: disk hits = %d, want 1", gi, s.DiskHits)
+		}
 	}
 }
 

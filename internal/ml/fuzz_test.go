@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeForest feeds arbitrary and truncated bytes through
+// DecodeForest. The decoder must return an error or a forest that
+// predicts without panicking — never an index-out-of-range, an
+// infinite Predict walk, or an allocation driven by hostile declared
+// counts. Serving loads models from disk state it does not control, so
+// this is the trust boundary.
+func FuzzDecodeForest(f *testing.F) {
+	// A genuine encoding plus truncations of it.
+	d := blobs(3, 20, 4, 1.0, 17)
+	forest, err := FitForest(d, ForestConfig{NumTrees: 5, Seed: 9})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := forest.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 2} {
+		f.Add(valid[:cut])
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"num_classes":1000000000,"trees":[]}`))
+	f.Add([]byte(`{"num_classes":2,"trees":[{"feature":[0],"threshold":[0.5],"left":[0],"right":[0],"class":[0]}]}`))
+	f.Add([]byte(`{"num_classes":2,"trees":[{"feature":[-1],"threshold":[0],"left":[0],"right":[0],"class":[9]}]}`))
+	f.Add([]byte(`{"num_classes":2,"trees":[{"feature":[],"threshold":[],"left":[],"right":[],"class":[]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeForest(bytes.NewReader(data))
+		if err != nil {
+			if g != nil {
+				t.Fatal("DecodeForest returned both a forest and an error")
+			}
+			return
+		}
+		// A decoded forest must be safe to use: every declared invariant
+		// was validated, so prediction over a wide-enough vector cannot
+		// panic and must finish.
+		x := make([]float64, g.MaxFeature()+1)
+		class := g.Predict(x)
+		if class < 0 || class >= g.NumClasses() {
+			t.Fatalf("predicted class %d outside %d classes", class, g.NumClasses())
+		}
+		proba := g.PredictProba(x)
+		if len(proba) != g.NumClasses() {
+			t.Fatalf("proba has %d entries, want %d", len(proba), g.NumClasses())
+		}
+	})
+}
+
+// TestDecodeForestHardening pins the specific rejections the fuzzer
+// relies on, so a refactor cannot silently drop one.
+func TestDecodeForestHardening(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"class count over cap", `{"num_classes":1000000000,"trees":[{"feature":[-1],"threshold":[0],"left":[0],"right":[0],"class":[0]}]}`},
+		{"empty tree", `{"num_classes":2,"trees":[{"feature":[],"threshold":[],"left":[],"right":[],"class":[]}]}`},
+		{"class outside range", `{"num_classes":2,"trees":[{"feature":[-1],"threshold":[0],"left":[0],"right":[0],"class":[2]}]}`},
+		{"negative class", `{"num_classes":2,"trees":[{"feature":[-1],"threshold":[0],"left":[0],"right":[0],"class":[-1]}]}`},
+		{"self-loop child", `{"num_classes":2,"trees":[{"feature":[0],"threshold":[0.5],"left":[0],"right":[0],"class":[0]}]}`},
+		{"backward child", `{"num_classes":2,"trees":[{"feature":[-1,0],"threshold":[0,0.5],"left":[0,0],"right":[0,0],"class":[0,0]}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeForest(strings.NewReader(tt.data)); err == nil {
+				t.Fatalf("accepted %s", tt.name)
+			}
+		})
+	}
+}

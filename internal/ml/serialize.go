@@ -43,27 +43,54 @@ func (f *Forest) Encode(w io.Writer) error {
 	return json.NewEncoder(w).Encode(dto)
 }
 
-// DecodeForest reads a forest previously written by Encode.
+// Decode limits. Real models are far below both: the paper's forests
+// have 100 trees over at most 205 classes. The caps bound the memory a
+// hostile or corrupt file can make Votes/PredictProba allocate.
+const (
+	maxDecodeClasses = 1 << 16
+	maxDecodeTrees   = 1 << 16
+)
+
+// DecodeForest reads a forest previously written by Encode. The input
+// is validated as untrusted: node arrays must be consistent, children
+// must point strictly forward (so Predict terminates), leaf classes
+// must fall inside the declared class count (so Votes never indexes out
+// of range), and the declared counts are capped so a corrupt file
+// cannot force huge allocations downstream.
 func DecodeForest(r io.Reader) (*Forest, error) {
 	var dto forestDTO
 	if err := json.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("ml: decode forest: %w", err)
 	}
-	if dto.NumClasses < 1 {
+	if dto.NumClasses < 1 || dto.NumClasses > maxDecodeClasses {
 		return nil, fmt.Errorf("ml: decoded forest has %d classes", dto.NumClasses)
+	}
+	if len(dto.Trees) > maxDecodeTrees {
+		return nil, fmt.Errorf("ml: decoded forest has %d trees", len(dto.Trees))
 	}
 	f := &Forest{numClasses: dto.NumClasses}
 	for ti, td := range dto.Trees {
 		n := len(td.Feature)
+		if n == 0 {
+			return nil, fmt.Errorf("ml: tree %d is empty", ti)
+		}
 		if len(td.Threshold) != n || len(td.Left) != n || len(td.Right) != n || len(td.Class) != n {
 			return nil, fmt.Errorf("ml: tree %d has inconsistent node arrays", ti)
 		}
 		t := &Tree{numClasses: dto.NumClasses, nodes: make([]treeNode, n)}
 		for i := 0; i < n; i++ {
 			if td.Feature[i] >= 0 {
-				if td.Left[i] < 0 || int(td.Left[i]) >= n || td.Right[i] < 0 || int(td.Right[i]) >= n {
+				// Children strictly after their parent: the builder
+				// appends parents before subtrees, and Predict relies on
+				// this to terminate on untrusted input.
+				if int(td.Left[i]) <= i || int(td.Left[i]) >= n ||
+					int(td.Right[i]) <= i || int(td.Right[i]) >= n {
 					return nil, fmt.Errorf("ml: tree %d node %d has out-of-range children", ti, i)
 				}
+			}
+			if td.Class[i] < 0 || int(td.Class[i]) >= dto.NumClasses {
+				return nil, fmt.Errorf("ml: tree %d node %d class %d outside %d classes",
+					ti, i, td.Class[i], dto.NumClasses)
 			}
 			t.nodes[i] = treeNode{
 				feature:   td.Feature[i],
@@ -79,4 +106,22 @@ func DecodeForest(r io.Reader) (*Forest, error) {
 		return nil, fmt.Errorf("ml: decoded forest has no trees")
 	}
 	return f, nil
+}
+
+// NumClasses returns the class count the forest was trained with.
+func (f *Forest) NumClasses() int { return f.numClasses }
+
+// MaxFeature returns the largest feature index any split consults, or
+// -1 for a forest of pure leaves. Callers loading a forest from disk
+// can check it against their vector width before predicting.
+func (f *Forest) MaxFeature() int {
+	max := -1
+	for _, t := range f.trees {
+		for _, n := range t.nodes {
+			if n.feature > max {
+				max = n.feature
+			}
+		}
+	}
+	return max
 }

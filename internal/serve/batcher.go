@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"gptattr/internal/stylometry"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrSaturated means the admission queue is full; clients should
+	// back off (429 + Retry-After).
+	ErrSaturated = errors.New("serve: extraction queue saturated")
+	// ErrClosed means the batcher is draining for shutdown (503).
+	ErrClosed = errors.New("serve: batcher closed")
+)
+
+// BatchConfig tunes the micro-batching extraction queue.
+type BatchConfig struct {
+	// MaxBatch bounds how many requests one batch coalesces
+	// (default 16).
+	MaxBatch int
+	// MaxDelay bounds how long the collector waits to fill a batch
+	// after its first request arrives (default 2ms). Latency cost of
+	// batching is at most this.
+	MaxDelay time.Duration
+	// QueueDepth bounds admitted-but-unbatched requests; a full queue
+	// rejects with ErrSaturated (default 256).
+	QueueDepth int
+	// Workers bounds the per-batch extraction pool, passed through to
+	// stylometry.ExtractEach (0 = GOMAXPROCS).
+	Workers int
+	// Cache is the shared feature cache consulted before extraction
+	// (nil = uncached).
+	Cache stylometry.FeatureCache
+	// extractFn overrides the batch extraction function; tests use it
+	// to observe batch shapes and to block batches deterministically.
+	extractFn func(sources []string) ([]stylometry.Features, []error)
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.extractFn == nil {
+		workers, cache := c.Workers, c.Cache
+		c.extractFn = func(sources []string) ([]stylometry.Features, []error) {
+			return stylometry.ExtractEach(sources, stylometry.ExtractConfig{
+				Workers: workers, Cache: cache,
+			})
+		}
+	}
+	return c
+}
+
+// job is one admitted extraction request.
+type job struct {
+	src  string
+	ctx  context.Context
+	done chan jobResult // buffered(1); the batch loop never blocks on it
+}
+
+type jobResult struct {
+	f   stylometry.Features
+	err error
+}
+
+// Batcher coalesces concurrent feature-extraction requests into
+// bounded batches that run on the stylometry worker pool. Admission is
+// a non-blocking send into a bounded queue, so saturation surfaces
+// immediately as ErrSaturated instead of unbounded queueing; request
+// deadlines are honoured both while queued and while waiting for a
+// batch in flight.
+type Batcher struct {
+	cfg   BatchConfig
+	queue chan *job
+
+	mu     sync.Mutex
+	closed bool
+
+	loopDone chan struct{}
+
+	// onBatch, when non-nil, observes each batch size (metrics hook).
+	onBatch func(n int)
+}
+
+// NewBatcher starts the collector loop.
+func NewBatcher(cfg BatchConfig) *Batcher {
+	b := &Batcher{
+		cfg:      cfg.withDefaults(),
+		loopDone: make(chan struct{}),
+	}
+	b.queue = make(chan *job, b.cfg.QueueDepth)
+	go b.loop()
+	return b
+}
+
+// QueueLen reports the current admission-queue depth (metrics).
+func (b *Batcher) QueueLen() int { return len(b.queue) }
+
+// Extract admits one source, waits for its batch, and returns the
+// features. It fails fast with ErrSaturated when the queue is full,
+// ErrClosed when draining, or ctx.Err() when the caller's deadline
+// expires first.
+func (b *Batcher) Extract(ctx context.Context, src string) (stylometry.Features, error) {
+	j := &job{src: src, ctx: ctx, done: make(chan jobResult, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case b.queue <- j:
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	select {
+	case res := <-j.done:
+		return res.f, res.err
+	case <-ctx.Done():
+		// The batch may still compute this entry (and warm the cache);
+		// the caller just stops waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission and drains: every already-admitted job is
+// still extracted and answered before Close returns. Safe to call
+// once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.loopDone
+		return
+	}
+	b.closed = true
+	close(b.queue)
+	b.mu.Unlock()
+	<-b.loopDone
+}
+
+// loop collects jobs into batches: the first job opens a batch, then
+// the collector takes whatever arrives within MaxDelay up to MaxBatch.
+// A closed queue drains to empty and exits.
+func (b *Batcher) loop() {
+	defer close(b.loopDone)
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := []*job{first}
+		timer := time.NewTimer(b.cfg.MaxDelay)
+	collect:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case j, ok := <-b.queue:
+				if !ok {
+					// Draining: run what we have, then exit after the
+					// queue is empty (outer receive sees closed).
+					break collect
+				}
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.runBatch(batch)
+	}
+}
+
+// runBatch extracts one batch and answers every job. Jobs whose
+// deadline already passed are answered with their context error
+// without paying for extraction.
+func (b *Batcher) runBatch(batch []*job) {
+	live := batch[:0]
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			j.done <- jobResult{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if b.onBatch != nil {
+		b.onBatch(len(live))
+	}
+	sources := make([]string, len(live))
+	for i, j := range live {
+		sources[i] = j.src
+	}
+	feats, errs := b.cfg.extractFn(sources)
+	for i, j := range live {
+		j.done <- jobResult{f: feats[i], err: errs[i]}
+	}
+}

@@ -1,0 +1,113 @@
+// Package serve is the attribution inference service: a model
+// registry with lock-free lookup and hot reload, a micro-batching
+// extraction queue with bounded admission, and the HTTP layer that
+// exposes them (POST /v1/attribute, POST /v1/detect, GET /healthz,
+// GET /metrics, POST /v1/reload).
+//
+// The design split is: models are immutable once loaded and swapped
+// whole via atomic.Pointer (readers never block, reloads never drop
+// in-flight requests); feature extraction — the expensive step — is
+// coalesced into bounded batches that run on the stylometry worker
+// pool through the shared feature cache; admission control rejects
+// early (429) instead of queueing without bound, and every request
+// carries a context deadline honoured end to end.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"gptattr/internal/attrib"
+)
+
+// Registry file names: NewRegistry loads these from its directory.
+// Either may be absent — the corresponding endpoint then answers 503.
+const (
+	OracleFile   = "oracle.model"
+	DetectorFile = "detector.model"
+)
+
+// Models is one immutable generation of loaded models. Handlers grab
+// the current *Models once per request; a concurrent reload swaps the
+// registry pointer but never mutates a published Models, so requests
+// started under an old generation finish on it safely.
+type Models struct {
+	// Oracle is the multi-author attribution model (nil if absent).
+	Oracle *attrib.Oracle
+	// Detector is the ChatGPT-vs-human classifier (nil if absent).
+	Detector *attrib.Classifier
+	// Generation increments on every successful (re)load.
+	Generation uint64
+}
+
+// Registry loads serialized models from a directory and serves the
+// current generation lock-free.
+type Registry struct {
+	dir string
+	cur atomic.Pointer[Models]
+	gen atomic.Uint64
+
+	// loadMu serializes Load calls (SIGHUP and POST /v1/reload can
+	// race); readers never take it.
+	loadMu sync.Mutex
+}
+
+// NewRegistry creates a registry over dir and performs the initial
+// load. An empty directory is allowed — the server starts degraded and
+// a later reload can supply models — but an unreadable directory or a
+// corrupt model file is a hard error: refusing to start is better than
+// silently serving nothing.
+func NewRegistry(dir string) (*Registry, error) {
+	r := &Registry{dir: dir}
+	if err := r.Load(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Current returns the live generation. The returned Models must be
+// treated as read-only; it is never nil after NewRegistry succeeds.
+func (r *Registry) Current() *Models {
+	return r.cur.Load()
+}
+
+// Load reads the model files and atomically publishes a new
+// generation. On any error the previous generation stays live — a bad
+// reload never takes down a serving process.
+func (r *Registry) Load() error {
+	r.loadMu.Lock()
+	defer r.loadMu.Unlock()
+
+	if _, err := os.Stat(r.dir); err != nil {
+		return fmt.Errorf("serve: model dir: %w", err)
+	}
+	m := &Models{}
+	oraclePath := filepath.Join(r.dir, OracleFile)
+	if f, err := os.Open(oraclePath); err == nil {
+		o, lerr := attrib.LoadOracle(f)
+		f.Close()
+		if lerr != nil {
+			return fmt.Errorf("serve: %s: %w", oraclePath, lerr)
+		}
+		m.Oracle = o
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	detectorPath := filepath.Join(r.dir, DetectorFile)
+	if f, err := os.Open(detectorPath); err == nil {
+		c, lerr := attrib.LoadClassifier(f)
+		f.Close()
+		if lerr != nil {
+			return fmt.Errorf("serve: %s: %w", detectorPath, lerr)
+		}
+		m.Detector = c
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	m.Generation = r.gen.Add(1)
+	r.cur.Store(m)
+	return nil
+}

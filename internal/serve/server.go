@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gptattr/internal/serve/metrics"
+	"gptattr/internal/stylometry"
+)
+
+// Config wires a Server together.
+type Config struct {
+	// Registry supplies the current model generation (required).
+	Registry *Registry
+	// Batcher runs feature extraction (required).
+	Batcher *Batcher
+	// Metrics receives request counters and latency histograms; nil
+	// creates a private registry.
+	Metrics *metrics.Registry
+	// Timeout is the per-request deadline (default 10s). Clients hold
+	// the other end via their own context; whichever expires first
+	// wins.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP attribution service.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// AttributeRequest is the body of POST /v1/attribute and /v1/detect.
+type AttributeRequest struct {
+	// Source is the C++ source body to analyse.
+	Source string `json:"source"`
+}
+
+// AttributeResponse answers POST /v1/attribute.
+type AttributeResponse struct {
+	Author          string             `json:"author"`
+	Proba           map[string]float64 `json:"proba"`
+	ModelGeneration uint64             `json:"model_generation"`
+}
+
+// DetectResponse answers POST /v1/detect.
+type DetectResponse struct {
+	ChatGPT         bool    `json:"chatgpt"`
+	Confidence      float64 `json:"confidence"`
+	ModelGeneration uint64  `json:"model_generation"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status          string `json:"status"`
+	ModelGeneration uint64 `json:"model_generation"`
+	Oracle          bool   `json:"oracle"`
+	Detector        bool   `json:"detector"`
+}
+
+// ReloadResponse answers POST /v1/reload.
+type ReloadResponse struct {
+	ModelGeneration uint64 `json:"model_generation"`
+}
+
+// New builds the server. Registry and Batcher are required.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil || cfg.Batcher == nil {
+		return nil, fmt.Errorf("serve: Registry and Batcher are required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/attribute", s.handleAttribute)
+	s.mux.HandleFunc("/v1/detect", s.handleDetect)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// Batch-size observability: average batch = batched_requests_total
+	// / batches_total.
+	cfg.Batcher.onBatch = func(n int) {
+		cfg.Metrics.Counter("batches_total").Inc()
+		cfg.Metrics.Counter("batched_requests_total").Add(uint64(n))
+	}
+	return s, nil
+}
+
+// Handler returns the routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the metrics registry the server reports into.
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests {
+		// Closed-loop clients should back off; micro-batch turnaround
+		// is milliseconds, so one second is conservative.
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeSource parses the request body for the two inference
+// endpoints.
+func (s *Server) decodeSource(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return "", false
+	}
+	var req AttributeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, "bad request body: "+err.Error())
+		return "", false
+	}
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, "empty source")
+		return "", false
+	}
+	return req.Source, true
+}
+
+// extract runs the batched feature extraction for one request and
+// translates failures to HTTP statuses. Returns ok=false after having
+// written the error response.
+func (s *Server) extract(ctx context.Context, w http.ResponseWriter, src string, m *metrics.Registry) (f stylometry.Features, ok bool) {
+	feats, err := s.cfg.Batcher.Extract(ctx, src)
+	switch {
+	case err == nil:
+		return feats, true
+	case errors.Is(err, ErrSaturated):
+		m.Counter("rejected_total").Inc()
+		s.writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
+	case errors.Is(err, ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		m.Counter("deadline_exceeded_total").Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	default:
+		// The source itself did not extract (e.g. not lexable C++).
+		s.writeError(w, http.StatusUnprocessableEntity, "source rejected: "+err.Error())
+	}
+	return nil, false
+}
+
+func (s *Server) handleAttribute(w http.ResponseWriter, r *http.Request) {
+	met := s.cfg.Metrics
+	met.Counter("attribute_requests_total").Inc()
+	met.Gauge("inflight").Add(1)
+	defer met.Gauge("inflight").Add(-1)
+	start := time.Now()
+
+	src, ok := s.decodeSource(w, r)
+	if !ok {
+		return
+	}
+	models := s.cfg.Registry.Current()
+	if models.Oracle == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no attribution model loaded")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	feats, ok := s.extract(ctx, w, src, met)
+	if !ok {
+		return
+	}
+	proba, best := models.Oracle.ProbaFeatures(feats)
+	met.Histogram("attribute_latency").Observe(time.Since(start))
+	met.Counter("attribute_ok_total").Inc()
+	s.writeJSON(w, http.StatusOK, AttributeResponse{
+		Author: best, Proba: proba, ModelGeneration: models.Generation,
+	})
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	met := s.cfg.Metrics
+	met.Counter("detect_requests_total").Inc()
+	met.Gauge("inflight").Add(1)
+	defer met.Gauge("inflight").Add(-1)
+	start := time.Now()
+
+	src, ok := s.decodeSource(w, r)
+	if !ok {
+		return
+	}
+	models := s.cfg.Registry.Current()
+	if models.Detector == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no detector model loaded")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	feats, ok := s.extract(ctx, w, src, met)
+	if !ok {
+		return
+	}
+	verdict, conf := models.Detector.DetectFeatures(feats)
+	met.Histogram("detect_latency").Observe(time.Since(start))
+	met.Counter("detect_ok_total").Inc()
+	s.writeJSON(w, http.StatusOK, DetectResponse{
+		ChatGPT: verdict, Confidence: conf, ModelGeneration: models.Generation,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := s.cfg.Registry.Load(); err != nil {
+		// The previous generation is still serving.
+		s.writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	gen := s.cfg.Registry.Current().Generation
+	s.cfg.Metrics.Counter("reloads_total").Inc()
+	s.writeJSON(w, http.StatusOK, ReloadResponse{ModelGeneration: gen})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Registry.Current()
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:          "ok",
+		ModelGeneration: m.Generation,
+		Oracle:          m.Oracle != nil,
+		Detector:        m.Detector != nil,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	met := s.cfg.Metrics
+	met.Gauge("queue_depth").Set(int64(s.cfg.Batcher.QueueLen()))
+	met.Gauge("model_generation").Set(int64(s.cfg.Registry.Current().Generation))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	met.WriteText(w)
+}

@@ -59,37 +59,48 @@ func (e *ExtractError) Unwrap() error { return e.Err }
 // drew its index. The first failing source is reported as an
 // *ExtractError.
 func ExtractAll(sources []string, cfg ExtractConfig) ([]Features, error) {
-	out := make([]Features, len(sources))
-	errs := make([]error, len(sources))
-	workers := cfg.workers(len(sources))
-	if workers == 1 {
-		for i, src := range sources {
-			out[i], errs[i] = extractCached(src, cfg.Cache)
-		}
-	} else {
-		var wg sync.WaitGroup
-		jobs := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					out[i], errs[i] = extractCached(sources[i], cfg.Cache)
-				}
-			}()
-		}
-		for i := range sources {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	out, errs := ExtractEach(sources, cfg)
 	for i, err := range errs {
 		if err != nil {
 			return nil, &ExtractError{Index: i, Err: err}
 		}
 	}
 	return out, nil
+}
+
+// ExtractEach is the batch entry point behind ExtractAll: it computes
+// features for every source on the same bounded worker pool but
+// reports per-source errors instead of failing the whole batch. A
+// serving layer coalescing independent requests into one batch needs
+// this — one malformed request must not poison its batch-mates.
+// out[i] is valid iff errs[i] is nil.
+func ExtractEach(sources []string, cfg ExtractConfig) (out []Features, errs []error) {
+	out = make([]Features, len(sources))
+	errs = make([]error, len(sources))
+	workers := cfg.workers(len(sources))
+	if workers == 1 {
+		for i, src := range sources {
+			out[i], errs[i] = extractCached(src, cfg.Cache)
+		}
+		return out, errs
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = extractCached(sources[i], cfg.Cache)
+			}
+		}()
+	}
+	for i := range sources {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out, errs
 }
 
 func extractCached(src string, cache FeatureCache) (Features, error) {
