@@ -47,7 +47,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		model, err := attribution.LoadAuthorshipModel(f)
 		if err != nil {
 			return err
@@ -88,7 +88,7 @@ func run(args []string) error {
 			return err
 		}
 		if err := model.Save(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -82,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		resp, err := http.Get(cfg.BaseURL + "/metrics")
 		if err == nil {
 			body, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
+			_ = resp.Body.Close()
 			fmt.Fprintf(stdout, "\nserver /metrics after run:\n%s", body)
 		} else {
 			fmt.Fprintf(stdout, "\nserver /metrics unavailable: %v\n", err)
@@ -191,7 +191,7 @@ func loadTest(cfg loadConfig) *report {
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				hist.Observe(lat)
 				mu.Lock()
 				byCode[resp.StatusCode]++

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanSrc = `#include <iostream>
+using namespace std;
+int main() {
+    int n;
+    cin >> n;
+    cout << n * 2 << endl;
+    return 0;
+}
+`
+
+const defectSrc = `#include <cstdio>
+int main() {
+    int x;
+    printf("%d\n", x);
+    return 0;
+}
+`
+
+func write(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, runErr := run(args, tmp)
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil && code == 0 {
+		t.Fatalf("error %v with zero exit", runErr)
+	}
+	return code, string(data)
+}
+
+func TestCleanFileExitsZero(t *testing.T) {
+	path := write(t, t.TempDir(), "clean.cc", cleanSrc)
+	code, out := capture(t, []string{path})
+	if code != 0 {
+		t.Fatalf("clean file must exit 0, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 finding(s)") {
+		t.Fatalf("summary missing: %s", out)
+	}
+}
+
+func TestDefectFileExitsOne(t *testing.T) {
+	path := write(t, t.TempDir(), "bad.cc", defectSrc)
+	code, out := capture(t, []string{path})
+	if code != 1 {
+		t.Fatalf("defective file must exit 1, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "SA001-uninit-read") || !strings.Contains(out, path+":4:") {
+		t.Fatalf("finding with rule ID and position missing:\n%s", out)
+	}
+}
+
+func TestCorpusMode(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "gcj2020/alice/challenge0.cc", cleanSrc)
+	write(t, dir, "gcj2020/bob/challenge1.cc", defectSrc)
+	code, out := capture(t, []string{"-corpus", dir})
+	if code != 1 {
+		t.Fatalf("corpus with one defect must exit 1, got %d", code)
+	}
+	if !strings.Contains(out, "2 file(s), 1 finding(s)") {
+		t.Fatalf("want 2 files / 1 finding summary, got:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "clean.cc", cleanSrc)
+	write(t, dir, "bad.cc", defectSrc)
+	code, out := capture(t, []string{"-json", "-corpus", dir})
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("want 2 file reports, got %d", len(reports))
+	}
+	byFile := map[string]int{}
+	for _, r := range reports {
+		byFile[filepath.Base(r.File)] = len(r.Diagnostics)
+	}
+	if byFile["clean.cc"] != 0 || byFile["bad.cc"] != 1 {
+		t.Fatalf("unexpected finding counts: %v", byFile)
+	}
+}
+
+func TestNoInputIsUsageError(t *testing.T) {
+	code, _ := capture(t, nil)
+	if code != 2 {
+		t.Fatalf("no input must exit 2, got %d", code)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.cc", defectSrc)
+	write(t, dir, "b.cc", defectSrc)
+	_, first := capture(t, []string{"-corpus", dir})
+	for i := 0; i < 5; i++ {
+		if _, out := capture(t, []string{"-corpus", dir}); out != first {
+			t.Fatal("output must be deterministic across runs")
+		}
+	}
+}

@@ -112,7 +112,7 @@ func run(args []string) error {
 			return err
 		}
 		if err := s.WriteJSON(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

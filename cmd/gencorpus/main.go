@@ -21,6 +21,7 @@ import (
 
 	"gptattr/internal/corpus"
 	"gptattr/internal/gpt"
+	"gptattr/internal/transform"
 )
 
 func main() {
@@ -87,6 +88,13 @@ func run(args []string) error {
 			return fmt.Errorf("gcj%d: %w", years[i], errs[i])
 		}
 		fmt.Print(logs[i])
+	}
+	if !*skipVerify && !*humanOnly {
+		checks, hits, rejects, runs := transform.Stats.Snapshot()
+		if checks > 0 {
+			fmt.Printf("verify: static checks=%d hits=%d rejects=%d interpreter runs=%d (interpreter avoided on %.1f%% of checks)\n",
+				checks, hits, rejects, runs, 100*float64(hits)/float64(checks))
+		}
 	}
 	fmt.Println("wrote", *out)
 	return nil

@@ -70,7 +70,7 @@ func run(args []string) error {
 			return err
 		}
 		if err := det.Save(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

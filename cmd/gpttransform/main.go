@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"gptattr/attribution"
+	"gptattr/internal/transform"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 1, "run nct rounds in parallel (0 = GOMAXPROCS); any value > 1 "+
 		"uses per-round seeds, deterministic but distinct from the sequential stream")
+	stats := fs.Bool("stats", false, "print verification statistics (static pre-screen hit rate, interpreter runs) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +71,18 @@ func run(args []string) error {
 		variants, err = tr.CT(string(src), *rounds, inputs...)
 	default:
 		return fmt.Errorf("unknown mode %q (want nct or ct)", *mode)
+	}
+	if *stats {
+		defer func() {
+			checks, hits, rejects, runs := transform.Stats.Snapshot()
+			avoided := 0.0
+			if checks > 0 {
+				avoided = float64(hits) / float64(checks)
+			}
+			fmt.Fprintf(os.Stderr,
+				"verify stats: static checks=%d hits=%d rejects=%d interpreter runs=%d (interpreter avoided on %.1f%% of checks)\n",
+				checks, hits, rejects, runs, 100*avoided)
+		}()
 	}
 	if err != nil {
 		return err

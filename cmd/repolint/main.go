@@ -1,0 +1,250 @@
+// Command repolint enforces repository invariants that go vet cannot
+// express, using nothing but go/ast:
+//
+//   - Deterministic pipeline packages (corpus, codegen, transform,
+//     stylometry, ml) must not call time.Now or use the global
+//     math/rand source — every sample, style, and split must be
+//     reproducible from an explicit seed. Constructing explicitly
+//     seeded generators (rand.New, rand.NewSource, rand.NewZipf) is
+//     allowed.
+//   - Non-test files must not discard the error from io.Closer.Close
+//     (a bare `f.Close()` or `defer f.Close()` statement). Types
+//     declared in this repository whose Close returns nothing (e.g.
+//     serve.Batcher) are exempt — there is no error to discard.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// deterministicPkgs are the pipeline packages whose output must be a
+// pure function of their seeds.
+var deterministicPkgs = []string{
+	"internal/corpus", "internal/codegen", "internal/transform",
+	"internal/stylometry", "internal/ml",
+}
+
+// seededConstructors are the math/rand names that build explicitly
+// seeded generators, plus the type names used to pass them around —
+// both are how deterministic code is supposed to use the package.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+	}
+	os.Exit(code)
+}
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func run(args []string, out *os.File) (int, error) {
+	fs2 := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	root := fs2.String("root", ".", "repository root to lint")
+	if err := fs2.Parse(args); err != nil {
+		return 2, err
+	}
+
+	files, err := goFiles(*root)
+	if err != nil {
+		return 2, err
+	}
+	fset := token.NewFileSet()
+	parsed := make(map[string]*ast.File, len(files))
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return 2, err
+		}
+		parsed[path] = f
+	}
+
+	voidClose := voidCloseTypes(parsed)
+	var findings []finding
+	for _, path := range files {
+		f := parsed[path]
+		rel, err := filepath.Rel(*root, path)
+		if err != nil {
+			rel = path
+		}
+		isTest := strings.HasSuffix(path, "_test.go")
+		if !isTest && inDeterministicPkg(rel) {
+			findings = append(findings, checkDeterminism(fset, f)...)
+		}
+		if !isTest {
+			findings = append(findings, checkCloseErrors(fset, f, voidClose)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos.Filename != findings[j].pos.Filename {
+			return findings[i].pos.Filename < findings[j].pos.Filename
+		}
+		return findings[i].pos.Line < findings[j].pos.Line
+	})
+	for _, f := range findings {
+		fmt.Fprintf(out, "%s:%d: %s\n", f.pos.Filename, f.pos.Line, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "repolint: %d finding(s)\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func goFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func inDeterministicPkg(rel string) bool {
+	rel = filepath.ToSlash(rel)
+	for _, pkg := range deterministicPkgs {
+		if strings.HasPrefix(rel, pkg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// importAlias returns the name under which the file refers to the
+// given import path, or "" when it is not imported.
+func importAlias(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}
+
+func checkDeterminism(fset *token.FileSet, f *ast.File) []finding {
+	timeAlias := importAlias(f, "time")
+	randAlias := importAlias(f, "math/rand")
+	if randAlias == "" {
+		randAlias = importAlias(f, "math/rand/v2")
+	}
+	if timeAlias == "" && randAlias == "" {
+		return nil
+	}
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Obj != nil { // Obj != nil: a local shadows the package name
+			return true
+		}
+		switch {
+		case timeAlias != "" && pkg.Name == timeAlias && sel.Sel.Name == "Now":
+			out = append(out, finding{fset.Position(n.Pos()),
+				"time.Now in a deterministic pipeline package (outputs must be reproducible from seeds)"})
+		case randAlias != "" && pkg.Name == randAlias && !seededConstructors[sel.Sel.Name]:
+			out = append(out, finding{fset.Position(n.Pos()),
+				fmt.Sprintf("global math/rand.%s in a deterministic pipeline package (use an explicitly seeded rand.New)", sel.Sel.Name)})
+		}
+		return true
+	})
+	return out
+}
+
+// voidCloseTypes collects names of repo-declared types whose Close
+// method has no results: calls on their values have no error to lose.
+func voidCloseTypes(parsed map[string]*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range parsed {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Close" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if fd.Type.Results != nil && len(fd.Type.Results.List) > 0 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok {
+				out[strings.ToLower(id.Name)] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkCloseErrors flags statements that call .Close() and drop the
+// result. Without type information the receiver test is a heuristic:
+// a receiver identifier that case-insensitively matches a repo type
+// with a void Close is exempt.
+func checkCloseErrors(fset *token.FileSet, f *ast.File, voidClose map[string]bool) []finding {
+	var out []finding
+	flag := func(call *ast.CallExpr) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+			return
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && voidClose[strings.ToLower(id.Name)] {
+			return
+		}
+		out = append(out, finding{fset.Position(call.Pos()),
+			"Close error ignored (handle it, or assign to _ with a reason)"})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				flag(call)
+			}
+		case *ast.DeferStmt:
+			flag(s.Call)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func lint(t *testing.T, root string) (int, string) {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, runErr := run([]string{"-root", root}, tmp)
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil && code != 2 {
+		t.Fatalf("unexpected error %v with exit %d", runErr, code)
+	}
+	return code, string(data)
+}
+
+func TestTimeNowFlaggedInDeterministicPkg(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/corpus/gen.go": `package corpus
+
+import "time"
+
+func Stamp() int64 { return time.Now().Unix() }
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "time.Now") {
+		t.Fatalf("want time.Now finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestTimeNowAllowedOutsidePipeline(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/serve/clock.go": `package serve
+
+import "time"
+
+func Stamp() int64 { return time.Now().Unix() }
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("serve may use time.Now, exit %d:\n%s", code, out)
+	}
+}
+
+func TestUnseededRandFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ml/pick.go": `package ml
+
+import "math/rand"
+
+func Pick(n int) int { return rand.Intn(n) }
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "math/rand.Intn") {
+		t.Fatalf("want unseeded rand finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestSeededRandAllowed(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ml/pick.go": `package ml
+
+import "math/rand"
+
+func Pick(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+func NewRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("seeded rand must pass, exit %d:\n%s", code, out)
+	}
+}
+
+func TestRenamedImportStillCaught(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/transform/r.go": `package transform
+
+import mr "math/rand"
+
+func Roll() int { return mr.Int() }
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "math/rand.Int") {
+		t.Fatalf("aliased import must still be caught, exit %d:\n%s", code, out)
+	}
+}
+
+func TestIgnoredCloseFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/tool/main.go": `package main
+
+import "os"
+
+func load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func drop(f *os.File) {
+	f.Close()
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || strings.Count(out, "Close error ignored") != 2 {
+		t.Fatalf("want two Close findings, exit %d:\n%s", code, out)
+	}
+}
+
+func TestHandledCloseAllowed(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/tool/main.go": `package main
+
+import "os"
+
+func save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("handled Close must pass, exit %d:\n%s", code, out)
+	}
+}
+
+func TestVoidCloseTypeExempt(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/serve/batcher.go": `package serve
+
+type Batcher struct{}
+
+func (b *Batcher) Close() {}
+`,
+		"cmd/tool/main.go": `package main
+
+type batcherLike interface{ Close() }
+
+func shutdown(batcher batcherLike) {
+	batcher.Close()
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("void-Close type must be exempt, exit %d:\n%s", code, out)
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/corpus/gen_test.go": `package corpus
+
+import (
+	"os"
+	"time"
+)
+
+func stamp() int64 { return time.Now().Unix() }
+
+func drop(f *os.File) { f.Close() }
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("test files are exempt, exit %d:\n%s", code, out)
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The repository itself must satisfy its own invariants; this is
+	// the standing form of the "run it over the repo" requirement.
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("repo root not found")
+	}
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("repolint must exit clean on this repository, exit %d:\n%s", code, out)
+	}
+}

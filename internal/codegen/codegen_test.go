@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"gptattr/internal/challenge"
+	"gptattr/internal/cppast"
+	"gptattr/internal/cppcheck"
 	"gptattr/internal/cppinterp"
 	"gptattr/internal/ir"
 	"gptattr/internal/style"
@@ -269,5 +271,34 @@ func TestDecompositionsBehaviourallyEqual(t *testing.T) {
 				t.Fatalf("%s decomp %d: mismatch\n got %q\nwant %q\n%s", c.Key(), decomp, got, run.Output, src)
 			}
 		}
+	}
+}
+
+// TestEveryRenderingDiagnosticClean makes the static analyzer a
+// standing correctness oracle for the generator: every author x
+// challenge rendering must produce zero cppcheck findings. A finding
+// here means either the generator emitted defective code or the
+// analyzer grew a false positive — both are bugs worth stopping on.
+func TestEveryRenderingDiagnosticClean(t *testing.T) {
+	profiles := make([]style.Profile, 0, 12)
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 12; i++ {
+		profiles = append(profiles, style.Random(fmt.Sprintf("Author%02d", i), rng))
+	}
+	for _, c := range challenge.All() {
+		c := c
+		t.Run(c.Key(), func(t *testing.T) {
+			for pi, prof := range profiles {
+				src := Render(c.Prog, prof, int64(pi))
+				tu, err := cppast.Parse(src)
+				if err != nil {
+					t.Fatalf("profile %d (%s): parse: %v\n--- source ---\n%s", pi, prof.Name, err, src)
+				}
+				if ds := cppcheck.Analyze(tu); len(ds) > 0 {
+					t.Fatalf("profile %d (%s): %d finding(s): %v\n--- source ---\n%s",
+						pi, prof.Name, len(ds), ds, src)
+				}
+			}
+		})
 	}
 }

@@ -346,7 +346,13 @@ func (p *parser) parseFuncRest(at pos, retType, name string) Node {
 				p.next()
 				continue
 			}
+			before := p.pos
 			p.skipToCommaOrClose()
+			if !p.accept(",") && p.pos == before {
+				// Stray closer (e.g. ']' at depth 0): consume it or
+				// the parameter loop never advances.
+				p.next()
+			}
 			continue
 		}
 		ref := strings.HasSuffix(ptype, "&")

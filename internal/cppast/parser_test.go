@@ -2,6 +2,7 @@ package cppast
 
 import (
 	"testing"
+	"time"
 )
 
 // figure3 is the original code from the paper's Figure 3 (the GCJ
@@ -450,5 +451,27 @@ func TestLinePositions(t *testing.T) {
 	}
 	if got := main.Body.Stmts[1].Line(); got != 3 {
 		t.Errorf("second stmt at line %d, want 3", got)
+	}
+}
+
+func TestParseMalformedParamListTerminates(t *testing.T) {
+	// Regression: an unparseable parameter followed by a comma used to
+	// loop forever — skipToCommaOrClose stopped at the separator and
+	// the retry never advanced past it (found by FuzzBuildCFG).
+	for _, src := range []string{
+		"A A({retw,",
+		"int f({,{,{, int x) { return 0; }",
+		"int f(,,,) { return 1; } int main() { return f(); }",
+	} {
+		done := make(chan struct{})
+		go func() {
+			_, _ = Parse(src)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("parser hung on %q", src)
+		}
 	}
 }

@@ -1,0 +1,547 @@
+package cppcheck
+
+import (
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// VarInfo describes one function-local variable (or parameter) as the
+// dataflow analyses see it.
+type VarInfo struct {
+	Name     string
+	Param    bool
+	DeclLine int
+	// Scalar reports an int/float/char-like value; aggregates (arrays,
+	// vectors, strings — all well-defined when default-constructed in
+	// C++) are excluded from the uninitialized-read analysis.
+	Scalar bool
+	// Escaped reports the address was taken (scanf targets, & args,
+	// reference-parameter bindings): writes can happen through the
+	// alias, so the dead-store and unused-decl rules skip the variable.
+	Escaped bool
+	// MultiDecl reports more than one declaration site for the name
+	// (shadowing). The flat per-function symbol model cannot track
+	// scopes precisely, so such names are skipped by the value rules.
+	MultiDecl bool
+	// Uninit reports a declaration without an initializer.
+	Uninit bool
+}
+
+// evKind discriminates dataflow events.
+type evKind int
+
+const (
+	evUse evKind = iota
+	evDef
+)
+
+// event is one ordered def or use of a local variable within a block.
+type event struct {
+	kind evKind
+	name string
+	line int
+	// def metadata
+	decl  bool // definition comes from a declarator
+	plain bool // simple `=` store: a dead-store candidate
+}
+
+// funcAnalysis holds the per-function dataflow state shared by the
+// diagnostic rules and def-use chain construction.
+type funcAnalysis struct {
+	g      *CFG
+	vars   map[string]*VarInfo
+	order  []string // deterministic iteration order of vars
+	events map[*Block][]event
+	funcs  map[string]*cppast.FuncDecl // unit-level, for ref params
+}
+
+// assignOps maps C++ assignment operators to whether they read the
+// target before writing it (compound assignments do, plain `=` not).
+var assignOps = map[string]bool{
+	"=": false, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func aggregateType(typ string) bool {
+	t := strings.ToLower(typ)
+	return strings.Contains(t, "vector") || strings.Contains(t, "string") ||
+		strings.Contains(t, "map") || strings.Contains(t, "set") ||
+		strings.Contains(t, "pair") || strings.Contains(t, "queue") ||
+		strings.Contains(t, "stack")
+}
+
+// newFuncAnalysis collects declarations and the per-block event stream
+// for fn's CFG.
+func newFuncAnalysis(g *CFG, funcs map[string]*cppast.FuncDecl) *funcAnalysis {
+	fa := &funcAnalysis{
+		g:      g,
+		vars:   make(map[string]*VarInfo),
+		events: make(map[*Block][]event),
+		funcs:  funcs,
+	}
+	for _, p := range g.Fn.Params {
+		if p.Name == "" {
+			continue
+		}
+		fa.declare(p.Name, p.Line(), true, !aggregateType(p.Type), false)
+		if p.Ref {
+			fa.vars[p.Name].Escaped = true
+		}
+	}
+	// Declarations anywhere in the body (flat scope model).
+	cppast.Walk(g.Fn.Body, func(n cppast.Node, _ int) bool {
+		if vd, ok := n.(*cppast.VarDecl); ok {
+			scalar := !aggregateType(vd.Type)
+			for _, d := range vd.Names {
+				fa.declare(d.Name, vd.Line(), false, scalar && len(d.ArrayLen) == 0, d.Init == nil)
+			}
+		}
+		return true
+	})
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			fa.stmtEvents(b, s)
+		}
+		if b.Cond != nil {
+			fa.exprEvents(b, b.Cond)
+		}
+	}
+	return fa
+}
+
+func (fa *funcAnalysis) declare(name string, line int, param, scalar, uninit bool) {
+	if v, ok := fa.vars[name]; ok {
+		v.MultiDecl = true
+		v.Uninit = v.Uninit || uninit
+		return
+	}
+	fa.vars[name] = &VarInfo{Name: name, Param: param, DeclLine: line, Scalar: scalar, Uninit: uninit}
+	fa.order = append(fa.order, name)
+}
+
+func (fa *funcAnalysis) use(b *Block, name string, line int) {
+	if _, ok := fa.vars[name]; !ok {
+		return // globals, library names: out of scope for local analyses
+	}
+	fa.events[b] = append(fa.events[b], event{kind: evUse, name: name, line: line})
+}
+
+func (fa *funcAnalysis) def(b *Block, name string, line int, decl, plain bool) {
+	if _, ok := fa.vars[name]; !ok {
+		return
+	}
+	fa.events[b] = append(fa.events[b], event{kind: evDef, name: name, line: line, decl: decl, plain: plain})
+}
+
+func (fa *funcAnalysis) escape(name string) {
+	if v, ok := fa.vars[name]; ok {
+		v.Escaped = true
+	}
+}
+
+func (fa *funcAnalysis) stmtEvents(b *Block, s cppast.Node) {
+	switch n := s.(type) {
+	case *cppast.VarDecl:
+		for _, d := range n.Names {
+			for _, dim := range d.ArrayLen {
+				fa.exprEvents(b, dim)
+			}
+			if d.Init != nil {
+				fa.exprEvents(b, d.Init)
+				fa.def(b, d.Name, n.Line(), true, false)
+			} else if len(d.ArrayLen) > 0 || aggregateType(n.Type) {
+				// Default-constructed aggregates are defined.
+				fa.def(b, d.Name, n.Line(), true, false)
+			}
+		}
+	case *cppast.ExprStmt:
+		fa.exprEvents(b, n.X)
+	case *cppast.Return:
+		if n.Value != nil {
+			fa.exprEvents(b, n.Value)
+		}
+	}
+}
+
+// chainRoot returns the name of the leftmost identifier of a binary
+// operator spine (cin >> a >> b has root "cin"), or "".
+func chainRoot(e cppast.Node, op string) string {
+	for {
+		be, ok := e.(*cppast.BinaryExpr)
+		if !ok || be.Op != op {
+			break
+		}
+		e = be.L
+	}
+	if id, ok := e.(*cppast.Ident); ok {
+		return strings.TrimPrefix(id.Name, "std::")
+	}
+	return ""
+}
+
+// exprEvents walks an expression emitting use/def events in evaluation
+// order (uses of an assignment's RHS before the LHS def).
+func (fa *funcAnalysis) exprEvents(b *Block, e cppast.Node) {
+	switch n := e.(type) {
+	case nil:
+	case *cppast.Ident:
+		fa.use(b, strings.TrimPrefix(n.Name, "std::"), n.Line())
+	case *cppast.Lit:
+	case *cppast.ParenExpr:
+		fa.exprEvents(b, n.X)
+	case *cppast.BinaryExpr:
+		if readsTarget, isAssign := assignOps[n.Op]; isAssign {
+			fa.exprEvents(b, n.R)
+			fa.assignTarget(b, n.L, readsTarget, n.Op == "=")
+			return
+		}
+		if n.Op == ">>" && chainRoot(n, ">>") == "cin" {
+			// cin >> a >> b: every extraction target is written.
+			fa.exprEvents(b, n.L)
+			fa.assignTarget(b, n.R, false, false)
+			return
+		}
+		fa.exprEvents(b, n.L)
+		fa.exprEvents(b, n.R)
+	case *cppast.UnaryExpr:
+		switch n.Op {
+		case "++", "--":
+			fa.assignTarget(b, n.X, true, false)
+		case "&":
+			// Address taken: assume read-write through the alias.
+			if id, ok := n.X.(*cppast.Ident); ok {
+				name := strings.TrimPrefix(id.Name, "std::")
+				fa.use(b, name, id.Line())
+				fa.def(b, name, id.Line(), false, false)
+				fa.escape(name)
+				return
+			}
+			fa.exprEvents(b, n.X)
+		default:
+			fa.exprEvents(b, n.X)
+		}
+	case *cppast.TernaryExpr:
+		fa.exprEvents(b, n.Cond)
+		fa.exprEvents(b, n.Then)
+		fa.exprEvents(b, n.Else)
+	case *cppast.CallExpr:
+		fa.callEvents(b, n)
+	case *cppast.IndexExpr:
+		fa.exprEvents(b, n.X)
+		fa.exprEvents(b, n.Index)
+	case *cppast.MemberExpr:
+		fa.exprEvents(b, n.X)
+	case *cppast.CastExpr:
+		fa.exprEvents(b, n.X)
+	default:
+		// Unknown expression shapes: no events (analysis already
+		// degraded via CFG.Unsupported when they appear as statements).
+	}
+}
+
+// assignTarget emits events for the written operand of an assignment,
+// increment, or extraction. readsTarget adds a use before the def
+// (compound assignments, ++/--).
+func (fa *funcAnalysis) assignTarget(b *Block, target cppast.Node, readsTarget, plain bool) {
+	switch t := target.(type) {
+	case *cppast.Ident:
+		name := strings.TrimPrefix(t.Name, "std::")
+		if readsTarget {
+			fa.use(b, name, t.Line())
+		}
+		fa.def(b, name, t.Line(), false, plain)
+	case *cppast.IndexExpr:
+		// a[i] = x: the index is read, the aggregate is read+written
+		// (element stores never kill the whole aggregate).
+		fa.exprEvents(b, t.Index)
+		if id, ok := t.X.(*cppast.Ident); ok {
+			name := strings.TrimPrefix(id.Name, "std::")
+			fa.use(b, name, id.Line())
+			fa.def(b, name, id.Line(), false, false)
+		} else {
+			fa.exprEvents(b, t.X)
+		}
+	case *cppast.ParenExpr:
+		fa.assignTarget(b, t.X, readsTarget, plain)
+	default:
+		fa.exprEvents(b, target)
+	}
+}
+
+func (fa *funcAnalysis) callEvents(b *Block, call *cppast.CallExpr) {
+	// Method calls mutate their receiver (push_back, clear, ...); size
+	// and friends only read, but read+write is the safe assumption.
+	if m, ok := call.Fun.(*cppast.MemberExpr); ok {
+		if id, ok := m.X.(*cppast.Ident); ok {
+			name := strings.TrimPrefix(id.Name, "std::")
+			fa.use(b, name, id.Line())
+			fa.def(b, name, id.Line(), false, false)
+		} else {
+			fa.exprEvents(b, m.X)
+		}
+		for _, a := range call.Args {
+			fa.exprEvents(b, a)
+		}
+		return
+	}
+	var callee *cppast.FuncDecl
+	if id, ok := call.Fun.(*cppast.Ident); ok {
+		callee = fa.funcs[strings.TrimPrefix(id.Name, "std::")]
+	} else {
+		fa.exprEvents(b, call.Fun)
+	}
+	for i, a := range call.Args {
+		if callee != nil && i < len(callee.Params) && callee.Params[i].Ref {
+			// Binding to a reference parameter: read+write, escaped.
+			if id, ok := a.(*cppast.Ident); ok {
+				name := strings.TrimPrefix(id.Name, "std::")
+				fa.use(b, name, id.Line())
+				fa.def(b, name, id.Line(), false, false)
+				fa.escape(name)
+				continue
+			}
+		}
+		fa.exprEvents(b, a)
+	}
+}
+
+// --- reaching definitions ---
+
+// defSite identifies one def event for the bit-vector analyses; id -1
+// is reserved per variable for the synthetic "uninitialized"
+// definition at an initializer-less declaration.
+type defSite struct {
+	block *Block
+	idx   int // index into events[block]
+}
+
+// reaching runs forward reaching-definitions and returns, for each
+// block, the set of def IDs live on entry. Def IDs index sites; each
+// uninit-declared scalar also gets a pseudo-def numbered after the
+// real ones, reaching from Entry until killed.
+type reaching struct {
+	fa       *funcAnalysis
+	sites    []defSite
+	uninitID map[string]int   // var name -> pseudo-def id
+	defsOf   map[string][]int // var name -> all def ids (incl. pseudo)
+	in       map[*Block][]bool
+}
+
+func (fa *funcAnalysis) reachingDefs() *reaching {
+	r := &reaching{fa: fa, uninitID: make(map[string]int), defsOf: make(map[string][]int)}
+	for _, b := range fa.g.Blocks {
+		for i, ev := range fa.events[b] {
+			if ev.kind == evDef {
+				id := len(r.sites)
+				r.sites = append(r.sites, defSite{block: b, idx: i})
+				r.defsOf[ev.name] = append(r.defsOf[ev.name], id)
+			}
+		}
+	}
+	n := len(r.sites)
+	for _, name := range fa.order {
+		v := fa.vars[name]
+		if v.Uninit && !v.Param {
+			r.uninitID[name] = n
+			r.defsOf[name] = append(r.defsOf[name], n)
+			n++
+		}
+	}
+	// gen/kill per block.
+	gen := make(map[*Block][]bool)
+	kill := make(map[*Block][]bool)
+	for _, b := range fa.g.Blocks {
+		g := make([]bool, n)
+		k := make([]bool, n)
+		for i, ev := range fa.events[b] {
+			if ev.kind != evDef {
+				continue
+			}
+			for _, id := range r.defsOf[ev.name] {
+				g[id] = false
+				k[id] = true
+			}
+			id := r.idOf(b, i)
+			g[id] = true
+			k[id] = false
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+	r.in = make(map[*Block][]bool)
+	out := make(map[*Block][]bool)
+	for _, b := range fa.g.Blocks {
+		r.in[b] = make([]bool, n)
+		out[b] = make([]bool, n)
+	}
+	// Entry generates every uninit pseudo-def.
+	entryOut := make([]bool, n)
+	for _, id := range r.uninitID {
+		entryOut[id] = true
+	}
+	out[fa.g.Entry] = entryOut
+	rpo := fa.g.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == fa.g.Entry {
+				continue
+			}
+			in := make([]bool, n)
+			for _, p := range b.Preds {
+				for i, v := range out[p] {
+					if v {
+						in[i] = true
+					}
+				}
+			}
+			newOut := make([]bool, n)
+			copy(newOut, in)
+			for i := range newOut {
+				if kill[b][i] {
+					newOut[i] = false
+				}
+				if gen[b][i] {
+					newOut[i] = true
+				}
+			}
+			r.in[b] = in
+			if !boolsEqual(newOut, out[b]) {
+				out[b] = newOut
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+func (r *reaching) idOf(b *Block, idx int) int {
+	for id, s := range r.sites {
+		if s.block == b && s.idx == idx {
+			return id
+		}
+	}
+	return -1
+}
+
+func boolsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DefUseEntry is one def-use chain link: a definition site and the
+// lines of the uses it reaches.
+type DefUseEntry struct {
+	Var      string
+	DefLine  int
+	UseLines []int
+}
+
+// DefUseChains computes, for every real definition of a local
+// variable, the source lines of the uses that definition reaches.
+// Entries follow block/event order; use lines are in discovery order.
+func DefUseChains(g *CFG, funcs map[string]*cppast.FuncDecl) []DefUseEntry {
+	fa := newFuncAnalysis(g, funcs)
+	r := fa.reachingDefs()
+	uses := make(map[int][]int) // def id -> use lines
+	for _, b := range g.Blocks {
+		cur := make([]bool, len(r.in[b]))
+		copy(cur, r.in[b])
+		for i, ev := range fa.events[b] {
+			switch ev.kind {
+			case evUse:
+				for _, id := range r.defsOf[ev.name] {
+					if id < len(cur) && cur[id] && id < len(r.sites) {
+						uses[id] = append(uses[id], ev.line)
+					}
+				}
+			case evDef:
+				for _, id := range r.defsOf[ev.name] {
+					if id < len(cur) {
+						cur[id] = false
+					}
+				}
+				if id := r.idOf(b, i); id >= 0 {
+					cur[id] = true
+				}
+			}
+		}
+	}
+	var out []DefUseEntry
+	for id, s := range r.sites {
+		ev := fa.events[s.block][s.idx]
+		out = append(out, DefUseEntry{Var: ev.name, DefLine: ev.line, UseLines: uses[id]})
+	}
+	return out
+}
+
+// --- liveness ---
+
+// liveness runs backward live-variable analysis and returns live-out
+// sets per block, keyed by variable name.
+func (fa *funcAnalysis) liveness() map[*Block]map[string]bool {
+	use := make(map[*Block]map[string]bool)
+	def := make(map[*Block]map[string]bool)
+	for _, b := range fa.g.Blocks {
+		u := make(map[string]bool)
+		d := make(map[string]bool)
+		for _, ev := range fa.events[b] {
+			switch ev.kind {
+			case evUse:
+				if !d[ev.name] {
+					u[ev.name] = true
+				}
+			case evDef:
+				d[ev.name] = true
+			}
+		}
+		use[b] = u
+		def[b] = d
+	}
+	liveIn := make(map[*Block]map[string]bool)
+	liveOut := make(map[*Block]map[string]bool)
+	for _, b := range fa.g.Blocks {
+		liveIn[b] = make(map[string]bool)
+		liveOut[b] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(fa.g.Blocks) - 1; i >= 0; i-- {
+			b := fa.g.Blocks[i]
+			out := make(map[string]bool)
+			for _, s := range b.Succs {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := make(map[string]bool)
+			for v := range out {
+				if !def[b][v] {
+					in[v] = true
+				}
+			}
+			for v := range use[b] {
+				in[v] = true
+			}
+			liveOut[b] = out
+			if len(in) != len(liveIn[b]) {
+				liveIn[b] = in
+				changed = true
+				continue
+			}
+			for v := range in {
+				if !liveIn[b][v] {
+					liveIn[b] = in
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return liveOut
+}

@@ -1,0 +1,355 @@
+package cppcheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// Rule IDs are stable identifiers: output formats, suppression lists,
+// and the StaticVerify hard-fail set all key on them. Never renumber.
+const (
+	RuleUninitRead  = "SA001-uninit-read"
+	RuleDeadStore   = "SA002-dead-store"
+	RuleUnreachable = "SA003-unreachable"
+	RuleUnusedDecl  = "SA004-unused-decl"
+	RuleConstCond   = "SA005-const-cond"
+)
+
+// Rules lists every rule ID the engine can emit, in ID order.
+var Rules = []string{RuleUninitRead, RuleDeadStore, RuleUnreachable, RuleUnusedDecl, RuleConstCond}
+
+// Diagnostic is one finding with a stable rule ID and source position.
+type Diagnostic struct {
+	Rule string `json:"rule"`
+	Func string `json:"func"`
+	Line int    `json:"line"`
+	Var  string `json:"var,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("line %d: [%s] %s (in %s)", d.Line, d.Rule, d.Msg, d.Func)
+}
+
+// Analyze runs every rule over every function body in the unit and
+// returns the findings sorted by (line, rule, message). Functions
+// containing constructs outside the analyzable subset produce no
+// findings: the engine prefers silence to guessing.
+func Analyze(tu *cppast.TranslationUnit) []Diagnostic {
+	funcs := make(map[string]*cppast.FuncDecl)
+	for _, f := range tu.Functions() {
+		if f.Body != nil {
+			funcs[f.Name] = f
+		}
+	}
+	var out []Diagnostic
+	for _, f := range tu.Functions() {
+		if f.Body == nil {
+			continue
+		}
+		out = append(out, AnalyzeFunc(f, funcs)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}
+
+// AnalyzeFunc runs the rules over a single function definition. funcs
+// supplies the unit's function declarations for reference-parameter
+// resolution; nil is accepted.
+func AnalyzeFunc(fn *cppast.FuncDecl, funcs map[string]*cppast.FuncDecl) []Diagnostic {
+	g := BuildCFG(fn)
+	if g == nil || g.Unsupported {
+		return nil
+	}
+	fa := newFuncAnalysis(g, funcs)
+	var out []Diagnostic
+	out = append(out, fa.checkUninitReads()...)
+	out = append(out, fa.checkDeadStores()...)
+	out = append(out, fa.checkUnreachable()...)
+	out = append(out, fa.checkUnusedDecls()...)
+	out = append(out, fa.checkConstConds()...)
+	return out
+}
+
+// valueRuleApplies gates the flow-value rules to variables the flat
+// model tracks faithfully: single-declaration, non-escaped scalars.
+func (fa *funcAnalysis) valueRuleApplies(name string) bool {
+	v, ok := fa.vars[name]
+	return ok && v.Scalar && !v.Escaped && !v.MultiDecl && !v.Param
+}
+
+// checkUninitReads reports reads possibly reached by the synthetic
+// uninitialized definition of an initializer-less scalar declaration.
+func (fa *funcAnalysis) checkUninitReads() []Diagnostic {
+	r := fa.reachingDefs()
+	reported := make(map[string]bool) // one finding per variable
+	var out []Diagnostic
+	for _, b := range fa.g.RPO() {
+		cur := make([]bool, len(r.in[b]))
+		copy(cur, r.in[b])
+		for i, ev := range fa.events[b] {
+			switch ev.kind {
+			case evUse:
+				id, hasUninit := r.uninitID[ev.name]
+				if hasUninit && cur[id] && fa.valueRuleApplies(ev.name) && !reported[ev.name] {
+					reported[ev.name] = true
+					out = append(out, Diagnostic{
+						Rule: RuleUninitRead,
+						Func: fa.g.Fn.Name,
+						Line: ev.line,
+						Var:  ev.name,
+						Msg:  fmt.Sprintf("variable %q may be read before initialization", ev.name),
+					})
+				}
+			case evDef:
+				for _, id := range r.defsOf[ev.name] {
+					cur[id] = false
+				}
+				if id := r.idOf(b, i); id >= 0 {
+					cur[id] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkDeadStores reports plain `=` stores to scalar locals whose
+// value cannot be observed: the variable is redefined or the function
+// exits before any use. Declarator initializers are exempt (defensive
+// zero-initialization is idiomatic, not a bug).
+func (fa *funcAnalysis) checkDeadStores() []Diagnostic {
+	liveOut := fa.liveness()
+	var out []Diagnostic
+	for _, b := range fa.g.RPO() {
+		live := make(map[string]bool, len(liveOut[b]))
+		for v := range liveOut[b] {
+			live[v] = true
+		}
+		evs := fa.events[b]
+		for i := len(evs) - 1; i >= 0; i-- {
+			ev := evs[i]
+			switch ev.kind {
+			case evDef:
+				if ev.plain && !live[ev.name] && fa.valueRuleApplies(ev.name) {
+					out = append(out, Diagnostic{
+						Rule: RuleDeadStore,
+						Func: fa.g.Fn.Name,
+						Line: ev.line,
+						Var:  ev.name,
+						Msg:  fmt.Sprintf("value stored to %q is never read", ev.name),
+					})
+				}
+				delete(live, ev.name)
+			case evUse:
+				live[ev.name] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkUnreachable reports statements in blocks no path from entry
+// can execute. Only region heads (unreachable blocks with no
+// unreachable predecessor) are reported, one finding per region.
+func (fa *funcAnalysis) checkUnreachable() []Diagnostic {
+	reach := fa.g.Reachable()
+	var out []Diagnostic
+	for _, b := range fa.g.Blocks {
+		if reach[b] || (len(b.Stmts) == 0 && b.Cond == nil) {
+			continue
+		}
+		head := true
+		for _, p := range b.Preds {
+			if !reach[p] {
+				head = false
+				break
+			}
+		}
+		if !head {
+			continue
+		}
+		line := 0
+		if len(b.Stmts) > 0 {
+			line = b.Stmts[0].Line()
+		} else if b.Cond != nil {
+			line = b.Cond.Line()
+		}
+		out = append(out, Diagnostic{
+			Rule: RuleUnreachable,
+			Func: fa.g.Fn.Name,
+			Line: line,
+			Msg:  "statement is unreachable",
+		})
+	}
+	return out
+}
+
+// checkUnusedDecls reports locals that are declared but never read or
+// written after declaration.
+func (fa *funcAnalysis) checkUnusedDecls() []Diagnostic {
+	used := make(map[string]bool)
+	for _, b := range fa.g.Blocks {
+		for _, ev := range fa.events[b] {
+			if ev.kind == evUse || (ev.kind == evDef && !ev.decl) {
+				used[ev.name] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, name := range fa.order {
+		v := fa.vars[name]
+		if used[name] || v.Param || v.Escaped || v.MultiDecl {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Rule: RuleUnusedDecl,
+			Func: fa.g.Fn.Name,
+			Line: v.DeclLine,
+			Var:  name,
+			Msg:  fmt.Sprintf("variable %q is declared but never used", name),
+		})
+	}
+	return out
+}
+
+// checkConstConds reports branch conditions that fold to a constant —
+// the fossil a bad rewrite leaves behind when it replaces a live
+// condition with a literal.
+func (fa *funcAnalysis) checkConstConds() []Diagnostic {
+	var out []Diagnostic
+	report := func(cond cppast.Node, truth bool) {
+		out = append(out, Diagnostic{
+			Rule: RuleConstCond,
+			Func: fa.g.Fn.Name,
+			Line: cond.Line(),
+			Msg:  fmt.Sprintf("branch condition is always %v", truth),
+		})
+	}
+	cppast.Walk(fa.g.Fn.Body, func(n cppast.Node, _ int) bool {
+		var cond cppast.Node
+		switch s := n.(type) {
+		case *cppast.If:
+			cond = s.Cond
+		case *cppast.While:
+			cond = s.Cond
+		case *cppast.DoWhile:
+			cond = s.Cond
+		case *cppast.For:
+			cond = s.Cond // nil (for(;;)) is an idiom, not a finding
+		}
+		if cond != nil {
+			if v, ok := foldConst(cond); ok {
+				report(cond, v != 0)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// foldConst evaluates expressions built purely from literals. It
+// returns ok=false as soon as an identifier, call, or unsupported
+// operator appears.
+func foldConst(e cppast.Node) (float64, bool) {
+	switch n := e.(type) {
+	case *cppast.Lit:
+		switch n.LitKind {
+		case "int":
+			v, err := strconv.ParseInt(strings.TrimRight(n.Text, "lLuU"), 0, 64)
+			if err != nil {
+				return 0, false
+			}
+			return float64(v), true
+		case "float":
+			v, err := strconv.ParseFloat(strings.TrimRight(n.Text, "fFlL"), 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		case "bool":
+			if n.Text == "true" {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *cppast.ParenExpr:
+		return foldConst(n.X)
+	case *cppast.UnaryExpr:
+		v, ok := foldConst(n.X)
+		if !ok {
+			return 0, false
+		}
+		switch n.Op {
+		case "-":
+			return -v, true
+		case "+":
+			return v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *cppast.BinaryExpr:
+		l, ok := foldConst(n.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := foldConst(n.R)
+		if !ok {
+			return 0, false
+		}
+		b2f := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch n.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case "==":
+			return b2f(l == r), true
+		case "!=":
+			return b2f(l != r), true
+		case "<":
+			return b2f(l < r), true
+		case "<=":
+			return b2f(l <= r), true
+		case ">":
+			return b2f(l > r), true
+		case ">=":
+			return b2f(l >= r), true
+		case "&&":
+			return b2f(l != 0 && r != 0), true
+		case "||":
+			return b2f(l != 0 || r != 0), true
+		}
+		return 0, false
+	}
+	return 0, false
+}

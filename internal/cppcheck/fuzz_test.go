@@ -1,0 +1,97 @@
+package cppcheck
+
+import (
+	"testing"
+
+	"gptattr/internal/cppast"
+)
+
+// FuzzBuildCFG pins the builder's two structural guarantees for any
+// source the tolerant parser accepts: it never panics, and every block
+// is either reachable from entry or genuinely unreachable code (no
+// block is lost — each one the builder allocated is in g.Blocks, and
+// each reachable block's edges are symmetric with its Preds lists).
+// Analyze and Fingerprint ride along so the whole pipeline is
+// panic-free on arbitrary inputs.
+func FuzzBuildCFG(f *testing.F) {
+	seeds := []string{
+		"int main() { return 0; }",
+		"int main() { int x; if (x) { return 1; } return 0; }",
+		"int main() { for (int i = 0; i < 3; i++) { if (i == 1) continue; if (i == 2) break; } return 0; }",
+		"int main() { while (1) { break; } do { } while (0); return 0; }",
+		"int main() { switch (1) { case 1: break; default: return 2; } return 0; }",
+		"int main() { return 0; int dead = 1; }",
+		"int f(int &x) { x = 1; return x; } int main() { int y; f(y); return y; }",
+		"break; continue;",
+		"int main() { for (;;) {} }",
+		"#include <iostream>\nusing namespace std;\nint main() { int n; cin >> n; cout << n << endl; }",
+		"struct S { int a; }; int main() { return 0; }",
+		"int main() { { { int x = 1; } } return 0; }",
+		"int main() { if (1) if (2) return 3; else return 4; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tu, err := cppast.Parse(src)
+		if err != nil || tu == nil {
+			return
+		}
+		for _, fn := range tu.Functions() {
+			g := BuildCFG(fn)
+			if fn.Body == nil {
+				if g != nil {
+					t.Fatal("prototype must yield nil CFG")
+				}
+				continue
+			}
+			if g == nil {
+				t.Fatal("body must yield a CFG")
+			}
+			if g.Entry == nil || g.Exit == nil {
+				t.Fatal("CFG must have entry and exit")
+			}
+			inGraph := make(map[*Block]bool, len(g.Blocks))
+			for _, b := range g.Blocks {
+				inGraph[b] = true
+			}
+			reach := g.Reachable()
+			for b := range reach {
+				if !inGraph[b] {
+					t.Fatal("reachable block missing from g.Blocks")
+				}
+			}
+			for _, b := range g.Blocks {
+				for _, s := range b.Succs {
+					if !inGraph[s] {
+						t.Fatal("edge to a block outside the graph")
+					}
+					found := false
+					for _, p := range s.Preds {
+						if p == b {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatal("succ edge without matching pred edge")
+					}
+				}
+			}
+			// Every RPO block must be reachable, and RPO must start at
+			// entry.
+			rpo := g.RPO()
+			if len(rpo) == 0 || rpo[0] != g.Entry {
+				t.Fatal("RPO must start at entry")
+			}
+			for _, b := range rpo {
+				if !reach[b] {
+					t.Fatal("RPO contains unreachable block")
+				}
+			}
+		}
+		// The full pipeline must be panic-free too.
+		_ = Analyze(tu)
+		_, _ = Fingerprint(tu)
+	})
+}

@@ -216,7 +216,7 @@ func (c *Cache) storeDisk(key string, f stylometry.Features) {
 		return
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmp.Name())
 		return
 	}

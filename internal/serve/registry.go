@@ -88,7 +88,7 @@ func (r *Registry) Load() error {
 	oraclePath := filepath.Join(r.dir, OracleFile)
 	if f, err := os.Open(oraclePath); err == nil {
 		o, lerr := attrib.LoadOracle(f)
-		f.Close()
+		_ = f.Close()
 		if lerr != nil {
 			return fmt.Errorf("serve: %s: %w", oraclePath, lerr)
 		}
@@ -99,7 +99,7 @@ func (r *Registry) Load() error {
 	detectorPath := filepath.Join(r.dir, DetectorFile)
 	if f, err := os.Open(detectorPath); err == nil {
 		c, lerr := attrib.LoadClassifier(f)
-		f.Close()
+		_ = f.Close()
 		if lerr != nil {
 			return fmt.Errorf("serve: %s: %w", detectorPath, lerr)
 		}

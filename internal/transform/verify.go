@@ -2,24 +2,128 @@ package transform
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"gptattr/internal/cppast"
+	"gptattr/internal/cppcheck"
 	"gptattr/internal/cppinterp"
 )
+
+// VerifyMaxSteps is the interpreter step budget per verification run.
+// A transformation that introduces non-termination fails verification
+// with a step-budget error instead of stalling the pipeline.
+const VerifyMaxSteps = cppinterp.DefaultMaxSteps
+
+// StaticResult is the verdict of the static equivalence pre-screen.
+type StaticResult int
+
+const (
+	// StaticUnknown: the screen cannot decide; run the interpreter.
+	StaticUnknown StaticResult = iota
+	// StaticEquivalent: canonical fingerprints match; the programs are
+	// behaviourally identical and interpreter runs can be skipped.
+	StaticEquivalent
+	// StaticRejected: the transformed program introduces new static
+	// defects (a rewrite that orphans a variable); fail without
+	// sampling inputs — sampled runs can miss path-dependent breakage.
+	StaticRejected
+)
+
+// VerifyStats counts verification work across goroutines (NCTParallel
+// runs Verify concurrently, so all fields are atomics).
+type VerifyStats struct {
+	StaticChecks  atomic.Int64 // StaticVerify invocations
+	StaticHits    atomic.Int64 // fingerprint matches (interpreter skipped)
+	StaticRejects atomic.Int64 // hard fails before the interpreter
+	InterpRuns    atomic.Int64 // individual cppinterp.Run invocations
+}
+
+// Snapshot returns a plain-value copy for reporting.
+func (s *VerifyStats) Snapshot() (checks, hits, rejects, interpRuns int64) {
+	return s.StaticChecks.Load(), s.StaticHits.Load(), s.StaticRejects.Load(), s.InterpRuns.Load()
+}
+
+// Stats is the process-wide verification counter set, reported by
+// gpttransform -stats and the experiment pipeline.
+var Stats VerifyStats
+
+// StaticVerify is the conservative equivalence pre-screen run before
+// the interpreter. Equivalence claims rest on the cppcheck canonical
+// fingerprint (normalized CFG shape + def-use summary), which erases
+// exactly the axes the transformation passes rewrite — names, layout,
+// comments, std:: qualification, increment style, for/while form —
+// and preserves operators, literals, and I/O. Rejection rests on the
+// diagnostics engine: a transformed program whose body gained
+// uninitialized-read findings relative to the original was broken by
+// the rewrite, however the sampled inputs happen to behave. Anything
+// the static layer cannot model (unsupported constructs, parse
+// failures, diagnostic noise present in the original) yields
+// StaticUnknown and defers to the interpreter.
+func StaticVerify(origSrc, newSrc string) StaticResult {
+	Stats.StaticChecks.Add(1)
+	origTU, err := cppast.Parse(origSrc)
+	if err != nil {
+		return StaticUnknown
+	}
+	newTU, err := cppast.Parse(newSrc)
+	if err != nil {
+		return StaticUnknown
+	}
+	if countRule(cppcheck.Analyze(newTU), cppcheck.RuleUninitRead) >
+		countRule(cppcheck.Analyze(origTU), cppcheck.RuleUninitRead) {
+		Stats.StaticRejects.Add(1)
+		return StaticRejected
+	}
+	origFP, ok := cppcheck.Fingerprint(origTU)
+	if !ok {
+		return StaticUnknown
+	}
+	newFP, ok := cppcheck.Fingerprint(newTU)
+	if !ok {
+		return StaticUnknown
+	}
+	if origFP == newFP {
+		Stats.StaticHits.Add(1)
+		return StaticEquivalent
+	}
+	return StaticUnknown
+}
+
+func countRule(ds []cppcheck.Diagnostic, rule string) int {
+	n := 0
+	for _, d := range ds {
+		if d.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
 
 // Verify checks that two programs are behaviourally equivalent on the
 // given inputs: both must run without error and produce byte-identical
 // stdout. This is the executable form of the paper's requirement that
-// code transformations maintain the original functionality.
+// code transformations maintain the original functionality. A static
+// pre-screen (StaticVerify) short-circuits the interpreter when the
+// canonical fingerprints match and hard-fails rewrites that introduce
+// new uninitialized-read defects; every interpreter run is bounded by
+// VerifyMaxSteps so non-terminating rewrites fail instead of hanging.
 func Verify(origSrc, newSrc string, inputs []string) error {
 	if len(inputs) == 0 {
 		return fmt.Errorf("transform: no verification inputs")
 	}
+	switch StaticVerify(origSrc, newSrc) {
+	case StaticEquivalent:
+		return nil
+	case StaticRejected:
+		return fmt.Errorf("transform: static verification: transformation introduces uninitialized-variable reads")
+	}
 	for i, in := range inputs {
-		want, err := cppinterp.Run(origSrc, in)
+		Stats.InterpRuns.Add(2)
+		want, err := cppinterp.Run(origSrc, in, cppinterp.WithMaxSteps(VerifyMaxSteps))
 		if err != nil {
 			return fmt.Errorf("transform: input %d: original failed: %w", i, err)
 		}
-		got, err := cppinterp.Run(newSrc, in)
+		got, err := cppinterp.Run(newSrc, in, cppinterp.WithMaxSteps(VerifyMaxSteps))
 		if err != nil {
 			return fmt.Errorf("transform: input %d: transformed failed: %w", i, err)
 		}

@@ -1,0 +1,163 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const verifyOrig = `
+#include <iostream>
+using namespace std;
+int main() {
+    int n;
+    cin >> n;
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        total += i;
+    }
+    cout << total << endl;
+    return 0;
+}
+`
+
+func TestStaticVerifyEquivalentOnRenameAndLoopForm(t *testing.T) {
+	rewritten := `
+#include <iostream>
+using namespace std;
+int main() {
+    int count;
+    cin >> count;
+    int acc = 0;
+    int idx = 0;
+    while (idx < count) {
+        acc += idx;
+        ++idx;
+    }
+    cout << acc << endl;
+    return 0;
+}
+`
+	if got := StaticVerify(verifyOrig, rewritten); got != StaticEquivalent {
+		t.Fatalf("rename + for->while rewrite should be statically equivalent, got %v", got)
+	}
+}
+
+func TestStaticVerifyUnknownOnSemanticChange(t *testing.T) {
+	mutated := strings.Replace(verifyOrig, "total += i", "total -= i", 1)
+	if got := StaticVerify(verifyOrig, mutated); got != StaticUnknown {
+		t.Fatalf("operator mutation must fall through to the interpreter, got %v", got)
+	}
+}
+
+func TestStaticVerifyRejectsOrphanedVariable(t *testing.T) {
+	// A rewrite that drops the initializing read leaves total's first
+	// use reachable from its uninitialized declaration.
+	broken := `
+#include <iostream>
+using namespace std;
+int main() {
+    int n;
+    cin >> n;
+    int total;
+    for (int i = 0; i < n; i++) {
+        total += i;
+    }
+    cout << total << endl;
+    return 0;
+}
+`
+	if got := StaticVerify(verifyOrig, broken); got != StaticRejected {
+		t.Fatalf("rewrite orphaning a variable must be rejected statically, got %v", got)
+	}
+	if err := Verify(verifyOrig, broken, []string{"3\n"}); err == nil ||
+		!strings.Contains(err.Error(), "uninitialized") {
+		t.Fatalf("Verify must surface the static rejection, got %v", err)
+	}
+}
+
+func TestStaticVerifyNotRejectedWhenOriginalHasSameDefect(t *testing.T) {
+	// Pre-existing diagnostics in the original must not condemn the
+	// transformation: rejection keys on defects the rewrite introduced.
+	dirty := `
+#include <iostream>
+using namespace std;
+int main() {
+    int x;
+    cout << x << endl;
+    return 0;
+}
+`
+	if got := StaticVerify(dirty, dirty); got != StaticEquivalent {
+		t.Fatalf("identical defective programs are still equivalent, got %v", got)
+	}
+}
+
+func TestVerifySkipsInterpreterOnStaticMatch(t *testing.T) {
+	before := Stats.InterpRuns.Load()
+	hitsBefore := Stats.StaticHits.Load()
+	if err := Verify(verifyOrig, verifyOrig, []string{"5\n"}); err != nil {
+		t.Fatalf("identical programs must verify: %v", err)
+	}
+	if got := Stats.InterpRuns.Load(); got != before {
+		t.Fatalf("static match must not run the interpreter (%d extra runs)", got-before)
+	}
+	if Stats.StaticHits.Load() != hitsBefore+1 {
+		t.Fatal("static hit counter must advance")
+	}
+}
+
+func TestVerifyStillCatchesOutputMismatch(t *testing.T) {
+	changed := strings.Replace(verifyOrig, "total = 0", "total = 1", 1)
+	if err := Verify(verifyOrig, changed, []string{"4\n"}); err == nil {
+		t.Fatal("literal change must fail dynamic verification")
+	}
+}
+
+func TestVerifyInfiniteLoopHitsStepBudget(t *testing.T) {
+	looping := `
+#include <iostream>
+using namespace std;
+int main() {
+    int n;
+    cin >> n;
+    while (n >= 0) {
+        n = 1;
+    }
+    cout << n << endl;
+    return 0;
+}
+`
+	done := make(chan error, 1)
+	go func() { done <- Verify(verifyOrig, looping, []string{"2\n"}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("non-terminating transformation must fail verification")
+		}
+		if !strings.Contains(err.Error(), "step budget") {
+			t.Fatalf("want a step-budget error, got: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Verify stalled on a non-terminating program")
+	}
+}
+
+func TestVerifyEmptyInputsStillRejected(t *testing.T) {
+	// The no-inputs guard must stay ahead of the static screen: a
+	// caller with no inputs has a configuration bug even when the
+	// programs are identical.
+	if err := Verify(verifyOrig, verifyOrig, nil); err == nil {
+		t.Fatal("empty input list must be an error")
+	}
+}
+
+func TestStatsSnapshotConsistent(t *testing.T) {
+	checks, hits, rejects, runs := Stats.Snapshot()
+	if checks < hits+rejects {
+		t.Fatalf("checks=%d < hits=%d + rejects=%d", checks, hits, rejects)
+	}
+	if runs < 0 {
+		t.Fatalf("negative interpreter runs: %d", runs)
+	}
+}
