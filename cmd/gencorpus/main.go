@@ -90,10 +90,10 @@ func run(args []string) error {
 		fmt.Print(logs[i])
 	}
 	if !*skipVerify && !*humanOnly {
-		checks, hits, rejects, runs := transform.Stats.Snapshot()
+		checks, hits, suspects, runs := transform.Stats.Snapshot()
 		if checks > 0 {
-			fmt.Printf("verify: static checks=%d hits=%d rejects=%d interpreter runs=%d (interpreter avoided on %.1f%% of checks)\n",
-				checks, hits, rejects, runs, 100*float64(hits)/float64(checks))
+			fmt.Printf("verify: static checks=%d hits=%d suspects=%d interpreter runs=%d (interpreter avoided on %.1f%% of checks)\n",
+				checks, hits, suspects, runs, 100*float64(hits)/float64(checks))
 		}
 	}
 	fmt.Println("wrote", *out)

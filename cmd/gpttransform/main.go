@@ -74,14 +74,14 @@ func run(args []string) error {
 	}
 	if *stats {
 		defer func() {
-			checks, hits, rejects, runs := transform.Stats.Snapshot()
+			checks, hits, suspects, runs := transform.Stats.Snapshot()
 			avoided := 0.0
 			if checks > 0 {
 				avoided = float64(hits) / float64(checks)
 			}
 			fmt.Fprintf(os.Stderr,
-				"verify stats: static checks=%d hits=%d rejects=%d interpreter runs=%d (interpreter avoided on %.1f%% of checks)\n",
-				checks, hits, rejects, runs, 100*avoided)
+				"verify stats: static checks=%d hits=%d suspects=%d interpreter runs=%d (interpreter avoided on %.1f%% of checks)\n",
+				checks, hits, suspects, runs, 100*avoided)
 		}()
 	}
 	if err != nil {

@@ -33,6 +33,15 @@ type Block struct {
 	Cond  cppast.Node
 	Succs []*Block
 	Preds []*Block
+	// IsSwitch marks the dispatch block of a switch statement. CaseVals
+	// then labels the first len(CaseVals) successor edges with the case
+	// values in source order (nil = the default case); any extra edge is
+	// the implicit no-match fall-through to the after-block. Analyses
+	// that compare behaviour (the fingerprint) must consume these labels
+	// — two switches differing only in case values have identical graph
+	// shapes.
+	IsSwitch bool
+	CaseVals []cppast.Node
 }
 
 // CFG is the control-flow graph of one function body. Entry and Exit
@@ -304,12 +313,14 @@ func (b *cfgBuilder) doWhileStmt(n *cppast.DoWhile) {
 func (b *cfgBuilder) switchStmt(n *cppast.Switch) {
 	dispatch := b.cur
 	dispatch.Cond = n.Cond
+	dispatch.IsSwitch = true
 	after := b.newBlock("switch.after")
 	b.loops = append(b.loops, loopCtx{brk: after})
 	heads := make([]*Block, len(n.Cases))
-	for i := range n.Cases {
+	for i, c := range n.Cases {
 		heads[i] = b.newBlock("case")
 		link(dispatch, heads[i])
+		dispatch.CaseVals = append(dispatch.CaseVals, c.Value)
 	}
 	hasDefault := false
 	for _, c := range n.Cases {

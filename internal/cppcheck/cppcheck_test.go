@@ -2,6 +2,7 @@ package cppcheck
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"gptattr/internal/cppast"
@@ -243,6 +244,73 @@ int main() {
 }
 `)
 	wantOnly(t, ds, RuleConstCond, "")
+}
+
+func TestConstCondIntegerDivisionIsTruncating(t *testing.T) {
+	// 1/2 is integer division in C++: the condition folds to 0, so the
+	// branch is always false — folding it in float64 would report the
+	// opposite verdict.
+	ds := analyzeSrc(t, `
+#include <cstdio>
+int main() {
+    if (1 / 2) {
+        printf("yes\n");
+    }
+    return 0;
+}
+`)
+	wantOnly(t, ds, RuleConstCond, "")
+	if !strings.Contains(ds[0].Msg, "always false") {
+		t.Fatalf("1/2 folds to 0, want an always-false finding: %v", ds[0])
+	}
+}
+
+func TestConstCondIntegerDivisionComparison(t *testing.T) {
+	ds := analyzeSrc(t, `
+#include <cstdio>
+int main() {
+    if (5 / 2 == 2) {
+        printf("yes\n");
+    }
+    return 0;
+}
+`)
+	wantOnly(t, ds, RuleConstCond, "")
+	if !strings.Contains(ds[0].Msg, "always true") {
+		t.Fatalf("5/2 truncates to 2, want an always-true finding: %v", ds[0])
+	}
+}
+
+func TestConstCondFloatDivisionStaysExact(t *testing.T) {
+	ds := analyzeSrc(t, `
+#include <cstdio>
+int main() {
+    if (1 / 2.0) {
+        printf("yes\n");
+    }
+    return 0;
+}
+`)
+	wantOnly(t, ds, RuleConstCond, "")
+	if !strings.Contains(ds[0].Msg, "always true") {
+		t.Fatalf("1/2.0 is 0.5, want an always-true finding: %v", ds[0])
+	}
+}
+
+func TestConstCondModulo(t *testing.T) {
+	ds := analyzeSrc(t, `
+#include <cstdio>
+int main() {
+    if (4 % 2) {
+        printf("yes\n");
+    }
+    return 0;
+}
+`)
+	wantOnly(t, ds, RuleConstCond, "")
+	if !strings.Contains(ds[0].Msg, "always false") {
+		t.Fatalf("4%%2 is 0, want an always-false finding: %v", ds[0])
+	}
 }
 
 func TestForInfiniteNoCondNotConstCond(t *testing.T) {
@@ -652,6 +720,70 @@ struct Point { int x; int y; };
 int main() { return 0; }
 `); ok {
 		t.Fatal("structs are outside the canonical subset")
+	}
+}
+
+func TestFingerprintSensitiveToCaseValues(t *testing.T) {
+	// Case labels are behaviour: two switches differing only in their
+	// case values dispatch differently and must never hash equal.
+	tmpl := func(a, b string) string {
+		return `
+#include <cstdio>
+int main() {
+    int n;
+    scanf("%d", &n);
+    switch (n) {
+    case ` + a + `:
+        printf("a\n");
+        break;
+    case ` + b + `:
+        printf("b\n");
+        break;
+    }
+    return 0;
+}
+`
+	}
+	if mustFP(t, tmpl("1", "2")) == mustFP(t, tmpl("5", "7")) {
+		t.Fatal("changed case values must change the fingerprint")
+	}
+}
+
+func TestFingerprintSwitchNotConfusedWithIfElse(t *testing.T) {
+	// switch(n){case 0: X; default: Y} runs X when n is zero; if(n) X
+	// else Y runs X when n is nonzero. Identical graph shapes, inverted
+	// semantics — the sw/br opcode split keeps them apart.
+	sw := `
+#include <cstdio>
+int main() {
+    int n;
+    scanf("%d", &n);
+    switch (n) {
+    case 0:
+        printf("x\n");
+        break;
+    default:
+        printf("y\n");
+        break;
+    }
+    return 0;
+}
+`
+	ifElse := `
+#include <cstdio>
+int main() {
+    int n;
+    scanf("%d", &n);
+    if (n) {
+        printf("x\n");
+    } else {
+        printf("y\n");
+    }
+    return 0;
+}
+`
+	if mustFP(t, sw) == mustFP(t, ifElse) {
+		t.Fatal("a switch must not fingerprint like an if/else of the same shape")
 	}
 }
 

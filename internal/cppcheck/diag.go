@@ -10,7 +10,7 @@ import (
 )
 
 // Rule IDs are stable identifiers: output formats, suppression lists,
-// and the StaticVerify hard-fail set all key on them. Never renumber.
+// and the StaticVerify suspect set all key on them. Never renumber.
 const (
 	RuleUninitRead  = "SA001-uninit-read"
 	RuleDeadStore   = "SA002-dead-store"
@@ -252,7 +252,7 @@ func (fa *funcAnalysis) checkConstConds() []Diagnostic {
 		}
 		if cond != nil {
 			if v, ok := foldConst(cond); ok {
-				report(cond, v != 0)
+				report(cond, v.f != 0)
 			}
 		}
 		return true
@@ -260,96 +260,114 @@ func (fa *funcAnalysis) checkConstConds() []Diagnostic {
 	return out
 }
 
+// constVal is a folded constant. isInt tracks whether C++ would
+// evaluate the expression in an integer type, which changes the
+// meaning of division: 1/2 is 0, not 0.5.
+type constVal struct {
+	f     float64
+	isInt bool
+}
+
 // foldConst evaluates expressions built purely from literals. It
 // returns ok=false as soon as an identifier, call, or unsupported
 // operator appears.
-func foldConst(e cppast.Node) (float64, bool) {
+func foldConst(e cppast.Node) (constVal, bool) {
+	none := constVal{}
 	switch n := e.(type) {
 	case *cppast.Lit:
 		switch n.LitKind {
 		case "int":
 			v, err := strconv.ParseInt(strings.TrimRight(n.Text, "lLuU"), 0, 64)
 			if err != nil {
-				return 0, false
+				return none, false
 			}
-			return float64(v), true
+			return constVal{f: float64(v), isInt: true}, true
 		case "float":
 			v, err := strconv.ParseFloat(strings.TrimRight(n.Text, "fFlL"), 64)
 			if err != nil {
-				return 0, false
+				return none, false
 			}
-			return v, true
+			return constVal{f: v}, true
 		case "bool":
 			if n.Text == "true" {
-				return 1, true
+				return constVal{f: 1, isInt: true}, true
 			}
-			return 0, true
+			return constVal{f: 0, isInt: true}, true
 		}
-		return 0, false
+		return none, false
 	case *cppast.ParenExpr:
 		return foldConst(n.X)
 	case *cppast.UnaryExpr:
 		v, ok := foldConst(n.X)
 		if !ok {
-			return 0, false
+			return none, false
 		}
 		switch n.Op {
 		case "-":
-			return -v, true
+			return constVal{f: -v.f, isInt: v.isInt}, true
 		case "+":
 			return v, true
 		case "!":
-			if v == 0 {
-				return 1, true
+			if v.f == 0 {
+				return constVal{f: 1, isInt: true}, true
 			}
-			return 0, true
+			return constVal{f: 0, isInt: true}, true
 		}
-		return 0, false
+		return none, false
 	case *cppast.BinaryExpr:
 		l, ok := foldConst(n.L)
 		if !ok {
-			return 0, false
+			return none, false
 		}
 		r, ok := foldConst(n.R)
 		if !ok {
-			return 0, false
+			return none, false
 		}
-		b2f := func(b bool) float64 {
+		bothInt := l.isInt && r.isInt
+		b2v := func(b bool) constVal {
 			if b {
-				return 1
+				return constVal{f: 1, isInt: true}
 			}
-			return 0
+			return constVal{f: 0, isInt: true}
 		}
 		switch n.Op {
 		case "+":
-			return l + r, true
+			return constVal{f: l.f + r.f, isInt: bothInt}, true
 		case "-":
-			return l - r, true
+			return constVal{f: l.f - r.f, isInt: bothInt}, true
 		case "*":
-			return l * r, true
+			return constVal{f: l.f * r.f, isInt: bothInt}, true
 		case "/":
-			if r == 0 {
-				return 0, false
+			if r.f == 0 {
+				return none, false
 			}
-			return l / r, true
+			if bothInt {
+				return constVal{f: float64(int64(l.f) / int64(r.f)), isInt: true}, true
+			}
+			return constVal{f: l.f / r.f}, true
+		case "%":
+			if !bothInt || r.f == 0 {
+				return none, false
+			}
+			return constVal{f: float64(int64(l.f) % int64(r.f)), isInt: true}, true
 		case "==":
-			return b2f(l == r), true
+			return b2v(l.f == r.f), true
 		case "!=":
-			return b2f(l != r), true
+			return b2v(l.f != r.f), true
 		case "<":
-			return b2f(l < r), true
+			return b2v(l.f < r.f), true
 		case "<=":
-			return b2f(l <= r), true
+			return b2v(l.f <= r.f), true
 		case ">":
-			return b2f(l > r), true
+			return b2v(l.f > r.f), true
 		case ">=":
-			return b2f(l >= r), true
+			return b2v(l.f >= r.f), true
 		case "&&":
-			return b2f(l != 0 && r != 0), true
+			return b2v(l.f != 0 && r.f != 0), true
 		case "||":
-			return b2f(l != 0 || r != 0), true
+			return b2v(l.f != 0 || r.f != 0), true
 		}
-		return 0, false
+		return none, false
 	}
-	return 0, false
+	return none, false
 }

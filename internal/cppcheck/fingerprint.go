@@ -222,9 +222,11 @@ func (c *canon) defUseSummary() string {
 
 // cnode is a compacted CFG node used only during serialization.
 type cnode struct {
-	stmts []cppast.Node
-	cond  cppast.Node
-	succs []*cnode
+	stmts    []cppast.Node
+	cond     cppast.Node
+	succs    []*cnode
+	isSwitch bool
+	caseVals []cppast.Node
 }
 
 // serializeCFG renders the function graph in canonical form: trivial
@@ -236,7 +238,7 @@ func (c *canon) serializeCFG(g *CFG) (string, bool) {
 	nodes := make(map[*Block]*cnode)
 	for _, b := range g.Blocks {
 		if reach[b] {
-			nodes[b] = &cnode{stmts: b.Stmts, cond: b.Cond}
+			nodes[b] = &cnode{stmts: b.Stmts, cond: b.Cond, isSwitch: b.IsSwitch, caseVals: b.CaseVals}
 		}
 	}
 	// Resolve edges, skipping trivial empty blocks.
@@ -289,6 +291,8 @@ func (c *canon) serializeCFG(g *CFG) (string, bool) {
 					n.stmts = append(append([]cppast.Node{}, n.stmts...), s.stmts...)
 					n.cond = s.cond
 					n.succs = s.succs
+					n.isSwitch = s.isSwitch
+					n.caseVals = s.caseVals
 					merged = true
 					return
 				}
@@ -336,6 +340,24 @@ func (c *canon) serializeCFG(g *CFG) (string, bool) {
 			}
 		}
 		switch {
+		case n.isSwitch:
+			// Switch dispatch: the case values are behaviour, not shape —
+			// label every case edge with its canonical value so programs
+			// differing only in case labels never hash equal, and use a
+			// distinct opcode so a one-case switch can't collide with an
+			// if/else of the same shape.
+			targets := make([]string, len(n.succs))
+			for j, s := range n.succs {
+				switch {
+				case j >= len(n.caseVals):
+					targets[j] = fmt.Sprintf("nomatch->b%d", idx[s])
+				case n.caseVals[j] == nil:
+					targets[j] = fmt.Sprintf("default->b%d", idx[s])
+				default:
+					targets[j] = fmt.Sprintf("%s->b%d", c.exprText(n.caseVals[j], false), idx[s])
+				}
+			}
+			fmt.Fprintf(&b, "  sw %s [%s]\n", c.exprText(n.cond, false), strings.Join(targets, ","))
 		case n.cond != nil:
 			targets := make([]string, len(n.succs))
 			for j, s := range n.succs {
