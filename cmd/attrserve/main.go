@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"gptattr/internal/fault"
 	"gptattr/internal/featcache"
 	"gptattr/internal/serve"
 )
@@ -52,11 +53,20 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory feature cache size")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	faultSpec := fs.String("fault", "", "fault injection spec, e.g. serve.admit=error:p=0.1 (testing only)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for -fault probability draws")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *modelDir == "" {
 		return fmt.Errorf("-models directory is required")
+	}
+	if *faultSpec != "" {
+		if _, err := fault.EnableSpec(*faultSeed, *faultSpec); err != nil {
+			return err
+		}
+		defer fault.Disable()
+		fmt.Fprintf(stdout, "attrserve: fault injection armed (seed %d): %s\n", *faultSeed, *faultSpec)
 	}
 
 	registry, err := serve.NewRegistry(*modelDir)
@@ -73,6 +83,9 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		QueueDepth: *queueDepth,
 		Workers:    *workers,
 		Cache:      cache,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stdout, format+"\n", a...)
+		},
 	})
 	srv, err := serve.New(serve.Config{
 		Registry: registry,

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -173,6 +175,122 @@ func TestRunLifecycle(t *testing.T) {
 	}
 	if log := out.String(); !strings.Contains(log, "drained, bye") {
 		t.Errorf("drain message missing from log:\n%s", log)
+	}
+}
+
+// TestRunSIGHUPUnderLoad hammers the server with attribution requests
+// while SIGHUP reloads race them. The contract (run under -race in
+// tier-1): no request ever fails, and every response reports a
+// generation from a fully published Models — never a half-swapped one.
+// A torn swap would surface as a race report, a non-200, or a
+// generation outside the [1, final] window.
+func TestRunSIGHUPUnderLoad(t *testing.T) {
+	dir := fixtureModelDir(t)
+	out := &syncWriter{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-models", dir, "-drain", "5s"}, out, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		<-done
+	}()
+
+	const reloads = 5
+	stop := make(chan struct{})
+	reqErr := make(chan error, 8)
+	var maxGen atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(serve.AttributeRequest{Source: fixSource})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/v1/attribute", "application/json", bytes.NewReader(body))
+				if err != nil {
+					select {
+					case reqErr <- err:
+					default:
+					}
+					return
+				}
+				var ar serve.AttributeResponse
+				derr := json.NewDecoder(resp.Body).Decode(&ar)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					err = fmt.Errorf("status %d during reload storm", resp.StatusCode)
+				case derr != nil:
+					err = derr
+				case ar.ModelGeneration < 1 || ar.ModelGeneration > reloads+1:
+					err = fmt.Errorf("impossible generation %d", ar.ModelGeneration)
+				case ar.Author == "":
+					err = fmt.Errorf("empty author from generation %d", ar.ModelGeneration)
+				}
+				if err != nil {
+					select {
+					case reqErr <- err:
+					default:
+					}
+					return
+				}
+				for {
+					cur := maxGen.Load()
+					if ar.ModelGeneration <= cur || maxGen.CompareAndSwap(cur, ar.ModelGeneration) {
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < reloads; i++ {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(i + 2)
+		bumped := false
+		for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+			if healthz(t, base).ModelGeneration >= want {
+				bumped = true
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !bumped {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("generation never reached %d; log:\n%s", want, out.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-reqErr:
+		t.Fatalf("request failed during reload storm: %v\nlog:\n%s", err, out.String())
+	default:
+	}
+	if got := maxGen.Load(); got < 2 {
+		t.Errorf("load never observed a reloaded generation (max seen %d)", got)
+	}
+	if strings.Contains(out.String(), "reload failed") {
+		t.Errorf("reload failed during storm:\n%s", out.String())
 	}
 }
 

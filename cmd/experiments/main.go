@@ -8,27 +8,34 @@
 // Without -table/-figure it runs everything. The quick scale finishes
 // in under a minute; the paper scale mirrors the paper's dataset sizes
 // (204 authors, 50 rounds) and takes several minutes.
+//
+// Long runs can be made crash-safe with -checkpoint FILE: every
+// completed evaluation unit is persisted atomically as it finishes,
+// and a killed run restarted with the same flags plus -resume replays
+// the finished units and produces byte-identical tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"gptattr/internal/experiments"
+	"gptattr/internal/fault"
 	"gptattr/internal/featcache"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scaleName := fs.String("scale", "quick", "preset scale: quick or paper")
 	authors := fs.Int("authors", 0, "override authors per year")
@@ -44,8 +51,24 @@ func run(args []string) error {
 	ablation := fs.String("ablation", "", "run one ablation: features repertoire stickiness trees selection classifier (or 'all')")
 	extension := fs.String("extension", "", "run one future-work extension: multillm crossyear chaindepth gen500 generated evasion (or 'all')")
 	jsonPath := fs.String("json", "", "write structured results (tables IV, VIII-X) as JSON to this file and exit")
+	ckptPath := fs.String("checkpoint", "", "crash-safe progress file; completed units are persisted as they finish")
+	resume := fs.Bool("resume", false, "resume from -checkpoint, replaying completed units instead of recomputing")
+	faultSpec := fs.String("fault", "", "fault injection spec, e.g. featcache.disk.read=error:p=0.2,limit=2 (testing only)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for -fault probability draws")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *faultSpec != "" {
+		if _, err := fault.EnableSpec(*faultSeed, *faultSpec); err != nil {
+			return err
+		}
+		defer fault.Disable()
+		// Stderr, not stdout: a faulted run's tables must stay
+		// byte-comparable to a clean run's.
+		fmt.Fprintf(os.Stderr, "experiments: fault injection armed (seed %d): %s\n", *faultSeed, *faultSpec)
 	}
 
 	scale := experiments.QuickScale
@@ -81,7 +104,21 @@ func run(args []string) error {
 		}
 		s.UseCache(cache)
 	}
-	fmt.Printf("scale: %d authors/year, %d rounds/setting, %d trees, %d GPT styles, seed %d, verify=%v\n\n",
+	var ckpt *experiments.Checkpoint
+	if *ckptPath != "" {
+		if *resume {
+			var err error
+			ckpt, err = experiments.ResumeCheckpoint(*ckptPath, s.Scale())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "experiments: resuming from %s (%d completed units)\n", *ckptPath, ckpt.Len())
+		} else {
+			ckpt = experiments.NewCheckpoint(*ckptPath, s.Scale())
+		}
+		s.UseCheckpoint(ckpt)
+	}
+	fmt.Fprintf(stdout, "scale: %d authors/year, %d rounds/setting, %d trees, %d GPT styles, seed %d, verify=%v\n\n",
 		scale.Authors, scale.Rounds, scale.Trees, scale.NumStyles, scale.Seed, scale.Verify)
 
 	type runner struct {
@@ -118,7 +155,7 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Println("wrote", *jsonPath)
+		fmt.Fprintln(stdout, "wrote", *jsonPath)
 		return nil
 	}
 
@@ -176,12 +213,34 @@ func run(args []string) error {
 
 	for _, r := range selected {
 		start := time.Now()
-		out, err := r.fn()
-		if err != nil {
-			return fmt.Errorf("table/figure %s: %w", r.name, err)
+		// Whole rendered tables are checkpoint units too: a resumed run
+		// replays them verbatim, so the recovered transcript is
+		// byte-identical (modulo the timing lines) to an uninterrupted
+		// run.
+		renderKey := "render:" + r.name
+		var out string
+		cached := false
+		if ckpt != nil {
+			var err error
+			cached, err = ckpt.Lookup(renderKey, &out)
+			if err != nil {
+				return err
+			}
 		}
-		fmt.Println(out)
-		fmt.Printf("(%s in %.1fs)\n\n", r.name, time.Since(start).Seconds())
+		if !cached {
+			var err error
+			out, err = r.fn()
+			if err != nil {
+				return fmt.Errorf("table/figure %s: %w", r.name, err)
+			}
+			if ckpt != nil {
+				if err := ckpt.Store(renderKey, out); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintln(stdout, out)
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", r.name, time.Since(start).Seconds())
 	}
 	return nil
 }

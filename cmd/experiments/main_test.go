@@ -1,6 +1,18 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
 
 func tinyArgs(extra ...string) []string {
 	base := []string{
@@ -10,37 +22,144 @@ func tinyArgs(extra ...string) []string {
 }
 
 func TestRunSingleTable(t *testing.T) {
-	if err := run(tinyArgs("-table", "I")); err != nil {
+	if err := run(tinyArgs("-table", "I"), io.Discard); err != nil {
 		t.Fatalf("run -table I: %v", err)
 	}
-	if err := run(tinyArgs("-table", "IV")); err != nil {
+	if err := run(tinyArgs("-table", "IV"), io.Discard); err != nil {
 		t.Fatalf("run -table IV: %v", err)
 	}
 }
 
 func TestRunSingleFigure(t *testing.T) {
-	if err := run(tinyArgs("-figure", "2")); err != nil {
+	if err := run(tinyArgs("-figure", "2"), io.Discard); err != nil {
 		t.Fatalf("run -figure 2: %v", err)
 	}
 }
 
 func TestRunAblation(t *testing.T) {
-	if err := run(tinyArgs("-ablation", "stickiness")); err != nil {
+	if err := run(tinyArgs("-ablation", "stickiness"), io.Discard); err != nil {
 		t.Fatalf("run -ablation stickiness: %v", err)
 	}
 }
 
+// timingLine matches the per-runner wall-clock footer, the only
+// nondeterministic output of a run.
+var timingLine = regexp.MustCompile(`^\(.+ in .+s\)$`)
+
+// stripTimings drops timing lines so transcripts of two runs can be
+// compared byte for byte.
+func stripTimings(s string) string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if timingLine.MatchString(ln) {
+			continue
+		}
+		out = append(out, ln)
+	}
+	return strings.Join(out, "\n")
+}
+
+// checkpointUnits reads the unit count from a checkpoint file (0 when
+// the file is absent or torn — it never is torn, but the watcher runs
+// while the writer does).
+func checkpointUnits(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var f struct {
+		Units map[string]json.RawMessage `json:"units"`
+	}
+	if json.Unmarshal(data, &f) != nil {
+		return 0
+	}
+	return len(f.Units)
+}
+
+// TestExperimentsKillHelper is the subprocess half of the
+// kill-and-resume test: it runs Table IX with a checkpoint while a
+// watcher SIGKILLs the process — no defers, no flushing — the moment
+// the first unit hits disk. Skipped unless launched by
+// TestRunKillAndResumeBitIdentical.
+func TestExperimentsKillHelper(t *testing.T) {
+	ckpt := os.Getenv("EXPERIMENTS_KILL_CKPT")
+	if os.Getenv("EXPERIMENTS_KILL_HELPER") != "1" || ckpt == "" {
+		t.Skip("helper process only")
+	}
+	go func() {
+		for {
+			if checkpointUnits(ckpt) >= 1 {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	_ = run(tinyArgs("-table", "IX", "-checkpoint", ckpt), io.Discard)
+}
+
+// TestRunKillAndResumeBitIdentical is the acceptance test for
+// crash-safe resume: SIGKILL a checkpointed run mid-flight (a real
+// kill -9, via a helper process), then rerun with -resume and require
+// the recovered transcript to be byte-identical to an uninterrupted
+// run, timing lines aside.
+func TestRunKillAndResumeBitIdentical(t *testing.T) {
+	// Uninterrupted reference run.
+	var ref bytes.Buffer
+	if err := run(tinyArgs("-table", "IX"), &ref); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestExperimentsKillHelper$")
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_KILL_HELPER=1", "EXPERIMENTS_KILL_CKPT="+ckpt)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("helper survived; either the kill never fired or the run finished first:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("helper failed to launch: %v", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("helper did not die by SIGKILL: %v\n%s", err, out)
+	}
+	units := checkpointUnits(ckpt)
+	if units < 1 {
+		t.Fatalf("killed run left %d checkpoint units, want >= 1", units)
+	}
+	t.Logf("killed mid-run with %d unit(s) checkpointed", units)
+
+	// Resume the killed run and demand the identical transcript.
+	var resumed bytes.Buffer
+	if err := run(tinyArgs("-table", "IX", "-checkpoint", ckpt, "-resume"), &resumed); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if got, want := stripTimings(resumed.String()), stripTimings(ref.String()); got != want {
+		t.Fatalf("resumed transcript differs from uninterrupted run:\n--- reference ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+func TestRunResumeRequiresCheckpoint(t *testing.T) {
+	if err := run(tinyArgs("-table", "I", "-resume"), io.Discard); err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("err = %v, want -resume/-checkpoint coupling error", err)
+	}
+	if err := run(tinyArgs("-table", "I", "-checkpoint", filepath.Join(t.TempDir(), "nope.json"), "-resume"), io.Discard); err == nil {
+		t.Fatal("resume from a missing checkpoint succeeded")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run(tinyArgs("-table", "XIV")); err == nil {
+	if err := run(tinyArgs("-table", "XIV"), io.Discard); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := run(tinyArgs("-figure", "9")); err == nil {
+	if err := run(tinyArgs("-figure", "9"), io.Discard); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run(tinyArgs("-ablation", "nope")); err == nil {
+	if err := run(tinyArgs("-ablation", "nope"), io.Discard); err == nil {
 		t.Error("unknown ablation accepted")
 	}
-	if err := run([]string{"-not-a-flag"}); err == nil {
+	if err := run([]string{"-not-a-flag"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

@@ -11,6 +11,17 @@
 //     (a bare `f.Close()` or `defer f.Close()` statement). Types
 //     declared in this repository whose Close returns nothing (e.g.
 //     serve.Batcher) are exempt — there is no error to discard.
+//   - Supervised pipeline packages (stylometry, ml, experiments,
+//     featcache) must not call naked panic: a panic that escapes a
+//     worker kills a whole multi-hour run, so failures must flow
+//     through per-sample/per-fold errors under the recover supervisors
+//     (see internal/fault). A deliberate panic at a recover-supervised
+//     site is exempted with a `// repolint:allow-panic <reason>`
+//     comment on the same or preceding line.
+//   - Non-test files must not drop the error from os.Rename or
+//     os.WriteFile (a bare call statement): both are how torn or
+//     missing files are born. Handle the error or assign it to _ with
+//     a reason.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or parse errors.
 package main
@@ -35,6 +46,18 @@ var deterministicPkgs = []string{
 	"internal/corpus", "internal/codegen", "internal/transform",
 	"internal/stylometry", "internal/ml",
 }
+
+// supervisedPkgs are the pipeline packages whose long runs must not be
+// killable by a stray panic: failures belong in per-sample errors
+// under the recover supervisors.
+var supervisedPkgs = []string{
+	"internal/stylometry", "internal/ml", "internal/experiments",
+	"internal/featcache",
+}
+
+// allowPanicDirective marks a deliberate panic at a recover-supervised
+// site as exempt from the naked-panic rule.
+const allowPanicDirective = "repolint:allow-panic"
 
 // seededConstructors are the math/rand names that build explicitly
 // seeded generators, plus the type names used to pass them around —
@@ -71,7 +94,8 @@ func run(args []string, out *os.File) (int, error) {
 	fset := token.NewFileSet()
 	parsed := make(map[string]*ast.File, len(files))
 	for _, path := range files {
-		f, err := parser.ParseFile(fset, path, nil, 0)
+		// Comments ride along for the allow-panic directive.
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return 2, err
 		}
@@ -90,8 +114,12 @@ func run(args []string, out *os.File) (int, error) {
 		if !isTest && inDeterministicPkg(rel) {
 			findings = append(findings, checkDeterminism(fset, f)...)
 		}
+		if !isTest && inSupervisedPkg(rel) {
+			findings = append(findings, checkPanics(fset, f)...)
+		}
 		if !isTest {
 			findings = append(findings, checkCloseErrors(fset, f, voidClose)...)
+			findings = append(findings, checkUncheckedFileOps(fset, f)...)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -136,8 +164,16 @@ func goFiles(root string) ([]string, error) {
 }
 
 func inDeterministicPkg(rel string) bool {
+	return inPkgList(rel, deterministicPkgs)
+}
+
+func inSupervisedPkg(rel string) bool {
+	return inPkgList(rel, supervisedPkgs)
+}
+
+func inPkgList(rel string, pkgs []string) bool {
 	rel = filepath.ToSlash(rel)
-	for _, pkg := range deterministicPkgs {
+	for _, pkg := range pkgs {
 		if strings.HasPrefix(rel, pkg+"/") {
 			return true
 		}
@@ -187,6 +223,81 @@ func checkDeterminism(fset *token.FileSet, f *ast.File) []finding {
 		case randAlias != "" && pkg.Name == randAlias && !seededConstructors[sel.Sel.Name]:
 			out = append(out, finding{fset.Position(n.Pos()),
 				fmt.Sprintf("global math/rand.%s in a deterministic pipeline package (use an explicitly seeded rand.New)", sel.Sel.Name)})
+		}
+		return true
+	})
+	return out
+}
+
+// checkPanics flags naked panic calls in supervised pipeline
+// packages. A `// repolint:allow-panic <reason>` comment on the same
+// or immediately preceding line exempts a deliberate panic at a
+// recover-supervised site.
+func checkPanics(fset *token.FileSet, f *ast.File) []finding {
+	allowed := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, allowPanicDirective) {
+				allowed[fset.Position(c.Pos()).Line] = true
+				allowed[fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" || id.Obj != nil { // Obj != nil: locally shadowed
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if allowed[pos.Line] || allowed[pos.Line-1] {
+			return true
+		}
+		out = append(out, finding{pos,
+			"naked panic in a supervised pipeline package (return an error so the worker supervisors contain it, or annotate with // " + allowPanicDirective + " <reason>)"})
+		return true
+	})
+	return out
+}
+
+// checkUncheckedFileOps flags bare-statement calls to os.Rename and
+// os.WriteFile whose error result is dropped on the floor: both
+// silently produce missing or torn files when they fail.
+func checkUncheckedFileOps(fset *token.FileSet, f *ast.File) []finding {
+	osAlias := importAlias(f, "os")
+	if osAlias == "" {
+		return nil
+	}
+	var out []finding
+	flag := func(call *ast.CallExpr) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != osAlias || pkg.Obj != nil {
+			return
+		}
+		if sel.Sel.Name != "Rename" && sel.Sel.Name != "WriteFile" {
+			return
+		}
+		out = append(out, finding{fset.Position(call.Pos()),
+			fmt.Sprintf("os.%s error ignored (handle it, or assign to _ with a reason)", sel.Sel.Name)})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				flag(call)
+			}
+		case *ast.DeferStmt:
+			flag(s.Call)
+		case *ast.GoStmt:
+			flag(s.Call)
 		}
 		return true
 	})

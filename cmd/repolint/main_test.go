@@ -208,6 +208,97 @@ func drop(f *os.File) { f.Close() }
 	}
 }
 
+func TestNakedPanicFlaggedInSupervisedPkg(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ml/tree.go": `package ml
+
+func grow(depth int) {
+	if depth > 64 {
+		panic("tree too deep")
+	}
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "naked panic") {
+		t.Fatalf("want naked-panic finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestAllowPanicDirectiveExempts(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ml/tree.go": `package ml
+
+func grow(depth int) {
+	if depth > 64 {
+		// repolint:allow-panic recovered by the fold supervisor in cv.go
+		panic("tree too deep")
+	}
+	if depth < 0 { // repolint:allow-panic impossible by construction
+		panic("negative depth")
+	}
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("annotated panic must pass, exit %d:\n%s", code, out)
+	}
+}
+
+func TestPanicAllowedOutsideSupervisedPkgs(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/corpus/gen.go": `package corpus
+
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("n must be positive")
+	}
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("corpus is not a supervised package, exit %d:\n%s", code, out)
+	}
+}
+
+func TestUncheckedRenameAndWriteFileFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/tool/main.go": `package main
+
+import "os"
+
+func publish(tmp, final string, data []byte) {
+	os.WriteFile(tmp, data, 0o644)
+	os.Rename(tmp, final)
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "os.WriteFile error ignored") || !strings.Contains(out, "os.Rename error ignored") {
+		t.Fatalf("want two unchecked-file-op findings, exit %d:\n%s", code, out)
+	}
+}
+
+func TestCheckedRenameAndWriteFileAllowed(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/tool/main.go": `package main
+
+import "os"
+
+func publish(tmp, final string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	_ = os.Remove(tmp) // cleanup best-effort
+	return os.Rename(tmp, final)
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("checked file ops must pass, exit %d:\n%s", code, out)
+	}
+}
+
 func TestRepoIsClean(t *testing.T) {
 	// The repository itself must satisfy its own invariants; this is
 	// the standing form of the "run it over the repo" requirement.

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gptattr/internal/experiments"
+	"gptattr/internal/fault"
+	"gptattr/internal/featcache"
+	"gptattr/internal/stylometry"
+)
+
+// chaosScale keeps storm runs fast enough to repeat per seed.
+func chaosScale() experiments.Scale {
+	return experiments.Scale{Authors: 6, Rounds: 2, Trees: 8, TopFeatures: 100, NumStyles: 4, Seed: 7}
+}
+
+// runSuite renders the tables the storm must not perturb, through a
+// disk-backed feature cache so the disk fault points are actually on
+// the path.
+func runSuite(t *testing.T, cacheDir string) string {
+	t.Helper()
+	s := experiments.NewSuite(chaosScale())
+	cache, err := featcache.New(featcache.Options{Dir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.UseCache(cache)
+	t1, err := s.TableI()
+	if err != nil {
+		t.Fatalf("TableI under storm: %v", err)
+	}
+	t9, err := s.TableIX()
+	if err != nil {
+		t.Fatalf("TableIX under storm: %v", err)
+	}
+	return t1 + t9
+}
+
+// storm arms the pipeline-wide fault set for one seed. Two classes by
+// design: points whose failure only costs recomputation (cache disk
+// I/O) fire unbounded with seeded probabilities, while points on
+// result-bearing paths (extraction, year builds) are Limit-bounded
+// strictly below their supervisors' retry budgets — that bound is what
+// lets the test demand bit-identical output rather than merely
+// completion.
+func storm(seed int64, extractKind fault.Kind) {
+	fault.Enable(seed)
+	fault.Set(featcache.PointDiskRead, fault.Policy{Kind: fault.KindError, Prob: 0.5})
+	fault.Set(featcache.PointDiskWrite, fault.Policy{Kind: fault.KindError, Prob: 0.3})
+	fault.Set(featcache.PointDiskTorn, fault.Policy{Kind: fault.KindPartialWrite, Prob: 0.3})
+	fault.Set(featcache.PointDiskRename, fault.Policy{Kind: fault.KindError, Prob: 0.2})
+	fault.Set(stylometry.PointExtract, fault.Policy{Kind: extractKind, Limit: 2})
+	fault.Set(experiments.PointYearBuild, fault.Policy{Kind: fault.KindError, Limit: 2})
+}
+
+// TestSuiteIdenticalUnderFaultStorm runs the suite once clean and then
+// under a fault storm per seed, requiring byte-identical tables every
+// time. Each seed also varies the extraction fault kind so error,
+// panic, and latency injections are all exercised.
+func TestSuiteIdenticalUnderFaultStorm(t *testing.T) {
+	defer fault.Disable()
+	fault.Disable()
+	want := runSuite(t, filepath.Join(t.TempDir(), "clean"))
+
+	storms := []struct {
+		seed int64
+		kind fault.Kind
+	}{
+		{101, fault.KindError},
+		{202, fault.KindPanic},
+		{303, fault.KindLatency},
+	}
+	for _, st := range storms {
+		storm(st.seed, st.kind)
+		got := runSuite(t, filepath.Join(t.TempDir(), "storm"))
+		stats := fault.Stats()
+		fault.Disable()
+		if got != want {
+			t.Fatalf("seed %d (%v extract faults): storm output diverged\n--- clean ---\n%s\n--- storm ---\n%s",
+				st.seed, st.kind, want, got)
+		}
+		fired := uint64(0)
+		for _, ps := range stats {
+			fired += ps.Fires
+		}
+		if fired == 0 {
+			t.Fatalf("seed %d: no fault ever fired; the storm proves nothing", st.seed)
+		}
+		t.Logf("seed %d (%v): identical output through %d fired faults", st.seed, st.kind, fired)
+	}
+}
+
+// TestCheckpointSurvivesFaultStorm combines the two recovery layers:
+// a checkpointed run under a storm, resumed by a second faulted run,
+// still matches the clean transcript.
+func TestCheckpointSurvivesFaultStorm(t *testing.T) {
+	defer fault.Disable()
+	fault.Disable()
+	sc := chaosScale()
+	clean := experiments.NewSuite(sc)
+	want, err := clean.TableIX()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckptPath := filepath.Join(t.TempDir(), "ckpt.json")
+	storm(404, fault.KindError)
+	s1 := experiments.NewSuite(sc)
+	s1.UseCheckpoint(experiments.NewCheckpoint(ckptPath, sc))
+	if _, err := s1.TableIX(); err != nil {
+		t.Fatalf("checkpointed storm run: %v", err)
+	}
+	fault.Disable()
+
+	ckpt, err := experiments.ResumeCheckpoint(ckptPath, sc)
+	if err != nil {
+		t.Fatalf("checkpoint written under storm does not resume: %v", err)
+	}
+	storm(505, fault.KindPanic)
+	s2 := experiments.NewSuite(sc)
+	s2.UseCheckpoint(ckpt)
+	got, err := s2.TableIX()
+	fault.Disable()
+	if err != nil {
+		t.Fatalf("resumed storm run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("resumed storm output diverged\n--- clean ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}

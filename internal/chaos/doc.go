@@ -1,0 +1,12 @@
+// Package chaos holds the fault-storm harness: seeded go tests that
+// arm many fault-injection points at once (see internal/fault) and
+// assert the pipeline's recovery contract — the experiment suite
+// completes with outputs identical to a fault-free run, because every
+// supervised call site absorbs Limit-bounded transient faults and the
+// unbounded fault kinds (torn cache writes, failed cache reads,
+// latency) only ever cost recomputation, never results.
+//
+// The serving-layer half of the contract — degrade to 429/503/504 but
+// never drop a request — lives with the serve package's fixtures in
+// internal/serve's chaos tests.
+package chaos

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Checkpoint is the suite's crash-safe progress file. Each completed
+// unit of work — one year of an attribution table, one binary
+// evaluation, one rendered table — is stored under a stable key the
+// moment it finishes, via an atomic temp-file + fsync + rename, so a
+// SIGKILL at any instant leaves either the previous complete
+// checkpoint or the new complete checkpoint, never a torn one. A
+// resumed run replays completed units from the file (results are
+// bit-identical: encoding/json round-trips float64 exactly) and only
+// computes what is missing.
+//
+// The file is guarded three ways: a format version, a scale hash
+// (resuming under a different experiment scale would silently mix
+// results), and a content hash over every stored unit (detects
+// corruption that JSON decoding alone would accept).
+type Checkpoint struct {
+	path string
+
+	mu    sync.Mutex
+	units map[string]json.RawMessage
+	scale string
+}
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk shape.
+type checkpointFile struct {
+	Version int                        `json:"version"`
+	Scale   string                     `json:"scale"`
+	Units   map[string]json.RawMessage `json:"units"`
+	Sum     string                     `json:"sum"`
+}
+
+// ScaleHash fingerprints the result-relevant scale parameters.
+// Workers is deliberately excluded: results are identical at any
+// worker count, so a checkpoint taken at -workers 4 is valid for a
+// resume at -workers 1.
+func ScaleHash(sc Scale) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "authors=%d rounds=%d trees=%d topfeat=%d styles=%d seed=%d verify=%v",
+		sc.Authors, sc.Rounds, sc.Trees, sc.TopFeatures, sc.NumStyles, sc.Seed, sc.Verify)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// NewCheckpoint starts a fresh checkpoint at path for the given scale.
+// Any existing file is ignored and overwritten on the first Store.
+func NewCheckpoint(path string, sc Scale) *Checkpoint {
+	return &Checkpoint{
+		path:  path,
+		units: make(map[string]json.RawMessage),
+		scale: ScaleHash(sc),
+	}
+}
+
+// ResumeCheckpoint loads an existing checkpoint and verifies it
+// belongs to this scale and arrived intact. A missing file is an
+// error: -resume on a path that never checkpointed is almost always a
+// typo, and silently starting over would defeat the point.
+func ResumeCheckpoint(path string, sc Scale) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: resume: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiments: resume %s: corrupt checkpoint: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiments: resume %s: checkpoint version %d, want %d",
+			path, f.Version, checkpointVersion)
+	}
+	want := ScaleHash(sc)
+	if f.Scale != want {
+		return nil, fmt.Errorf("experiments: resume %s: checkpoint was taken at a different scale (%s, current %s); rerun without -resume",
+			path, f.Scale, want)
+	}
+	if f.Units == nil {
+		f.Units = make(map[string]json.RawMessage)
+	}
+	if sum := unitsSum(f.Units); sum != f.Sum {
+		return nil, fmt.Errorf("experiments: resume %s: content hash mismatch (%s != %s); checkpoint corrupt",
+			path, sum, f.Sum)
+	}
+	return &Checkpoint{path: path, units: f.Units, scale: f.Scale}, nil
+}
+
+// unitsSum hashes every stored unit in sorted key order.
+func unitsSum(units map[string]json.RawMessage) string {
+	keys := make([]string, 0, len(units))
+	for k := range units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write(units[k])
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Len reports how many units the checkpoint holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.units)
+}
+
+// Lookup decodes the unit stored under key into v. Returns false when
+// the unit has not been checkpointed.
+func (c *Checkpoint) Lookup(key string, v any) (bool, error) {
+	c.mu.Lock()
+	raw, ok := c.units[key]
+	c.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("experiments: checkpoint unit %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Store records one completed unit and persists the whole checkpoint
+// atomically before returning: once Store returns, that unit survives
+// any crash. Safe for concurrent use (the suite completes year units
+// from a worker pool).
+func (c *Checkpoint) Store(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint unit %s: %w", key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.units[key] = json.RawMessage(raw)
+	return c.persistLocked()
+}
+
+// persistLocked writes the checkpoint file via temp + fsync + rename,
+// the same torn-write discipline as the feature cache: the visible
+// file is always a complete checkpoint.
+func (c *Checkpoint) persistLocked() error {
+	data, err := json.Marshal(checkpointFile{
+		Version: checkpointVersion,
+		Scale:   c.scale,
+		Units:   c.units,
+		Sum:     unitsSum(c.units),
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/fault"
+)
+
+func ckptScale() Scale {
+	return Scale{Authors: 8, Rounds: 2, Trees: 8, TopFeatures: 120, NumStyles: 4, Seed: 5}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	sc := ckptScale()
+	c := NewCheckpoint(path, sc)
+	in := &attrib.BinaryResult{
+		Folds:        []attrib.BinaryFold{{Challenge: "C1", Accuracy: 0.9375}, {Challenge: "C2", Accuracy: 1.0 / 3.0}},
+		MeanAccuracy: 0.63541666666666663,
+		HumanSamples: 16, GPTSamples: 16,
+	}
+	if err := c.Store("binary:year:2017", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("render:X", "Table X\nA 63.5\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := ResumeCheckpoint(path, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	var out *attrib.BinaryResult
+	ok, err := r.Lookup("binary:year:2017", &out)
+	if err != nil || !ok {
+		t.Fatalf("Lookup: ok=%v err=%v", ok, err)
+	}
+	// Bit-identity across the JSON round trip, including the
+	// non-terminating binary fraction.
+	if out.MeanAccuracy != in.MeanAccuracy || out.Folds[1].Accuracy != in.Folds[1].Accuracy {
+		t.Fatalf("floats drifted: %v vs %v", out, in)
+	}
+	var rendered string
+	if ok, err := r.Lookup("render:X", &rendered); err != nil || !ok || rendered != "Table X\nA 63.5\n" {
+		t.Fatalf("render unit: ok=%v err=%v %q", ok, err, rendered)
+	}
+	if ok, _ := r.Lookup("binary:year:2018", &out); ok {
+		t.Fatal("lookup of missing unit returned ok")
+	}
+}
+
+func TestCheckpointResumeGuards(t *testing.T) {
+	dir := t.TempDir()
+	sc := ckptScale()
+
+	// Missing file: -resume on a path that never checkpointed errors.
+	if _, err := ResumeCheckpoint(filepath.Join(dir, "absent.json"), sc); err == nil {
+		t.Fatal("resume of missing checkpoint succeeded")
+	}
+
+	path := filepath.Join(dir, "ckpt.json")
+	c := NewCheckpoint(path, sc)
+	if err := c.Store("render:I", "Table I\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different scale: resuming would mix results from two experiments.
+	other := sc
+	other.Seed++
+	if _, err := ResumeCheckpoint(path, other); err == nil || !strings.Contains(err.Error(), "different scale") {
+		t.Fatalf("scale mismatch not rejected: %v", err)
+	}
+
+	// Workers is excluded from the scale hash: results are identical at
+	// any worker count, so the checkpoint stays valid.
+	workers := sc
+	workers.Workers = 7
+	if _, err := ResumeCheckpoint(path, workers); err != nil {
+		t.Fatalf("worker-count change invalidated checkpoint: %v", err)
+	}
+
+	// Bit-flip inside a stored unit: the content hash catches it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte("Table I"), []byte("Table J"), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeCheckpoint(path, sc); err == nil || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("tampered checkpoint not rejected: %v", err)
+	}
+}
+
+// TestSuiteResumeSkipsRecomputation runs Table IX once with a
+// checkpoint, then resumes it on a fresh suite whose year builds are
+// poisoned with an unlimited injected fault: the resumed table must
+// come back byte-identical WITHOUT ever rebuilding a year — proof the
+// units, not a warm cache, carry the result.
+func TestSuiteResumeSkipsRecomputation(t *testing.T) {
+	defer fault.Disable()
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	sc := ckptScale()
+
+	s1 := NewSuite(sc)
+	s1.UseCheckpoint(NewCheckpoint(path, sc))
+	want, err := s1.TableIX()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, err := ResumeCheckpoint(path, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Len() < 3 {
+		t.Fatalf("checkpoint holds %d units, want >= 3 (one per year)", ckpt.Len())
+	}
+
+	// Every year build now fails hard; only checkpoint replay can
+	// produce the table.
+	fault.Enable(21)
+	fault.Set(PointYearBuild, fault.Policy{Kind: fault.KindError})
+
+	s2 := NewSuite(sc)
+	s2.UseCheckpoint(ckpt)
+	got, err := s2.TableIX()
+	if err != nil {
+		t.Fatalf("resumed TableIX rebuilt a year (or failed): %v", err)
+	}
+	if got != want {
+		t.Fatalf("resumed table differs:\n--- fresh ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestYearBuildFaultRetried pins the suite-level supervision: a
+// Limit-bounded transient fault on the year build is absorbed and the
+// results are identical to a fault-free run.
+func TestYearBuildFaultRetried(t *testing.T) {
+	defer fault.Disable()
+	sc := ckptScale()
+
+	clean := NewSuite(sc)
+	want, err := clean.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Enable(22)
+	fault.Set(PointYearBuild, fault.Policy{Kind: fault.KindError, Limit: yearRetries - 1})
+	faulted := NewSuite(sc)
+	got, err := faulted.TableI()
+	if err != nil {
+		t.Fatalf("bounded year-build faults leaked: %v", err)
+	}
+	if got != want {
+		t.Fatal("faulted run diverged from clean run")
+	}
+	if st := fault.Stats()[PointYearBuild]; st.Fires == 0 {
+		t.Fatal("fault point never fired; test proves nothing")
+	}
+}

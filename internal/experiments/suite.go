@@ -11,12 +11,24 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"gptattr/internal/attrib"
 	"gptattr/internal/corpus"
+	"gptattr/internal/fault"
 	"gptattr/internal/gpt"
 	"gptattr/internal/style"
 	"gptattr/internal/stylometry"
+)
+
+// PointYearBuild is the fault-injection point at the head of every
+// per-year dataset build (see internal/fault). Transient injected
+// faults are absorbed by a bounded retry; a real build error fails the
+// year immediately.
+const (
+	PointYearBuild = "experiments.year.build"
+	yearRetries    = 3
+	yearBackoff    = time.Millisecond
 )
 
 // Scale sets the experiment size. PaperScale mirrors the paper;
@@ -64,6 +76,7 @@ type YearData struct {
 type Suite struct {
 	scale Scale
 	cache stylometry.FeatureCache
+	ckpt  *Checkpoint
 
 	mu    sync.Mutex
 	years map[int]*yearSlot
@@ -90,6 +103,28 @@ func NewSuite(scale Scale) *Suite {
 // suite (see internal/featcache). Must be called before running
 // experiments.
 func (s *Suite) UseCache(c stylometry.FeatureCache) { s.cache = c }
+
+// UseCheckpoint installs a crash-safe progress file: completed
+// evaluation units are persisted as they finish and replayed on a
+// later run instead of recomputed. Must be called before running
+// experiments.
+func (s *Suite) UseCheckpoint(c *Checkpoint) { s.ckpt = c }
+
+// lookupUnit replays a checkpointed unit when a checkpoint is armed.
+func (s *Suite) lookupUnit(key string, v any) (bool, error) {
+	if s.ckpt == nil {
+		return false, nil
+	}
+	return s.ckpt.Lookup(key, v)
+}
+
+// storeUnit persists a completed unit when a checkpoint is armed.
+func (s *Suite) storeUnit(key string, v any) error {
+	if s.ckpt == nil {
+		return nil
+	}
+	return s.ckpt.Store(key, v)
+}
 
 // Scale reports the configured scale.
 func (s *Suite) Scale() Scale { return s.scale }
@@ -159,7 +194,21 @@ func (s *Suite) Year(year int) (*YearData, error) {
 		s.years[year] = slot
 	}
 	s.mu.Unlock()
-	slot.once.Do(func() { slot.yd, slot.err = s.buildYear(year) })
+	slot.once.Do(func() {
+		// Supervised build: transient injected faults (chaos tests arm
+		// them Limit-bounded) retry; real errors surface immediately.
+		slot.err = fault.Retry(yearRetries, yearBackoff, func() error {
+			if err := fault.Hit(PointYearBuild); err != nil {
+				return err
+			}
+			yd, err := s.buildYear(year)
+			if err != nil {
+				return err
+			}
+			slot.yd = yd
+			return nil
+		})
+	})
 	return slot.yd, slot.err
 }
 

@@ -270,13 +270,26 @@ func (s *Suite) TableIXData() ([]AttributionRow, error) {
 func (s *Suite) attributionData(a attrib.Approach) ([]AttributionRow, error) {
 	out := make([]AttributionRow, len(Years()))
 	err := s.forYears(func(i, y int) error {
+		// One checkpoint unit per (approach, year): a resumed run
+		// replays finished years and only recomputes the rest.
+		key := fmt.Sprintf("attr:%s:year:%d", a, y)
+		var res *attrib.AttributionResult
+		if ok, err := s.lookupUnit(key, &res); err != nil {
+			return err
+		} else if ok {
+			out[i] = AttributionRow{Year: y, Result: res}
+			return nil
+		}
 		yd, err := s.Year(y)
 		if err != nil {
 			return err
 		}
-		res, err := attrib.EvaluateAttribution(yd.Human, yd.Transformed, yd.Oracle, a, s.attribConfig())
+		res, err = attrib.EvaluateAttribution(yd.Human, yd.Transformed, yd.Oracle, a, s.attribConfig())
 		if err != nil {
 			return fmt.Errorf("experiments: year %d %s: %w", y, a, err)
+		}
+		if err := s.storeUnit(key, res); err != nil {
+			return err
 		}
 		out[i] = AttributionRow{Year: y, Result: res}
 		return nil
@@ -372,29 +385,59 @@ func (s *Suite) TableXData() ([]struct {
 	}, len(years))
 	humans := make([]*corpus.Corpus, len(years))
 	gpts := make([]*corpus.Corpus, len(years))
-	err := s.forYears(func(i, y int) error {
-		yd, err := s.Year(y)
+	// When the combined evaluation is already checkpointed, the
+	// per-year corpora feeding it are not needed; a fully checkpointed
+	// Table X then resumes without rebuilding any year.
+	var combined *attrib.BinaryResult
+	combinedCached, err := s.lookupUnit("binary:combined", &combined)
+	if err != nil {
+		return nil, err
+	}
+	err = s.forYears(func(i, y int) error {
+		key := fmt.Sprintf("binary:year:%d", y)
+		var res *attrib.BinaryResult
+		cached, err := s.lookupUnit(key, &res)
 		if err != nil {
 			return err
 		}
-		res, err := attrib.EvaluateBinary(yd.Human, yd.Transformed, cfg)
-		if err != nil {
-			return fmt.Errorf("experiments: binary %d: %w", y, err)
+		if !cached {
+			yd, err := s.Year(y)
+			if err != nil {
+				return err
+			}
+			res, err = attrib.EvaluateBinary(yd.Human, yd.Transformed, cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: binary %d: %w", y, err)
+			}
+			if err := s.storeUnit(key, res); err != nil {
+				return err
+			}
 		}
 		out[i] = struct {
 			Year   int
 			Result *attrib.BinaryResult
 		}{y, res}
-		humans[i] = yd.Human.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) })
-		gpts[i] = yd.Transformed.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) })
+		if !combinedCached {
+			yd, err := s.Year(y)
+			if err != nil {
+				return err
+			}
+			humans[i] = yd.Human.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) })
+			gpts[i] = yd.Transformed.Filter(func(sm corpus.Sample) bool { return keepCombined(sm.Challenge) })
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	combined, err := attrib.EvaluateBinary(corpus.Merge(humans...), corpus.Merge(gpts...), cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: binary combined: %w", err)
+	if !combinedCached {
+		combined, err = attrib.EvaluateBinary(corpus.Merge(humans...), corpus.Merge(gpts...), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: binary combined: %w", err)
+		}
+		if err := s.storeUnit("binary:combined", combined); err != nil {
+			return nil, err
+		}
 	}
 	out = append(out, struct {
 		Year   int

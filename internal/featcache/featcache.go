@@ -19,8 +19,28 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"gptattr/internal/fault"
 	"gptattr/internal/stylometry"
+)
+
+// Fault-injection points on the disk layer (see internal/fault).
+// Reads and writes retry injected transient errors a bounded number
+// of times; a torn payload survives to disk (the rename is atomic but
+// the content is short) and is caught by the corrupt-entry backstop.
+const (
+	PointDiskRead   = "featcache.disk.read"
+	PointDiskWrite  = "featcache.disk.write"
+	PointDiskTorn   = "featcache.disk.write.torn"
+	PointDiskRename = "featcache.disk.rename"
+)
+
+// diskRetries and diskBackoff bound the retry-with-backoff supervisor
+// around disk faults.
+const (
+	diskRetries = 3
+	diskBackoff = time.Millisecond
 )
 
 // ExtractorFingerprint identifies the current feature-extraction
@@ -187,7 +207,15 @@ func (c *Cache) diskPath(key string) string {
 // re-extracts. Nothing downstream ever sees a partial entry.
 func (c *Cache) loadDisk(key string) (stylometry.Features, bool) {
 	path := c.diskPath(key)
-	data, err := os.ReadFile(path)
+	var data []byte
+	err := fault.Retry(diskRetries, diskBackoff, func() error {
+		if err := fault.Hit(PointDiskRead); err != nil {
+			return err
+		}
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		return rerr
+	})
 	if err != nil {
 		return nil, false
 	}
@@ -199,9 +227,14 @@ func (c *Cache) loadDisk(key string) (stylometry.Features, bool) {
 	return f, true
 }
 
-// storeDisk writes atomically (temp file + rename) so concurrent
-// writers and crashed runs never leave a torn entry. Errors are
-// swallowed: the disk layer is an optimization, not a store of record.
+// storeDisk writes atomically: the payload goes to a temp file that
+// is fsynced before the rename, so a crash at any instant leaves
+// either no entry or a complete one — never a truncated file at the
+// final path. Injected transient faults are retried with backoff;
+// terminal errors are swallowed, because the disk layer is an
+// optimization, not a store of record (and a surviving torn payload
+// is caught by the corrupt-entry delete+recompute backstop in
+// loadDisk).
 func (c *Cache) storeDisk(key string, f stylometry.Features) {
 	data, err := json.Marshal(f)
 	if err != nil {
@@ -211,20 +244,47 @@ func (c *Cache) storeDisk(key string, f stylometry.Features) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return
 	}
+	_ = fault.Retry(diskRetries, diskBackoff, func() error {
+		return writeEntry(path, data)
+	})
+}
+
+// writeEntry performs one temp-file + fsync + rename attempt.
+func writeEntry(path string, data []byte) error {
+	if err := fault.Hit(PointDiskWrite); err != nil {
+		return err
+	}
+	// A fired torn-write fault truncates the payload, modelling a
+	// partially flushed buffer that the rename then publishes.
+	data, err := fault.Data(PointDiskTorn, data)
+	if err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
 	if err != nil {
-		return
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close()
 		os.Remove(tmp.Name())
-		return
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		os.Remove(tmp.Name())
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return
+		return err
+	}
+	if err := fault.Hit(PointDiskRename); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return err
 	}
+	return nil
 }

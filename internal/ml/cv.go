@@ -7,7 +7,15 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"gptattr/internal/fault"
 )
+
+// PointCVFold is the fault-injection point at the head of every
+// cross-validation fold evaluation (see internal/fault). Injected
+// errors and panics surface as that fold's Err — contained, never
+// fatal to the pool.
+const PointCVFold = "ml.cv.fold"
 
 // Fold is one train/test index split.
 type Fold struct {
@@ -166,9 +174,22 @@ func CrossValidateForest(d *Dataset, folds []Fold, cfg ForestConfig) ([]FoldResu
 }
 
 // evaluateFold trains on the fold's train split and scores the held-out
-// samples, using the given tree-building worker budget.
-func evaluateFold(d *Dataset, fold Fold, fi int, cfg ForestConfig, treeWorkers int) FoldResult {
-	res := FoldResult{Fold: fi, TestIdx: fold.Test}
+// samples, using the given tree-building worker budget. A panic while
+// training or scoring is contained into the fold's Err — one bad fold
+// surfaces in the joined error with its fold index instead of killing
+// the whole cross-validation worker pool.
+func evaluateFold(d *Dataset, fold Fold, fi int, cfg ForestConfig, treeWorkers int) (res FoldResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = FoldResult{Fold: fi, TestIdx: fold.Test,
+				Err: fmt.Errorf("ml: fold %d panicked: %v", fi, r)}
+		}
+	}()
+	res = FoldResult{Fold: fi, TestIdx: fold.Test}
+	if err := fault.Hit(PointCVFold); err != nil {
+		res.Err = err
+		return res
+	}
 	train := d.Subset(fold.Train)
 	fcfg := cfg
 	fcfg.Seed = cfg.Seed + int64(fi)*7919

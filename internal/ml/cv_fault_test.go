@@ -1,0 +1,74 @@
+package ml
+
+import (
+	"strings"
+	"testing"
+
+	"gptattr/internal/fault"
+)
+
+// cvFaultDataset builds a tiny two-class dataset with k clean folds.
+func cvFaultDataset() (*Dataset, []Fold) {
+	d := &Dataset{NumClasses: 2, FeatureNames: []string{"f0", "f1"}}
+	for i := 0; i < 24; i++ {
+		c := i % 2
+		d.X = append(d.X, []float64{float64(c), float64(i % 5)})
+		d.Y = append(d.Y, c)
+	}
+	folds, err := StratifiedKFold(d.Y, 4, nil)
+	if err != nil {
+		panic(err)
+	}
+	return d, folds
+}
+
+// TestFoldPanicContained arms a panic fault on exactly the first fold
+// (Workers=1 makes fold order deterministic) and asserts supervision:
+// the pool survives, the panicking fold carries a per-fold error with
+// its index, and every other fold still trains and scores.
+func TestFoldPanicContained(t *testing.T) {
+	defer fault.Disable()
+	fault.Enable(6)
+	fault.Set(PointCVFold, fault.Policy{Kind: fault.KindPanic, Limit: 1})
+
+	d, folds := cvFaultDataset()
+	results, err := CrossValidateForest(d, folds, ForestConfig{NumTrees: 5, Seed: 1, Workers: 1})
+	if err == nil {
+		t.Fatal("joined error missing for panicked fold")
+	}
+	if !strings.Contains(err.Error(), "fold 0") || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %v does not attribute the panic to fold 0", err)
+	}
+	if results[0].Err == nil || results[0].Pred != nil {
+		t.Fatalf("fold 0 = %+v, want contained error and no predictions", results[0])
+	}
+	for fi := 1; fi < len(results); fi++ {
+		if results[fi].Err != nil || len(results[fi].Pred) == 0 {
+			t.Fatalf("fold %d did not survive its sibling's panic: %+v", fi, results[fi])
+		}
+	}
+	// Aggregation excludes the dead fold but still yields a mean.
+	mean, aggErr := AggregateFolds(results)
+	if aggErr == nil || mean <= 0 {
+		t.Fatalf("AggregateFolds = %v, %v; want usable mean plus exclusion error", mean, aggErr)
+	}
+}
+
+// TestFoldInjectedErrorContained does the same with an error kind:
+// the fold fails alone, without a panic ever being raised.
+func TestFoldInjectedErrorContained(t *testing.T) {
+	defer fault.Disable()
+	fault.Enable(6)
+	fault.Set(PointCVFold, fault.Policy{Kind: fault.KindError, Limit: 1})
+
+	d, folds := cvFaultDataset()
+	results, err := CrossValidateForest(d, folds, ForestConfig{NumTrees: 5, Seed: 1, Workers: 1})
+	if err == nil || results[0].Err == nil {
+		t.Fatalf("injected fold error not surfaced (err=%v)", err)
+	}
+	for fi := 1; fi < len(results); fi++ {
+		if results[fi].Err != nil {
+			t.Fatalf("fold %d poisoned by fold 0's fault", fi)
+		}
+	}
+}

@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
+	"gptattr/internal/fault"
 	"gptattr/internal/stylometry"
 )
 
@@ -16,7 +18,25 @@ var (
 	ErrSaturated = errors.New("serve: extraction queue saturated")
 	// ErrClosed means the batcher is draining for shutdown (503).
 	ErrClosed = errors.New("serve: batcher closed")
+	// ErrInternal means the extraction machinery itself failed (a
+	// contained batch panic or an unrecovered injected fault); the
+	// HTTP layer answers 503 so clients retry elsewhere. The request
+	// is answered, never dropped.
+	ErrInternal = errors.New("serve: internal extraction failure")
 )
+
+// Fault-injection points on the serving path (see internal/fault).
+// An admission fault rejects exactly like saturation (429); a batch
+// fault delays or fails one whole batch — every job still gets an
+// answer.
+const (
+	PointAdmit = "serve.admit"
+	PointBatch = "serve.batch"
+)
+
+// batchRetries bounds the retry supervisor around transient batch
+// faults (no backoff: jobs are holding their latency budgets).
+const batchRetries = 3
 
 // BatchConfig tunes the micro-batching extraction queue.
 type BatchConfig struct {
@@ -36,6 +56,9 @@ type BatchConfig struct {
 	// Cache is the shared feature cache consulted before extraction
 	// (nil = uncached).
 	Cache stylometry.FeatureCache
+	// Logf, when non-nil, receives operational log lines (saturation
+	// rejections, contained batch panics) carrying request IDs.
+	Logf func(format string, args ...any)
 	// extractFn overrides the batch extraction function; tests use it
 	// to observe batch shapes and to block batches deterministically.
 	extractFn func(sources []string) ([]stylometry.Features, []error)
@@ -65,6 +88,7 @@ func (c BatchConfig) withDefaults() BatchConfig {
 // job is one admitted extraction request.
 type job struct {
 	src  string
+	id   string // request ID for log traceability ("" outside HTTP)
 	ctx  context.Context
 	done chan jobResult // buffered(1); the batch loop never blocks on it
 }
@@ -112,7 +136,13 @@ func (b *Batcher) QueueLen() int { return len(b.queue) }
 // ErrClosed when draining, or ctx.Err() when the caller's deadline
 // expires first.
 func (b *Batcher) Extract(ctx context.Context, src string) (stylometry.Features, error) {
-	j := &job{src: src, ctx: ctx, done: make(chan jobResult, 1)}
+	j := &job{src: src, id: RequestIDFrom(ctx), ctx: ctx, done: make(chan jobResult, 1)}
+	if err := fault.Hit(PointAdmit); err != nil {
+		// An injected admission fault degrades exactly like
+		// saturation: the client gets 429 + Retry-After, traceably.
+		b.logf("serve: admission fault, rejecting request %s: %v", j.id, err)
+		return nil, fmt.Errorf("%w (request %s): %v", ErrSaturated, j.id, err)
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -123,6 +153,8 @@ func (b *Batcher) Extract(ctx context.Context, src string) (stylometry.Features,
 		b.mu.Unlock()
 	default:
 		b.mu.Unlock()
+		b.logf("serve: queue saturated (%d/%d), rejecting request %s",
+			len(b.queue), cap(b.queue), j.id)
 		return nil, ErrSaturated
 	}
 	select {
@@ -182,9 +214,21 @@ func (b *Batcher) loop() {
 	}
 }
 
+// logf emits one operational log line when a logger is configured.
+func (b *Batcher) logf(format string, args ...any) {
+	if b.cfg.Logf != nil {
+		b.cfg.Logf(format, args...)
+	}
+}
+
 // runBatch extracts one batch and answers every job. Jobs whose
 // deadline already passed are answered with their context error
-// without paying for extraction.
+// without paying for extraction. The extraction itself is supervised:
+// injected transient batch faults are retried a bounded number of
+// times, and a panic — from injection or a real defect in the
+// extraction stack — is contained and answered as ErrInternal on
+// every job, keeping the collector loop alive. No admitted request is
+// ever dropped on the floor.
 func (b *Batcher) runBatch(batch []*job) {
 	live := batch[:0]
 	for _, j := range batch {
@@ -204,8 +248,55 @@ func (b *Batcher) runBatch(batch []*job) {
 	for i, j := range live {
 		sources[i] = j.src
 	}
-	feats, errs := b.cfg.extractFn(sources)
+	feats, errs, batchErr := b.safeExtract(sources)
+	if batchErr != nil {
+		b.logf("serve: batch of %d failed, answering every job with 503: %v (requests: %s)",
+			len(live), batchErr, jobIDs(live))
+		for _, j := range live {
+			j.done <- jobResult{err: fmt.Errorf("%w: %v", ErrInternal, batchErr)}
+		}
+		return
+	}
 	for i, j := range live {
 		j.done <- jobResult{f: feats[i], err: errs[i]}
 	}
+}
+
+// safeExtract runs the batch extraction under retry-and-containment
+// supervision. A non-nil batchErr means the whole batch failed.
+func (b *Batcher) safeExtract(sources []string) (feats []stylometry.Features, errs []error, batchErr error) {
+	batchErr = fault.Retry(batchRetries, 0, func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pv, ok := r.(fault.PanicValue); ok {
+					// Injected panics are transient: retry.
+					err = &fault.InjectedError{Point: pv.Point}
+					return
+				}
+				err = fmt.Errorf("extraction panicked: %v", r)
+			}
+		}()
+		if err := fault.Hit(PointBatch); err != nil {
+			return err
+		}
+		feats, errs = b.cfg.extractFn(sources)
+		return nil
+	})
+	return feats, errs, batchErr
+}
+
+// jobIDs renders a batch's request IDs for log lines.
+func jobIDs(jobs []*job) string {
+	ids := make([]byte, 0, 16*len(jobs))
+	for i, j := range jobs {
+		if i > 0 {
+			ids = append(ids, ' ')
+		}
+		if j.id == "" {
+			ids = append(ids, '-')
+			continue
+		}
+		ids = append(ids, j.id...)
+	}
+	return string(ids)
 }

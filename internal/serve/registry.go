@@ -21,7 +21,14 @@ import (
 	"sync/atomic"
 
 	"gptattr/internal/attrib"
+	"gptattr/internal/fault"
 )
+
+// PointRegistryLoad is the fault-injection point at the head of every
+// model (re)load (see internal/fault). A fired fault fails the reload
+// exactly like a corrupt model file would: the previous generation
+// keeps serving, untouched.
+const PointRegistryLoad = "serve.registry.load"
 
 // Registry file names: NewRegistry loads these from its directory.
 // Either may be absent — the corresponding endpoint then answers 503.
@@ -81,6 +88,9 @@ func (r *Registry) Load() error {
 	r.loadMu.Lock()
 	defer r.loadMu.Unlock()
 
+	if err := fault.Hit(PointRegistryLoad); err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
 	if _, err := os.Stat(r.dir); err != nil {
 		return fmt.Errorf("serve: model dir: %w", err)
 	}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request IDs make saturation incidents traceable end to end: every
+// request gets one, it comes back in the X-Request-Id response header
+// and in 429/504 error bodies, and the batcher stamps it into its log
+// lines, so one grep ties a client-observed rejection to the server
+// events that caused it.
+
+// reqPrefix is a per-process random prefix so IDs from restarted
+// servers never collide in aggregated logs; reqSeq makes each ID
+// unique within the process.
+var (
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to a fixed prefix; uniqueness within the
+			// process still holds via the sequence number.
+			return "req0"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// newRequestID mints a process-unique request ID.
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}
+
+// ctxKeyRequestID carries the request ID through context so the
+// batcher can log it without the HTTP layer in scope.
+type ctxKeyRequestID struct{}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID{}, id)
+}
+
+// RequestIDFrom extracts the request ID from ctx ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}

@@ -55,9 +55,12 @@ type DetectResponse struct {
 	ModelGeneration uint64  `json:"model_generation"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// ErrorResponse is the body of every non-2xx answer. RequestID echoes
+// the X-Request-Id header so clients that only keep bodies can still
+// quote the ID when reporting a 429/504 saturation incident.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // HealthResponse answers GET /healthz.
@@ -114,20 +117,32 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+// writeError answers one failed request. The request ID rides along
+// in the body for the statuses a saturated or degraded server emits,
+// so incidents stay traceable from client logs alone.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg, reqID string) {
 	if status == http.StatusTooManyRequests {
 		// Closed-loop clients should back off; micro-batch turnaround
 		// is milliseconds, so one second is conservative.
 		w.Header().Set("Retry-After", "1")
 	}
-	s.writeJSON(w, status, ErrorResponse{Error: msg})
+	s.writeJSON(w, status, ErrorResponse{Error: msg, RequestID: reqID})
+}
+
+// begin stamps a freshly minted request ID on the response and
+// returns it; every request — success or failure — carries it in the
+// X-Request-Id header.
+func (s *Server) begin(w http.ResponseWriter) string {
+	id := newRequestID()
+	w.Header().Set("X-Request-Id", id)
+	return id
 }
 
 // decodeSource parses the request body for the two inference
 // endpoints.
-func (s *Server) decodeSource(w http.ResponseWriter, r *http.Request) (string, bool) {
+func (s *Server) decodeSource(w http.ResponseWriter, r *http.Request, reqID string) (string, bool) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required", reqID)
 		return "", false
 	}
 	var req AttributeRequest
@@ -138,11 +153,11 @@ func (s *Server) decodeSource(w http.ResponseWriter, r *http.Request) (string, b
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		s.writeError(w, status, "bad request body: "+err.Error())
+		s.writeError(w, status, "bad request body: "+err.Error(), reqID)
 		return "", false
 	}
 	if req.Source == "" {
-		s.writeError(w, http.StatusBadRequest, "empty source")
+		s.writeError(w, http.StatusBadRequest, "empty source", reqID)
 		return "", false
 	}
 	return req.Source, true
@@ -152,21 +167,25 @@ func (s *Server) decodeSource(w http.ResponseWriter, r *http.Request) (string, b
 // translates failures to HTTP statuses. Returns ok=false after having
 // written the error response.
 func (s *Server) extract(ctx context.Context, w http.ResponseWriter, src string, m *metrics.Registry) (f stylometry.Features, ok bool) {
+	reqID := RequestIDFrom(ctx)
 	feats, err := s.cfg.Batcher.Extract(ctx, src)
 	switch {
 	case err == nil:
 		return feats, true
 	case errors.Is(err, ErrSaturated):
 		m.Counter("rejected_total").Inc()
-		s.writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
+		s.writeError(w, http.StatusTooManyRequests, "server saturated, retry later", reqID)
 	case errors.Is(err, ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down", reqID)
+	case errors.Is(err, ErrInternal):
+		m.Counter("batch_failures_total").Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "extraction failed, retry later: "+err.Error(), reqID)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		m.Counter("deadline_exceeded_total").Inc()
-		s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded", reqID)
 	default:
 		// The source itself did not extract (e.g. not lexable C++).
-		s.writeError(w, http.StatusUnprocessableEntity, "source rejected: "+err.Error())
+		s.writeError(w, http.StatusUnprocessableEntity, "source rejected: "+err.Error(), reqID)
 	}
 	return nil, false
 }
@@ -178,16 +197,17 @@ func (s *Server) handleAttribute(w http.ResponseWriter, r *http.Request) {
 	defer met.Gauge("inflight").Add(-1)
 	start := time.Now()
 
-	src, ok := s.decodeSource(w, r)
+	reqID := s.begin(w)
+	src, ok := s.decodeSource(w, r, reqID)
 	if !ok {
 		return
 	}
 	models := s.cfg.Registry.Current()
 	if models.Oracle == nil {
-		s.writeError(w, http.StatusServiceUnavailable, "no attribution model loaded")
+		s.writeError(w, http.StatusServiceUnavailable, "no attribution model loaded", reqID)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(WithRequestID(r.Context(), reqID), s.cfg.Timeout)
 	defer cancel()
 	feats, ok := s.extract(ctx, w, src, met)
 	if !ok {
@@ -208,16 +228,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	defer met.Gauge("inflight").Add(-1)
 	start := time.Now()
 
-	src, ok := s.decodeSource(w, r)
+	reqID := s.begin(w)
+	src, ok := s.decodeSource(w, r, reqID)
 	if !ok {
 		return
 	}
 	models := s.cfg.Registry.Current()
 	if models.Detector == nil {
-		s.writeError(w, http.StatusServiceUnavailable, "no detector model loaded")
+		s.writeError(w, http.StatusServiceUnavailable, "no detector model loaded", reqID)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(WithRequestID(r.Context(), reqID), s.cfg.Timeout)
 	defer cancel()
 	feats, ok := s.extract(ctx, w, src, met)
 	if !ok {
@@ -232,13 +253,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	reqID := s.begin(w)
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required", reqID)
 		return
 	}
 	if err := s.cfg.Registry.Load(); err != nil {
 		// The previous generation is still serving.
-		s.writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		s.writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error(), reqID)
 		return
 	}
 	gen := s.cfg.Registry.Current().Generation

@@ -3,9 +3,25 @@ package stylometry
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
+	"gptattr/internal/fault"
 	"gptattr/internal/ml"
+)
+
+// PointExtract is the fault-injection point on the per-sample
+// extraction path (see internal/fault). Injected transient errors and
+// injected panics are absorbed by the bounded retry supervisor;
+// non-injected panics are contained into per-sample errors.
+const PointExtract = "stylometry.extract"
+
+// extractRetries and extractBackoff bound the retry-with-backoff
+// supervisor around transient extraction faults.
+const (
+	extractRetries = 3
+	extractBackoff = time.Millisecond
 )
 
 // FeatureCache is a pluggable source->Features cache consulted before
@@ -103,13 +119,61 @@ func ExtractEach(sources []string, cfg ExtractConfig) (out []Features, errs []er
 	return out, errs
 }
 
+// PanicError is a panic contained by the extraction worker pool and
+// converted into a per-sample error. A panicking sample fails alone —
+// with provenance — instead of killing the whole run; ExtractAll
+// callers see it wrapped in an *ExtractError carrying the sample
+// index, and the attrib layer adds author/challenge provenance.
+type PanicError struct {
+	// Value is the stringified panic value.
+	Value string
+	// Stack is the panicking goroutine's stack (empty for injected
+	// panics, which have no diagnostic value).
+	Stack []byte
+	// injected marks fault-injected panics as transient so the retry
+	// supervisor absorbs them.
+	injected bool
+}
+
+// Error describes the contained panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("stylometry: extraction panicked: %s", e.Value)
+}
+
+// Transient reports whether the panic was fault-injected (retryable).
+func (e *PanicError) Transient() bool { return e.injected }
+
+// safeExtract runs one extraction with panic containment: a panic —
+// injected or real — becomes an error instead of unwinding the worker
+// goroutine and killing the process.
+func safeExtract(src string) (f Features, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pv, ok := r.(fault.PanicValue); ok {
+				err = &PanicError{Value: pv.String(), injected: true}
+				return
+			}
+			err = &PanicError{Value: fmt.Sprint(r), Stack: debug.Stack()}
+		}
+	}()
+	if err := fault.Hit(PointExtract); err != nil {
+		return nil, err
+	}
+	return Extract(src)
+}
+
 func extractCached(src string, cache FeatureCache) (Features, error) {
 	if cache != nil {
 		if f, ok := cache.Get(src); ok {
 			return f, nil
 		}
 	}
-	f, err := Extract(src)
+	var f Features
+	err := fault.Retry(extractRetries, extractBackoff, func() error {
+		var rerr error
+		f, rerr = safeExtract(src)
+		return rerr
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -3,10 +3,25 @@ package transform
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"gptattr/internal/cppast"
 	"gptattr/internal/cppcheck"
 	"gptattr/internal/cppinterp"
+	"gptattr/internal/fault"
+)
+
+// PointVerifyInterp is the fault-injection point on every interpreter
+// run inside Verify (see internal/fault). Injected transient faults
+// are retried with backoff; real interpreter failures — the actual
+// verification verdicts — are never retried.
+const PointVerifyInterp = "transform.verify.interp"
+
+// verifyRetries and verifyBackoff bound the retry supervisor around
+// transient verification faults.
+const (
+	verifyRetries = 3
+	verifyBackoff = time.Millisecond
 )
 
 // VerifyMaxSteps is the interpreter step budget per verification run.
@@ -139,12 +154,11 @@ func Verify(origSrc, newSrc string, inputs []string) error {
 		suspectNote = " (static analysis flagged new uninitialized-variable reads)"
 	}
 	for i, in := range inputs {
-		Stats.InterpRuns.Add(2)
-		want, err := cppinterp.Run(origSrc, in, cppinterp.WithMaxSteps(VerifyMaxSteps))
+		want, err := runInterp(origSrc, in)
 		if err != nil {
 			return fmt.Errorf("transform: input %d: original failed: %w", i, err)
 		}
-		got, err := cppinterp.Run(newSrc, in, cppinterp.WithMaxSteps(VerifyMaxSteps))
+		got, err := runInterp(newSrc, in)
 		if err != nil {
 			return fmt.Errorf("transform: input %d: transformed failed%s: %w", i, suspectNote, err)
 		}
@@ -153,4 +167,22 @@ func Verify(origSrc, newSrc string, inputs []string) error {
 		}
 	}
 	return nil
+}
+
+// runInterp is one supervised, step-bounded interpreter run. Injected
+// transient faults at PointVerifyInterp are retried with backoff so a
+// simulated flaky executor cannot change a verification verdict; the
+// interpreter's own errors return immediately — they ARE the verdict.
+func runInterp(src, input string) (string, error) {
+	var out string
+	err := fault.Retry(verifyRetries, verifyBackoff, func() error {
+		if err := fault.Hit(PointVerifyInterp); err != nil {
+			return err
+		}
+		Stats.InterpRuns.Add(1)
+		var rerr error
+		out, rerr = cppinterp.Run(src, input, cppinterp.WithMaxSteps(VerifyMaxSteps))
+		return rerr
+	})
+	return out, err
 }

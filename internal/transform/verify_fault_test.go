@@ -1,0 +1,78 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"gptattr/internal/fault"
+)
+
+const faultProg = `#include <iostream>
+using namespace std;
+int main() {
+    int n;
+    cin >> n;
+    cout << n * 2 << endl;
+    return 0;
+}`
+
+// faultProgRenamed differs only in a variable name, so the static
+// pre-screen certifies it and no interpreter run happens; the variant
+// below with a changed literal forces interpreter runs.
+const faultProgDoubled = `#include <iostream>
+using namespace std;
+int main() {
+    int n;
+    cin >> n;
+    cout << (n * 4) / 2 << endl;
+    return 0;
+}`
+
+// TestVerifySurvivesTransientInterpFaults arms a bounded error fault
+// on the interpreter point and asserts Verify still passes: the retry
+// supervisor absorbs the flaky-executor simulation, so an injected
+// fault can never turn into a false verification failure.
+func TestVerifySurvivesTransientInterpFaults(t *testing.T) {
+	defer fault.Disable()
+	fault.Enable(4)
+	fault.Set(PointVerifyInterp, fault.Policy{Kind: fault.KindError, Every: 2, Limit: verifyRetries - 1})
+	if err := Verify(faultProg, faultProgDoubled, []string{"3\n", "10\n"}); err != nil {
+		t.Fatalf("Verify failed under bounded transient faults: %v", err)
+	}
+	if fault.Stats()[PointVerifyInterp].Fires == 0 {
+		t.Fatal("fault never fired (static pre-screen skipped the interpreter?)")
+	}
+}
+
+// TestVerifyFaultPastRetryBudgetSurfaces arms an unlimited error
+// fault: Verify must fail with the injected error (clearly marked),
+// not hang or misreport a behavioural divergence.
+func TestVerifyFaultPastRetryBudgetSurfaces(t *testing.T) {
+	defer fault.Disable()
+	fault.Enable(4)
+	fault.Set(PointVerifyInterp, fault.Policy{Kind: fault.KindError})
+	err := Verify(faultProg, faultProgDoubled, []string{"3\n"})
+	if err == nil {
+		t.Fatal("Verify passed although every interpreter run faulted")
+	}
+	if !strings.Contains(err.Error(), "fault: injected") {
+		t.Fatalf("error %v does not name the injected fault", err)
+	}
+	if strings.Contains(err.Error(), "output mismatch") {
+		t.Fatalf("injected fault misreported as behavioural divergence: %v", err)
+	}
+}
+
+// TestVerifyRealFailureNotRetried pins that genuine interpreter
+// verdicts are not retried: a real divergence costs exactly one run
+// of each program per input.
+func TestVerifyRealFailureNotRetried(t *testing.T) {
+	divergent := strings.Replace(faultProgDoubled, "/ 2", "/ 2 + 1", 1)
+	before := Stats.InterpRuns.Load()
+	if err := Verify(faultProg, divergent, []string{"3\n"}); err == nil {
+		t.Fatal("divergent program verified")
+	}
+	if got := Stats.InterpRuns.Load() - before; got != 2 {
+		t.Fatalf("divergence cost %d interpreter runs, want 2 (no retries)", got)
+	}
+}
