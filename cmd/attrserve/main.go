@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +54,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory feature cache size")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	faultSpec := fs.String("fault", "", "fault injection spec, e.g. serve.admit=error:p=0.1 (testing only)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for -fault probability draws")
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +96,25 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// Profiling stays off the public address: when enabled it gets its
+	// own mux on its own (typically loopback) listener, so the serving
+	// handler is never one route away from /debug/pprof.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", netpprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer func() { _ = pln.Close() }() // debug listener; nothing to do on close failure
+		go func() { _ = http.Serve(pln, pmux) }()
+		fmt.Fprintf(stdout, "attrserve: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
 	// Register signal handling before announcing readiness so a signal

@@ -350,3 +350,65 @@ func TestRunReloadFailureKeepsServing(t *testing.T) {
 		t.Fatalf("attribute after failed reload: status %d", resp.StatusCode)
 	}
 }
+
+// TestRunPprofEndpoint starts the server with -pprof on a loopback
+// ephemeral port, checks /debug/pprof answers there, and that the
+// debug routes are NOT mounted on the public address.
+func TestRunPprofEndpoint(t *testing.T) {
+	dir := fixtureModelDir(t)
+	out := &syncWriter{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-models", dir,
+			"-pprof", "127.0.0.1:0",
+		}, out, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		<-done
+	}()
+
+	// The pprof address is announced in the log before ready fires.
+	var pprofBase string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "attrserve: pprof on "); ok {
+			pprofBase = strings.TrimSuffix(rest, "/debug/pprof/")
+		}
+	}
+	if pprofBase == "" {
+		t.Fatalf("pprof address never logged:\n%s", out.String())
+	}
+
+	resp, err := http.Get(pprofBase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof cmdline: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d, want 200", resp.StatusCode)
+	}
+
+	// The public mux must not expose the debug surface.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("public address serves /debug/pprof/, want it confined to -pprof")
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -55,11 +57,41 @@ func run(args []string, stdout io.Writer) error {
 	resume := fs.Bool("resume", false, "resume from -checkpoint, replaying completed units instead of recomputing")
 	faultSpec := fs.String("fault", "", "fault injection spec, e.g. featcache.disk.read=error:p=0.2,limit=2 (testing only)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for -fault probability draws")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *ckptPath == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+			_ = f.Close()
+		}()
 	}
 	if *faultSpec != "" {
 		if _, err := fault.EnableSpec(*faultSeed, *faultSpec); err != nil {

@@ -1,0 +1,45 @@
+package attrib
+
+import (
+	"testing"
+
+	"gptattr/internal/stylometry"
+)
+
+// TestPredictFeaturesAllocs pins the pooled-scratch serving path: once
+// the sync.Pool is warm, Oracle.PredictFeatures must be effectively
+// allocation-free (a GC draining the pool mid-run may add a stray
+// refill, hence the fractional bound over 200 runs).
+func TestPredictFeaturesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; allocation counts are meaningless")
+	}
+	fx := fixture(t)
+	f, err := stylometry.Extract(fx.human.Samples[0].Source)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if a := testing.AllocsPerRun(200, func() { fx.oracle.PredictFeatures(f) }); a > 0.5 {
+		t.Errorf("PredictFeatures allocates %.2f per call, want ~0", a)
+	}
+}
+
+// TestDetectFeaturesAllocs does the same for the binary classifier's
+// serving entry point.
+func TestDetectFeaturesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; allocation counts are meaningless")
+	}
+	fx := fixture(t)
+	c, err := TrainBinary(fx.human, fx.transformed, fx.cfg)
+	if err != nil {
+		t.Fatalf("TrainBinary: %v", err)
+	}
+	f, err := stylometry.Extract(fx.transformed.Samples[0].Source)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if a := testing.AllocsPerRun(200, func() { c.DetectFeatures(f) }); a > 0.5 {
+		t.Errorf("DetectFeatures allocates %.2f per call, want ~0", a)
+	}
+}

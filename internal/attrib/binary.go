@@ -2,6 +2,7 @@ package attrib
 
 import (
 	"fmt"
+	"sync"
 
 	"gptattr/internal/corpus"
 	"gptattr/internal/ml"
@@ -124,6 +125,23 @@ type Classifier struct {
 	forest *ml.Forest
 	vec    *stylometry.Vectorizer
 	cols   []int
+
+	// scratch pools per-prediction buffers for the serving path; the
+	// zero value is ready to use.
+	scratch sync.Pool
+}
+
+// getScratch fetches pooled prediction buffers sized for this model.
+func (c *Classifier) getScratch() *vecScratch {
+	return getScratch(&c.scratch, c.vec.NumFeatures(), len(c.cols), c.forest.NumClasses())
+}
+
+// reduceInto fills s.row with the column-reduced vector of f.
+func (c *Classifier) reduceInto(f stylometry.Features, s *vecScratch) {
+	c.vec.VectorInto(f, s.full)
+	for i, col := range c.cols {
+		s.row[i] = s.full[col]
+	}
 }
 
 // TrainBinary fits a ChatGPT-vs-human classifier on full corpora
@@ -162,17 +180,15 @@ func (c *Classifier) EvaluateOn(human, gpt *corpus.Corpus) (float64, error) {
 			return 0, err
 		}
 		hits := 0
+		s := c.getScratch()
 		for _, f := range feats {
-			full := c.vec.Vector(f)
-			row := make([]float64, len(c.cols))
-			for i, col := range c.cols {
-				row[i] = full[col]
-			}
-			isGPT := c.forest.PredictProba(row)[1] > 0.5
-			if isGPT == wantGPT {
+			c.reduceInto(f, s)
+			c.forest.PredictProbaInto(s.row, s.proba)
+			if (s.proba[1] > 0.5) == wantGPT {
 				hits++
 			}
 		}
+		c.scratch.Put(s)
 		return float64(hits) / float64(len(feats)), nil
 	}
 	h, err := score(human, false)
@@ -200,11 +216,10 @@ func (c *Classifier) IsChatGPT(src string) (bool, float64, error) {
 // DetectFeatures classifies pre-extracted features (the serving path:
 // extraction is batched separately through the feature cache).
 func (c *Classifier) DetectFeatures(f stylometry.Features) (bool, float64) {
-	full := c.vec.Vector(f)
-	row := make([]float64, len(c.cols))
-	for i, col := range c.cols {
-		row[i] = full[col]
-	}
-	proba := c.forest.PredictProba(row)
-	return proba[1] > 0.5, proba[1]
+	s := c.getScratch()
+	c.reduceInto(f, s)
+	c.forest.PredictProbaInto(s.row, s.proba)
+	gpt, conf := s.proba[1] > 0.5, s.proba[1]
+	c.scratch.Put(s)
+	return gpt, conf
 }

@@ -3,6 +3,7 @@ package attrib
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gptattr/internal/corpus"
 	"gptattr/internal/ml"
@@ -19,6 +20,11 @@ type Oracle struct {
 	cols   []int
 	labels []string
 	index  map[string]int
+
+	// scratch pools per-prediction buffers for the serving path; the
+	// zero value is ready to use, so persisted-model loading needs no
+	// extra wiring.
+	scratch sync.Pool
 }
 
 // TrainOracle fits the oracle on a human (non-ChatGPT) corpus.
@@ -67,6 +73,20 @@ func (o *Oracle) vector(f stylometry.Features) []float64 {
 	return row
 }
 
+// getScratch fetches pooled prediction buffers sized for this model.
+func (o *Oracle) getScratch() *vecScratch {
+	return getScratch(&o.scratch, o.vec.NumFeatures(), len(o.cols), o.forest.NumClasses())
+}
+
+// reduceInto fills s.row with the column-reduced vector of f using
+// only pooled scratch.
+func (o *Oracle) reduceInto(f stylometry.Features, s *vecScratch) {
+	o.vec.VectorInto(f, s.full)
+	for i, c := range o.cols {
+		s.row[i] = s.full[c]
+	}
+}
+
 // Predict attributes one source to an author label.
 func (o *Oracle) Predict(src string) (string, error) {
 	f, err := stylometry.Extract(src)
@@ -80,7 +100,17 @@ func (o *Oracle) Predict(src string) (string, error) {
 // serving path: extraction is batched separately (through the feature
 // cache) and the model only votes.
 func (o *Oracle) PredictFeatures(f stylometry.Features) string {
-	return o.labels[o.forest.Predict(o.vector(f))]
+	s := o.getScratch()
+	o.reduceInto(f, s)
+	o.forest.VotesInto(s.row, s.votes)
+	best := 0
+	for c, v := range s.votes {
+		if v > s.votes[best] {
+			best = c
+		}
+	}
+	o.scratch.Put(s)
+	return o.labels[best]
 }
 
 // Proba returns the forest's vote share per author label for one
@@ -94,17 +124,22 @@ func (o *Oracle) Proba(src string) (map[string]float64, string, error) {
 	return out, best, nil
 }
 
-// ProbaFeatures is Proba over pre-extracted features.
+// ProbaFeatures is Proba over pre-extracted features. Only the
+// returned label map allocates; the vectorization and voting run on
+// pooled scratch.
 func (o *Oracle) ProbaFeatures(f stylometry.Features) (map[string]float64, string) {
-	proba := o.forest.PredictProba(o.vector(f))
+	s := o.getScratch()
+	o.reduceInto(f, s)
+	o.forest.PredictProbaInto(s.row, s.proba)
 	out := make(map[string]float64, len(o.labels))
 	best := 0
-	for i, p := range proba {
+	for i, p := range s.proba {
 		out[o.labels[i]] = p
-		if p > proba[best] {
+		if p > s.proba[best] {
 			best = i
 		}
 	}
+	o.scratch.Put(s)
 	return out, o.labels[best]
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package attrib
+
+const raceEnabled = false

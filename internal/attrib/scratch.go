@@ -1,0 +1,30 @@
+package attrib
+
+import "sync"
+
+// vecScratch bundles the per-prediction buffers of a serving-path
+// model call: the full vectorizer row, the column-reduced model row,
+// and per-class votes/probabilities. Pooling these keeps the hot
+// request path allocation-free while remaining safe under the serve
+// batcher's concurrency.
+type vecScratch struct {
+	full  []float64
+	row   []float64
+	votes []int
+	proba []float64
+}
+
+// getScratch fetches (or sizes anew) a scratch set from pool. Models
+// are immutable once built, so the sizes are fixed per model and a
+// pooled entry always fits.
+func getScratch(pool *sync.Pool, nFull, nRow, nClasses int) *vecScratch {
+	if s, _ := pool.Get().(*vecScratch); s != nil {
+		return s
+	}
+	return &vecScratch{
+		full:  make([]float64, nFull),
+		row:   make([]float64, nRow),
+		votes: make([]int, nClasses),
+		proba: make([]float64, nClasses),
+	}
+}

@@ -1,0 +1,51 @@
+package cpptok
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchSrc approximates a contest-sized C++ solution (~8 KB): dense
+// statements, a few comments, literals, and preprocessor lines, so the
+// token-per-byte ratio matches what the stylometry pipeline scans.
+var benchSrc = func() string {
+	unit := `#include <vector>
+// binary indexed tree over prefix sums
+struct Fen {
+    std::vector<long long> t;
+    explicit Fen(int n) : t(n + 1, 0) {}
+    void add(int i, long long v) {
+        for (++i; i < (int)t.size(); i += i & -i) t[i] += v;
+    }
+    long long sum(int i) {
+        long long s = 0;
+        for (++i; i > 0; i -= i & -i) s += t[i];
+        return s; /* inclusive prefix */
+    }
+};
+int solve_case(int n, double eps) {
+    Fen f(n);
+    for (int i = 0; i < n; ++i) f.add(i, i * 2 + 1);
+    const char *msg = "case done\n";
+    return f.sum(n - 1) > 1e9 * eps ? 1 : 0;
+}
+`
+	return strings.Repeat(unit, 12)
+}()
+
+// BenchmarkScan measures the tokenizer over a realistic source. The
+// feature extractor calls Scan once per sample, so per-call slice
+// regrowth shows up directly in corpus-scale extraction time.
+func BenchmarkScan(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		toks, err := Scan(benchSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(toks) < 100 {
+			b.Fatalf("suspiciously few tokens: %d", len(toks))
+		}
+	}
+}

@@ -205,7 +205,8 @@ func evaluateFold(d *Dataset, fold Fold, fi int, cfg ForestConfig, treeWorkers i
 		testX[i] = d.X[j]
 		truth[i] = d.Y[j]
 	}
-	res.Pred = forest.PredictAll(testX)
+	res.Pred = make([]int, len(testX))
+	forest.PredictAllInto(testX, res.Pred)
 	res.Truth = truth
 	res.Accuracy = Accuracy(res.Pred, truth)
 	return res

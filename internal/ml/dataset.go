@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Dataset is a dense labelled design matrix.
@@ -27,7 +28,31 @@ type Dataset struct {
 	NumClasses int
 	// FeatureNames optionally names columns for diagnostics.
 	FeatureNames []string
+
+	// colOnce guards the lazily built column-major mirror (colmat).
+	// Training builds it once per dataset; X must not be mutated after
+	// the first FitTree/FitForest call on this dataset.
+	colOnce sync.Once
+	colmat  *colMatrix
 }
+
+// columns returns the flat column-major mirror of X, building (and
+// per-feature sorting) it on first use. Safe for concurrent callers.
+func (d *Dataset) columns() *colMatrix {
+	d.colOnce.Do(func() { d.colmat = newColMatrix(d) })
+	return d.colmat
+}
+
+// ColumnMajor returns the single flat backing array of the column-major
+// mirror: feature f occupies the n consecutive entries starting at
+// f*n, where n is the row count. The mirror is built lazily from the
+// row API and cached; callers must treat it — and X, once any training
+// or column access has happened — as read-only.
+func (d *Dataset) ColumnMajor() []float64 { return d.columns().data }
+
+// Col returns the contiguous column view of feature f from the
+// column-major mirror (read-only).
+func (d *Dataset) Col(f int) []float64 { return d.columns().col(f) }
 
 // ErrEmptyDataset is returned when fitting on no samples.
 var ErrEmptyDataset = errors.New("ml: empty dataset")

@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+)
+
+// flatForest is the structure-of-arrays node layout batch prediction
+// runs on: every tree's nodes live in one set of parallel flat arrays
+// (child indices rebased to the global arrays), so the trees-outer /
+// samples-inner traversal touches a handful of contiguous slices
+// instead of chasing per-tree node structs.
+type flatForest struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	class     []int32
+	roots     []int32 // root node index per tree
+}
+
+// flatten builds (once, lazily) the SoA layout from the fitted trees.
+func (f *Forest) flatten() *flatForest {
+	f.flatOnce.Do(func() {
+		total := 0
+		for _, t := range f.trees {
+			total += len(t.nodes)
+		}
+		ff := &flatForest{
+			feature:   make([]int32, total),
+			threshold: make([]float64, total),
+			left:      make([]int32, total),
+			right:     make([]int32, total),
+			class:     make([]int32, total),
+			roots:     make([]int32, len(f.trees)),
+		}
+		pos := int32(0)
+		for ti, t := range f.trees {
+			ff.roots[ti] = pos
+			for _, n := range t.nodes {
+				ff.feature[pos] = int32(n.feature)
+				ff.threshold[pos] = n.threshold
+				ff.left[pos] = n.left + ff.roots[ti]
+				ff.right[pos] = n.right + ff.roots[ti]
+				ff.class[pos] = n.class
+				pos++
+			}
+		}
+		f.flat = ff
+	})
+	return f.flat
+}
+
+// predictBlockInto classifies rows X[lo:hi) into out[lo:hi) using the
+// flat layout: trees outer, samples inner, so each tree's nodes stay
+// hot in cache across the whole block. votes is scratch of at least
+// (hi-lo)*numClasses int32s.
+func (ff *flatForest) predictBlockInto(X [][]float64, out []int, lo, hi, numClasses int, votes []int32) {
+	nb := hi - lo
+	votes = votes[:nb*numClasses]
+	for i := range votes {
+		votes[i] = 0
+	}
+	feature, threshold := ff.feature, ff.threshold
+	left, right, class := ff.left, ff.right, ff.class
+	for _, root := range ff.roots {
+		for s := 0; s < nb; s++ {
+			x := X[lo+s]
+			i := root
+			for feature[i] >= 0 {
+				if x[feature[i]] <= threshold[i] {
+					i = left[i]
+				} else {
+					i = right[i]
+				}
+			}
+			votes[s*numClasses+int(class[i])]++
+		}
+	}
+	for s := 0; s < nb; s++ {
+		v := votes[s*numClasses : (s+1)*numClasses]
+		best := 0
+		for c := 1; c < numClasses; c++ {
+			if v[c] > v[best] {
+				best = c
+			}
+		}
+		out[lo+s] = best
+	}
+}
+
+// predictBlockSize bounds the samples handled per flat-prediction block
+// so the per-block vote matrix stays cache-resident.
+const predictBlockSize = 256
+
+// PredictAll classifies every row of X. Blocks of samples are scored
+// trees-outer/samples-inner over the flat node layout, in parallel
+// across blocks; ties break toward the lower class index, so results
+// are deterministic and identical to per-sample Predict.
+func (f *Forest) PredictAll(X [][]float64) []int {
+	out := make([]int, len(X))
+	f.PredictAllInto(X, out)
+	return out
+}
+
+// PredictAllInto is PredictAll writing into a caller-provided slice
+// (len must equal len(X)).
+func (f *Forest) PredictAllInto(X [][]float64, out []int) {
+	n := len(X)
+	if n == 0 {
+		return
+	}
+	ff := f.flatten()
+	nBlocks := (n + predictBlockSize - 1) / predictBlockSize
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		votes := make([]int32, predictBlockSize*f.numClasses)
+		for lo := 0; lo < n; lo += predictBlockSize {
+			hi := lo + predictBlockSize
+			if hi > n {
+				hi = n
+			}
+			ff.predictBlockInto(X, out, lo, hi, f.numClasses, votes)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			votes := make([]int32, predictBlockSize*f.numClasses)
+			for b := range jobs {
+				lo := b * predictBlockSize
+				hi := lo + predictBlockSize
+				if hi > n {
+					hi = n
+				}
+				ff.predictBlockInto(X, out, lo, hi, f.numClasses, votes)
+			}
+		}()
+	}
+	for b := 0; b < nBlocks; b++ {
+		jobs <- b
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,7 +1,6 @@
 package ml
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -23,6 +22,10 @@ type ForestConfig struct {
 	Seed int64
 	// Workers bounds build parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Bins opts every tree into histogram-mode induction (see
+	// TreeConfig.Bins). 0 keeps the exact pre-sorted engine, which is
+	// bit-identical to classic per-node-sorting CART.
+	Bins int
 }
 
 func (c ForestConfig) numTrees() int {
@@ -32,67 +35,109 @@ func (c ForestConfig) numTrees() int {
 	return c.NumTrees
 }
 
-// Forest is a fitted random forest.
-type Forest struct {
-	trees      []*Tree
-	numClasses int
-}
-
-// FitForest trains a random forest on d: each tree sees a bootstrap
-// sample of the rows and samples MTry features at every split. Tree
-// construction runs on a bounded worker pool and is deterministic for a
-// given seed regardless of worker count.
-func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	nTrees := cfg.numTrees()
-	mtry := cfg.MTry
+// resolve computes the effective tree config and worker count.
+func (c ForestConfig) resolve(d *Dataset) (tcfg TreeConfig, workers int) {
+	mtry := c.MTry
 	if mtry <= 0 {
 		mtry = int(math.Sqrt(float64(d.NumFeatures())))
 		if mtry < 1 {
 			mtry = 1
 		}
 	}
-	tcfg := TreeConfig{MaxDepth: cfg.MaxDepth, MinSamplesLeaf: cfg.MinSamplesLeaf, MTry: mtry}
-
-	workers := cfg.Workers
+	tcfg = TreeConfig{MaxDepth: c.MaxDepth, MinSamplesLeaf: c.MinSamplesLeaf, MTry: mtry, Bins: c.Bins}
+	workers = c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > nTrees {
-		workers = nTrees
+	if n := c.numTrees(); workers > n {
+		workers = n
 	}
+	return tcfg, workers
+}
+
+// Forest is a fitted random forest.
+type Forest struct {
+	trees      []*Tree
+	numClasses int
+
+	// flatOnce guards flat, the SoA node layout PredictAll batches on.
+	flatOnce sync.Once
+	flat     *flatForest
+}
+
+// FitForest trains a random forest on d: each tree sees a bootstrap
+// sample of the rows and samples MTry features at every split. The
+// column-major mirror and per-feature sort are built once and shared by
+// all trees; each worker reuses one pre-sorted tree builder, so steady-
+// state training allocates only the trees themselves. Construction runs
+// on a bounded worker pool and is deterministic for a given seed
+// regardless of worker count.
+func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
+	f, _, err := fitForest(d, cfg, false)
+	return f, err
+}
+
+// fitForest is the shared trainer behind FitForest and FitForestOOB.
+// When oob is true it also tallies out-of-bag votes per sample.
+func fitForest(d *Dataset, cfg ForestConfig, oob bool) (*Forest, [][]int32, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ctx, err := newTrainCtx(d, cfg.Bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	nTrees := cfg.numTrees()
+	tcfg, workers := cfg.resolve(d)
 
 	f := &Forest{trees: make([]*Tree, nTrees), numClasses: d.NumClasses}
 	n := len(d.X)
 
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
+	var oobVotes [][]int32
+	var oobMu sync.Mutex
+	if oob {
+		oobVotes = make([][]int32, n)
+		for i := range oobVotes {
+			oobVotes[i] = make([]int32, d.NumClasses)
+		}
+	}
+
+	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			b := newTreeBuilder(ctx)
+			boot := make([]int, n)
+			var inBag []bool
+			if oob {
+				inBag = make([]bool, n)
+			}
 			for ti := range jobs {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)*2654435761))
-				boot := make([]int, n)
+				if oob {
+					for i := range inBag {
+						inBag[i] = false
+					}
+				}
 				for i := range boot {
 					boot[i] = rng.Intn(n)
-				}
-				tree, err := FitTree(d, boot, tcfg, rng)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("tree %d: %w", ti, err)
+					if oob {
+						inBag[boot[i]] = true
 					}
-					mu.Unlock()
-					continue
 				}
+				tree := b.fit(boot, tcfg, rng)
 				f.trees[ti] = tree
+				if oob {
+					oobMu.Lock()
+					for i := 0; i < n; i++ {
+						if !inBag[i] {
+							oobVotes[i][tree.Predict(d.X[i])]++
+						}
+					}
+					oobMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -101,10 +146,7 @@ func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return f, nil
+	return f, oobVotes, nil
 }
 
 // NumTrees returns the ensemble size.
@@ -113,20 +155,42 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 // Votes returns the per-class vote counts for one sample.
 func (f *Forest) Votes(x []float64) []int {
 	votes := make([]int, f.numClasses)
+	f.VotesInto(x, votes)
+	return votes
+}
+
+// VotesInto tallies per-class vote counts for one sample into votes
+// (len must be NumClasses) without allocating.
+func (f *Forest) VotesInto(x []float64, votes []int) {
+	for i := range votes {
+		votes[i] = 0
+	}
 	for _, t := range f.trees {
 		votes[t.Predict(x)]++
 	}
-	return votes
+}
+
+// Argmax returns the index of the largest value; ties break toward the
+// lower index, deterministically.
+func Argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // Predict returns the majority-vote class for one sample; ties break
 // toward the lower class index, deterministically.
 func (f *Forest) Predict(x []float64) int {
-	votes := f.Votes(x)
-	best := 0
+	best, bestVotes := 0, -1
+	votes := make([]int, f.numClasses)
+	f.VotesInto(x, votes)
 	for c, v := range votes {
-		if v > votes[best] {
-			best = c
+		if v > bestVotes {
+			best, bestVotes = c, v
 		}
 	}
 	return best
@@ -134,43 +198,23 @@ func (f *Forest) Predict(x []float64) int {
 
 // PredictProba returns vote fractions per class.
 func (f *Forest) PredictProba(x []float64) []float64 {
-	votes := f.Votes(x)
-	out := make([]float64, len(votes))
-	n := float64(len(f.trees))
-	for c, v := range votes {
-		out[c] = float64(v) / n
-	}
+	out := make([]float64, f.numClasses)
+	f.PredictProbaInto(x, out)
 	return out
 }
 
-// PredictAll classifies every row of X, in parallel.
-func (f *Forest) PredictAll(X [][]float64) []int {
-	out := make([]int, len(X))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(X) {
-		workers = len(X)
+// PredictProbaInto writes vote fractions per class into out (len must
+// be NumClasses) without allocating: votes accumulate directly in out
+// and are scaled in place.
+func (f *Forest) PredictProbaInto(x []float64, out []float64) {
+	for i := range out {
+		out[i] = 0
 	}
-	if workers <= 1 {
-		for i, x := range X {
-			out[i] = f.Predict(x)
-		}
-		return out
+	for _, t := range f.trees {
+		out[t.Predict(x)]++
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = f.Predict(X[i])
-			}
-		}()
+	inv := 1 / float64(len(f.trees))
+	for i := range out {
+		out[i] *= inv
 	}
-	for i := range X {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
 }

@@ -1,0 +1,168 @@
+package ml
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from the current implementation")
+
+// tieDataset is deliberately hostile to split tie-breaking: every
+// feature takes values from a tiny integer set, so many thresholds
+// share a gain and the first-feature / lowest-threshold rule decides.
+// Any change to candidate order, scan order, or threshold midpoints
+// shows up here.
+func tieDataset() *Dataset {
+	rng := rand.New(rand.NewSource(55))
+	d := &Dataset{NumClasses: 4}
+	for i := 0; i < 160; i++ {
+		row := make([]float64, 20)
+		for j := range row {
+			row[j] = float64(rng.Intn(4))
+		}
+		// Constant and near-constant columns ride along.
+		row[7] = 1.5
+		row[13] = float64(i % 2)
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, (int(row[0])+int(row[1]))%4)
+	}
+	return d
+}
+
+// goldenCases enumerates the training configurations whose encoded
+// forests are pinned against the seed implementation. Together they
+// cover mtry<nf and mtry=nf candidate selection, depth and leaf-size
+// stopping, plain CART via FitTree, tie-heavy integer data, and
+// worker-count invariance.
+func goldenCases() []struct {
+	name   string
+	encode func() ([]byte, error)
+} {
+	blobsD := blobs(5, 20, 12, 1.2, 31)
+	ties := tieDataset()
+	encodeForest := func(d *Dataset, cfg ForestConfig) func() ([]byte, error) {
+		return func() ([]byte, error) {
+			f, err := FitForest(d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := f.Encode(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}
+	}
+	return []struct {
+		name   string
+		encode func() ([]byte, error)
+	}{
+		{"forest-default", encodeForest(blobsD, ForestConfig{NumTrees: 8, Seed: 3, Workers: 1})},
+		{"forest-workers4", encodeForest(blobsD, ForestConfig{NumTrees: 8, Seed: 3, Workers: 4})},
+		{"forest-allfeatures", encodeForest(blobsD, ForestConfig{NumTrees: 4, Seed: 9, MTry: 12, Workers: 2})},
+		{"forest-shallow", encodeForest(blobsD, ForestConfig{NumTrees: 6, Seed: 17, MaxDepth: 3, MinSamplesLeaf: 4, Workers: 1})},
+		{"forest-ties", encodeForest(ties, ForestConfig{NumTrees: 10, Seed: 23, Workers: 2})},
+		{"forest-ties-minleaf", encodeForest(ties, ForestConfig{NumTrees: 5, Seed: 41, MinSamplesLeaf: 7, Workers: 1})},
+		{"tree-cart", func() ([]byte, error) {
+			t, err := FitTree(blobsD, nil, TreeConfig{}, nil)
+			if err != nil {
+				return nil, err
+			}
+			f := &Forest{trees: []*Tree{t}, numClasses: blobsD.NumClasses}
+			var buf bytes.Buffer
+			if err := f.Encode(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}},
+		{"tree-cart-ties", func() ([]byte, error) {
+			rng := rand.New(rand.NewSource(5))
+			boot := make([]int, len(ties.X))
+			for i := range boot {
+				boot[i] = rng.Intn(len(ties.X))
+			}
+			t, err := FitTree(ties, boot, TreeConfig{MTry: 6, MinSamplesLeaf: 2}, rng)
+			if err != nil {
+				return nil, err
+			}
+			f := &Forest{trees: []*Tree{t}, numClasses: ties.NumClasses}
+			var buf bytes.Buffer
+			if err := f.Encode(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}},
+	}
+}
+
+// TestGoldenForests pins the exact encoded bytes of forests trained by
+// the seed implementation. The pre-sorted engine must reproduce every
+// split, threshold, and tie-break bit-for-bit; run with -update only
+// when intentionally changing training semantics (and say so loudly in
+// the commit).
+func TestGoldenForests(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "golden_forests.json")
+	got := map[string]string{}
+	var sample []byte
+	for _, c := range goldenCases() {
+		enc, err := c.encode()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		sum := sha256.Sum256(enc)
+		got[c.name] = hex.EncodeToString(sum[:])
+		if c.name == "forest-ties" {
+			sample = enc
+		}
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Full encoding of one tie-heavy forest for debuggability: a
+		// hash mismatch alone says nothing about which split moved.
+		if err := os.WriteFile(filepath.Join("testdata", "golden_forest_ties.json"), sample, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden files updated")
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/ml -run TestGoldenForests -update` to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, wantSum := range want {
+		if got[name] != wantSum {
+			t.Errorf("%s: forest encoding diverged from seed implementation\n got %s\nwant %s", name, got[name], wantSum)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("golden case set changed: %d cases, golden has %d (re-run -update deliberately)", len(got), len(want))
+	}
+	// The committed full encoding must also match byte-for-byte.
+	full, err := os.ReadFile(filepath.Join("testdata", "golden_forest_ties.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, sample) {
+		t.Error("forest-ties full encoding differs from committed seed encoding")
+	}
+}

@@ -1,13 +1,5 @@
 package ml
 
-import (
-	"fmt"
-	"math"
-	"math/rand"
-	"runtime"
-	"sync"
-)
-
 // OOBResult reports out-of-bag evaluation of a random forest: each
 // sample is scored only by the trees whose bootstrap did not contain
 // it, giving an unbiased accuracy estimate without a held-out set.
@@ -25,85 +17,11 @@ type OOBResult struct {
 // so the returned forest predicts identically) while also computing
 // the out-of-bag accuracy estimate.
 func FitForestOOB(d *Dataset, cfg ForestConfig) (*Forest, *OOBResult, error) {
-	if err := d.Validate(); err != nil {
+	f, votes, err := fitForest(d, cfg, true)
+	if err != nil {
 		return nil, nil, err
 	}
-	nTrees := cfg.numTrees()
-	mtry := cfg.MTry
-	if mtry <= 0 {
-		mtry = int(math.Sqrt(float64(d.NumFeatures())))
-		if mtry < 1 {
-			mtry = 1
-		}
-	}
-	tcfg := TreeConfig{MaxDepth: cfg.MaxDepth, MinSamplesLeaf: cfg.MinSamplesLeaf, MTry: mtry}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nTrees {
-		workers = nTrees
-	}
-
 	n := len(d.X)
-	f := &Forest{trees: make([]*Tree, nTrees), numClasses: d.NumClasses}
-	votes := make([][]int32, n)
-	for i := range votes {
-		votes[i] = make([]int32, d.NumClasses)
-	}
-	var votesMu sync.Mutex
-
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			inBag := make([]bool, n)
-			for ti := range jobs {
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)*2654435761))
-				boot := make([]int, n)
-				for i := range inBag {
-					inBag[i] = false
-				}
-				for i := range boot {
-					boot[i] = rng.Intn(n)
-					inBag[boot[i]] = true
-				}
-				tree, err := FitTree(d, boot, tcfg, rng)
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("tree %d: %w", ti, err)
-					}
-					errMu.Unlock()
-					continue
-				}
-				f.trees[ti] = tree
-				votesMu.Lock()
-				for i := 0; i < n; i++ {
-					if !inBag[i] {
-						votes[i][tree.Predict(d.X[i])]++
-					}
-				}
-				votesMu.Unlock()
-			}
-		}()
-	}
-	for ti := 0; ti < nTrees; ti++ {
-		jobs <- ti
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-
 	res := &OOBResult{Pred: make([]int, n)}
 	hits := 0
 	for i := 0; i < n; i++ {

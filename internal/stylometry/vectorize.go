@@ -2,6 +2,7 @@ package stylometry
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"sort"
 
@@ -93,6 +94,19 @@ func (v *Vectorizer) FeatureNames() []string { return v.names }
 // ignored (the document may be out-of-vocabulary).
 func (v *Vectorizer) Vector(doc Features) []float64 {
 	row := make([]float64, len(v.names))
+	v.VectorInto(doc, row)
+	return row
+}
+
+// VectorInto fills a caller-provided row (len must be NumFeatures)
+// with the document's dense vector, allocating nothing. Serving paths
+// reuse one row per worker across requests.
+func (v *Vectorizer) VectorInto(doc Features, row []float64) {
+	if len(row) != len(v.names) {
+		// repolint:allow-panic caller-contract violation (wrongly sized scratch), not a data fault the supervisors should absorb
+		panic(fmt.Sprintf("stylometry: VectorInto row len %d, want %d", len(row), len(v.names)))
+	}
+	clear(row)
 	for name, val := range doc {
 		i, ok := v.index[name]
 		if !ok {
@@ -105,7 +119,6 @@ func (v *Vectorizer) Vector(doc Features) []float64 {
 		}
 		row[i] = val
 	}
-	return row
 }
 
 // vectorizerDTO is the JSON wire form of a Vectorizer.
