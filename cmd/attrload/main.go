@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gptattr/internal/fleet"
 	"gptattr/internal/serve"
 	"gptattr/internal/serve/metrics"
 )
@@ -48,6 +49,7 @@ func run(args []string, stdout io.Writer) error {
 	requests := fs_.Int("requests", 0, "stop after this many requests (0 = duration only)")
 	timeout := fs_.Duration("timeout", 10*time.Second, "per-request client timeout")
 	serverMetrics := fs_.Bool("server-metrics", true, "fetch and print the server's /metrics after the run")
+	fleetMode := fs_.Bool("fleet", false, "target is an attrrouter: also fetch /fleet/status and report the fleet-wide view")
 	if err := fs_.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +80,11 @@ func run(args []string, stdout io.Writer) error {
 	rep := loadTest(cfg)
 	fmt.Fprint(stdout, rep.String())
 
+	if *fleetMode {
+		if err := fleetReport(stdout, cfg.BaseURL, rep); err != nil {
+			fmt.Fprintf(stdout, "\nfleet status unavailable: %v\n", err)
+		}
+	}
 	if *serverMetrics {
 		resp, err := http.Get(cfg.BaseURL + "/metrics")
 		if err == nil {
@@ -212,6 +219,44 @@ func loadTest(cfg loadConfig) *report {
 		Elapsed:  elapsed,
 		Latency:  hist.Snap(),
 	}
+}
+
+// fleetReport fetches the router's /fleet/status and prints the
+// fleet-wide view: the client-observed latency quantiles (which span
+// every replica, since each request crossed the router) plus the
+// per-replica roster and the router's hedge/failover counters.
+func fleetReport(stdout io.Writer, baseURL string, rep *report) error {
+	resp, err := http.Get(baseURL + "/fleet/status")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }() // response fully read or abandoned either way
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/fleet/status answered %d", resp.StatusCode)
+	}
+	var st fleet.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	s := rep.Latency
+	fmt.Fprintf(stdout, "\nfleet:      generation %d, %d/%d replicas alive\n",
+		st.Generation, st.AliveReplicas, len(st.Replicas))
+	fmt.Fprintf(stdout, "fleet-wide: p50 %v  p95 %v  p99 %v (client-observed, all replicas)\n",
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "router:     %d forwards, %d failovers, %d hedges (%d won), %d restores, %d gen mismatches\n",
+		st.Forwards, st.Failovers, st.Hedges, st.HedgeWins, st.Restores, st.GenMismatches)
+	for _, r := range st.Replicas {
+		state := "alive"
+		if !r.Alive {
+			state = "dead"
+		}
+		fmt.Fprintf(stdout, "replica %-8s %-5s gen %-3d inflight %-3d fails %d  %s\n",
+			r.Name, state, r.Generation, r.Inflight, r.ConsecutiveFailures, r.URL)
+	}
+	if st.GenMismatches > 0 {
+		return fmt.Errorf("%d responses crossed a generation flip", st.GenMismatches)
+	}
+	return nil
 }
 
 // loadSources reads every .cc/.cpp file under dir, recursively.

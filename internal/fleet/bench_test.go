@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gptattr/internal/serve"
+)
+
+// BenchmarkRingOwner is the per-request routing decision: one hash +
+// binary search + clockwise scan. It sits on every forward, so it
+// must stay allocation-light.
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(DefaultVnodes)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("int f%d() { return %d; }", i, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Owner(keys[i%len(keys)]); !ok {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+// BenchmarkRingOwners3 is the full failover-order computation the
+// router actually calls (owner + two successors).
+func BenchmarkRingOwners3(b *testing.B) {
+	r := NewRing(DefaultVnodes)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i))
+	}
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("int f%d() { return %d; }", i, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.Owners(keys[i%len(keys)], 3); len(got) != 3 {
+			b.Fatal("short owner list")
+		}
+	}
+}
+
+// benchFleet builds a router over fake replicas for overhead
+// benchmarks, bypassing testing.T plumbing.
+func benchFleet(b *testing.B, n int, mutate func(*Config)) ([]*fakeReplica, *Router) {
+	b.Helper()
+	fakes := make([]*fakeReplica, n)
+	reps := make([]*Replica, n)
+	for i := range fakes {
+		name := fmt.Sprintf("r%d", i+1)
+		f := &fakeReplica{
+			name: name, counter: 1, gen: 1,
+			seen:   make(map[string]int),
+			perGen: make(map[uint64]int),
+		}
+		f.start("127.0.0.1:0")
+		b.Cleanup(f.kill)
+		fakes[i] = f
+		reps[i] = NewReplica(name, f.url(), nil)
+	}
+	cfg := Config{Replicas: reps}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Sync(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return fakes, rt
+}
+
+// BenchmarkRouterForward is the router's end-to-end overhead per
+// request: flip-gate RLock, ring pick, dispatch goroutine, one
+// loopback HTTP hop to a trivial replica, JSON decode. The replica
+// does no work, so this is ~pure routing cost.
+func BenchmarkRouterForward(b *testing.B) {
+	_, rt := benchFleet(b, 3, func(c *Config) { c.NoHedge = true })
+	ctx := context.Background()
+	src := "int bench() { return 0; }"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Attribute(ctx, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouterHedgedForward measures the hedge path end to end:
+// the key's owner is stalled far past the hedge delay, so every
+// request waits out HedgeDelay (1ms here), fires the hedge, and wins
+// on the runner-up. Per-op time ≈ hedge delay + one forward; the
+// interesting regression is any growth beyond that sum.
+func BenchmarkRouterHedgedForward(b *testing.B) {
+	fakes, rt := benchFleet(b, 3, func(c *Config) { c.HedgeDelay = time.Millisecond })
+	ctx := context.Background()
+	src := "int bench() { return 0; }"
+	owner, _ := rt.ring.Owner([]byte(serve.AttributeRequest{Source: src}.Source))
+	for _, f := range fakes {
+		if f.name == owner {
+			f.setDelay(time.Second)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := rt.Attribute(ctx, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Author == owner {
+			b.Fatal("stalled owner answered")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/corpus"
+	"gptattr/internal/gpt"
+	"gptattr/internal/serve"
+)
+
+// The fleet e2e tests run real attrserve replicas, so they share one
+// trained oracle + detector, kept as saved bytes (same fixture shape
+// as internal/serve's).
+var (
+	fixOnce     sync.Once
+	fixErr      error
+	oracleBytes []byte
+	detBytes    []byte
+	fixHuman    *corpus.Corpus
+)
+
+func trainModels() {
+	cfg := attrib.Config{Trees: 10, TopFeatures: 150, Seed: 42}
+	human, _, err := corpus.GenerateYear(corpus.YearConfig{Year: 2017, NumAuthors: 6, Seed: 1})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	model := gpt.NewModel(gpt.Config{Seed: 2, NumStyles: 4})
+	transformed, err := corpus.GenerateTransformed(corpus.TransformedConfig{
+		Year: 2017, Rounds: 2, Model: model, Seed: 3, SkipVerify: true,
+	})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	oracle, err := attrib.TrainOracle(human, cfg)
+	if err != nil {
+		fixErr = err
+		return
+	}
+	det, err := attrib.TrainBinary(human, transformed, cfg)
+	if err != nil {
+		fixErr = err
+		return
+	}
+	var ob, db bytes.Buffer
+	if err := oracle.Save(&ob); err != nil {
+		fixErr = err
+		return
+	}
+	if err := det.Save(&db); err != nil {
+		fixErr = err
+		return
+	}
+	oracleBytes, detBytes = ob.Bytes(), db.Bytes()
+	fixHuman = human
+}
+
+// modelDir writes the shared trained models into a fresh directory.
+func modelDir(t *testing.T) string {
+	t.Helper()
+	fixOnce.Do(trainModels)
+	if fixErr != nil {
+		t.Fatalf("training fixture models: %v", fixErr)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, serve.OracleFile), oracleBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, serve.DetectorFile), detBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// sampleSource returns the i-th human training source (valid C++).
+func sampleSource(t *testing.T, i int) string {
+	t.Helper()
+	fixOnce.Do(trainModels)
+	if fixErr != nil {
+		t.Fatalf("training fixture models: %v", fixErr)
+	}
+	return fixHuman.Samples[i%len(fixHuman.Samples)].Source
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoordinatedReloadUnderLoad is the mixed-version race test (run
+// under -race in CI): closed-loop clients hammer the router while the
+// fleet flips generations several times. The drain-and-flip contract
+// demands that
+//
+//   - no request fails,
+//   - every client observes a non-decreasing generation sequence
+//     (a response can never come from a generation older than one
+//     already seen — the mixed-version window),
+//   - the router's gen-mismatch counter stays zero, and
+//   - after the final reload every response carries the final
+//     generation.
+func TestCoordinatedReloadUnderLoad(t *testing.T) {
+	fakes, rt, met := newTestFleet(t, 3, func(c *Config) {
+		c.NoHedge = true // hedging off: latency jitter isn't under test here
+	})
+	_ = fakes
+
+	const (
+		clients = 8
+		reloads = 4
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	regressions := make([]string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := fmt.Sprintf("int c%d_f%d() { return %d; }", c, i%7, i%7)
+				resp, err := attribute(t, rt, src, fmt.Sprintf("race-%d-%d", c, i))
+				if err != nil {
+					errs[c] = fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+				if resp.ModelGeneration < lastGen {
+					regressions[c] = fmt.Sprintf(
+						"request %d: generation went backwards %d -> %d (mixed-version window)",
+						i, lastGen, resp.ModelGeneration)
+					return
+				}
+				lastGen = resp.ModelGeneration
+			}
+		}(c)
+	}
+
+	var finalGen uint64
+	for i := 0; i < reloads; i++ {
+		time.Sleep(30 * time.Millisecond) // let load build between flips
+		gen, err := rt.CoordinatedReload(context.Background())
+		if err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		finalGen = gen
+	}
+	time.Sleep(30 * time.Millisecond) // post-flip traffic at the final generation
+	close(stop)
+	wg.Wait()
+
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Errorf("client %d: %v", c, errs[c])
+		}
+		if regressions[c] != "" {
+			t.Errorf("client %d: %s", c, regressions[c])
+		}
+	}
+	if finalGen != uint64(1+reloads) {
+		t.Errorf("final generation %d, want %d", finalGen, 1+reloads)
+	}
+	if n := met.Counter("fleet_gen_mismatch_total").Value(); n != 0 {
+		t.Errorf("%d responses disagreed with the fleet generation at dispatch", n)
+	}
+	// Post-flip check from the replica side: once the fleet is at
+	// finalGen, a fresh request must be served at finalGen.
+	resp, err := attribute(t, rt, "int fin() { return 1; }", "race-final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelGeneration != finalGen {
+		t.Errorf("post-reload response at generation %d, fleet at %d", resp.ModelGeneration, finalGen)
+	}
+}
+
+// TestStageCommitSplitPhases drives the router's own Stage/Commit
+// surface (what an operator or an outer coordinator would call over
+// HTTP) and checks the fleet only flips on commit.
+func TestStageCommitSplitPhases(t *testing.T) {
+	fakes, rt, _ := newTestFleet(t, 3, nil)
+	staged, err := rt.Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged != 2 {
+		t.Fatalf("staged generation %d, want 2", staged)
+	}
+	for _, f := range fakes {
+		if g := f.generation(); g != 1 {
+			t.Errorf("replica %s flipped to %d on stage alone", f.name, g)
+		}
+	}
+	gen, err := rt.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("committed generation %d, want 2", gen)
+	}
+	for _, f := range fakes {
+		if g := f.generation(); g != 2 {
+			t.Errorf("replica %s at %d after commit", f.name, g)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gptattr/internal/serve"
+)
+
+// maxReplicaBody bounds how much of a replica response the router
+// will buffer; inference responses are a few KB of JSON.
+const maxReplicaBody = 1 << 20
+
+// Replica is the router's client for one shared-nothing attrserve
+// process. All calls propagate the request ID and are bounded by the
+// caller's context; a transport-level failure (connection refused,
+// reset mid-body) is returned as an error so the router can fail the
+// replica over, while an HTTP-answered request — any status — is a
+// verdict to pass through.
+type Replica struct {
+	// Name identifies the replica on the ring and in logs/metrics.
+	Name string
+	// BaseURL is the replica's serving address (no trailing slash).
+	BaseURL string
+	// Client issues the HTTP calls (shared across replicas).
+	Client *http.Client
+}
+
+// NewReplica builds a replica handle. An empty client gets a default
+// with pooled connections; per-call deadlines come from contexts.
+func NewReplica(name, baseURL string, client *http.Client) *Replica {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Replica{Name: name, BaseURL: strings.TrimRight(baseURL, "/"), Client: client}
+}
+
+// Forward posts one inference request body to /v1/<endpoint>. The
+// returned status and body are the replica's verdict verbatim; err is
+// non-nil only for transport failures, which make the request safe
+// and necessary to retry elsewhere.
+func (r *Replica) Forward(ctx context.Context, endpoint, reqID string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+"/v1/"+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(serve.RequestIDHeader, reqID)
+	}
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // body read to the limit below either way
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicaBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// Healthz fetches the replica's health report.
+func (r *Replica) Healthz(ctx context.Context) (serve.HealthResponse, error) {
+	var h serve.HealthResponse
+	err := r.call(ctx, http.MethodGet, "/healthz", &h)
+	return h, err
+}
+
+// Stage asks the replica to load the next model generation without
+// serving it (phase one of a coordinated reload).
+func (r *Replica) Stage(ctx context.Context) (uint64, error) {
+	var sr serve.StageResponse
+	if err := r.call(ctx, http.MethodPost, "/v1/reload/stage", &sr); err != nil {
+		return 0, err
+	}
+	return sr.StagedGeneration, nil
+}
+
+// Commit asks the replica to atomically publish its staged generation
+// (phase two of a coordinated reload).
+func (r *Replica) Commit(ctx context.Context) (uint64, error) {
+	var rr serve.ReloadResponse
+	if err := r.call(ctx, http.MethodPost, "/v1/reload/commit", &rr); err != nil {
+		return 0, err
+	}
+	return rr.ModelGeneration, nil
+}
+
+// MetricsText fetches the replica's plain-text /metrics page.
+func (r *Replica) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }() // body read to the limit below either way
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicaBody))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("fleet: %s: /metrics answered %d", r.Name, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+// call issues one control request and decodes a 200's JSON body into
+// out; a non-200 answer becomes an error quoting the replica's
+// error body.
+func (r *Replica) call(ctx context.Context, method, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, r.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }() // body read to the limit below either way
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicaBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: %s: %s answered %d: %s", r.Name, path, resp.StatusCode, errorBody(b))
+	}
+	return json.Unmarshal(b, out)
+}
+
+// errorBody extracts the error field from a replica's JSON error
+// envelope, falling back to the raw (truncated) body.
+func errorBody(b []byte) string {
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(b, &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

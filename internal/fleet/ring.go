@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ring is a consistent-hashing ring over named replicas. Each member
+// owns Vnodes points on a 64-bit hash circle; a key's owner is the
+// first point clockwise from the key's hash whose member is alive.
+// Because point positions are a pure function of member names, adding
+// or removing one member moves only the keys that member gains or
+// loses — every other key keeps its owner, which is what preserves
+// per-replica feature-cache affinity across membership churn.
+//
+// Members carry an aliveness bit separate from membership: a dead
+// replica keeps its ring points (so its keys come straight back when
+// it recovers) but is skipped during lookup, spilling its keys to the
+// next alive member clockwise.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	members map[string]bool // name -> alive
+	points  []ringPoint     // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// DefaultVnodes balances ownership evenly enough for small fleets
+// (spread stays within ~20% of fair share at 3–16 replicas) while
+// keeping membership changes cheap.
+const DefaultVnodes = 64
+
+// NewRing builds an empty ring with the given points per member
+// (<= 0 selects DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// mix64 is a splitmix64-style finalizer. FNV alone scatters short
+// inputs (single-letter names, small vnode indices) unevenly across
+// the high bits, which skews arc ownership badly at 64 vnodes; the
+// finalizer's full avalanche restores an even spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashKey positions a key on the circle.
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return mix64(h.Sum64())
+}
+
+// pointHash positions one member vnode on the circle.
+func pointHash(name string, i int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", name, i)
+	return mix64(h.Sum64())
+}
+
+// ValidName reports whether name can be a ring member: non-empty,
+// printable, no whitespace — the constraint that keeps Snapshot's
+// space-separated line format unambiguous.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, c := range name {
+		if c <= ' ' || c == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// Add inserts a member (alive). Reports false when already present or
+// the name is invalid (see ValidName).
+func (r *Ring) Add(name string) bool {
+	if !ValidName(name) {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; ok {
+		return false
+	}
+	r.members[name] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(name, i), name: name})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare, but the fuzzer will find them
+		// eventually) break on name so the layout stays deterministic.
+		return r.points[a].name < r.points[b].name
+	})
+	return true
+}
+
+// Remove deletes a member and its points. Reports false when absent.
+func (r *Ring) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; !ok {
+		return false
+	}
+	delete(r.members, name)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.name != name {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// SetAlive flips a member's aliveness. Reports false when absent.
+func (r *Ring) SetAlive(name string, alive bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; !ok {
+		return false
+	}
+	r.members[name] = alive
+	return true
+}
+
+// IsAlive reports a member's aliveness (false when absent).
+func (r *Ring) IsAlive(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[name]
+}
+
+// Members lists every member, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for name := range r.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alive lists the alive members, sorted.
+func (r *Ring) Alive() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for name, alive := range r.members {
+		if alive {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the alive member owning key, or ok=false when no
+// member is alive.
+func (r *Ring) Owner(key []byte) (string, bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct alive members in ring order from
+// key's position: the owner first, then the members that would take
+// over if earlier ones died. This is the router's failover and hedge
+// order.
+func (r *Ring) Owners(key []byte, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	kh := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.name] || !r.members[p.name] {
+			continue
+		}
+		seen[p.name] = true
+		out = append(out, p.name)
+	}
+	return out
+}
+
+// Snapshot serializes the ring's logical state (vnode count, members,
+// aliveness) canonically: equal rings render identical snapshots, and
+// ParseSnapshot rebuilds an identical ring, because point layout is a
+// pure function of this state.
+func (r *Ring) Snapshot() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "ring/v1 vnodes=%d\n", r.vnodes)
+	names := make([]string, 0, len(r.members))
+	for name := range r.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		state := "dead"
+		if r.members[name] {
+			state = "alive"
+		}
+		fmt.Fprintf(&b, "member %s %s\n", name, state)
+	}
+	return b.String()
+}
+
+// ParseSnapshot rebuilds a ring from Snapshot output.
+func ParseSnapshot(s string) (*Ring, error) {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("fleet: empty ring snapshot")
+	}
+	var vnodes int
+	if _, err := fmt.Sscanf(lines[0], "ring/v1 vnodes=%d", &vnodes); err != nil {
+		return nil, fmt.Errorf("fleet: bad snapshot header %q: %v", lines[0], err)
+	}
+	if vnodes <= 0 {
+		return nil, fmt.Errorf("fleet: bad snapshot vnodes %d", vnodes)
+	}
+	r := NewRing(vnodes)
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, " ")
+		if len(fields) != 3 || fields[0] != "member" {
+			return nil, fmt.Errorf("fleet: bad snapshot line %q", line)
+		}
+		name := fields[1]
+		if !r.Add(name) {
+			return nil, fmt.Errorf("fleet: invalid or duplicate snapshot member %q", name)
+		}
+		switch fields[2] {
+		case "alive":
+		case "dead":
+			r.SetAlive(name, false)
+		default:
+			return nil, fmt.Errorf("fleet: bad snapshot state %q", fields[2])
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,709 @@
+// Package fleet is the horizontal serving tier: a consistent-hashing
+// router over N shared-nothing attrserve replicas, with per-replica
+// health tracking, request hedging against slow replicas, passive
+// failover on dead connections, and coordinated two-phase model
+// reloads that never expose a mixed-generation window.
+//
+// The router plugs into internal/serve as a Backend: the HTTP layer,
+// admission, metrics, and request-ID plumbing are the same code the
+// replicas run, so a request is traceable by one X-Request-Id from
+// the client through the router to the replica that served it.
+//
+// Consistency across reloads is a drain-and-flip: phase one stages
+// the next model generation on every replica while the old generation
+// keeps serving; phase two takes the flip gate (a write lock every
+// forward holds for reading), which drains in-flight forwards, then
+// commits every replica and updates the fleet generation before any
+// new forward dispatches. Replicas that miss the flip (crashed,
+// restarted, torn commit) are healed — driven through stage+commit
+// cycles until they reach the fleet generation — before they rejoin
+// the ring, so clients never observe a response from a stale
+// generation once the fleet has moved.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gptattr/internal/fault"
+	"gptattr/internal/serve"
+	"gptattr/internal/serve/metrics"
+)
+
+// Fault-injection points on the routing path (see internal/fault).
+const (
+	// PointForward fires before dispatching any forward; an error
+	// degrades the router itself (503) without touching replicas.
+	PointForward = "fleet.forward"
+	// PointReloadStage fires at the head of a coordinated reload's
+	// stage phase; an error aborts the reload before any replica is
+	// touched.
+	PointReloadStage = "fleet.reload.stage"
+	// PointReloadCommit fires between the stage and commit phases —
+	// the torn-reload window: every replica holds a staged generation
+	// but none has flipped.
+	PointReloadCommit = "fleet.reload.commit"
+)
+
+// PointForwardReplica names the per-replica forward point; arming it
+// with latency makes that one replica slow (hedging territory) and
+// with errors makes it flaky (failover territory), deterministically
+// under the fault seed.
+func PointForwardReplica(name string) string { return "fleet.forward." + name }
+
+// healMaxCycles bounds how many stage+commit rounds a heal will drive
+// a lagging replica through before giving up on it.
+const healMaxCycles = 64
+
+// Config wires a Router together.
+type Config struct {
+	// Replicas is the fixed fleet membership (required, names unique).
+	Replicas []*Replica
+	// Vnodes is the ring points per replica (default DefaultVnodes).
+	Vnodes int
+	// HedgeDelay is how long the primary may stay silent before the
+	// same request is hedged to the next replica on the ring
+	// (default 25ms). NoHedge disables hedging entirely.
+	HedgeDelay time.Duration
+	NoHedge    bool
+	// P2CSlack is the power-of-two-choices threshold: when the
+	// primary's router-side in-flight count exceeds the runner-up's
+	// by more than this, the hot key is served by the runner-up
+	// (default 4).
+	P2CSlack int64
+	// DeadAfter is the consecutive probe failures before a replica
+	// leaves the rotation (default 2); forward-path connection
+	// failures take it out immediately.
+	DeadAfter int
+	// ProbeInterval is the health-poll period; 0 disables the
+	// background poller (tests drive ProbeAll directly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// ReloadTimeout budgets one coordinated reload (default 30s).
+	ReloadTimeout time.Duration
+	// Metrics receives router counters and gauges; nil creates a
+	// private registry. Pass the same registry to serve.Config so
+	// /metrics renders both views.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives operational log lines (replicas
+	// leaving/rejoining rotation, reload phases).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 25 * time.Millisecond
+	}
+	if c.P2CSlack <= 0 {
+		c.P2CSlack = 4
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ReloadTimeout <= 0 {
+		c.ReloadTimeout = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// FleetStatus answers GET /fleet/status on the router.
+type FleetStatus struct {
+	Generation    uint64          `json:"generation"`
+	AliveReplicas int             `json:"alive_replicas"`
+	Replicas      []ReplicaStatus `json:"replicas"`
+	Forwards      uint64          `json:"forwards"`
+	Failovers     uint64          `json:"failovers"`
+	Hedges        uint64          `json:"hedges"`
+	HedgeWins     uint64          `json:"hedge_wins"`
+	GenMismatches uint64          `json:"gen_mismatches"`
+	Restores      uint64          `json:"restores"`
+}
+
+// Router implements serve.Backend over the replica fleet.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	reps    map[string]*Replica
+	names   []string // sorted, for deterministic iteration
+	tracker *Tracker
+	met     *metrics.Registry
+
+	inflight map[string]*atomic.Int64
+
+	// fleetGen is the generation every in-rotation replica serves;
+	// forwards read it at dispatch, the flip writes it.
+	fleetGen atomic.Uint64
+
+	// flip is the mixed-version guard: every forward holds it for
+	// reading across dispatch; a coordinated reload's commit phase
+	// takes it for writing, which drains in-flight forwards, flips
+	// every replica, and releases — so no forward ever spans the flip.
+	flip sync.RWMutex
+
+	// reloadMu serializes fleet mutations (coordinated reloads and
+	// dead-replica restores). Lock order: reloadMu before flip.
+	reloadMu sync.Mutex
+
+	stop     chan struct{}
+	pollDone chan struct{}
+}
+
+// New builds the router. Membership is fixed at construction; call
+// Sync to take the initial health census, then Start for background
+// polling.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: at least one replica is required")
+	}
+	rt := &Router{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Vnodes),
+		reps:     make(map[string]*Replica, len(cfg.Replicas)),
+		tracker:  NewTracker(cfg.DeadAfter),
+		met:      cfg.Metrics,
+		inflight: make(map[string]*atomic.Int64, len(cfg.Replicas)),
+		stop:     make(chan struct{}),
+		pollDone: make(chan struct{}),
+	}
+	for _, rep := range cfg.Replicas {
+		if !ValidName(rep.Name) {
+			return nil, fmt.Errorf("fleet: invalid replica name %q", rep.Name)
+		}
+		if _, dup := rt.reps[rep.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate replica name %q", rep.Name)
+		}
+		rt.reps[rep.Name] = rep
+		rt.ring.Add(rep.Name)
+		rt.tracker.Track(rep.Name)
+		rt.inflight[rep.Name] = &atomic.Int64{}
+		rt.names = append(rt.names, rep.Name)
+	}
+	sort.Strings(rt.names)
+	return rt, nil
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// Sync takes the initial census: probes every replica, drops the
+// unreachable from rotation, adopts the highest serving generation as
+// the fleet generation, and heals stragglers up to it. At least one
+// replica must be reachable.
+func (rt *Router) Sync(ctx context.Context) error {
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	var maxGen uint64
+	gens := make(map[string]uint64)
+	for _, name := range rt.names {
+		h, err := rt.probe(ctx, name)
+		if err != nil {
+			rt.tracker.MarkDead(name)
+			rt.ring.SetAlive(name, false)
+			rt.logf("fleet: replica %s unreachable at startup: %v", name, err)
+			continue
+		}
+		gens[name] = h.ModelGeneration
+		if h.ModelGeneration > maxGen {
+			maxGen = h.ModelGeneration
+		}
+	}
+	if len(gens) == 0 {
+		return fmt.Errorf("fleet: no replica reachable")
+	}
+	for _, name := range rt.names {
+		gen, ok := gens[name]
+		if !ok || gen == maxGen {
+			continue
+		}
+		if err := rt.heal(ctx, name, maxGen); err != nil {
+			rt.tracker.MarkDead(name)
+			rt.ring.SetAlive(name, false)
+			rt.logf("fleet: replica %s stuck at generation %d, out of rotation: %v", name, gen, err)
+		}
+	}
+	rt.fleetGen.Store(maxGen)
+	rt.logf("fleet: synced %d/%d replicas at generation %d", len(rt.ring.Alive()), len(rt.names), maxGen)
+	return nil
+}
+
+// Start launches the background health poller (no-op when
+// ProbeInterval is 0). Close stops it.
+func (rt *Router) Start() {
+	if rt.cfg.ProbeInterval <= 0 {
+		close(rt.pollDone)
+		return
+	}
+	go func() {
+		defer close(rt.pollDone)
+		ticker := time.NewTicker(rt.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-ticker.C:
+				rt.ProbeAll(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the poller.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	<-rt.pollDone
+}
+
+// probe fetches one replica's health under the probe timeout.
+func (rt *Router) probe(ctx context.Context, name string) (serve.HealthResponse, error) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	h, err := rt.reps[name].Healthz(pctx)
+	if err != nil {
+		return h, err
+	}
+	rt.tracker.ObserveSuccess(name, h.ModelGeneration, h.StagedGeneration, h.Oracle, h.Detector)
+	return h, nil
+}
+
+// ProbeAll health-checks every replica once: alive replicas failing
+// past the threshold leave the rotation; dead replicas that answer
+// are healed to the fleet generation and restored.
+func (rt *Router) ProbeAll(ctx context.Context) {
+	for _, name := range rt.names {
+		_, err := rt.probe(ctx, name)
+		if err != nil {
+			if rt.tracker.ObserveFailure(name) {
+				rt.ring.SetAlive(name, false)
+				rt.logf("fleet: replica %s out of rotation after failed probes: %v", name, err)
+			}
+			continue
+		}
+		if !rt.ring.IsAlive(name) {
+			rt.tryRestore(ctx, name)
+		}
+	}
+}
+
+// tryRestore returns an answering-but-dead replica to the ring, first
+// healing it to the fleet generation so it cannot serve stale models.
+// Serialized with coordinated reloads so a heal never races a flip.
+func (rt *Router) tryRestore(ctx context.Context, name string) {
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	target := rt.fleetGen.Load()
+	if target > 0 {
+		if err := rt.heal(ctx, name, target); err != nil {
+			rt.logf("fleet: replica %s answers but cannot reach generation %d: %v", name, target, err)
+			return
+		}
+	}
+	rt.tracker.MarkAlive(name)
+	rt.ring.SetAlive(name, true)
+	rt.met.Counter("fleet_restores_total").Inc()
+	rt.logf("fleet: replica %s restored at generation %d", name, target)
+}
+
+// heal drives one replica through stage+commit cycles until its
+// serving generation reaches target. Callers hold reloadMu.
+func (rt *Router) heal(ctx context.Context, name string, target uint64) error {
+	rep := rt.reps[name]
+	for i := 0; i < healMaxCycles; i++ {
+		h, err := rep.Healthz(ctx)
+		if err != nil {
+			return err
+		}
+		switch {
+		case h.ModelGeneration == target:
+			rt.tracker.ObserveSuccess(name, h.ModelGeneration, h.StagedGeneration, h.Oracle, h.Detector)
+			return nil
+		case h.ModelGeneration > target:
+			return fmt.Errorf("fleet: %s at generation %d, ahead of fleet generation %d (out-of-band reload?)",
+				name, h.ModelGeneration, target)
+		}
+		if _, err := rep.Stage(ctx); err != nil {
+			return err
+		}
+		if _, err := rep.Commit(ctx); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("fleet: %s did not reach generation %d within %d reload cycles", name, target, healMaxCycles)
+}
+
+// replicaDown takes a replica out of rotation after a forward-path
+// transport failure; the probe loop restores it when it answers again.
+func (rt *Router) replicaDown(name string, err error) {
+	if rt.tracker.MarkDead(name) {
+		rt.ring.SetAlive(name, false)
+		rt.logf("fleet: replica %s out of rotation (forward failed: %v)", name, err)
+	}
+}
+
+// pickOrder is the dispatch order for a key: ring owner first, then
+// the failover successors, with the power-of-two-choices demotion
+// when the owner is drowning in a hot key.
+func (rt *Router) pickOrder(key string) []string {
+	order := rt.ring.Owners([]byte(key), len(rt.names))
+	if len(order) >= 2 {
+		if rt.inflight[order[0]].Load()-rt.inflight[order[1]].Load() > rt.cfg.P2CSlack {
+			order[0], order[1] = order[1], order[0]
+			rt.met.Counter("fleet_p2c_demotions_total").Inc()
+		}
+	}
+	return order
+}
+
+// attemptResult is one replica dispatch outcome.
+type attemptResult struct {
+	name   string
+	status int
+	body   []byte
+	err    error // transport failure (safe to retry elsewhere)
+	hedged bool
+}
+
+// attempt runs one replica dispatch and reports into out.
+func (rt *Router) attempt(ctx context.Context, name, endpoint, reqID string, body []byte, hedged bool, out chan<- attemptResult) {
+	ctr := rt.inflight[name]
+	ctr.Add(1)
+	defer ctr.Add(-1)
+	if err := fault.Hit(PointForwardReplica(name)); err != nil {
+		out <- attemptResult{name: name, err: err, hedged: hedged}
+		return
+	}
+	status, rbody, err := rt.reps[name].Forward(ctx, endpoint, reqID, body)
+	out <- attemptResult{name: name, status: status, body: rbody, err: err, hedged: hedged}
+}
+
+// forward dispatches one request to the fleet: consistent-hash pick,
+// hedge after HedgeDelay of silence, failover across remaining
+// replicas on transport errors. Exactly one replica answer is
+// returned per request — losing hedges are canceled and discarded —
+// and the expected fleet generation at dispatch rides along for the
+// mixed-version check.
+func (rt *Router) forward(ctx context.Context, endpoint, key string, body []byte) ([]byte, uint64, error) {
+	rt.flip.RLock()
+	defer rt.flip.RUnlock()
+	expect := rt.fleetGen.Load()
+	reqID := serve.RequestIDFrom(ctx)
+	rt.met.Counter("fleet_forwards_total").Inc()
+	if err := fault.Hit(PointForward); err != nil {
+		return nil, 0, &serve.StatusError{Code: http.StatusServiceUnavailable, Msg: "router degraded: " + err.Error()}
+	}
+	order := rt.pickOrder(key)
+	if len(order) == 0 {
+		return nil, 0, &serve.StatusError{Code: http.StatusServiceUnavailable, Msg: "no alive replicas"}
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attemptResult, len(order))
+	next, launched := 0, 0
+	launch := func(hedged bool) bool {
+		if next >= len(order) {
+			return false
+		}
+		name := order[next]
+		next++
+		launched++
+		go rt.attempt(actx, name, endpoint, reqID, body, hedged, results)
+		return true
+	}
+	launch(false)
+	var hedgeC <-chan time.Time
+	if !rt.cfg.NoHedge && len(order) > 1 {
+		timer := time.NewTimer(rt.cfg.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if launch(true) {
+				rt.met.Counter("fleet_hedges_total").Inc()
+			}
+		case res := <-results:
+			launched--
+			if res.err != nil {
+				if ctx.Err() != nil {
+					// The deadline, not the replica, killed the attempt.
+					return nil, 0, ctx.Err()
+				}
+				lastErr = res.err
+				rt.met.Counter("fleet_failovers_total").Inc()
+				rt.replicaDown(res.name, res.err)
+				if launched == 0 && !launch(res.hedged) {
+					return nil, 0, &serve.StatusError{Code: http.StatusServiceUnavailable,
+						Msg: fmt.Sprintf("all replicas failed (last: %v)", lastErr)}
+				}
+				continue
+			}
+			if res.hedged {
+				rt.met.Counter("fleet_hedge_wins_total").Inc()
+			}
+			if res.status != http.StatusOK {
+				// The replica answered: its verdict passes through.
+				return nil, 0, &serve.StatusError{Code: res.status, Msg: errorBody(res.body)}
+			}
+			return res.body, expect, nil
+		}
+	}
+}
+
+// checkGen counts responses whose generation disagrees with the fleet
+// generation read at dispatch. The drain-and-flip makes this
+// impossible in a healthy fleet; a nonzero counter means a replica
+// was reloaded behind the router's back.
+func (rt *Router) checkGen(got, expect uint64) {
+	if expect != 0 && got != expect {
+		rt.met.Counter("fleet_gen_mismatch_total").Inc()
+		rt.logf("fleet: response generation %d != fleet generation %d", got, expect)
+	}
+}
+
+// Attribute implements serve.Backend by forwarding to the fleet.
+func (rt *Router) Attribute(ctx context.Context, src string) (serve.AttributeResponse, error) {
+	var out serve.AttributeResponse
+	body, err := json.Marshal(serve.AttributeRequest{Source: src})
+	if err != nil {
+		return out, err
+	}
+	rbody, expect, err := rt.forward(ctx, "attribute", src, body)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(rbody, &out); err != nil {
+		return out, &serve.StatusError{Code: http.StatusBadGateway, Msg: "bad replica response: " + err.Error()}
+	}
+	rt.checkGen(out.ModelGeneration, expect)
+	return out, nil
+}
+
+// Detect implements serve.Backend by forwarding to the fleet.
+func (rt *Router) Detect(ctx context.Context, src string) (serve.DetectResponse, error) {
+	var out serve.DetectResponse
+	body, err := json.Marshal(serve.AttributeRequest{Source: src})
+	if err != nil {
+		return out, err
+	}
+	rbody, expect, err := rt.forward(ctx, "detect", src, body)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(rbody, &out); err != nil {
+		return out, &serve.StatusError{Code: http.StatusBadGateway, Msg: "bad replica response: " + err.Error()}
+	}
+	rt.checkGen(out.ModelGeneration, expect)
+	return out, nil
+}
+
+// Health implements serve.Backend: the fleet is ok while any replica
+// is in rotation.
+func (rt *Router) Health() serve.HealthResponse {
+	oracle, detector := rt.tracker.ModelsSeen()
+	status := "ok"
+	if len(rt.ring.Alive()) == 0 {
+		status = "degraded"
+	}
+	return serve.HealthResponse{
+		Status:          status,
+		ModelGeneration: rt.fleetGen.Load(),
+		Oracle:          oracle,
+		Detector:        detector,
+	}
+}
+
+// Reload implements serve.Backend as a full coordinated reload.
+func (rt *Router) Reload() (uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ReloadTimeout)
+	defer cancel()
+	return rt.CoordinatedReload(ctx)
+}
+
+// Stage implements serve.Stager: phase one only, fleet-wide.
+func (rt *Router) Stage() (uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ReloadTimeout)
+	defer cancel()
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	return rt.stagePhase(ctx)
+}
+
+// Commit implements serve.Stager: phase two only, fleet-wide.
+func (rt *Router) Commit() (uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ReloadTimeout)
+	defer cancel()
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	return rt.commitPhase(ctx)
+}
+
+// CoordinatedReload propagates the next model generation across the
+// fleet with no mixed-version window: stage everywhere (old
+// generation keeps serving), then drain-and-flip everywhere. Returns
+// the new fleet generation.
+func (rt *Router) CoordinatedReload(ctx context.Context) (uint64, error) {
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	if _, err := rt.stagePhase(ctx); err != nil {
+		return 0, err
+	}
+	return rt.commitPhase(ctx)
+}
+
+// stagePhase stages the next generation on every in-rotation replica,
+// aborting wholesale on any failure (staged generations elsewhere
+// stay unpublished and are replaced by the next stage). Returns the
+// highest staged generation. Callers hold reloadMu.
+func (rt *Router) stagePhase(ctx context.Context) (uint64, error) {
+	if err := fault.Hit(PointReloadStage); err != nil {
+		return 0, fmt.Errorf("fleet: reload aborted before stage: %w", err)
+	}
+	alive := rt.ring.Alive()
+	if len(alive) == 0 {
+		return 0, fmt.Errorf("fleet: no alive replicas to stage")
+	}
+	gens := make([]uint64, len(alive))
+	errs := make([]error, len(alive))
+	var wg sync.WaitGroup
+	for i, name := range alive {
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			gens[i], errs[i] = rep.Stage(ctx)
+		}(i, rt.reps[name])
+	}
+	wg.Wait()
+	var maxStaged uint64
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("fleet: stage on %s failed, reload aborted: %w", alive[i], err)
+		}
+		if gens[i] > maxStaged {
+			maxStaged = gens[i]
+		}
+	}
+	rt.met.Counter("fleet_stages_total").Inc()
+	rt.logf("fleet: staged generation on %d replicas", len(alive))
+	return maxStaged, nil
+}
+
+// commitPhase is the flip: under the gate (which drains in-flight
+// forwards), commit every in-rotation replica, heal any that answered
+// with a lagging generation, drop any that cannot be healed, and
+// adopt the new fleet generation. Callers hold reloadMu.
+func (rt *Router) commitPhase(ctx context.Context) (uint64, error) {
+	if err := fault.Hit(PointReloadCommit); err != nil {
+		return 0, fmt.Errorf("fleet: reload aborted before flip: %w", err)
+	}
+	rt.flip.Lock()
+	defer rt.flip.Unlock()
+	alive := rt.ring.Alive()
+	if len(alive) == 0 {
+		return 0, fmt.Errorf("fleet: no alive replicas to commit")
+	}
+	gens := make([]uint64, len(alive))
+	errs := make([]error, len(alive))
+	var wg sync.WaitGroup
+	for i, name := range alive {
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			gens[i], errs[i] = rep.Commit(ctx)
+		}(i, rt.reps[name])
+	}
+	wg.Wait()
+	var newGen uint64
+	committed := 0
+	var lastErr error
+	for i := range alive {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		committed++
+		if gens[i] > newGen {
+			newGen = gens[i]
+		}
+	}
+	if committed == 0 {
+		return 0, fmt.Errorf("fleet: every commit failed (last: %v)", lastErr)
+	}
+	// Stragglers must not serve the old generation once the gate
+	// lifts: heal them inside the gate or take them out of rotation.
+	for i, name := range alive {
+		if errs[i] == nil && gens[i] == newGen {
+			continue
+		}
+		if err := rt.heal(ctx, name, newGen); err != nil {
+			rt.tracker.MarkDead(name)
+			rt.ring.SetAlive(name, false)
+			rt.logf("fleet: replica %s missed the flip to generation %d, out of rotation: %v", name, newGen, err)
+		}
+	}
+	rt.fleetGen.Store(newGen)
+	rt.met.Counter("fleet_reloads_total").Inc()
+	rt.met.Gauge("fleet_generation").Set(int64(newGen))
+	rt.logf("fleet: coordinated reload complete, fleet at generation %d (%d/%d replicas)",
+		newGen, len(rt.ring.Alive()), len(rt.names))
+	return newGen, nil
+}
+
+// Observe implements serve.Backend: refresh fleet gauges for
+// /metrics. model_generation mirrors the replica-side gauge name so
+// dashboards read either tier identically.
+func (rt *Router) Observe(met *metrics.Registry) {
+	met.Gauge("fleet_alive_replicas").Set(int64(len(rt.ring.Alive())))
+	met.Gauge("fleet_generation").Set(int64(rt.fleetGen.Load()))
+	met.Gauge("model_generation").Set(int64(rt.fleetGen.Load()))
+}
+
+// Status reports the fleet view for GET /fleet/status.
+func (rt *Router) Status() FleetStatus {
+	sts := rt.tracker.Statuses()
+	for i := range sts {
+		name := sts[i].Name
+		sts[i].URL = rt.reps[name].BaseURL
+		sts[i].Inflight = rt.inflight[name].Load()
+		sts[i].Alive = rt.ring.IsAlive(name) // the ring is routing truth
+	}
+	return FleetStatus{
+		Generation:    rt.fleetGen.Load(),
+		AliveReplicas: len(rt.ring.Alive()),
+		Replicas:      sts,
+		Forwards:      rt.met.Counter("fleet_forwards_total").Value(),
+		Failovers:     rt.met.Counter("fleet_failovers_total").Value(),
+		Hedges:        rt.met.Counter("fleet_hedges_total").Value(),
+		HedgeWins:     rt.met.Counter("fleet_hedge_wins_total").Value(),
+		GenMismatches: rt.met.Counter("fleet_gen_mismatch_total").Value(),
+		Restores:      rt.met.Counter("fleet_restores_total").Value(),
+	}
+}

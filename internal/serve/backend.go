@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"gptattr/internal/serve/metrics"
+)
+
+// Backend answers inference requests on behalf of the HTTP layer.
+// Server is transport-agnostic over it: the same handlers, admission
+// semantics, and error envelope serve both the in-process replica
+// (LocalBackend: registry + batcher) and the fleet router
+// (internal/fleet: consistent-hash forwarding over N replicas).
+//
+// Backend errors map to HTTP statuses via Core.FailBackend; a backend
+// that already knows the exact status (the router passing a replica's
+// answer through) wraps it in a *StatusError.
+type Backend interface {
+	// Attribute runs multi-author attribution on one source.
+	Attribute(ctx context.Context, src string) (AttributeResponse, error)
+	// Detect runs the ChatGPT-vs-human classifier on one source.
+	Detect(ctx context.Context, src string) (DetectResponse, error)
+	// Health reports the backend's serving state for GET /healthz.
+	Health() HealthResponse
+	// Reload swaps in the next model generation (POST /v1/reload,
+	// SIGHUP) and returns the now-serving generation.
+	Reload() (uint64, error)
+	// Observe refreshes backend gauges just before GET /metrics
+	// renders (queue depth, model generation, fleet size, ...).
+	Observe(met *metrics.Registry)
+}
+
+// Stager is the optional two-phase reload face of a Backend. The
+// replica registry implements it so a fleet coordinator can stage a
+// new model generation everywhere before any replica starts serving
+// it; Server exposes it as POST /v1/reload/stage + /v1/reload/commit.
+type Stager interface {
+	// Stage loads the next generation without serving it, returning
+	// the staged generation number.
+	Stage() (uint64, error)
+	// Commit atomically publishes the staged generation.
+	Commit() (uint64, error)
+}
+
+// Model-absence sentinels: the endpoint's model is not loaded, so the
+// request is answerable only with 503 until a reload supplies it.
+var (
+	ErrNoOracle   = errors.New("no attribution model loaded")
+	ErrNoDetector = errors.New("no detector model loaded")
+)
+
+// LocalBackend serves inference from this process: model lookups on
+// the registry's current generation, feature extraction through the
+// micro-batching queue.
+type LocalBackend struct {
+	reg     *Registry
+	batcher *Batcher
+}
+
+// NewLocalBackend wires the in-process backend.
+func NewLocalBackend(reg *Registry, b *Batcher) *LocalBackend {
+	return &LocalBackend{reg: reg, batcher: b}
+}
+
+// Attribute implements Backend.
+func (l *LocalBackend) Attribute(ctx context.Context, src string) (AttributeResponse, error) {
+	models := l.reg.Current()
+	if models.Oracle == nil {
+		return AttributeResponse{}, ErrNoOracle
+	}
+	feats, err := l.batcher.Extract(ctx, src)
+	if err != nil {
+		return AttributeResponse{}, err
+	}
+	proba, best := models.Oracle.ProbaFeatures(feats)
+	return AttributeResponse{Author: best, Proba: proba, ModelGeneration: models.Generation}, nil
+}
+
+// Detect implements Backend.
+func (l *LocalBackend) Detect(ctx context.Context, src string) (DetectResponse, error) {
+	models := l.reg.Current()
+	if models.Detector == nil {
+		return DetectResponse{}, ErrNoDetector
+	}
+	feats, err := l.batcher.Extract(ctx, src)
+	if err != nil {
+		return DetectResponse{}, err
+	}
+	verdict, conf := models.Detector.DetectFeatures(feats)
+	return DetectResponse{ChatGPT: verdict, Confidence: conf, ModelGeneration: models.Generation}, nil
+}
+
+// Health implements Backend.
+func (l *LocalBackend) Health() HealthResponse {
+	m := l.reg.Current()
+	return HealthResponse{
+		Status:           "ok",
+		ModelGeneration:  m.Generation,
+		StagedGeneration: l.reg.StagedGeneration(),
+		Oracle:           m.Oracle != nil,
+		Detector:         m.Detector != nil,
+	}
+}
+
+// Reload implements Backend: stage + commit in one step.
+func (l *LocalBackend) Reload() (uint64, error) {
+	if err := l.reg.Load(); err != nil {
+		return 0, err
+	}
+	return l.reg.Current().Generation, nil
+}
+
+// Stage implements Stager.
+func (l *LocalBackend) Stage() (uint64, error) { return l.reg.Stage() }
+
+// Commit implements Stager.
+func (l *LocalBackend) Commit() (uint64, error) { return l.reg.Commit() }
+
+// Observe implements Backend.
+func (l *LocalBackend) Observe(met *metrics.Registry) {
+	met.Gauge("queue_depth").Set(int64(l.batcher.QueueLen()))
+	met.Gauge("model_generation").Set(int64(l.reg.Current().Generation))
+}
+
+// latencyName returns the per-endpoint histogram name; shared so the
+// router and replica bucket identically.
+func latencyName(endpoint string) string { return endpoint + "_latency" }
+
+// observeEndpoint records one successful request's latency and count.
+func observeEndpoint(met *metrics.Registry, endpoint string, start time.Time) {
+	met.Histogram(latencyName(endpoint)).Observe(time.Since(start))
+	met.Counter(endpoint + "_ok_total").Inc()
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"gptattr/internal/serve/metrics"
+)
+
+// Core is the transport-agnostic request plumbing shared by every
+// HTTP face of the attribution service — the single-process replica
+// server and the fleet router (internal/fleet): request-ID minting
+// and propagation, per-request deadlines, bounded body decoding,
+// metrics, bounded in-flight admission, and the JSON error envelope
+// with its status mapping. Because both binaries go through one Core,
+// they agree on admission semantics (429 + Retry-After, 504 on
+// deadline) and traceability (X-Request-Id) by construction.
+type Core struct {
+	met          *metrics.Registry
+	timeout      time.Duration
+	maxBodyBytes int64
+	maxInflight  int64 // 0 = unbounded (admission then lives elsewhere, e.g. the batcher queue)
+	inflight     atomic.Int64
+}
+
+// NewCore builds the shared plumbing. Zero values select defaults:
+// a private metrics registry, 10s timeout, 1MiB bodies, unbounded
+// in-flight admission.
+func NewCore(met *metrics.Registry, timeout time.Duration, maxBodyBytes int64, maxInflight int) *Core {
+	if met == nil {
+		met = metrics.NewRegistry()
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if maxBodyBytes <= 0 {
+		maxBodyBytes = 1 << 20
+	}
+	return &Core{met: met, timeout: timeout, maxBodyBytes: maxBodyBytes, maxInflight: int64(maxInflight)}
+}
+
+// Metrics returns the registry the core reports into.
+func (c *Core) Metrics() *metrics.Registry { return c.met }
+
+// Timeout returns the per-request deadline.
+func (c *Core) Timeout() time.Duration { return c.timeout }
+
+// Begin stamps the request ID on the response and returns it. An
+// inbound X-Request-Id is propagated unchanged — that is what lets
+// one ID trace a request across the router→replica hop — and a
+// request arriving without one gets a freshly minted ID.
+func (c *Core) Begin(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get(RequestIDHeader)
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set(RequestIDHeader, id)
+	return id
+}
+
+// Admit reserves one in-flight slot when MaxInflight is bounded. On
+// overflow it answers 429 itself (counted in rejected_total) and
+// returns false; the caller must not Release. A true return must be
+// paired with exactly one Release.
+func (c *Core) Admit(w http.ResponseWriter, reqID string) bool {
+	if c.maxInflight <= 0 {
+		return true
+	}
+	if c.inflight.Add(1) > c.maxInflight {
+		c.inflight.Add(-1)
+		c.met.Counter("rejected_total").Inc()
+		c.WriteError(w, http.StatusTooManyRequests, "server saturated, retry later", reqID)
+		return false
+	}
+	return true
+}
+
+// Release returns an Admit slot.
+func (c *Core) Release() {
+	if c.maxInflight > 0 {
+		c.inflight.Add(-1)
+	}
+}
+
+// RequestContext derives the per-request context: the configured
+// deadline plus the request ID for downstream log lines.
+func (c *Core) RequestContext(parent context.Context, reqID string) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(WithRequestID(parent, reqID), c.timeout)
+}
+
+// WriteJSON renders one JSON response.
+func (c *Core) WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError answers one failed request. The request ID rides along
+// in the body for the statuses a saturated or degraded server emits,
+// so incidents stay traceable from client logs alone.
+func (c *Core) WriteError(w http.ResponseWriter, status int, msg, reqID string) {
+	if status == http.StatusTooManyRequests {
+		// Closed-loop clients should back off; micro-batch turnaround
+		// is milliseconds, so one second is conservative.
+		w.Header().Set("Retry-After", "1")
+	}
+	c.WriteJSON(w, status, ErrorResponse{Error: msg, RequestID: reqID})
+}
+
+// DecodeSource parses the request body for the inference endpoints,
+// answering the error itself (and returning ok=false) when the method,
+// encoding, size, or content is unacceptable.
+func (c *Core) DecodeSource(w http.ResponseWriter, r *http.Request, reqID string) (string, bool) {
+	if r.Method != http.MethodPost {
+		c.WriteError(w, http.StatusMethodNotAllowed, "POST required", reqID)
+		return "", false
+	}
+	var req AttributeRequest
+	body := http.MaxBytesReader(w, r.Body, c.maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		c.WriteError(w, status, "bad request body: "+err.Error(), reqID)
+		return "", false
+	}
+	if req.Source == "" {
+		c.WriteError(w, http.StatusBadRequest, "empty source", reqID)
+		return "", false
+	}
+	return req.Source, true
+}
+
+// StatusError carries an explicit HTTP status through a Backend. The
+// fleet router uses it to pass a replica's verdict (its 422, 429, …)
+// through to the client unchanged instead of re-deriving a status.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+// Error renders the carried message.
+func (e *StatusError) Error() string { return e.Msg }
+
+// FailBackend translates a Backend error into the HTTP answer,
+// bumping the same degradation counters for every transport:
+// rejected_total on 429, deadline_exceeded_total on 504,
+// batch_failures_total on internal extraction failures.
+func (c *Core) FailBackend(w http.ResponseWriter, err error, reqID string) {
+	var status int
+	var msg string
+	var se *StatusError
+	switch {
+	case errors.As(err, &se):
+		status, msg = se.Code, se.Msg
+	case errors.Is(err, ErrNoOracle), errors.Is(err, ErrNoDetector):
+		status, msg = http.StatusServiceUnavailable, err.Error()
+	case errors.Is(err, ErrSaturated):
+		status, msg = http.StatusTooManyRequests, "server saturated, retry later"
+	case errors.Is(err, ErrClosed):
+		status, msg = http.StatusServiceUnavailable, "server shutting down"
+	case errors.Is(err, ErrInternal):
+		status, msg = http.StatusServiceUnavailable, "extraction failed, retry later: "+err.Error()
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status, msg = http.StatusGatewayTimeout, "request deadline exceeded"
+	default:
+		// The source itself did not extract (e.g. not lexable C++).
+		status, msg = http.StatusUnprocessableEntity, "source rejected: "+err.Error()
+	}
+	switch status {
+	case http.StatusTooManyRequests:
+		c.met.Counter("rejected_total").Inc()
+	case http.StatusGatewayTimeout:
+		c.met.Counter("deadline_exceeded_total").Inc()
+	}
+	if errors.Is(err, ErrInternal) {
+		c.met.Counter("batch_failures_total").Inc()
+	}
+	c.WriteError(w, status, msg, reqID)
+}

@@ -47,7 +47,7 @@ func (l *logCapture) containing(sub string) []string {
 // response — success, client error, saturation — carries X-Request-Id,
 // and error bodies echo the same ID in request_id.
 func TestRequestIDOnEveryResponse(t *testing.T) {
-	ts, _, _ := newTestServer(t, BatchConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 16, Workers: 1})
+	ts, _, _, _ := newTestServer(t, BatchConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 16, Workers: 1})
 
 	// Success path: header present and unique per request.
 	seen := map[string]bool{}
@@ -87,7 +87,7 @@ func TestRequestIDOnEveryResponse(t *testing.T) {
 func TestSaturationRejectionTraceable(t *testing.T) {
 	ex := newBlockingExtractor()
 	logs := &logCapture{}
-	ts, _, b := newTestServer(t, BatchConfig{
+	ts, _, b, _ := newTestServer(t, BatchConfig{
 		MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 1,
 		extractFn: ex.fn, Logf: logs.logf,
 	})
@@ -144,7 +144,7 @@ func TestSaturationRejectionTraceable(t *testing.T) {
 // the client: 429 with Retry-After and a request_id, then recovery.
 func TestAdmitFaultDegradesTo429(t *testing.T) {
 	defer fault.Disable()
-	ts, _, _ := newTestServer(t, BatchConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 16, Workers: 1})
+	ts, _, _, _ := newTestServer(t, BatchConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 16, Workers: 1})
 
 	src := sampleSource(t, 0)
 	fault.Enable(11)
@@ -260,9 +260,9 @@ func TestBatchInjectedPanicRetried(t *testing.T) {
 // half-swapped state, no downtime.
 func TestReloadFaultKeepsServing(t *testing.T) {
 	defer fault.Disable()
-	ts, s, _ := newTestServer(t, BatchConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 16, Workers: 1})
+	ts, _, _, reg := newTestServer(t, BatchConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 16, Workers: 1})
 
-	genBefore := s.cfg.Registry.Current().Generation
+	genBefore := reg.Current().Generation
 	fault.Enable(14)
 	fault.Set(PointRegistryLoad, fault.Policy{Kind: fault.KindError, Limit: 1})
 
@@ -270,7 +270,7 @@ func TestReloadFaultKeepsServing(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("faulted reload: %d %s, want 500", resp.StatusCode, body)
 	}
-	if got := s.cfg.Registry.Current().Generation; got != genBefore {
+	if got := reg.Current().Generation; got != genBefore {
 		t.Fatalf("generation moved %d -> %d across a failed reload", genBefore, got)
 	}
 
@@ -292,7 +292,7 @@ func TestReloadFaultKeepsServing(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("recovery reload: %d %s", resp.StatusCode, body)
 	}
-	if got := s.cfg.Registry.Current().Generation; got != genBefore+1 {
+	if got := reg.Current().Generation; got != genBefore+1 {
 		t.Fatalf("recovery generation = %d, want %d", got, genBefore+1)
 	}
 }

@@ -171,6 +171,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 				lo = bucketBound(i - 1)
 			}
 			hi := bucketBound(i)
+			// The last bucket is open-ended: observations past its
+			// nominal bound saturate into it, so its real upper edge
+			// is the observed max, not the bound.
+			if i == numBuckets-1 {
+				if mx := float64(h.Max().Nanoseconds()); mx > hi {
+					hi = mx
+				}
+			}
 			frac := 0.0
 			if n > 0 {
 				frac = (rank - cum) / n

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileTable pins quantile behaviour on the degenerate bucket
+// shapes the serving layer actually produces: nothing observed yet,
+// one sample, every sample identical, sparse buckets with long empty
+// runs, and observations past the last bucket bound (~68s), which
+// saturate the final counter.
+func TestQuantileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe []time.Duration
+		q       float64
+		// want bounds the estimate inclusively; exact equality cases
+		// set wantLo == wantHi.
+		wantLo, wantHi time.Duration
+	}{
+		{name: "empty p50", observe: nil, q: 0.5, wantLo: 0, wantHi: 0},
+		{name: "empty p99", observe: nil, q: 0.99, wantLo: 0, wantHi: 0},
+		{name: "empty q0", observe: nil, q: 0, wantLo: 0, wantHi: 0},
+		{name: "empty q1", observe: nil, q: 1, wantLo: 0, wantHi: 0},
+
+		// One sample: min == max, so clamping forces every quantile to
+		// the sample itself regardless of where interpolation lands.
+		{name: "single p50", observe: []time.Duration{3 * time.Millisecond}, q: 0.5,
+			wantLo: 3 * time.Millisecond, wantHi: 3 * time.Millisecond},
+		{name: "single p99", observe: []time.Duration{3 * time.Millisecond}, q: 0.99,
+			wantLo: 3 * time.Millisecond, wantHi: 3 * time.Millisecond},
+		{name: "single q0", observe: []time.Duration{3 * time.Millisecond}, q: 0,
+			wantLo: 3 * time.Millisecond, wantHi: 3 * time.Millisecond},
+		{name: "single q1", observe: []time.Duration{3 * time.Millisecond}, q: 1,
+			wantLo: 3 * time.Millisecond, wantHi: 3 * time.Millisecond},
+
+		// Identical samples collapse the same way.
+		{name: "identical p95", q: 0.95,
+			observe: []time.Duration{time.Second, time.Second, time.Second, time.Second},
+			wantLo:  time.Second, wantHi: time.Second},
+
+		// Sparse buckets: 1µs and 1s leave dozens of empty buckets
+		// between them; the median must come from an occupied bucket's
+		// range, clamped inside [min, max].
+		{name: "sparse p50", q: 0.5,
+			observe: []time.Duration{time.Microsecond, time.Second},
+			wantLo:  time.Microsecond, wantHi: time.Second},
+		{name: "sparse q1", q: 1,
+			observe: []time.Duration{time.Microsecond, time.Second},
+			wantLo:  time.Second, wantHi: time.Second},
+
+		// Saturated last bucket: observations beyond the ~68s bound
+		// all land in bucket 53. The estimate must clamp to the
+		// observed max, not the (smaller) bucket bound.
+		{name: "saturated p99", q: 0.99,
+			observe: []time.Duration{2 * time.Minute, 5 * time.Minute, 10 * time.Minute},
+			wantLo:  2 * time.Minute, wantHi: 10 * time.Minute},
+		{name: "saturated q1", q: 1,
+			observe: []time.Duration{2 * time.Minute, 5 * time.Minute, 10 * time.Minute},
+			wantLo:  10 * time.Minute, wantHi: 10 * time.Minute},
+		{name: "saturated below-bucket-floor q0", q: 0,
+			observe: []time.Duration{2 * time.Minute, 5 * time.Minute},
+			wantLo:  2 * time.Minute, wantHi: 2 * time.Minute},
+
+		// Out-of-range q clamps instead of panicking or extrapolating.
+		{name: "q below zero", q: -0.5,
+			observe: []time.Duration{10 * time.Millisecond, 20 * time.Millisecond},
+			wantLo:  10 * time.Millisecond, wantHi: 20 * time.Millisecond},
+		{name: "q above one", q: 1.5,
+			observe: []time.Duration{10 * time.Millisecond, 20 * time.Millisecond},
+			wantLo:  20 * time.Millisecond, wantHi: 20 * time.Millisecond},
+
+		// Negative observations clamp to zero and land in bucket 0.
+		{name: "negative observation", q: 0.5,
+			observe: []time.Duration{-time.Second, -time.Second},
+			wantLo:  0, wantHi: 0},
+
+		// Sub-microsecond observations share bucket 0 with zero.
+		{name: "sub-bucket-floor p50", q: 0.5,
+			observe: []time.Duration{100 * time.Nanosecond, 200 * time.Nanosecond},
+			wantLo:  100 * time.Nanosecond, wantHi: 200 * time.Nanosecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, d := range tc.observe {
+				h.Observe(d)
+			}
+			got := h.Quantile(tc.q)
+			if got < tc.wantLo || got > tc.wantHi {
+				t.Errorf("Quantile(%v) = %v, want in [%v, %v]", tc.q, got, tc.wantLo, tc.wantHi)
+			}
+		})
+	}
+}
+
+// TestQuantileMonotonicInQ checks the estimator never inverts: a
+// higher quantile can't report a smaller value, across a spread that
+// occupies many buckets including the saturated last one.
+func TestQuantileMonotonicInQ(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 200; i++ {
+		h.Observe(time.Duration(i*i) * time.Microsecond) // 1µs .. 40ms
+	}
+	h.Observe(90 * time.Second) // saturated bucket outlier
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, got, prev)
+		}
+		prev = got
+	}
+	if prev != 90*time.Second {
+		t.Errorf("Quantile(1) = %v, want the outlier max 90s", prev)
+	}
+}
+
+// TestBucketLayout pins the bucket mapping itself: bounds grow
+// strictly, every duration maps into the bucket whose bound covers
+// it, and the extremes (zero, negative, past-the-end) stay in range.
+func TestBucketLayout(t *testing.T) {
+	for i := 1; i < numBuckets; i++ {
+		if bucketBound(i) <= bucketBound(i-1) {
+			t.Fatalf("bucket bounds not strictly increasing at %d", i)
+		}
+	}
+	if got := bucketFor(0); got != 0 {
+		t.Errorf("bucketFor(0) = %d", got)
+	}
+	if got := bucketFor(time.Microsecond); got != 0 {
+		t.Errorf("bucketFor(1µs) = %d, want 0 (inclusive bound)", got)
+	}
+	if got := bucketFor(24 * time.Hour); got != numBuckets-1 {
+		t.Errorf("bucketFor(24h) = %d, want last bucket %d", got, numBuckets-1)
+	}
+	for _, d := range []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, time.Millisecond,
+		17 * time.Millisecond, time.Second, 30 * time.Second, 68 * time.Second,
+	} {
+		i := bucketFor(d)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketFor(%v) = %d out of range", d, i)
+		}
+		if float64(d.Nanoseconds()) > bucketBound(i) {
+			t.Errorf("bucketFor(%v) = %d but bound %v is below it", d, i, bucketBound(i))
+		}
+		if i > 0 && float64(d.Nanoseconds()) <= bucketBound(i-1) {
+			t.Errorf("bucketFor(%v) = %d but already fits bucket %d", d, i, i-1)
+		}
+	}
+}
+
+// TestSnapshotEmptyAndSingle pins Snap on the two shapes dashboards
+// hit at startup: nothing yet, then exactly one request.
+func TestSnapshotEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	if s := h.Snap(); s != (Snapshot{}) {
+		t.Errorf("empty Snap = %+v, want zero value", s)
+	}
+	h.Observe(7 * time.Millisecond)
+	s := h.Snap()
+	if s.Count != 1 || s.Mean != 7*time.Millisecond || s.Min != 7*time.Millisecond ||
+		s.Max != 7*time.Millisecond || s.P50 != 7*time.Millisecond ||
+		s.P95 != 7*time.Millisecond || s.P99 != 7*time.Millisecond {
+		t.Errorf("single-sample Snap = %+v, want every field 7ms (count 1)", s)
+	}
+}

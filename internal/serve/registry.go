@@ -30,6 +30,13 @@ import (
 // keeps serving, untouched.
 const PointRegistryLoad = "serve.registry.load"
 
+// PointRegistryCommit is the fault-injection point at the head of
+// Commit, modelling a replica that staged a generation but dies (or
+// errors) before flipping to it — the torn half of a two-phase fleet
+// reload. A fired fault leaves both the serving generation and the
+// staged generation untouched.
+const PointRegistryCommit = "serve.registry.commit"
+
 // Registry file names: NewRegistry loads these from its directory.
 // Either may be absent — the corresponding endpoint then answers 503.
 const (
@@ -51,15 +58,20 @@ type Models struct {
 }
 
 // Registry loads serialized models from a directory and serves the
-// current generation lock-free.
+// current generation lock-free. Reloads come in two shapes: Load is
+// the one-step local swap (SIGHUP, POST /v1/reload); Stage + Commit
+// split the same swap into load-without-serving and atomic-publish so
+// a fleet coordinator can stage a generation on every replica before
+// any replica starts serving it.
 type Registry struct {
 	dir string
 	cur atomic.Pointer[Models]
 	gen atomic.Uint64
 
-	// loadMu serializes Load calls (SIGHUP and POST /v1/reload can
-	// race); readers never take it.
+	// loadMu serializes Load/Stage/Commit calls (SIGHUP and POST
+	// /v1/reload can race) and guards staged; readers never take it.
 	loadMu sync.Mutex
+	staged *Models
 }
 
 // NewRegistry creates a registry over dir and performs the initial
@@ -83,16 +95,77 @@ func (r *Registry) Current() *Models {
 
 // Load reads the model files and atomically publishes a new
 // generation. On any error the previous generation stays live — a bad
-// reload never takes down a serving process.
+// reload never takes down a serving process. Any staged-but-uncommitted
+// generation is discarded: the operator's direct reload wins.
 func (r *Registry) Load() error {
 	r.loadMu.Lock()
 	defer r.loadMu.Unlock()
 
+	m, err := r.read()
+	if err != nil {
+		return err
+	}
+	m.Generation = r.gen.Add(1)
+	r.staged = nil
+	r.cur.Store(m)
+	return nil
+}
+
+// Stage reads the model files into a pending generation without
+// serving it, returning the staged generation number. A second Stage
+// before Commit replaces the pending generation. The serving
+// generation is untouched until Commit.
+func (r *Registry) Stage() (uint64, error) {
+	r.loadMu.Lock()
+	defer r.loadMu.Unlock()
+
+	m, err := r.read()
+	if err != nil {
+		return 0, err
+	}
+	m.Generation = r.gen.Add(1)
+	r.staged = m
+	return m.Generation, nil
+}
+
+// Commit atomically publishes the staged generation. With nothing
+// staged it fails without touching the serving generation, so a
+// coordinator retrying a torn two-phase reload can always tell "this
+// replica never staged" from "this replica already flipped".
+func (r *Registry) Commit() (uint64, error) {
+	r.loadMu.Lock()
+	defer r.loadMu.Unlock()
+
+	if err := fault.Hit(PointRegistryCommit); err != nil {
+		return 0, fmt.Errorf("serve: commit: %w", err)
+	}
+	if r.staged == nil {
+		return 0, fmt.Errorf("serve: commit: no staged generation")
+	}
+	m := r.staged
+	r.staged = nil
+	r.cur.Store(m)
+	return m.Generation, nil
+}
+
+// StagedGeneration reports the pending generation (0 = none staged).
+func (r *Registry) StagedGeneration() uint64 {
+	r.loadMu.Lock()
+	defer r.loadMu.Unlock()
+	if r.staged == nil {
+		return 0
+	}
+	return r.staged.Generation
+}
+
+// read loads the model files into an unpublished Models (generation
+// unassigned). Callers hold loadMu.
+func (r *Registry) read() (*Models, error) {
 	if err := fault.Hit(PointRegistryLoad); err != nil {
-		return fmt.Errorf("serve: reload: %w", err)
+		return nil, fmt.Errorf("serve: reload: %w", err)
 	}
 	if _, err := os.Stat(r.dir); err != nil {
-		return fmt.Errorf("serve: model dir: %w", err)
+		return nil, fmt.Errorf("serve: model dir: %w", err)
 	}
 	m := &Models{}
 	oraclePath := filepath.Join(r.dir, OracleFile)
@@ -100,24 +173,22 @@ func (r *Registry) Load() error {
 		o, lerr := attrib.LoadOracle(f)
 		_ = f.Close()
 		if lerr != nil {
-			return fmt.Errorf("serve: %s: %w", oraclePath, lerr)
+			return nil, fmt.Errorf("serve: %s: %w", oraclePath, lerr)
 		}
 		m.Oracle = o
 	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("serve: %w", err)
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	detectorPath := filepath.Join(r.dir, DetectorFile)
 	if f, err := os.Open(detectorPath); err == nil {
 		c, lerr := attrib.LoadClassifier(f)
 		_ = f.Close()
 		if lerr != nil {
-			return fmt.Errorf("serve: %s: %w", detectorPath, lerr)
+			return nil, fmt.Errorf("serve: %s: %w", detectorPath, lerr)
 		}
 		m.Detector = c
 	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("serve: %w", err)
+		return nil, fmt.Errorf("serve: %w", err)
 	}
-	m.Generation = r.gen.Add(1)
-	r.cur.Store(m)
-	return nil
+	return m, nil
 }

@@ -2,22 +2,28 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"gptattr/internal/serve/metrics"
-	"gptattr/internal/stylometry"
 )
+
+// RequestIDHeader is the end-to-end trace header: minted at the first
+// hop that sees a request without one, propagated unchanged through
+// every later hop (router → replica), and echoed on every response.
+const RequestIDHeader = "X-Request-Id"
 
 // Config wires a Server together.
 type Config struct {
-	// Registry supplies the current model generation (required).
+	// Registry supplies the current model generation (required unless
+	// Backend is set).
 	Registry *Registry
-	// Batcher runs feature extraction (required).
+	// Batcher runs feature extraction (required unless Backend is set).
 	Batcher *Batcher
+	// Backend overrides the default local registry+batcher backend;
+	// the fleet router plugs in here.
+	Backend Backend
 	// Metrics receives request counters and latency histograms; nil
 	// creates a private registry.
 	Metrics *metrics.Registry
@@ -27,12 +33,19 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1MiB).
 	MaxBodyBytes int64
+	// MaxInflight bounds concurrently served requests; overflow
+	// answers 429. 0 leaves admission to the backend (the replica's
+	// bounded batch queue); the router sets it because it has no
+	// queue of its own.
+	MaxInflight int
 }
 
-// Server is the HTTP attribution service.
+// Server is the HTTP attribution service: transport plumbing from
+// Core, inference from a pluggable Backend.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	core    *Core
+	backend Backend
+	mux     *http.ServeMux
 }
 
 // AttributeRequest is the body of POST /v1/attribute and /v1/detect.
@@ -67,40 +80,52 @@ type ErrorResponse struct {
 type HealthResponse struct {
 	Status          string `json:"status"`
 	ModelGeneration uint64 `json:"model_generation"`
-	Oracle          bool   `json:"oracle"`
-	Detector        bool   `json:"detector"`
+	// StagedGeneration is the loaded-but-not-yet-serving generation
+	// (0 = nothing staged); the fleet coordinator polls it between
+	// the stage and commit phases of a coordinated reload.
+	StagedGeneration uint64 `json:"staged_generation,omitempty"`
+	Oracle           bool   `json:"oracle"`
+	Detector         bool   `json:"detector"`
 }
 
-// ReloadResponse answers POST /v1/reload.
+// ReloadResponse answers POST /v1/reload and /v1/reload/commit.
 type ReloadResponse struct {
 	ModelGeneration uint64 `json:"model_generation"`
 }
 
-// New builds the server. Registry and Batcher are required.
+// StageResponse answers POST /v1/reload/stage.
+type StageResponse struct {
+	StagedGeneration uint64 `json:"staged_generation"`
+}
+
+// New builds the server over cfg.Backend, or over a LocalBackend when
+// only Registry and Batcher are given.
 func New(cfg Config) (*Server, error) {
-	if cfg.Registry == nil || cfg.Batcher == nil {
-		return nil, fmt.Errorf("serve: Registry and Batcher are required")
+	backend := cfg.Backend
+	if backend == nil {
+		if cfg.Registry == nil || cfg.Batcher == nil {
+			return nil, fmt.Errorf("serve: Registry and Batcher (or a Backend) are required")
+		}
+		backend = NewLocalBackend(cfg.Registry, cfg.Batcher)
 	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = metrics.NewRegistry()
-	}
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = 10 * time.Second
-	}
-	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = 1 << 20
-	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	core := NewCore(cfg.Metrics, cfg.Timeout, cfg.MaxBodyBytes, cfg.MaxInflight)
+	s := &Server{core: core, backend: backend, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/attribute", s.handleAttribute)
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	// Batch-size observability: average batch = batched_requests_total
-	// / batches_total.
-	cfg.Batcher.onBatch = func(n int) {
-		cfg.Metrics.Counter("batches_total").Inc()
-		cfg.Metrics.Counter("batched_requests_total").Add(uint64(n))
+	if _, ok := backend.(Stager); ok {
+		s.mux.HandleFunc("/v1/reload/stage", s.handleStage)
+		s.mux.HandleFunc("/v1/reload/commit", s.handleCommit)
+	}
+	if cfg.Batcher != nil {
+		// Batch-size observability: average batch = batched_requests_total
+		// / batches_total.
+		cfg.Batcher.onBatch = func(n int) {
+			core.Metrics().Counter("batches_total").Inc()
+			core.Metrics().Counter("batched_requests_total").Add(uint64(n))
+		}
 	}
 	return s, nil
 }
@@ -109,179 +134,110 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the metrics registry the server reports into.
-func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+func (s *Server) Metrics() *metrics.Registry { return s.core.Metrics() }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
+// Core exposes the shared transport plumbing (tests and the router
+// binary reuse its helpers).
+func (s *Server) Core() *Core { return s.core }
 
-// writeError answers one failed request. The request ID rides along
-// in the body for the statuses a saturated or degraded server emits,
-// so incidents stay traceable from client logs alone.
-func (s *Server) writeError(w http.ResponseWriter, status int, msg, reqID string) {
-	if status == http.StatusTooManyRequests {
-		// Closed-loop clients should back off; micro-batch turnaround
-		// is milliseconds, so one second is conservative.
-		w.Header().Set("Retry-After", "1")
-	}
-	s.writeJSON(w, status, ErrorResponse{Error: msg, RequestID: reqID})
-}
-
-// begin stamps a freshly minted request ID on the response and
-// returns it; every request — success or failure — carries it in the
-// X-Request-Id header.
-func (s *Server) begin(w http.ResponseWriter) string {
-	id := newRequestID()
-	w.Header().Set("X-Request-Id", id)
-	return id
-}
-
-// decodeSource parses the request body for the two inference
-// endpoints.
-func (s *Server) decodeSource(w http.ResponseWriter, r *http.Request, reqID string) (string, bool) {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required", reqID)
-		return "", false
-	}
-	var req AttributeRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		status := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		s.writeError(w, status, "bad request body: "+err.Error(), reqID)
-		return "", false
-	}
-	if req.Source == "" {
-		s.writeError(w, http.StatusBadRequest, "empty source", reqID)
-		return "", false
-	}
-	return req.Source, true
-}
-
-// extract runs the batched feature extraction for one request and
-// translates failures to HTTP statuses. Returns ok=false after having
-// written the error response.
-func (s *Server) extract(ctx context.Context, w http.ResponseWriter, src string, m *metrics.Registry) (f stylometry.Features, ok bool) {
-	reqID := RequestIDFrom(ctx)
-	feats, err := s.cfg.Batcher.Extract(ctx, src)
-	switch {
-	case err == nil:
-		return feats, true
-	case errors.Is(err, ErrSaturated):
-		m.Counter("rejected_total").Inc()
-		s.writeError(w, http.StatusTooManyRequests, "server saturated, retry later", reqID)
-	case errors.Is(err, ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "server shutting down", reqID)
-	case errors.Is(err, ErrInternal):
-		m.Counter("batch_failures_total").Inc()
-		s.writeError(w, http.StatusServiceUnavailable, "extraction failed, retry later: "+err.Error(), reqID)
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		m.Counter("deadline_exceeded_total").Inc()
-		s.writeError(w, http.StatusGatewayTimeout, "request deadline exceeded", reqID)
-	default:
-		// The source itself did not extract (e.g. not lexable C++).
-		s.writeError(w, http.StatusUnprocessableEntity, "source rejected: "+err.Error(), reqID)
-	}
-	return nil, false
-}
-
-func (s *Server) handleAttribute(w http.ResponseWriter, r *http.Request) {
-	met := s.cfg.Metrics
-	met.Counter("attribute_requests_total").Inc()
+// handleInference is the shared endpoint body: count, admit, decode,
+// call the backend, map the outcome. call runs the endpoint-specific
+// backend method and returns the response value to encode.
+func (s *Server) handleInference(w http.ResponseWriter, r *http.Request, endpoint string,
+	call func(ctx context.Context, src string) (any, error)) {
+	met := s.core.Metrics()
+	met.Counter(endpoint + "_requests_total").Inc()
 	met.Gauge("inflight").Add(1)
 	defer met.Gauge("inflight").Add(-1)
 	start := time.Now()
 
-	reqID := s.begin(w)
-	src, ok := s.decodeSource(w, r, reqID)
+	reqID := s.core.Begin(w, r)
+	if !s.core.Admit(w, reqID) {
+		return
+	}
+	defer s.core.Release()
+	src, ok := s.core.DecodeSource(w, r, reqID)
 	if !ok {
 		return
 	}
-	models := s.cfg.Registry.Current()
-	if models.Oracle == nil {
-		s.writeError(w, http.StatusServiceUnavailable, "no attribution model loaded", reqID)
-		return
-	}
-	ctx, cancel := context.WithTimeout(WithRequestID(r.Context(), reqID), s.cfg.Timeout)
+	ctx, cancel := s.core.RequestContext(r.Context(), reqID)
 	defer cancel()
-	feats, ok := s.extract(ctx, w, src, met)
-	if !ok {
+	resp, err := call(ctx, src)
+	if err != nil {
+		s.core.FailBackend(w, err, reqID)
 		return
 	}
-	proba, best := models.Oracle.ProbaFeatures(feats)
-	met.Histogram("attribute_latency").Observe(time.Since(start))
-	met.Counter("attribute_ok_total").Inc()
-	s.writeJSON(w, http.StatusOK, AttributeResponse{
-		Author: best, Proba: proba, ModelGeneration: models.Generation,
+	observeEndpoint(met, endpoint, start)
+	s.core.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAttribute(w http.ResponseWriter, r *http.Request) {
+	s.handleInference(w, r, "attribute", func(ctx context.Context, src string) (any, error) {
+		return s.backend.Attribute(ctx, src)
 	})
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	met := s.cfg.Metrics
-	met.Counter("detect_requests_total").Inc()
-	met.Gauge("inflight").Add(1)
-	defer met.Gauge("inflight").Add(-1)
-	start := time.Now()
-
-	reqID := s.begin(w)
-	src, ok := s.decodeSource(w, r, reqID)
-	if !ok {
-		return
-	}
-	models := s.cfg.Registry.Current()
-	if models.Detector == nil {
-		s.writeError(w, http.StatusServiceUnavailable, "no detector model loaded", reqID)
-		return
-	}
-	ctx, cancel := context.WithTimeout(WithRequestID(r.Context(), reqID), s.cfg.Timeout)
-	defer cancel()
-	feats, ok := s.extract(ctx, w, src, met)
-	if !ok {
-		return
-	}
-	verdict, conf := models.Detector.DetectFeatures(feats)
-	met.Histogram("detect_latency").Observe(time.Since(start))
-	met.Counter("detect_ok_total").Inc()
-	s.writeJSON(w, http.StatusOK, DetectResponse{
-		ChatGPT: verdict, Confidence: conf, ModelGeneration: models.Generation,
+	s.handleInference(w, r, "detect", func(ctx context.Context, src string) (any, error) {
+		return s.backend.Detect(ctx, src)
 	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	reqID := s.begin(w)
+	reqID := s.core.Begin(w, r)
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required", reqID)
+		s.core.WriteError(w, http.StatusMethodNotAllowed, "POST required", reqID)
 		return
 	}
-	if err := s.cfg.Registry.Load(); err != nil {
+	gen, err := s.backend.Reload()
+	if err != nil {
 		// The previous generation is still serving.
-		s.writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error(), reqID)
+		s.core.WriteError(w, http.StatusInternalServerError, "reload failed: "+err.Error(), reqID)
 		return
 	}
-	gen := s.cfg.Registry.Current().Generation
-	s.cfg.Metrics.Counter("reloads_total").Inc()
-	s.writeJSON(w, http.StatusOK, ReloadResponse{ModelGeneration: gen})
+	s.core.Metrics().Counter("reloads_total").Inc()
+	s.core.WriteJSON(w, http.StatusOK, ReloadResponse{ModelGeneration: gen})
+}
+
+func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
+	reqID := s.core.Begin(w, r)
+	if r.Method != http.MethodPost {
+		s.core.WriteError(w, http.StatusMethodNotAllowed, "POST required", reqID)
+		return
+	}
+	gen, err := s.backend.(Stager).Stage()
+	if err != nil {
+		s.core.WriteError(w, http.StatusInternalServerError, "stage failed: "+err.Error(), reqID)
+		return
+	}
+	s.core.Metrics().Counter("stages_total").Inc()
+	s.core.WriteJSON(w, http.StatusOK, StageResponse{StagedGeneration: gen})
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	reqID := s.core.Begin(w, r)
+	if r.Method != http.MethodPost {
+		s.core.WriteError(w, http.StatusMethodNotAllowed, "POST required", reqID)
+		return
+	}
+	gen, err := s.backend.(Stager).Commit()
+	if err != nil {
+		// 409: nothing staged (or the staged generation was torn away);
+		// the serving generation is untouched.
+		s.core.WriteError(w, http.StatusConflict, "commit failed: "+err.Error(), reqID)
+		return
+	}
+	s.core.Metrics().Counter("reloads_total").Inc()
+	s.core.WriteJSON(w, http.StatusOK, ReloadResponse{ModelGeneration: gen})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	m := s.cfg.Registry.Current()
-	s.writeJSON(w, http.StatusOK, HealthResponse{
-		Status:          "ok",
-		ModelGeneration: m.Generation,
-		Oracle:          m.Oracle != nil,
-		Detector:        m.Detector != nil,
-	})
+	s.core.WriteJSON(w, http.StatusOK, s.backend.Health())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	met := s.cfg.Metrics
-	met.Gauge("queue_depth").Set(int64(s.cfg.Batcher.QueueLen()))
-	met.Gauge("model_generation").Set(int64(s.cfg.Registry.Current().Generation))
+	met := s.core.Metrics()
+	s.backend.Observe(met)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	met.WriteText(w)
 }

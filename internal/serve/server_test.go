@@ -17,7 +17,7 @@ import (
 // models. Returns the httptest server; callers defer ts.Close and
 // b.Close themselves when they need drain semantics, otherwise cleanup
 // is registered.
-func newTestServer(t *testing.T, bcfg BatchConfig) (*httptest.Server, *Server, *Batcher) {
+func newTestServer(t *testing.T, bcfg BatchConfig) (*httptest.Server, *Server, *Batcher, *Registry) {
 	t.Helper()
 	r, err := NewRegistry(modelDir(t))
 	if err != nil {
@@ -30,7 +30,7 @@ func newTestServer(t *testing.T, bcfg BatchConfig) (*httptest.Server, *Server, *
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); b.Close() })
-	return ts, s, b
+	return ts, s, b, r
 }
 
 // tryPostJSON is the goroutine-safe request helper; postJSON wraps it
@@ -62,7 +62,7 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 }
 
 func TestServerAttributeAndDetect(t *testing.T) {
-	ts, _, _ := newTestServer(t, BatchConfig{MaxBatch: 8, MaxDelay: time.Millisecond, QueueDepth: 64, Workers: 2})
+	ts, _, _, _ := newTestServer(t, BatchConfig{MaxBatch: 8, MaxDelay: time.Millisecond, QueueDepth: 64, Workers: 2})
 
 	resp, body := postJSON(t, ts.URL+"/v1/attribute", AttributeRequest{Source: sampleSource(t, 0)})
 	if resp.StatusCode != http.StatusOK {
@@ -100,7 +100,7 @@ func TestServerAttributeAndDetect(t *testing.T) {
 }
 
 func TestServerRequestValidation(t *testing.T) {
-	ts, _, _ := newTestServer(t, BatchConfig{QueueDepth: 8})
+	ts, _, _, _ := newTestServer(t, BatchConfig{QueueDepth: 8})
 
 	cases := []struct {
 		name   string
@@ -163,7 +163,7 @@ func TestServerBodyLimit(t *testing.T) {
 }
 
 func TestServerHealthzAndMetrics(t *testing.T) {
-	ts, _, _ := newTestServer(t, BatchConfig{QueueDepth: 8, Workers: 2})
+	ts, _, _, _ := newTestServer(t, BatchConfig{QueueDepth: 8, Workers: 2})
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -212,7 +212,7 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 func TestServerSaturationOverHTTP(t *testing.T) {
 	const K = 3
 	ex := newBlockingExtractor()
-	ts, s, _ := newTestServer(t, BatchConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: K, extractFn: ex.fn})
+	ts, s, b, _ := newTestServer(t, BatchConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: K, extractFn: ex.fn})
 
 	src := sampleSource(t, 0)
 	codes := make(chan int, 32)
@@ -232,9 +232,9 @@ func TestServerSaturationOverHTTP(t *testing.T) {
 		wg.Add(1)
 		go func() { defer wg.Done(); do() }()
 	}
-	for deadline := time.Now().Add(2 * time.Second); s.cfg.Batcher.QueueLen() < K; {
+	for deadline := time.Now().Add(2 * time.Second); b.QueueLen() < K; {
 		if time.Now().After(deadline) {
-			t.Fatalf("queue depth %d, want %d", s.cfg.Batcher.QueueLen(), K)
+			t.Fatalf("queue depth %d, want %d", b.QueueLen(), K)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -276,7 +276,7 @@ func TestServerSaturationOverHTTP(t *testing.T) {
 // while models hot-swap via POST /v1/reload; every request must
 // succeed — a reload never drops in-flight or subsequent traffic.
 func TestServerReloadUnderLoad(t *testing.T) {
-	ts, _, _ := newTestServer(t, BatchConfig{MaxBatch: 8, MaxDelay: time.Millisecond, QueueDepth: 128, Workers: 2})
+	ts, _, _, _ := newTestServer(t, BatchConfig{MaxBatch: 8, MaxDelay: time.Millisecond, QueueDepth: 128, Workers: 2})
 
 	src := sampleSource(t, 0)
 	stop := make(chan struct{})

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gptattr/internal/fault"
+)
+
+// TestRegistryStageCommit pins the two-phase reload contract: Stage
+// loads the next generation without serving it, Commit flips to it
+// atomically, and a second Commit with nothing staged fails without
+// touching the serving generation.
+func TestRegistryStageCommit(t *testing.T) {
+	r, err := NewRegistry(modelDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Current().Generation
+
+	staged, err := r.Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged != before+1 {
+		t.Errorf("staged generation %d, want %d", staged, before+1)
+	}
+	if got := r.Current().Generation; got != before {
+		t.Errorf("stage moved the serving generation %d -> %d", before, got)
+	}
+	if got := r.StagedGeneration(); got != staged {
+		t.Errorf("StagedGeneration = %d, want %d", got, staged)
+	}
+
+	committed, err := r.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != staged || r.Current().Generation != staged {
+		t.Errorf("commit published %d (serving %d), want %d", committed, r.Current().Generation, staged)
+	}
+	if got := r.StagedGeneration(); got != 0 {
+		t.Errorf("StagedGeneration after commit = %d, want 0", got)
+	}
+
+	if _, err := r.Commit(); err == nil {
+		t.Error("second Commit with nothing staged succeeded")
+	}
+	if got := r.Current().Generation; got != staged {
+		t.Errorf("failed commit moved the serving generation to %d", got)
+	}
+}
+
+// TestRegistryRestageAndLoadDiscard pins the interaction of Stage with
+// itself and with the one-step Load: a re-Stage replaces the pending
+// generation, and a direct Load discards it.
+func TestRegistryRestageAndLoadDiscard(t *testing.T) {
+	r, err := NewRegistry(modelDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := r.Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := r.Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g1+1 || r.StagedGeneration() != g2 {
+		t.Errorf("re-stage: got %d then %d, StagedGeneration %d", g1, g2, r.StagedGeneration())
+	}
+
+	if err := r.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.StagedGeneration(); got != 0 {
+		t.Errorf("Load kept a staged generation (%d)", got)
+	}
+	if _, err := r.Commit(); err == nil {
+		t.Error("Commit after Load succeeded on a discarded stage")
+	}
+}
+
+// TestStageCommitOverHTTP drives the two-phase endpoints the fleet
+// coordinator uses, including the staged generation surfacing in
+// /healthz between the phases.
+func TestStageCommitOverHTTP(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, BatchConfig{QueueDepth: 8, Workers: 1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/reload/stage", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stage: %d %s", resp.StatusCode, body)
+	}
+	var sr StageResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.StagedGeneration != 2 {
+		t.Errorf("staged_generation = %d, want 2", sr.StagedGeneration)
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if h.ModelGeneration != 1 || h.StagedGeneration != 2 {
+		t.Errorf("healthz between phases: serving %d staged %d, want 1/2", h.ModelGeneration, h.StagedGeneration)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/reload/commit", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit: %d %s", resp.StatusCode, body)
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.ModelGeneration != 2 {
+		t.Errorf("committed generation %d, want 2", rr.ModelGeneration)
+	}
+
+	// Nothing staged now: commit must answer 409, serving untouched.
+	resp, body = postJSON(t, ts.URL+"/v1/reload/commit", struct{}{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("empty commit: %d %s, want 409", resp.StatusCode, body)
+	}
+}
+
+// TestCommitFaultKeepsStaged arms the commit fault point (a replica
+// dying mid-flip): the commit fails, but both the serving and the
+// staged generation survive, so the coordinator's retry lands.
+func TestCommitFaultKeepsStaged(t *testing.T) {
+	defer fault.Disable()
+	r, err := NewRegistry(modelDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := r.Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Enable(21)
+	fault.Set(PointRegistryCommit, fault.Policy{Kind: fault.KindError, Limit: 1})
+	if _, err := r.Commit(); err == nil {
+		t.Fatal("faulted commit succeeded")
+	}
+	if got := r.StagedGeneration(); got != staged {
+		t.Fatalf("torn commit lost the staged generation (%d, want %d)", got, staged)
+	}
+	if got := r.Current().Generation; got != 1 {
+		t.Fatalf("torn commit moved the serving generation to %d", got)
+	}
+
+	// Fault limit reached: the retry flips.
+	gen, err := r.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != staged || r.Current().Generation != staged {
+		t.Fatalf("retried commit published %d (serving %d), want %d", gen, r.Current().Generation, staged)
+	}
+}
+
+// TestInboundRequestIDPropagates pins the trace-continuity contract
+// the fleet router depends on: a request arriving with an
+// X-Request-Id keeps it end to end instead of getting a minted one.
+func TestInboundRequestIDPropagates(t *testing.T) {
+	ts, _, _, _ := newTestServer(t, BatchConfig{QueueDepth: 8, Workers: 1})
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/attribute",
+		strings.NewReader(`{"source":"int main() { return 0; }"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "router-abc-000042"
+	req.Header.Set(RequestIDHeader, id)
+	req.Header.Set("Content-Type", "application/json")
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != id {
+		t.Errorf("inbound request ID %q came back as %q", id, got)
+	}
+
+	// Requests without one still get a minted ID.
+	resp2, _ := postJSON(t, ts.URL+"/v1/attribute", AttributeRequest{Source: sampleSource(t, 0)})
+	if resp2.Header.Get(RequestIDHeader) == "" {
+		t.Error("request without inbound ID got no minted ID")
+	}
+}
