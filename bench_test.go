@@ -7,12 +7,14 @@
 package gptattr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
 
+	"gptattr/internal/arena"
 	"gptattr/internal/attrib"
 	"gptattr/internal/challenge"
 	"gptattr/internal/codegen"
@@ -20,7 +22,6 @@ import (
 	"gptattr/internal/cppast"
 	"gptattr/internal/cppinterp"
 	"gptattr/internal/cpptok"
-	"gptattr/internal/evade"
 	"gptattr/internal/experiments"
 	"gptattr/internal/featcache"
 	"gptattr/internal/gpt"
@@ -244,7 +245,7 @@ func BenchmarkOracleTrain(b *testing.B) {
 }
 
 // BenchmarkEvadeAttack measures one MCTS evasion attack against a
-// small oracle (10 iterations).
+// small oracle (budget of 10 oracle evaluations).
 func BenchmarkEvadeAttack(b *testing.B) {
 	human, profiles, err := corpus.GenerateYear(corpus.YearConfig{Year: 2017, NumAuthors: 8, Seed: 9})
 	if err != nil {
@@ -259,26 +260,14 @@ func BenchmarkEvadeAttack(b *testing.B) {
 		b.Fatal(err)
 	}
 	src := codegen.Render(ch.Prog, profiles[0], 3)
-	scorer := &benchScorer{oracle: oracle, truth: "A001"}
+	lo := arena.NewLocalOracle(oracle)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := evade.Attack(src, "A001", scorer, evade.Config{Iterations: 10, Seed: int64(i)}); err != nil {
+		cfg := arena.Config{Budget: 10, Seed: int64(i + 1)}
+		if _, err := arena.Attack(context.Background(), lo, src, arena.Goal{TrueAuthor: "A001"}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
-}
-
-type benchScorer struct {
-	oracle *attrib.Oracle
-	truth  string
-}
-
-func (s *benchScorer) Score(src string) (float64, string, error) {
-	proba, pred, err := s.oracle.Proba(src)
-	if err != nil {
-		return 1, "", err
-	}
-	return proba[s.truth], pred, nil
 }
 
 // BenchmarkForestOOB measures forest training with out-of-bag

@@ -1,0 +1,333 @@
+// Command arena drives the adversarial evasion loop end to end: it
+// trains (or dials) an attribution oracle, attacks it with
+// gate-verified rewrites under per-query budgets, retrains the
+// defender on the successful evasions, re-attacks the hardened model
+// at the same budgets, and prints the attack-success-rate table plus
+// the least-robust-feature ranking.
+//
+//	arena -authors 12 -trees 24 -budgets 15,40
+//
+// Against a live deployment the same search runs over HTTP, one
+// POST /v1/attribute per candidate (hardening is skipped — the remote
+// corpus is not ours to retrain):
+//
+//	arena -oracle-url http://127.0.0.1:8080 -budgets 20
+//
+// Every attack is deterministic: same flags, same table, at any
+// -workers setting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"gptattr/internal/arena"
+	"gptattr/internal/attrib"
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/corpus"
+	"gptattr/internal/fault"
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arena:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("arena", flag.ContinueOnError)
+	year := fs.Int("year", 2017, "training year; targets render the next year's challenges")
+	authors := fs.Int("authors", 12, "simulated author population")
+	trees := fs.Int("trees", 24, "random-forest size")
+	topFeatures := fs.Int("top-features", 300, "feature-selection width")
+	seed := fs.Int64("seed", 7, "master seed: corpus, forest, and every search derive from it")
+	budgetSpec := fs.String("budgets", "15,40", "comma-separated per-query oracle-evaluation budgets")
+	strategy := fs.String("strategy", "mcts", "attack search: mcts or beam")
+	workers := fs.Int("workers", 0, "parallel searches (0 = GOMAXPROCS); results identical at any setting")
+	maxTargets := fs.Int("targets", 0, "cap the attack set (0 = all correctly-attributed victim files)")
+	oracleURL := fs.String("oracle-url", "", "attack a live attrserve/attrrouter at this base URL instead of training locally")
+	faultSpec := fs.String("fault", "", "fault injection spec, e.g. arena.oracle=error:p=0.1 (testing only)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for -fault probability draws")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	strat := arena.Strategy(*strategy)
+	if strat != arena.StrategyMCTS && strat != arena.StrategyBeam {
+		return fmt.Errorf("unknown -strategy %q (have: mcts beam)", *strategy)
+	}
+	var budgets []int
+	for _, f := range strings.Split(*budgetSpec, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || b <= 0 {
+			return fmt.Errorf("bad -budgets entry %q", f)
+		}
+		budgets = append(budgets, b)
+	}
+	if *faultSpec != "" {
+		if _, err := fault.EnableSpec(*faultSeed, *faultSpec); err != nil {
+			return err
+		}
+		defer fault.Disable()
+		fmt.Fprintf(stdout, "arena: fault injection armed (seed %d): %s\n", *faultSeed, *faultSpec)
+	}
+
+	if *oracleURL != "" {
+		return runRemote(stdout, *oracleURL, strat, budgets, *year, *seed, *maxTargets, *workers)
+	}
+	return runLocal(stdout, localConfig{
+		year: *year, authors: *authors, trees: *trees, topFeatures: *topFeatures,
+		seed: *seed, strategy: strat, budgets: budgets, maxTargets: *maxTargets,
+		workers: *workers,
+	})
+}
+
+type localConfig struct {
+	year, authors, trees, topFeatures int
+	seed                              int64
+	strategy                          arena.Strategy
+	budgets                           []int
+	maxTargets                        int
+	workers                           int
+}
+
+// victimTargets renders the victim's style onto the following year's
+// challenges and keeps the files the oracle attributes correctly —
+// the only ones worth attacking. Targeted goals aim at the baseline
+// runner-up label.
+func victimTargets(oracle arena.Oracle, profiles []style.Profile, year, maxTargets int) (untargeted, targeted []arena.Target, victim string, err error) {
+	victim = "A001"
+	prof := profiles[0]
+	for i, ch := range challenge.ByYear(year + 1) {
+		if maxTargets > 0 && len(untargeted) >= maxTargets {
+			break
+		}
+		src := codegen.Render(ch.Prog, prof, int64(i))
+		run, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(int64(i)+77)))
+		if err != nil {
+			return nil, nil, victim, err
+		}
+		pred, err := oracle.Classify(context.Background(), src)
+		if err != nil {
+			return nil, nil, victim, fmt.Errorf("baseline classify: %w", err)
+		}
+		if pred.Label != victim {
+			continue
+		}
+		id := fmt.Sprintf("t%d", i)
+		inputs := []string{run.Input}
+		untargeted = append(untargeted, arena.Target{
+			ID: id, Source: src, TrueAuthor: victim, VerifyInputs: inputs,
+		})
+		targeted = append(targeted, arena.Target{
+			ID: id, Source: src, TrueAuthor: victim,
+			TargetAuthor: runnerUp(pred.Proba, victim), VerifyInputs: inputs,
+		})
+	}
+	return untargeted, targeted, victim, nil
+}
+
+// runnerUp is the highest-probability label other than best, ties
+// broken by name so the target is deterministic.
+func runnerUp(proba map[string]float64, best string) string {
+	var name string
+	var p float64
+	for a, v := range proba {
+		if a == best {
+			continue
+		}
+		if v > p || (v == p && (name == "" || a < name)) {
+			name, p = a, v
+		}
+	}
+	return name
+}
+
+type campaign struct {
+	evaded, attempts, evals int
+	results                 []*arena.Result
+}
+
+func attack(oracle arena.Oracle, targets []arena.Target, cfg arena.Config, workers int) (campaign, error) {
+	res, err := arena.AttackAll(context.Background(), oracle, targets, cfg, workers)
+	if err != nil {
+		return campaign{}, err
+	}
+	c := campaign{attempts: len(res), results: res}
+	for _, r := range res {
+		c.evals += r.Evaluations
+		if r.Success {
+			c.evaded++
+		}
+	}
+	return c, nil
+}
+
+func (c campaign) rate() string {
+	if c.attempts == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d (%.0f%%)", c.evaded, c.attempts, 100*float64(c.evaded)/float64(c.attempts))
+}
+
+func runLocal(stdout io.Writer, lc localConfig) error {
+	fmt.Fprintf(stdout, "arena: generating %d-author year-%d corpus (seed %d)\n", lc.authors, lc.year, lc.seed)
+	human, profiles, err := corpus.GenerateYear(corpus.YearConfig{
+		Year: lc.year, NumAuthors: lc.authors, Seed: lc.seed + int64(lc.year),
+	})
+	if err != nil {
+		return err
+	}
+	attribCfg := attrib.Config{
+		Trees: lc.trees, TopFeatures: lc.topFeatures, Seed: lc.seed, Workers: lc.workers,
+	}
+	baseOracle, err := attrib.TrainOracle(human, attribCfg)
+	if err != nil {
+		return err
+	}
+	oracle := arena.NewLocalOracle(baseOracle)
+	untargeted, targeted, victim, err := victimTargets(oracle, profiles, lc.year, lc.maxTargets)
+	if err != nil {
+		return err
+	}
+	if len(untargeted) == 0 {
+		fmt.Fprintf(stdout, "arena: oracle never attributed victim %s correctly; nothing to attack\n", victim)
+		return nil
+	}
+	fmt.Fprintf(stdout, "arena: attacking victim %s on %d correctly-attributed files (%s)\n",
+		victim, len(untargeted), lc.strategy)
+
+	cfg := func(budget int) arena.Config {
+		return arena.Config{Strategy: lc.strategy, Budget: budget, Seed: lc.seed*419 + int64(budget)}
+	}
+	type cell struct{ base, hard campaign }
+	table := map[string]map[int]*cell{"untargeted": {}, "targeted": {}}
+	var evasions []arena.EvadingSample
+	var pairs []arena.SourcePair
+	seen := map[string]bool{}
+	for _, budget := range lc.budgets {
+		for _, phase := range []struct {
+			obj     string
+			targets []arena.Target
+		}{{"untargeted", untargeted}, {"targeted", targeted}} {
+			c, err := attack(oracle, phase.targets, cfg(budget), lc.workers)
+			if err != nil {
+				return err
+			}
+			table[phase.obj][budget] = &cell{base: c}
+			for i, r := range c.results {
+				if !r.Success || seen[r.Source] {
+					continue
+				}
+				seen[r.Source] = true
+				evasions = append(evasions, arena.EvadingSample{Source: r.Source, TrueAuthor: victim})
+				pairs = append(pairs, arena.SourcePair{Original: phase.targets[i].Source, Evaded: r.Source})
+			}
+			fmt.Fprintf(stdout, "arena: baseline %-10s budget %3d: %s (%d oracle evaluations)\n",
+				phase.obj, budget, c.rate(), c.evals)
+		}
+	}
+
+	if len(evasions) > 0 {
+		fmt.Fprintf(stdout, "arena: hardening on %d distinct evading variants\n", len(evasions))
+		hardOracle, _, err := arena.Harden(human, evasions, attribCfg)
+		if err != nil {
+			return err
+		}
+		ho := arena.NewLocalOracle(hardOracle)
+		for _, budget := range lc.budgets {
+			for _, phase := range []struct {
+				obj     string
+				targets []arena.Target
+			}{{"untargeted", untargeted}, {"targeted", targeted}} {
+				c, err := attack(ho, phase.targets, cfg(budget), lc.workers)
+				if err != nil {
+					return err
+				}
+				table[phase.obj][budget].hard = c
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nAttack success rate (victim %s, %s search)\n", victim, lc.strategy)
+	fmt.Fprintf(stdout, "%-12s %8s %14s %14s\n", "Objective", "Budget", "Baseline", "Hardened")
+	for _, obj := range []string{"untargeted", "targeted"} {
+		for _, budget := range lc.budgets {
+			cl := table[obj][budget]
+			h := "-"
+			if len(evasions) > 0 {
+				h = cl.hard.rate()
+			}
+			fmt.Fprintf(stdout, "%-12s %8d %14s %14s\n", obj, budget, cl.base.rate(), h)
+		}
+	}
+
+	if len(pairs) > 0 {
+		shifts, err := arena.RankFeatureShifts(pairs, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nLeast robust features (most moved by successful evasions)\n")
+		for _, sh := range shifts {
+			fmt.Fprintf(stdout, "  %-32s mean|Δ|=%.4f moved=%d/%d\n", sh.Name, sh.MeanAbsDelta, sh.Moved, len(pairs))
+		}
+	}
+	return nil
+}
+
+// runRemote attacks a deployed model: victim sources still render
+// locally, but the truth label is whatever the deployment answers at
+// baseline, and hardening is skipped (the served corpus is not ours).
+func runRemote(stdout io.Writer, baseURL string, strat arena.Strategy, budgets []int, year int, seed int64, maxTargets, workers int) error {
+	oracle := arena.NewRemoteOracle(baseURL, nil)
+	_, profiles, err := corpus.GenerateYear(corpus.YearConfig{
+		Year: year, NumAuthors: 1, Seed: seed + int64(year),
+	})
+	if err != nil {
+		return err
+	}
+	prof := profiles[0]
+	var targets []arena.Target
+	for i, ch := range challenge.ByYear(year + 1) {
+		if maxTargets > 0 && len(targets) >= maxTargets {
+			break
+		}
+		src := codegen.Render(ch.Prog, prof, int64(i))
+		run, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(int64(i)+77)))
+		if err != nil {
+			return err
+		}
+		pred, err := oracle.Classify(context.Background(), src)
+		if err != nil {
+			return fmt.Errorf("remote baseline classify: %w", err)
+		}
+		targets = append(targets, arena.Target{
+			ID: fmt.Sprintf("t%d", i), Source: src, TrueAuthor: pred.Label,
+			VerifyInputs: []string{run.Input},
+		})
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(stdout, "arena: no targets to attack")
+		return nil
+	}
+	fmt.Fprintf(stdout, "arena: attacking %s with %d files (%s, untargeted)\n", baseURL, len(targets), strat)
+	for _, budget := range budgets {
+		c, err := attack(oracle, targets, arena.Config{
+			Strategy: strat, Budget: budget, Seed: seed*419 + int64(budget),
+		}, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "arena: remote budget %3d: %s (%d oracle evaluations)\n", budget, c.rate(), c.evals)
+	}
+	return nil
+}

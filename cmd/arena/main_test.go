@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// arenaArgs is a small but non-trivial campaign: enough targets and
+// budget for some attacks to succeed so the hardening and ranking
+// phases run.
+func arenaArgs(extra ...string) []string {
+	return append([]string{
+		"-authors", "8", "-trees", "12", "-top-features", "200",
+		"-budgets", "8", "-targets", "4",
+	}, extra...)
+}
+
+// stripFaultBanner drops the one line that legitimately differs
+// between an armed and unarmed run.
+func stripFaultBanner(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "fault injection armed") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestArenaDeterministic is the acceptance invariant: the whole ASR
+// table is bit-identical at any -workers setting and under a seeded
+// fault storm (retries absorb the injected errors without burning
+// budget).
+func TestArenaDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains forests and runs attack campaigns")
+	}
+	var w1, w4, storm bytes.Buffer
+	if err := run(arenaArgs("-workers", "1"), &w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(arenaArgs("-workers", "4"), &w4); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w4.String() {
+		t.Errorf("output differs across -workers:\n-- workers=1 --\n%s\n-- workers=4 --\n%s", w1.String(), w4.String())
+	}
+	if !strings.Contains(w1.String(), "Attack success rate") {
+		t.Fatalf("campaign never reached the ASR table:\n%s", w1.String())
+	}
+
+	err := run(arenaArgs("-workers", "4",
+		"-fault", "arena.oracle=error:p=0.3:limit=2,arena.verify=error:p=0.2:limit=2",
+		"-fault-seed", "3"), &storm)
+	if err != nil {
+		t.Fatalf("storm run: %v", err)
+	}
+	if got := stripFaultBanner(storm.String()); got != w4.String() {
+		t.Errorf("fault storm changed the table:\n-- clean --\n%s\n-- storm --\n%s", w4.String(), got)
+	}
+}
+
+func TestArenaFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-strategy", "dfs"}, &out); err == nil {
+		t.Error("bad -strategy accepted")
+	}
+	if err := run([]string{"-budgets", "10,zero"}, &out); err == nil {
+		t.Error("bad -budgets accepted")
+	}
+	if err := run([]string{"-budgets", "-5"}, &out); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

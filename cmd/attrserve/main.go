@@ -53,6 +53,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	cacheDir := fs.String("cache-dir", "", "content-addressed feature cache directory shared across requests")
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory feature cache size")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	evade := fs.Bool("evade", false, "serve the adversarial arena on POST /v1/evade")
+	evadeRunning := fs.Int("evade-running", 2, "concurrently running evasion searches")
+	evadeQueued := fs.Int("evade-queued", 8, "accepted-but-waiting evasion jobs; overflow answers 429")
+	evadeTimeout := fs.Duration("evade-timeout", 60*time.Second, "per-search budget; expiry yields a truncated best-so-far result")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	faultSpec := fs.String("fault", "", "fault injection spec, e.g. serve.admit=error:p=0.1 (testing only)")
@@ -89,11 +93,19 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 			fmt.Fprintf(stdout, format+"\n", a...)
 		},
 	})
-	srv, err := serve.New(serve.Config{
+	scfg := serve.Config{
 		Registry: registry,
 		Batcher:  batcher,
 		Timeout:  *timeout,
-	})
+	}
+	if *evade {
+		scfg.Evade = &serve.EvadeOptions{
+			MaxRunning: *evadeRunning,
+			MaxQueued:  *evadeQueued,
+			JobTimeout: *evadeTimeout,
+		}
+	}
+	srv, err := serve.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -141,6 +153,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	for {
 		select {
 		case err := <-serveErr:
+			srv.CloseEvade()
 			batcher.Close()
 			return err
 		case sig := <-sigs:
@@ -161,6 +174,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 			ctx, cancel := context.WithTimeout(context.Background(), *drain)
 			err := httpSrv.Shutdown(ctx)
 			cancel()
+			srv.CloseEvade()
 			batcher.Close()
 			<-serveErr // Serve has returned ErrServerClosed
 			if err != nil {

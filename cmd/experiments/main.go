@@ -51,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	table := fs.String("table", "", "run one table: I II III IV V VI VII VIII IX X")
 	figure := fs.String("figure", "", "run one figure: 1, 2, or 3 (3 prints figures 3-5)")
 	ablation := fs.String("ablation", "", "run one ablation: features repertoire stickiness trees selection classifier (or 'all')")
-	extension := fs.String("extension", "", "run one future-work extension: multillm crossyear chaindepth gen500 generated evasion (or 'all')")
+	extension := fs.String("extension", "", "run one future-work extension: multillm crossyear chaindepth gen500 generated evasion arena (or 'all')")
 	jsonPath := fs.String("json", "", "write structured results (tables IV, VIII-X) as JSON to this file and exit")
 	ckptPath := fs.String("checkpoint", "", "crash-safe progress file; completed units are persisted as they finish")
 	resume := fs.Bool("resume", false, "resume from -checkpoint, replaying completed units instead of recomputing")
@@ -196,14 +196,14 @@ func run(args []string, stdout io.Writer) error {
 	case *extension != "":
 		exts := s.Extensions()
 		if *extension == "all" {
-			for _, name := range []string{"chaindepth", "crossyear", "evasion", "gen500", "generated", "multillm"} {
+			for _, name := range []string{"arena", "chaindepth", "crossyear", "evasion", "gen500", "generated", "multillm"} {
 				selected = append(selected, runner{"extension/" + name, exts[name]})
 			}
 			break
 		}
 		fn, ok := exts[*extension]
 		if !ok {
-			return fmt.Errorf("unknown extension %q (have: chaindepth crossyear evasion gen500 generated multillm)", *extension)
+			return fmt.Errorf("unknown extension %q (have: arena chaindepth crossyear evasion gen500 generated multillm)", *extension)
 		}
 		selected = append(selected, runner{"extension/" + *extension, fn})
 	case *ablation != "":

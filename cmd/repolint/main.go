@@ -44,7 +44,8 @@ import (
 // pure function of their seeds.
 var deterministicPkgs = []string{
 	"internal/corpus", "internal/codegen", "internal/transform",
-	"internal/stylometry", "internal/ml",
+	"internal/stylometry", "internal/ml", "internal/evade",
+	"internal/arena",
 }
 
 // supervisedPkgs are the pipeline packages whose long runs must not be

@@ -1,0 +1,38 @@
+package arena
+
+import "testing"
+
+// TestSearchInnerLoopAllocFree pins the per-iteration MCTS hot path —
+// UCT descent, sequence reconstruction, backpropagation, and the
+// no-op expansion of a saturated node — at zero allocations: the
+// engine's scratch buffers absorb all of it.
+func TestSearchInnerLoopAllocFree(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	e := &engine{cfg: cfg, tried: make([]bool, len(cfg.Actions))}
+	root := &node{action: -1}
+	for ai := range cfg.Actions {
+		root.children = append(root.children,
+			&node{parent: root, action: ai, depth: 1, visits: 1, value: 0.5})
+	}
+	root.visits = len(cfg.Actions)
+	full := root.children[0]
+	for ai := range cfg.Actions {
+		full.children = append(full.children,
+			&node{parent: full, action: ai, depth: 2, visits: 1, value: 0.25})
+	}
+	full.visits = len(cfg.Actions)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		n := e.selectNode(root)
+		if len(e.seqOf(n)) == 0 {
+			t.Fatal("selection never left the root")
+		}
+		if e.expand(full) == full && len(full.children) != len(cfg.Actions) {
+			t.Fatal("expand lost children")
+		}
+		backprop(n, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("search inner loop allocates %.1f per iteration, want 0", allocs)
+	}
+}

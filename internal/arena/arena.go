@@ -1,0 +1,152 @@
+// Package arena is the closed-loop adversarial evasion subsystem:
+// seeded, deterministic attack search (MCTS and beam search over the
+// internal/evade transformation space), a behaviour-preservation gate
+// (transform.StaticVerify / transform.Verify), adversarial retraining
+// on verified evading samples (Harden), and a feature-robustness
+// ranking of the stylometry space the attacks exploit. The serving
+// face — bounded asynchronous /v1/evade jobs — is the Manager.
+//
+// Every source of randomness flows through an explicit seeded PRNG and
+// every oracle call and gate check is budgeted and fault-injectable
+// (PointOracle, PointVerify), so attack-success-rate tables are
+// bit-reproducible at any worker count and under seeded fault storms.
+package arena
+
+import (
+	"fmt"
+	"time"
+
+	"gptattr/internal/evade"
+)
+
+// Fault-injection points in the search loop (see internal/fault).
+// Injected transient faults are retried with backoff by a supervisor,
+// mirroring transform.Verify's interpreter supervision, so a
+// Limit-bounded storm cannot change an attack verdict.
+const (
+	// PointOracle fires before every oracle classification.
+	PointOracle = "arena.oracle"
+	// PointVerify fires before every verification-gate check.
+	PointVerify = "arena.verify"
+)
+
+// searchRetries and searchBackoff bound the retry supervisors around
+// transient oracle/gate faults.
+const (
+	searchRetries = 3
+	searchBackoff = time.Millisecond
+)
+
+// Strategy selects the attack search algorithm.
+type Strategy string
+
+const (
+	// StrategyMCTS is seeded Monte-Carlo tree search with UCT selection
+	// (the Quiring et al. attack).
+	StrategyMCTS Strategy = "mcts"
+	// StrategyBeam is deterministic width-bounded best-first search
+	// over transformation sequences.
+	StrategyBeam Strategy = "beam"
+)
+
+// valid reports whether s names a known strategy.
+func (s Strategy) valid() bool { return s == StrategyMCTS || s == StrategyBeam }
+
+// Goal is the attack objective for one query.
+type Goal struct {
+	// TrueAuthor is the victim label the model currently assigns.
+	TrueAuthor string
+	// Target, when non-empty, switches to impersonation: success means
+	// the model attributes the variant to Target. Empty means
+	// untargeted: success is any attribution away from TrueAuthor.
+	Target string
+}
+
+// Targeted reports whether the goal is impersonation.
+func (g Goal) Targeted() bool { return g.Target != "" }
+
+// Config controls one attack search.
+type Config struct {
+	// Strategy selects MCTS (default) or beam search.
+	Strategy Strategy
+	// Budget caps oracle evaluations of candidate variants (default
+	// 60). The baseline classification of the original is not counted.
+	Budget int
+	// MaxDepth caps transformation-sequence length (default 4).
+	MaxDepth int
+	// Exploration is the MCTS UCT constant (default 1.2).
+	Exploration float64
+	// BeamWidth is the beam-search frontier size (default 4).
+	BeamWidth int
+	// Seed drives the search PRNG; equal seeds give equal searches.
+	Seed int64
+	// VerifyInputs: candidates must preserve behaviour on these inputs
+	// (full interpreter gate). Empty falls back to the static-only
+	// gate: candidates whose static pre-screen is suspect are rejected.
+	VerifyInputs []string
+	// Actions overrides the move table (default evade.ActionSpace()).
+	// The slice is indexed hot and must not change during the search.
+	Actions []evade.Action
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == "" {
+		c.Strategy = StrategyMCTS
+	}
+	if c.Budget <= 0 {
+		c.Budget = 60
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.Exploration <= 0 {
+		c.Exploration = 1.2
+	}
+	if c.BeamWidth <= 0 {
+		c.BeamWidth = 4
+	}
+	if c.Actions == nil {
+		c.Actions = evade.ActionSpace()
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if !c.Strategy.valid() {
+		return fmt.Errorf("arena: unknown strategy %q", c.Strategy)
+	}
+	if len(c.Actions) == 0 {
+		return fmt.Errorf("arena: empty action space")
+	}
+	return nil
+}
+
+// Result is one attack outcome.
+type Result struct {
+	// Success reports whether the goal was met: attribution flipped
+	// away from the true author (untargeted) or onto the target
+	// (targeted) by a gate-verified variant.
+	Success bool
+	// Source is the best variant found (the original when the attack
+	// failed).
+	Source string
+	// Predicted is the model's label for Source.
+	Predicted string
+	// TrueAuthorProb is the model's vote share for the true author on
+	// Source.
+	TrueAuthorProb float64
+	// TargetProb is the model's vote share for the target on Source
+	// (0 when untargeted).
+	TargetProb float64
+	// Trace is the winning action sequence (names).
+	Trace []string
+	// Evaluations counts oracle calls on candidate variants.
+	Evaluations int
+	// GateChecks counts candidates submitted to the verification gate;
+	// GateRejects of them were refused as behaviour-breaking.
+	GateChecks  int
+	GateRejects int
+	// Truncated is set when the context expired before the budget:
+	// the result is the best found so far, not the full search's.
+	Truncated bool
+}

@@ -1,0 +1,93 @@
+package arena
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Target is one attack query in a campaign.
+type Target struct {
+	// ID labels the target in reports (optional).
+	ID string
+	// Source is the victim file.
+	Source string
+	// TrueAuthor is the label the attack must move away from.
+	TrueAuthor string
+	// TargetAuthor, when non-empty, makes this an impersonation query.
+	TargetAuthor string
+	// Seed overrides the campaign seed for this target; 0 derives a
+	// per-target seed from the campaign seed and the target's index,
+	// so results do not depend on worker scheduling.
+	Seed int64
+	// VerifyInputs overrides cfg.VerifyInputs for this target.
+	VerifyInputs []string
+}
+
+// AttackAll runs one attack per target through a bounded worker pool
+// and returns results in target order. Each target's search is seeded
+// independently (explicit Target.Seed or a stable derivation from
+// cfg.Seed and the target index), so the output is bit-identical at
+// any worker count. The first attack error cancels the remaining
+// queue and is returned; completed entries keep their results.
+func AttackAll(ctx context.Context, oracle Oracle, targets []Target, cfg Config, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	results := make([]*Result, len(targets))
+	if len(targets) == 0 {
+		return results, nil
+	}
+	errs := make([]error, len(targets))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				tcfg := cfg
+				tcfg.Seed = targets[i].Seed
+				if tcfg.Seed == 0 {
+					// splitmix-style spread keeps neighbouring targets'
+					// streams uncorrelated.
+					tcfg.Seed = cfg.Seed + int64(i+1)*int64(0x9e3779b97f4a7c15&0x7fffffffffffffff)
+				}
+				if targets[i].VerifyInputs != nil {
+					tcfg.VerifyInputs = targets[i].VerifyInputs
+				}
+				goal := Goal{TrueAuthor: targets[i].TrueAuthor, Target: targets[i].TargetAuthor}
+				res, err := Attack(actx, oracle, targets[i].Source, goal, tcfg)
+				results[i], errs[i] = res, err
+				if err != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range targets {
+		select {
+		case idx <- i:
+		case <-actx.Done():
+			// A worker failed (or the caller gave up); stop feeding.
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}

@@ -1,0 +1,74 @@
+package arena
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func campaignTargets(n int) []Target {
+	out := make([]Target, n)
+	for i := range out {
+		out[i] = Target{
+			ID:         fmt.Sprintf("t%d", i),
+			Source:     tinySrc + fmt.Sprintf("\n// v%d\n", i),
+			TrueAuthor: "A001",
+		}
+	}
+	return out
+}
+
+func TestAttackAllDeterministicAcrossWorkers(t *testing.T) {
+	oracle := hashOracle{labels: []string{"A001", "A002", "A003"}}
+	targets := campaignTargets(6)
+	cfg := Config{Budget: 15, Seed: 11}
+	var baseline []*Result
+	for _, workers := range []int{1, 2, 4} {
+		res, err := AttackAll(context.Background(), oracle, targets, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != len(targets) {
+			t.Fatalf("workers=%d: %d results for %d targets", workers, len(res), len(targets))
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(res, baseline) {
+			t.Errorf("workers=%d: results differ from workers=1", workers)
+		}
+	}
+}
+
+func TestAttackAllExplicitSeedWins(t *testing.T) {
+	oracle := hashOracle{labels: []string{"A001", "A002"}}
+	targets := []Target{{Source: tinySrc, TrueAuthor: "A001", Seed: 99}}
+	a, err := AttackAll(context.Background(), oracle, targets, Config{Budget: 10, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AttackAll(context.Background(), oracle, targets, Config{Budget: 10, Seed: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("explicit Target.Seed should make the campaign seed irrelevant")
+	}
+}
+
+func TestAttackAllPropagatesError(t *testing.T) {
+	targets := campaignTargets(4)
+	_, err := AttackAll(context.Background(), errOracle{}, targets, Config{Budget: 5}, 2)
+	if err == nil {
+		t.Fatal("oracle failure not propagated")
+	}
+}
+
+func TestAttackAllEmpty(t *testing.T) {
+	res, err := AttackAll(context.Background(), constOracle{"x"}, nil, Config{}, 4)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty campaign: %v %v", res, err)
+	}
+}

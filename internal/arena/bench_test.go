@@ -1,0 +1,55 @@
+package arena
+
+import (
+	"context"
+	"testing"
+)
+
+// The search benchmarks run the full candidate pipeline — render,
+// static verification gate, oracle scoring — against the cheap
+// deterministic hash oracle, so they measure the arena's own
+// machinery at a fixed budget (evasions/sec), not model inference.
+
+func benchAttack(b *testing.B, strategy Strategy) {
+	oracle := hashOracle{labels: []string{"A001", "A002", "A003"}}
+	// The victim label must be whatever the oracle actually says at
+	// baseline, or the attack succeeds instantly and measures nothing.
+	base, err := oracle.Classify(context.Background(), tinySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Strategy: strategy, Budget: 30, Seed: 17}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Attack(context.Background(), oracle, tinySrc, Goal{TrueAuthor: base.Label}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GateChecks == 0 {
+			b.Fatal("no gate checks")
+		}
+	}
+}
+
+func BenchmarkAttackMCTS(b *testing.B) { benchAttack(b, StrategyMCTS) }
+func BenchmarkAttackBeam(b *testing.B) { benchAttack(b, StrategyBeam) }
+
+// BenchmarkVerifyGate measures one static-gate decision on a restyled
+// variant (the per-candidate cost paid before any oracle call).
+func BenchmarkVerifyGate(b *testing.B) {
+	cfg := Config{}.withDefaults()
+	e := &engine{cfg: cfg, orig: tinySrc, tried: make([]bool, len(cfg.Actions))}
+	cand, err := e.render([]int{0, 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := e.gate(cand)
+		if err != nil || !ok {
+			b.Fatalf("gate verdict changed: %v %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package arena
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gptattr/internal/fault"
+	"gptattr/internal/transform"
+)
+
+// attackTable renders the deterministic artifact a fault storm must
+// not perturb: per-budget campaign outcomes over the fixture oracle,
+// run through the parallel driver.
+func attackTable(t *testing.T) string {
+	t.Helper()
+	oracle := NewLocalOracle(testOracle(t))
+	cases := victimCases(t, "A001", 3)
+	if len(cases) == 0 {
+		t.Skip("no attackable files")
+	}
+	targets := make([]Target, len(cases))
+	for i, vc := range cases {
+		targets[i] = Target{ID: vc.id, Source: vc.source, TrueAuthor: vc.author, VerifyInputs: vc.inputs}
+	}
+	var sb strings.Builder
+	for _, budget := range []int{10, 25} {
+		res, err := AttackAll(context.Background(), oracle, targets,
+			Config{Budget: budget, Seed: 42}, 2)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		for i, r := range res {
+			fmt.Fprintf(&sb, "b%d %s success=%v pred=%s p=%.6f evals=%d gate=%d/%d trace=%v\n",
+				budget, targets[i].ID, r.Success, r.Predicted, r.TrueAuthorProb,
+				r.Evaluations, r.GateRejects, r.GateChecks, r.Trace)
+		}
+	}
+	return sb.String()
+}
+
+// arenaStorm arms the search-loop fault points. All are Limit-bounded
+// strictly below the retry supervisors' budgets (3 attempts tolerate 2
+// consecutive transient failures), which is what lets the test demand
+// bit-identical output rather than mere completion.
+func arenaStorm(seed int64, kind fault.Kind) {
+	fault.Enable(seed)
+	fault.Set(PointOracle, fault.Policy{Kind: kind, Limit: 2, Latency: time.Millisecond})
+	fault.Set(PointVerify, fault.Policy{Kind: kind, Limit: 2, Latency: time.Millisecond})
+	fault.Set(transform.PointVerifyInterp, fault.Policy{Kind: kind, Limit: 2, Latency: time.Millisecond})
+}
+
+// TestAttackTableIdenticalUnderFaultStorm is the arena's chaos gate:
+// a seeded storm across the oracle, gate, and interpreter fault
+// points must leave the attack table byte-identical to a clean run.
+func TestAttackTableIdenticalUnderFaultStorm(t *testing.T) {
+	defer fault.Disable()
+	fault.Disable()
+	want := attackTable(t)
+
+	storms := []struct {
+		seed int64
+		kind fault.Kind
+	}{
+		{111, fault.KindError},
+		{222, fault.KindLatency},
+		{333, fault.KindError},
+	}
+	for _, st := range storms {
+		arenaStorm(st.seed, st.kind)
+		got := attackTable(t)
+		stats := fault.Stats()
+		fault.Disable()
+		if got != want {
+			t.Fatalf("seed %d (%v): storm output diverged\n--- clean ---\n%s\n--- storm ---\n%s",
+				st.seed, st.kind, want, got)
+		}
+		fired := uint64(0)
+		for _, ps := range stats {
+			fired += ps.Fires
+		}
+		if fired == 0 {
+			t.Fatalf("seed %d: no fault ever fired; the storm proves nothing", st.seed)
+		}
+		t.Logf("seed %d (%v): identical attack table through %d fired faults", st.seed, st.kind, fired)
+	}
+}
+
+// TestAttackSurfacesUnboundedStorm pins the failure mode: a storm
+// exceeding the retry budget is an error, never a silently different
+// verdict.
+func TestAttackSurfacesUnboundedStorm(t *testing.T) {
+	defer fault.Disable()
+	fault.Enable(9)
+	fault.Set(PointOracle, fault.Policy{Kind: fault.KindError})
+	_, err := Attack(context.Background(), constOracle{"A002"}, tinySrc,
+		Goal{TrueAuthor: "A001"}, Config{Budget: 5, Seed: 1})
+	if err == nil {
+		t.Fatal("persistent oracle faults did not surface as an error")
+	}
+}

@@ -1,0 +1,131 @@
+package arena
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/corpus"
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+// The search tests attack one real trained oracle; training it takes
+// seconds, so it is shared (same fixture shape as internal/serve's).
+var (
+	fixOnce   sync.Once
+	fixErr    error
+	fixOracle *attrib.Oracle
+	fixHuman  *corpus.Corpus
+	fixProfs  []style.Profile
+)
+
+func buildFixture() {
+	human, profs, err := corpus.GenerateYear(corpus.YearConfig{Year: 2017, NumAuthors: 10, Seed: 3})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	oracle, err := attrib.TrainOracle(human, attrib.Config{Trees: 24, TopFeatures: 300, Seed: 4})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	fixOracle, fixHuman, fixProfs = oracle, human, profs
+}
+
+// testOracle returns the shared trained oracle.
+func testOracle(t testing.TB) *attrib.Oracle {
+	t.Helper()
+	fixOnce.Do(buildFixture)
+	if fixErr != nil {
+		t.Fatalf("training fixture oracle: %v", fixErr)
+	}
+	return fixOracle
+}
+
+// victimCase is one attackable file: the oracle attributes it to its
+// true author, and verification inputs are available.
+type victimCase struct {
+	id     string
+	source string
+	author string
+	inputs []string
+}
+
+// victimCases renders the victim author's fresh-challenge files and
+// keeps the correctly-attributed ones.
+func victimCases(t testing.TB, victim string, n int) []victimCase {
+	t.Helper()
+	oracle := testOracle(t)
+	var idx int
+	for i, p := range fixProfs {
+		if p.Name == victim {
+			idx = i
+		}
+	}
+	prof := fixProfs[idx]
+	var out []victimCase
+	for i, ch := range challenge.ByYear(2018) {
+		if len(out) >= n {
+			break
+		}
+		src := codegen.Render(ch.Prog, prof, int64(i))
+		run, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(int64(i)+77)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, pred, err := oracle.Proba(src); err != nil || pred != victim {
+			continue
+		}
+		out = append(out, victimCase{id: ch.ID, source: src, author: victim, inputs: []string{run.Input}})
+	}
+	return out
+}
+
+// constOracle always answers the same label with total confidence.
+type constOracle struct{ label string }
+
+func (o constOracle) Classify(ctx context.Context, src string) (Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{Label: o.label, Proba: map[string]float64{o.label: 1}}, nil
+}
+
+// hashOracle is a cheap deterministic stand-in: it attributes by a
+// simple content hash over a fixed label set, so restyled variants
+// flip labels without the cost of a real model.
+type hashOracle struct{ labels []string }
+
+func (o hashOracle) Classify(ctx context.Context, src string) (Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, err
+	}
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(src); i++ {
+		h = (h ^ uint64(src[i])) * 1099511628211
+	}
+	proba := make(map[string]float64, len(o.labels))
+	for i, l := range o.labels {
+		proba[l] = float64((h>>uint(8*i))&0xff) + 1
+	}
+	var sum float64
+	for _, v := range proba {
+		sum += v
+	}
+	best := o.labels[0]
+	for _, l := range o.labels {
+		proba[l] /= sum
+		if proba[l] > proba[best] {
+			best = l
+		}
+	}
+	return Prediction{Label: best, Proba: proba}, nil
+}
+
+const tinySrc = "#include <iostream>\nusing namespace std;\nint main(){int x;cin>>x;cout<<x<<endl;return 0;}"

@@ -1,0 +1,132 @@
+package arena
+
+import (
+	"fmt"
+	"sort"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/corpus"
+	"gptattr/internal/stylometry"
+)
+
+// EvadingSample is one verified evasion to fold back into training:
+// the gate-verified variant paired with the author it was written by.
+type EvadingSample struct {
+	Source     string
+	TrueAuthor string
+}
+
+// HardenChallenge labels adversarial training samples in the
+// augmented corpus, so they are distinguishable (and group together
+// under challenge-wise cross-validation).
+const HardenChallenge = "ADV"
+
+// Harden is the defense half of the closed loop: adversarial
+// retraining. Verified evading variants are appended to the human
+// training corpus under their TRUE author labels — teaching the
+// forest that the rewritten style is still that author — and a fresh
+// oracle is fit through the pre-sorted training engine. It returns the
+// hardened oracle and the augmented corpus (the input corpus is not
+// modified).
+func Harden(human *corpus.Corpus, evasions []EvadingSample, cfg attrib.Config) (*attrib.Oracle, *corpus.Corpus, error) {
+	if len(evasions) == 0 {
+		return nil, nil, fmt.Errorf("arena: no evading samples to harden on")
+	}
+	adv := &corpus.Corpus{Samples: make([]corpus.Sample, len(evasions))}
+	for i, ev := range evasions {
+		if ev.TrueAuthor == "" {
+			return nil, nil, fmt.Errorf("arena: evading sample %d has no author", i)
+		}
+		adv.Samples[i] = corpus.Sample{
+			Source:    ev.Source,
+			Author:    ev.TrueAuthor,
+			Challenge: HardenChallenge,
+		}
+	}
+	augmented := corpus.Merge(human, adv)
+	oracle, err := attrib.TrainOracle(augmented, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("arena: hardening retrain: %w", err)
+	}
+	return oracle, augmented, nil
+}
+
+// SourcePair is one original/evaded pair for the robustness ranking.
+type SourcePair struct {
+	Original string
+	Evaded   string
+}
+
+// FeatureShift scores how much the attacks moved one stylometry
+// feature.
+type FeatureShift struct {
+	// Name is the feature column.
+	Name string
+	// MeanAbsDelta is the mean |evaded − original| of the feature's
+	// value across all pairs.
+	MeanAbsDelta float64
+	// Moved counts pairs in which the feature changed at all.
+	Moved int
+}
+
+// RankFeatureShifts is the feature-robustness ranking: which
+// stylometry features the evasion attacks exploit most. It learns a
+// vectorizer over all involved sources (MinDocFreq 1, so attack-only
+// features are visible), vectorizes each pair, and ranks features by
+// mean absolute shift. topN bounds the returned ranking (0 = all).
+func RankFeatureShifts(pairs []SourcePair, topN int) ([]FeatureShift, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("arena: no pairs to rank")
+	}
+	docs := make([]stylometry.Features, 0, 2*len(pairs))
+	for i, p := range pairs {
+		of, err := stylometry.Extract(p.Original)
+		if err != nil {
+			return nil, fmt.Errorf("arena: extracting original %d: %w", i, err)
+		}
+		ef, err := stylometry.Extract(p.Evaded)
+		if err != nil {
+			return nil, fmt.Errorf("arena: extracting evaded %d: %w", i, err)
+		}
+		docs = append(docs, of, ef)
+	}
+	vec := stylometry.NewVectorizer(docs, stylometry.VectorizerConfig{MinDocFreq: 1})
+	names := vec.FeatureNames()
+	sumAbs := make([]float64, len(names))
+	moved := make([]int, len(names))
+	for i := 0; i < len(docs); i += 2 {
+		orow := vec.Vector(docs[i])
+		erow := vec.Vector(docs[i+1])
+		for c := range names {
+			d := erow[c] - orow[c]
+			if d < 0 {
+				d = -d
+			}
+			if d > 0 {
+				sumAbs[c] += d
+				moved[c]++
+			}
+		}
+	}
+	out := make([]FeatureShift, 0, len(names))
+	for c, name := range names {
+		if moved[c] == 0 {
+			continue
+		}
+		out = append(out, FeatureShift{
+			Name:         name,
+			MeanAbsDelta: sumAbs[c] / float64(len(pairs)),
+			Moved:        moved[c],
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].MeanAbsDelta != out[j].MeanAbsDelta {
+			return out[i].MeanAbsDelta > out[j].MeanAbsDelta
+		}
+		return out[i].Name < out[j].Name
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package arena
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gptattr/internal/attrib"
+	"gptattr/internal/corpus"
+)
+
+// TestHardenRecoversEvadedVariants is the closed loop's core promise:
+// retraining on verified evading samples teaches the forest to
+// attribute those very rewrites back to their true author.
+func TestHardenRecoversEvadedVariants(t *testing.T) {
+	oracle := testOracle(t)
+	cases := victimCases(t, "A001", 3)
+	if len(cases) == 0 {
+		t.Skip("no attackable files")
+	}
+	local := NewLocalOracle(oracle)
+	var evasions []EvadingSample
+	for i, vc := range cases {
+		res, err := Attack(context.Background(), local, vc.source,
+			Goal{TrueAuthor: vc.author}, Config{Budget: 40, Seed: int64(i), VerifyInputs: vc.inputs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Success {
+			evasions = append(evasions, EvadingSample{Source: res.Source, TrueAuthor: vc.author})
+		}
+	}
+	if len(evasions) == 0 {
+		t.Skip("attack found no evasions to harden on")
+	}
+	hardened, augmented, err := Harden(fixHuman, evasions, attrib.Config{Trees: 24, TopFeatures: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(augmented.Samples) != len(fixHuman.Samples)+len(evasions) {
+		t.Fatalf("augmented corpus has %d samples, want %d",
+			len(augmented.Samples), len(fixHuman.Samples)+len(evasions))
+	}
+	// Every evading variant fooled the baseline by construction; the
+	// hardened forest saw them in training and must recover them.
+	recovered := 0
+	for _, ev := range evasions {
+		if _, pred, err := hardened.Proba(ev.Source); err == nil && pred == ev.TrueAuthor {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Errorf("hardened oracle recovered 0/%d evading variants", len(evasions))
+	}
+	t.Logf("hardened recovery: %d/%d", recovered, len(evasions))
+}
+
+func TestHardenValidation(t *testing.T) {
+	if _, _, err := Harden(fixtureCorpusOrSkip(t), nil, attrib.Config{}); err == nil {
+		t.Error("empty evasion set accepted")
+	}
+	if _, _, err := Harden(fixtureCorpusOrSkip(t),
+		[]EvadingSample{{Source: "x"}}, attrib.Config{}); err == nil {
+		t.Error("authorless evading sample accepted")
+	}
+}
+
+func fixtureCorpusOrSkip(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	testOracle(t)
+	return fixHuman
+}
+
+func TestRankFeatureShifts(t *testing.T) {
+	orig := "#include <iostream>\nusing namespace std;\nint main(){int count;cin>>count;cout<<count<<endl;return 0;}"
+	// The evaded variant renames and requalifies — lexical and
+	// word-unigram features must dominate the shift ranking.
+	evaded := "#include <iostream>\nint main(){int n;std::cin>>n;std::cout<<n<<std::endl;return 0;}"
+	shifts, err := RankFeatureShifts([]SourcePair{{Original: orig, Evaded: evaded}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) == 0 {
+		t.Fatal("no feature shifts on a renamed variant")
+	}
+	if len(shifts) > 10 {
+		t.Fatalf("topN not applied: %d", len(shifts))
+	}
+	for i := 1; i < len(shifts); i++ {
+		if shifts[i].MeanAbsDelta > shifts[i-1].MeanAbsDelta {
+			t.Fatal("ranking not sorted by shift")
+		}
+	}
+	found := false
+	for _, s := range shifts {
+		if s.Moved <= 0 {
+			t.Fatalf("shift %q with Moved=%d", s.Name, s.Moved)
+		}
+		if strings.Contains(s.Name, "WordUnigram") || strings.Contains(s.Name, "Leaf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no lexical feature in the top shifts: %+v", shifts)
+	}
+}
+
+func TestRankFeatureShiftsIdenticalPair(t *testing.T) {
+	shifts, err := RankFeatureShifts([]SourcePair{{Original: tinySrc, Evaded: tinySrc}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) != 0 {
+		t.Fatalf("identical pair produced shifts: %+v", shifts)
+	}
+}
+
+func TestRankFeatureShiftsEmpty(t *testing.T) {
+	if _, err := RankFeatureShifts(nil, 5); err == nil {
+		t.Error("empty pair set accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package arena
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gptattr/internal/attrib"
+)
+
+// Prediction is one oracle verdict.
+type Prediction struct {
+	// Label is the predicted author.
+	Label string
+	// Proba is the vote share per author label.
+	Proba map[string]float64
+}
+
+// Oracle is the attack's view of the attribution model under attack.
+// The search engine only ever calls Classify, so the same campaign
+// runs against an in-process forest (LocalOracle) or a live
+// attrserve/attrrouter deployment (RemoteOracle).
+type Oracle interface {
+	Classify(ctx context.Context, src string) (Prediction, error)
+}
+
+// LocalOracle attacks an in-process attribution model.
+type LocalOracle struct{ o *attrib.Oracle }
+
+// NewLocalOracle wraps a trained oracle.
+func NewLocalOracle(o *attrib.Oracle) *LocalOracle { return &LocalOracle{o: o} }
+
+// Classify implements Oracle.
+func (l *LocalOracle) Classify(ctx context.Context, src string) (Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, err
+	}
+	proba, pred, err := l.o.Proba(src)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{Label: pred, Proba: proba}, nil
+}
+
+// maxOracleBody bounds a remote oracle's buffered response body.
+const maxOracleBody = 1 << 20
+
+// RemoteOracle attacks a served model over HTTP: each Classify is one
+// POST /v1/attribute against an attrserve replica or the fleet
+// router. Transport and HTTP-level failures surface as errors; the
+// search treats them as unscorable candidates.
+type RemoteOracle struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemoteOracle points the attack at baseURL (no trailing slash
+// needed). A nil client gets a default with pooled connections.
+func NewRemoteOracle(baseURL string, client *http.Client) *RemoteOracle {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &RemoteOracle{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// Classify implements Oracle. The wire types mirror internal/serve's
+// /v1/attribute contract; they are declared locally because serve
+// layers on top of arena, not under it.
+func (r *RemoteOracle) Classify(ctx context.Context, src string) (Prediction, error) {
+	body, err := json.Marshal(struct {
+		Source string `json:"source"`
+	}{Source: src})
+	if err != nil {
+		return Prediction{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/attribute", bytes.NewReader(body))
+	if err != nil {
+		return Prediction{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return Prediction{}, err
+	}
+	defer func() { _ = resp.Body.Close() }() // body read to the limit below either way
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxOracleBody))
+	if err != nil {
+		return Prediction{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Prediction{}, fmt.Errorf("arena: remote oracle answered %d: %s", resp.StatusCode, truncBody(b))
+	}
+	var ar struct {
+		Author string             `json:"author"`
+		Proba  map[string]float64 `json:"proba"`
+	}
+	if err := json.Unmarshal(b, &ar); err != nil {
+		return Prediction{}, fmt.Errorf("arena: decoding remote oracle answer: %w", err)
+	}
+	return Prediction{Label: ar.Author, Proba: ar.Proba}, nil
+}
+
+func truncBody(b []byte) string {
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

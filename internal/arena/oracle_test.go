@@ -1,0 +1,78 @@
+package arena
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeAttributeServer serves /v1/attribute with hashOracle verdicts,
+// plus optional fixed overrides by exact source.
+func fakeAttributeServer(t *testing.T, overrides map[string]string) *httptest.Server {
+	t.Helper()
+	oracle := hashOracle{labels: []string{"A001", "A002", "A003"}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/attribute", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Source string `json:"source"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Source == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "bad body"})
+			return
+		}
+		p, _ := oracle.Classify(r.Context(), req.Source)
+		if lbl, ok := overrides[req.Source]; ok {
+			p.Label = lbl
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"author": p.Label, "proba": p.Proba})
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestRemoteOracleErrorStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	_, err := NewRemoteOracle(srv.URL, nil).Classify(context.Background(), "int main(){}")
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("non-200 not surfaced: %v", err)
+	}
+}
+
+func TestRemoteOracleBadJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("not json"))
+	}))
+	defer srv.Close()
+	if _, err := NewRemoteOracle(srv.URL, nil).Classify(context.Background(), "x"); err == nil {
+		t.Fatal("undecodable answer not surfaced")
+	}
+}
+
+func TestRemoteOracleRunsFullAttack(t *testing.T) {
+	srv := fakeAttributeServer(t, nil)
+	defer srv.Close()
+	ro := NewRemoteOracle(srv.URL, nil)
+	base, err := ro.Classify(context.Background(), tinySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(context.Background(), ro, tinySrc,
+		Goal{TrueAuthor: base.Label}, Config{Budget: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no oracle evaluations against the remote endpoint")
+	}
+	// The hash oracle flips on any content change, so the search
+	// should find an evasion quickly.
+	if !res.Success {
+		t.Error("no evasion found against the content-hash oracle")
+	}
+}

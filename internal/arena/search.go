@@ -1,0 +1,414 @@
+package arena
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gptattr/internal/cppast"
+	"gptattr/internal/cppprint"
+	"gptattr/internal/evade"
+	"gptattr/internal/fault"
+	"gptattr/internal/transform"
+)
+
+// Attack searches for a gate-verified variant of src that meets goal
+// against oracle, spending at most cfg.Budget oracle evaluations. The
+// search is deterministic in (src, goal, cfg): all randomness flows
+// from cfg.Seed. A context cancellation mid-search returns the best
+// result found so far with Truncated set rather than an error; the
+// only error paths are an unclassifiable original, an invalid
+// configuration, and an injected fault storm exceeding the retry
+// supervisors.
+func Attack(ctx context.Context, oracle Oracle, src string, goal Goal, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if goal.TrueAuthor == "" {
+		return nil, fmt.Errorf("arena: goal needs a true author")
+	}
+	if goal.Target == goal.TrueAuthor && goal.Targeted() {
+		return nil, fmt.Errorf("arena: target %q is the true author", goal.Target)
+	}
+
+	e := &engine{
+		oracle: oracle,
+		cfg:    cfg,
+		goal:   goal,
+		orig:   src,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		tried:  make([]bool, len(cfg.Actions)),
+	}
+
+	base, err := e.classify(ctx, src)
+	if err != nil {
+		return nil, fmt.Errorf("arena: classifying original: %w", err)
+	}
+	e.evals = 0 // the baseline does not count against the budget
+	e.best = &Result{
+		Source:         src,
+		Predicted:      base.Label,
+		TrueAuthorProb: base.Proba[goal.TrueAuthor],
+		TargetProb:     base.Proba[goal.Target],
+	}
+	if e.success(base) {
+		// Already misattributed as required; no search needed.
+		e.best.Success = true
+		return e.best, nil
+	}
+
+	switch cfg.Strategy {
+	case StrategyBeam:
+		err = e.beam(ctx)
+	default:
+		err = e.mcts(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.best.Evaluations = e.evals
+	e.best.GateChecks = e.gateChecks
+	e.best.GateRejects = e.gateRejects
+	return e.best, nil
+}
+
+// engine holds one attack's state; scratch buffers are reused across
+// iterations so the selection/backprop inner loop does not allocate.
+type engine struct {
+	oracle Oracle
+	cfg    Config
+	goal   Goal
+	orig   string
+	rng    *rand.Rand
+
+	evals       int
+	gateChecks  int
+	gateRejects int
+	best        *Result
+
+	// scratch
+	seqBuf  []int
+	untried []int
+	tried   []bool
+}
+
+// success reports whether p meets the goal.
+func (e *engine) success(p Prediction) bool {
+	if e.goal.Targeted() {
+		return p.Label == e.goal.Target
+	}
+	return p.Label != e.goal.TrueAuthor
+}
+
+// reward maps a prediction to the search's scalar objective in [0,1].
+func (e *engine) reward(p Prediction) float64 {
+	if e.goal.Targeted() {
+		return p.Proba[e.goal.Target]
+	}
+	return 1 - p.Proba[e.goal.TrueAuthor]
+}
+
+// better reports whether p improves on the current best success.
+func (e *engine) better(p Prediction) bool {
+	if !e.best.Success {
+		return true
+	}
+	if e.goal.Targeted() {
+		return p.Proba[e.goal.Target] > e.best.TargetProb
+	}
+	return p.Proba[e.goal.TrueAuthor] < e.best.TrueAuthorProb
+}
+
+// record installs a successful candidate as the new best.
+func (e *engine) record(out string, p Prediction, seq []int) {
+	e.best = &Result{
+		Success:        true,
+		Source:         out,
+		Predicted:      p.Label,
+		TrueAuthorProb: p.Proba[e.goal.TrueAuthor],
+		TargetProb:     p.Proba[e.goal.Target],
+		Trace:          actionNames(e.cfg.Actions, seq),
+	}
+}
+
+func actionNames(actions []evade.Action, seq []int) []string {
+	out := make([]string, len(seq))
+	for i, ai := range seq {
+		out[i] = actions[ai].Name
+	}
+	return out
+}
+
+// render applies the action sequence to the original and reprints.
+// A parse failure (the original is attacker-supplied) is an error;
+// the action applications themselves cannot fail.
+func (e *engine) render(seq []int) (string, error) {
+	tu, err := cppast.Parse(e.orig)
+	if err != nil {
+		return "", fmt.Errorf("arena: parsing source: %w", err)
+	}
+	printCfg := cppprint.Config{}
+	for _, ai := range seq {
+		a := e.cfg.Actions[ai]
+		a.Apply(tu)
+		if a.Print != nil {
+			printCfg = *a.Print
+		}
+	}
+	transform.RegenerateHeaders(tu, false)
+	return cppprint.Print(tu, printCfg), nil
+}
+
+// gate decides whether a candidate provably preserves behaviour: the
+// full interpreter check when inputs are available, the static
+// pre-screen alone otherwise (rejecting suspect rewrites). Injected
+// transient faults at PointVerify are retried so a bounded storm
+// cannot flip a verdict; an exhausted supervisor surfaces the error.
+func (e *engine) gate(cand string) (bool, error) {
+	e.gateChecks++
+	var ok bool
+	err := fault.Retry(searchRetries, searchBackoff, func() error {
+		if err := fault.Hit(PointVerify); err != nil {
+			return err
+		}
+		if len(e.cfg.VerifyInputs) > 0 {
+			ok = transform.Verify(e.orig, cand, e.cfg.VerifyInputs) == nil
+		} else {
+			ok = transform.StaticVerify(e.orig, cand) != transform.StaticSuspect
+		}
+		return nil
+	})
+	if err != nil {
+		return false, fmt.Errorf("arena: verification gate: %w", err)
+	}
+	if !ok {
+		e.gateRejects++
+	}
+	return ok, nil
+}
+
+// classify is one supervised oracle call. Injected transient faults at
+// PointOracle are retried with backoff; the oracle's own verdicts and
+// errors pass through untouched.
+func (e *engine) classify(ctx context.Context, src string) (Prediction, error) {
+	var p Prediction
+	err := fault.Retry(searchRetries, searchBackoff, func() error {
+		if err := fault.Hit(PointOracle); err != nil {
+			return err
+		}
+		var cerr error
+		p, cerr = e.oracle.Classify(ctx, src)
+		return cerr
+	})
+	if err == nil {
+		e.evals++
+	}
+	return p, err
+}
+
+// evalCandidate renders, gates, and scores one sequence, returning the
+// reward (0 for rejected or unscorable candidates). A fault-storm or
+// context error stops the search via the returned error/truncated
+// flag.
+func (e *engine) evalCandidate(ctx context.Context, seq []int) (reward float64, stop bool, err error) {
+	out, rerr := e.render(seq)
+	if rerr != nil {
+		return 0, false, rerr
+	}
+	ok, gerr := e.gate(out)
+	if gerr != nil {
+		return 0, false, gerr
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	p, cerr := e.classify(ctx, out)
+	if cerr != nil {
+		if ctx.Err() != nil {
+			e.best.Truncated = true
+			return 0, true, nil
+		}
+		var inj *fault.InjectedError
+		if errors.As(cerr, &inj) {
+			return 0, false, fmt.Errorf("arena: oracle: %w", cerr)
+		}
+		// The candidate itself is unscorable (e.g. the remote oracle
+		// refused it); worth nothing, but the search continues.
+		return 0, false, nil
+	}
+	if e.success(p) && e.better(p) {
+		e.record(out, p, seq)
+	}
+	return e.reward(p), false, nil
+}
+
+// node is one MCTS tree node; children expand lazily over the action
+// space.
+type node struct {
+	parent   *node
+	action   int // index into the action space; -1 at root
+	children []*node
+	visits   int
+	value    float64 // cumulative reward
+	depth    int
+}
+
+// mcts runs seeded UCT search until the evaluation budget or context
+// is exhausted. Iterations are additionally capped at 4× the budget so
+// a gate that rejects everything (rejects cost no oracle calls) still
+// terminates.
+func (e *engine) mcts(ctx context.Context) error {
+	root := &node{action: -1}
+	maxIters := e.cfg.Budget * 4
+	for it := 0; it < maxIters && e.evals < e.cfg.Budget; it++ {
+		if ctx.Err() != nil {
+			e.best.Truncated = true
+			return nil
+		}
+		cur := e.selectNode(root)
+		cur = e.expand(cur)
+		seq := e.seqOf(cur)
+		// Rollout: random completion up to MaxDepth.
+		for len(seq) < e.cfg.MaxDepth && e.rng.Float64() < 0.5 {
+			seq = append(seq, e.rng.Intn(len(e.cfg.Actions)))
+		}
+		reward, stop, err := e.evalCandidate(ctx, seq)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		backprop(cur, reward)
+	}
+	return nil
+}
+
+// selectNode descends by UCT until a node with unexpanded moves or max
+// depth. Allocation-free: it only walks the existing tree.
+func (e *engine) selectNode(root *node) *node {
+	cur := root
+	for cur.depth < e.cfg.MaxDepth && len(cur.children) == len(e.cfg.Actions) {
+		bestChild, bestUCT := (*node)(nil), math.Inf(-1)
+		for _, ch := range cur.children {
+			var uct float64
+			if ch.visits == 0 {
+				uct = math.Inf(1)
+			} else {
+				uct = ch.value/float64(ch.visits) +
+					e.cfg.Exploration*math.Sqrt(math.Log(float64(cur.visits+1))/float64(ch.visits))
+			}
+			if uct > bestUCT {
+				bestChild, bestUCT = ch, uct
+			}
+		}
+		if bestChild == nil {
+			break
+		}
+		cur = bestChild
+	}
+	return cur
+}
+
+// expand adds one untried child below cur (chosen by the seeded PRNG)
+// and returns it; cur itself when it is at max depth. The tried/untried
+// scratch slices are reused across calls.
+func (e *engine) expand(cur *node) *node {
+	if cur.depth >= e.cfg.MaxDepth {
+		return cur
+	}
+	for i := range e.tried {
+		e.tried[i] = false
+	}
+	for _, ch := range cur.children {
+		e.tried[ch.action] = true
+	}
+	e.untried = e.untried[:0]
+	for ai := range e.cfg.Actions {
+		if !e.tried[ai] {
+			e.untried = append(e.untried, ai)
+		}
+	}
+	if len(e.untried) == 0 {
+		return cur
+	}
+	ai := e.untried[e.rng.Intn(len(e.untried))]
+	child := &node{parent: cur, action: ai, depth: cur.depth + 1}
+	cur.children = append(cur.children, child)
+	return child
+}
+
+// seqOf reconstructs cur's action sequence into the reused scratch
+// buffer (root→cur order).
+func (e *engine) seqOf(cur *node) []int {
+	seq := e.seqBuf[:0]
+	for n := cur; n != nil && n.action >= 0; n = n.parent {
+		seq = append(seq, n.action)
+	}
+	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	e.seqBuf = seq
+	return seq
+}
+
+// backprop adds one rollout's reward up the selection path.
+func backprop(cur *node, reward float64) {
+	for n := cur; n != nil; n = n.parent {
+		n.visits++
+		n.value += reward
+	}
+}
+
+// beamCand is one scored frontier entry.
+type beamCand struct {
+	seq    []int
+	reward float64
+}
+
+// beam runs deterministic width-bounded search: at each depth every
+// frontier sequence is extended by every action, candidates are
+// rendered/gated/scored, and the best BeamWidth rewards survive.
+func (e *engine) beam(ctx context.Context) error {
+	frontier := []beamCand{{seq: nil}}
+	for depth := 0; depth < e.cfg.MaxDepth && e.evals < e.cfg.Budget; depth++ {
+		var next []beamCand
+		for _, bc := range frontier {
+			for ai := range e.cfg.Actions {
+				if e.evals >= e.cfg.Budget {
+					break
+				}
+				if ctx.Err() != nil {
+					e.best.Truncated = true
+					return nil
+				}
+				seq := make([]int, len(bc.seq)+1)
+				copy(seq, bc.seq)
+				seq[len(bc.seq)] = ai
+				reward, stop, err := e.evalCandidate(ctx, seq)
+				if err != nil {
+					return err
+				}
+				if stop {
+					return nil
+				}
+				next = append(next, beamCand{seq: seq, reward: reward})
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		// Stable order: reward descending, insertion order breaking
+		// ties, so equal configurations search identically.
+		sort.SliceStable(next, func(i, j int) bool { return next[i].reward > next[j].reward })
+		if len(next) > e.cfg.BeamWidth {
+			next = next[:e.cfg.BeamWidth]
+		}
+		frontier = next
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package arena
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gptattr/internal/cppinterp"
+)
+
+func TestAttackEvadesOracleMCTS(t *testing.T) {
+	oracle := NewLocalOracle(testOracle(t))
+	cases := victimCases(t, "A001", 3)
+	if len(cases) == 0 {
+		t.Skip("oracle misattributed all victim files before the attack")
+	}
+	evaded := 0
+	for i, vc := range cases {
+		res, err := Attack(context.Background(), oracle, vc.source,
+			Goal{TrueAuthor: vc.author}, Config{
+				Budget:       40,
+				Seed:         int64(i),
+				VerifyInputs: vc.inputs,
+			})
+		if err != nil {
+			t.Fatalf("%s: %v", vc.id, err)
+		}
+		if res.Evaluations > 40 {
+			t.Fatalf("%s: %d evaluations exceed the budget", vc.id, res.Evaluations)
+		}
+		if res.GateChecks == 0 {
+			t.Errorf("%s: no candidates hit the verification gate", vc.id)
+		}
+		if !res.Success {
+			continue
+		}
+		evaded++
+		if res.Predicted == vc.author {
+			t.Fatalf("%s: Success set but prediction is still the victim", vc.id)
+		}
+		if len(res.Trace) == 0 {
+			t.Errorf("%s: evaded without a recorded trace", vc.id)
+		}
+		// Behaviour must still be preserved.
+		want, err := cppinterp.Run(vc.source, vc.inputs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cppinterp.Run(res.Source, vc.inputs[0])
+		if err != nil || got != want {
+			t.Fatalf("%s: evading variant broke behaviour: %v", vc.id, err)
+		}
+	}
+	if evaded == 0 {
+		t.Errorf("MCTS evaded on 0/%d correctly-attributed files (Quiring et al. report near-total success)", len(cases))
+	}
+	t.Logf("mcts evasion: %d/%d", evaded, len(cases))
+}
+
+func TestAttackEvadesOracleBeam(t *testing.T) {
+	oracle := NewLocalOracle(testOracle(t))
+	cases := victimCases(t, "A001", 2)
+	if len(cases) == 0 {
+		t.Skip("oracle misattributed all victim files before the attack")
+	}
+	evaded := 0
+	for i, vc := range cases {
+		res, err := Attack(context.Background(), oracle, vc.source,
+			Goal{TrueAuthor: vc.author}, Config{
+				Strategy:     StrategyBeam,
+				Budget:       40,
+				Seed:         int64(i),
+				VerifyInputs: vc.inputs,
+			})
+		if err != nil {
+			t.Fatalf("%s: %v", vc.id, err)
+		}
+		if res.Success {
+			evaded++
+		}
+	}
+	if evaded == 0 {
+		t.Errorf("beam search evaded on 0/%d files", len(cases))
+	}
+	t.Logf("beam evasion: %d/%d", evaded, len(cases))
+}
+
+func TestAttackTargeted(t *testing.T) {
+	oracle := NewLocalOracle(testOracle(t))
+	cases := victimCases(t, "A001", 2)
+	if len(cases) == 0 {
+		t.Skip("no attackable files")
+	}
+	hits := 0
+	for i, vc := range cases {
+		res, err := Attack(context.Background(), oracle, vc.source,
+			Goal{TrueAuthor: vc.author, Target: "A002"}, Config{
+				Budget:       60,
+				Seed:         int64(100 + i),
+				VerifyInputs: vc.inputs,
+			})
+		if err != nil {
+			t.Fatalf("%s: %v", vc.id, err)
+		}
+		if res.Success {
+			hits++
+			if res.Predicted != "A002" {
+				t.Fatalf("%s: targeted Success but predicted %q", vc.id, res.Predicted)
+			}
+			if res.TargetProb <= 0 {
+				t.Errorf("%s: targeted success with TargetProb %v", vc.id, res.TargetProb)
+			}
+		}
+	}
+	t.Logf("targeted impersonation: %d/%d", hits, len(cases))
+}
+
+func TestAttackDeterministicPerSeed(t *testing.T) {
+	oracle := hashOracle{labels: []string{"A001", "A002", "A003"}}
+	for _, strat := range []Strategy{StrategyMCTS, StrategyBeam} {
+		cfg := Config{Strategy: strat, Budget: 25, Seed: 7}
+		a, err := Attack(context.Background(), oracle, tinySrc, Goal{TrueAuthor: "A001"}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Attack(context.Background(), oracle, tinySrc, Goal{TrueAuthor: "A001"}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different results:\n%+v\n%+v", strat, a, b)
+		}
+	}
+}
+
+func TestAttackBaselineAlreadyEvaded(t *testing.T) {
+	// The oracle never says A001, so the original already meets the
+	// untargeted goal: no search should run.
+	res, err := Attack(context.Background(), constOracle{"A009"}, tinySrc,
+		Goal{TrueAuthor: "A001"}, Config{Budget: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Source != tinySrc || res.Evaluations != 0 {
+		t.Fatalf("baseline-evaded result wrong: %+v", res)
+	}
+}
+
+func TestAttackAgainstUnfoolableOracle(t *testing.T) {
+	res, err := Attack(context.Background(), constOracle{"A001"}, tinySrc,
+		Goal{TrueAuthor: "A001"}, Config{Budget: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Error("evaded an oracle that always answers the victim")
+	}
+	if res.Source != tinySrc {
+		t.Error("best variant should remain the original when nothing evades")
+	}
+	if res.Evaluations == 0 {
+		t.Error("no candidates were evaluated")
+	}
+}
+
+// errOracle fails on everything.
+type errOracle struct{}
+
+func (errOracle) Classify(context.Context, string) (Prediction, error) {
+	return Prediction{}, fmt.Errorf("boom")
+}
+
+func TestAttackPropagatesBaseClassifyError(t *testing.T) {
+	if _, err := Attack(context.Background(), errOracle{}, tinySrc,
+		Goal{TrueAuthor: "a"}, Config{}); err == nil {
+		t.Error("base classification error not propagated")
+	}
+}
+
+func TestAttackValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Attack(ctx, constOracle{"x"}, tinySrc, Goal{}, Config{}); err == nil {
+		t.Error("missing true author accepted")
+	}
+	if _, err := Attack(ctx, constOracle{"x"}, tinySrc,
+		Goal{TrueAuthor: "a", Target: "a"}, Config{}); err == nil {
+		t.Error("target == true author accepted")
+	}
+	if _, err := Attack(ctx, constOracle{"x"}, tinySrc,
+		Goal{TrueAuthor: "a"}, Config{Strategy: "annealing"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestAttackContextCancelTruncates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel after the baseline classification: the third call sees a
+	// dead context.
+	calls := 0
+	oracle := funcOracle(func(c context.Context, src string) (Prediction, error) {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		if err := c.Err(); err != nil {
+			return Prediction{}, err
+		}
+		return Prediction{Label: "A001", Proba: map[string]float64{"A001": 1}}, nil
+	})
+	res, err := Attack(ctx, oracle, tinySrc, Goal{TrueAuthor: "A001"}, Config{Budget: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("cancelled search not marked Truncated")
+	}
+	if res.Evaluations >= 50 {
+		t.Error("cancelled search consumed the whole budget")
+	}
+}
+
+// funcOracle adapts a function to Oracle.
+type funcOracle func(ctx context.Context, src string) (Prediction, error)
+
+func (f funcOracle) Classify(ctx context.Context, src string) (Prediction, error) {
+	return f(ctx, src)
+}
+
+func TestRemoteOracleAgainstFakeServer(t *testing.T) {
+	srv := fakeAttributeServer(t, map[string]string{})
+	defer srv.Close()
+	ro := NewRemoteOracle(srv.URL+"/", nil)
+	p, err := ro.Classify(context.Background(), "int main(){}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Label == "" || len(p.Proba) == 0 {
+		t.Fatalf("remote prediction empty: %+v", p)
+	}
+}

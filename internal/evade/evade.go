@@ -1,17 +1,15 @@
-// Package evade implements the Monte-Carlo tree search evasion attack
-// of Quiring et al. (USENIX Security 2019) that the paper builds on:
-// given a trained attribution model and a source file, search over
-// sequences of style transformations for a variant that the model no
-// longer attributes to the true author — while provably preserving
-// behaviour. The paper reports MCTS reaching up to a 99% untargeted
-// evasion rate; this package reproduces the attack against the
-// repository's own oracle and is exercised as an experiment extension.
+// Package evade defines the transformation action space of the
+// Quiring et al. (USENIX Security 2019) evasion attack that the paper
+// builds on: atomic, behaviour-preserving style rewrites an attacker
+// composes into sequences that flip a model's attribution. The search
+// engines that explore this space (seeded MCTS and beam search, the
+// verification gate, hardening) live in internal/arena; this package
+// owns only the immutable move table and the sequence renderer, so
+// the hot search loop can index it without allocating.
 package evade
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 
 	"gptattr/internal/cppast"
 	"gptattr/internal/cppprint"
@@ -30,10 +28,22 @@ type Action struct {
 	Print *cppprint.Config
 }
 
+// actions is the package-level move table, built once at init. It is
+// shared and must never be mutated: ActionSpace hands out the same
+// backing array on every call so the search inner loop stays
+// allocation-free.
+var actions = buildActionSpace()
+
 // ActionSpace returns the default move set: naming conversions, I/O
 // conversion, loop conversion, namespace toggles, structure changes,
-// and layout reconfigurations.
-func ActionSpace() []Action {
+// and layout reconfigurations. The returned slice is the shared
+// immutable table — callers must not modify it.
+func ActionSpace() []Action { return actions }
+
+// NumActions returns the size of the shared move table.
+func NumActions() int { return len(actions) }
+
+func buildActionSpace() []Action {
 	var out []Action
 	for _, n := range []style.Naming{
 		style.NamingCamel, style.NamingSnake, style.NamingHungarian,
@@ -78,197 +88,34 @@ func ActionSpace() []Action {
 	return out
 }
 
-// Scorer judges a candidate: it returns the probability mass the
-// attribution model assigns to the TRUE author (lower is better for
-// the attacker) and the predicted label.
-type Scorer interface {
-	Score(src string) (trueAuthorProb float64, predicted string, err error)
-}
-
-// Config controls the search.
-type Config struct {
-	// Iterations is the MCTS budget (default 60).
-	Iterations int
-	// MaxDepth is the transformation-sequence length cap (default 4).
-	MaxDepth int
-	// Exploration is the UCT constant (default 1.2).
-	Exploration float64
-	// Seed drives rollouts.
-	Seed int64
-	// VerifyInputs: behaviour must be preserved on these inputs; a
-	// candidate failing verification scores worst.
-	VerifyInputs []string
-}
-
-func (c Config) withDefaults() Config {
-	if c.Iterations <= 0 {
-		c.Iterations = 60
-	}
-	if c.MaxDepth <= 0 {
-		c.MaxDepth = 4
-	}
-	if c.Exploration <= 0 {
-		c.Exploration = 1.2
-	}
-	return c
-}
-
-// Result is the attack outcome.
-type Result struct {
-	// Evaded is true when the best variant is no longer attributed to
-	// the true author.
-	Evaded bool
-	// Source is the best variant found.
-	Source string
-	// Predicted is the model's label for Source.
-	Predicted string
-	// TrueAuthorProb is the model's vote share for the true author on
-	// Source.
-	TrueAuthorProb float64
-	// Trace is the winning action sequence.
-	Trace []string
-	// Evaluations counts scorer calls.
-	Evaluations int
-}
-
-// node is one MCTS tree node; children expand lazily over the action
-// space.
-type node struct {
-	parent   *node
-	action   int // index into the action space; -1 at root
-	children []*node
-	visits   int
-	value    float64 // cumulative reward (1 - trueAuthorProb)
-	depth    int
-}
-
-// Attack runs MCTS over transformation sequences starting from src by
-// the given true author.
-func Attack(src, trueAuthor string, scorer Scorer, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	actions := ActionSpace()
-
-	baseProb, basePred, err := scorer.Score(src)
+// Render applies the action sequence seq (indices into ActionSpace)
+// to src and reprints the result. It does not verify behaviour —
+// the arena's verification gate owns that judgment.
+func Render(src string, seq []int) (string, error) {
+	tu, err := cppast.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("evade: scoring original: %w", err)
+		return "", fmt.Errorf("evade: parsing source: %w", err)
 	}
-	best := &Result{
-		Source:         src,
-		Predicted:      basePred,
-		TrueAuthorProb: baseProb,
-		Evaded:         basePred != trueAuthor,
+	printCfg := cppprint.Config{}
+	for _, ai := range seq {
+		if ai < 0 || ai >= len(actions) {
+			return "", fmt.Errorf("evade: action index %d out of range [0,%d)", ai, len(actions))
+		}
+		a := actions[ai]
+		a.Apply(tu)
+		if a.Print != nil {
+			printCfg = *a.Print
+		}
 	}
+	transform.RegenerateHeaders(tu, false)
+	return cppprint.Print(tu, printCfg), nil
+}
 
-	root := &node{action: -1}
-	evals := 0
-
-	// render applies an action sequence to the original and reprints.
-	render := func(seq []int) (string, bool) {
-		tu := cppast.MustParse(src)
-		printCfg := cppprint.Config{}
-		for _, ai := range seq {
-			a := actions[ai]
-			a.Apply(tu)
-			if a.Print != nil {
-				printCfg = *a.Print
-			}
-		}
-		transform.RegenerateHeaders(tu, false)
-		out := cppprint.Print(tu, printCfg)
-		if len(cfg.VerifyInputs) > 0 {
-			if err := transform.Verify(src, out, cfg.VerifyInputs); err != nil {
-				return "", false
-			}
-		}
-		return out, true
+// Names maps an action-index sequence to the action names, for traces.
+func Names(seq []int) []string {
+	out := make([]string, len(seq))
+	for i, ai := range seq {
+		out[i] = actions[ai].Name
 	}
-
-	seqOf := func(n *node) []int {
-		var rev []int
-		for cur := n; cur != nil && cur.action >= 0; cur = cur.parent {
-			rev = append(rev, cur.action)
-		}
-		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-			rev[i], rev[j] = rev[j], rev[i]
-		}
-		return rev
-	}
-
-	for it := 0; it < cfg.Iterations; it++ {
-		// Selection: UCT descent until a node with unexpanded moves or
-		// max depth.
-		cur := root
-		for cur.depth < cfg.MaxDepth && len(cur.children) == len(actions) {
-			bestChild, bestUCT := (*node)(nil), math.Inf(-1)
-			for _, ch := range cur.children {
-				var uct float64
-				if ch.visits == 0 {
-					uct = math.Inf(1)
-				} else {
-					uct = ch.value/float64(ch.visits) +
-						cfg.Exploration*math.Sqrt(math.Log(float64(cur.visits+1))/float64(ch.visits))
-				}
-				if uct > bestUCT {
-					bestChild, bestUCT = ch, uct
-				}
-			}
-			if bestChild == nil {
-				break
-			}
-			cur = bestChild
-		}
-		// Expansion.
-		if cur.depth < cfg.MaxDepth {
-			tried := make(map[int]bool, len(cur.children))
-			for _, ch := range cur.children {
-				tried[ch.action] = true
-			}
-			var untried []int
-			for ai := range actions {
-				if !tried[ai] {
-					untried = append(untried, ai)
-				}
-			}
-			if len(untried) > 0 {
-				ai := untried[rng.Intn(len(untried))]
-				child := &node{parent: cur, action: ai, depth: cur.depth + 1}
-				cur.children = append(cur.children, child)
-				cur = child
-			}
-		}
-		// Rollout: random completion up to MaxDepth.
-		seq := seqOf(cur)
-		for len(seq) < cfg.MaxDepth && rng.Float64() < 0.5 {
-			seq = append(seq, rng.Intn(len(actions)))
-		}
-		reward := 0.0
-		if out, ok := render(seq); ok {
-			prob, pred, err := scorer.Score(out)
-			if err == nil {
-				evals++
-				reward = 1 - prob
-				if pred != trueAuthor && (best.Predicted == trueAuthor || prob < best.TrueAuthorProb) {
-					names := make([]string, len(seq))
-					for i, ai := range seq {
-						names[i] = actions[ai].Name
-					}
-					best = &Result{
-						Evaded:         true,
-						Source:         out,
-						Predicted:      pred,
-						TrueAuthorProb: prob,
-						Trace:          names,
-					}
-				}
-			}
-		}
-		// Backpropagation.
-		for n := cur; n != nil; n = n.parent {
-			n.visits++
-			n.value += reward
-		}
-	}
-	best.Evaluations = evals
-	return best, nil
+	return out
 }

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"gptattr/internal/arena"
+	"gptattr/internal/attrib"
+	"gptattr/internal/challenge"
+	"gptattr/internal/codegen"
+	"gptattr/internal/ir"
+)
+
+// arenaBudgets are the per-query oracle-evaluation budgets the ASR
+// table sweeps.
+func arenaBudgets() []int { return []int{15, 40} }
+
+// arenaCampaign is one checkpointable attack campaign: a whole
+// AttackAll sweep summarized, with the verified evading variants kept
+// for the hardening and robustness phases. JSON round-trips exactly,
+// so a resumed run reproduces the table byte-identically.
+type arenaCampaign struct {
+	Attempts    int
+	Evaded      int
+	Evaluations int
+	// Originals[i] produced evading variant Sources[i] by TrueAuthors[i].
+	Sources     []string
+	TrueAuthors []string
+	Originals   []string
+}
+
+func (c arenaCampaign) rate() string {
+	if c.Attempts == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d (%s%%)", c.Evaded, c.Attempts, pct(float64(c.Evaded)/float64(c.Attempts)))
+}
+
+// arenaAttack runs (or replays from the checkpoint) one campaign.
+func (s *Suite) arenaAttack(key string, oracle *attrib.Oracle, targets []arena.Target, cfg arena.Config) (arenaCampaign, error) {
+	var c arenaCampaign
+	if ok, err := s.lookupUnit(key, &c); err != nil {
+		return c, err
+	} else if ok {
+		return c, nil
+	}
+	res, err := arena.AttackAll(context.Background(), arena.NewLocalOracle(oracle), targets, cfg, s.workers())
+	if err != nil {
+		return c, err
+	}
+	c.Attempts = len(res)
+	for i, r := range res {
+		c.Evaluations += r.Evaluations
+		if r.Success {
+			c.Evaded++
+			c.Sources = append(c.Sources, r.Source)
+			c.TrueAuthors = append(c.TrueAuthors, targets[i].TrueAuthor)
+			c.Originals = append(c.Originals, targets[i].Source)
+		}
+	}
+	return c, s.storeUnit(key, c)
+}
+
+// arenaSecondBest picks the runner-up label at baseline — the natural
+// impersonation target: close enough to be reachable, so the targeted
+// ASR row measures something other than an impossible goal.
+func arenaSecondBest(proba map[string]float64, best string) string {
+	var name string
+	var p float64
+	for a, v := range proba {
+		if a == best {
+			continue
+		}
+		if v > p || (v == p && (name == "" || a < name)) {
+			name, p = a, v
+		}
+	}
+	return name
+}
+
+// ExtensionArena is the closed adversarial loop: attack the baseline
+// oracle (untargeted dodging and targeted impersonation, per budget),
+// retrain on the verified evading variants, re-attack the hardened
+// oracle at the same budgets, and rank the features the successful
+// attacks moved most. Results are deterministic at any -workers
+// setting and checkpoint per campaign.
+func (s *Suite) ExtensionArena() (string, error) {
+	yd, err := s.Year(2017)
+	if err != nil {
+		return "", err
+	}
+	victim := "A001"
+	prof := yd.Profiles[0]
+
+	// Out-of-sample attack set: the victim's style on the next year's
+	// challenges, keeping only files the oracle attributes correctly
+	// (misattributed files need no attack). Targeted goals aim at the
+	// baseline runner-up.
+	var untargeted, targeted []arena.Target
+	for i, ch := range challenge.ByYear(2018) {
+		src := codegen.Render(ch.Prog, prof, int64(i))
+		run, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(int64(i)+77)))
+		if err != nil {
+			return "", err
+		}
+		proba, pred, err := yd.Oracle.Proba(src)
+		if err != nil || pred != victim {
+			continue
+		}
+		id := fmt.Sprintf("t%d", i)
+		inputs := []string{run.Input}
+		untargeted = append(untargeted, arena.Target{
+			ID: id, Source: src, TrueAuthor: victim, VerifyInputs: inputs,
+		})
+		targeted = append(targeted, arena.Target{
+			ID: id, Source: src, TrueAuthor: victim,
+			TargetAuthor: arenaSecondBest(proba, victim), VerifyInputs: inputs,
+		})
+	}
+	if len(untargeted) == 0 {
+		return "Extension: arena — oracle never attributed the victim correctly; nothing to attack\n", nil
+	}
+
+	budgets := arenaBudgets()
+	campaignCfg := func(budget int) arena.Config {
+		return arena.Config{Budget: budget, Seed: s.scale.Seed*419 + int64(budget)}
+	}
+	base := map[string]map[int]arenaCampaign{"untargeted": {}, "targeted": {}}
+	for _, budget := range budgets {
+		c, err := s.arenaAttack(fmt.Sprintf("arena:base:untargeted:b%d", budget),
+			yd.Oracle, untargeted, campaignCfg(budget))
+		if err != nil {
+			return "", err
+		}
+		base["untargeted"][budget] = c
+		c, err = s.arenaAttack(fmt.Sprintf("arena:base:targeted:b%d", budget),
+			yd.Oracle, targeted, campaignCfg(budget))
+		if err != nil {
+			return "", err
+		}
+		base["targeted"][budget] = c
+	}
+
+	// Harden on every distinct evading variant the baseline campaigns
+	// produced (the defender keeps everything the gate verified).
+	var evasions []arena.EvadingSample
+	var pairs []arena.SourcePair
+	seen := map[string]bool{}
+	for _, obj := range []string{"untargeted", "targeted"} {
+		for _, budget := range budgets {
+			c := base[obj][budget]
+			for i, src := range c.Sources {
+				if seen[src] {
+					continue
+				}
+				seen[src] = true
+				evasions = append(evasions, arena.EvadingSample{Source: src, TrueAuthor: c.TrueAuthors[i]})
+				pairs = append(pairs, arena.SourcePair{Original: c.Originals[i], Evaded: src})
+			}
+		}
+	}
+
+	hardened := map[string]map[int]arenaCampaign{"untargeted": {}, "targeted": {}}
+	if len(evasions) > 0 {
+		// The hardened oracle is rebuilt from the checkpointed evasions,
+		// so a resumed run retrains the identical forest.
+		var hardOracle *attrib.Oracle
+		getHardened := func() (*attrib.Oracle, error) {
+			if hardOracle != nil {
+				return hardOracle, nil
+			}
+			var err error
+			hardOracle, _, err = arena.Harden(yd.Human, evasions, s.attribConfig())
+			return hardOracle, err
+		}
+		for _, budget := range budgets {
+			for _, phase := range []struct {
+				obj     string
+				targets []arena.Target
+			}{{"untargeted", untargeted}, {"targeted", targeted}} {
+				key := fmt.Sprintf("arena:hardened:%s:b%d", phase.obj, budget)
+				var c arenaCampaign
+				ok, err := s.lookupUnit(key, &c)
+				if err != nil {
+					return "", err
+				}
+				if !ok {
+					ho, err := getHardened()
+					if err != nil {
+						return "", err
+					}
+					if c, err = s.arenaAttack(key, ho, phase.targets, campaignCfg(budget)); err != nil {
+						return "", err
+					}
+				}
+				hardened[phase.obj][budget] = c
+			}
+		}
+	}
+
+	var rows [][]string
+	for _, obj := range []string{"untargeted", "targeted"} {
+		for _, budget := range budgets {
+			h := "-"
+			if len(evasions) > 0 {
+				h = hardened[obj][budget].rate()
+			}
+			rows = append(rows, []string{
+				obj, itos(budget), base[obj][budget].rate(), h,
+			})
+		}
+	}
+	out := renderTable(
+		"Extension: adversarial arena — attack success rate, baseline vs. hardened oracle",
+		[]string{"Objective", "Budget", "Baseline ASR", "Hardened ASR"},
+		rows,
+		fmt.Sprintf("MCTS search, gate-verified variants only; hardened = retrained on the %d distinct\n"+
+			"evading samples the baseline campaigns produced (targeted goal = baseline runner-up)", len(evasions)))
+
+	// Robustness ranking: which features did the successful attacks
+	// actually move?
+	if len(pairs) > 0 {
+		shiftKey := "arena:robust"
+		var shifts []arena.FeatureShift
+		ok, err := s.lookupUnit(shiftKey, &shifts)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			if shifts, err = arena.RankFeatureShifts(pairs, 8); err != nil {
+				return "", err
+			}
+			if err := s.storeUnit(shiftKey, shifts); err != nil {
+				return "", err
+			}
+		}
+		var sRows [][]string
+		for _, sh := range shifts {
+			sRows = append(sRows, []string{sh.Name, fmt.Sprintf("%.4f", sh.MeanAbsDelta), itos(sh.Moved)})
+		}
+		out += "\n" + renderTable(
+			"Extension: arena — least robust stylometric features (most moved by evasions)",
+			[]string{"Feature", "MeanAbsShift", "Pairs"},
+			sRows, "high-shift features are the attack surface; robust training should discount them")
+	}
+	return out, nil
+}

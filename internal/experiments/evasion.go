@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"gptattr/internal/attrib"
+	"gptattr/internal/arena"
 	"gptattr/internal/challenge"
 	"gptattr/internal/codegen"
 	"gptattr/internal/cppast"
@@ -13,21 +14,6 @@ import (
 	"gptattr/internal/ir"
 	"gptattr/internal/transform"
 )
-
-// oracleScorer adapts the year oracle to the evasion attack interface.
-type oracleScorer struct {
-	oracle *attrib.Oracle
-	truth  string
-}
-
-// Score implements evade.Scorer.
-func (s *oracleScorer) Score(src string) (float64, string, error) {
-	proba, pred, err := s.oracle.Proba(src)
-	if err != nil {
-		return 1, "", err
-	}
-	return proba[s.truth], pred, nil
-}
 
 // ExtensionEvasion reproduces the related-work baseline the paper's
 // threat model builds on (Quiring et al.): MCTS-guided transformation
@@ -50,21 +36,21 @@ func (s *Suite) ExtensionEvasion() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		scorer := &oracleScorer{oracle: yd.Oracle, truth: victim}
 		if _, pred, err := yd.Oracle.Proba(src); err != nil || pred != victim {
 			continue // only attack correctly-attributed files
 		}
 		attempts++
 
-		res, err := evade.Attack(src, victim, scorer, evade.Config{
-			Iterations:   40,
-			Seed:         s.scale.Seed + int64(i),
-			VerifyInputs: []string{run.Input},
-		})
+		res, err := arena.Attack(context.Background(), arena.NewLocalOracle(yd.Oracle),
+			src, arena.Goal{TrueAuthor: victim}, arena.Config{
+				Budget:       40,
+				Seed:         s.scale.Seed + int64(i),
+				VerifyInputs: []string{run.Input},
+			})
 		if err != nil {
 			return "", err
 		}
-		if res.Evaded {
+		if res.Success {
 			mctsEvaded++
 		}
 

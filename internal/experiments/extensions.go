@@ -293,5 +293,6 @@ func (s *Suite) Extensions() map[string]func() (string, error) {
 		"gen500":     s.ExtensionGeneration500,
 		"generated":  s.ExtensionGeneratedAttribution,
 		"evasion":    s.ExtensionEvasion,
+		"arena":      s.ExtensionArena,
 	}
 }

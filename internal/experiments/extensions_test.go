@@ -35,13 +35,13 @@ func TestExtensionMultiLLM(t *testing.T) {
 func TestExtensionsRegistry(t *testing.T) {
 	s := testSuite(t)
 	exts := s.Extensions()
-	for _, name := range []string{"multillm", "crossyear", "chaindepth", "gen500", "generated", "evasion"} {
+	for _, name := range []string{"multillm", "crossyear", "chaindepth", "gen500", "generated", "evasion", "arena"} {
 		if exts[name] == nil {
 			t.Errorf("extension %q missing", name)
 		}
 	}
-	if len(exts) != 6 {
-		t.Errorf("extensions = %d, want 6", len(exts))
+	if len(exts) != 7 {
+		t.Errorf("extensions = %d, want 7", len(exts))
 	}
 }
 
@@ -78,6 +78,25 @@ func TestExtensionEvasion(t *testing.T) {
 	}
 	if !strings.Contains(out, "MCTS") && !strings.Contains(out, "nothing to attack") {
 		t.Errorf("malformed evasion output:\n%s", out)
+	}
+}
+
+func TestExtensionArena(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full attack campaigns and retrains a hardened forest")
+	}
+	s := testSuite(t)
+	out, err := s.ExtensionArena()
+	if err != nil {
+		t.Fatalf("ExtensionArena: %v", err)
+	}
+	if strings.Contains(out, "nothing to attack") {
+		t.Skipf("oracle never attributed the victim at test scale:\n%s", out)
+	}
+	for _, want := range []string{"untargeted", "targeted", "Baseline ASR", "Hardened ASR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in arena table:\n%s", want, out)
+		}
 	}
 }
 

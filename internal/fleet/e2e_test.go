@@ -36,10 +36,11 @@ const (
 // middleware records every X-Request-Id the replica sees, proving
 // router→replica trace continuity.
 type e2eReplica struct {
-	t    *testing.T
-	name string
-	dir  string
-	addr string
+	t     *testing.T
+	name  string
+	dir   string
+	addr  string
+	evade *serve.EvadeOptions // non-nil serves /v1/evade
 
 	mu      sync.Mutex
 	srv     *http.Server
@@ -55,6 +56,17 @@ func startE2EReplica(t *testing.T, name string) *e2eReplica {
 	return r
 }
 
+// startEvadeReplica is startE2EReplica with the adversarial arena
+// enabled (small bounds, short searches).
+func startEvadeReplica(t *testing.T, name string) *e2eReplica {
+	t.Helper()
+	r := &e2eReplica{t: t, name: name, dir: modelDir(t), seenIDs: make(map[string]bool),
+		evade: &serve.EvadeOptions{MaxRunning: 1, MaxQueued: 2, JobTimeout: 5 * time.Second}}
+	r.start("127.0.0.1:0")
+	t.Cleanup(r.kill)
+	return r
+}
+
 func (r *e2eReplica) url() string { return "http://" + r.addr }
 
 func (r *e2eReplica) start(addr string) {
@@ -65,7 +77,8 @@ func (r *e2eReplica) start(addr string) {
 	batcher := serve.NewBatcher(serve.BatchConfig{
 		MaxBatch: 8, MaxDelay: time.Millisecond, QueueDepth: 128,
 	})
-	srv, err := serve.New(serve.Config{Registry: registry, Batcher: batcher, Timeout: 15 * time.Second})
+	srv, err := serve.New(serve.Config{Registry: registry, Batcher: batcher, Timeout: 15 * time.Second,
+		Evade: r.evade})
 	if err != nil {
 		r.t.Fatalf("replica %s: %v", r.name, err)
 	}

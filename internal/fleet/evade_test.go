@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gptattr/internal/arena"
+	"gptattr/internal/fault"
+	"gptattr/internal/serve"
+	"gptattr/internal/serve/metrics"
+)
+
+// newEvadeFleet stands up n evade-enabled replicas behind a router and
+// the router's own HTTP face. Returns the router server URL, the
+// Router, and the replicas by name.
+func newEvadeFleet(t *testing.T, n int) (string, *Router, map[string]*e2eReplica) {
+	t.Helper()
+	client := &http.Client{}
+	reps := make(map[string]*e2eReplica, n)
+	handles := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("e%d", i+1)
+		rep := startEvadeReplica(t, name)
+		reps[name] = rep
+		handles[i] = NewReplica(name, rep.url(), client)
+	}
+	met := metrics.NewRegistry()
+	rt, err := New(Config{
+		Replicas:      handles,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  5 * time.Second,
+		Metrics:       met,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	srv, err := serve.New(serve.Config{Backend: rt, Metrics: met, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, rt, reps
+}
+
+func evadePost(t *testing.T, url string, req serve.EvadeRequest) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/evade", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func evadeStatus(t *testing.T, url, id string, wait bool) (*http.Response, []byte) {
+	t.Helper()
+	u := url + "/v1/evade/status?id=" + id
+	if wait {
+		u += "&wait=true"
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestFleetEvadeEndToEnd drives a real evasion search through the
+// router: the submit lands on the ring owner, the namespaced job ID
+// routes the poll back to it, and the finished result comes through
+// unchanged.
+func TestFleetEvadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs a replica fleet")
+	}
+	routerURL, _, reps := newEvadeFleet(t, 2)
+
+	src := sampleSource(t, 0)
+	author := fixHuman.Samples[0].Author
+	resp, body := evadePost(t, routerURL, serve.EvadeRequest{
+		Source: src, TrueAuthor: author, Budget: 10, Seed: 5,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit through router: %d %s", resp.StatusCode, body)
+	}
+	var jr serve.EvadeJobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	owner, _, ok := strings.Cut(jr.JobID, "/")
+	if !ok {
+		t.Fatalf("job ID %q not replica-namespaced", jr.JobID)
+	}
+	if _, known := reps[owner]; !known {
+		t.Fatalf("job ID %q names unknown replica", jr.JobID)
+	}
+
+	resp, body = evadeStatus(t, routerURL, jr.JobID, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll through router: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.State != "done" || jr.Result == nil {
+		t.Fatalf("finished fleet job: %+v", jr)
+	}
+	if jr.Result.Evaluations == 0 || jr.Result.Evaluations > 10 {
+		t.Errorf("budget not respected through the fleet: %d evaluations", jr.Result.Evaluations)
+	}
+	t.Logf("fleet evasion on %s: success=%v evals=%d trace=%v",
+		owner, jr.Result.Success, jr.Result.Evaluations, jr.Result.Trace)
+
+	// ID hygiene through the router.
+	if resp, _ := evadeStatus(t, routerURL, "not-namespaced", false); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed id: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := evadeStatus(t, routerURL, "zzz/e1", false); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown replica id: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := evadeStatus(t, routerURL, owner+"/e999", false); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job on owner: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetEvadeMidJobKill is the failure-mode contract: killing the
+// replica that owns a running search makes polls for that job answer
+// 503 (the job is lost with its shared-nothing owner — never silently
+// re-run elsewhere), while new submits route to the survivor and
+// complete.
+func TestFleetEvadeMidJobKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs a replica fleet")
+	}
+	defer fault.Disable()
+	routerURL, rt, reps := newEvadeFleet(t, 2)
+
+	// Slow every oracle evaluation so the search is still running when
+	// the kill lands.
+	fault.Enable(7)
+	fault.Set(arena.PointOracle, fault.Policy{Kind: fault.KindLatency, Latency: 300 * time.Millisecond, Every: 1})
+
+	src := sampleSource(t, 0)
+	author := fixHuman.Samples[0].Author
+	resp, body := evadePost(t, routerURL, serve.EvadeRequest{Source: src, TrueAuthor: author, Budget: 50})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var jr serve.EvadeJobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	owner, _, _ := strings.Cut(jr.JobID, "/")
+	t.Logf("job %s owned by %s; killing it mid-search", jr.JobID, owner)
+	reps[owner].kill()
+
+	resp, body = evadeStatus(t, routerURL, jr.JobID, false)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("poll for a killed owner's job: %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "lost") {
+		t.Errorf("503 body does not say the job is lost: %s", body)
+	}
+
+	// The fleet keeps serving evasions: once the probe loop drops the
+	// dead owner, submits land on the survivor. Un-arm the latency
+	// fault so the surviving search finishes promptly.
+	fault.Disable()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = evadePost(t, routerURL, serve.EvadeRequest{
+			Source: src, TrueAuthor: author, Budget: 3, Wait: true,
+		})
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never recovered evade service: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	survivorJobOwner, _, _ := strings.Cut(jr.JobID, "/")
+	if survivorJobOwner == owner {
+		t.Fatalf("post-kill job landed on the dead replica %s", owner)
+	}
+	if jr.State != "done" {
+		t.Fatalf("post-kill job: %+v", jr)
+	}
+	if alive := len(rt.ring.Alive()); alive != 1 {
+		t.Errorf("alive replicas after kill: %d, want 1", alive)
+	}
+}

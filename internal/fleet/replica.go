@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"gptattr/internal/serve"
@@ -50,6 +51,35 @@ func (r *Replica) Forward(ctx context.Context, endpoint, reqID string, body []by
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(serve.RequestIDHeader, reqID)
+	}
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // body read to the limit below either way
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicaBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// EvadeStatus polls one evasion job on this replica (the unprefixed
+// job ID). Like Forward, the returned status and body are the
+// replica's verdict verbatim; err is transport-only — but an evade
+// poll is never retried elsewhere, because no other replica holds the
+// job.
+func (r *Replica) EvadeStatus(ctx context.Context, jobID string, wait bool, reqID string) (int, []byte, error) {
+	u := r.BaseURL + "/v1/evade/status?id=" + url.QueryEscape(jobID)
+	if wait {
+		u += "&wait=true"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, nil, err
+	}
 	if reqID != "" {
 		req.Header.Set(serve.RequestIDHeader, reqID)
 	}

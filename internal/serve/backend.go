@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"gptattr/internal/arena"
 	"gptattr/internal/serve/metrics"
 )
 
@@ -57,6 +58,11 @@ var (
 type LocalBackend struct {
 	reg     *Registry
 	batcher *Batcher
+
+	// evade, when EnableEvade has wired it, runs the bounded
+	// asynchronous evasion jobs behind POST /v1/evade.
+	evade     *arena.Manager
+	evadeOpts EvadeOptions
 }
 
 // NewLocalBackend wires the in-process backend.

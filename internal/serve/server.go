@@ -38,6 +38,12 @@ type Config struct {
 	// bounded batch queue); the router sets it because it has no
 	// queue of its own.
 	MaxInflight int
+	// Evade, when non-nil, enables the adversarial-evasion endpoints
+	// (POST /v1/evade, GET /v1/evade/status) on the default local
+	// backend with these bounds. A Backend that implements Evader
+	// (the fleet router; a pre-wired LocalBackend) serves them
+	// regardless.
+	Evade *EvadeOptions
 }
 
 // Server is the HTTP attribution service: transport plumbing from
@@ -45,6 +51,7 @@ type Config struct {
 type Server struct {
 	core    *Core
 	backend Backend
+	evader  Evader // nil unless the backend serves /v1/evade
 	mux     *http.ServeMux
 }
 
@@ -106,7 +113,11 @@ func New(cfg Config) (*Server, error) {
 		if cfg.Registry == nil || cfg.Batcher == nil {
 			return nil, fmt.Errorf("serve: Registry and Batcher (or a Backend) are required")
 		}
-		backend = NewLocalBackend(cfg.Registry, cfg.Batcher)
+		lb := NewLocalBackend(cfg.Registry, cfg.Batcher)
+		if cfg.Evade != nil {
+			lb.EnableEvade(*cfg.Evade)
+		}
+		backend = lb
 	}
 	core := NewCore(cfg.Metrics, cfg.Timeout, cfg.MaxBodyBytes, cfg.MaxInflight)
 	s := &Server{core: core, backend: backend, mux: http.NewServeMux()}
@@ -118,6 +129,11 @@ func New(cfg Config) (*Server, error) {
 	if _, ok := backend.(Stager); ok {
 		s.mux.HandleFunc("/v1/reload/stage", s.handleStage)
 		s.mux.HandleFunc("/v1/reload/commit", s.handleCommit)
+	}
+	if ev, ok := backend.(Evader); ok && ev.EvadeEnabled() {
+		s.evader = ev
+		s.mux.HandleFunc("/v1/evade", s.handleEvade)
+		s.mux.HandleFunc("/v1/evade/status", s.handleEvadeStatus)
 	}
 	if cfg.Batcher != nil {
 		// Batch-size observability: average batch = batched_requests_total
