@@ -4,10 +4,17 @@
 //
 //	cppcheck solution.cc other.cc
 //	cppcheck -corpus corpusdir -json
+//	cppcheck -metrics solution.cc
+//
+// With -metrics the command reports per-function semantic metrics
+// (CFG shape, cyclomatic complexity, loop nesting, def-use chains,
+// live-range widths, call-graph fan-in/out) from internal/semstats
+// instead of diagnostics; -json switches the metrics to JSON too.
 //
 // The exit status is 0 when every analyzed file is clean, 1 when any
 // diagnostic was reported, and 2 on usage or I/O errors — so the
-// command slots directly into CI pipelines.
+// command slots directly into CI pipelines. Metrics mode always exits
+// 0 unless an error occurred.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"gptattr/internal/cppast"
 	"gptattr/internal/cppcheck"
+	"gptattr/internal/semstats"
 )
 
 func main() {
@@ -42,6 +50,7 @@ func run(args []string, out *os.File) (int, error) {
 	fs2 := flag.NewFlagSet("cppcheck", flag.ContinueOnError)
 	corpusDir := fs2.String("corpus", "", "analyze every .cc file under this directory tree")
 	jsonOut := fs2.Bool("json", false, "emit findings as JSON instead of text")
+	metrics := fs2.Bool("metrics", false, "report per-function semantic metrics instead of diagnostics")
 	if err := fs2.Parse(args); err != nil {
 		return 2, err
 	}
@@ -55,6 +64,9 @@ func run(args []string, out *os.File) (int, error) {
 	}
 	if len(files) == 0 {
 		return 2, fmt.Errorf("no input: pass .cc files or -corpus dir")
+	}
+	if *metrics {
+		return runMetrics(files, *jsonOut, out)
 	}
 
 	var reports []fileReport
@@ -92,6 +104,57 @@ func run(args []string, out *os.File) (int, error) {
 	}
 	if total > 0 {
 		return 1, nil
+	}
+	return 0, nil
+}
+
+// metricsReport is one file's per-function metrics in JSON output.
+type metricsReport struct {
+	File  string              `json:"file"`
+	Stats *semstats.FileStats `json:"stats"`
+}
+
+// runMetrics implements -metrics: per-function semantic statistics
+// from the internal/semstats pass framework, as aligned text columns
+// or JSON.
+func runMetrics(files []string, jsonOut bool, out *os.File) (int, error) {
+	var reports []metricsReport
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 2, err
+		}
+		tu, err := cppast.Parse(string(data))
+		if err != nil {
+			return 2, fmt.Errorf("%s: parse: %w", path, err)
+		}
+		fs := semstats.Analyze(tu)
+		if jsonOut {
+			reports = append(reports, metricsReport{File: path, Stats: fs})
+			continue
+		}
+		fmt.Fprintf(out, "%s: %d function(s), %d call edge(s), %d recursive\n",
+			path, len(fs.Funcs), fs.CallEdges, fs.RecursiveFuncs)
+		for _, st := range fs.Funcs {
+			if st.Unsupported {
+				fmt.Fprintf(out, "  %-20s (unsupported body)\n", st.Name)
+				continue
+			}
+			rec := ""
+			if st.Recursive {
+				rec = " recursive"
+			}
+			fmt.Fprintf(out, "  %-20s blocks=%d edges=%d cyclo=%d loops=%d depth=%d chains=%d maxchain=%d vars=%d livemax=%d fanout=%d fanin=%d%s\n",
+				st.Name, st.Blocks, st.Edges, st.Cyclomatic, st.Loops, st.MaxLoopDepth,
+				st.Chains, st.MaxChainLen, st.Vars, st.MaxLiveWidth, st.FanOut, st.FanIn, rec)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return 2, err
+		}
 	}
 	return 0, nil
 }

@@ -124,6 +124,60 @@ func TestNoInputIsUsageError(t *testing.T) {
 	}
 }
 
+const metricsSrc = `#include <iostream>
+using namespace std;
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() {
+    int t;
+    cin >> t;
+    while (t > 0) {
+        cout << fact(t) << endl;
+        t--;
+    }
+    return 0;
+}
+`
+
+func TestMetricsMode(t *testing.T) {
+	path := write(t, t.TempDir(), "m.cc", metricsSrc)
+	code, out := capture(t, []string{"-metrics", path})
+	if code != 0 {
+		t.Fatalf("metrics mode must exit 0, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 function(s)") || !strings.Contains(out, "1 recursive") {
+		t.Fatalf("file summary missing:\n%s", out)
+	}
+	for _, want := range []string{"fact", "main", "cyclo=2", "loops=1", "recursive"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "m.cc", metricsSrc)
+	write(t, dir, "clean.cc", cleanSrc)
+	code, out := capture(t, []string{"-metrics", "-json", "-corpus", dir})
+	if code != 0 {
+		t.Fatalf("want exit 0, got %d:\n%s", code, out)
+	}
+	var reports []metricsReport
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("want 2 metrics reports, got %d", len(reports))
+	}
+	byFile := map[string]int{}
+	for _, r := range reports {
+		byFile[filepath.Base(r.File)] = len(r.Stats.Funcs)
+	}
+	if byFile["m.cc"] != 2 || byFile["clean.cc"] != 1 {
+		t.Fatalf("unexpected function counts: %v", byFile)
+	}
+}
+
 func TestDeterministicOutput(t *testing.T) {
 	dir := t.TempDir()
 	write(t, dir, "a.cc", defectSrc)

@@ -22,6 +22,15 @@
 //     os.WriteFile (a bare call statement): both are how torn or
 //     missing files are born. Handle the error or assign it to _ with
 //     a reason.
+//   - Deterministic pipeline packages must not feed map iteration
+//     order into order-sensitive sinks (append, printing, writers,
+//     serializers): Go randomizes map range order per run, so any
+//     output assembled that way breaks bit-identical reproducibility.
+//     Ranging to fill another map (commutative) is fine, as is
+//     appending to a slice that is later passed through sort or
+//     slices.Sort. A deliberate order-insensitive site is exempted
+//     with a `// repolint:allow-maprange <reason>` comment on the
+//     same or preceding line as the range statement.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or parse errors.
 package main
@@ -45,7 +54,7 @@ import (
 var deterministicPkgs = []string{
 	"internal/corpus", "internal/codegen", "internal/transform",
 	"internal/stylometry", "internal/ml", "internal/evade",
-	"internal/arena",
+	"internal/arena", "internal/semstats",
 }
 
 // supervisedPkgs are the pipeline packages whose long runs must not be
@@ -59,6 +68,10 @@ var supervisedPkgs = []string{
 // allowPanicDirective marks a deliberate panic at a recover-supervised
 // site as exempt from the naked-panic rule.
 const allowPanicDirective = "repolint:allow-panic"
+
+// allowMapRangeDirective marks a range-over-map whose sink order
+// genuinely does not matter as exempt from the map-order rule.
+const allowMapRangeDirective = "repolint:allow-maprange"
 
 // seededConstructors are the math/rand names that build explicitly
 // seeded generators, plus the type names used to pass them around —
@@ -114,6 +127,7 @@ func run(args []string, out *os.File) (int, error) {
 		isTest := strings.HasSuffix(path, "_test.go")
 		if !isTest && inDeterministicPkg(rel) {
 			findings = append(findings, checkDeterminism(fset, f)...)
+			findings = append(findings, checkMapRange(fset, f)...)
 		}
 		if !isTest && inSupervisedPkg(rel) {
 			findings = append(findings, checkPanics(fset, f)...)
@@ -235,15 +249,7 @@ func checkDeterminism(fset *token.FileSet, f *ast.File) []finding {
 // or immediately preceding line exempts a deliberate panic at a
 // recover-supervised site.
 func checkPanics(fset *token.FileSet, f *ast.File) []finding {
-	allowed := make(map[int]bool)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, allowPanicDirective) {
-				allowed[fset.Position(c.Pos()).Line] = true
-				allowed[fset.Position(c.End()).Line] = true
-			}
-		}
-	}
+	allowed := directiveLines(fset, f, allowPanicDirective)
 	var out []finding
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -263,6 +269,211 @@ func checkPanics(fset *token.FileSet, f *ast.File) []finding {
 		return true
 	})
 	return out
+}
+
+// directiveLines returns the set of source lines carrying the given
+// lint directive in a comment, so rules can exempt the same or the
+// following line.
+func directiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, directive) {
+				lines[fset.Position(c.Pos()).Line] = true
+				lines[fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// mapRangeSinkMethods are receiver methods whose call order is
+// observable in the output: writers and streaming encoders.
+var mapRangeSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// mapRangeFmtSinks are the fmt package functions that emit output.
+var mapRangeFmtSinks = map[string]bool{
+	"Fprintf": true, "Printf": true, "Fprintln": true, "Println": true,
+	"Print": true, "Fprint": true, "Sprintf": true, "Sprintln": true,
+	"Sprint": true,
+}
+
+// checkMapRange flags range-over-map loops in deterministic packages
+// whose bodies feed order-sensitive sinks. Go randomizes map iteration
+// order per run; appending, printing, writing, or serializing inside
+// such a loop makes output depend on that order. Writing into another
+// map is commutative and not flagged, and an append whose target is
+// later passed to sort/slices is exempt (the sort erases the order).
+func checkMapRange(fset *token.FileSet, f *ast.File) []finding {
+	allowed := directiveLines(fset, f, allowMapRangeDirective)
+
+	// Map-typed objects: declared with a map type, assigned from
+	// make(map...) or a map literal, or received as a map parameter.
+	mapObjs := make(map[*ast.Object]bool)
+	mark := func(id *ast.Ident) {
+		if id != nil && id.Obj != nil {
+			mapObjs[id.Obj] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			if isMapType(d.Type) {
+				for _, name := range d.Names {
+					mark(name)
+				}
+			}
+			for i, name := range d.Names {
+				if i < len(d.Values) && isMapExpr(d.Values[i]) {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range d.Lhs {
+				if i < len(d.Rhs) && isMapExpr(d.Rhs[i]) {
+					if id, ok := lhs.(*ast.Ident); ok {
+						mark(id)
+					}
+				}
+			}
+		case *ast.Field:
+			if isMapType(d.Type) {
+				for _, name := range d.Names {
+					mark(name)
+				}
+			}
+		}
+		return true
+	})
+
+	// Append targets that are later sorted anywhere in the file: the
+	// sort erases iteration order, so the append is safe.
+	sorted := make(map[string]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Obj != nil || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			sorted[exprString(arg)] = true
+		}
+		return true
+	})
+
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		id, ok := rng.X.(*ast.Ident)
+		if !ok || id.Obj == nil || !mapObjs[id.Obj] {
+			return true
+		}
+		pos := fset.Position(rng.Pos())
+		if allowed[pos.Line] || allowed[pos.Line-1] {
+			return true
+		}
+		if sink := mapRangeSink(f, rng.Body, sorted); sink != "" {
+			out = append(out, finding{pos,
+				fmt.Sprintf("map iteration order feeds %s in a deterministic pipeline package (iterate sorted keys, or annotate with // %s <reason>)", sink, allowMapRangeDirective)})
+		}
+		return true
+	})
+	return out
+}
+
+// mapRangeSink scans a range body for the first order-sensitive sink
+// and names it, or returns "" when the body is order-safe.
+func mapRangeSink(f *ast.File, body *ast.BlockStmt, sorted map[string]bool) string {
+	fmtAlias := importAlias(f, "fmt")
+	jsonAlias := importAlias(f, "encoding/json")
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && fun.Obj == nil && len(call.Args) > 0 {
+				if !sorted[exprString(call.Args[0])] {
+					sink = "append"
+				}
+			}
+		case *ast.SelectorExpr:
+			pkg, isPkg := fun.X.(*ast.Ident)
+			isPkg = isPkg && pkg.Obj == nil
+			switch {
+			case isPkg && fmtAlias != "" && pkg.Name == fmtAlias && mapRangeFmtSinks[fun.Sel.Name]:
+				sink = "fmt." + fun.Sel.Name
+			case isPkg && jsonAlias != "" && pkg.Name == jsonAlias &&
+				(fun.Sel.Name == "Marshal" || fun.Sel.Name == "MarshalIndent"):
+				sink = "json." + fun.Sel.Name
+			case !isPkg && mapRangeSinkMethods[fun.Sel.Name]:
+				sink = "." + fun.Sel.Name
+			case isPkg && mapRangeSinkMethods[fun.Sel.Name]:
+				// A package-level Write/Encode etc. is still a sink.
+				sink = pkg.Name + "." + fun.Sel.Name
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// isMapType reports whether a type expression is literally a map.
+func isMapType(t ast.Expr) bool {
+	_, ok := t.(*ast.MapType)
+	return ok
+}
+
+// isMapExpr reports whether an expression evaluates to a fresh map:
+// make(map[...]...) or a map composite literal.
+func isMapExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		return ok && id.Name == "make" && id.Obj == nil &&
+			len(v.Args) > 0 && isMapType(v.Args[0])
+	case *ast.CompositeLit:
+		return v.Type != nil && isMapType(v.Type)
+	}
+	return false
+}
+
+// exprString renders an expression for structural comparison (e.g.
+// matching an append target against a later sort call's argument).
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[" + exprString(v.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.BasicLit:
+		return v.Value
+	}
+	return fmt.Sprintf("%T", e)
 }
 
 // checkUncheckedFileOps flags bare-statement calls to os.Rename and

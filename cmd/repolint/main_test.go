@@ -310,3 +310,139 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("repolint must exit clean on this repository, exit %d:\n%s", code, out)
 	}
 }
+
+func TestMapRangeAppendFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stylometry/agg.go": `package stylometry
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "map iteration order feeds append") {
+		t.Fatalf("want maprange append finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestMapRangeSortedAppendAllowed(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stylometry/agg.go": `package stylometry
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("append-then-sort is order-safe, exit %d:\n%s", code, out)
+	}
+}
+
+func TestMapRangeIntoMapAllowed(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ml/merge.go": `package ml
+
+func Merge(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("map-to-map range is commutative, exit %d:\n%s", code, out)
+	}
+}
+
+func TestMapRangePrintFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/arena/report.go": `package arena
+
+import (
+	"fmt"
+	"io"
+)
+
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "map iteration order feeds fmt.Fprintf") {
+		t.Fatalf("want maprange fmt finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestMapRangeWriterFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/semstats/dump.go": `package semstats
+
+import "strings"
+
+func Join(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "map iteration order feeds .WriteString") {
+		t.Fatalf("want maprange writer finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestMapRangeDirectiveExempts(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stylometry/agg.go": `package stylometry
+
+func Sum(m map[string]int) []int {
+	var out []int
+	// repolint:allow-maprange the caller sums the slice, order invisible
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("directive must exempt the range, exit %d:\n%s", code, out)
+	}
+}
+
+func TestMapRangeOutsideDeterministicPkgAllowed(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/serve/dump.go": `package serve
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("rule only applies to deterministic pkgs, exit %d:\n%s", code, out)
+	}
+}

@@ -69,31 +69,30 @@ type FeatureShift struct {
 	Moved int
 }
 
-// RankFeatureShifts is the feature-robustness ranking: which
-// stylometry features the evasion attacks exploit most. It learns a
-// vectorizer over all involved sources (MinDocFreq 1, so attack-only
-// features are visible), vectorizes each pair, and ranks features by
-// mean absolute shift. topN bounds the returned ranking (0 = all).
-func RankFeatureShifts(pairs []SourcePair, topN int) ([]FeatureShift, error) {
+// pairShifts is the shared core of the robustness rankings: it learns
+// a vectorizer over all involved sources (MinDocFreq 1, so attack-only
+// features are visible), vectorizes each original/evaded pair, and
+// accumulates per-column absolute shifts and moved-pair counts.
+func pairShifts(pairs []SourcePair) (names []string, sumAbs []float64, moved []int, err error) {
 	if len(pairs) == 0 {
-		return nil, fmt.Errorf("arena: no pairs to rank")
+		return nil, nil, nil, fmt.Errorf("arena: no pairs to rank")
 	}
 	docs := make([]stylometry.Features, 0, 2*len(pairs))
 	for i, p := range pairs {
 		of, err := stylometry.Extract(p.Original)
 		if err != nil {
-			return nil, fmt.Errorf("arena: extracting original %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("arena: extracting original %d: %w", i, err)
 		}
 		ef, err := stylometry.Extract(p.Evaded)
 		if err != nil {
-			return nil, fmt.Errorf("arena: extracting evaded %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("arena: extracting evaded %d: %w", i, err)
 		}
 		docs = append(docs, of, ef)
 	}
 	vec := stylometry.NewVectorizer(docs, stylometry.VectorizerConfig{MinDocFreq: 1})
-	names := vec.FeatureNames()
-	sumAbs := make([]float64, len(names))
-	moved := make([]int, len(names))
+	names = vec.FeatureNames()
+	sumAbs = make([]float64, len(names))
+	moved = make([]int, len(names))
 	for i := 0; i < len(docs); i += 2 {
 		orow := vec.Vector(docs[i])
 		erow := vec.Vector(docs[i+1])
@@ -107,6 +106,18 @@ func RankFeatureShifts(pairs []SourcePair, topN int) ([]FeatureShift, error) {
 				moved[c]++
 			}
 		}
+	}
+	return names, sumAbs, moved, nil
+}
+
+// RankFeatureShifts is the feature-robustness ranking: which
+// stylometry features the evasion attacks exploit most, ranked by
+// mean absolute shift across pairs. topN bounds the returned ranking
+// (0 = all).
+func RankFeatureShifts(pairs []SourcePair, topN int) ([]FeatureShift, error) {
+	names, sumAbs, moved, err := pairShifts(pairs)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]FeatureShift, 0, len(names))
 	for c, name := range names {
@@ -127,6 +138,59 @@ func RankFeatureShifts(pairs []SourcePair, topN int) ([]FeatureShift, error) {
 	})
 	if topN > 0 && len(out) > topN {
 		out = out[:topN]
+	}
+	return out, nil
+}
+
+// GroupShift aggregates attack-induced feature movement over one
+// feature family — the per-group robustness view: a family whose
+// features barely move under attack is a family the attacks cannot
+// reach.
+type GroupShift struct {
+	// Family is the stylometry feature family.
+	Family stylometry.FeatureFamily
+	// Features counts the family's columns in the learned vocabulary.
+	Features int
+	// MovedFeatures counts columns that changed in at least one pair.
+	MovedFeatures int
+	// TotalAbsDelta sums the per-feature mean absolute shifts.
+	TotalAbsDelta float64
+	// MeanAbsDelta is TotalAbsDelta normalized by the family's column
+	// count: average movement per feature, comparable across families
+	// of very different sizes.
+	MeanAbsDelta float64
+}
+
+// GroupShifts aggregates RankFeatureShifts' per-column view into one
+// row per feature family, in family declaration order. Families with
+// no features in the vocabulary are still reported (all-zero rows), so
+// tables stay aligned across runs.
+func GroupShifts(pairs []SourcePair) ([]GroupShift, error) {
+	names, sumAbs, moved, err := pairShifts(pairs)
+	if err != nil {
+		return nil, err
+	}
+	byFam := make(map[stylometry.FeatureFamily]*GroupShift, len(stylometry.AllFamilies))
+	out := make([]GroupShift, len(stylometry.AllFamilies))
+	for i, fam := range stylometry.AllFamilies {
+		out[i].Family = fam
+		byFam[fam] = &out[i]
+	}
+	for c, name := range names {
+		g, ok := byFam[stylometry.Family(name)]
+		if !ok {
+			continue
+		}
+		g.Features++
+		if moved[c] > 0 {
+			g.MovedFeatures++
+			g.TotalAbsDelta += sumAbs[c] / float64(len(pairs))
+		}
+	}
+	for i := range out {
+		if out[i].Features > 0 {
+			out[i].MeanAbsDelta = out[i].TotalAbsDelta / float64(out[i].Features)
+		}
 	}
 	return out, nil
 }

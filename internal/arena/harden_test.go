@@ -7,6 +7,7 @@ import (
 
 	"gptattr/internal/attrib"
 	"gptattr/internal/corpus"
+	"gptattr/internal/stylometry"
 )
 
 // TestHardenRecoversEvadedVariants is the closed loop's core promise:
@@ -117,6 +118,46 @@ func TestRankFeatureShiftsIdenticalPair(t *testing.T) {
 
 func TestRankFeatureShiftsEmpty(t *testing.T) {
 	if _, err := RankFeatureShifts(nil, 5); err == nil {
+		t.Error("empty pair set accepted")
+	}
+}
+
+// TestGroupShifts pins the per-family robustness aggregation: a pure
+// rename+requalify attack moves lexical features but leaves the
+// semantic family untouched — the headline claim of the semantic
+// feature group.
+func TestGroupShifts(t *testing.T) {
+	orig := "#include <iostream>\nusing namespace std;\nint main(){int count;cin>>count;cout<<count<<endl;return 0;}"
+	evaded := "#include <iostream>\nint main(){int n;std::cin>>n;std::cout<<n<<std::endl;return 0;}"
+	groups, err := GroupShifts([]SourcePair{{Original: orig, Evaded: evaded}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != len(stylometry.AllFamilies) {
+		t.Fatalf("want one row per family, got %d", len(groups))
+	}
+	byFam := map[stylometry.FeatureFamily]GroupShift{}
+	for i, g := range groups {
+		if g.Family != stylometry.AllFamilies[i] {
+			t.Fatalf("row %d out of family order: %s", i, g.Family)
+		}
+		byFam[g.Family] = g
+	}
+	lex := byFam[stylometry.FamilyLexical]
+	if lex.MovedFeatures == 0 || lex.TotalAbsDelta <= 0 {
+		t.Errorf("rename attack must move lexical features: %+v", lex)
+	}
+	sem := byFam[stylometry.FamilySemantic]
+	if sem.Features == 0 {
+		t.Error("semantic family missing from the vocabulary")
+	}
+	if sem.MovedFeatures != 0 || sem.TotalAbsDelta != 0 {
+		t.Errorf("rename+requalify must not move semantic features: %+v", sem)
+	}
+}
+
+func TestGroupShiftsEmpty(t *testing.T) {
+	if _, err := GroupShifts(nil); err == nil {
 		t.Error("empty pair set accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"gptattr/internal/corpus"
 	"gptattr/internal/gpt"
+	"gptattr/internal/stylometry"
 )
 
 // testFixture builds a scaled-down year: fewer authors, trees, and
@@ -259,6 +260,37 @@ func TestChallengeIndex(t *testing.T) {
 	for _, tt := range tests {
 		if got := challengeIndex(tt.id); got != tt.want {
 			t.Errorf("challengeIndex(%q) = %d, want %d", tt.id, got, tt.want)
+		}
+	}
+}
+
+// TestFamiliesRestrictTraining pins the Config.Families ablation knob:
+// an oracle trained on a single family must index only that family's
+// features, and an unrestricted oracle must span all four.
+func TestFamiliesRestrictTraining(t *testing.T) {
+	fx := fixture(t)
+	cfg := fx.cfg
+	cfg.Families = []stylometry.FeatureFamily{stylometry.FamilySemantic}
+	oracle, err := TrainOracle(fx.human, cfg)
+	if err != nil {
+		t.Fatalf("TrainOracle(semantic-only): %v", err)
+	}
+	names := oracle.vec.FeatureNames()
+	if len(names) == 0 {
+		t.Fatal("semantic-only oracle indexed no features")
+	}
+	for _, n := range names {
+		if stylometry.Family(n) != stylometry.FamilySemantic {
+			t.Fatalf("semantic-only oracle indexed %s feature %q", stylometry.Family(n), n)
+		}
+	}
+	fams := map[stylometry.FeatureFamily]bool{}
+	for _, n := range fx.oracle.vec.FeatureNames() {
+		fams[stylometry.Family(n)] = true
+	}
+	for _, fam := range stylometry.AllFamilies {
+		if !fams[fam] {
+			t.Errorf("unrestricted oracle missing %s features", fam)
 		}
 	}
 }

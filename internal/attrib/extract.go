@@ -35,6 +35,11 @@ type Config struct {
 	// Cache, when non-nil, memoizes feature extraction by source
 	// content (see internal/featcache).
 	Cache stylometry.FeatureCache
+	// Families, when non-empty, restricts training to these feature
+	// families (ablation studies; see stylometry.FeatureFamily). The
+	// prediction path needs no matching change: vectorizers built from
+	// filtered features simply never index the dropped families.
+	Families []stylometry.FeatureFamily
 }
 
 func (c Config) trees() int {
@@ -108,6 +113,13 @@ func challengeIndex(id string) int {
 // assignment and challenge groups, then reduces by information gain.
 func buildDataset(c *corpus.Corpus, feats []stylometry.Features, labelOf func(corpus.Sample) int,
 	numClasses int, cfg Config) (*ml.Dataset, *stylometry.Vectorizer, []int) {
+	if len(cfg.Families) > 0 {
+		filtered := make([]stylometry.Features, len(feats))
+		for i, f := range feats {
+			filtered[i] = stylometry.FilterFamilies(f, cfg.Families)
+		}
+		feats = filtered
+	}
 	vec := stylometry.NewVectorizer(feats, stylometry.VectorizerConfig{MinDocFreq: cfg.MinDocFreq})
 	d := &ml.Dataset{NumClasses: numClasses, FeatureNames: vec.FeatureNames()}
 	d.X = make([][]float64, len(feats))

@@ -480,6 +480,32 @@ func DefUseChains(g *CFG, funcs map[string]*cppast.FuncDecl) []DefUseEntry {
 	return out
 }
 
+// VarLiveWidth reports the liveness footprint of one local variable:
+// the number of CFG blocks at whose exit the variable is still live.
+// Widths are block counts, never line spans, so they are invariant to
+// layout and comment rewrites.
+type VarLiveWidth struct {
+	Var   string
+	Width int
+}
+
+// LiveWidths runs the backward liveness analysis and returns one entry
+// per analyzed local (parameters included) in declaration order.
+func LiveWidths(g *CFG, funcs map[string]*cppast.FuncDecl) []VarLiveWidth {
+	fa := newFuncAnalysis(g, funcs)
+	counts := make(map[string]int, len(fa.vars))
+	for _, set := range fa.liveness() {
+		for v := range set {
+			counts[v]++
+		}
+	}
+	out := make([]VarLiveWidth, 0, len(fa.order))
+	for _, name := range fa.order {
+		out = append(out, VarLiveWidth{Var: name, Width: counts[name]})
+	}
+	return out
+}
+
 // --- liveness ---
 
 // liveness runs backward live-variable analysis and returns live-out

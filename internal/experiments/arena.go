@@ -10,6 +10,8 @@ import (
 	"gptattr/internal/challenge"
 	"gptattr/internal/codegen"
 	"gptattr/internal/ir"
+	"gptattr/internal/style"
+	"gptattr/internal/stylometry"
 )
 
 // arenaBudgets are the per-query oracle-evaluation budgets the ASR
@@ -79,32 +81,18 @@ func arenaSecondBest(proba map[string]float64, best string) string {
 	return name
 }
 
-// ExtensionArena is the closed adversarial loop: attack the baseline
-// oracle (untargeted dodging and targeted impersonation, per budget),
-// retrain on the verified evading variants, re-attack the hardened
-// oracle at the same budgets, and rank the features the successful
-// attacks moved most. Results are deterministic at any -workers
-// setting and checkpoint per campaign.
-func (s *Suite) ExtensionArena() (string, error) {
-	yd, err := s.Year(2017)
-	if err != nil {
-		return "", err
-	}
-	victim := "A001"
-	prof := yd.Profiles[0]
-
-	// Out-of-sample attack set: the victim's style on the next year's
-	// challenges, keeping only files the oracle attributes correctly
-	// (misattributed files need no attack). Targeted goals aim at the
-	// baseline runner-up.
-	var untargeted, targeted []arena.Target
+// buildArenaTargets assembles the out-of-sample attack set against one
+// oracle: the victim's style on the next year's challenges, keeping
+// only files that oracle attributes correctly (misattributed files
+// need no attack). Targeted goals aim at that oracle's runner-up.
+func buildArenaTargets(oracle *attrib.Oracle, prof style.Profile, victim string) (untargeted, targeted []arena.Target, err error) {
 	for i, ch := range challenge.ByYear(2018) {
 		src := codegen.Render(ch.Prog, prof, int64(i))
 		run, err := ir.Synthesize(ch.Prog, 3, rand.New(rand.NewSource(int64(i)+77)))
 		if err != nil {
-			return "", err
+			return nil, nil, err
 		}
-		proba, pred, err := yd.Oracle.Proba(src)
+		proba, pred, err := oracle.Proba(src)
 		if err != nil || pred != victim {
 			continue
 		}
@@ -118,44 +106,141 @@ func (s *Suite) ExtensionArena() (string, error) {
 			TargetAuthor: arenaSecondBest(proba, victim), VerifyInputs: inputs,
 		})
 	}
-	if len(untargeted) == 0 {
-		return "Extension: arena — oracle never attributed the victim correctly; nothing to attack\n", nil
+	return untargeted, targeted, nil
+}
+
+// surfaceFamilies are the feature families a pre-semstats model sees:
+// everything the attack actions can reach directly.
+func surfaceFamilies() []stylometry.FeatureFamily {
+	return []stylometry.FeatureFamily{
+		stylometry.FamilyLexical, stylometry.FamilyLayout, stylometry.FamilySyntactic,
+	}
+}
+
+// ExtensionArena is the closed adversarial loop, run twice: once
+// against a surface-only oracle (lexical+layout+syntactic features —
+// the pre-semantic model) and once against the full oracle with the
+// semantic group. The gap between the two ASR columns is the semantic
+// layer's contribution to attack resistance. The full model is then
+// hardened by retraining on its verified evasions and re-attacked,
+// and the successful attacks are ranked by the features — and feature
+// families — they moved. Results are deterministic at any -workers
+// setting and checkpoint per campaign.
+func (s *Suite) ExtensionArena() (string, error) {
+	yd, err := s.Year(2017)
+	if err != nil {
+		return "", err
+	}
+	victim := "A001"
+	prof := yd.Profiles[0]
+
+	surfaceCfg := s.attribConfig()
+	surfaceCfg.Families = surfaceFamilies()
+	surfaceOracle, err := attrib.TrainOracle(yd.Human, surfaceCfg)
+	if err != nil {
+		return "", fmt.Errorf("arena: surface oracle: %w", err)
 	}
 
+	models := []struct {
+		key    string
+		label  string
+		oracle *attrib.Oracle
+	}{
+		{"surface", "surface-only", surfaceOracle},
+		{"sem", "full (+semantic)", yd.Oracle},
+	}
 	budgets := arenaBudgets()
 	campaignCfg := func(budget int) arena.Config {
 		return arena.Config{Budget: budget, Seed: s.scale.Seed*419 + int64(budget)}
 	}
-	base := map[string]map[int]arenaCampaign{"untargeted": {}, "targeted": {}}
-	for _, budget := range budgets {
-		c, err := s.arenaAttack(fmt.Sprintf("arena:base:untargeted:b%d", budget),
-			yd.Oracle, untargeted, campaignCfg(budget))
+
+	type campaignSet map[string]map[int]arenaCampaign
+	base := map[string]campaignSet{}
+	targetCount := map[string]int{}
+	var semUntargeted, semTargeted []arena.Target
+	for _, m := range models {
+		untargeted, targeted, err := buildArenaTargets(m.oracle, prof, victim)
 		if err != nil {
 			return "", err
 		}
-		base["untargeted"][budget] = c
-		c, err = s.arenaAttack(fmt.Sprintf("arena:base:targeted:b%d", budget),
-			yd.Oracle, targeted, campaignCfg(budget))
-		if err != nil {
-			return "", err
+		if m.key == "sem" {
+			semUntargeted, semTargeted = untargeted, targeted
 		}
-		base["targeted"][budget] = c
+		targetCount[m.key] = len(untargeted)
+		base[m.key] = campaignSet{"untargeted": {}, "targeted": {}}
+		if len(untargeted) == 0 {
+			continue
+		}
+		for _, budget := range budgets {
+			c, err := s.arenaAttack(fmt.Sprintf("arena:%s:untargeted:b%d", m.key, budget),
+				m.oracle, untargeted, campaignCfg(budget))
+			if err != nil {
+				return "", err
+			}
+			base[m.key]["untargeted"][budget] = c
+			c, err = s.arenaAttack(fmt.Sprintf("arena:%s:targeted:b%d", m.key, budget),
+				m.oracle, targeted, campaignCfg(budget))
+			if err != nil {
+				return "", err
+			}
+			base[m.key]["targeted"][budget] = c
+		}
+	}
+	if targetCount["surface"] == 0 && targetCount["sem"] == 0 {
+		return "Extension: arena — neither oracle attributed the victim correctly; nothing to attack\n", nil
 	}
 
-	// Harden on every distinct evading variant the baseline campaigns
-	// produced (the defender keeps everything the gate verified).
+	var rows [][]string
+	for _, obj := range []string{"untargeted", "targeted"} {
+		for _, budget := range budgets {
+			row := []string{obj, itos(budget)}
+			for _, m := range models {
+				if targetCount[m.key] == 0 {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, base[m.key][obj][budget].rate())
+			}
+			rows = append(rows, row)
+		}
+	}
+	out := renderTable(
+		"Extension: adversarial arena — ASR against surface-only vs. full (+semantic) oracle",
+		[]string{"Objective", "Budget", "Surface ASR", "Full ASR"},
+		rows,
+		fmt.Sprintf("MCTS search, gate-verified variants only; surface model sees lexical+layout+syntactic\n"+
+			"features, full model adds the semantic group (%d / %d attackable targets)",
+			targetCount["surface"], targetCount["sem"]))
+
+	// Harden the FULL model on every distinct evading variant its own
+	// baseline campaigns produced (the defender keeps everything the
+	// gate verified), then re-attack at the same budgets.
 	var evasions []arena.EvadingSample
 	var pairs []arena.SourcePair
 	seen := map[string]bool{}
 	for _, obj := range []string{"untargeted", "targeted"} {
 		for _, budget := range budgets {
-			c := base[obj][budget]
+			c := base["sem"][obj][budget]
 			for i, src := range c.Sources {
 				if seen[src] {
 					continue
 				}
 				seen[src] = true
 				evasions = append(evasions, arena.EvadingSample{Source: src, TrueAuthor: c.TrueAuthors[i]})
+				pairs = append(pairs, arena.SourcePair{Original: c.Originals[i], Evaded: src})
+			}
+		}
+	}
+	// The surface model's evasions also inform the robustness ranking:
+	// attacks that beat the weaker model still reveal moved features.
+	for _, obj := range []string{"untargeted", "targeted"} {
+		for _, budget := range budgets {
+			c := base["surface"][obj][budget]
+			for i, src := range c.Sources {
+				if seen[src] {
+					continue
+				}
+				seen[src] = true
 				pairs = append(pairs, arena.SourcePair{Original: c.Originals[i], Evaded: src})
 			}
 		}
@@ -178,8 +263,8 @@ func (s *Suite) ExtensionArena() (string, error) {
 			for _, phase := range []struct {
 				obj     string
 				targets []arena.Target
-			}{{"untargeted", untargeted}, {"targeted", targeted}} {
-				key := fmt.Sprintf("arena:hardened:%s:b%d", phase.obj, budget)
+			}{{"untargeted", semUntargeted}, {"targeted", semTargeted}} {
+				key := fmt.Sprintf("arena:sem:hardened:%s:b%d", phase.obj, budget)
 				var c arenaCampaign
 				ok, err := s.lookupUnit(key, &c)
 				if err != nil {
@@ -197,29 +282,24 @@ func (s *Suite) ExtensionArena() (string, error) {
 				hardened[phase.obj][budget] = c
 			}
 		}
-	}
-
-	var rows [][]string
-	for _, obj := range []string{"untargeted", "targeted"} {
-		for _, budget := range budgets {
-			h := "-"
-			if len(evasions) > 0 {
-				h = hardened[obj][budget].rate()
+		var hRows [][]string
+		for _, obj := range []string{"untargeted", "targeted"} {
+			for _, budget := range budgets {
+				hRows = append(hRows, []string{
+					obj, itos(budget), base["sem"][obj][budget].rate(), hardened[obj][budget].rate(),
+				})
 			}
-			rows = append(rows, []string{
-				obj, itos(budget), base[obj][budget].rate(), h,
-			})
 		}
+		out += "\n" + renderTable(
+			"Extension: arena — full oracle, baseline vs. hardened",
+			[]string{"Objective", "Budget", "Baseline ASR", "Hardened ASR"},
+			hRows,
+			fmt.Sprintf("hardened = retrained on the %d distinct evading samples the full-model campaigns\n"+
+				"produced (targeted goal = baseline runner-up)", len(evasions)))
 	}
-	out := renderTable(
-		"Extension: adversarial arena — attack success rate, baseline vs. hardened oracle",
-		[]string{"Objective", "Budget", "Baseline ASR", "Hardened ASR"},
-		rows,
-		fmt.Sprintf("MCTS search, gate-verified variants only; hardened = retrained on the %d distinct\n"+
-			"evading samples the baseline campaigns produced (targeted goal = baseline runner-up)", len(evasions)))
 
-	// Robustness ranking: which features did the successful attacks
-	// actually move?
+	// Robustness ranking: which features — and which feature families —
+	// did the successful attacks actually move?
 	if len(pairs) > 0 {
 		shiftKey := "arena:robust"
 		var shifts []arena.FeatureShift
@@ -243,6 +323,32 @@ func (s *Suite) ExtensionArena() (string, error) {
 			"Extension: arena — least robust stylometric features (most moved by evasions)",
 			[]string{"Feature", "MeanAbsShift", "Pairs"},
 			sRows, "high-shift features are the attack surface; robust training should discount them")
+
+		groupKey := "arena:groups"
+		var groups []arena.GroupShift
+		ok, err = s.lookupUnit(groupKey, &groups)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			if groups, err = arena.GroupShifts(pairs); err != nil {
+				return "", err
+			}
+			if err := s.storeUnit(groupKey, groups); err != nil {
+				return "", err
+			}
+		}
+		var gRows [][]string
+		for _, g := range groups {
+			gRows = append(gRows, []string{
+				g.Family.String(), itos(g.Features), itos(g.MovedFeatures),
+				fmt.Sprintf("%.4f", g.MeanAbsDelta),
+			})
+		}
+		out += "\n" + renderTable(
+			"Extension: arena — per-family robustness (movement under successful attacks)",
+			[]string{"Family", "Features", "Moved", "MeanAbsShift/feat"},
+			gRows, "a family whose features barely move is a family the attack actions cannot reach")
 	}
 	return out, nil
 }

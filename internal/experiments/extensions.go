@@ -287,12 +287,13 @@ func challengeFirst(year int) *ir.Program {
 // Extensions lists the future-work extension runners.
 func (s *Suite) Extensions() map[string]func() (string, error) {
 	return map[string]func() (string, error){
-		"multillm":   s.ExtensionMultiLLM,
-		"crossyear":  s.ExtensionCrossYear,
-		"chaindepth": s.ExtensionChainDepth,
-		"gen500":     s.ExtensionGeneration500,
-		"generated":  s.ExtensionGeneratedAttribution,
-		"evasion":    s.ExtensionEvasion,
-		"arena":      s.ExtensionArena,
+		"multillm":          s.ExtensionMultiLLM,
+		"crossyear":         s.ExtensionCrossYear,
+		"chaindepth":        s.ExtensionChainDepth,
+		"gen500":            s.ExtensionGeneration500,
+		"generated":         s.ExtensionGeneratedAttribution,
+		"evasion":           s.ExtensionEvasion,
+		"arena":             s.ExtensionArena,
+		"semantic-ablation": s.ExtensionSemanticAblation,
 	}
 }

@@ -45,8 +45,9 @@ const (
 
 // ExtractorFingerprint identifies the current feature-extraction
 // algorithm. Bump it whenever stylometry.Extract changes the feature
-// set, so stale on-disk entries are never reused.
-const ExtractorFingerprint = "caliskan-islam/v1"
+// set, so stale on-disk entries are never reused. v2 added the
+// semantic feature group (stylometry.SemanticVersion 1).
+const ExtractorFingerprint = "caliskan-islam+semstats/v2"
 
 // Key returns the content address of one (fingerprint, source) pair.
 // Both parts are length-prefixed before hashing, so shifting bytes

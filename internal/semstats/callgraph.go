@@ -1,0 +1,97 @@
+package semstats
+
+import (
+	"sort"
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// callGraph is the file-level call structure between the unit's own
+// defined functions. Library calls are out of scope here — they show up
+// in the expression-shape grams instead.
+type callGraph struct {
+	// callees maps each defined function to its distinct intra-file
+	// callees, sorted.
+	callees map[string][]string
+	// fanIn counts distinct intra-file callers per function.
+	fanIn map[string]int
+	// recursive marks functions on a call cycle (including self-calls).
+	recursive map[string]bool
+	// edges is the total number of distinct caller->callee pairs.
+	edges int
+}
+
+// buildCallGraph walks every function body collecting calls that
+// resolve to functions defined (with a body) in the same unit.
+func buildCallGraph(tu *cppast.TranslationUnit) *callGraph {
+	defined := make(map[string]bool)
+	var names []string // source order
+	for _, f := range tu.Functions() {
+		if f.Body != nil && !defined[f.Name] {
+			defined[f.Name] = true
+			names = append(names, f.Name)
+		}
+	}
+	cg := &callGraph{
+		callees:   make(map[string][]string, len(names)),
+		fanIn:     make(map[string]int, len(names)),
+		recursive: make(map[string]bool, len(names)),
+	}
+	for _, f := range tu.Functions() {
+		if f.Body == nil || cg.callees[f.Name] != nil {
+			continue
+		}
+		set := make(map[string]bool)
+		cppast.Walk(f.Body, func(n cppast.Node, _ int) bool {
+			call, ok := n.(*cppast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*cppast.Ident); ok {
+				name := strings.TrimPrefix(id.Name, "std::")
+				if defined[name] {
+					set[name] = true
+				}
+			}
+			return true
+		})
+		out := make([]string, 0, len(set))
+		for callee := range set {
+			out = append(out, callee)
+		}
+		sort.Strings(out)
+		cg.callees[f.Name] = out
+		cg.edges += len(out)
+		for _, callee := range out {
+			cg.fanIn[callee]++
+		}
+	}
+	// A function is recursive when it can reach itself through at least
+	// one call edge. The graphs are tiny (a handful of helpers), so a
+	// DFS per function is plenty.
+	for _, name := range names {
+		cg.recursive[name] = reaches(cg.callees, name, name)
+	}
+	return cg
+}
+
+// reaches reports whether target is reachable from any callee of from
+// (a self-edge counts immediately).
+func reaches(callees map[string][]string, from, target string) bool {
+	seen := make(map[string]bool)
+	stack := append([]string(nil), callees[from]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == target {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, callees[n]...)
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package semstats
+
+import (
+	"strings"
+
+	"gptattr/internal/cppast"
+)
+
+// shaper renders alpha-normalized expression-shape grams, the semantic
+// cousin of the fingerprint's canonical expression text. Every
+// user-chosen name is erased to its binding class — locals/params to
+// "v", unit globals to "g", unit functions to "f" — while library
+// identifiers (cin, printf, sqrt, ...) pass through with their std::
+// prefix stripped, so idiom survives but renaming cannot move a single
+// gram. Literals reduce to their kind ("lit:int"), member selectors
+// keep their name (push_back vs emplace_back is style), and
+// statement-context ++/--/+=1/-=1 all normalize to one increment form,
+// matching what the pre/post-increment rewriters can reach.
+type shaper struct {
+	locals  map[string]bool
+	globals map[string]bool
+	funcs   map[string]bool
+}
+
+func newShaper(fn *cppast.FuncDecl, globals, funcs map[string]bool) *shaper {
+	s := &shaper{locals: make(map[string]bool), globals: globals, funcs: funcs}
+	for _, p := range fn.Params {
+		if p.Name != "" {
+			s.locals[p.Name] = true
+		}
+	}
+	cppast.Walk(fn.Body, func(n cppast.Node, _ int) bool {
+		if vd, ok := n.(*cppast.VarDecl); ok {
+			for _, d := range vd.Names {
+				s.locals[d.Name] = true
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// label returns the one-token shape label of an expression node.
+func (s *shaper) label(e cppast.Node) string {
+	switch n := e.(type) {
+	case nil:
+		return "?"
+	case *cppast.Ident:
+		name := strings.TrimPrefix(n.Name, "std::")
+		switch {
+		case s.locals[name]:
+			return "v"
+		case s.funcs[name]:
+			return "f"
+		case s.globals[name]:
+			return "g"
+		default:
+			return name // library identifier: idiom, keep it
+		}
+	case *cppast.Lit:
+		return "lit:" + n.LitKind
+	case *cppast.ParenExpr:
+		return s.label(n.X) // parentheses are transparent
+	case *cppast.UnaryExpr:
+		return "u" + n.Op // pre/post distinction erased: rewriters flip it
+	case *cppast.BinaryExpr:
+		return n.Op
+	case *cppast.TernaryExpr:
+		return "?:"
+	case *cppast.CallExpr:
+		return "call:" + s.label(n.Fun)
+	case *cppast.IndexExpr:
+		return "idx"
+	case *cppast.MemberExpr:
+		return "." + n.Sel // arrow vs dot erased, selector kept
+	case *cppast.CastExpr:
+		return "cast"
+	default:
+		return "?"
+	}
+}
+
+// gram emits the one-level shape gram of e (parent label plus direct
+// child labels) into out, then recurses into the children. stmtCtx
+// marks value-discarding position, where x++ / ++x / x += 1 / x -= 1
+// all collapse to the same increment gram.
+func (s *shaper) gram(e cppast.Node, stmtCtx bool, out map[string]int) {
+	switch n := e.(type) {
+	case nil, *cppast.Ident, *cppast.Lit:
+		// Leaves carry no shape of their own.
+	case *cppast.ParenExpr:
+		s.gram(n.X, stmtCtx, out)
+	case *cppast.UnaryExpr:
+		if stmtCtx && (n.Op == "++" || n.Op == "--") {
+			op := "+="
+			if n.Op == "--" {
+				op = "-="
+			}
+			out["("+op+" "+s.label(n.X)+" lit:int)"]++
+			s.gram(n.X, false, out)
+			return
+		}
+		out["(u"+n.Op+" "+s.label(n.X)+")"]++
+		s.gram(n.X, false, out)
+	case *cppast.BinaryExpr:
+		if stmtCtx && (n.Op == "+=" || n.Op == "-=") {
+			if lit, ok := n.R.(*cppast.Lit); ok && lit.LitKind == "int" && lit.Text == "1" {
+				out["("+n.Op+" "+s.label(n.L)+" lit:int)"]++
+				s.gram(n.L, false, out)
+				return
+			}
+		}
+		out["("+n.Op+" "+s.label(n.L)+" "+s.label(n.R)+")"]++
+		s.gram(n.L, false, out)
+		s.gram(n.R, false, out)
+	case *cppast.TernaryExpr:
+		out["(?: "+s.label(n.Cond)+" "+s.label(n.Then)+" "+s.label(n.Else)+")"]++
+		s.gram(n.Cond, false, out)
+		s.gram(n.Then, false, out)
+		s.gram(n.Else, false, out)
+	case *cppast.CallExpr:
+		parts := make([]string, 0, len(n.Args)+1)
+		parts = append(parts, s.label(n))
+		for _, a := range n.Args {
+			parts = append(parts, s.label(a))
+		}
+		out["("+strings.Join(parts, " ")+")"]++
+		for _, a := range n.Args {
+			s.gram(a, false, out)
+		}
+	case *cppast.IndexExpr:
+		out["(idx "+s.label(n.X)+" "+s.label(n.Index)+")"]++
+		s.gram(n.X, false, out)
+		s.gram(n.Index, false, out)
+	case *cppast.MemberExpr:
+		out["(."+n.Sel+" "+s.label(n.X)+")"]++
+		s.gram(n.X, false, out)
+	case *cppast.CastExpr:
+		out["(cast "+s.label(n.X)+")"]++
+		s.gram(n.X, false, out)
+	}
+}
+
+// stmtGrams emits grams for one simple (non-control-flow) statement.
+func (s *shaper) stmtGrams(st cppast.Node, out map[string]int) {
+	switch n := st.(type) {
+	case *cppast.VarDecl:
+		for _, d := range n.Names {
+			for _, dim := range d.ArrayLen {
+				s.gram(dim, false, out)
+			}
+			if d.Init != nil {
+				out["(decl v "+s.label(d.Init)+")"]++
+				s.gram(d.Init, false, out)
+			}
+		}
+	case *cppast.ExprStmt:
+		s.gram(n.X, true, out)
+	case *cppast.Return:
+		if n.Value != nil {
+			out["(ret "+s.label(n.Value)+")"]++
+			s.gram(n.Value, false, out)
+		}
+	}
+}

@@ -3,7 +3,9 @@ package stylometry
 import "strings"
 
 // FeatureFamily groups features the way the paper's background section
-// does: lexical (token stream), layout (formatting), syntactic (AST).
+// does — lexical (token stream), layout (formatting), syntactic (AST) —
+// plus the semantic group derived from internal/semstats (CFG shape,
+// loop nesting, def-use, call graph, expression shapes).
 type FeatureFamily int
 
 // Families.
@@ -11,7 +13,11 @@ const (
 	FamilyLexical FeatureFamily = iota + 1
 	FamilyLayout
 	FamilySyntactic
+	FamilySemantic
 )
+
+// AllFamilies lists every family in declaration order.
+var AllFamilies = []FeatureFamily{FamilyLexical, FamilyLayout, FamilySyntactic, FamilySemantic}
 
 // String names the family.
 func (f FeatureFamily) String() string {
@@ -22,6 +28,8 @@ func (f FeatureFamily) String() string {
 		return "layout"
 	case FamilySyntactic:
 		return "syntactic"
+	case FamilySemantic:
+		return "semantic"
 	default:
 		return "unknown"
 	}
@@ -43,6 +51,9 @@ var syntacticPrefixes = []string{
 
 // Family classifies a feature name.
 func Family(name string) FeatureFamily {
+	if strings.HasPrefix(name, "Sem") {
+		return FamilySemantic
+	}
 	for _, p := range layoutPrefixes {
 		if strings.HasPrefix(name, p) {
 			return FamilyLayout
@@ -63,6 +74,28 @@ func FilterFamily(doc Features, fam FeatureFamily) Features {
 	for name, v := range doc {
 		if Family(name) == fam {
 			out[name] = v
+		}
+	}
+	return out
+}
+
+// FilterFamilies returns a copy of the document restricted to the
+// given families. An empty list keeps everything.
+func FilterFamilies(doc Features, fams []FeatureFamily) Features {
+	if len(fams) == 0 {
+		out := make(Features, len(doc))
+		for name, v := range doc {
+			out[name] = v
+		}
+		return out
+	}
+	out := make(Features)
+	for name, v := range doc {
+		for _, fam := range fams {
+			if Family(name) == fam {
+				out[name] = v
+				break
+			}
 		}
 	}
 	return out

@@ -24,6 +24,10 @@ func TestFamilyClassification(t *testing.T) {
 		{"LeafTF:main", FamilySyntactic},
 		{"ForWhileRatio", FamilySyntactic},
 		{"HelperFunctionCount", FamilySyntactic},
+		{"SemCyclomaticMean", FamilySemantic},
+		{"SemLoopDepthMax", FamilySemantic},
+		{"SemShape:(+= v lit:int)", FamilySemantic},
+		{"SemFanOutMax", FamilySemantic},
 	}
 	for _, tt := range tests {
 		if got := Family(tt.name); got != tt.want {
@@ -34,7 +38,7 @@ func TestFamilyClassification(t *testing.T) {
 
 func TestFamilyString(t *testing.T) {
 	if FamilyLexical.String() != "lexical" || FamilyLayout.String() != "layout" ||
-		FamilySyntactic.String() != "syntactic" {
+		FamilySyntactic.String() != "syntactic" || FamilySemantic.String() != "semantic" {
 		t.Error("family names wrong")
 	}
 	if FeatureFamily(99).String() != "unknown" {
@@ -64,8 +68,8 @@ func TestFilterFamily(t *testing.T) {
 
 // TestEveryExtractedFeatureHasAFamily guards against new features
 // falling into the wrong family silently: every extracted feature must
-// classify into one of the three families, and a realistic source must
-// produce features in all three.
+// classify into one of the four families, and a realistic source must
+// produce features in all four.
 func TestEveryExtractedFeatureHasAFamily(t *testing.T) {
 	f, err := Extract(sampleA)
 	if err != nil {
@@ -75,13 +79,13 @@ func TestEveryExtractedFeatureHasAFamily(t *testing.T) {
 	for name := range f {
 		fam := Family(name)
 		switch fam {
-		case FamilyLexical, FamilyLayout, FamilySyntactic:
+		case FamilyLexical, FamilyLayout, FamilySyntactic, FamilySemantic:
 			seen[fam]++
 		default:
 			t.Errorf("feature %q has unknown family", name)
 		}
 	}
-	for _, fam := range []FeatureFamily{FamilyLexical, FamilyLayout, FamilySyntactic} {
+	for _, fam := range AllFamilies {
 		if seen[fam] == 0 {
 			t.Errorf("no %v features extracted from sampleA", fam)
 		}

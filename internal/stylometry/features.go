@@ -31,6 +31,7 @@ func Extract(src string) (Features, error) {
 	lexicalFeatures(f, src, toks, tu, length)
 	layoutFeatures(f, src, toks, length)
 	syntacticFeatures(f, tu)
+	semanticFeatures(f, tu)
 	return f, nil
 }
 

@@ -1,0 +1,108 @@
+package stylometry
+
+import (
+	"gptattr/internal/cppast"
+	"gptattr/internal/semstats"
+)
+
+// SemanticVersion tags the semantic feature group's layout. It is part
+// of the featcache extractor fingerprint (see internal/featcache), so
+// bumping it when the group's features change invalidates stale cached
+// vectors instead of silently mixing schemas.
+const SemanticVersion = 1
+
+// semanticFeatures appends the semstats-derived feature group: CFG
+// shape, loop nesting, def-use/live-range distributions, call-graph
+// position, and alpha-normalized expression-shape grams. Every feature
+// name carries the "Sem" prefix (FamilySemantic); "SemShape:" grams are
+// open-vocabulary term features, everything else is a fixed scalar.
+//
+// The whole group is computed on normalized forms (compacted graphs,
+// erased identifiers, block-count live ranges), so it is bit-identical
+// under the rename and layout actions of internal/evade — pinned by
+// TestSemanticInvariantUnderRenameAndLayout.
+func semanticFeatures(f Features, tu *cppast.TranslationUnit) {
+	fs := semstats.Analyze(tu)
+	f["SemFuncCount"] = float64(len(fs.Funcs))
+	f["SemCallEdges"] = float64(fs.CallEdges)
+	f["SemRecursiveFuncs"] = float64(fs.RecursiveFuncs)
+	if len(fs.Funcs) == 0 {
+		return
+	}
+	var (
+		blocks, edges, branches, cyclo, back    int
+		loops, depth1, depth2, depth3           int
+		chains, useTotal, vars, liveTotal       int
+		chains0, chains1, chains2, chains3      int
+		maxCyclo, maxLoopDepth, maxChain        int
+		maxLive, maxFanOut, maxFanIn, maxBlocks int
+		branchFactorSum                         float64
+	)
+	for _, st := range fs.Funcs {
+		blocks += st.Blocks
+		edges += st.Edges
+		branches += st.Branches
+		cyclo += st.Cyclomatic
+		back += st.BackEdges
+		loops += st.Loops
+		depth1 += st.LoopsAtDepth[0]
+		depth2 += st.LoopsAtDepth[1]
+		depth3 += st.LoopsAtDepth[2]
+		chains += st.Chains
+		useTotal += st.ChainUses
+		chains0 += st.ChainsAtLen[0]
+		chains1 += st.ChainsAtLen[1]
+		chains2 += st.ChainsAtLen[2]
+		chains3 += st.ChainsAtLen[3]
+		vars += st.Vars
+		liveTotal += st.LiveWidthSum
+		branchFactorSum += st.BranchFactor
+		maxCyclo = maxi(maxCyclo, st.Cyclomatic)
+		maxLoopDepth = maxi(maxLoopDepth, st.MaxLoopDepth)
+		maxChain = maxi(maxChain, st.MaxChainLen)
+		maxLive = maxi(maxLive, st.MaxLiveWidth)
+		maxFanOut = maxi(maxFanOut, st.FanOut)
+		maxFanIn = maxi(maxFanIn, st.FanIn)
+		maxBlocks = maxi(maxBlocks, st.Blocks)
+		for gram, n := range st.ExprGrams {
+			f["SemShape:"+gram] += float64(n)
+		}
+	}
+	nf := float64(len(fs.Funcs))
+	f["SemBlocksTotal"] = float64(blocks)
+	f["SemBlocksMax"] = float64(maxBlocks)
+	f["SemEdgesTotal"] = float64(edges)
+	f["SemBranchesTotal"] = float64(branches)
+	f["SemBranchFactorMean"] = branchFactorSum / nf
+	f["SemCyclomaticMean"] = float64(cyclo) / nf
+	f["SemCyclomaticMax"] = float64(maxCyclo)
+	f["SemBackEdgesTotal"] = float64(back)
+	f["SemLoopsTotal"] = float64(loops)
+	f["SemLoopDepthMax"] = float64(maxLoopDepth)
+	f["SemLoopsDepth1"] = float64(depth1)
+	f["SemLoopsDepth2"] = float64(depth2)
+	f["SemLoopsDepth3"] = float64(depth3)
+	f["SemChainsTotal"] = float64(chains)
+	f["SemChainLenMax"] = float64(maxChain)
+	if chains > 0 {
+		f["SemChainLenMean"] = float64(useTotal) / float64(chains)
+	}
+	f["SemChains0"] = float64(chains0)
+	f["SemChains1"] = float64(chains1)
+	f["SemChains2"] = float64(chains2)
+	f["SemChains3"] = float64(chains3)
+	f["SemVarsTotal"] = float64(vars)
+	f["SemLiveWidthMax"] = float64(maxLive)
+	if vars > 0 {
+		f["SemLiveWidthMean"] = float64(liveTotal) / float64(vars)
+	}
+	f["SemFanOutMax"] = float64(maxFanOut)
+	f["SemFanInMax"] = float64(maxFanIn)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

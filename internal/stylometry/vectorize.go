@@ -44,7 +44,7 @@ type Vectorizer struct {
 // termFeature reports whether the feature name is an open-vocabulary
 // term (subject to MinDocFreq and IDF) as opposed to a fixed scalar.
 func termFeature(name string) bool {
-	for _, p := range []string{"WordUnigram:", "LeafTF:", "ASTBigramTF:", "ASTNodeTF:", "ASTAvgDepth:"} {
+	for _, p := range []string{"WordUnigram:", "LeafTF:", "ASTBigramTF:", "ASTNodeTF:", "ASTAvgDepth:", "SemShape:"} {
 		if len(name) >= len(p) && name[:len(p)] == p {
 			return true
 		}

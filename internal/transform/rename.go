@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"sort"
 	"strings"
 
 	"gptattr/internal/cppast"
@@ -168,6 +169,7 @@ func protectedNamesList() []string {
 	for n := range protectedNames {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
