@@ -73,10 +73,8 @@ type AuthorshipModel struct {
 	oracle *attrib.Oracle
 }
 
-// TrainAuthorship fits an attribution model from labelled sources:
-// samples maps each author name to that author's source files. Every
-// author needs at least one sample; two or more authors are required.
-func TrainAuthorship(samples map[string][]string, p Params) (*AuthorshipModel, error) {
+// authorshipCorpus validates samples and builds the training corpus.
+func authorshipCorpus(samples map[string][]string) (*corpus.Corpus, error) {
 	if len(samples) < 2 {
 		return nil, fmt.Errorf("attribution: need at least 2 authors, got %d", len(samples))
 	}
@@ -100,6 +98,17 @@ func TrainAuthorship(samples map[string][]string, p Params) (*AuthorshipModel, e
 			})
 		}
 	}
+	return c, nil
+}
+
+// TrainAuthorship fits an attribution model from labelled sources:
+// samples maps each author name to that author's source files. Every
+// author needs at least one sample; two or more authors are required.
+func TrainAuthorship(samples map[string][]string, p Params) (*AuthorshipModel, error) {
+	c, err := authorshipCorpus(samples)
+	if err != nil {
+		return nil, err
+	}
 	cfg, err := p.config()
 	if err != nil {
 		return nil, err
@@ -109,6 +118,56 @@ func TrainAuthorship(samples map[string][]string, p Params) (*AuthorshipModel, e
 		return nil, err
 	}
 	return &AuthorshipModel{oracle: oracle}, nil
+}
+
+// AuthorshipLadder is the graceful-degradation counterpart of
+// AuthorshipModel: one model per degrade level, all trained on the
+// same corpus in one extraction pass. Level 0 sees every feature
+// family; deeper levels are trained on the nested subsets the serving
+// layer falls back to when extraction runs out of budget (1 = without
+// semantic features, 2 = layout+lexical only). Each rung carries an
+// out-of-bag accuracy estimate the server reports as calibration.
+type AuthorshipLadder struct {
+	ladder *attrib.OracleLadder
+}
+
+// TrainAuthorshipLadder fits the full fallback ladder (see
+// AuthorshipLadder) from labelled sources.
+func TrainAuthorshipLadder(samples map[string][]string, p Params) (*AuthorshipLadder, error) {
+	c, err := authorshipCorpus(samples)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return nil, err
+	}
+	ladder, err := attrib.TrainOracleLadder(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AuthorshipLadder{ladder: ladder}, nil
+}
+
+// Levels reports how many rungs the ladder holds (level 0 = full).
+func (l *AuthorshipLadder) Levels() int { return len(l.ladder) }
+
+// Model returns one rung as a standalone AuthorshipModel.
+func (l *AuthorshipLadder) Model(level int) (*AuthorshipModel, error) {
+	if level < 0 || level >= len(l.ladder) {
+		return nil, fmt.Errorf("attribution: ladder level %d out of range [0,%d]", level, len(l.ladder)-1)
+	}
+	return &AuthorshipModel{oracle: l.ladder[level]}, nil
+}
+
+// SaveLevel serializes one rung to w (same format as
+// AuthorshipModel.Save; the level and calibration ride in the header).
+func (l *AuthorshipLadder) SaveLevel(level int, w io.Writer) error {
+	m, err := l.Model(level)
+	if err != nil {
+		return err
+	}
+	return m.Save(w)
 }
 
 // Authors lists the model's known author labels.

@@ -36,6 +36,7 @@ func run(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "content-addressed feature cache directory, reused across runs")
 	maxAuthors := fs.Int("max-authors", 0, "limit the number of authors loaded (0 = all)")
 	saveModel := fs.String("save", "", "write the trained model to this file")
+	saveLadder := fs.String("save-ladder", "", "write the degrade-ladder (oracle.model + oracle.l1.model + oracle.l2.model) into this directory for brownout-capable serving")
 	loadModel := fs.String("model", "", "load a previously saved model instead of training")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,8 +76,40 @@ func run(args []string) error {
 		return nil
 	}
 
-	if len(queries) == 0 && *saveModel == "" {
-		return fmt.Errorf("no query files given (or use -cv / -save)")
+	if *saveLadder != "" {
+		ladder, err := attribution.TrainAuthorshipLadder(samples, params)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(*saveLadder, 0o755); err != nil {
+			return err
+		}
+		for lvl := 0; lvl < ladder.Levels(); lvl++ {
+			name := "oracle.model"
+			if lvl > 0 {
+				name = fmt.Sprintf("oracle.l%d.model", lvl)
+			}
+			path := filepath.Join(*saveLadder, name)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := ladder.SaveLevel(lvl, f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Println("saved ladder rung to", path)
+		}
+		if len(queries) == 0 {
+			return nil
+		}
+	}
+
+	if len(queries) == 0 && *saveModel == "" && *saveLadder == "" {
+		return fmt.Errorf("no query files given (or use -cv / -save / -save-ladder)")
 	}
 	model, err := attribution.TrainAuthorship(samples, params)
 	if err != nil {

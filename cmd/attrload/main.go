@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,7 @@ func run(args []string, stdout io.Writer) error {
 	duration := fs_.Duration("duration", 10*time.Second, "how long to drive load")
 	requests := fs_.Int("requests", 0, "stop after this many requests (0 = duration only)")
 	timeout := fs_.Duration("timeout", 10*time.Second, "per-request client timeout")
+	budget := fs_.Duration("budget", 0, "per-request time budget sent as X-Request-Budget-Ms; the server clamps its deadline to it (0 = none)")
 	serverMetrics := fs_.Bool("server-metrics", true, "fetch and print the server's /metrics after the run")
 	fleetMode := fs_.Bool("fleet", false, "target is an attrrouter: also fetch /fleet/status and report the fleet-wide view")
 	if err := fs_.Parse(args); err != nil {
@@ -74,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		Duration: *duration,
 		Requests: *requests,
 		Timeout:  *timeout,
+		Budget:   *budget,
 	}
 	fmt.Fprintf(stdout, "attrload: %d clients, %s, endpoint=%s, %d sources\n",
 		cfg.Clients, cfg.Duration, cfg.Endpoint, len(sources))
@@ -110,6 +113,7 @@ type loadConfig struct {
 	Duration time.Duration
 	Requests int // 0 = unbounded (duration decides)
 	Timeout  time.Duration
+	Budget   time.Duration // 0 = no X-Request-Budget-Ms header
 }
 
 // report aggregates what the clients observed.
@@ -117,9 +121,12 @@ type report struct {
 	Total    uint64
 	OK       uint64
 	ByStatus map[int]uint64
-	NetErrs  uint64
-	Elapsed  time.Duration
-	Latency  metrics.Snapshot
+	// ByDegrade counts 200s per X-Degrade-Level (0 = full fidelity) —
+	// the client-side view of how browned out the server is.
+	ByDegrade map[int]uint64
+	NetErrs   uint64
+	Elapsed   time.Duration
+	Latency   metrics.Snapshot
 }
 
 func (r *report) String() string {
@@ -133,6 +140,16 @@ func (r *report) String() string {
 	sort.Ints(codes)
 	for _, c := range codes {
 		fmt.Fprintf(&b, "status %d: %d\n", c, r.ByStatus[c])
+	}
+	if len(r.ByDegrade) > 0 {
+		levels := make([]int, 0, len(r.ByDegrade))
+		for l := range r.ByDegrade {
+			levels = append(levels, l)
+		}
+		sort.Ints(levels)
+		for _, l := range levels {
+			fmt.Fprintf(&b, "degrade %d: %d\n", l, r.ByDegrade[l])
+		}
 	}
 	if r.Elapsed > 0 {
 		fmt.Fprintf(&b, "throughput: %.1f req/s (%.1f ok/s)\n",
@@ -155,8 +172,9 @@ func loadTest(cfg loadConfig) *report {
 		total   metrics.Counter
 		ok      metrics.Counter
 		netErrs metrics.Counter
-		mu      sync.Mutex
-		byCode  = map[int]uint64{}
+		mu        sync.Mutex
+		byCode    = map[int]uint64{}
+		byDegrade = map[int]uint64{}
 	)
 	client := &http.Client{Timeout: cfg.Timeout}
 	// Reuse encoded bodies: the closed loop should measure the server,
@@ -189,8 +207,19 @@ func loadTest(cfg loadConfig) *report {
 					}
 				}
 				body := bodies[int(n)%len(bodies)]
+				req, rerr := http.NewRequest(http.MethodPost, cfg.BaseURL+path, bytes.NewReader(body))
+				if rerr != nil {
+					total.Inc()
+					netErrs.Inc()
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if cfg.Budget > 0 {
+					req.Header.Set(serve.BudgetHeader,
+						strconv.FormatInt(int64(cfg.Budget/time.Millisecond), 10))
+				}
 				start := time.Now()
-				resp, err := client.Post(cfg.BaseURL+path, "application/json", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				lat := time.Since(start)
 				total.Inc()
 				if err != nil {
@@ -198,10 +227,19 @@ func loadTest(cfg loadConfig) *report {
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
+				degrade := -1
+				if resp.StatusCode == http.StatusOK {
+					if lvl, perr := strconv.Atoi(resp.Header.Get(serve.DegradeHeader)); perr == nil {
+						degrade = lvl
+					}
+				}
 				_ = resp.Body.Close()
 				hist.Observe(lat)
 				mu.Lock()
 				byCode[resp.StatusCode]++
+				if degrade >= 0 {
+					byDegrade[degrade]++
+				}
 				mu.Unlock()
 				if resp.StatusCode == http.StatusOK {
 					ok.Inc()
@@ -212,12 +250,13 @@ func loadTest(cfg loadConfig) *report {
 	wg.Wait()
 	elapsed := time.Since(start)
 	return &report{
-		Total:    total.Value(),
-		OK:       ok.Value(),
-		ByStatus: byCode,
-		NetErrs:  netErrs.Value(),
-		Elapsed:  elapsed,
-		Latency:  hist.Snap(),
+		Total:     total.Value(),
+		OK:        ok.Value(),
+		ByStatus:  byCode,
+		ByDegrade: byDegrade,
+		NetErrs:   netErrs.Value(),
+		Elapsed:   elapsed,
+		Latency:   hist.Snap(),
 	}
 }
 
@@ -243,15 +282,16 @@ func fleetReport(stdout io.Writer, baseURL string, rep *report) error {
 		st.Generation, st.AliveReplicas, len(st.Replicas))
 	fmt.Fprintf(stdout, "fleet-wide: p50 %v  p95 %v  p99 %v (client-observed, all replicas)\n",
 		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
-	fmt.Fprintf(stdout, "router:     %d forwards, %d failovers, %d hedges (%d won), %d restores, %d gen mismatches\n",
-		st.Forwards, st.Failovers, st.Hedges, st.HedgeWins, st.Restores, st.GenMismatches)
+	fmt.Fprintf(stdout, "router:     %d forwards, %d failovers, %d hedges (%d won), %d restores, %d gen mismatches, %d breaker opens (%d rejects)\n",
+		st.Forwards, st.Failovers, st.Hedges, st.HedgeWins, st.Restores, st.GenMismatches,
+		st.BreakerOpens, st.BreakerRejects)
 	for _, r := range st.Replicas {
 		state := "alive"
 		if !r.Alive {
 			state = "dead"
 		}
-		fmt.Fprintf(stdout, "replica %-8s %-5s gen %-3d inflight %-3d fails %d  %s\n",
-			r.Name, state, r.Generation, r.Inflight, r.ConsecutiveFailures, r.URL)
+		fmt.Fprintf(stdout, "replica %-8s %-5s gen %-3d inflight %-3d fails %d breaker %-9s %s\n",
+			r.Name, state, r.Generation, r.Inflight, r.ConsecutiveFailures, r.Breaker, r.URL)
 	}
 	if st.GenMismatches > 0 {
 		return fmt.Errorf("%d responses crossed a generation flip", st.GenMismatches)

@@ -83,8 +83,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	deadAfter := fs.Int("dead-after", 2, "consecutive failed probes before a replica leaves rotation")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	maxInflight := fs.Int("max-inflight", 1024, "concurrent request bound; overflow answers 429")
+	breakerSlow := fs.Duration("breaker-slow-after", 0, "count replica answers slower than this as breaker failures (0 disables latency accounting)")
+	breakerOpenFor := fs.Duration("breaker-open-for", time.Second, "open-breaker cooldown before half-open probing")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
-	faultSpec := fs.String("fault", "", "fault injection spec, e.g. fleet.forward.r1=latency:ms=200 (testing only)")
+	faultSpec := fs.String("fault", "", "fault injection spec, e.g. fleet.forward.r1=latency:latency=200ms (testing only)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for -fault probability draws")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,7 +115,11 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		NoHedge:       *noHedge,
 		DeadAfter:     *deadAfter,
 		ProbeInterval: *healthInterval,
-		Metrics:       met,
+		Breaker: fleet.BreakerConfig{
+			SlowAfter: *breakerSlow,
+			OpenFor:   *breakerOpenFor,
+		},
+		Metrics: met,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stdout, format+"\n", a...)
 		},
@@ -142,8 +148,11 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.HandleFunc("/fleet/status", func(w http.ResponseWriter, r *http.Request) {
+		reqID := srv.Core().Begin(w, r)
 		if r.Method != http.MethodGet {
-			w.WriteHeader(http.StatusMethodNotAllowed)
+			// Same error envelope as every other endpoint: JSON body
+			// with the error and the request ID, not a bare status.
+			srv.Core().WriteError(w, http.StatusMethodNotAllowed, "GET required", reqID)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -45,7 +45,7 @@ func main() {
 func run(args []string, stdout io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("attrserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	modelDir := fs.String("models", "", "directory with oracle.model / detector.model")
+	modelDir := fs.String("models", "", "directory with oracle.model / detector.model (plus optional .l1/.l2 degrade-ladder rungs)")
 	queueDepth := fs.Int("queue-depth", 256, "admission queue bound; overflow answers 429")
 	maxBatch := fs.Int("batch", 16, "max requests coalesced into one extraction batch")
 	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max wait to fill a batch")
@@ -53,6 +53,8 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	cacheDir := fs.String("cache-dir", "", "content-addressed feature cache directory shared across requests")
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory feature cache size")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	brownoutTarget := fs.Duration("brownout-target", 25*time.Millisecond, "queue-delay target; sustained delay above it sheds feature families before requests (0 disables)")
+	brownoutWindow := fs.Duration("brownout-window", 100*time.Millisecond, "brownout decision window (one degrade step at most per window)")
 	evade := fs.Bool("evade", false, "serve the adversarial arena on POST /v1/evade")
 	evadeRunning := fs.Int("evade-running", 2, "concurrently running evasion searches")
 	evadeQueued := fs.Int("evade-queued", 8, "accepted-but-waiting evasion jobs; overflow answers 429")
@@ -83,15 +85,25 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stdout, format+"\n", a...)
+	}
+	var brownout *serve.Brownout
+	if *brownoutTarget > 0 {
+		brownout = serve.NewBrownout(serve.BrownoutConfig{
+			Target: *brownoutTarget,
+			Window: *brownoutWindow,
+			Logf:   logf,
+		})
+	}
 	batcher := serve.NewBatcher(serve.BatchConfig{
 		MaxBatch:   *maxBatch,
 		MaxDelay:   *batchDelay,
 		QueueDepth: *queueDepth,
 		Workers:    *workers,
 		Cache:      cache,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(stdout, format+"\n", a...)
-		},
+		Brownout:   brownout,
+		Logf:       logf,
 	})
 	scfg := serve.Config{
 		Registry: registry,

@@ -196,14 +196,14 @@ func run(args []string, stdout io.Writer) error {
 	case *extension != "":
 		exts := s.Extensions()
 		if *extension == "all" {
-			for _, name := range []string{"arena", "chaindepth", "crossyear", "evasion", "gen500", "generated", "multillm", "semantic-ablation"} {
+			for _, name := range []string{"arena", "chaindepth", "crossyear", "degrade-ladder", "evasion", "gen500", "generated", "multillm", "semantic-ablation"} {
 				selected = append(selected, runner{"extension/" + name, exts[name]})
 			}
 			break
 		}
 		fn, ok := exts[*extension]
 		if !ok {
-			return fmt.Errorf("unknown extension %q (have: arena chaindepth crossyear evasion gen500 generated multillm semantic-ablation)", *extension)
+			return fmt.Errorf("unknown extension %q (have: arena chaindepth crossyear degrade-ladder evasion gen500 generated multillm semantic-ablation)", *extension)
 		}
 		selected = append(selected, runner{"extension/" + *extension, fn})
 	case *ablation != "":

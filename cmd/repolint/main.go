@@ -31,6 +31,14 @@
 //     slices.Sort. A deliberate order-insensitive site is exempted
 //     with a `// repolint:allow-maprange <reason>` comment on the
 //     same or preceding line as the range statement.
+//   - Serving packages (serve, fleet, arena) must not call time.Sleep
+//     in non-test files: a bare sleep on a request or control path
+//     ignores contexts and deadlines, stalls shutdown, and hides
+//     missing backpressure. Wait on a context, a timer channel, or a
+//     condition instead. A deliberate sleep (e.g. a jittered retry
+//     loop that also honours its context) is exempted with a
+//     `// repolint:allow-sleep <reason>` comment on the same or
+//     preceding line.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or parse errors.
 package main
@@ -65,9 +73,19 @@ var supervisedPkgs = []string{
 	"internal/featcache",
 }
 
+// servingPkgs are the online-serving packages where a bare time.Sleep
+// on a request or control path is a latent deadline/shutdown bug.
+var servingPkgs = []string{
+	"internal/serve", "internal/fleet", "internal/arena",
+}
+
 // allowPanicDirective marks a deliberate panic at a recover-supervised
 // site as exempt from the naked-panic rule.
 const allowPanicDirective = "repolint:allow-panic"
+
+// allowSleepDirective marks a deliberate sleep in a serving package as
+// exempt from the bare-sleep rule.
+const allowSleepDirective = "repolint:allow-sleep"
 
 // allowMapRangeDirective marks a range-over-map whose sink order
 // genuinely does not matter as exempt from the map-order rule.
@@ -131,6 +149,9 @@ func run(args []string, out *os.File) (int, error) {
 		}
 		if !isTest && inSupervisedPkg(rel) {
 			findings = append(findings, checkPanics(fset, f)...)
+		}
+		if !isTest && inPkgList(rel, servingPkgs) {
+			findings = append(findings, checkSleeps(fset, f)...)
 		}
 		if !isTest {
 			findings = append(findings, checkCloseErrors(fset, f, voidClose)...)
@@ -266,6 +287,41 @@ func checkPanics(fset *token.FileSet, f *ast.File) []finding {
 		}
 		out = append(out, finding{pos,
 			"naked panic in a supervised pipeline package (return an error so the worker supervisors contain it, or annotate with // " + allowPanicDirective + " <reason>)"})
+		return true
+	})
+	return out
+}
+
+// checkSleeps flags time.Sleep calls in serving packages. A sleep
+// there ignores contexts and deadlines; waiting belongs on a timer
+// channel or a condition. A `// repolint:allow-sleep <reason>` comment
+// on the same or immediately preceding line exempts a deliberate one.
+func checkSleeps(fset *token.FileSet, f *ast.File) []finding {
+	timeAlias := importAlias(f, "time")
+	if timeAlias == "" {
+		return nil
+	}
+	allowed := directiveLines(fset, f, allowSleepDirective)
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != timeAlias || pkg.Obj != nil {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if allowed[pos.Line] || allowed[pos.Line-1] {
+			return true
+		}
+		out = append(out, finding{pos,
+			"bare time.Sleep in a serving package (wait on a context or timer channel, or annotate with // " + allowSleepDirective + " <reason>)"})
 		return true
 	})
 	return out

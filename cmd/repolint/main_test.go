@@ -299,6 +299,69 @@ func publish(tmp, final string, data []byte) error {
 	}
 }
 
+func TestBareSleepFlaggedInServingPkg(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/fleet/probe.go": `package fleet
+
+import "time"
+
+func backoff() {
+	time.Sleep(50 * time.Millisecond)
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "bare time.Sleep in a serving package") {
+		t.Fatalf("want bare-sleep finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestAllowSleepDirectiveExempts(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/serve/retry.go": `package serve
+
+import "time"
+
+func backoff() {
+	// repolint:allow-sleep jittered retry loop, context checked by caller
+	time.Sleep(50 * time.Millisecond)
+	time.Sleep(time.Millisecond) // repolint:allow-sleep settle before reprobe
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("annotated sleep must pass, exit %d:\n%s", code, out)
+	}
+}
+
+func TestSleepAllowedOutsideServingPkgs(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/fault/inject.go": `package fault
+
+import "time"
+
+func stall(d time.Duration) { time.Sleep(d) }
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("fault is not a serving package, exit %d:\n%s", code, out)
+	}
+}
+
+func TestSleepAllowedInServingTests(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/fleet/probe_test.go": `package fleet
+
+import "time"
+
+func settle() { time.Sleep(time.Millisecond) }
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("test files are exempt from the sleep rule, exit %d:\n%s", code, out)
+	}
+}
+
 func TestRepoIsClean(t *testing.T) {
 	// The repository itself must satisfy its own invariants; this is
 	// the standing form of the "run it over the repo" requirement.

@@ -126,10 +126,25 @@ type Classifier struct {
 	vec    *stylometry.Vectorizer
 	cols   []int
 
+	// level/families/calib mirror Oracle's ladder metadata (see
+	// oracle.go): the degrade level this model serves, the family
+	// subset it was trained on, and its out-of-bag accuracy estimate.
+	level    stylometry.DegradeLevel
+	families []stylometry.FeatureFamily
+	calib    float64
+
 	// scratch pools per-prediction buffers for the serving path; the
 	// zero value is ready to use.
 	scratch sync.Pool
 }
+
+// Level reports the degrade-ladder position the classifier was
+// trained for.
+func (c *Classifier) Level() stylometry.DegradeLevel { return c.level }
+
+// Calibration reports the training-time out-of-bag accuracy estimate
+// (0 = unknown).
+func (c *Classifier) Calibration() float64 { return c.calib }
 
 // getScratch fetches pooled prediction buffers sized for this model.
 func (c *Classifier) getScratch() *vecScratch {

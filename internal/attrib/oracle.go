@@ -21,11 +21,36 @@ type Oracle struct {
 	labels []string
 	index  map[string]int
 
+	// level is the degrade-ladder position the model was trained for
+	// (0 = full feature set); families names the feature families its
+	// training corpus was filtered to (empty = unrestricted). Both ride
+	// in the persisted envelope so a serving registry can match
+	// degraded vectors to the oracle trained on exactly those families.
+	level    stylometry.DegradeLevel
+	families []stylometry.FeatureFamily
+
+	// calib is the training-time out-of-bag accuracy estimate (0 =
+	// uncalibrated legacy model). Serving multiplies the vote share by
+	// it so a degraded answer's confidence reflects the weaker model.
+	calib float64
+
 	// scratch pools per-prediction buffers for the serving path; the
 	// zero value is ready to use, so persisted-model loading needs no
 	// extra wiring.
 	scratch sync.Pool
 }
+
+// Level reports the degrade-ladder position the oracle was trained
+// for (0 for models trained on the full feature set).
+func (o *Oracle) Level() stylometry.DegradeLevel { return o.level }
+
+// Calibration reports the training-time out-of-bag accuracy estimate
+// (0 = unknown; legacy models persisted before calibration existed).
+func (o *Oracle) Calibration() float64 { return o.calib }
+
+// Families reports the feature families the oracle was trained on
+// (nil = unrestricted).
+func (o *Oracle) Families() []stylometry.FeatureFamily { return o.families }
 
 // TrainOracle fits the oracle on a human (non-ChatGPT) corpus.
 func TrainOracle(human *corpus.Corpus, cfg Config) (*Oracle, error) {

@@ -23,11 +23,48 @@ type modelEnvelope struct {
 	Vec     *stylometry.Vectorizer `json:"vectorizer"`
 	Cols    []int                  `json:"columns"`
 	Labels  []string               `json:"labels,omitempty"`
+
+	// Ladder metadata (format-additive: absent in legacy models, which
+	// load as level 0, unrestricted, uncalibrated). Level is the
+	// degrade-ladder position, Families the family subset trained on,
+	// Calibration the out-of-bag accuracy estimate.
+	Level       int      `json:"level,omitempty"`
+	Families    []string `json:"families,omitempty"`
+	Calibration float64  `json:"calibration,omitempty"`
+}
+
+// familyNames renders families for the envelope.
+func familyNames(fams []stylometry.FeatureFamily) []string {
+	if len(fams) == 0 {
+		return nil
+	}
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// parseFamilies inverts familyNames, dropping unknown names (a newer
+// writer's family degrades to "unrestricted" rather than failing the
+// load).
+func parseFamilies(names []string) []stylometry.FeatureFamily {
+	var out []stylometry.FeatureFamily
+	for _, n := range names {
+		for _, f := range stylometry.AllFamilies {
+			if f.String() == n {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // Save writes the oracle to w as JSON (header line + forest line).
 func (o *Oracle) Save(w io.Writer) error {
-	env := modelEnvelope{Version: FormatVersion, Kind: "oracle", Vec: o.vec, Cols: o.cols, Labels: o.labels}
+	env := modelEnvelope{Version: FormatVersion, Kind: "oracle", Vec: o.vec, Cols: o.cols, Labels: o.labels,
+		Level: int(o.level), Families: familyNames(o.families), Calibration: o.calib}
 	if err := json.NewEncoder(w).Encode(env); err != nil {
 		return fmt.Errorf("attrib: save oracle header: %w", err)
 	}
@@ -79,11 +116,14 @@ func LoadOracle(r io.Reader) (*Oracle, error) {
 			forest.NumClasses(), len(env.Labels))
 	}
 	o := &Oracle{
-		forest: forest,
-		vec:    env.Vec,
-		cols:   env.Cols,
-		labels: env.Labels,
-		index:  make(map[string]int, len(env.Labels)),
+		forest:   forest,
+		vec:      env.Vec,
+		cols:     env.Cols,
+		labels:   env.Labels,
+		index:    make(map[string]int, len(env.Labels)),
+		level:    stylometry.DegradeLevel(env.Level).Clamp(),
+		families: parseFamilies(env.Families),
+		calib:    env.Calibration,
 	}
 	for i, l := range o.labels {
 		o.index[l] = i
@@ -93,7 +133,8 @@ func LoadOracle(r io.Reader) (*Oracle, error) {
 
 // Save writes the binary classifier to w as JSON.
 func (c *Classifier) Save(w io.Writer) error {
-	env := modelEnvelope{Version: FormatVersion, Kind: "binary", Vec: c.vec, Cols: c.cols}
+	env := modelEnvelope{Version: FormatVersion, Kind: "binary", Vec: c.vec, Cols: c.cols,
+		Level: int(c.level), Families: familyNames(c.families), Calibration: c.calib}
 	if err := json.NewEncoder(w).Encode(env); err != nil {
 		return fmt.Errorf("attrib: save classifier header: %w", err)
 	}
@@ -109,5 +150,9 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 	if forest.NumClasses() != 2 {
 		return nil, fmt.Errorf("attrib: binary classifier forest has %d classes", forest.NumClasses())
 	}
-	return &Classifier{forest: forest, vec: env.Vec, cols: env.Cols}, nil
+	return &Classifier{forest: forest, vec: env.Vec, cols: env.Cols,
+		level:    stylometry.DegradeLevel(env.Level).Clamp(),
+		families: parseFamilies(env.Families),
+		calib:    env.Calibration,
+	}, nil
 }

@@ -295,5 +295,6 @@ func (s *Suite) Extensions() map[string]func() (string, error) {
 		"evasion":           s.ExtensionEvasion,
 		"arena":             s.ExtensionArena,
 		"semantic-ablation": s.ExtensionSemanticAblation,
+		"degrade-ladder":    s.ExtensionDegradeLadder,
 	}
 }

@@ -33,16 +33,29 @@ func TestExtensionMultiLLM(t *testing.T) {
 	}
 }
 
+func TestExtensionDegradeLadder(t *testing.T) {
+	s := testSuite(t)
+	out, err := s.ExtensionDegradeLadder()
+	if err != nil {
+		t.Fatalf("ExtensionDegradeLadder: %v", err)
+	}
+	for _, want := range []string{"full", "no-semantic", "surface", "Matched rung", "Rung OOB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degrade-ladder table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestExtensionsRegistry(t *testing.T) {
 	s := testSuite(t)
 	exts := s.Extensions()
-	for _, name := range []string{"multillm", "crossyear", "chaindepth", "gen500", "generated", "evasion", "arena", "semantic-ablation"} {
+	for _, name := range []string{"multillm", "crossyear", "chaindepth", "gen500", "generated", "evasion", "arena", "semantic-ablation", "degrade-ladder"} {
 		if exts[name] == nil {
 			t.Errorf("extension %q missing", name)
 		}
 	}
-	if len(exts) != 8 {
-		t.Errorf("extensions = %d, want 8", len(exts))
+	if len(exts) != 9 {
+		t.Errorf("extensions = %d, want 9", len(exts))
 	}
 }
 

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestHitContextLatencyRespectsDeadline pins the satellite contract:
+// an injected latency fault must not outlive the caller's context. A
+// 10s injected sleep against a 20ms deadline has to return promptly
+// with the context error, not after the full sleep.
+func TestHitContextLatencyRespectsDeadline(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("pt", Policy{Kind: KindLatency, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := r.HitContext(ctx, "pt")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("injected latency outlived the context: slept %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("HitContext = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestHitContextLatencyCancel covers explicit cancellation (not just
+// deadlines): the sleep wakes as soon as the request is cancelled.
+func TestHitContextLatencyCancel(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("pt", Policy{Kind: KindLatency, Latency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.HitContext(ctx, "pt") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("HitContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected latency ignored cancellation")
+	}
+}
+
+// TestHitContextShortLatencyCompletes checks the non-expired path: a
+// short injected sleep under a generous deadline completes and returns
+// nil, exactly like Hit.
+func TestHitContextShortLatencyCompletes(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("pt", Policy{Kind: KindLatency, Latency: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.HitContext(ctx, "pt"); err != nil {
+		t.Fatalf("HitContext = %v, want nil", err)
+	}
+}
+
+// TestHitBackgroundLatencyUnchanged pins that plain Hit (background
+// context) still sleeps the full injected latency and returns nil.
+func TestHitBackgroundLatencyUnchanged(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("pt", Policy{Kind: KindLatency, Latency: 10 * time.Millisecond})
+	start := time.Now()
+	if err := r.Hit("pt"); err != nil {
+		t.Fatalf("Hit = %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want the full injected 10ms", elapsed)
+	}
+}
+
+// TestHitContextErrorKind checks non-latency kinds are unaffected by
+// the context plumbing.
+func TestHitContextErrorKind(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("pt", Policy{Kind: KindError})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // even a dead context must not mask the injected error
+	var ie *InjectedError
+	if err := r.HitContext(ctx, "pt"); !errors.As(err, &ie) {
+		t.Fatalf("HitContext = %v, want *InjectedError", err)
+	}
+}

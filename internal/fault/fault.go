@@ -20,6 +20,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -272,6 +273,16 @@ func (r *Registry) fire(name string, lenB int) (p Policy, fires bool, cut int) {
 // sleep, panic kinds panic with a PanicValue, and partial-write kinds
 // do nothing (they only act through Data).
 func (r *Registry) Hit(name string) error {
+	return r.HitContext(context.Background(), name)
+}
+
+// HitContext is Hit with a context bound on injected latency: a fired
+// latency fault sleeps at most until ctx is done, then returns
+// ctx.Err() so the call site aborts like any other expired-deadline
+// path. An injected delay must never outlive the request it delays —
+// otherwise a latency storm pins goroutines past their deadlines and
+// the brownout contract (degrade within budget) cannot hold.
+func (r *Registry) HitContext(ctx context.Context, name string) error {
 	if !r.active.Load() {
 		return nil
 	}
@@ -283,12 +294,31 @@ func (r *Registry) Hit(name string) error {
 	case KindError:
 		return &InjectedError{Point: name, Err: p.Err}
 	case KindLatency:
-		time.Sleep(p.Latency)
-		return nil
+		return sleepContext(ctx, p.Latency)
 	case KindPanic:
 		panic(PanicValue{Point: name})
 	default:
 		return nil
+	}
+}
+
+// sleepContext sleeps d or until ctx is done, whichever comes first,
+// returning ctx.Err() when the context won.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -343,6 +373,10 @@ func Active() bool { return def.Load().Active() }
 
 // Hit consults one point on the default registry.
 func Hit(name string) error { return def.Load().Hit(name) }
+
+// HitContext consults one point on the default registry with a
+// context bound on injected latency (see Registry.HitContext).
+func HitContext(ctx context.Context, name string) error { return def.Load().HitContext(ctx, name) }
 
 // Data consults one payload point on the default registry.
 func Data(name string, b []byte) ([]byte, error) { return def.Load().Data(name, b) }

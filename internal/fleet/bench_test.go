@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gptattr/internal/serve"
+	"gptattr/internal/stylometry"
 )
 
 // BenchmarkRingOwner is the per-request routing decision: one hash +
@@ -98,6 +99,56 @@ func BenchmarkRouterForward(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBreakerObserve is the breaker tax on every dispatch: one
+// Allow (admission check) plus one Observe (window update) per op,
+// alternating success and failure so both branches stay hot. It rides
+// the router's per-request path, so it must stay lock-cheap and
+// allocation-free.
+func BenchmarkBreakerObserve(b *testing.B) {
+	br := NewBreaker(BreakerConfig{Window: 64, MinSamples: 32, FailRate: 0.99})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !br.Allow() {
+			b.Fatal("closed breaker rejected")
+		}
+		br.Observe(i%2 == 0, time.Millisecond)
+	}
+}
+
+// BenchmarkDegradedSurfaceExtract is the brownout floor's unit of
+// work: one surface-only feature extraction — what every request
+// costs when the controller has shed the deeper families. It bounds
+// how cheap "maximally degraded" actually is relative to full
+// extraction.
+func BenchmarkDegradedSurfaceExtract(b *testing.B) {
+	ctx := context.Background()
+	src := benchExtractSource
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stylometry.ExtractDegraded(ctx, src, stylometry.DegradeSurface); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchExtractSource is a realistic small function for extraction
+// benchmarks (fixture corpora need testing.T, which benchmarks lack).
+const benchExtractSource = `#include <vector>
+#include <algorithm>
+
+int accumulate_positive(const std::vector<int>& xs) {
+	int total = 0;
+	for (size_t i = 0; i < xs.size(); ++i) {
+		if (xs[i] > 0) {
+			total += xs[i];
+		}
+	}
+	return total;
+}
+`
 
 // BenchmarkRouterHedgedForward measures the hedge path end to end:
 // the key's owner is stalled far past the hedge delay, so every

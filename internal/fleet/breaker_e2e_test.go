@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gptattr/internal/fault"
+	"gptattr/internal/serve"
+	"gptattr/internal/serve/metrics"
+)
+
+// stormFleet stands up two real replicas behind a router+front server
+// and returns everything the breaker/deadline e2e tests need.
+type stormFleet struct {
+	reps   []*e2eReplica
+	rt     *Router
+	met    *metrics.Registry
+	router *httptest.Server
+	client *http.Client
+}
+
+func startStormFleet(t *testing.T, cfg Config) *stormFleet {
+	t.Helper()
+	f := &stormFleet{
+		reps: []*e2eReplica{
+			startE2EReplica(t, "b1"),
+			startE2EReplica(t, "b2"),
+		},
+		client: &http.Client{},
+		met:    metrics.NewRegistry(),
+	}
+	handles := make([]*Replica, len(f.reps))
+	for i, r := range f.reps {
+		handles[i] = NewReplica(r.name, r.url(), f.client)
+	}
+	cfg.Replicas = handles
+	cfg.Metrics = f.met
+	cfg.Logf = t.Logf
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 25 * time.Millisecond
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = 5 * time.Second
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	f.rt = rt
+
+	srv, err := serve.New(serve.Config{Backend: rt, Metrics: f.met, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = httptest.NewServer(srv.Handler())
+	t.Cleanup(f.router.Close)
+	return f
+}
+
+// post sends one attribute request through the router with optional
+// request-ID and budget headers, returning status and body.
+func (f *stormFleet) post(t *testing.T, source, reqID string, budgetMs int) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(serve.AttributeRequest{Source: source})
+	req, err := http.NewRequest(http.MethodPost, f.router.URL+"/v1/attribute", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set(serve.RequestIDHeader, reqID)
+	}
+	if budgetMs > 0 {
+		req.Header.Set(serve.BudgetHeader, fmt.Sprint(budgetMs))
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatalf("transport error through router: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func (f *stormFleet) replicaStatus(t *testing.T, name string) ReplicaStatus {
+	t.Helper()
+	for _, rs := range f.rt.Status().Replicas {
+		if rs.Name == name {
+			return rs
+		}
+	}
+	t.Fatalf("replica %s missing from fleet status", name)
+	return ReplicaStatus{}
+}
+
+// TestBreakerStormE2E is the fleet half of the brownout acceptance
+// test: a seeded latency storm on one replica's transport must yield
+// zero hard failures. The slow replica's breaker opens on
+// slow-success observations (SlowAfter), sheds its traffic to the
+// healthy replica without ever marking it down, and after the storm
+// lifts the half-open probes close it again.
+func TestBreakerStormE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs a replica fleet")
+	}
+	defer fault.Disable()
+
+	f := startStormFleet(t, Config{
+		// No hedging: a hedge win would cancel the slow attempt before
+		// the breaker could observe its latency, hiding the storm.
+		NoHedge: true,
+		Breaker: BreakerConfig{
+			Window: 8, MinSamples: 4, FailRate: 0.5,
+			SlowAfter: 30 * time.Millisecond,
+			OpenFor:   250 * time.Millisecond,
+			Probes:    2,
+		},
+	})
+
+	// The storm: every forward to b1 pays 80ms against a 30ms
+	// latency bar — successes on the wire, failures to the breaker.
+	fault.Enable(99)
+	fault.Set(PointForwardReplica("b1"), fault.Policy{
+		Kind: fault.KindLatency, Latency: 80 * time.Millisecond, Prob: 1.0,
+	})
+
+	const storm = 40
+	for i := 0; i < storm; i++ {
+		status, body := f.post(t, sampleSource(t, i), fmt.Sprintf("storm-%03d", i), 0)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d under latency storm, want 200 (body %s)", i, status, body)
+		}
+	}
+
+	if n := f.met.Counter("fleet_breaker_opens_total").Value(); n == 0 {
+		t.Fatal("slow replica's breaker never opened under the storm")
+	}
+	if n := f.met.Counter("fleet_breaker_rejects_total").Value(); n == 0 {
+		t.Fatal("open breaker never shed a dispatch (rejects = 0)")
+	}
+	// Breaker shedding is not failure handling: the slow replica
+	// answered every request it got, so it must still be alive and
+	// nothing may have been counted as a transport failover.
+	if n := f.met.Counter("fleet_failovers_total").Value(); n != 0 {
+		t.Errorf("%d failovers during a pure latency storm (breaker rejects must not mark replicas down)", n)
+	}
+	b1 := f.replicaStatus(t, "b1")
+	if !b1.Alive {
+		t.Error("slow replica marked dead by its own breaker")
+	}
+	if b1.Breaker == "" || b1.Breaker == "closed" {
+		t.Errorf("slow replica breaker %q mid-storm, want open or half-open", b1.Breaker)
+	}
+	st := f.rt.Status()
+	if st.BreakerOpens == 0 || st.AliveReplicas != 2 {
+		t.Errorf("fleet status opens=%d alive=%d, want opens>0 alive=2", st.BreakerOpens, st.AliveReplicas)
+	}
+
+	// Storm lifts: half-open probes find a fast replica and the
+	// breaker closes (bounded wait — one OpenFor cooldown plus the
+	// probe successes).
+	fault.Disable()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.met.Counter("fleet_breaker_closes_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after the storm lifted (b1 state %q)",
+				f.replicaStatus(t, "b1").Breaker)
+		}
+		status, _ := f.post(t, sampleSource(t, int(time.Now().UnixNano())%32), "", 0)
+		if status != http.StatusOK {
+			t.Fatalf("post-storm status %d, want 200", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := f.replicaStatus(t, "b1").Breaker; got != "closed" {
+		t.Errorf("b1 breaker %q after recovery, want closed", got)
+	}
+	t.Logf("storm e2e: %d opens, %d rejects, %d closes",
+		f.met.Counter("fleet_breaker_opens_total").Value(),
+		f.met.Counter("fleet_breaker_rejects_total").Value(),
+		f.met.Counter("fleet_breaker_closes_total").Value())
+}
+
+// TestDeadlinePropagationE2E pins the budget plumbing end to end: a
+// client deadline enters as X-Request-Budget-Ms, the router clamps its
+// own context to it, and the replica observes a shrunken (never
+// larger) budget on the forwarded request. And when the budget is
+// already exhausted before the hedge delay, the router must not spend
+// a second replica on a hedge that cannot finish.
+func TestDeadlinePropagationE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs a replica fleet")
+	}
+	defer fault.Disable()
+
+	f := startStormFleet(t, Config{HedgeDelay: 50 * time.Millisecond})
+
+	// Healthy path: the replica sees the budget, minus what the router
+	// hop burned.
+	const sentMs = 800
+	status, body := f.post(t, sampleSource(t, 1), "dl-propagate", sentMs)
+	if status != http.StatusOK {
+		t.Fatalf("status %d with an ample budget, want 200 (body %s)", status, body)
+	}
+	var observed []int64
+	for _, r := range f.reps {
+		observed = append(observed, r.budgetsFor("dl-propagate")...)
+	}
+	if len(observed) == 0 {
+		t.Fatal("no replica saw a budget header for the budgeted request")
+	}
+	for _, ms := range observed {
+		if ms <= 0 || ms > sentMs {
+			t.Errorf("replica observed budget %dms, want in (0, %d] (must shrink, never grow)", ms, sentMs)
+		}
+	}
+
+	// Exhausted-budget path: both replicas stalled past the client
+	// budget. The request dies on its deadline — and the router must
+	// not hedge it, because the hedge could never finish either.
+	fault.Enable(7)
+	for _, name := range []string{"b1", "b2"} {
+		fault.Set(PointForwardReplica(name), fault.Policy{
+			Kind: fault.KindLatency, Latency: 500 * time.Millisecond, Prob: 1.0,
+		})
+	}
+	for i := 0; i < 5; i++ {
+		status, _ := f.post(t, sampleSource(t, 10+i), fmt.Sprintf("dl-exhausted-%d", i), 25)
+		if status == http.StatusOK {
+			t.Fatalf("request %d answered 200 with a 25ms budget against 500ms replicas", i)
+		}
+	}
+	if n := f.met.Counter("fleet_hedges_total").Value(); n != 0 {
+		t.Errorf("%d hedges launched for requests whose budget expired before the hedge delay, want 0", n)
+	}
+
+	// Contrast: same stalled replicas, ample budget — now the hedge
+	// SHOULD fire, proving the suppression above was the budget guard
+	// and not a dead hedge path.
+	status, _ = f.post(t, sampleSource(t, 20), "dl-hedged", 5000)
+	if status != http.StatusOK {
+		t.Fatalf("status %d with ample budget and slow-but-alive replicas, want 200", status)
+	}
+	if n := f.met.Counter("fleet_hedges_total").Value(); n == 0 {
+		t.Error("no hedge fired for a slow request with budget to spare")
+	}
+}

@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic breaker
+// cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testBreaker builds a breaker with a small deterministic window and
+// the fake clock, recording every transition.
+func testBreaker(clk *fakeClock, transitions *[]string) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:     8,
+		MinSamples: 4,
+		FailRate:   0.5,
+		OpenFor:    time.Second,
+		Probes:     2,
+		OnChange: func(from, to BreakerState) {
+			*transitions = append(*transitions, from.String()+">"+to.String())
+		},
+		now: clk.now,
+	})
+}
+
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	clk := newFakeClock()
+	var trans []string
+	b := testBreaker(clk, &trans)
+
+	// Three straight failures: 100% failure rate, but below MinSamples
+	// the rate is not trusted — one early blip must not open it.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected dispatch %d", i)
+		}
+		b.Observe(true, 0)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after %d samples (< MinSamples), want closed", got, 3)
+	}
+	if len(trans) != 0 {
+		t.Fatalf("unexpected transitions %v", trans)
+	}
+}
+
+func TestBreakerOpensAtFailRateAndRejects(t *testing.T) {
+	clk := newFakeClock()
+	var trans []string
+	b := testBreaker(clk, &trans)
+
+	// Two successes then enough failures to cross FailRate with the
+	// window past MinSamples.
+	b.Observe(false, 0)
+	b.Observe(false, 0)
+	for i := 0; i < 4 && b.State() == BreakerClosed; i++ {
+		b.Observe(true, 0)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after failure burst, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a dispatch before cooldown")
+	}
+	if b.Admissible() {
+		t.Fatal("open breaker reported admissible before cooldown")
+	}
+	if len(trans) != 1 || trans[0] != "closed>open" {
+		t.Fatalf("transitions %v, want [closed>open]", trans)
+	}
+}
+
+func TestBreakerHalfOpenProbesThenCloses(t *testing.T) {
+	clk := newFakeClock()
+	var trans []string
+	b := testBreaker(clk, &trans)
+	for i := 0; i < 6; i++ {
+		b.Observe(true, 0)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("setup: breaker did not open")
+	}
+
+	clk.advance(time.Second) // cooldown elapses
+	if !b.Admissible() {
+		t.Fatal("cooled-down breaker not admissible")
+	}
+	// First Allow flips half-open and consumes probe slot 1 of 2.
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the first probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after probe dispatch, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected probe 2 of 2")
+	}
+	// Probe slots are bounded: a third concurrent dispatch must wait.
+	if b.Allow() {
+		t.Fatal("half-open breaker exceeded its probe budget")
+	}
+	b.Observe(false, 0)
+	b.Observe(false, 0)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after %d good probes, want closed", got, 2)
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(trans) != len(want) {
+		t.Fatalf("transitions %v, want %v", trans, want)
+	}
+	for i := range want {
+		if trans[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", trans, want)
+		}
+	}
+	// The window restarted on close: one failure must not reopen.
+	b.Observe(true, 0)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker reopened on a single post-close failure (window not reset)")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	var trans []string
+	b := testBreaker(clk, &trans)
+	for i := 0; i < 6; i++ {
+		b.Observe(true, 0)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	b.Observe(true, 0)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", got)
+	}
+	// The cooldown restarts from the reopen.
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed a dispatch with no new cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("reopened breaker rejected a probe after its fresh cooldown")
+	}
+}
+
+func TestBreakerCancelReturnsProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	var trans []string
+	b := testBreaker(clk, &trans)
+	for i := 0; i < 6; i++ {
+		b.Observe(true, 0)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("probe slots not granted")
+	}
+	if b.Allow() {
+		t.Fatal("probe budget not enforced")
+	}
+	// An abandoned dispatch (caller deadline died before the replica
+	// was reached) returns its slot instead of wedging half-open.
+	b.Cancel()
+	if !b.Allow() {
+		t.Fatal("cancelled probe slot was not returned")
+	}
+}
+
+func TestBreakerSlowAfterCountsLatencyAsFailure(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 8, MinSamples: 4, FailRate: 0.5,
+		SlowAfter: 50 * time.Millisecond,
+		now:       clk.now,
+	})
+	// All dispatches succeed on the wire but exceed the latency bar: a
+	// replica in a latency storm is as useless as a dead one.
+	for i := 0; i < 4; i++ {
+		b.Observe(false, 200*time.Millisecond)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after slow-success storm, want open", got)
+	}
+}
+
+func TestBreakerFailureRate(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 8, now: clk.now})
+	if got := b.FailureRate(); got != 0 {
+		t.Fatalf("empty-window failure rate %v, want 0", got)
+	}
+	b.Observe(true, 0)
+	b.Observe(false, 0)
+	if got := b.FailureRate(); got != 0.5 {
+		t.Fatalf("failure rate %v, want 0.5", got)
+	}
+}

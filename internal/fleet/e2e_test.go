@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -46,11 +47,13 @@ type e2eReplica struct {
 	srv     *http.Server
 	batcher *serve.Batcher
 	seenIDs map[string]bool
+	budgets map[string][]int64 // request ID -> X-Request-Budget-Ms values seen
 }
 
 func startE2EReplica(t *testing.T, name string) *e2eReplica {
 	t.Helper()
-	r := &e2eReplica{t: t, name: name, dir: modelDir(t), seenIDs: make(map[string]bool)}
+	r := &e2eReplica{t: t, name: name, dir: modelDir(t), seenIDs: make(map[string]bool),
+		budgets: make(map[string][]int64)}
 	r.start("127.0.0.1:0")
 	t.Cleanup(r.kill)
 	return r
@@ -61,7 +64,8 @@ func startE2EReplica(t *testing.T, name string) *e2eReplica {
 func startEvadeReplica(t *testing.T, name string) *e2eReplica {
 	t.Helper()
 	r := &e2eReplica{t: t, name: name, dir: modelDir(t), seenIDs: make(map[string]bool),
-		evade: &serve.EvadeOptions{MaxRunning: 1, MaxQueued: 2, JobTimeout: 5 * time.Second}}
+		budgets: make(map[string][]int64),
+		evade:   &serve.EvadeOptions{MaxRunning: 1, MaxQueued: 2, JobTimeout: 5 * time.Second}}
 	r.start("127.0.0.1:0")
 	t.Cleanup(r.kill)
 	return r
@@ -92,6 +96,9 @@ func (r *e2eReplica) start(addr string) {
 		if id := req.Header.Get(serve.RequestIDHeader); id != "" {
 			r.mu.Lock()
 			r.seenIDs[id] = true
+			if ms, err := strconv.ParseInt(req.Header.Get(serve.BudgetHeader), 10, 64); err == nil {
+				r.budgets[id] = append(r.budgets[id], ms)
+			}
 			r.mu.Unlock()
 		}
 		inner.ServeHTTP(w, req)
@@ -126,6 +133,14 @@ func (r *e2eReplica) sawID(id string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.seenIDs[id]
+}
+
+// budgetsFor returns the X-Request-Budget-Ms values this replica saw
+// for one request ID.
+func (r *e2eReplica) budgetsFor(id string) []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int64(nil), r.budgets[id]...)
 }
 
 // TestFleetE2EChaos is the fleet acceptance test: a router fronting

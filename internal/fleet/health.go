@@ -23,6 +23,10 @@ type ReplicaStatus struct {
 	// Inflight is the router's outstanding request count against this
 	// replica (the power-of-two-choices load signal).
 	Inflight int64 `json:"inflight"`
+	// Breaker is the circuit-breaker position ("closed", "open",
+	// "half-open"); BreakerFailureRate its windowed failure fraction.
+	Breaker            string  `json:"breaker,omitempty"`
+	BreakerFailureRate float64 `json:"breaker_failure_rate,omitempty"`
 }
 
 // Tracker keeps per-replica health observations: consecutive-failure
@@ -43,6 +47,7 @@ type replicaHealth struct {
 	staged   uint64
 	oracle   bool
 	detector bool
+	breaker  string
 }
 
 // NewTracker builds a tracker that declares a replica dead after
@@ -117,6 +122,25 @@ func (t *Tracker) MarkDead(name string) bool {
 	return wasAlive
 }
 
+// SetBreaker records a replica's circuit-breaker position (the Router
+// pushes every transition here so status reads need no breaker lock).
+func (t *Tracker) SetBreaker(name, state string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state(name).breaker = state
+}
+
+// BreakerState reports the last recorded breaker position ("closed"
+// before any transition).
+func (t *Tracker) BreakerState(name string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.state(name).breaker; s != "" {
+		return s
+	}
+	return "closed"
+}
+
 // MarkAlive returns a replica to service (after the Router healed it).
 func (t *Tracker) MarkAlive(name string) {
 	t.mu.Lock()
@@ -158,6 +182,10 @@ func (t *Tracker) Statuses() []ReplicaStatus {
 	defer t.mu.Unlock()
 	out := make([]ReplicaStatus, 0, len(t.states))
 	for name, s := range t.states {
+		breaker := s.breaker
+		if breaker == "" {
+			breaker = "closed"
+		}
 		out = append(out, ReplicaStatus{
 			Name:                name,
 			Alive:               s.alive,
@@ -166,6 +194,7 @@ func (t *Tracker) Statuses() []ReplicaStatus {
 			Oracle:              s.oracle,
 			Detector:            s.detector,
 			ConsecutiveFailures: s.fails,
+			Breaker:             breaker,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"gptattr/internal/serve"
 )
@@ -53,6 +55,14 @@ func (r *Replica) Forward(ctx context.Context, endpoint, reqID string, body []by
 	req.Header.Set("Content-Type", "application/json")
 	if reqID != "" {
 		req.Header.Set(serve.RequestIDHeader, reqID)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Forward the remaining budget, not the original one: the time
+		// already burned at this hop (queueing, a lost first attempt)
+		// must shrink what the replica may spend.
+		if ms := int64(time.Until(dl) / time.Millisecond); ms > 0 {
+			req.Header.Set(serve.BudgetHeader, strconv.FormatInt(ms, 10))
+		}
 	}
 	resp, err := r.Client.Do(req)
 	if err != nil {

@@ -24,6 +24,7 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -88,6 +89,11 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// ReloadTimeout budgets one coordinated reload (default 30s).
 	ReloadTimeout time.Duration
+	// Breaker tunes the per-replica circuit breakers (zero values
+	// select the BreakerConfig defaults). Breakers shed load from
+	// replicas that answer badly — slow or erroring — before failure
+	// detection would take them out of the ring entirely.
+	Breaker BreakerConfig
 	// Metrics receives router counters and gauges; nil creates a
 	// private registry. Pass the same registry to serve.Config so
 	// /metrics renders both views.
@@ -133,6 +139,10 @@ type FleetStatus struct {
 	HedgeWins     uint64          `json:"hedge_wins"`
 	GenMismatches uint64          `json:"gen_mismatches"`
 	Restores      uint64          `json:"restores"`
+	// BreakerOpens counts closed→open transitions across the fleet;
+	// BreakerRejects counts dispatches shed by an open breaker.
+	BreakerOpens   uint64 `json:"breaker_opens"`
+	BreakerRejects uint64 `json:"breaker_rejects"`
 }
 
 // Router implements serve.Backend over the replica fleet.
@@ -145,6 +155,7 @@ type Router struct {
 	met     *metrics.Registry
 
 	inflight map[string]*atomic.Int64
+	breakers map[string]*Breaker
 
 	// fleetGen is the generation every in-rotation replica serves;
 	// forwards read it at dispatch, the flip writes it.
@@ -179,6 +190,7 @@ func New(cfg Config) (*Router, error) {
 		tracker:  NewTracker(cfg.DeadAfter),
 		met:      cfg.Metrics,
 		inflight: make(map[string]*atomic.Int64, len(cfg.Replicas)),
+		breakers: make(map[string]*Breaker, len(cfg.Replicas)),
 		stop:     make(chan struct{}),
 		pollDone: make(chan struct{}),
 	}
@@ -193,11 +205,34 @@ func New(cfg Config) (*Router, error) {
 		rt.ring.Add(rep.Name)
 		rt.tracker.Track(rep.Name)
 		rt.inflight[rep.Name] = &atomic.Int64{}
+		rt.breakers[rep.Name] = rt.newBreaker(rep.Name)
 		rt.names = append(rt.names, rep.Name)
 	}
 	sort.Strings(rt.names)
 	return rt, nil
 }
+
+// newBreaker builds one replica's breaker, wiring transitions into the
+// log, the metrics registry, and the health tracker.
+func (rt *Router) newBreaker(name string) *Breaker {
+	cfg := rt.cfg.Breaker
+	cfg.OnChange = func(from, to BreakerState) {
+		rt.tracker.SetBreaker(name, to.String())
+		switch to {
+		case BreakerOpen:
+			rt.met.Counter("fleet_breaker_opens_total").Inc()
+		case BreakerHalfOpen:
+			rt.met.Counter("fleet_breaker_halfopens_total").Inc()
+		case BreakerClosed:
+			rt.met.Counter("fleet_breaker_closes_total").Inc()
+		}
+		rt.logf("fleet: breaker %s: %s -> %s", name, from, to)
+	}
+	return NewBreaker(cfg)
+}
+
+// Breaker exposes one replica's breaker (status pages and tests).
+func (rt *Router) Breaker(name string) *Breaker { return rt.breakers[name] }
 
 func (rt *Router) logf(format string, args ...any) {
 	if rt.cfg.Logf != nil {
@@ -378,6 +413,11 @@ func (rt *Router) pickOrder(key string) []string {
 	return order
 }
 
+// errBreakerOpen marks a dispatch the router rejected locally because
+// the replica's breaker was open: the replica was never touched, so it
+// must not be marked down or counted as a failover.
+var errBreakerOpen = errors.New("fleet: breaker open")
+
 // attemptResult is one replica dispatch outcome.
 type attemptResult struct {
 	name   string
@@ -387,16 +427,47 @@ type attemptResult struct {
 	hedged bool
 }
 
-// attempt runs one replica dispatch and reports into out.
-func (rt *Router) attempt(ctx context.Context, name, endpoint, reqID string, body []byte, hedged bool, out chan<- attemptResult) {
+// attempt runs one replica dispatch and reports into out. The
+// replica's breaker is consulted at dispatch time (unless bypass —
+// the everyone-open fail-open) and fed the outcome: injected
+// per-replica faults count exactly like real transport failures, and
+// a context killed mid-flight returns the probe slot instead of
+// blaming the replica.
+func (rt *Router) attempt(ctx context.Context, name, endpoint, reqID string, body []byte, hedged, bypass bool, out chan<- attemptResult) {
 	ctr := rt.inflight[name]
 	ctr.Add(1)
 	defer ctr.Add(-1)
-	if err := fault.Hit(PointForwardReplica(name)); err != nil {
+	br := rt.breakers[name]
+	observed := false
+	if !bypass {
+		if !br.Allow() {
+			rt.met.Counter("fleet_breaker_rejects_total").Inc()
+			out <- attemptResult{name: name, err: errBreakerOpen, hedged: hedged}
+			return
+		}
+		observed = true
+	}
+	observe := func(transportErr bool, latency time.Duration) {
+		if !observed {
+			return
+		}
+		if transportErr && ctx.Err() != nil {
+			// The deadline, not the replica, killed the attempt.
+			br.Cancel()
+			return
+		}
+		br.Observe(transportErr, latency)
+	}
+	// The clock starts before the fault point: injected transport
+	// latency is replica slowness as far as SlowAfter is concerned.
+	start := time.Now()
+	if err := fault.HitContext(ctx, PointForwardReplica(name)); err != nil {
+		observe(true, 0)
 		out <- attemptResult{name: name, err: err, hedged: hedged}
 		return
 	}
 	status, rbody, err := rt.reps[name].Forward(ctx, endpoint, reqID, body)
+	observe(err != nil, time.Since(start))
 	out <- attemptResult{name: name, status: status, body: rbody, err: err, hedged: hedged}
 }
 
@@ -419,6 +490,19 @@ func (rt *Router) forward(ctx context.Context, endpoint, key string, body []byte
 	if len(order) == 0 {
 		return nil, 0, &serve.StatusError{Code: http.StatusServiceUnavailable, Msg: "no alive replicas"}
 	}
+	// Fail open when every candidate's breaker rejects: a request
+	// served badly beats a request not served, and the attempts double
+	// as recovery signal.
+	bypass := true
+	for _, name := range order {
+		if rt.breakers[name].Admissible() {
+			bypass = false
+			break
+		}
+	}
+	if bypass {
+		rt.met.Counter("fleet_breaker_bypasses_total").Inc()
+	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptResult, len(order))
@@ -430,7 +514,7 @@ func (rt *Router) forward(ctx context.Context, endpoint, key string, body []byte
 		name := order[next]
 		next++
 		launched++
-		go rt.attempt(actx, name, endpoint, reqID, body, hedged, results)
+		go rt.attempt(actx, name, endpoint, reqID, body, hedged, bypass, results)
 		return true
 	}
 	launch(false)
@@ -447,6 +531,11 @@ func (rt *Router) forward(ctx context.Context, endpoint, key string, body []byte
 			return nil, 0, ctx.Err()
 		case <-hedgeC:
 			hedgeC = nil
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= 0 {
+				// The budget is exhausted: a hedge could never finish,
+				// so don't spend a second replica's capacity on it.
+				continue
+			}
 			if launch(true) {
 				rt.met.Counter("fleet_hedges_total").Inc()
 			}
@@ -458,8 +547,13 @@ func (rt *Router) forward(ctx context.Context, endpoint, key string, body []byte
 					return nil, 0, ctx.Err()
 				}
 				lastErr = res.err
-				rt.met.Counter("fleet_failovers_total").Inc()
-				rt.replicaDown(res.name, res.err)
+				if errors.Is(res.err, errBreakerOpen) {
+					// Rejected locally; the replica was never touched,
+					// so its health record must not change.
+				} else {
+					rt.met.Counter("fleet_failovers_total").Inc()
+					rt.replicaDown(res.name, res.err)
+				}
 				if launched == 0 && !launch(res.hedged) {
 					return nil, 0, &serve.StatusError{Code: http.StatusServiceUnavailable,
 						Msg: fmt.Sprintf("all replicas failed (last: %v)", lastErr)}
@@ -694,6 +788,10 @@ func (rt *Router) Status() FleetStatus {
 		sts[i].URL = rt.reps[name].BaseURL
 		sts[i].Inflight = rt.inflight[name].Load()
 		sts[i].Alive = rt.ring.IsAlive(name) // the ring is routing truth
+		if br := rt.breakers[name]; br != nil {
+			sts[i].Breaker = br.State().String()
+			sts[i].BreakerFailureRate = br.FailureRate()
+		}
 	}
 	return FleetStatus{
 		Generation:    rt.fleetGen.Load(),
@@ -705,5 +803,7 @@ func (rt *Router) Status() FleetStatus {
 		HedgeWins:     rt.met.Counter("fleet_hedge_wins_total").Value(),
 		GenMismatches: rt.met.Counter("fleet_gen_mismatch_total").Value(),
 		Restores:      rt.met.Counter("fleet_restores_total").Value(),
+		BreakerOpens:   rt.met.Counter("fleet_breaker_opens_total").Value(),
+		BreakerRejects: rt.met.Counter("fleet_breaker_rejects_total").Value(),
 	}
 }

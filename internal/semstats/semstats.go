@@ -23,12 +23,20 @@
 package semstats
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"gptattr/internal/cppast"
 	"gptattr/internal/cppcheck"
+	"gptattr/internal/fault"
 )
+
+// PointAnalyze is the fault-injection point at every per-function pass
+// boundary inside AnalyzeContext (see internal/fault). Arming it with
+// latency models a slow semantic pass — the brownout chaos storms use
+// it to force deadline-budgeted extraction onto the degraded path.
+const PointAnalyze = "semstats.analyze"
 
 // FuncStats are the semantic statistics of one function body.
 type FuncStats struct {
@@ -252,6 +260,19 @@ func unitFuncNames(funcs map[string]*cppast.FuncDecl) map[string]bool {
 
 // Analyze runs the full pass pipeline over one translation unit.
 func Analyze(tu *cppast.TranslationUnit) *FileStats {
+	fs, _ := AnalyzeContext(context.Background(), tu)
+	return fs
+}
+
+// AnalyzeContext is Analyze with a cancellation bound: the pass
+// pipeline checks ctx at every function boundary (the natural pass
+// granularity — one function's passes are not preemptible) and aborts
+// with ctx.Err() when the budget is gone. On error the partial
+// FileStats is discarded by callers: the semantic feature group is
+// all-or-nothing, so a degraded vector's content is deterministic.
+// No goroutines are spawned; cancellation costs one atomic check per
+// function on the happy path.
+func AnalyzeContext(ctx context.Context, tu *cppast.TranslationUnit) (*FileStats, error) {
 	funcs := make(map[string]*cppast.FuncDecl)
 	for _, f := range tu.Functions() {
 		if f.Body != nil {
@@ -273,6 +294,15 @@ func Analyze(tu *cppast.TranslationUnit) *FileStats {
 		if f.Body == nil || seen[f.Name] {
 			continue
 		}
+		// Pass boundary: an injected latency storm sleeps here (waking
+		// early if the budget expires), then the budget itself is
+		// checked before the next function's passes run.
+		if err := fault.HitContext(ctx, PointAnalyze); err != nil && ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		seen[f.Name] = true
 		st := NewFuncContext(f, funcs, globals).Stats()
 		st.FanOut = len(cg.callees[f.Name])
@@ -283,7 +313,24 @@ func Analyze(tu *cppast.TranslationUnit) *FileStats {
 		}
 		out.Funcs = append(out.Funcs, st)
 	}
-	return out
+	return out, nil
+}
+
+// AnalyzeAllContext is AnalyzeAll under a shared budget, sequential by
+// design (the budget, not a pool, is the bound): units after the point
+// where ctx dies are left nil and the budget error is returned
+// alongside whatever completed. Callers needing all-or-nothing
+// semantics treat err != nil as "discard".
+func AnalyzeAllContext(ctx context.Context, tus []*cppast.TranslationUnit) ([]*FileStats, error) {
+	out := make([]*FileStats, len(tus))
+	for i, tu := range tus {
+		fs, err := AnalyzeContext(ctx, tu)
+		if err != nil {
+			return out, err
+		}
+		out[i] = fs
+	}
+	return out, nil
 }
 
 // AnalyzeAll analyzes units on a bounded worker pool, preserving input

@@ -7,6 +7,7 @@ import (
 
 	"gptattr/internal/arena"
 	"gptattr/internal/serve/metrics"
+	"gptattr/internal/stylometry"
 )
 
 // Backend answers inference requests on behalf of the HTTP layer.
@@ -70,44 +71,72 @@ func NewLocalBackend(reg *Registry, b *Batcher) *LocalBackend {
 	return &LocalBackend{reg: reg, batcher: b}
 }
 
-// Attribute implements Backend.
+// Attribute implements Backend. A vector degraded by budget expiry or
+// brownout pressure is scored by the ladder rung trained on exactly
+// its surviving feature families; the reported confidence is the top
+// vote share discounted by that rung's out-of-bag calibration, so a
+// degraded answer advertises how much trust it has actually earned.
 func (l *LocalBackend) Attribute(ctx context.Context, src string) (AttributeResponse, error) {
 	models := l.reg.Current()
-	if models.Oracle == nil {
+	if o, _ := models.OracleFor(stylometry.DegradeNone); o == nil {
 		return AttributeResponse{}, ErrNoOracle
 	}
-	feats, err := l.batcher.Extract(ctx, src)
+	feats, lvl, err := l.batcher.ExtractDegraded(ctx, src)
 	if err != nil {
 		return AttributeResponse{}, err
 	}
-	proba, best := models.Oracle.ProbaFeatures(feats)
-	return AttributeResponse{Author: best, Proba: proba, ModelGeneration: models.Generation}, nil
+	oracle, eff := models.OracleFor(lvl)
+	proba, best := oracle.ProbaFeatures(feats)
+	conf := proba[best]
+	if c := oracle.Calibration(); c > 0 {
+		conf *= c
+	}
+	return AttributeResponse{
+		Author: best, Proba: proba, Confidence: conf,
+		DegradeLevel: int(eff), Calibration: oracle.Calibration(),
+		ModelGeneration: models.Generation,
+	}, nil
 }
 
-// Detect implements Backend.
+// Detect implements Backend. Degraded vectors route to the matching
+// detector rung, same as Attribute.
 func (l *LocalBackend) Detect(ctx context.Context, src string) (DetectResponse, error) {
 	models := l.reg.Current()
-	if models.Detector == nil {
+	if d, _ := models.DetectorFor(stylometry.DegradeNone); d == nil {
 		return DetectResponse{}, ErrNoDetector
 	}
-	feats, err := l.batcher.Extract(ctx, src)
+	feats, lvl, err := l.batcher.ExtractDegraded(ctx, src)
 	if err != nil {
 		return DetectResponse{}, err
 	}
-	verdict, conf := models.Detector.DetectFeatures(feats)
-	return DetectResponse{ChatGPT: verdict, Confidence: conf, ModelGeneration: models.Generation}, nil
+	detector, eff := models.DetectorFor(lvl)
+	verdict, conf := detector.DetectFeatures(feats)
+	return DetectResponse{
+		ChatGPT: verdict, Confidence: conf,
+		DegradeLevel: int(eff), Calibration: detector.Calibration(),
+		ModelGeneration: models.Generation,
+	}, nil
 }
 
 // Health implements Backend.
 func (l *LocalBackend) Health() HealthResponse {
 	m := l.reg.Current()
-	return HealthResponse{
+	h := HealthResponse{
 		Status:           "ok",
 		ModelGeneration:  m.Generation,
 		StagedGeneration: l.reg.StagedGeneration(),
 		Oracle:           m.Oracle != nil,
 		Detector:         m.Detector != nil,
 	}
+	for lvl := stylometry.DegradeNone; lvl <= stylometry.MaxDegrade; lvl++ {
+		if m.Oracles[lvl] != nil || m.Detectors[lvl] != nil {
+			h.LadderRungs++
+		}
+	}
+	if bo := l.batcher.Brownout(); bo != nil {
+		h.BrownoutLevel = int(bo.Level())
+	}
+	return h
 }
 
 // Reload implements Backend: stage + commit in one step.
@@ -128,6 +157,17 @@ func (l *LocalBackend) Commit() (uint64, error) { return l.reg.Commit() }
 func (l *LocalBackend) Observe(met *metrics.Registry) {
 	met.Gauge("queue_depth").Set(int64(l.batcher.QueueLen()))
 	met.Gauge("model_generation").Set(int64(l.reg.Current().Generation))
+	if bo := l.batcher.Brownout(); bo != nil {
+		met.Gauge("brownout_level").Set(int64(bo.Level()))
+		steps := met.Counter("brownout_steps_up_total")
+		if have := bo.StepsUp(); have > steps.Value() {
+			steps.Add(have - steps.Value())
+		}
+		down := met.Counter("brownout_steps_down_total")
+		if have := bo.StepsDown(); have > down.Value() {
+			down.Add(have - down.Value())
+		}
+	}
 }
 
 // latencyName returns the per-endpoint histogram name; shared so the

@@ -59,9 +59,19 @@ type BatchConfig struct {
 	// Logf, when non-nil, receives operational log lines (saturation
 	// rejections, contained batch panics) carrying request IDs.
 	Logf func(format string, args ...any)
+	// Brownout, when non-nil, is the adaptive overload controller: the
+	// batcher feeds it every job's queue delay and honours its current
+	// degrade level as the forced floor for each batch.
+	Brownout *Brownout
 	// extractFn overrides the batch extraction function; tests use it
 	// to observe batch shapes and to block batches deterministically.
+	// Batches run through it bypass degradation (level 0 always).
 	extractFn func(sources []string) ([]stylometry.Features, []error)
+	// extractCtxFn is the budget-aware override: per-job contexts plus
+	// the brownout floor in, per-job degrade levels out. Nil falls back
+	// to extractFn (if set) or stylometry.ExtractEachDegraded.
+	extractCtxFn func(ctxs []context.Context, sources []string,
+		force stylometry.DegradeLevel) ([]stylometry.Features, []stylometry.DegradeLevel, []error)
 }
 
 func (c BatchConfig) withDefaults() BatchConfig {
@@ -74,12 +84,21 @@ func (c BatchConfig) withDefaults() BatchConfig {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
-	if c.extractFn == nil {
-		workers, cache := c.Workers, c.Cache
-		c.extractFn = func(sources []string) ([]stylometry.Features, []error) {
-			return stylometry.ExtractEach(sources, stylometry.ExtractConfig{
-				Workers: workers, Cache: cache,
-			})
+	if c.extractCtxFn == nil {
+		if fn := c.extractFn; fn != nil {
+			c.extractCtxFn = func(_ []context.Context, sources []string,
+				_ stylometry.DegradeLevel) ([]stylometry.Features, []stylometry.DegradeLevel, []error) {
+				feats, errs := fn(sources)
+				return feats, make([]stylometry.DegradeLevel, len(sources)), errs
+			}
+		} else {
+			workers, cache := c.Workers, c.Cache
+			c.extractCtxFn = func(ctxs []context.Context, sources []string,
+				force stylometry.DegradeLevel) ([]stylometry.Features, []stylometry.DegradeLevel, []error) {
+				return stylometry.ExtractEachDegraded(ctxs, sources, force, stylometry.ExtractConfig{
+					Workers: workers, Cache: cache,
+				})
+			}
 		}
 	}
 	return c
@@ -90,12 +109,14 @@ type job struct {
 	src  string
 	id   string // request ID for log traceability ("" outside HTTP)
 	ctx  context.Context
+	enq  time.Time      // admission time; queue delay feeds the Brownout controller
 	done chan jobResult // buffered(1); the batch loop never blocks on it
 }
 
 type jobResult struct {
-	f   stylometry.Features
-	err error
+	f     stylometry.Features
+	level stylometry.DegradeLevel
+	err   error
 }
 
 // Batcher coalesces concurrent feature-extraction requests into
@@ -131,22 +152,36 @@ func NewBatcher(cfg BatchConfig) *Batcher {
 // QueueLen reports the current admission-queue depth (metrics).
 func (b *Batcher) QueueLen() int { return len(b.queue) }
 
+// Brownout returns the wired overload controller (nil if none).
+func (b *Batcher) Brownout() *Brownout { return b.cfg.Brownout }
+
 // Extract admits one source, waits for its batch, and returns the
 // features. It fails fast with ErrSaturated when the queue is full,
 // ErrClosed when draining, or ctx.Err() when the caller's deadline
 // expires first.
 func (b *Batcher) Extract(ctx context.Context, src string) (stylometry.Features, error) {
-	j := &job{src: src, id: RequestIDFrom(ctx), ctx: ctx, done: make(chan jobResult, 1)}
+	f, _, err := b.ExtractDegraded(ctx, src)
+	return f, err
+}
+
+// ExtractDegraded is Extract plus the degrade level the features were
+// computed at — the serving path uses it to pick the matching fallback
+// oracle and to stamp X-Degrade-Level. The level reflects both the
+// request's own budget (a deadline that expires mid-extraction sheds
+// the semantic family instead of failing) and the brownout floor in
+// force when the batch ran.
+func (b *Batcher) ExtractDegraded(ctx context.Context, src string) (stylometry.Features, stylometry.DegradeLevel, error) {
+	j := &job{src: src, id: RequestIDFrom(ctx), ctx: ctx, enq: time.Now(), done: make(chan jobResult, 1)}
 	if err := fault.Hit(PointAdmit); err != nil {
 		// An injected admission fault degrades exactly like
 		// saturation: the client gets 429 + Retry-After, traceably.
 		b.logf("serve: admission fault, rejecting request %s: %v", j.id, err)
-		return nil, fmt.Errorf("%w (request %s): %v", ErrSaturated, j.id, err)
+		return nil, 0, fmt.Errorf("%w (request %s): %v", ErrSaturated, j.id, err)
 	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	select {
 	case b.queue <- j:
@@ -155,15 +190,15 @@ func (b *Batcher) Extract(ctx context.Context, src string) (stylometry.Features,
 		b.mu.Unlock()
 		b.logf("serve: queue saturated (%d/%d), rejecting request %s",
 			len(b.queue), cap(b.queue), j.id)
-		return nil, ErrSaturated
+		return nil, 0, ErrSaturated
 	}
 	select {
 	case res := <-j.done:
-		return res.f, res.err
+		return res.f, res.level, res.err
 	case <-ctx.Done():
 		// The batch may still compute this entry (and warm the cache);
 		// the caller just stops waiting.
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	}
 }
 
@@ -230,6 +265,14 @@ func (b *Batcher) logf(format string, args ...any) {
 // every job, keeping the collector loop alive. No admitted request is
 // ever dropped on the floor.
 func (b *Batcher) runBatch(batch []*job) {
+	// Every admitted job's queue delay is overload signal — expired
+	// jobs most of all — so the controller observes before filtering.
+	if b.cfg.Brownout != nil {
+		now := time.Now()
+		for _, j := range batch {
+			b.cfg.Brownout.Observe(now.Sub(j.enq))
+		}
+	}
 	live := batch[:0]
 	for _, j := range batch {
 		if err := j.ctx.Err(); err != nil {
@@ -244,11 +287,17 @@ func (b *Batcher) runBatch(batch []*job) {
 	if b.onBatch != nil {
 		b.onBatch(len(live))
 	}
+	force := stylometry.DegradeNone
+	if b.cfg.Brownout != nil {
+		force = b.cfg.Brownout.Level()
+	}
 	sources := make([]string, len(live))
+	ctxs := make([]context.Context, len(live))
 	for i, j := range live {
 		sources[i] = j.src
+		ctxs[i] = j.ctx
 	}
-	feats, errs, batchErr := b.safeExtract(sources)
+	feats, levels, errs, batchErr := b.safeExtract(ctxs, sources, force)
 	if batchErr != nil {
 		b.logf("serve: batch of %d failed, answering every job with 503: %v (requests: %s)",
 			len(live), batchErr, jobIDs(live))
@@ -258,13 +307,14 @@ func (b *Batcher) runBatch(batch []*job) {
 		return
 	}
 	for i, j := range live {
-		j.done <- jobResult{f: feats[i], err: errs[i]}
+		j.done <- jobResult{f: feats[i], level: levels[i], err: errs[i]}
 	}
 }
 
 // safeExtract runs the batch extraction under retry-and-containment
 // supervision. A non-nil batchErr means the whole batch failed.
-func (b *Batcher) safeExtract(sources []string) (feats []stylometry.Features, errs []error, batchErr error) {
+func (b *Batcher) safeExtract(ctxs []context.Context, sources []string,
+	force stylometry.DegradeLevel) (feats []stylometry.Features, levels []stylometry.DegradeLevel, errs []error, batchErr error) {
 	batchErr = fault.Retry(batchRetries, 0, func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -279,10 +329,10 @@ func (b *Batcher) safeExtract(sources []string) (feats []stylometry.Features, er
 		if err := fault.Hit(PointBatch); err != nil {
 			return err
 		}
-		feats, errs = b.cfg.extractFn(sources)
+		feats, levels, errs = b.cfg.extractCtxFn(ctxs, sources, force)
 		return nil
 	})
-	return feats, errs, batchErr
+	return feats, levels, errs, batchErr
 }
 
 // jobIDs renders a batch's request IDs for log lines.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -92,6 +93,22 @@ func (c *Core) RequestContext(parent context.Context, reqID string) (context.Con
 	return context.WithTimeout(WithRequestID(parent, reqID), c.timeout)
 }
 
+// RequestContextFor is RequestContext honouring an inbound
+// X-Request-Budget-Ms header: the deadline is the smaller of the
+// configured timeout and the client's remaining budget, so a shrunken
+// budget forwarded by the router actually shrinks the replica's
+// extraction budget (and with it, what the degrade ladder can afford).
+// Malformed or absent budgets fall back to the configured timeout.
+func (c *Core) RequestContextFor(r *http.Request, reqID string) (context.Context, context.CancelFunc) {
+	timeout := c.timeout
+	if ms, err := strconv.Atoi(r.Header.Get(BudgetHeader)); err == nil && ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(WithRequestID(r.Context(), reqID), timeout)
+}
+
 // WriteJSON renders one JSON response.
 func (c *Core) WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -103,9 +120,15 @@ func (c *Core) WriteJSON(w http.ResponseWriter, status int, v any) {
 // in the body for the statuses a saturated or degraded server emits,
 // so incidents stay traceable from client logs alone.
 func (c *Core) WriteError(w http.ResponseWriter, status int, msg, reqID string) {
-	if status == http.StatusTooManyRequests {
+	switch status {
+	case http.StatusTooManyRequests:
 		// Closed-loop clients should back off; micro-batch turnaround
 		// is milliseconds, so one second is conservative.
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		// 503s are transient by contract here — a draining replica, a
+		// lost forwarded job, a contained batch failure — so tell
+		// clients when to come back instead of letting them hammer.
 		w.Header().Set("Retry-After", "1")
 	}
 	c.WriteJSON(w, status, ErrorResponse{Error: msg, RequestID: reqID})

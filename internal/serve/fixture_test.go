@@ -10,6 +10,7 @@ import (
 	"gptattr/internal/attrib"
 	"gptattr/internal/corpus"
 	"gptattr/internal/gpt"
+	"gptattr/internal/stylometry"
 )
 
 // The serving tests share one trained oracle + detector, kept as saved
@@ -86,4 +87,64 @@ func sampleSource(t *testing.T, i int) string {
 		t.Fatalf("training fixture models: %v", fixErr)
 	}
 	return fixHuman.Samples[i%len(fixHuman.Samples)].Source
+}
+
+// The ladder fixture: one oracle + detector rung per degrade level,
+// trained lazily (they cost six extra small forests) and shared.
+var (
+	ladOnce        sync.Once
+	ladErr         error
+	ladOracleBytes [stylometry.DegradeLevels][]byte
+	ladDetBytes    [stylometry.DegradeLevels][]byte
+)
+
+func trainLadders() {
+	fixOnce.Do(trainModels)
+	if fixErr != nil {
+		ladErr = fixErr
+		return
+	}
+	cfg := attrib.Config{Trees: 10, TopFeatures: 150, Seed: 42}
+	ol, err := attrib.TrainOracleLadder(fixHuman, cfg)
+	if err != nil {
+		ladErr = err
+		return
+	}
+	dl, err := attrib.TrainBinaryLadder(fixHuman, fixGPT, cfg)
+	if err != nil {
+		ladErr = err
+		return
+	}
+	for lvl := stylometry.DegradeNone; lvl <= stylometry.MaxDegrade; lvl++ {
+		var ob, db bytes.Buffer
+		if err := ol[lvl].Save(&ob); err != nil {
+			ladErr = err
+			return
+		}
+		if err := dl[lvl].Save(&db); err != nil {
+			ladErr = err
+			return
+		}
+		ladOracleBytes[lvl], ladDetBytes[lvl] = ob.Bytes(), db.Bytes()
+	}
+}
+
+// ladderDir writes the full degrade ladder (all rungs of both models)
+// into a fresh model directory.
+func ladderDir(t *testing.T) string {
+	t.Helper()
+	ladOnce.Do(trainLadders)
+	if ladErr != nil {
+		t.Fatalf("training fixture ladders: %v", ladErr)
+	}
+	dir := t.TempDir()
+	for lvl := stylometry.DegradeNone; lvl <= stylometry.MaxDegrade; lvl++ {
+		if err := os.WriteFile(filepath.Join(dir, ladderFile(OracleFile, lvl)), ladOracleBytes[lvl], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, ladderFile(DetectorFile, lvl)), ladDetBytes[lvl], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
 }

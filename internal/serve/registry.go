@@ -22,6 +22,7 @@ import (
 
 	"gptattr/internal/attrib"
 	"gptattr/internal/fault"
+	"gptattr/internal/stylometry"
 )
 
 // PointRegistryLoad is the fault-injection point at the head of every
@@ -39,22 +40,86 @@ const PointRegistryCommit = "serve.registry.commit"
 
 // Registry file names: NewRegistry loads these from its directory.
 // Either may be absent — the corresponding endpoint then answers 503.
+// The .l1/.l2 variants are the degrade-ladder fallback rungs (trained
+// on nested family subsets, see attrib.TrainOracleLadder); a directory
+// holding only the base files serves in legacy single-model mode, where
+// degraded vectors are scored by the full model.
 const (
 	OracleFile   = "oracle.model"
 	DetectorFile = "detector.model"
 )
 
+// ladderFile returns the model file name for a degrade-ladder rung
+// (level 0 is the base file).
+func ladderFile(base string, lvl stylometry.DegradeLevel) string {
+	if lvl == stylometry.DegradeNone {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.l%d%s", base[:len(base)-len(ext)], int(lvl), ext)
+}
+
 // Models is one immutable generation of loaded models. Handlers grab
 // the current *Models once per request; a concurrent reload swaps the
 // registry pointer but never mutates a published Models, so requests
-// started under an old generation finish on it safely.
+// started under an old generation finish on it safely. The ladders are
+// part of the same generation: a reload swaps all rungs atomically, so
+// a degraded request can never mix a new full model with an old
+// fallback.
 type Models struct {
 	// Oracle is the multi-author attribution model (nil if absent).
+	// It is always Oracles[0].
 	Oracle *attrib.Oracle
 	// Detector is the ChatGPT-vs-human classifier (nil if absent).
+	// It is always Detectors[0].
 	Detector *attrib.Classifier
+	// Oracles is the degrade-ladder: index i scores vectors degraded to
+	// level i. Rungs beyond 0 may be nil (legacy single-model mode).
+	Oracles [stylometry.DegradeLevels]*attrib.Oracle
+	// Detectors is the detector-side ladder, same shape.
+	Detectors [stylometry.DegradeLevels]*attrib.Classifier
 	// Generation increments on every successful (re)load.
 	Generation uint64
+}
+
+// OracleFor picks the rung that scores a vector degraded to lvl, and
+// reports the effective degrade level of the answer. Preference order:
+// the matching rung, then deeper rungs (trained on a subset of the
+// vector's surviving families — still exactly what they saw in
+// training, just discarding more), then shallower rungs as a last
+// resort (legacy mode: the model indexes features the vector lost,
+// which read as zero — usable, but the calibration no longer applies,
+// which Calibration()==0 on the base model already signals). The
+// effective level is the deeper of the vector's and the rung's.
+func (m *Models) OracleFor(lvl stylometry.DegradeLevel) (*attrib.Oracle, stylometry.DegradeLevel) {
+	lvl = lvl.Clamp()
+	for l := lvl; l <= stylometry.MaxDegrade; l++ {
+		if o := m.Oracles[l]; o != nil {
+			return o, l
+		}
+	}
+	for l := lvl - 1; l >= stylometry.DegradeNone; l-- {
+		if o := m.Oracles[l]; o != nil {
+			return o, lvl
+		}
+	}
+	return nil, lvl
+}
+
+// DetectorFor is OracleFor for the detector ladder.
+func (m *Models) DetectorFor(lvl stylometry.DegradeLevel) (*attrib.Classifier, stylometry.DegradeLevel) {
+	lvl = lvl.Clamp()
+	for l := lvl; l <= stylometry.MaxDegrade; l++ {
+		if c := m.Detectors[l]; c != nil {
+			return c, l
+		}
+	}
+	for l := lvl - 1; l >= stylometry.DegradeNone; l-- {
+		if c := m.Detectors[l]; c != nil {
+			return c, lvl
+		}
+	}
+	return nil, lvl
 }
 
 // Registry loads serialized models from a directory and serves the
@@ -168,27 +233,31 @@ func (r *Registry) read() (*Models, error) {
 		return nil, fmt.Errorf("serve: model dir: %w", err)
 	}
 	m := &Models{}
-	oraclePath := filepath.Join(r.dir, OracleFile)
-	if f, err := os.Open(oraclePath); err == nil {
-		o, lerr := attrib.LoadOracle(f)
-		_ = f.Close()
-		if lerr != nil {
-			return nil, fmt.Errorf("serve: %s: %w", oraclePath, lerr)
+	for lvl := stylometry.DegradeNone; lvl <= stylometry.MaxDegrade; lvl++ {
+		oraclePath := filepath.Join(r.dir, ladderFile(OracleFile, lvl))
+		if f, err := os.Open(oraclePath); err == nil {
+			o, lerr := attrib.LoadOracle(f)
+			_ = f.Close()
+			if lerr != nil {
+				return nil, fmt.Errorf("serve: %s: %w", oraclePath, lerr)
+			}
+			m.Oracles[lvl] = o
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: %w", err)
 		}
-		m.Oracle = o
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
-	detectorPath := filepath.Join(r.dir, DetectorFile)
-	if f, err := os.Open(detectorPath); err == nil {
-		c, lerr := attrib.LoadClassifier(f)
-		_ = f.Close()
-		if lerr != nil {
-			return nil, fmt.Errorf("serve: %s: %w", detectorPath, lerr)
+		detectorPath := filepath.Join(r.dir, ladderFile(DetectorFile, lvl))
+		if f, err := os.Open(detectorPath); err == nil {
+			c, lerr := attrib.LoadClassifier(f)
+			_ = f.Close()
+			if lerr != nil {
+				return nil, fmt.Errorf("serve: %s: %w", detectorPath, lerr)
+			}
+			m.Detectors[lvl] = c
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: %w", err)
 		}
-		m.Detector = c
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("serve: %w", err)
 	}
+	m.Oracle = m.Oracles[stylometry.DegradeNone]
+	m.Detector = m.Detectors[stylometry.DegradeNone]
 	return m, nil
 }

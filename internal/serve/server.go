@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gptattr/internal/serve/metrics"
@@ -13,6 +14,19 @@ import (
 // hop that sees a request without one, propagated unchanged through
 // every later hop (router → replica), and echoed on every response.
 const RequestIDHeader = "X-Request-Id"
+
+// DegradeHeader reports, on every 2xx inference answer, the degrade
+// level the response was computed at (0 = full fidelity; see
+// stylometry.DegradeLevel). Clients and the fleet router read it to
+// tell a browned-out answer from a full one without parsing the body.
+const DegradeHeader = "X-Degrade-Level"
+
+// BudgetHeader carries the client's remaining time budget in whole
+// milliseconds. Each hop clamps its own per-request deadline to the
+// smaller of its configured timeout and this budget, then forwards the
+// shrunken remainder — so a 200ms client budget is never stretched to
+// a replica's 10s default by crossing the router.
+const BudgetHeader = "X-Request-Budget-Ms"
 
 // Config wires a Server together.
 type Config struct {
@@ -61,17 +75,28 @@ type AttributeRequest struct {
 	Source string `json:"source"`
 }
 
-// AttributeResponse answers POST /v1/attribute.
+// AttributeResponse answers POST /v1/attribute. DegradeLevel and
+// Calibration describe graceful degradation: the level the features
+// were computed at (also in X-Degrade-Level) and the serving model's
+// training-time out-of-bag accuracy (0 = uncalibrated legacy model).
+// Confidence is the top vote share discounted by that calibration.
 type AttributeResponse struct {
 	Author          string             `json:"author"`
 	Proba           map[string]float64 `json:"proba"`
+	Confidence      float64            `json:"confidence,omitempty"`
+	DegradeLevel    int                `json:"degrade_level,omitempty"`
+	Calibration     float64            `json:"calibration,omitempty"`
 	ModelGeneration uint64             `json:"model_generation"`
 }
 
-// DetectResponse answers POST /v1/detect.
+// DetectResponse answers POST /v1/detect. Confidence keeps its
+// original meaning (the ChatGPT vote share); DegradeLevel and
+// Calibration mirror AttributeResponse.
 type DetectResponse struct {
 	ChatGPT         bool    `json:"chatgpt"`
 	Confidence      float64 `json:"confidence"`
+	DegradeLevel    int     `json:"degrade_level,omitempty"`
+	Calibration     float64 `json:"calibration,omitempty"`
 	ModelGeneration uint64  `json:"model_generation"`
 }
 
@@ -93,6 +118,12 @@ type HealthResponse struct {
 	StagedGeneration uint64 `json:"staged_generation,omitempty"`
 	Oracle           bool   `json:"oracle"`
 	Detector         bool   `json:"detector"`
+	// LadderRungs counts loaded degrade-ladder levels (1 = legacy
+	// single-model mode, 3 = full fallback ladder).
+	LadderRungs int `json:"ladder_rungs,omitempty"`
+	// BrownoutLevel is the overload controller's current forced degrade
+	// floor (0 = full fidelity).
+	BrownoutLevel int `json:"brownout_level,omitempty"`
 }
 
 // ReloadResponse answers POST /v1/reload and /v1/reload/commit.
@@ -160,7 +191,7 @@ func (s *Server) Core() *Core { return s.core }
 // call the backend, map the outcome. call runs the endpoint-specific
 // backend method and returns the response value to encode.
 func (s *Server) handleInference(w http.ResponseWriter, r *http.Request, endpoint string,
-	call func(ctx context.Context, src string) (any, error)) {
+	call func(ctx context.Context, src string) (any, int, error)) {
 	met := s.core.Metrics()
 	met.Counter(endpoint + "_requests_total").Inc()
 	met.Gauge("inflight").Add(1)
@@ -176,26 +207,32 @@ func (s *Server) handleInference(w http.ResponseWriter, r *http.Request, endpoin
 	if !ok {
 		return
 	}
-	ctx, cancel := s.core.RequestContext(r.Context(), reqID)
+	ctx, cancel := s.core.RequestContextFor(r, reqID)
 	defer cancel()
-	resp, err := call(ctx, src)
+	resp, level, err := call(ctx, src)
 	if err != nil {
 		s.core.FailBackend(w, err, reqID)
 		return
 	}
+	if level > 0 {
+		met.Counter(endpoint + "_degraded_total").Inc()
+	}
+	w.Header().Set(DegradeHeader, strconv.Itoa(level))
 	observeEndpoint(met, endpoint, start)
 	s.core.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAttribute(w http.ResponseWriter, r *http.Request) {
-	s.handleInference(w, r, "attribute", func(ctx context.Context, src string) (any, error) {
-		return s.backend.Attribute(ctx, src)
+	s.handleInference(w, r, "attribute", func(ctx context.Context, src string) (any, int, error) {
+		resp, err := s.backend.Attribute(ctx, src)
+		return resp, resp.DegradeLevel, err
 	})
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	s.handleInference(w, r, "detect", func(ctx context.Context, src string) (any, error) {
-		return s.backend.Detect(ctx, src)
+	s.handleInference(w, r, "detect", func(ctx context.Context, src string) (any, int, error) {
+		resp, err := s.backend.Detect(ctx, src)
+		return resp, resp.DegradeLevel, err
 	})
 }
 

@@ -7,6 +7,7 @@
 package stylometry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -20,19 +21,64 @@ type Features map[string]float64
 
 // Extract computes the full feature set for one source file.
 func Extract(src string) (Features, error) {
+	f, _, err := ExtractDegraded(context.Background(), src, DegradeNone)
+	return f, err
+}
+
+// ExtractDegraded computes features under a time budget (ctx) and a
+// floor (force): the returned level is at least force, and rises when
+// the budget runs out mid-extraction. Passes run cheapest-first
+// (lexical + layout, then syntactic, then semantic) with a
+// cancellation check at each pass boundary, so budget exhaustion sheds
+// the expensive tail and still returns a valid vector — the brownout
+// contract is "a cheaper answer", never an error, once the source has
+// lexed. The per-family output is bit-identical to FilterFamilies of a
+// full extraction (pinned by TestDegradedEqualsFilteredFull): degraded
+// vectors are exactly what the family-subset oracles were trained on.
+//
+// Only a budget that dies before any pass ran yields an error; the
+// err != nil ⇒ no vector contract of Extract is preserved.
+func ExtractDegraded(ctx context.Context, src string, force DegradeLevel) (Features, DegradeLevel, error) {
+	force = force.Clamp()
 	if strings.TrimSpace(src) == "" {
-		return nil, fmt.Errorf("stylometry: empty source")
+		return nil, force, fmt.Errorf("stylometry: empty source")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, force, err
 	}
 	f := make(Features)
 	toks, _ := cpptok.Scan(src) // tolerate lexical errors
 	tu, _ := cppast.Parse(src)
 
+	// The surface floor: lexical needs the token stream and the parsed
+	// function list; layout needs raw text. These always run — a
+	// request admitted past decode gets at least this much.
 	length := float64(len(src))
 	lexicalFeatures(f, src, toks, tu, length)
 	layoutFeatures(f, src, toks, length)
+
+	level := force
+	if level >= DegradeSurface {
+		return f, level, nil
+	}
+	if ctx.Err() != nil {
+		// Budget died during the surface passes: shed everything else.
+		return f, DegradeSurface, nil
+	}
 	syntacticFeatures(f, tu)
-	semanticFeatures(f, tu)
-	return f, nil
+
+	if level >= DegradeNoSemantic {
+		return f, level, nil
+	}
+	if ctx.Err() != nil {
+		return f, DegradeNoSemantic, nil
+	}
+	if err := semanticFeaturesCtx(ctx, f, tu); err != nil {
+		// The semantic pass ran out of budget part-way; the family is
+		// all-or-nothing so nothing was written.
+		return f, DegradeNoSemantic, nil
+	}
+	return f, DegradeNone, nil
 }
 
 // lnDensity computes ln((1+count)/length): the paper's

@@ -1,6 +1,7 @@
 package stylometry
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -91,14 +92,36 @@ func ExtractAll(sources []string, cfg ExtractConfig) ([]Features, error) {
 // this — one malformed request must not poison its batch-mates.
 // out[i] is valid iff errs[i] is nil.
 func ExtractEach(sources []string, cfg ExtractConfig) (out []Features, errs []error) {
+	out, _, errs = ExtractEachDegraded(nil, sources, DegradeNone, cfg)
+	return out, errs
+}
+
+// ExtractEachDegraded is ExtractEach with per-source budgets and a
+// brownout floor: ctxs[i] (nil = no budget; ctxs itself may be nil)
+// bounds source i's extraction, and force is the admission
+// controller's current degrade level — every vector is extracted at
+// least that degraded. levels[i] reports each vector's actual level
+// (budget exhaustion can push it past force). Worker scheduling never
+// affects content: each slot is written only by the worker that drew
+// its index, and a degraded vector's features depend only on its
+// level.
+func ExtractEachDegraded(ctxs []context.Context, sources []string, force DegradeLevel,
+	cfg ExtractConfig) (out []Features, levels []DegradeLevel, errs []error) {
 	out = make([]Features, len(sources))
+	levels = make([]DegradeLevel, len(sources))
 	errs = make([]error, len(sources))
+	ctxAt := func(i int) context.Context {
+		if i < len(ctxs) && ctxs[i] != nil {
+			return ctxs[i]
+		}
+		return context.Background()
+	}
 	workers := cfg.workers(len(sources))
 	if workers == 1 {
 		for i, src := range sources {
-			out[i], errs[i] = extractCached(src, cfg.Cache)
+			out[i], levels[i], errs[i] = extractCached(ctxAt(i), src, force, cfg.Cache)
 		}
-		return out, errs
+		return out, levels, errs
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -107,7 +130,7 @@ func ExtractEach(sources []string, cfg ExtractConfig) (out []Features, errs []er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i], errs[i] = extractCached(sources[i], cfg.Cache)
+				out[i], levels[i], errs[i] = extractCached(ctxAt(i), sources[i], force, cfg.Cache)
 			}
 		}()
 	}
@@ -116,7 +139,7 @@ func ExtractEach(sources []string, cfg ExtractConfig) (out []Features, errs []er
 	}
 	close(jobs)
 	wg.Wait()
-	return out, errs
+	return out, levels, errs
 }
 
 // PanicError is a panic contained by the extraction worker pool and
@@ -146,7 +169,7 @@ func (e *PanicError) Transient() bool { return e.injected }
 // safeExtract runs one extraction with panic containment: a panic —
 // injected or real — becomes an error instead of unwinding the worker
 // goroutine and killing the process.
-func safeExtract(src string) (f Features, err error) {
+func safeExtract(ctx context.Context, src string, force DegradeLevel) (f Features, level DegradeLevel, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if pv, ok := r.(fault.PanicValue); ok {
@@ -156,31 +179,38 @@ func safeExtract(src string) (f Features, err error) {
 			err = &PanicError{Value: fmt.Sprint(r), Stack: debug.Stack()}
 		}
 	}()
-	if err := fault.Hit(PointExtract); err != nil {
-		return nil, err
+	if err := fault.HitContext(ctx, PointExtract); err != nil {
+		return nil, force, err
 	}
-	return Extract(src)
+	return ExtractDegraded(ctx, src, force)
 }
 
-func extractCached(src string, cache FeatureCache) (Features, error) {
+// extractCached is the per-source serving path: cache lookup, then
+// supervised budgeted extraction. A cache hit is always a full
+// (level-0) vector regardless of the forced floor — the cached work is
+// already paid for, so the cache absorbs degradation; conversely only
+// full vectors are ever cached, so a brownout never poisons the cache
+// with partial vectors.
+func extractCached(ctx context.Context, src string, force DegradeLevel, cache FeatureCache) (Features, DegradeLevel, error) {
 	if cache != nil {
 		if f, ok := cache.Get(src); ok {
-			return f, nil
+			return f, DegradeNone, nil
 		}
 	}
 	var f Features
+	level := force
 	err := fault.Retry(extractRetries, extractBackoff, func() error {
 		var rerr error
-		f, rerr = safeExtract(src)
+		f, level, rerr = safeExtract(ctx, src, force)
 		return rerr
 	})
 	if err != nil {
-		return nil, err
+		return nil, level, err
 	}
-	if cache != nil {
+	if cache != nil && level == DegradeNone {
 		cache.Put(src, f)
 	}
-	return f, nil
+	return f, level, nil
 }
 
 // BuildDatasetWith extracts features for every source (in parallel,

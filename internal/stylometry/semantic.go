@@ -1,6 +1,8 @@
 package stylometry
 
 import (
+	"context"
+
 	"gptattr/internal/cppast"
 	"gptattr/internal/semstats"
 )
@@ -22,12 +24,24 @@ const SemanticVersion = 1
 // under the rename and layout actions of internal/evade — pinned by
 // TestSemanticInvariantUnderRenameAndLayout.
 func semanticFeatures(f Features, tu *cppast.TranslationUnit) {
-	fs := semstats.Analyze(tu)
+	_ = semanticFeaturesCtx(context.Background(), f, tu)
+}
+
+// semanticFeaturesCtx is the budgeted form: the semstats pipeline
+// checks ctx at every function boundary, and on budget exhaustion NO
+// semantic feature is written — the family is all-or-nothing so the
+// degraded vector's content depends only on the level, never on how
+// far the pass got (determinism under latency storms).
+func semanticFeaturesCtx(ctx context.Context, f Features, tu *cppast.TranslationUnit) error {
+	fs, err := semstats.AnalyzeContext(ctx, tu)
+	if err != nil {
+		return err
+	}
 	f["SemFuncCount"] = float64(len(fs.Funcs))
 	f["SemCallEdges"] = float64(fs.CallEdges)
 	f["SemRecursiveFuncs"] = float64(fs.RecursiveFuncs)
 	if len(fs.Funcs) == 0 {
-		return
+		return nil
 	}
 	var (
 		blocks, edges, branches, cyclo, back    int
@@ -98,6 +112,7 @@ func semanticFeatures(f Features, tu *cppast.TranslationUnit) {
 	}
 	f["SemFanOutMax"] = float64(maxFanOut)
 	f["SemFanInMax"] = float64(maxFanIn)
+	return nil
 }
 
 func maxi(a, b int) int {
