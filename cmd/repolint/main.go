@@ -31,6 +31,15 @@
 //     slices.Sort. A deliberate order-insensitive site is exempted
 //     with a `// repolint:allow-maprange <reason>` comment on the
 //     same or preceding line as the range statement.
+//   - internal/stylometry must not construct feature maps
+//     (make(Features), Features{...}, or a raw map[string]float64) in
+//     non-test files: the extraction hot path accumulates through the
+//     interned FeatureVec, and a fresh map inside a pass silently
+//     reintroduces per-request allocation and map-order hazards. The
+//     boundary converters that deliberately materialize the map view
+//     (Features(), family filters, training-time tables) are exempted
+//     with a `// repolint:allow-featmap <reason>` comment on the same
+//     or preceding line.
 //   - Serving packages (serve, fleet, arena) must not call time.Sleep
 //     in non-test files: a bare sleep on a request or control path
 //     ignores contexts and deadlines, stalls shutdown, and hides
@@ -90,6 +99,14 @@ const allowSleepDirective = "repolint:allow-sleep"
 // allowMapRangeDirective marks a range-over-map whose sink order
 // genuinely does not matter as exempt from the map-order rule.
 const allowMapRangeDirective = "repolint:allow-maprange"
+
+// allowFeatMapDirective marks a deliberate feature-map construction at
+// a package boundary as exempt from the interned-path rule.
+const allowFeatMapDirective = "repolint:allow-featmap"
+
+// featMapPkgs are the packages where feature maps may only be built at
+// annotated boundaries: extraction proper goes through FeatureVec.
+var featMapPkgs = []string{"internal/stylometry"}
 
 // seededConstructors are the math/rand names that build explicitly
 // seeded generators, plus the type names used to pass them around —
@@ -152,6 +169,9 @@ func run(args []string, out *os.File) (int, error) {
 		}
 		if !isTest && inPkgList(rel, servingPkgs) {
 			findings = append(findings, checkSleeps(fset, f)...)
+		}
+		if !isTest && inPkgList(rel, featMapPkgs) {
+			findings = append(findings, checkFeatMaps(fset, f)...)
 		}
 		if !isTest {
 			findings = append(findings, checkCloseErrors(fset, f, voidClose)...)
@@ -341,6 +361,57 @@ func directiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]
 		}
 	}
 	return lines
+}
+
+// isFeatMapType reports whether a type expression is the feature-map
+// shape: the named Features type or a literal map[string]float64.
+func isFeatMapType(t ast.Expr) bool {
+	switch v := t.(type) {
+	case *ast.Ident:
+		return v.Name == "Features"
+	case *ast.SelectorExpr:
+		pkg, ok := v.X.(*ast.Ident)
+		return ok && pkg.Obj == nil && v.Sel.Name == "Features" && pkg.Name == "stylometry"
+	case *ast.MapType:
+		k, kOK := v.Key.(*ast.Ident)
+		val, vOK := v.Value.(*ast.Ident)
+		return kOK && vOK && k.Name == "string" && val.Name == "float64"
+	}
+	return false
+}
+
+// checkFeatMaps flags construction of feature maps — make(Features),
+// a Features composite literal, or a raw make(map[string]float64) — in
+// the extraction package. The hot path is the interned FeatureVec;
+// fresh maps belong only at annotated package boundaries
+// (// repolint:allow-featmap <reason>).
+func checkFeatMaps(fset *token.FileSet, f *ast.File) []finding {
+	allowed := directiveLines(fset, f, allowFeatMapDirective)
+	var out []finding
+	flag := func(n ast.Node, what string) {
+		pos := fset.Position(n.Pos())
+		if allowed[pos.Line] || allowed[pos.Line-1] {
+			return
+		}
+		out = append(out, finding{pos,
+			fmt.Sprintf("%s constructed in the extraction package (accumulate through the interned FeatureVec, or annotate a boundary converter with // %s <reason>)", what, allowFeatMapDirective)})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			id, ok := v.Fun.(*ast.Ident)
+			if ok && id.Name == "make" && id.Obj == nil &&
+				len(v.Args) > 0 && isFeatMapType(v.Args[0]) {
+				flag(v, "feature map")
+			}
+		case *ast.CompositeLit:
+			if v.Type != nil && isFeatMapType(v.Type) {
+				flag(v, "feature-map literal")
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // mapRangeSinkMethods are receiver methods whose call order is

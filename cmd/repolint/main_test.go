@@ -509,3 +509,84 @@ func Keys(m map[string]int) []string {
 		t.Fatalf("rule only applies to deterministic pkgs, exit %d:\n%s", code, out)
 	}
 }
+
+func TestFeatMapConstructionFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stylometry/pass.go": `package stylometry
+
+type Features map[string]float64
+
+func lexicalPass() Features {
+	f := make(Features)
+	f["LineLenAvg"] = 1
+	return f
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || !strings.Contains(out, "feature map") {
+		t.Fatalf("want feature-map finding, exit %d:\n%s", code, out)
+	}
+}
+
+func TestFeatMapRawMapAndLiteralFlagged(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stylometry/pass.go": `package stylometry
+
+func rawPass() map[string]float64 {
+	f := map[string]float64{"a": 1}
+	g := make(map[string]float64)
+	g["b"] = 2
+	for k, v := range g {
+		f[k] = v
+	}
+	return f
+}
+`,
+	})
+	code, out := lint(t, root)
+	if code != 1 || strings.Count(out, "extraction package") != 2 {
+		t.Fatalf("want 2 feature-map findings, exit %d:\n%s", code, out)
+	}
+}
+
+func TestFeatMapDirectiveExempts(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stylometry/boundary.go": `package stylometry
+
+type Features map[string]float64
+
+func Materialize() Features {
+	out := make(Features) // repolint:allow-featmap boundary materializer
+	return out
+}
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("annotated boundary converter must pass, exit %d:\n%s", code, out)
+	}
+}
+
+func TestFeatMapAllowedOutsideStylometry(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/attrib/table.go": `package attrib
+
+func Table() map[string]float64 { return make(map[string]float64) }
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("feature maps are fine outside stylometry, exit %d:\n%s", code, out)
+	}
+}
+
+func TestFeatMapAllowedInStylometryTests(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stylometry/pass_test.go": `package stylometry
+
+func fixture() map[string]float64 { return map[string]float64{"a": 1} }
+`,
+	})
+	if code, out := lint(t, root); code != 0 {
+		t.Fatalf("test files are exempt, exit %d:\n%s", code, out)
+	}
+}

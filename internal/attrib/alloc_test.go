@@ -1,6 +1,7 @@
 package attrib
 
 import (
+	"context"
 	"testing"
 
 	"gptattr/internal/stylometry"
@@ -41,5 +42,68 @@ func TestDetectFeaturesAllocs(t *testing.T) {
 	}
 	if a := testing.AllocsPerRun(200, func() { c.DetectFeatures(f) }); a > 0.5 {
 		t.Errorf("DetectFeatures allocates %.2f per call, want ~0", a)
+	}
+}
+
+// TestPredictVecMatchesFeatures pins the vec-form entry points to
+// their map-boundary twins: for any source, extracting into a scratch
+// vec and predicting directly must give the same answers as the
+// Features-map path.
+func TestPredictVecMatchesFeatures(t *testing.T) {
+	fx := fixture(t)
+	c, err := TrainBinary(fx.human, fx.transformed, fx.cfg)
+	if err != nil {
+		t.Fatalf("TrainBinary: %v", err)
+	}
+	sc := stylometry.NewScratch()
+	for _, s := range []string{fx.human.Samples[0].Source, fx.transformed.Samples[0].Source} {
+		if _, err := sc.ExtractVec(context.Background(), s, stylometry.DegradeNone); err != nil {
+			t.Fatalf("ExtractVec: %v", err)
+		}
+		f := sc.Vec().Features()
+		if got, want := fx.oracle.PredictVec(sc.Vec()), fx.oracle.PredictFeatures(f); got != want {
+			t.Errorf("PredictVec = %q, PredictFeatures = %q", got, want)
+		}
+		gv, cv := c.DetectVec(sc.Vec())
+		gf, cf := c.DetectFeatures(f)
+		if gv != gf || cv != cf {
+			t.Errorf("DetectVec = (%v, %v), DetectFeatures = (%v, %v)", gv, cv, gf, cf)
+		}
+	}
+}
+
+// TestEndToEndVecAllocs pins the full serving request — budgeted
+// extraction through a pooled stylometry scratch, then attribution
+// and detection straight off the FeatureVec — at zero steady-state
+// allocations. This is the number the batcher's throughput rests on.
+func TestEndToEndVecAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; allocation counts are meaningless")
+	}
+	fx := fixture(t)
+	c, err := TrainBinary(fx.human, fx.transformed, fx.cfg)
+	if err != nil {
+		t.Fatalf("TrainBinary: %v", err)
+	}
+	ctx := context.Background()
+	src := fx.human.Samples[0].Source
+	warm := stylometry.GetScratch()
+	if _, err := warm.ExtractVec(ctx, src, stylometry.DegradeNone); err != nil {
+		t.Fatalf("ExtractVec: %v", err)
+	}
+	fx.oracle.PredictVec(warm.Vec())
+	c.DetectVec(warm.Vec())
+	stylometry.PutScratch(warm)
+	a := testing.AllocsPerRun(200, func() {
+		sc := stylometry.GetScratch()
+		if _, err := sc.ExtractVec(ctx, src, stylometry.DegradeNone); err != nil {
+			t.Fatal(err)
+		}
+		fx.oracle.PredictVec(sc.Vec())
+		c.DetectVec(sc.Vec())
+		stylometry.PutScratch(sc)
+	})
+	if a > 0.5 {
+		t.Errorf("extract+predict+detect allocates %.2f per request, want ~0", a)
 	}
 }

@@ -238,3 +238,20 @@ func (c *Classifier) DetectFeatures(f stylometry.Features) (bool, float64) {
 	c.scratch.Put(s)
 	return gpt, conf
 }
+
+// DetectVec classifies the contents of an extraction scratch's
+// FeatureVec directly — the map-free twin of DetectFeatures, for
+// callers that extract through stylometry.Scratch.ExtractVec and want
+// the whole request to stay off the allocator. fv is read-only and
+// may be reused immediately after return.
+func (c *Classifier) DetectVec(fv *stylometry.FeatureVec) (bool, float64) {
+	s := c.getScratch()
+	c.vec.VectorIntoVec(fv, s.full)
+	for i, col := range c.cols {
+		s.row[i] = s.full[col]
+	}
+	c.forest.PredictProbaInto(s.row, s.proba)
+	gpt, conf := s.proba[1] > 0.5, s.proba[1]
+	c.scratch.Put(s)
+	return gpt, conf
+}

@@ -138,6 +138,29 @@ func (o *Oracle) PredictFeatures(f stylometry.Features) string {
 	return o.labels[best]
 }
 
+// PredictVec attributes the contents of an extraction scratch's
+// FeatureVec without ever materializing the map form: together with
+// stylometry.Scratch.ExtractVec it is the fully allocation-free
+// serving path (extract into the vec, vectorize columns directly,
+// vote on pooled rows). fv is read-only and may be reused by the
+// caller immediately after return.
+func (o *Oracle) PredictVec(fv *stylometry.FeatureVec) string {
+	s := o.getScratch()
+	o.vec.VectorIntoVec(fv, s.full)
+	for i, c := range o.cols {
+		s.row[i] = s.full[c]
+	}
+	o.forest.VotesInto(s.row, s.votes)
+	best := 0
+	for c, v := range s.votes {
+		if v > s.votes[best] {
+			best = c
+		}
+	}
+	o.scratch.Put(s)
+	return o.labels[best]
+}
+
 // Proba returns the forest's vote share per author label for one
 // source, alongside the predicted label.
 func (o *Oracle) Proba(src string) (map[string]float64, string, error) {

@@ -1,0 +1,181 @@
+package cppast
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gptattr/internal/cpptok"
+)
+
+// arenaCorpus exercises every node type and the parser's recovery
+// paths, so arena-built trees are compared against fresh-heap trees on
+// realistic shapes.
+var arenaCorpus = []string{
+	"",
+	"int main() { return 0; }",
+	`#include <bits/stdc++.h>
+using namespace std;
+typedef long long ll;
+const int MAXN = 1e5 + 5;
+int arr[MAXN], memo[105][105];
+struct Point { int x, y; bool operator_lt; };
+ll gcd(ll a, ll b) { return b == 0 ? a : gcd(b, a % b); }
+int helper(int a, int b);
+template <typename T> T mx(T a, T b) { return a > b ? a : b; }
+int main() {
+    ios_base::sync_with_stdio(false);
+    int n, q = 0; cin >> n;
+    vector<int> v(n);
+    std::map<int, std::string> names;
+    for (int i = 0; i < n; ++i) { cin >> v[i]; }
+    for (auto x : v) q += x;
+    while (n-- > 0) { if (n % 2 == 0) continue; else break; }
+    do { q++; } while (q < 0);
+    switch (q & 3) {
+    case 0: q = 1; break;
+    case 1:
+    default: q = (int)2.5; break;
+    }
+    double d = double(q) * 1.5e2;
+    int *p = &q; *p += v[0] > 0 ? ~v[0] : -v[0];
+    p->x; names[0].size();
+    int m[2][3] = {{1, 2}, {3, 4}};
+    printf("%d %f\n", q, d), fflush(stdout);
+    return 0;
+}`,
+	"garbage ^^ here; int ok; struct Fwd; @@@",
+	"void f(int a[], const string &s, vector<int> v = {}, void) {}",
+	"int x = {1, 2}; auto y{3};",
+}
+
+// dump renders a tree as a deterministic structural string covering
+// kind, line, and every typed field, for cross-allocation comparison.
+func dump(n Node) string {
+	var b strings.Builder
+	var rec func(n Node, depth int)
+	rec = func(n Node, depth int) {
+		if n == nil {
+			fmt.Fprintf(&b, "%*snil\n", 2*depth, "")
+			return
+		}
+		fmt.Fprintf(&b, "%*s%s@%d", 2*depth, "", n.Kind(), n.Line())
+		switch n := n.(type) {
+		case *Preproc:
+			fmt.Fprintf(&b, " %q", n.Text)
+		case *UsingDirective:
+			fmt.Fprintf(&b, " %q", n.Text)
+		case *TypedefDecl:
+			fmt.Fprintf(&b, " %q", n.Text)
+		case *Unknown:
+			fmt.Fprintf(&b, " %q", n.Text)
+		case *StructDecl:
+			fmt.Fprintf(&b, " %s %s", n.Keyword, n.Name)
+		case *FuncDecl:
+			fmt.Fprintf(&b, " %q %s proto=%v", n.RetType, n.Name, n.Body == nil)
+		case *Param:
+			fmt.Fprintf(&b, " %q %s ref=%v", n.Type, n.Name, n.Ref)
+		case *VarDecl:
+			fmt.Fprintf(&b, " %q", n.Type)
+		case *Declarator:
+			fmt.Fprintf(&b, " %s", n.Name)
+		case *BinaryExpr:
+			fmt.Fprintf(&b, " %q", n.Op)
+		case *UnaryExpr:
+			fmt.Fprintf(&b, " %q post=%v", n.Op, n.Postfix)
+		case *MemberExpr:
+			fmt.Fprintf(&b, " %s arrow=%v", n.Sel, n.Arrow)
+		case *CastExpr:
+			fmt.Fprintf(&b, " %q", n.Type)
+		case *Ident:
+			fmt.Fprintf(&b, " %s", n.Name)
+		case *Lit:
+			fmt.Fprintf(&b, " %s %q", n.LitKind, n.Text)
+		}
+		b.WriteByte('\n')
+		VisitChildren(n, func(c Node) { rec(c, depth+1) })
+	}
+	rec(n, 0)
+	return b.String()
+}
+
+// TestArenaReuse parses the corpus repeatedly through one arena,
+// checking each tree (while live) against a fresh heap parse.
+func TestArenaReuse(t *testing.T) {
+	a := NewArena()
+	for round := 0; round < 3; round++ {
+		for _, src := range arenaCorpus {
+			want := dump(MustParse(src))
+			toks, _ := cpptok.Scan(src)
+			a.Reset()
+			got := dump(ParseTokens(cpptok.StripComments(toks), a))
+			if got != want {
+				t.Fatalf("round %d, src %.40q:\narena tree:\n%s\nheap tree:\n%s", round, src, got, want)
+			}
+		}
+	}
+}
+
+// TestVisitChildrenMatchesChildren asserts the allocation-free walker
+// yields exactly the Children() sequence, nil entries included.
+func TestVisitChildrenMatchesChildren(t *testing.T) {
+	for _, src := range arenaCorpus {
+		Walk(MustParse(src), func(n Node, _ int) bool {
+			want := n.Children()
+			var got []Node
+			VisitChildren(n, func(c Node) { got = append(got, c) })
+			if len(got) != len(want) {
+				t.Fatalf("%s: VisitChildren %d children, Children() %d", n.Kind(), len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: child %d differs: %v vs %v", n.Kind(), i, got[i], want[i])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestArenaTreeAppendSafe verifies that appending to an arena tree's
+// child slice (as transformation passes do) cannot clobber a sibling's
+// slice: take() caps every handed-out slice at its length.
+func TestArenaTreeAppendSafe(t *testing.T) {
+	a := NewArena()
+	toks, _ := cpptok.Scan("int main() { int x = 1; int y = 2; } int g() { return 3; }")
+	tu := ParseTokens(cpptok.StripComments(toks), a)
+	main := tu.Function("main")
+	before := dump(tu.Function("g"))
+	main.Body.Stmts = append(main.Body.Stmts, &EmptyStmt{})
+	main.Body.Stmts = append(main.Body.Stmts, &EmptyStmt{})
+	if after := dump(tu.Function("g")); after != before {
+		t.Fatalf("appending to main's body corrupted g:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
+func BenchmarkParseHeap(b *testing.B) {
+	src := arenaCorpus[2]
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MustParse(src)
+	}
+}
+
+// BenchmarkParsePooled is the serving-path shape: reused token buffer,
+// reused arena. Steady state performs no allocation.
+func BenchmarkParsePooled(b *testing.B) {
+	src := arenaCorpus[2]
+	a := NewArena()
+	buf := cpptok.GetBuf()
+	defer cpptok.PutBuf(buf)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toks, _ := cpptok.ScanInto(src, (*buf)[:0])
+		a.Reset()
+		ParseTokens(cpptok.StripCommentsInPlace(toks), a)
+		*buf = toks[:0]
+	}
+}

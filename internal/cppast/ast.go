@@ -513,6 +513,113 @@ func (*Lit) Kind() string { return "Lit" }
 // Children implements Node.
 func (*Lit) Children() []Node { return nil }
 
+// VisitChildren calls fn for each direct child of n in the same order
+// (and with the same nil entries) as Children(), without building a
+// slice. Hot-path walkers use this instead of Children() so traversal
+// performs no allocation; fn must tolerate nil children exactly as a
+// Children() caller would.
+func VisitChildren(n Node, fn func(Node)) {
+	switch n := n.(type) {
+	case *TranslationUnit:
+		for _, c := range n.Decls {
+			fn(c)
+		}
+	case *FuncDecl:
+		for _, p := range n.Params {
+			fn(p)
+		}
+		if n.Body != nil {
+			fn(n.Body)
+		}
+	case *StructDecl:
+		for _, c := range n.Members {
+			fn(c)
+		}
+	case *Declarator:
+		for _, c := range n.ArrayLen {
+			fn(c)
+		}
+		if n.Init != nil {
+			fn(n.Init)
+		}
+	case *VarDecl:
+		for _, d := range n.Names {
+			fn(d)
+		}
+	case *Block:
+		for _, c := range n.Stmts {
+			fn(c)
+		}
+	case *If:
+		fn(n.Cond)
+		fn(n.Then)
+		if n.Else != nil {
+			fn(n.Else)
+		}
+	case *For:
+		for _, c := range [4]Node{n.Init, n.Cond, n.Post, n.Body} {
+			if c != nil {
+				fn(c)
+			}
+		}
+	case *While:
+		fn(n.Cond)
+		fn(n.Body)
+	case *DoWhile:
+		fn(n.Body)
+		fn(n.Cond)
+	case *Return:
+		if n.Value != nil {
+			fn(n.Value)
+		}
+	case *ExprStmt:
+		fn(n.X)
+	case *SwitchCase:
+		if n.Value != nil {
+			fn(n.Value)
+		}
+		for _, c := range n.Stmts {
+			fn(c)
+		}
+	case *Switch:
+		fn(n.Cond)
+		for _, c := range n.Cases {
+			fn(c)
+		}
+	case *BinaryExpr:
+		fn(n.L)
+		fn(n.R)
+	case *UnaryExpr:
+		fn(n.X)
+	case *TernaryExpr:
+		fn(n.Cond)
+		fn(n.Then)
+		fn(n.Else)
+	case *CallExpr:
+		fn(n.Fun)
+		for _, c := range n.Args {
+			fn(c)
+		}
+	case *IndexExpr:
+		fn(n.X)
+		fn(n.Index)
+	case *MemberExpr:
+		fn(n.X)
+	case *CastExpr:
+		fn(n.X)
+	case *ParenExpr:
+		fn(n.X)
+	case *Preproc, *UsingDirective, *TypedefDecl, *Comment, *Unknown,
+		*Param, *Break, *Continue, *EmptyStmt, *Ident, *Lit:
+		// Leaves.
+	default:
+		// Future node types outside the switch still traverse correctly.
+		for _, c := range n.Children() {
+			fn(c)
+		}
+	}
+}
+
 // Walk calls fn for every node in depth-first pre-order, passing the
 // node and its depth (root at depth 0). If fn returns false the node's
 // subtree is skipped.
@@ -527,9 +634,9 @@ func walk(n Node, depth int, fn func(Node, int) bool) {
 	if !fn(n, depth) {
 		return
 	}
-	for _, c := range n.Children() {
+	VisitChildren(n, func(c Node) {
 		walk(c, depth+1, fn)
-	}
+	})
 }
 
 // MaxDepth returns the maximum node depth in the tree rooted at root

@@ -11,8 +11,7 @@ import (
 // error reports the first lexical error, if any, for callers that care.
 func Parse(src string) (*TranslationUnit, error) {
 	toks, err := cpptok.Scan(src)
-	p := newParser(cpptok.StripComments(toks))
-	return p.parseUnit(), err
+	return ParseTokens(cpptok.StripComments(toks), NewArena()), err
 }
 
 // MustParse is Parse for trusted input, discarding the lexical error.
@@ -21,13 +20,27 @@ func MustParse(src string) *TranslationUnit {
 	return tu
 }
 
+// ParseTokens parses a comment-free token stream (ending in KindEOF,
+// as Scan produces) with all tree memory drawn from a. This is the hot
+// path: with a pooled arena and a reused token buffer, steady-state
+// parsing performs no allocation. The tree is valid until a.Reset; a
+// nil arena means a fresh one per call, yielding an ordinary GC-owned
+// tree as Parse does.
+func ParseTokens(toks []cpptok.Token, a *Arena) *TranslationUnit {
+	if a == nil {
+		a = NewArena()
+	}
+	if len(toks) == 0 || toks[len(toks)-1].Kind != cpptok.KindEOF {
+		toks = append(toks, cpptok.Token{Kind: cpptok.KindEOF, Line: 1, Col: 1})
+	}
+	a.ps = parser{toks: toks, a: a}
+	return a.ps.parseUnit()
+}
+
 type parser struct {
 	toks []cpptok.Token
 	pos  int
-}
-
-func newParser(toks []cpptok.Token) *parser {
-	return &parser{toks: toks}
+	a    *Arena
 }
 
 func (p *parser) cur() cpptok.Token { return p.toks[p.pos] }
@@ -60,16 +73,53 @@ func (p *parser) expect(text string) bool { return p.accept(text) }
 
 func (p *parser) here() pos { return pos{line: p.cur().Line} }
 
+// takeNodes moves the nodes pushed since mark off the scratch stack
+// into arena backing.
+func (p *parser) takeNodes(mark int) []Node {
+	out := p.a.nodeBack.take(p.a.nodeStk[mark:])
+	p.a.nodeStk = p.a.nodeStk[:mark]
+	return out
+}
+
+func (p *parser) takeParams(mark int) []*Param {
+	out := p.a.paramBack.take(p.a.paramStk[mark:])
+	p.a.paramStk = p.a.paramStk[:mark]
+	return out
+}
+
+func (p *parser) takeDecls(mark int) []*Declarator {
+	out := p.a.declBack.take(p.a.declStk[mark:])
+	p.a.declStk = p.a.declStk[:mark]
+	return out
+}
+
+func (p *parser) takeCases(mark int) []*SwitchCase {
+	out := p.a.caseBack.take(p.a.caseStk[mark:])
+	p.a.caseStk = p.a.caseStk[:mark]
+	return out
+}
+
+// concat joins parts through the arena's byte scratch and intern table.
+func (p *parser) concat(parts ...string) string {
+	a := p.a
+	a.buf = a.buf[:0]
+	for _, s := range parts {
+		a.buf = append(a.buf, s...)
+	}
+	return a.internBytes(a.buf)
+}
+
 // textBetween joins token texts in [from, to) with single spaces.
 func (p *parser) textBetween(from, to int) string {
-	var b strings.Builder
+	a := p.a
+	a.buf = a.buf[:0]
 	for i := from; i < to && i < len(p.toks); i++ {
 		if i > from {
-			b.WriteByte(' ')
+			a.buf = append(a.buf, ' ')
 		}
-		b.WriteString(p.toks[i].Text)
+		a.buf = append(a.buf, p.toks[i].Text...)
 	}
-	return b.String()
+	return a.internBytes(a.buf)
 }
 
 // skipToRecovery advances past the next ';' at brace depth 0, past a
@@ -113,13 +163,16 @@ func (p *parser) startsDecl() bool {
 }
 
 func (p *parser) parseUnit() *TranslationUnit {
-	tu := &TranslationUnit{pos: p.here()}
+	tu := alloc(&p.a.units)
+	*tu = TranslationUnit{pos: p.here()}
+	mark := len(p.a.nodeStk)
 	for !p.eof() {
 		d := p.parseTopDecl()
 		if d != nil {
-			tu.Decls = append(tu.Decls, d)
+			p.a.nodeStk = append(p.a.nodeStk, d)
 		}
 	}
+	tu.Decls = p.takeNodes(mark)
 	return tu
 }
 
@@ -128,20 +181,28 @@ func (p *parser) parseTopDecl() Node {
 	switch {
 	case t.Kind == cpptok.KindPreproc:
 		p.next()
-		return &Preproc{pos: pos{t.Line}, Text: t.Text}
+		n := alloc(&p.a.preprocs)
+		*n = Preproc{pos: pos{t.Line}, Text: t.Text}
+		return n
 	case t.Is("using"):
 		start := p.pos
 		p.skipPastSemi()
-		return &UsingDirective{pos: pos{t.Line}, Text: p.textBetween(start, p.pos)}
+		n := alloc(&p.a.usings)
+		*n = UsingDirective{pos: pos{t.Line}, Text: p.textBetween(start, p.pos)}
+		return n
 	case t.Is("typedef"):
 		start := p.pos
 		p.skipPastSemi()
-		return &TypedefDecl{pos: pos{t.Line}, Text: p.textBetween(start, p.pos)}
+		n := alloc(&p.a.typedefs)
+		*n = TypedefDecl{pos: pos{t.Line}, Text: p.textBetween(start, p.pos)}
+		return n
 	case t.Is("struct"), t.Is("class"):
 		return p.parseStruct()
 	case t.Is(";"):
 		p.next()
-		return &EmptyStmt{pos: pos{t.Line}}
+		n := alloc(&p.a.empties)
+		*n = EmptyStmt{pos: pos{t.Line}}
+		return n
 	case t.Is("template"):
 		// template<...> followed by a function or struct; skip the
 		// template header and parse what follows.
@@ -196,22 +257,28 @@ func (p *parser) parseStruct() Node {
 	if p.cur().Kind == cpptok.KindIdent {
 		name = p.next().Text
 	}
-	sd := &StructDecl{pos: at, Keyword: kw, Name: name}
+	sd := alloc(&p.a.structs)
+	*sd = StructDecl{pos: at, Keyword: kw, Name: name}
 	if !p.accept("{") {
 		// Forward declaration or variable of struct type; treat the
 		// rest as unknown.
 		start := p.pos
 		p.skipPastSemi()
-		return &Unknown{pos: at, Text: kw + " " + name + " " + p.textBetween(start, p.pos)}
+		rest := p.textBetween(start, p.pos)
+		n := alloc(&p.a.unknowns)
+		*n = Unknown{pos: at, Text: p.concat(kw, " ", name, " ", rest)}
+		return n
 	}
+	mark := len(p.a.nodeStk)
 	for !p.eof() && !p.cur().Is("}") {
 		if p.cur().Is("public") || p.cur().Is("private") || p.cur().Is("protected") {
 			p.next()
 			p.accept(":")
 			continue
 		}
-		sd.Members = append(sd.Members, p.parseStmt())
+		p.a.nodeStk = append(p.a.nodeStk, p.parseStmt())
 	}
+	sd.Members = p.takeNodes(mark)
 	p.expect("}")
 	p.accept(";")
 	return sd
@@ -231,41 +298,88 @@ var typeQualifiers = map[string]bool{
 	"volatile": true, "register": true, "extern": true, "mutable": true,
 }
 
+// joinParts joins the type-name fragments pushed since mark with
+// single spaces (the strings.Join of the old code) and pops them. A
+// single fragment is returned as-is: the common "int x" case touches
+// no scratch at all.
+func (p *parser) joinParts(mark int) string {
+	a := p.a
+	parts := a.parts[mark:]
+	var s string
+	switch len(parts) {
+	case 0:
+		s = ""
+	case 1:
+		s = parts[0]
+	default:
+		a.buf = a.buf[:0]
+		for i, part := range parts {
+			if i > 0 {
+				a.buf = append(a.buf, ' ')
+			}
+			a.buf = append(a.buf, part...)
+		}
+		s = a.internBytes(a.buf)
+	}
+	a.parts = a.parts[:mark]
+	return s
+}
+
+// qualifiedIdent consumes an ident(::ident)*(<...>)? chain starting
+// with the already-consumed first segment, composing the name through
+// arena scratch. The bare-ident fast path returns the token text
+// unchanged.
+func (p *parser) qualifiedIdent(first string, withTemplate bool) string {
+	if !p.cur().Is("::") && !(withTemplate && p.cur().Is("<")) {
+		return first
+	}
+	a := p.a
+	a.buf2 = append(a.buf2[:0], first...)
+	composed := false
+	for p.cur().Is("::") && p.at(1).Kind == cpptok.KindIdent {
+		p.next()
+		a.buf2 = append(a.buf2, "::"...)
+		a.buf2 = append(a.buf2, p.next().Text...)
+		composed = true
+	}
+	if withTemplate && p.cur().Is("<") {
+		tplStart := p.pos
+		if tpl, ok := p.tryParseTemplateArgs(); ok {
+			a.buf2 = append(a.buf2, tpl...)
+			composed = true
+		} else {
+			p.pos = tplStart
+		}
+	}
+	if !composed {
+		return first
+	}
+	return a.internBytes(a.buf2)
+}
+
 // tryParseType attempts to parse a type at the current position. On
 // success it returns the normalized type text and true, leaving the
 // parser after the type. On failure it restores the position.
 func (p *parser) tryParseType() (string, bool) {
 	start := p.pos
-	var parts []string
+	a := p.a
+	mark := len(a.parts)
 	seenBase := false
 	for {
 		t := p.cur()
 		switch {
 		case t.Kind == cpptok.KindKeyword && typeQualifiers[t.Text]:
-			parts = append(parts, t.Text)
+			a.parts = append(a.parts, t.Text)
 			p.next()
 		case t.Kind == cpptok.KindKeyword && typeKeywords[t.Text]:
-			parts = append(parts, t.Text)
+			a.parts = append(a.parts, t.Text)
 			seenBase = true
 			p.next()
 			// "long long", "unsigned int", etc. continue the loop.
 		case !seenBase && t.Kind == cpptok.KindIdent:
 			// Possibly a user/library type: ident(::ident)*(<...>)?
-			name := t.Text
 			p.next()
-			for p.cur().Is("::") && p.at(1).Kind == cpptok.KindIdent {
-				p.next()
-				name += "::" + p.next().Text
-			}
-			if p.cur().Is("<") {
-				tplStart := p.pos
-				if tpl, ok := p.tryParseTemplateArgs(); ok {
-					name += tpl
-				} else {
-					p.pos = tplStart
-				}
-			}
-			parts = append(parts, name)
+			a.parts = append(a.parts, p.qualifiedIdent(t.Text, true))
 			seenBase = true
 		default:
 			goto post
@@ -274,12 +388,13 @@ func (p *parser) tryParseType() (string, bool) {
 post:
 	if !seenBase {
 		p.pos = start
+		a.parts = a.parts[:mark]
 		return "", false
 	}
 	for p.cur().Is("*") || p.cur().Is("&") || p.cur().Is("const") {
-		parts = append(parts, p.next().Text)
+		a.parts = append(a.parts, p.next().Text)
 	}
-	return strings.Join(parts, " "), true
+	return p.joinParts(mark), true
 }
 
 // tryParseTemplateArgs parses a balanced template argument list at '<',
@@ -308,11 +423,12 @@ func (p *parser) tryParseTemplateArgs() (string, bool) {
 		}
 		p.next()
 		if depth <= 0 {
-			var b strings.Builder
+			a := p.a
+			a.buf = a.buf[:0]
 			for i := start; i < p.pos; i++ {
-				b.WriteString(p.toks[i].Text)
+				a.buf = append(a.buf, p.toks[i].Text...)
 			}
-			return b.String(), true
+			return a.internBytes(a.buf), true
 		}
 	}
 	p.pos = start
@@ -325,7 +441,9 @@ func (p *parser) parseFuncOrVar() Node {
 	at := p.here()
 	typ, ok := p.tryParseType()
 	if !ok || p.cur().Kind != cpptok.KindIdent {
-		return &Unknown{pos: at, Text: p.skipToRecovery()}
+		n := alloc(&p.a.unknowns)
+		*n = Unknown{pos: at, Text: p.skipToRecovery()}
+		return n
 	}
 	name := p.next().Text
 	if p.cur().Is("(") {
@@ -336,7 +454,9 @@ func (p *parser) parseFuncOrVar() Node {
 
 func (p *parser) parseFuncRest(at pos, retType, name string) Node {
 	p.expect("(")
-	f := &FuncDecl{pos: at, RetType: retType, Name: name}
+	f := alloc(&p.a.funcs)
+	*f = FuncDecl{pos: at, RetType: retType, Name: name}
+	mark := len(p.a.paramStk)
 	for !p.eof() && !p.cur().Is(")") {
 		pp := p.here()
 		ptype, ok := p.tryParseType()
@@ -367,11 +487,14 @@ func (p *parser) parseFuncRest(at pos, retType, name string) Node {
 		if p.accept("=") {
 			p.parseAssign()
 		}
-		f.Params = append(f.Params, &Param{pos: pp, Type: ptype, Name: pname, Ref: ref})
+		prm := alloc(&p.a.params)
+		*prm = Param{pos: pp, Type: ptype, Name: pname, Ref: ref}
+		p.a.paramStk = append(p.a.paramStk, prm)
 		if !p.accept(",") {
 			break
 		}
 	}
+	f.Params = p.takeParams(mark)
 	p.expect(")")
 	if p.accept(";") {
 		return f // prototype
@@ -380,7 +503,10 @@ func (p *parser) parseFuncRest(at pos, retType, name string) Node {
 		f.Body = p.parseBlock()
 		return f
 	}
-	return &Unknown{pos: at, Text: retType + " " + name + "(...)" + p.skipToRecovery()}
+	rest := p.skipToRecovery()
+	n := alloc(&p.a.unknowns)
+	*n = Unknown{pos: at, Text: p.concat(retType, " ", name, "(...)", rest)}
+	return n
 }
 
 func (p *parser) skipToCommaOrClose() {
@@ -418,19 +544,24 @@ func (p *parser) skipBalanced(open, close string) {
 }
 
 func (p *parser) parseVarDeclRest(at pos, typ, firstName string) Node {
-	vd := &VarDecl{pos: at, Type: typ}
+	vd := alloc(&p.a.vardecls)
+	*vd = VarDecl{pos: at, Type: typ}
+	declMark := len(p.a.declStk)
 	name := firstName
 	for {
-		d := &Declarator{pos: p.here(), Name: name}
+		d := alloc(&p.a.decltors)
+		*d = Declarator{pos: p.here(), Name: name}
+		alMark := len(p.a.nodeStk)
 		for p.cur().Is("[") {
 			p.next()
 			if !p.cur().Is("]") {
-				d.ArrayLen = append(d.ArrayLen, p.parseAssign())
+				p.a.nodeStk = append(p.a.nodeStk, p.parseAssign())
 			} else {
-				d.ArrayLen = append(d.ArrayLen, nil)
+				p.a.nodeStk = append(p.a.nodeStk, nil)
 			}
 			p.expect("]")
 		}
+		d.ArrayLen = p.takeNodes(alMark)
 		switch {
 		case p.accept("="):
 			if p.cur().Is("{") {
@@ -448,7 +579,7 @@ func (p *parser) parseVarDeclRest(at pos, typ, firstName string) Node {
 		case p.cur().Is("{"):
 			d.Init = p.parseBraceInit()
 		}
-		vd.Names = append(vd.Names, d)
+		p.a.declStk = append(p.a.declStk, d)
 		if !p.accept(",") {
 			break
 		}
@@ -457,8 +588,12 @@ func (p *parser) parseVarDeclRest(at pos, typ, firstName string) Node {
 		}
 		name = p.next().Text
 	}
+	vd.Names = p.takeDecls(declMark)
 	if !p.accept(";") {
-		return &Unknown{pos: at, Text: typ + " ... " + p.skipToRecovery()}
+		rest := p.skipToRecovery()
+		n := alloc(&p.a.unknowns)
+		*n = Unknown{pos: at, Text: p.concat(typ, " ... ", rest)}
+		return n
 	}
 	return vd
 }
@@ -468,23 +603,31 @@ func (p *parser) parseVarDeclRest(at pos, typ, firstName string) Node {
 func (p *parser) parseBraceInit() Node {
 	at := p.here()
 	p.expect("{")
-	call := &CallExpr{pos: at, Fun: &Ident{pos: at, Name: "{}"}}
+	fun := alloc(&p.a.idents)
+	*fun = Ident{pos: at, Name: "{}"}
+	call := alloc(&p.a.calls)
+	*call = CallExpr{pos: at, Fun: fun}
+	mark := len(p.a.nodeStk)
 	for !p.eof() && !p.cur().Is("}") {
-		call.Args = append(call.Args, p.parseAssign())
+		p.a.nodeStk = append(p.a.nodeStk, p.parseAssign())
 		if !p.accept(",") {
 			break
 		}
 	}
+	call.Args = p.takeNodes(mark)
 	p.expect("}")
 	return call
 }
 
 func (p *parser) parseBlock() *Block {
-	b := &Block{pos: p.here()}
+	b := alloc(&p.a.blocks)
+	*b = Block{pos: p.here()}
 	p.expect("{")
+	mark := len(p.a.nodeStk)
 	for !p.eof() && !p.cur().Is("}") {
-		b.Stmts = append(b.Stmts, p.parseStmt())
+		p.a.nodeStk = append(p.a.nodeStk, p.parseStmt())
 	}
+	b.Stmts = p.takeNodes(mark)
 	p.expect("}")
 	return b
 }
@@ -518,12 +661,16 @@ func (p *parser) parseStmt() Node {
 	switch {
 	case t.Kind == cpptok.KindPreproc:
 		p.next()
-		return &Preproc{pos: pos{t.Line}, Text: t.Text}
+		n := alloc(&p.a.preprocs)
+		*n = Preproc{pos: pos{t.Line}, Text: t.Text}
+		return n
 	case t.Is("{"):
 		return p.parseBlock()
 	case t.Is(";"):
 		p.next()
-		return &EmptyStmt{pos: at}
+		n := alloc(&p.a.empties)
+		*n = EmptyStmt{pos: at}
+		return n
 	case t.Is("if"):
 		return p.parseIf()
 	case t.Is("for"):
@@ -536,48 +683,69 @@ func (p *parser) parseStmt() Node {
 		return p.parseSwitch()
 	case t.Is("return"):
 		p.next()
-		r := &Return{pos: at}
+		r := alloc(&p.a.returns)
+		*r = Return{pos: at}
 		if !p.cur().Is(";") {
 			r.Value = p.parseExpr()
 		}
 		if !p.accept(";") {
-			return &Unknown{pos: at, Text: "return " + p.skipToRecovery()}
+			rest := p.skipToRecovery()
+			n := alloc(&p.a.unknowns)
+			*n = Unknown{pos: at, Text: p.concat("return ", rest)}
+			return n
 		}
 		return r
 	case t.Is("break"):
 		p.next()
 		p.accept(";")
-		return &Break{pos: at}
+		n := alloc(&p.a.breaks)
+		*n = Break{pos: at}
+		return n
 	case t.Is("continue"):
 		p.next()
 		p.accept(";")
-		return &Continue{pos: at}
+		n := alloc(&p.a.conts)
+		*n = Continue{pos: at}
+		return n
 	case t.Is("using"):
 		start := p.pos
 		p.skipPastSemi()
-		return &UsingDirective{pos: at, Text: p.textBetween(start, p.pos)}
+		n := alloc(&p.a.usings)
+		*n = UsingDirective{pos: at, Text: p.textBetween(start, p.pos)}
+		return n
 	case t.Is("typedef"):
 		start := p.pos
 		p.skipPastSemi()
-		return &TypedefDecl{pos: at, Text: p.textBetween(start, p.pos)}
+		n := alloc(&p.a.typedefs)
+		*n = TypedefDecl{pos: at, Text: p.textBetween(start, p.pos)}
+		return n
 	case t.Is("struct"), t.Is("class"):
 		return p.parseStruct()
 	case p.looksLikeDecl():
 		typ, _ := p.tryParseType()
 		if p.cur().Kind != cpptok.KindIdent {
-			return &Unknown{pos: at, Text: typ + " " + p.skipToRecovery()}
+			rest := p.skipToRecovery()
+			n := alloc(&p.a.unknowns)
+			*n = Unknown{pos: at, Text: p.concat(typ, " ", rest)}
+			return n
 		}
 		name := p.next().Text
 		return p.parseVarDeclRest(at, typ, name)
 	default:
 		x := p.parseExpr()
 		if x == nil {
-			return &Unknown{pos: at, Text: p.skipToRecovery()}
+			n := alloc(&p.a.unknowns)
+			*n = Unknown{pos: at, Text: p.skipToRecovery()}
+			return n
 		}
 		if !p.accept(";") {
-			return &Unknown{pos: at, Text: p.skipToRecovery()}
+			n := alloc(&p.a.unknowns)
+			*n = Unknown{pos: at, Text: p.skipToRecovery()}
+			return n
 		}
-		return &ExprStmt{pos: at, X: x}
+		n := alloc(&p.a.exprstmts)
+		*n = ExprStmt{pos: at, X: x}
+		return n
 	}
 }
 
@@ -593,7 +761,8 @@ func (p *parser) parseParenCond() Node {
 func (p *parser) parseIf() Node {
 	at := p.here()
 	p.expect("if")
-	n := &If{pos: at, Cond: p.parseParenCond()}
+	n := alloc(&p.a.ifs)
+	*n = If{pos: at, Cond: p.parseParenCond()}
 	n.Then = p.parseStmt()
 	if p.accept("else") {
 		n.Else = p.parseStmt()
@@ -605,7 +774,8 @@ func (p *parser) parseFor() Node {
 	at := p.here()
 	p.expect("for")
 	p.expect("(")
-	n := &For{pos: at}
+	n := alloc(&p.a.fors)
+	*n = For{pos: at}
 	// Init clause.
 	if !p.cur().Is(";") {
 		if p.looksLikeDecl() {
@@ -622,17 +792,23 @@ func (p *parser) parseFor() Node {
 				body := p.parseStmt()
 				// Model as a While over an opaque range condition so
 				// the tree still records a loop.
-				return &For{
-					pos:  at,
-					Init: &VarDecl{pos: at, Type: typ, Names: []*Declarator{{pos: at, Name: name}}},
-					Cond: rangeExpr,
-					Body: body,
-				}
+				d := alloc(&p.a.decltors)
+				*d = Declarator{pos: at, Name: name}
+				declMark := len(p.a.declStk)
+				p.a.declStk = append(p.a.declStk, d)
+				vd := alloc(&p.a.vardecls)
+				*vd = VarDecl{pos: at, Type: typ, Names: p.takeDecls(declMark)}
+				n.Init = vd
+				n.Cond = rangeExpr
+				n.Body = body
+				return n
 			}
 			n.Init = p.parseVarDeclRest(at, typ, name)
 			// parseVarDeclRest consumed the ';'.
 		} else {
-			n.Init = &ExprStmt{pos: at, X: p.parseExpr()}
+			es := alloc(&p.a.exprstmts)
+			*es = ExprStmt{pos: at, X: p.parseExpr()}
+			n.Init = es
 			p.expect(";")
 		}
 	} else {
@@ -653,7 +829,8 @@ func (p *parser) parseFor() Node {
 func (p *parser) parseWhile() Node {
 	at := p.here()
 	p.expect("while")
-	n := &While{pos: at, Cond: p.parseParenCond()}
+	n := alloc(&p.a.whiles)
+	*n = While{pos: at, Cond: p.parseParenCond()}
 	n.Body = p.parseStmt()
 	return n
 }
@@ -661,7 +838,8 @@ func (p *parser) parseWhile() Node {
 func (p *parser) parseDoWhile() Node {
 	at := p.here()
 	p.expect("do")
-	n := &DoWhile{pos: at}
+	n := alloc(&p.a.dos)
+	*n = DoWhile{pos: at}
 	n.Body = p.parseStmt()
 	p.expect("while")
 	n.Cond = p.parseParenCond()
@@ -672,33 +850,51 @@ func (p *parser) parseDoWhile() Node {
 func (p *parser) parseSwitch() Node {
 	at := p.here()
 	p.expect("switch")
-	n := &Switch{pos: at, Cond: p.parseParenCond()}
+	n := alloc(&p.a.switches)
+	*n = Switch{pos: at, Cond: p.parseParenCond()}
 	if !p.expect("{") {
 		return n
 	}
+	caseMark := len(p.a.caseStk)
+	stmtMark := len(p.a.nodeStk)
 	var case_ *SwitchCase
+	closeCase := func() {
+		if case_ != nil {
+			case_.Stmts = p.takeNodes(stmtMark)
+		}
+	}
 	for !p.eof() && !p.cur().Is("}") {
 		switch {
 		case p.cur().Is("case"):
+			closeCase()
 			p.next()
-			case_ = &SwitchCase{pos: p.here(), Value: p.parseExpr()}
+			case_ = alloc(&p.a.cases)
+			*case_ = SwitchCase{pos: p.here(), Value: p.parseExpr()}
 			p.expect(":")
-			n.Cases = append(n.Cases, case_)
+			p.a.caseStk = append(p.a.caseStk, case_)
+			stmtMark = len(p.a.nodeStk)
 		case p.cur().Is("default"):
+			closeCase()
 			p.next()
 			p.expect(":")
-			case_ = &SwitchCase{pos: p.here()}
-			n.Cases = append(n.Cases, case_)
+			case_ = alloc(&p.a.cases)
+			*case_ = SwitchCase{pos: p.here()}
+			p.a.caseStk = append(p.a.caseStk, case_)
+			stmtMark = len(p.a.nodeStk)
 		default:
 			s := p.parseStmt()
 			if case_ == nil {
-				case_ = &SwitchCase{pos: p.here()}
-				n.Cases = append(n.Cases, case_)
+				case_ = alloc(&p.a.cases)
+				*case_ = SwitchCase{pos: p.here()}
+				p.a.caseStk = append(p.a.caseStk, case_)
+				stmtMark = len(p.a.nodeStk)
 			}
-			case_.Stmts = append(case_.Stmts, s)
+			p.a.nodeStk = append(p.a.nodeStk, s)
 		}
 	}
+	closeCase()
 	p.expect("}")
+	n.Cases = p.takeCases(caseMark)
 	return n
 }
 
@@ -728,7 +924,9 @@ func (p *parser) parseExpr() Node {
 		if y == nil {
 			return x
 		}
-		x = &BinaryExpr{pos: at, Op: ",", L: x, R: y}
+		b := alloc(&p.a.binaries)
+		*b = BinaryExpr{pos: at, Op: ",", L: x, R: y}
+		x = b
 	}
 	return x
 }
@@ -754,7 +952,9 @@ func (p *parser) parseBinary(minPrec int) Node {
 			then := p.parseAssign()
 			p.expect(":")
 			els := p.parseBinary(2)
-			x = &TernaryExpr{pos: at, Cond: x, Then: then, Else: els}
+			tn := alloc(&p.a.ternaries)
+			*tn = TernaryExpr{pos: at, Cond: x, Then: then, Else: els}
+			x = tn
 			continue
 		}
 		prec, ok := binaryPrec[t.Text]
@@ -771,7 +971,9 @@ func (p *parser) parseBinary(minPrec int) Node {
 		if y == nil {
 			return x
 		}
-		x = &BinaryExpr{pos: at, Op: t.Text, L: x, R: y}
+		b := alloc(&p.a.binaries)
+		*b = BinaryExpr{pos: at, Op: t.Text, L: x, R: y}
+		x = b
 	}
 	return x
 }
@@ -786,7 +988,9 @@ func (p *parser) parseUnary() Node {
 		if x == nil {
 			return nil
 		}
-		return &UnaryExpr{pos: at, Op: t.Text, X: x}
+		u := alloc(&p.a.unaries)
+		*u = UnaryExpr{pos: at, Op: t.Text, X: x}
+		return u
 	}
 	return p.parsePostfix()
 }
@@ -802,24 +1006,29 @@ func (p *parser) parsePostfix() Node {
 		switch {
 		case t.Is("("):
 			p.next()
-			call := &CallExpr{pos: at, Fun: x}
+			call := alloc(&p.a.calls)
+			*call = CallExpr{pos: at, Fun: x}
+			mark := len(p.a.nodeStk)
 			for !p.eof() && !p.cur().Is(")") {
 				arg := p.parseAssign()
 				if arg == nil {
 					break
 				}
-				call.Args = append(call.Args, arg)
+				p.a.nodeStk = append(p.a.nodeStk, arg)
 				if !p.accept(",") {
 					break
 				}
 			}
+			call.Args = p.takeNodes(mark)
 			p.expect(")")
 			x = call
 		case t.Is("["):
 			p.next()
 			idx := p.parseExpr()
 			p.expect("]")
-			x = &IndexExpr{pos: at, X: x, Index: idx}
+			ix := alloc(&p.a.indexes)
+			*ix = IndexExpr{pos: at, X: x, Index: idx}
+			x = ix
 		case t.Is("."), t.Is("->"):
 			arrow := t.Text == "->"
 			p.next()
@@ -827,10 +1036,14 @@ func (p *parser) parsePostfix() Node {
 			if p.cur().Kind == cpptok.KindIdent {
 				sel = p.next().Text
 			}
-			x = &MemberExpr{pos: at, X: x, Sel: sel, Arrow: arrow}
+			m := alloc(&p.a.members)
+			*m = MemberExpr{pos: at, X: x, Sel: sel, Arrow: arrow}
+			x = m
 		case t.Is("++"), t.Is("--"):
 			p.next()
-			x = &UnaryExpr{pos: at, Op: t.Text, X: x, Postfix: true}
+			u := alloc(&p.a.unaries)
+			*u = UnaryExpr{pos: at, Op: t.Text, X: x, Postfix: true}
+			x = u
 		default:
 			return x
 		}
@@ -850,23 +1063,25 @@ func (p *parser) tryCast() Node {
 	save := p.pos
 	at := p.here()
 	p.expect("(")
-	var parts []string
+	a := p.a
+	mark := len(a.parts)
 	seenKeyword := false
 	for {
 		t := p.cur()
 		if t.Kind == cpptok.KindKeyword && (castKeywords[t.Text] || t.Text == "const") {
 			seenKeyword = true
-			parts = append(parts, p.next().Text)
+			a.parts = append(a.parts, p.next().Text)
 			continue
 		}
 		if t.Is("*") || t.Is("&") {
-			parts = append(parts, p.next().Text)
+			a.parts = append(a.parts, p.next().Text)
 			continue
 		}
 		break
 	}
 	if !seenKeyword || !p.cur().Is(")") {
 		p.pos = save
+		a.parts = a.parts[:mark]
 		return nil
 	}
 	p.next() // ')'
@@ -878,14 +1093,18 @@ func (p *parser) tryCast() Node {
 		t.Is("-") || t.Is("+") || t.Is("!") || t.Is("~") || t.Is("++") || t.Is("--")
 	if !startsExpr {
 		p.pos = save
+		a.parts = a.parts[:mark]
 		return nil
 	}
+	typ := p.joinParts(mark)
 	x := p.parseUnary()
 	if x == nil {
 		p.pos = save
 		return nil
 	}
-	return &CastExpr{pos: at, Type: strings.Join(parts, " "), X: x}
+	c := alloc(&p.a.casts)
+	*c = CastExpr{pos: at, Type: typ, X: x}
+	return c
 }
 
 func (p *parser) parsePrimary() Node {
@@ -894,30 +1113,30 @@ func (p *parser) parsePrimary() Node {
 	switch t.Kind {
 	case cpptok.KindIntLit:
 		p.next()
-		return &Lit{pos: at, LitKind: "int", Text: t.Text}
+		return p.newLit(at, "int", t.Text)
 	case cpptok.KindFloatLit:
 		p.next()
-		return &Lit{pos: at, LitKind: "float", Text: t.Text}
+		return p.newLit(at, "float", t.Text)
 	case cpptok.KindStringLit:
 		p.next()
-		return &Lit{pos: at, LitKind: "string", Text: t.Text}
+		return p.newLit(at, "string", t.Text)
 	case cpptok.KindCharLit:
 		p.next()
-		return &Lit{pos: at, LitKind: "char", Text: t.Text}
+		return p.newLit(at, "char", t.Text)
 	case cpptok.KindKeyword:
 		switch t.Text {
 		case "true", "false":
 			p.next()
-			return &Lit{pos: at, LitKind: "bool", Text: t.Text}
+			return p.newLit(at, "bool", t.Text)
 		case "sizeof":
 			p.next()
 			if p.cur().Is("(") {
 				p.skipBalanced("(", ")")
 			}
-			return &Ident{pos: at, Name: "sizeof"}
+			return p.newIdent(at, "sizeof")
 		case "new", "delete", "this", "nullptr":
 			p.next()
-			return &Ident{pos: at, Name: t.Text}
+			return p.newIdent(at, t.Text)
 		// Functional casts: int(x), double(y).
 		case "int", "double", "float", "long", "char", "bool", "unsigned", "short":
 			if p.at(1).Is("(") {
@@ -925,17 +1144,15 @@ func (p *parser) parsePrimary() Node {
 				p.next() // (
 				x := p.parseExpr()
 				p.expect(")")
-				return &CastExpr{pos: at, Type: typ, X: x}
+				c := alloc(&p.a.casts)
+				*c = CastExpr{pos: at, Type: typ, X: x}
+				return c
 			}
 		}
 		return nil
 	case cpptok.KindIdent:
-		name := p.next().Text
-		for p.cur().Is("::") && p.at(1).Kind == cpptok.KindIdent {
-			p.next()
-			name += "::" + p.next().Text
-		}
-		return &Ident{pos: at, Name: name}
+		p.next()
+		return p.newIdent(at, p.qualifiedIdent(t.Text, false))
 	case cpptok.KindPunct:
 		if t.Is("(") {
 			if c := p.tryCast(); c != nil {
@@ -947,7 +1164,9 @@ func (p *parser) parsePrimary() Node {
 			if x == nil {
 				return nil
 			}
-			return &ParenExpr{pos: at, X: x}
+			pe := alloc(&p.a.parens)
+			*pe = ParenExpr{pos: at, X: x}
+			return pe
 		}
 		if t.Is("{") {
 			return p.parseBraceInit()
@@ -956,4 +1175,16 @@ func (p *parser) parsePrimary() Node {
 	default:
 		return nil
 	}
+}
+
+func (p *parser) newLit(at pos, kind, text string) *Lit {
+	l := alloc(&p.a.lits)
+	*l = Lit{pos: at, LitKind: kind, Text: text}
+	return l
+}
+
+func (p *parser) newIdent(at pos, name string) *Ident {
+	id := alloc(&p.a.idents)
+	*id = Ident{pos: at, Name: name}
+	return id
 }

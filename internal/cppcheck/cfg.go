@@ -113,6 +113,7 @@ type cfgBuilder struct {
 	g     *CFG
 	cur   *Block
 	loops []loopCtx
+	arena *CFGArena // nil: every node heap-allocated (BuildCFG)
 }
 
 // BuildCFG constructs the control-flow graph of fn's body. It returns
@@ -137,9 +138,25 @@ func BuildCFG(fn *cppast.FuncDecl) *CFG {
 }
 
 func (b *cfgBuilder) newBlock(label string) *Block {
-	blk := &Block{ID: len(b.g.Blocks), Label: label}
+	var blk *Block
+	if b.arena != nil {
+		blk = b.arena.takeBlock()
+		blk.Label = label
+	} else {
+		blk = &Block{Label: label}
+	}
+	blk.ID = len(b.g.Blocks)
 	b.g.Blocks = append(b.g.Blocks, blk)
 	return blk
+}
+
+// exprStmt wraps an expression as a statement node (the for-post
+// materialization), recycling arena storage when available.
+func (b *cfgBuilder) exprStmt(x cppast.Node) *cppast.ExprStmt {
+	if b.arena != nil {
+		return b.arena.takeExprStmt(x)
+	}
+	return &cppast.ExprStmt{X: x}
 }
 
 func link(from, to *Block) {
@@ -266,7 +283,7 @@ func (b *cfgBuilder) forStmt(n *cppast.For) {
 	if n.Post != nil {
 		// Materialize the post clause as a statement so dataflow and
 		// the fingerprint see for/while forms identically.
-		post.Stmts = append(post.Stmts, &cppast.ExprStmt{X: n.Post})
+		post.Stmts = append(post.Stmts, b.exprStmt(n.Post))
 	}
 	link(post, cond)
 	b.loops = b.loops[:len(b.loops)-1]

@@ -1,0 +1,109 @@
+package cppcheck
+
+import (
+	"gptattr/internal/cppast"
+)
+
+// CFGArena recycles every piece of CFG storage — block structs (with
+// their edge and statement slices), the blocks index, and the ExprStmt
+// wrappers materialized for for-loop post clauses — so repeated CFG
+// construction over a stream of functions allocates nothing in steady
+// state.
+//
+// One arena backs ONE live CFG at a time: BuildCFGArena invalidates
+// the graph returned by the previous call. Callers that need graphs to
+// outlive the next build must use BuildCFG.
+type CFGArena struct {
+	g      CFG
+	blocks []*Block // high-water pool; [:used] handed to the live CFG
+	used   int
+	exprs  []*cppast.ExprStmt
+	usedEx int
+	loops  []loopCtx
+}
+
+// NewCFGArena returns an empty arena.
+func NewCFGArena() *CFGArena { return &CFGArena{} }
+
+// takeBlock returns a zeroed Block whose slice fields keep their old
+// capacity.
+func (a *CFGArena) takeBlock() *Block {
+	if a.used < len(a.blocks) {
+		blk := a.blocks[a.used]
+		a.used++
+		*blk = Block{
+			Stmts:    blk.Stmts[:0],
+			Succs:    blk.Succs[:0],
+			Preds:    blk.Preds[:0],
+			CaseVals: blk.CaseVals[:0],
+		}
+		return blk
+	}
+	blk := &Block{}
+	a.blocks = append(a.blocks, blk)
+	a.used++
+	return blk
+}
+
+// takeExprStmt returns a recycled ExprStmt wrapping x.
+func (a *CFGArena) takeExprStmt(x cppast.Node) *cppast.ExprStmt {
+	if a.usedEx < len(a.exprs) {
+		e := a.exprs[a.usedEx]
+		a.usedEx++
+		*e = cppast.ExprStmt{X: x}
+		return e
+	}
+	e := &cppast.ExprStmt{X: x}
+	a.exprs = append(a.exprs, e)
+	a.usedEx++
+	return e
+}
+
+// Release drops references into the last-built function's AST (block
+// statement lists, conditions, materialized post clauses) so a pooled
+// arena does not pin a request's tree between uses.
+func (a *CFGArena) Release() {
+	for _, blk := range a.blocks {
+		*blk = Block{
+			Stmts:    blk.Stmts[:0:cap(blk.Stmts)],
+			Succs:    blk.Succs[:0:cap(blk.Succs)],
+			Preds:    blk.Preds[:0:cap(blk.Preds)],
+			CaseVals: blk.CaseVals[:0:cap(blk.CaseVals)],
+		}
+		clear(blk.Stmts[:cap(blk.Stmts)])
+		clear(blk.Succs[:cap(blk.Succs)])
+		clear(blk.Preds[:cap(blk.Preds)])
+		clear(blk.CaseVals[:cap(blk.CaseVals)])
+	}
+	for _, e := range a.exprs {
+		*e = cppast.ExprStmt{}
+	}
+	a.g = CFG{Blocks: a.g.Blocks[:0]}
+	a.used, a.usedEx = 0, 0
+}
+
+// BuildCFGArena is BuildCFG over recycled storage. It returns nil for
+// a bodyless prototype; otherwise the graph is identical (same block
+// IDs, labels, edges, statement lists) to what BuildCFG produces. The
+// returned *CFG, and every Block in it, is owned by the arena and
+// valid only until the next BuildCFGArena or Release call.
+func BuildCFGArena(fn *cppast.FuncDecl, a *CFGArena) *CFG {
+	if fn == nil || fn.Body == nil {
+		return nil
+	}
+	a.used, a.usedEx = 0, 0
+	blocks := a.g.Blocks[:0]
+	g := &a.g
+	*g = CFG{Fn: fn, Blocks: blocks}
+	b := &cfgBuilder{g: g, loops: a.loops[:0], arena: a}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	first := b.newBlock("body")
+	link(g.Entry, first)
+	b.cur = first
+	b.stmts(fn.Body.Stmts)
+	// Fall off the end of the body: implicit return.
+	link(b.cur, g.Exit)
+	a.loops = b.loops[:0]
+	return g
+}

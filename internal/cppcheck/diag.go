@@ -85,41 +85,41 @@ func AnalyzeFunc(fn *cppast.FuncDecl, funcs map[string]*cppast.FuncDecl) []Diagn
 
 // valueRuleApplies gates the flow-value rules to variables the flat
 // model tracks faithfully: single-declaration, non-escaped scalars.
-func (fa *funcAnalysis) valueRuleApplies(name string) bool {
-	v, ok := fa.vars[name]
-	return ok && v.Scalar && !v.Escaped && !v.MultiDecl && !v.Param
+func (fa *funcAnalysis) valueRuleApplies(vid int32) bool {
+	v := &fa.vars[vid]
+	return v.Scalar && !v.Escaped && !v.MultiDecl && !v.Param
 }
 
 // checkUninitReads reports reads possibly reached by the synthetic
 // uninitialized definition of an initializer-less scalar declaration.
 func (fa *funcAnalysis) checkUninitReads() []Diagnostic {
 	r := fa.reachingDefs()
-	reported := make(map[string]bool) // one finding per variable
+	reported := make([]bool, len(fa.vars)) // one finding per variable
+	cur := make([]uint64, r.w)
 	var out []Diagnostic
 	for _, b := range fa.g.RPO() {
-		cur := make([]bool, len(r.in[b]))
-		copy(cur, r.in[b])
-		for i, ev := range fa.events[b] {
+		copy(cur, r.row(r.in, b))
+		for ei := fa.evOff[b.ID]; ei < fa.evOff[b.ID+1]; ei++ {
+			ev := fa.events[ei]
 			switch ev.kind {
 			case evUse:
-				id, hasUninit := r.uninitID[ev.name]
-				if hasUninit && cur[id] && fa.valueRuleApplies(ev.name) && !reported[ev.name] {
-					reported[ev.name] = true
+				id := r.uninitID[ev.vid]
+				if id >= 0 && hasBit(cur, id) && fa.valueRuleApplies(ev.vid) && !reported[ev.vid] {
+					reported[ev.vid] = true
+					name := fa.vars[ev.vid].Name
 					out = append(out, Diagnostic{
 						Rule: RuleUninitRead,
 						Func: fa.g.Fn.Name,
-						Line: ev.line,
-						Var:  ev.name,
-						Msg:  fmt.Sprintf("variable %q may be read before initialization", ev.name),
+						Line: int(ev.line),
+						Var:  name,
+						Msg:  fmt.Sprintf("variable %q may be read before initialization", name),
 					})
 				}
 			case evDef:
-				for _, id := range r.defsOf[ev.name] {
-					cur[id] = false
+				for _, id := range r.defsOf[ev.vid] {
+					clearBit(cur, id)
 				}
-				if id := r.idOf(b, i); id >= 0 {
-					cur[id] = true
-				}
+				setBit(cur, r.eventDef[ei])
 			}
 		}
 	}
@@ -132,29 +132,29 @@ func (fa *funcAnalysis) checkUninitReads() []Diagnostic {
 // zero-initialization is idiomatic, not a bug).
 func (fa *funcAnalysis) checkDeadStores() []Diagnostic {
 	liveOut := fa.liveness()
+	w := fa.live.w
+	live := make([]uint64, w)
 	var out []Diagnostic
 	for _, b := range fa.g.RPO() {
-		live := make(map[string]bool, len(liveOut[b]))
-		for v := range liveOut[b] {
-			live[v] = true
-		}
-		evs := fa.events[b]
+		copy(live, liveOut[b.ID*w:(b.ID+1)*w])
+		evs := fa.eventsOf(b)
 		for i := len(evs) - 1; i >= 0; i-- {
 			ev := evs[i]
 			switch ev.kind {
 			case evDef:
-				if ev.plain && !live[ev.name] && fa.valueRuleApplies(ev.name) {
+				if ev.plain && !hasBit(live, ev.vid) && fa.valueRuleApplies(ev.vid) {
+					name := fa.vars[ev.vid].Name
 					out = append(out, Diagnostic{
 						Rule: RuleDeadStore,
 						Func: fa.g.Fn.Name,
-						Line: ev.line,
-						Var:  ev.name,
-						Msg:  fmt.Sprintf("value stored to %q is never read", ev.name),
+						Line: int(ev.line),
+						Var:  name,
+						Msg:  fmt.Sprintf("value stored to %q is never read", name),
 					})
 				}
-				delete(live, ev.name)
+				clearBit(live, ev.vid)
 			case evUse:
-				live[ev.name] = true
+				setBit(live, ev.vid)
 			}
 		}
 	}
@@ -200,26 +200,24 @@ func (fa *funcAnalysis) checkUnreachable() []Diagnostic {
 // checkUnusedDecls reports locals that are declared but never read or
 // written after declaration.
 func (fa *funcAnalysis) checkUnusedDecls() []Diagnostic {
-	used := make(map[string]bool)
-	for _, b := range fa.g.Blocks {
-		for _, ev := range fa.events[b] {
-			if ev.kind == evUse || (ev.kind == evDef && !ev.decl) {
-				used[ev.name] = true
-			}
+	used := make([]bool, len(fa.vars))
+	for _, ev := range fa.events {
+		if ev.kind == evUse || (ev.kind == evDef && !ev.decl) {
+			used[ev.vid] = true
 		}
 	}
 	var out []Diagnostic
-	for _, name := range fa.order {
-		v := fa.vars[name]
-		if used[name] || v.Param || v.Escaped || v.MultiDecl {
+	for vid := range fa.vars {
+		v := &fa.vars[vid]
+		if used[vid] || v.Param || v.Escaped || v.MultiDecl {
 			continue
 		}
 		out = append(out, Diagnostic{
 			Rule: RuleUnusedDecl,
 			Func: fa.g.Fn.Name,
 			Line: v.DeclLine,
-			Var:  name,
-			Msg:  fmt.Sprintf("variable %q is declared but never used", name),
+			Var:  v.Name,
+			Msg:  fmt.Sprintf("variable %q is declared but never used", v.Name),
 		})
 	}
 	return out

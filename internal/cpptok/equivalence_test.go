@@ -1,0 +1,212 @@
+package cpptok
+
+import (
+	"strings"
+	"testing"
+)
+
+// equivCorpus is the committed equivalence corpus: every construct the
+// scanner distinguishes, plus boundary-condition slivers that exercise
+// EOF inside each sub-scanner.
+var equivCorpus = []string{
+	"",
+	"\n",
+	"\r\n\r\n",
+	"int main() { return 0; }",
+	"int main(){int x;cin>>x;while(x-->0){cout<<x;}return 0;}",
+	"#include <vector>\n#define MAX(a,b) \\\n  ((a)>(b)?(a):(b))\nint g;\n",
+	"// line comment\n/* block\ncomment */ int x; // tail",
+	"auto f = [](int a, int b) -> int { return a <=> b; };",
+	"x <<= 1; y >>= 2; p ->* q; v .* w; a ... b;",
+	"1.5 2e10 3.25f .5 0x1F 42ll 0x 1. 2.e 9ull 1e+5 1e- 7lf",
+	"\"str with \\\" escape\" 'c' '\\n' \"unterminated",
+	"'x",
+	"\"ends with backslash\\",
+	"R\"(raw)\" R\"delim(a)nope)delim\" R\"unterminated",
+	"R\"d",
+	"R\"(never closed",
+	"/* never closed",
+	"# not preproc? no: line start\nx; # after token\n  \t# ws only before\n",
+	"a@b $c `d \x01\x02\xff",
+	"\tint  main( )\t{\r\n\t\tdouble d = 1.5e3;\r\n\t\treturn (int)d;\r\n\t}\r\n",
+	"::a->b++c--d<<e>>f<=g>=h==i!=j&&k||l+=m-=n*=o/=p%=q&=r|=s^=t",
+	"a=b , c ,d, e = f ==g",
+	"=",
+	"=x",
+	"x=",
+	",",
+	"\u00a0 int x; \u2028",
+	"int  \xc2\xa0y;\n\xc2\xa0\n",
+	"\\\n#define A 1\n",
+	"#def\\\nine B\\",
+	"e10 E5 _1e5 0xeF 1e5e5",
+}
+
+func sameTokens(t *testing.T, src string, got, want []Token, gotErr, wantErr error) {
+	t.Helper()
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("src %q: err %v, reference err %v", src, gotErr, wantErr)
+	}
+	if gotErr != nil && gotErr.Error() != wantErr.Error() {
+		t.Fatalf("src %q: err %q, reference err %q", src, gotErr, wantErr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("src %q: %d tokens, reference %d\n got: %v\nwant: %v", src, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("src %q: token %d = %v, reference %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+// refSurface recomputes Surface with the pre-rewrite multi-pass code
+// (strings.Split line walk + whole-source byte loops), so the fused
+// single-pass accumulation is checked against the original semantics.
+func refSurface(src string) Surface {
+	var sf Surface
+	lines := strings.Split(src, "\n")
+	sf.Lines = len(lines)
+	indentWidths := make(map[int]int)
+	for _, ln := range lines {
+		l := float64(len(ln))
+		sf.LineLenSum += l
+		sf.LineLenSumSq += l * l
+		if strings.TrimSpace(ln) == "" {
+			sf.EmptyLines++
+			continue
+		}
+		switch {
+		case strings.HasPrefix(ln, "\t"):
+			sf.TabLeadLines++
+		case strings.HasPrefix(ln, " "):
+			sf.SpaceLeadLines++
+			w := 0
+			for w < len(ln) && ln[w] == ' ' {
+				w++
+			}
+			indentWidths[w]++
+		}
+	}
+	sf.Indent2, sf.Indent3, sf.Indent4, sf.Indent8 =
+		indentWidths[2], indentWidths[3], indentWidths[4], indentWidths[8]
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\t':
+			sf.Tabs++
+			sf.WSChars++
+		case ' ':
+			sf.Spaces++
+			sf.WSChars++
+		case '\n', '\r':
+			sf.WSChars++
+		}
+	}
+	for _, ln := range lines {
+		t := strings.TrimSpace(ln)
+		if t == "{" {
+			sf.BraceOwnLine++
+		} else if strings.HasSuffix(t, "{") && len(t) > 1 {
+			sf.BraceSameLine++
+		}
+	}
+	for i := 1; i < len(src)-1; i++ {
+		if src[i] != '=' {
+			continue
+		}
+		prev, next := src[i-1], src[i+1]
+		if opChar(prev) || opChar(next) {
+			continue
+		}
+		sf.EqTotal++
+		if prev == ' ' && next == ' ' {
+			sf.EqSpaced++
+		}
+	}
+	for i := 0; i < len(src)-1; i++ {
+		if src[i] != ',' {
+			continue
+		}
+		sf.CommaTotal++
+		if src[i+1] == ' ' {
+			sf.CommaSpaced++
+		}
+	}
+	return sf
+}
+
+func checkEquivalence(t *testing.T, src string) {
+	t.Helper()
+	want, wantErr := referenceScan(src)
+	got, gotErr := Scan(src)
+	sameTokens(t, src, got, want, gotErr, wantErr)
+
+	var surf Surface
+	got2, gotErr2 := ScanSurface(src, nil, &surf)
+	sameTokens(t, src, got2, want, gotErr2, wantErr)
+	if wantSurf := refSurface(src); surf != wantSurf {
+		t.Fatalf("src %q:\nfused surface %+v\n  ref surface %+v", src, surf, wantSurf)
+	}
+}
+
+// TestScanEquivalenceCorpus runs the differential check over the
+// committed corpus (the fuzzer's seed set) so equivalence is enforced
+// on every plain `go test` run, not only under -fuzz.
+func TestScanEquivalenceCorpus(t *testing.T) {
+	for _, src := range equivCorpus {
+		checkEquivalence(t, src)
+	}
+	checkEquivalence(t, benchSrc)
+}
+
+// FuzzScanEquivalence feeds arbitrary bytes through both the byte-table
+// scanner and the frozen reference scanner: token streams, positions,
+// errors, and fused surface stats must match exactly.
+func FuzzScanEquivalence(f *testing.F) {
+	for _, src := range equivCorpus {
+		f.Add(src)
+	}
+	f.Add(benchSrc)
+	f.Fuzz(func(t *testing.T, src string) {
+		checkEquivalence(t, src)
+	})
+}
+
+// TestOperatorTableMaximalMunch enumerates every operator prefix pair
+// (including single-character punctuation prefixes) and asserts the
+// scanner consumes the longest operator — the property that used to
+// rest on the ordering of the operators slice and is now built into
+// opTab's longest-first candidate lists.
+func TestOperatorTableMaximalMunch(t *testing.T) {
+	for _, long := range operators {
+		for _, short := range operators {
+			if short != long && strings.HasPrefix(long, short) {
+				assertSingleOp(t, long, short)
+			}
+		}
+		// The 1-byte prefix is always a valid punct fallback.
+		assertSingleOp(t, long, long[:1])
+	}
+	// The table itself must list longer candidates first: a shorter
+	// candidate matching before a longer one would break maximal munch
+	// even when both match.
+	for b, cands := range opTab {
+		for i := 1; i < len(cands); i++ {
+			if cands[i-1].n < cands[i].n {
+				t.Errorf("opTab[%q]: candidate %d (len %d) sorted after len %d",
+					byte(b), i, cands[i].n, cands[i-1].n)
+			}
+		}
+	}
+}
+
+func assertSingleOp(t *testing.T, long, short string) {
+	t.Helper()
+	toks, err := Scan(long)
+	if err != nil {
+		t.Fatalf("Scan(%q): %v", long, err)
+	}
+	if len(toks) != 2 || toks[0].Text != long || toks[0].Kind != KindPunct {
+		t.Errorf("Scan(%q) = %v; prefix %q must not shadow the full operator", long, toks, short)
+	}
+}

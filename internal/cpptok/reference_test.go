@@ -1,0 +1,271 @@
+package cpptok
+
+// This file preserves the pre-rewrite scanner verbatim (renamed) as the
+// reference implementation for differential testing. The byte-table
+// scanner in scanner.go must produce identical token streams, positions,
+// and errors on every input — see FuzzScanEquivalence. Keep this in sync
+// with nothing: it is intentionally frozen.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// refOperators lists all multi-character operators, longest first, so
+// the reference scanner can apply maximal munch by linear search.
+var refOperators = []string{
+	"<<=", ">>=", "...", "->*", "<=>",
+	"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+}
+
+// referenceScan is the frozen pre-rewrite Scan.
+func referenceScan(src string) ([]Token, error) {
+	s := &refScanner{src: src, line: 1, col: 1}
+	var firstErr error
+	toks := make([]Token, 0, len(src)/3+16)
+	for {
+		tok, err := s.next()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if tok.Kind != KindInvalid {
+			toks = append(toks, tok)
+		}
+		if tok.Kind == KindEOF {
+			break
+		}
+	}
+	return toks, firstErr
+}
+
+type refScanner struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func (s *refScanner) eof() bool { return s.off >= len(s.src) }
+
+func (s *refScanner) peek() byte {
+	if s.eof() {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *refScanner) peekAt(n int) byte {
+	if s.off+n >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+n]
+}
+
+func (s *refScanner) advance(n int) {
+	for i := 0; i < n && s.off < len(s.src); i++ {
+		if s.src[s.off] == '\n' {
+			s.line++
+			s.col = 1
+		} else {
+			s.col++
+		}
+		s.off++
+	}
+}
+
+func (s *refScanner) errorf(line, col int, format string, args ...any) error {
+	return &ScanError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *refScanner) atLineStart() bool {
+	for i := s.off - 1; i >= 0; i-- {
+		switch s.src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *refScanner) next() (Token, error) {
+	for !s.eof() {
+		c := s.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			s.advance(1)
+			continue
+		}
+		break
+	}
+	if s.eof() {
+		return Token{Kind: KindEOF, Line: s.line, Col: s.col}, nil
+	}
+
+	startLine, startCol, startOff := s.line, s.col, s.off
+	c := s.peek()
+
+	mk := func(kind Kind) Token {
+		return Token{Kind: kind, Text: s.src[startOff:s.off], Line: startLine, Col: startCol}
+	}
+
+	switch {
+	case c == '#' && s.atLineStart():
+		for !s.eof() && s.peek() != '\n' {
+			if s.peek() == '\\' && s.peekAt(1) == '\n' {
+				s.advance(2)
+				continue
+			}
+			s.advance(1)
+		}
+		return mk(KindPreproc), nil
+
+	case c == '/' && s.peekAt(1) == '/':
+		for !s.eof() && s.peek() != '\n' {
+			s.advance(1)
+		}
+		return mk(KindLineComment), nil
+
+	case c == '/' && s.peekAt(1) == '*':
+		s.advance(2)
+		for !s.eof() {
+			if s.peek() == '*' && s.peekAt(1) == '/' {
+				s.advance(2)
+				return mk(KindBlockComment), nil
+			}
+			s.advance(1)
+		}
+		return mk(KindBlockComment), s.errorf(startLine, startCol, "unterminated block comment")
+
+	case isIdentStart(c):
+		if c == 'R' && s.peekAt(1) == '"' {
+			return s.rawString(startLine, startCol, startOff)
+		}
+		for !s.eof() && isIdentCont(s.peek()) {
+			s.advance(1)
+		}
+		text := s.src[startOff:s.off]
+		if cppKeywords[text] {
+			return mk(KindKeyword), nil
+		}
+		return mk(KindIdent), nil
+
+	case c >= '0' && c <= '9', c == '.' && isDigit(s.peekAt(1)):
+		return s.number(startLine, startCol, startOff)
+
+	case c == '"':
+		return s.quoted('"', KindStringLit, startLine, startCol, startOff)
+
+	case c == '\'':
+		return s.quoted('\'', KindCharLit, startLine, startCol, startOff)
+
+	default:
+		for _, op := range refOperators {
+			if strings.HasPrefix(s.src[s.off:], op) {
+				s.advance(len(op))
+				return mk(KindPunct), nil
+			}
+		}
+		s.advance(1)
+		if !isPunct(c) {
+			return mk(KindPunct), s.errorf(startLine, startCol, "unexpected character %q", c)
+		}
+		return mk(KindPunct), nil
+	}
+}
+
+func (s *refScanner) rawString(line, col, startOff int) (Token, error) {
+	s.advance(2) // R"
+	delimStart := s.off
+	for !s.eof() && s.peek() != '(' {
+		s.advance(1)
+	}
+	if s.eof() {
+		return Token{Kind: KindStringLit, Text: s.src[startOff:s.off], Line: line, Col: col},
+			s.errorf(line, col, "unterminated raw string")
+	}
+	delim := s.src[delimStart:s.off]
+	s.advance(1) // (
+	closer := ")" + delim + `"`
+	for !s.eof() {
+		if strings.HasPrefix(s.src[s.off:], closer) {
+			s.advance(len(closer))
+			return Token{Kind: KindStringLit, Text: s.src[startOff:s.off], Line: line, Col: col}, nil
+		}
+		s.advance(1)
+	}
+	return Token{Kind: KindStringLit, Text: s.src[startOff:s.off], Line: line, Col: col},
+		s.errorf(line, col, "unterminated raw string")
+}
+
+func (s *refScanner) quoted(q byte, kind Kind, line, col, startOff int) (Token, error) {
+	s.advance(1)
+	for !s.eof() {
+		c := s.peek()
+		if c == '\\' {
+			s.advance(2)
+			continue
+		}
+		if c == q {
+			s.advance(1)
+			return Token{Kind: kind, Text: s.src[startOff:s.off], Line: line, Col: col}, nil
+		}
+		if c == '\n' {
+			break
+		}
+		s.advance(1)
+	}
+	return Token{Kind: kind, Text: s.src[startOff:s.off], Line: line, Col: col},
+		s.errorf(line, col, "unterminated %s literal", kind)
+}
+
+func (s *refScanner) number(line, col, startOff int) (Token, error) {
+	isFloat := false
+	if s.peek() == '0' && (s.peekAt(1) == 'x' || s.peekAt(1) == 'X') {
+		s.advance(2)
+		for !s.eof() && isHexDigit(s.peek()) {
+			s.advance(1)
+		}
+	} else {
+		for !s.eof() && isDigit(s.peek()) {
+			s.advance(1)
+		}
+		if s.peek() == '.' && s.peekAt(1) != '.' {
+			isFloat = true
+			s.advance(1)
+			for !s.eof() && isDigit(s.peek()) {
+				s.advance(1)
+			}
+		}
+		if c := s.peek(); c == 'e' || c == 'E' {
+			next := s.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(s.peekAt(2))) {
+				isFloat = true
+				s.advance(2)
+				for !s.eof() && isDigit(s.peek()) {
+					s.advance(1)
+				}
+			}
+		}
+	}
+	for !s.eof() {
+		switch s.peek() {
+		case 'u', 'U', 'l', 'L':
+			s.advance(1)
+		case 'f', 'F':
+			isFloat = true
+			s.advance(1)
+		default:
+			goto done
+		}
+	}
+done:
+	kind := KindIntLit
+	if isFloat {
+		kind = KindFloatLit
+	}
+	return Token{Kind: kind, Text: s.src[startOff:s.off], Line: line, Col: col}, nil
+}

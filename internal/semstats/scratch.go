@@ -1,0 +1,571 @@
+package semstats
+
+import (
+	"context"
+	"strings"
+
+	"gptattr/internal/cppast"
+	"gptattr/internal/cppcheck"
+	"gptattr/internal/fault"
+)
+
+// Scratch is the reusable workspace behind AnalyzeContext: CFG arena,
+// dataflow bitset workspace, graph-compaction slabs, loop and
+// call-graph state, shaper intern tables, and the FileStats/FuncStats
+// output storage itself. One Scratch analyzes one unit at a time;
+// steady state it allocates nothing (pinned in internal/stylometry's
+// extraction alloc test, which runs the full pipeline through here).
+//
+// The *FileStats returned by Scratch.AnalyzeContext is owned by the
+// scratch and valid only until its next AnalyzeContext call. The
+// package-level Analyze/AnalyzeContext wrappers use a fresh Scratch
+// per call and therefore hand out independent results.
+type Scratch struct {
+	arena *cppcheck.CFGArena
+	df    *cppcheck.DataflowScratch
+	gs    graphScratch
+	idom  []int
+	loops loopScratch
+	sh    shaperScratch
+	cg    cgScratch
+
+	fnList    []*cppast.FuncDecl
+	funcs     map[string]*cppast.FuncDecl
+	globals   map[string]bool
+	funcNames map[string]bool
+	seen      map[string]bool
+
+	statPool []*FuncStats // high-water; ExprGrams maps persist
+	sused    int
+	fs       FileStats
+}
+
+// NewScratch returns an empty analysis workspace.
+func NewScratch() *Scratch {
+	s := &Scratch{
+		arena:     cppcheck.NewCFGArena(),
+		df:        cppcheck.NewDataflowScratch(),
+		funcs:     make(map[string]*cppast.FuncDecl),
+		globals:   make(map[string]bool),
+		funcNames: make(map[string]bool),
+		seen:      make(map[string]bool),
+	}
+	s.sh.init()
+	s.cg.init()
+	return s
+}
+
+// Release drops references into the last-analyzed unit (AST nodes,
+// name strings) so a pooled Scratch does not pin a request's source
+// between uses. The workspace slabs keep their capacity.
+func (s *Scratch) Release() {
+	s.arena.Release()
+	s.df.Release()
+	s.gs.release()
+	s.fnList = s.fnList[:0]
+	clear(s.funcs)
+	clear(s.globals)
+	clear(s.funcNames)
+	clear(s.seen)
+	s.cg.release()
+	s.sh.release()
+	for _, st := range s.statPool {
+		grams := st.ExprGrams
+		clear(grams)
+		*st = FuncStats{ExprGrams: grams}
+	}
+	s.fs = FileStats{Funcs: s.fs.Funcs[:0]}
+}
+
+func (s *Scratch) takeStats() *FuncStats {
+	if s.sused < len(s.statPool) {
+		s.sused++
+		return s.statPool[s.sused-1]
+	}
+	st := &FuncStats{}
+	s.statPool = append(s.statPool, st)
+	s.sused++
+	return st
+}
+
+// AnalyzeContext runs the full pass pipeline over one unit, recycling
+// the scratch's storage. Results are bit-identical to the package
+// AnalyzeContext (pinned by TestScratchMatchesReference); the returned
+// FileStats is valid until the next call on this scratch.
+func (s *Scratch) AnalyzeContext(ctx context.Context, tu *cppast.TranslationUnit) (*FileStats, error) {
+	s.fnList = s.fnList[:0]
+	clear(s.funcs)
+	clear(s.globals)
+	clear(s.funcNames)
+	clear(s.seen)
+	for _, d := range tu.Decls {
+		switch n := d.(type) {
+		case *cppast.FuncDecl:
+			s.fnList = append(s.fnList, n)
+			if n.Body != nil {
+				s.funcs[n.Name] = n
+			}
+		case *cppast.VarDecl:
+			for _, dd := range n.Names {
+				s.globals[dd.Name] = true
+			}
+		}
+	}
+	for name := range s.funcs {
+		s.funcNames[name] = true
+	}
+	s.cg.build(s.fnList)
+
+	out := &s.fs
+	*out = FileStats{Funcs: s.fs.Funcs[:0], CallEdges: s.cg.edges}
+	s.sused = 0
+	for _, f := range s.fnList {
+		if f.Body == nil || s.seen[f.Name] {
+			continue
+		}
+		// Pass boundary: an injected latency storm sleeps here (waking
+		// early if the budget expires), then the budget itself is
+		// checked before the next function's passes run.
+		if err := fault.HitContext(ctx, PointAnalyze); err != nil && ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		s.seen[f.Name] = true
+		st := s.takeStats()
+		s.funcStats(f, st)
+		fi := s.cg.idx[f.Name]
+		st.FanOut = len(s.cg.callees[fi])
+		st.FanIn = int(s.cg.fanIn[fi])
+		st.Recursive = s.cg.recursive[fi]
+		if st.Recursive {
+			out.RecursiveFuncs++
+		}
+		out.Funcs = append(out.Funcs, st)
+	}
+	return out, nil
+}
+
+// funcStats is FuncContext.Stats over the scratch pipeline.
+func (s *Scratch) funcStats(fn *cppast.FuncDecl, st *FuncStats) {
+	grams := st.ExprGrams
+	if grams == nil {
+		grams = make(map[string]int)
+	} else {
+		clear(grams)
+	}
+	*st = FuncStats{Name: fn.Name}
+	g := cppcheck.BuildCFGArena(fn, s.arena)
+	if g == nil {
+		return
+	}
+	st.Unsupported = g.Unsupported
+
+	// CFG shape.
+	cg := s.gs.compactInto(g)
+	st.Blocks = len(cg.nodes)
+	st.Edges = s.gs.edgeCount(cg)
+	succTotal := 0
+	for _, nd := range cg.nodes {
+		if len(nd.succs) >= 2 {
+			st.Branches++
+		}
+		succTotal += len(nd.succs)
+	}
+	if st.Blocks > 0 {
+		st.BranchFactor = float64(succTotal) / float64(st.Blocks)
+	}
+	st.Cyclomatic = st.Edges - st.Blocks + 2
+
+	// Loop nesting.
+	s.idom = dominatorsInto(cg, s.idom)
+	s.loops.compute(cg, s.idom)
+	s.loops.fill(st)
+
+	// Def-use chains and live-range widths (on the raw CFG: the
+	// dataflow passes own it), straight to their aggregate form.
+	sum := s.df.Summary(g, s.funcs)
+	st.Chains = sum.Chains
+	st.ChainUses = sum.ChainUses
+	st.MaxChainLen = sum.MaxChainLen
+	st.ChainsAtLen = sum.ChainsAtLen
+	if st.Chains > 0 {
+		st.MeanChainLen = float64(st.ChainUses) / float64(st.Chains)
+	}
+	st.Vars = sum.Vars
+	st.LiveWidthSum = sum.LiveWidthSum
+	st.MaxLiveWidth = sum.MaxLiveWidth
+	if st.Vars > 0 {
+		st.MeanLiveWidth = float64(st.LiveWidthSum) / float64(st.Vars)
+	}
+
+	// Expression shapes, walked over the raw blocks in build order.
+	s.sh.begin(fn, s.globals, s.funcNames)
+	for _, b := range g.Blocks {
+		for _, stm := range b.Stmts {
+			s.sh.stmtGrams(stm, grams)
+		}
+		if b.Cond != nil {
+			s.sh.gram(b.Cond, false, grams)
+		}
+	}
+	st.ExprGrams = grams
+}
+
+// --- shaper scratch ---
+
+// maxGramIntern caps the gram intern table so adversarial inputs
+// cannot grow it without bound; past the cap gram strings fall back to
+// per-occurrence allocation.
+const maxGramIntern = 1 << 16
+
+// shaperScratch is the shaper with reused local-set and an intern
+// table for gram strings: grams are rendered into a byte buffer and
+// deduplicated, so steady-state gram emission performs no allocation
+// and repeated grams share one string.
+type shaperScratch struct {
+	locals  map[string]bool
+	globals map[string]bool
+	funcs   map[string]bool
+	buf     []byte
+	intern  map[string]string
+	walk    func(cppast.Node, int) bool
+}
+
+func (ss *shaperScratch) init() {
+	ss.locals = make(map[string]bool)
+	ss.intern = make(map[string]string)
+	ss.walk = func(n cppast.Node, _ int) bool {
+		if vd, ok := n.(*cppast.VarDecl); ok {
+			for _, d := range vd.Names {
+				ss.locals[d.Name] = true
+			}
+		}
+		return true
+	}
+}
+
+func (ss *shaperScratch) release() {
+	clear(ss.locals)
+	ss.globals, ss.funcs = nil, nil
+	// The intern table holds alpha-normalized shapes, not user text;
+	// keeping it across requests is the point.
+}
+
+func (ss *shaperScratch) begin(fn *cppast.FuncDecl, globals, funcs map[string]bool) {
+	clear(ss.locals)
+	ss.globals, ss.funcs = globals, funcs
+	for _, p := range fn.Params {
+		if p.Name != "" {
+			ss.locals[p.Name] = true
+		}
+	}
+	cppast.Walk(fn.Body, ss.walk)
+}
+
+// bump counts the gram currently in ss.buf, interning its string.
+func (ss *shaperScratch) bump(out map[string]int) {
+	key, ok := ss.intern[string(ss.buf)]
+	if !ok {
+		key = string(ss.buf)
+		if len(ss.intern) < maxGramIntern {
+			ss.intern[key] = key
+		}
+	}
+	out[key]++
+}
+
+// appendLabel appends the one-token shape label of e — byte-for-byte
+// what shaper.label returns.
+func (ss *shaperScratch) appendLabel(b []byte, e cppast.Node) []byte {
+	switch n := e.(type) {
+	case nil:
+		return append(b, '?')
+	case *cppast.Ident:
+		name := strings.TrimPrefix(n.Name, "std::")
+		switch {
+		case ss.locals[name]:
+			return append(b, 'v')
+		case ss.funcs[name]:
+			return append(b, 'f')
+		case ss.globals[name]:
+			return append(b, 'g')
+		default:
+			return append(b, name...) // library identifier: idiom, keep it
+		}
+	case *cppast.Lit:
+		b = append(b, "lit:"...)
+		return append(b, n.LitKind...)
+	case *cppast.ParenExpr:
+		return ss.appendLabel(b, n.X) // parentheses are transparent
+	case *cppast.UnaryExpr:
+		b = append(b, 'u') // pre/post distinction erased: rewriters flip it
+		return append(b, n.Op...)
+	case *cppast.BinaryExpr:
+		return append(b, n.Op...)
+	case *cppast.TernaryExpr:
+		return append(b, "?:"...)
+	case *cppast.CallExpr:
+		b = append(b, "call:"...)
+		return ss.appendLabel(b, n.Fun)
+	case *cppast.IndexExpr:
+		return append(b, "idx"...)
+	case *cppast.MemberExpr:
+		b = append(b, '.')
+		return append(b, n.Sel...)
+	case *cppast.CastExpr:
+		return append(b, "cast"...)
+	default:
+		return append(b, '?')
+	}
+}
+
+// gram is shaper.gram over the byte buffer: identical gram strings,
+// no per-gram string building.
+func (ss *shaperScratch) gram(e cppast.Node, stmtCtx bool, out map[string]int) {
+	switch n := e.(type) {
+	case nil, *cppast.Ident, *cppast.Lit:
+		// Leaves carry no shape of their own.
+	case *cppast.ParenExpr:
+		ss.gram(n.X, stmtCtx, out)
+	case *cppast.UnaryExpr:
+		if stmtCtx && (n.Op == "++" || n.Op == "--") {
+			op := "+="
+			if n.Op == "--" {
+				op = "-="
+			}
+			ss.buf = append(ss.buf[:0], '(')
+			ss.buf = append(ss.buf, op...)
+			ss.buf = append(ss.buf, ' ')
+			ss.buf = ss.appendLabel(ss.buf, n.X)
+			ss.buf = append(ss.buf, " lit:int)"...)
+			ss.bump(out)
+			ss.gram(n.X, false, out)
+			return
+		}
+		ss.buf = append(ss.buf[:0], "(u"...)
+		ss.buf = append(ss.buf, n.Op...)
+		ss.buf = append(ss.buf, ' ')
+		ss.buf = ss.appendLabel(ss.buf, n.X)
+		ss.buf = append(ss.buf, ')')
+		ss.bump(out)
+		ss.gram(n.X, false, out)
+	case *cppast.BinaryExpr:
+		if stmtCtx && (n.Op == "+=" || n.Op == "-=") {
+			if lit, ok := n.R.(*cppast.Lit); ok && lit.LitKind == "int" && lit.Text == "1" {
+				ss.buf = append(ss.buf[:0], '(')
+				ss.buf = append(ss.buf, n.Op...)
+				ss.buf = append(ss.buf, ' ')
+				ss.buf = ss.appendLabel(ss.buf, n.L)
+				ss.buf = append(ss.buf, " lit:int)"...)
+				ss.bump(out)
+				ss.gram(n.L, false, out)
+				return
+			}
+		}
+		ss.buf = append(ss.buf[:0], '(')
+		ss.buf = append(ss.buf, n.Op...)
+		ss.buf = append(ss.buf, ' ')
+		ss.buf = ss.appendLabel(ss.buf, n.L)
+		ss.buf = append(ss.buf, ' ')
+		ss.buf = ss.appendLabel(ss.buf, n.R)
+		ss.buf = append(ss.buf, ')')
+		ss.bump(out)
+		ss.gram(n.L, false, out)
+		ss.gram(n.R, false, out)
+	case *cppast.TernaryExpr:
+		ss.buf = append(ss.buf[:0], "(?: "...)
+		ss.buf = ss.appendLabel(ss.buf, n.Cond)
+		ss.buf = append(ss.buf, ' ')
+		ss.buf = ss.appendLabel(ss.buf, n.Then)
+		ss.buf = append(ss.buf, ' ')
+		ss.buf = ss.appendLabel(ss.buf, n.Else)
+		ss.buf = append(ss.buf, ')')
+		ss.bump(out)
+		ss.gram(n.Cond, false, out)
+		ss.gram(n.Then, false, out)
+		ss.gram(n.Else, false, out)
+	case *cppast.CallExpr:
+		ss.buf = append(ss.buf[:0], '(')
+		ss.buf = ss.appendLabel(ss.buf, n)
+		for _, a := range n.Args {
+			ss.buf = append(ss.buf, ' ')
+			ss.buf = ss.appendLabel(ss.buf, a)
+		}
+		ss.buf = append(ss.buf, ')')
+		ss.bump(out)
+		for _, a := range n.Args {
+			ss.gram(a, false, out)
+		}
+	case *cppast.IndexExpr:
+		ss.buf = append(ss.buf[:0], "(idx "...)
+		ss.buf = ss.appendLabel(ss.buf, n.X)
+		ss.buf = append(ss.buf, ' ')
+		ss.buf = ss.appendLabel(ss.buf, n.Index)
+		ss.buf = append(ss.buf, ')')
+		ss.bump(out)
+		ss.gram(n.X, false, out)
+		ss.gram(n.Index, false, out)
+	case *cppast.MemberExpr:
+		ss.buf = append(ss.buf[:0], "(."...)
+		ss.buf = append(ss.buf, n.Sel...)
+		ss.buf = append(ss.buf, ' ')
+		ss.buf = ss.appendLabel(ss.buf, n.X)
+		ss.buf = append(ss.buf, ')')
+		ss.bump(out)
+		ss.gram(n.X, false, out)
+	case *cppast.CastExpr:
+		ss.buf = append(ss.buf[:0], "(cast "...)
+		ss.buf = ss.appendLabel(ss.buf, n.X)
+		ss.buf = append(ss.buf, ')')
+		ss.bump(out)
+		ss.gram(n.X, false, out)
+	}
+}
+
+// stmtGrams is shaper.stmtGrams over the byte buffer.
+func (ss *shaperScratch) stmtGrams(st cppast.Node, out map[string]int) {
+	switch n := st.(type) {
+	case *cppast.VarDecl:
+		for _, d := range n.Names {
+			for _, dim := range d.ArrayLen {
+				ss.gram(dim, false, out)
+			}
+			if d.Init != nil {
+				ss.buf = append(ss.buf[:0], "(decl v "...)
+				ss.buf = ss.appendLabel(ss.buf, d.Init)
+				ss.buf = append(ss.buf, ')')
+				ss.bump(out)
+				ss.gram(d.Init, false, out)
+			}
+		}
+	case *cppast.ExprStmt:
+		ss.gram(n.X, true, out)
+	case *cppast.Return:
+		if n.Value != nil {
+			ss.buf = append(ss.buf[:0], "(ret "...)
+			ss.buf = ss.appendLabel(ss.buf, n.Value)
+			ss.buf = append(ss.buf, ')')
+			ss.bump(out)
+			ss.gram(n.Value, false, out)
+		}
+	}
+}
+
+// --- call-graph scratch ---
+
+// cgScratch is buildCallGraph over index-addressed storage: defined
+// functions get dense indices, callee sets deduplicate through epoch
+// marks, and the recursion DFS reuses one stack. Callee lists are in
+// discovery order rather than sorted — every consumer (fan-out counts,
+// fan-in totals, reachability) is order-independent.
+type cgScratch struct {
+	idx       map[string]int32
+	n         int
+	callees   [][]int32
+	fanIn     []int32
+	recursive []bool
+	built     []bool
+	edges     int
+
+	cmark  []int32 // callee dedup epochs
+	cepoch int32
+	smark  []int32 // reaches-DFS epochs
+	sepoch int32
+	stack  []int32
+	cur    int32
+	walk   func(cppast.Node, int) bool
+}
+
+func (c *cgScratch) init() {
+	c.idx = make(map[string]int32)
+	c.walk = func(n cppast.Node, _ int) bool {
+		call, ok := n.(*cppast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*cppast.Ident); ok {
+			name := strings.TrimPrefix(id.Name, "std::")
+			if j, ok := c.idx[name]; ok {
+				if c.cmark[j] != c.cepoch {
+					c.cmark[j] = c.cepoch
+					c.callees[c.cur] = append(c.callees[c.cur], j)
+				}
+			}
+		}
+		return true
+	}
+}
+
+func (c *cgScratch) release() {
+	clear(c.idx)
+	c.n = 0
+	for i := range c.callees {
+		c.callees[i] = c.callees[i][:0]
+	}
+}
+
+func (c *cgScratch) build(fns []*cppast.FuncDecl) {
+	clear(c.idx)
+	c.n = 0
+	for _, f := range fns {
+		if f.Body == nil {
+			continue
+		}
+		if _, ok := c.idx[f.Name]; !ok {
+			c.idx[f.Name] = int32(c.n)
+			c.n++
+		}
+	}
+	c.fanIn = resizeI32z(c.fanIn, c.n)
+	c.recursive = resizeBool(c.recursive, c.n)
+	c.built = resizeBool(c.built, c.n)
+	for len(c.callees) < c.n {
+		c.callees = append(c.callees, nil)
+	}
+	c.cmark = growI32(c.cmark, c.n)
+	c.smark = growI32(c.smark, c.n)
+	c.edges = 0
+	for _, f := range fns {
+		if f.Body == nil {
+			continue
+		}
+		i := c.idx[f.Name]
+		if c.built[i] {
+			continue
+		}
+		c.built[i] = true
+		c.cur = i
+		c.cepoch++
+		c.callees[i] = c.callees[i][:0]
+		cppast.Walk(f.Body, c.walk)
+		c.edges += len(c.callees[i])
+		for _, j := range c.callees[i] {
+			c.fanIn[j]++
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		c.recursive[i] = c.reaches(int32(i), int32(i))
+	}
+}
+
+// reaches reports whether target is reachable from any callee of from
+// (a self-edge counts immediately).
+func (c *cgScratch) reaches(from, target int32) bool {
+	c.sepoch++
+	c.stack = append(c.stack[:0], c.callees[from]...)
+	for len(c.stack) > 0 {
+		n := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		if n == target {
+			return true
+		}
+		if c.smark[n] == c.sepoch {
+			continue
+		}
+		c.smark[n] = c.sepoch
+		c.stack = append(c.stack, c.callees[n]...)
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package semstats
+
+// The FuncContext pipeline (compact/dominators/naturalLoops/newShaper
+// plus cppcheck's DefUseChains/LiveWidths) is the reference
+// implementation for differential testing: the scratch pipeline behind
+// AnalyzeContext must reproduce its FileStats bit-for-bit, including
+// float fields and gram maps, on any input. The reference path is the
+// pre-scratch implementation kept verbatim.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gptattr/internal/codegen"
+	"gptattr/internal/cppast"
+	"gptattr/internal/gpt"
+	"gptattr/internal/ir"
+	"gptattr/internal/style"
+)
+
+// refAnalyze is the pre-scratch AnalyzeContext body: per-function
+// FuncContext pipeline plus buildCallGraph, map-based throughout.
+func refAnalyze(tu *cppast.TranslationUnit) *FileStats {
+	funcs := make(map[string]*cppast.FuncDecl)
+	for _, f := range tu.Functions() {
+		if f.Body != nil {
+			funcs[f.Name] = f
+		}
+	}
+	globals := make(map[string]bool)
+	for _, d := range tu.Decls {
+		if vd, ok := d.(*cppast.VarDecl); ok {
+			for _, dd := range vd.Names {
+				globals[dd.Name] = true
+			}
+		}
+	}
+	cg := buildCallGraph(tu)
+	out := &FileStats{CallEdges: cg.edges}
+	seen := make(map[string]bool)
+	for _, f := range tu.Functions() {
+		if f.Body == nil || seen[f.Name] {
+			continue
+		}
+		seen[f.Name] = true
+		st := NewFuncContext(f, funcs, globals).Stats()
+		st.FanOut = len(cg.callees[f.Name])
+		st.FanIn = cg.fanIn[f.Name]
+		st.Recursive = cg.recursive[f.Name]
+		if st.Recursive {
+			out.RecursiveFuncs++
+		}
+		out.Funcs = append(out.Funcs, st)
+	}
+	return out
+}
+
+// diffStats fails the test with the first field-level mismatch between
+// the two FileStats. Float fields compare by exact bit pattern.
+func diffStats(t *testing.T, tag string, want, got *FileStats) {
+	t.Helper()
+	if want.CallEdges != got.CallEdges {
+		t.Errorf("%s: CallEdges = %d, want %d", tag, got.CallEdges, want.CallEdges)
+	}
+	if want.RecursiveFuncs != got.RecursiveFuncs {
+		t.Errorf("%s: RecursiveFuncs = %d, want %d", tag, got.RecursiveFuncs, want.RecursiveFuncs)
+	}
+	if len(want.Funcs) != len(got.Funcs) {
+		t.Fatalf("%s: %d funcs, want %d", tag, len(got.Funcs), len(want.Funcs))
+	}
+	bits := math.Float64bits
+	for i, w := range want.Funcs {
+		g := got.Funcs[i]
+		ftag := fmt.Sprintf("%s func %q", tag, w.Name)
+		if g.Name != w.Name {
+			t.Fatalf("%s: func[%d] = %q, want %q", tag, i, g.Name, w.Name)
+		}
+		if g.Unsupported != w.Unsupported {
+			t.Errorf("%s: Unsupported = %v, want %v", ftag, g.Unsupported, w.Unsupported)
+		}
+		ints := [][2]int{
+			{g.Blocks, w.Blocks}, {g.Edges, w.Edges}, {g.Branches, w.Branches},
+			{g.Cyclomatic, w.Cyclomatic}, {g.BackEdges, w.BackEdges},
+			{g.Loops, w.Loops}, {g.MaxLoopDepth, w.MaxLoopDepth},
+			{g.LoopsAtDepth[0], w.LoopsAtDepth[0]}, {g.LoopsAtDepth[1], w.LoopsAtDepth[1]},
+			{g.LoopsAtDepth[2], w.LoopsAtDepth[2]},
+			{g.Chains, w.Chains}, {g.ChainUses, w.ChainUses}, {g.MaxChainLen, w.MaxChainLen},
+			{g.ChainsAtLen[0], w.ChainsAtLen[0]}, {g.ChainsAtLen[1], w.ChainsAtLen[1]},
+			{g.ChainsAtLen[2], w.ChainsAtLen[2]}, {g.ChainsAtLen[3], w.ChainsAtLen[3]},
+			{g.Vars, w.Vars}, {g.LiveWidthSum, w.LiveWidthSum}, {g.MaxLiveWidth, w.MaxLiveWidth},
+			{g.FanOut, w.FanOut}, {g.FanIn, w.FanIn},
+		}
+		names := []string{
+			"Blocks", "Edges", "Branches", "Cyclomatic", "BackEdges",
+			"Loops", "MaxLoopDepth", "LoopsAtDepth0", "LoopsAtDepth1", "LoopsAtDepth2",
+			"Chains", "ChainUses", "MaxChainLen",
+			"ChainsAtLen0", "ChainsAtLen1", "ChainsAtLen2", "ChainsAtLen3",
+			"Vars", "LiveWidthSum", "MaxLiveWidth", "FanOut", "FanIn",
+		}
+		for k, pair := range ints {
+			if pair[0] != pair[1] {
+				t.Errorf("%s: %s = %d, want %d", ftag, names[k], pair[0], pair[1])
+			}
+		}
+		if g.Recursive != w.Recursive {
+			t.Errorf("%s: Recursive = %v, want %v", ftag, g.Recursive, w.Recursive)
+		}
+		floats := [][2]float64{
+			{g.BranchFactor, w.BranchFactor},
+			{g.MeanChainLen, w.MeanChainLen},
+			{g.MeanLiveWidth, w.MeanLiveWidth},
+		}
+		fnames := []string{"BranchFactor", "MeanChainLen", "MeanLiveWidth"}
+		for k, pair := range floats {
+			if bits(pair[0]) != bits(pair[1]) {
+				t.Errorf("%s: %s = %v (bits %x), want %v (bits %x)",
+					ftag, fnames[k], pair[0], bits(pair[0]), pair[1], bits(pair[1]))
+			}
+		}
+		if len(g.ExprGrams) != len(w.ExprGrams) {
+			t.Errorf("%s: %d grams, want %d", ftag, len(g.ExprGrams), len(w.ExprGrams))
+		}
+		for gram, n := range w.ExprGrams {
+			if g.ExprGrams[gram] != n {
+				t.Errorf("%s: gram %q = %d, want %d", ftag, gram, g.ExprGrams[gram], n)
+			}
+		}
+		for gram := range g.ExprGrams {
+			if _, ok := w.ExprGrams[gram]; !ok {
+				t.Errorf("%s: extra gram %q", ftag, gram)
+			}
+		}
+	}
+}
+
+// referenceCorpus mixes handwritten edge cases (unreachable code,
+// infinite loops, switches, recursion, shadowing) with generated
+// programs across random styles.
+func referenceCorpus(t *testing.T) []string {
+	t.Helper()
+	srcs := []string{
+		forSrc,
+		whileSrc,
+		`int f();
+int g(int x) { return x; }
+int main() { return g(1); }`,
+		`#include <iostream>
+using namespace std;
+int total;
+int helper(int n) {
+    if (n <= 0) return 0;
+    return helper(n - 1) + n;
+}
+int main() {
+    int t;
+    cin >> t;
+    while (t--) {
+        int n;
+        cin >> n;
+        total += helper(n);
+    }
+    cout << total << endl;
+    return 0;
+}`,
+		`int main() {
+    int x = 0;
+    for (;;) {
+        x++;
+        if (x > 3) { continue; }
+    }
+    return x;
+}`,
+		`int main() {
+    int a, b = 2;
+    switch (b) {
+    case 1: a = 1; break;
+    case 2: a = 2;
+    default: a = 3; break;
+    }
+    return a;
+    a = 9;
+}`,
+		`int main() {
+    int i = 0;
+    do { i += 2; } while (i < 10);
+    int i2 = i ? i : -i;
+    return i2;
+}`,
+	}
+	rng := rand.New(rand.NewSource(993311))
+	model := gpt.NewModel(gpt.Config{})
+	for i := 0; i < 12; i++ {
+		prog := ir.RandomProgram(rng)
+		srcs = append(srcs, codegen.Render(prog, style.Random(fmt.Sprintf("sr%d", i), rng), rng.Int63()))
+		gsrc, _ := model.Generate(prog)
+		srcs = append(srcs, gsrc)
+	}
+	return srcs
+}
+
+// TestScratchMatchesReference pins the scratch pipeline to the
+// FuncContext pipeline bit-for-bit, reusing ONE scratch across the
+// whole corpus so cross-request state reuse is exercised.
+func TestScratchMatchesReference(t *testing.T) {
+	sc := NewScratch()
+	for i, src := range referenceCorpus(t) {
+		tu, err := cppast.Parse(src)
+		if err != nil {
+			t.Fatalf("src %d: parse: %v", i, err)
+		}
+		want := refAnalyze(tu)
+		got, err := sc.AnalyzeContext(context.Background(), tu)
+		if err != nil {
+			t.Fatalf("src %d: AnalyzeContext: %v", i, err)
+		}
+		diffStats(t, fmt.Sprintf("src %d", i), want, got)
+	}
+}
+
+// TestScratchReleaseThenReuse pins that Release between units does not
+// corrupt later analyses.
+func TestScratchReleaseThenReuse(t *testing.T) {
+	sc := NewScratch()
+	tu, err := cppast.Parse(forSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sc.AnalyzeContext(context.Background(), tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBlocks := fn(t, first, "main").Blocks
+	sc.Release()
+	second, err := sc.AnalyzeContext(context.Background(), tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffStats(t, "post-release", refAnalyze(tu), second)
+	if fn(t, second, "main").Blocks != firstBlocks {
+		t.Errorf("Blocks changed across Release: %d then %d", firstBlocks, fn(t, second, "main").Blocks)
+	}
+}

@@ -29,7 +29,6 @@ import (
 
 	"gptattr/internal/cppast"
 	"gptattr/internal/cppcheck"
-	"gptattr/internal/fault"
 )
 
 // PointAnalyze is the fault-injection point at every per-function pass
@@ -272,48 +271,12 @@ func Analyze(tu *cppast.TranslationUnit) *FileStats {
 // all-or-nothing, so a degraded vector's content is deterministic.
 // No goroutines are spawned; cancellation costs one atomic check per
 // function on the happy path.
+//
+// Each call runs on a fresh Scratch, so the result is caller-owned;
+// serving paths that analyze a stream of units hold a Scratch and call
+// its AnalyzeContext method directly to skip the per-call setup.
 func AnalyzeContext(ctx context.Context, tu *cppast.TranslationUnit) (*FileStats, error) {
-	funcs := make(map[string]*cppast.FuncDecl)
-	for _, f := range tu.Functions() {
-		if f.Body != nil {
-			funcs[f.Name] = f
-		}
-	}
-	globals := make(map[string]bool)
-	for _, d := range tu.Decls {
-		if vd, ok := d.(*cppast.VarDecl); ok {
-			for _, dd := range vd.Names {
-				globals[dd.Name] = true
-			}
-		}
-	}
-	cg := buildCallGraph(tu)
-	out := &FileStats{CallEdges: cg.edges}
-	seen := make(map[string]bool)
-	for _, f := range tu.Functions() {
-		if f.Body == nil || seen[f.Name] {
-			continue
-		}
-		// Pass boundary: an injected latency storm sleeps here (waking
-		// early if the budget expires), then the budget itself is
-		// checked before the next function's passes run.
-		if err := fault.HitContext(ctx, PointAnalyze); err != nil && ctx.Err() != nil {
-			return out, ctx.Err()
-		}
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
-		seen[f.Name] = true
-		st := NewFuncContext(f, funcs, globals).Stats()
-		st.FanOut = len(cg.callees[f.Name])
-		st.FanIn = cg.fanIn[f.Name]
-		st.Recursive = cg.recursive[f.Name]
-		if st.Recursive {
-			out.RecursiveFuncs++
-		}
-		out.Funcs = append(out.Funcs, st)
-	}
-	return out, nil
+	return NewScratch().AnalyzeContext(ctx, tu)
 }
 
 // AnalyzeAllContext is AnalyzeAll under a shared budget, sequential by

@@ -1,6 +1,46 @@
 package stylometry
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
+
+// TestExtractVecAllocs pins the steady-state serving contract: a full
+// extraction (every pass, DegradeNone) through a pooled Scratch plus
+// direct vectorization of the resulting FeatureVec performs zero
+// allocations per request once the scratch buffers and term-intern
+// tables are warm. This is the end-to-end budget the batcher relies
+// on — any regression here shows up as GC pressure under load.
+func TestExtractVecAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; allocation counts are meaningless")
+	}
+	ctx := context.Background()
+
+	// Warm the pool and intern every term benchSrc produces, then build
+	// a vectorizer over its vocabulary so VectorIntoVec has columns.
+	warm := GetScratch()
+	if _, err := warm.ExtractVec(ctx, benchSrc, DegradeNone); err != nil {
+		t.Fatal(err)
+	}
+	docs := []Features{warm.Vec().Features()}
+	PutScratch(warm)
+	v := NewVectorizer(docs, VectorizerConfig{MinDocFreq: 1, UseTFIDF: true})
+	row := make([]float64, v.NumFeatures())
+
+	a := testing.AllocsPerRun(100, func() {
+		sc := GetScratch()
+		level, err := sc.ExtractVec(ctx, benchSrc, DegradeNone)
+		if err != nil || level != DegradeNone {
+			t.Fatalf("ExtractVec: level=%v err=%v", level, err)
+		}
+		v.VectorIntoVec(sc.Vec(), row)
+		PutScratch(sc)
+	})
+	if a > 0 {
+		t.Errorf("steady-state ExtractVec+VectorIntoVec allocates %.2f per request, want 0", a)
+	}
+}
 
 // TestVectorIntoAllocs pins VectorInto's allocation-free contract: the
 // serving path reuses one row buffer across requests and vectorization

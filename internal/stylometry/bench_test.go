@@ -1,6 +1,7 @@
 package stylometry
 
 import (
+	"context"
 	"testing"
 
 	"gptattr/internal/cppast"
@@ -82,5 +83,53 @@ func BenchmarkVectorInto(b *testing.B) {
 	}
 	if n := testing.AllocsPerRun(100, func() { vec.VectorInto(doc, row) }); n != 0 {
 		b.Fatalf("VectorInto allocates %v per run, want 0", n)
+	}
+}
+
+// BenchmarkExtractVec is the steady-state serving path: budgeted
+// extraction through a pooled Scratch straight into the interned
+// FeatureVec, no map materialization. This is what one attrserve
+// request costs after warmup; the trailing AllocsPerRun check hard-
+// gates the zero-allocation contract (benchdiff gates wall clock).
+func BenchmarkExtractVec(b *testing.B) {
+	ctx := context.Background()
+	warm := GetScratch()
+	if _, err := warm.ExtractVec(ctx, benchSrc, DegradeNone); err != nil {
+		b.Fatal(err)
+	}
+	PutScratch(warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := GetScratch()
+		if _, err := sc.ExtractVec(ctx, benchSrc, DegradeNone); err != nil {
+			b.Fatal(err)
+		}
+		PutScratch(sc)
+	}
+	b.StopTimer()
+	if !raceEnabled {
+		if n := testing.AllocsPerRun(100, func() {
+			sc := GetScratch()
+			sc.ExtractVec(ctx, benchSrc, DegradeNone)
+			PutScratch(sc)
+		}); n != 0 {
+			b.Fatalf("steady-state ExtractVec allocates %v per run, want 0", n)
+		}
+	}
+}
+
+// BenchmarkExtractDegraded gates the brownout floor: a surface-forced
+// extraction is what every admitted request is guaranteed even under
+// max degrade, so its latency bounds worst-case batcher throughput.
+func BenchmarkExtractDegraded(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := GetScratch()
+		if _, err := sc.ExtractVec(ctx, benchSrc, DegradeSurface); err != nil {
+			b.Fatal(err)
+		}
+		PutScratch(sc)
 	}
 }

@@ -4,6 +4,11 @@
 // syntactic features from the cppast parse tree (node-kind term
 // frequencies, parent-child bigrams, depths). Documents become sparse
 // name->value maps; Vectorizer aligns a corpus into a dense ml.Dataset.
+//
+// Internally extraction runs on an interned vocabulary: passes write
+// into a FeatureVec (dense scalar slab + interned term accumulators)
+// through a pooled Scratch, and the map form is materialized only at
+// package boundaries. See vocab.go and featurevec.go.
 package stylometry
 
 import (
@@ -39,46 +44,76 @@ func Extract(src string) (Features, error) {
 // Only a budget that dies before any pass ran yields an error; the
 // err != nil ⇒ no vector contract of Extract is preserved.
 func ExtractDegraded(ctx context.Context, src string, force DegradeLevel) (Features, DegradeLevel, error) {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	level, err := sc.ExtractVec(ctx, src, force)
+	if err != nil {
+		return nil, level, err
+	}
+	return sc.vec.Features(), level, nil
+}
+
+// ExtractVec is the allocation-free core of ExtractDegraded: it runs
+// the same cheapest-first pass ladder with the same boundary checks,
+// but accumulates into the scratch's FeatureVec (read it with Vec())
+// instead of a map. The source is tokenized and surface-scanned in one
+// fused pass, parsed once from the token buffer into the scratch's
+// arena, and every pass writes through interned feature IDs — in
+// steady state no allocation occurs at any degrade level.
+func (sc *Scratch) ExtractVec(ctx context.Context, src string, force DegradeLevel) (DegradeLevel, error) {
 	force = force.Clamp()
 	if strings.TrimSpace(src) == "" {
-		return nil, force, fmt.Errorf("stylometry: empty source")
+		return force, fmt.Errorf("stylometry: empty source")
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, force, err
+		return force, err
 	}
-	f := make(Features)
-	toks, _ := cpptok.Scan(src) // tolerate lexical errors
-	tu, _ := cppast.Parse(src)
+	sc.vec.Reset()
+	toks, _ := cpptok.ScanSurface(src, sc.toks[:0], &sc.surf) // tolerate lexical errors
+	sc.toks = toks
+
+	lineComments, blockComments := 0, 0
+	for i := range toks {
+		switch toks[i].Kind {
+		case cpptok.KindLineComment:
+			lineComments++
+		case cpptok.KindBlockComment:
+			blockComments++
+		}
+	}
+	toks = cpptok.StripCommentsInPlace(toks)
+	sc.arena.Reset()
+	tu := cppast.ParseTokens(toks, sc.arena)
 
 	// The surface floor: lexical needs the token stream and the parsed
-	// function list; layout needs raw text. These always run — a
-	// request admitted past decode gets at least this much.
+	// function list; layout needs the fused surface stats. These always
+	// run — a request admitted past decode gets at least this much.
 	length := float64(len(src))
-	lexicalFeatures(f, src, toks, tu, length)
-	layoutFeatures(f, src, toks, length)
+	lexicalFeaturesVec(&sc.vec, toks, tu, lineComments+blockComments, &sc.surf, length)
+	layoutFeaturesVec(&sc.vec, &sc.surf, lineComments, blockComments, len(src), length)
 
 	level := force
 	if level >= DegradeSurface {
-		return f, level, nil
+		return level, nil
 	}
 	if ctx.Err() != nil {
 		// Budget died during the surface passes: shed everything else.
-		return f, DegradeSurface, nil
+		return DegradeSurface, nil
 	}
-	syntacticFeatures(f, tu)
+	syntacticFeaturesVec(&sc.vec, tu)
 
 	if level >= DegradeNoSemantic {
-		return f, level, nil
+		return level, nil
 	}
 	if ctx.Err() != nil {
-		return f, DegradeNoSemantic, nil
+		return DegradeNoSemantic, nil
 	}
-	if err := semanticFeaturesCtx(ctx, f, tu); err != nil {
+	if err := semanticFeaturesCtxVec(ctx, sc, tu); err != nil {
 		// The semantic pass ran out of budget part-way; the family is
 		// all-or-nothing so nothing was written.
-		return f, DegradeNoSemantic, nil
+		return DegradeNoSemantic, nil
 	}
-	return f, DegradeNone, nil
+	return DegradeNone, nil
 }
 
 // lnDensity computes ln((1+count)/length): the paper's
@@ -88,19 +123,24 @@ func lnDensity(count int, length float64) float64 {
 	return math.Log((1 + float64(count)) / length)
 }
 
-func lexicalFeatures(f Features, src string, toks []cpptok.Token, tu *cppast.TranslationUnit, length float64) {
-	ctrlCounts := make(map[string]int)
+// lexicalFeaturesVec is the token-stream pass. toks is comment-free
+// (comments are counted during the scan and passed in), so the loop
+// sees exactly the non-comment token sequence the original
+// comment-skipping loop saw.
+func lexicalFeaturesVec(fv *FeatureVec, toks []cpptok.Token, tu *cppast.TranslationUnit,
+	numComments int, surf *cpptok.Surface, length float64) {
+	var ctrl [8]int
 	var (
-		numTokens, numComments, numLiterals int
-		numKeywords, numMacros, numTernary  int
-		identLenSum, identCount             int
+		numTokens, numLiterals             int
+		numKeywords, numMacros, numTernary int
+		identLenSum, identCount            int
+		snake, camel, upper, short_, hung  int
+		distinct                           int
 	)
-	for _, t := range toks {
+	for i := range toks {
+		t := &toks[i]
 		switch t.Kind {
 		case cpptok.KindEOF:
-			continue
-		case cpptok.KindLineComment, cpptok.KindBlockComment:
-			numComments++
 			continue
 		case cpptok.KindPreproc:
 			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(t.Text, "#")), "define") {
@@ -110,15 +150,33 @@ func lexicalFeatures(f Features, src string, toks []cpptok.Token, tu *cppast.Tra
 			numLiterals++
 		case cpptok.KindKeyword:
 			numKeywords++
-			if _, ok := ctrlKeywordSet[t.Text]; ok {
-				ctrlCounts[t.Text]++
+			if ci, ok := ctrlKeywordIdx[t.Text]; ok {
+				ctrl[ci]++
 			}
 		case cpptok.KindIdent:
 			identLenSum += len(t.Text)
 			identCount++
 			// Word unigrams over identifiers (the dominant lexical
-			// signal: naming conventions).
-			f["WordUnigram:"+t.Text]++
+			// signal: naming conventions). First sight of a name in
+			// this document also feeds the naming-convention counters,
+			// replacing the old dedup map with the interned-term
+			// first-touch signal.
+			if fv.AddWord(t.Text, 1) {
+				distinct++
+				switch classifyNameFast(t.Text) {
+				case "snake":
+					snake++
+				case "camel":
+					camel++
+				case "upper":
+					upper++
+				case "hungarian":
+					hung++
+				}
+				if len(t.Text) <= 2 {
+					short_++
+				}
+			}
 		case cpptok.KindPunct:
 			if t.Text == "?" {
 				numTernary++
@@ -126,107 +184,65 @@ func lexicalFeatures(f Features, src string, toks []cpptok.Token, tu *cppast.Tra
 		}
 		numTokens++
 	}
-	for _, kw := range cpptok.ControlKeywords() {
-		f["LnKeywordDensity:"+kw] = lnDensity(ctrlCounts[kw], length)
+	for i := range sidLnKeywordDensity {
+		fv.Set(sidLnKeywordDensity[i], lnDensity(ctrl[i], length))
 	}
-	f["LnTernaryDensity"] = lnDensity(numTernary, length)
-	f["LnTokenDensity"] = lnDensity(numTokens, length)
-	f["LnCommentDensity"] = lnDensity(numComments, length)
-	f["LnLiteralDensity"] = lnDensity(numLiterals, length)
-	f["LnKeywordTotalDensity"] = lnDensity(numKeywords, length)
-	f["LnMacroDensity"] = lnDensity(numMacros, length)
+	fv.Set(sidLnTernaryDensity, lnDensity(numTernary, length))
+	fv.Set(sidLnTokenDensity, lnDensity(numTokens, length))
+	fv.Set(sidLnCommentDensity, lnDensity(numComments, length))
+	fv.Set(sidLnLiteralDensity, lnDensity(numLiterals, length))
+	fv.Set(sidLnKeywordTotDensity, lnDensity(numKeywords, length))
+	fv.Set(sidLnMacroDensity, lnDensity(numMacros, length))
 	if identCount > 0 {
-		f["AvgIdentLength"] = float64(identLenSum) / float64(identCount)
+		fv.Set(sidAvgIdentLength, float64(identLenSum)/float64(identCount))
 	}
 
-	fns := tu.Functions()
-	f["LnFunctionDensity"] = lnDensity(len(fns), length)
-	if len(fns) > 0 {
-		var sum, sumSq float64
-		for _, fn := range fns {
+	fns := 0
+	var sum, sumSq float64
+	for _, d := range tu.Decls {
+		if fn, ok := d.(*cppast.FuncDecl); ok {
+			fns++
 			p := float64(len(fn.Params))
 			sum += p
 			sumSq += p * p
 		}
-		mean := sum / float64(len(fns))
-		f["AvgParams"] = mean
-		f["StdDevParams"] = math.Sqrt(maxf(0, sumSq/float64(len(fns))-mean*mean))
+	}
+	fv.Set(sidLnFunctionDensity, lnDensity(fns, length))
+	if fns > 0 {
+		mean := sum / float64(fns)
+		fv.Set(sidAvgParams, mean)
+		fv.Set(sidStdDevParams, math.Sqrt(maxf(0, sumSq/float64(fns)-mean*mean)))
 	}
 
-	lines := strings.Split(src, "\n")
-	var lineSum, lineSumSq float64
-	for _, ln := range lines {
-		l := float64(len(ln))
-		lineSum += l
-		lineSumSq += l * l
-	}
-	nl := float64(len(lines))
-	meanLine := lineSum / nl
-	f["AvgLineLength"] = meanLine
-	f["StdDevLineLength"] = math.Sqrt(maxf(0, lineSumSq/nl-meanLine*meanLine))
+	// Line statistics come from the fused surface pass, which
+	// accumulated the sums in line order (bit-identical to the old
+	// strings.Split walk).
+	nl := float64(surf.Lines)
+	meanLine := surf.LineLenSum / nl
+	fv.Set(sidAvgLineLength, meanLine)
+	fv.Set(sidStdDevLineLength, math.Sqrt(maxf(0, surf.LineLenSumSq/nl-meanLine*meanLine)))
 
 	// Naming-convention indicators: fractions of identifiers matching
 	// snake_case, camelCase, UPPER_CASE, and short (<=2 chars) names.
 	if identCount > 0 {
-		var snake, camel, upper, short, hungarian int
-		seen := make(map[string]bool)
-		for _, t := range toks {
-			if t.Kind != cpptok.KindIdent || seen[t.Text] {
-				continue
-			}
-			seen[t.Text] = true
-			switch classifyName(t.Text) {
-			case "snake":
-				snake++
-			case "camel":
-				camel++
-			case "upper":
-				upper++
-			case "hungarian":
-				hungarian++
-			}
-			if len(t.Text) <= 2 {
-				short++
-			}
-		}
-		n := float64(len(seen))
-		f["NameFracSnake"] = float64(snake) / n
-		f["NameFracCamel"] = float64(camel) / n
-		f["NameFracUpper"] = float64(upper) / n
-		f["NameFracHungarian"] = float64(hungarian) / n
-		f["NameFracShort"] = float64(short) / n
+		n := float64(distinct)
+		fv.Set(sidNameFracSnake, float64(snake)/n)
+		fv.Set(sidNameFracCamel, float64(camel)/n)
+		fv.Set(sidNameFracUpper, float64(upper)/n)
+		fv.Set(sidNameFracHungarian, float64(hung)/n)
+		fv.Set(sidNameFracShort, float64(short_)/n)
 	}
 }
 
-var ctrlKeywordSet = func() map[string]bool {
-	m := make(map[string]bool)
-	for _, k := range cpptok.ControlKeywords() {
-		m[k] = true
+// ctrlKeywordIdx maps each control keyword to its slot in the
+// LnKeywordDensity ID block.
+var ctrlKeywordIdx = func() map[string]int {
+	m := make(map[string]int)
+	for i, k := range cpptok.ControlKeywords() {
+		m[k] = i
 	}
 	return m
 }()
-
-// classifyName buckets an identifier into a naming convention.
-func classifyName(s string) string {
-	if s == "" {
-		return "other"
-	}
-	hasUnderscore := strings.Contains(s, "_")
-	hasLower := strings.IndexFunc(s, func(r rune) bool { return r >= 'a' && r <= 'z' }) >= 0
-	hasUpper := strings.IndexFunc(s, func(r rune) bool { return r >= 'A' && r <= 'Z' }) >= 0
-	switch {
-	case hasUpper && !hasLower:
-		return "upper"
-	case hasUnderscore && hasLower && !hasUpper:
-		return "snake"
-	case len(s) > 2 && isHungarianPrefix(s):
-		return "hungarian"
-	case hasLower && hasUpper && !hasUnderscore:
-		return "camel"
-	default:
-		return "other"
-	}
-}
 
 // isHungarianPrefix detects n/i/sz/f-prefixed camel names (nCase,
 // iIndex, fValue).
@@ -243,70 +259,110 @@ func isHungarianPrefix(s string) bool {
 	return false
 }
 
-func syntacticFeatures(f Features, tu *cppast.TranslationUnit) {
-	maxDepth := 0
-	var totalDepth, nodeCount int
-	depthByKind := make(map[string][]int)
-	// Walk with parent tracking for bigrams.
-	var rec func(n cppast.Node, depth int, parent string)
-	rec = func(n cppast.Node, depth int, parent string) {
-		if n == nil {
-			return
-		}
-		k := n.Kind()
-		f["ASTNodeTF:"+k]++
-		if parent != "" {
-			f["ASTBigramTF:"+parent+">"+k]++
-		}
-		if depth > maxDepth {
-			maxDepth = depth
-		}
-		totalDepth += depth
-		nodeCount++
-		depthByKind[k] = append(depthByKind[k], depth)
-		for _, c := range n.Children() {
-			rec(c, depth+1, k)
-		}
-	}
-	rec(tu, 0, "")
+// synWalker carries the syntactic pass state through one pre-order
+// traversal: node/bigram term frequencies, depth aggregates, and leaf
+// terms all accumulate in a single walk over VisitChildren (the old
+// code's second leaf-collection walk is fused in; the order change is
+// invisible because term accumulation is integer addition).
+type synWalker struct {
+	fv                 *FeatureVec
+	maxDepth           int
+	totalDepth         int
+	nodeCount          int
+	depthSum, depthCnt [numKinds]int
+	// slowDepth holds depth aggregates for node kinds outside the
+	// closed vocabulary (future node types); nil in steady state.
+	slowDepth map[string][2]int
+}
 
-	f["MaxASTDepth"] = float64(maxDepth)
-	if nodeCount > 0 {
-		f["AvgASTDepth"] = float64(totalDepth) / float64(nodeCount)
+// walk visits n at the given depth. parent is the parent's kind index,
+// -2 for the root, -1 for an unknown-kind parent (parentName set).
+func (w *synWalker) walk(n cppast.Node, depth, parent int, parentName string) {
+	if n == nil {
+		return
 	}
-	for k, depths := range depthByKind {
-		s := 0
-		for _, d := range depths {
-			s += d
-		}
-		f["ASTAvgDepth:"+k] = float64(s) / float64(len(depths))
+	k := kindID(n)
+	kName := ""
+	if k >= 0 {
+		w.fv.Add(sidNodeTF[k], 1)
+	} else {
+		kName = n.Kind()
+		w.fv.addOverflow("ASTNodeTF:"+kName, 1)
 	}
-
-	// AST leaf terms (identifiers and literals at the leaves).
-	cppast.Walk(tu, func(n cppast.Node, _ int) bool {
-		switch l := n.(type) {
-		case *cppast.Ident:
-			f["LeafTF:"+l.Name]++
-		case *cppast.Lit:
-			if len(l.Text) <= 24 {
-				f["LeafTF:"+l.Text]++
+	if parent != -2 {
+		if parent >= 0 && k >= 0 {
+			w.fv.Add(sidBigram[parent*numKinds+k], 1)
+		} else {
+			pn := parentName
+			if parent >= 0 {
+				pn = kindNames[parent]
 			}
+			cn := kName
+			if k >= 0 {
+				cn = kindNames[k]
+			}
+			w.fv.addOverflow("ASTBigramTF:"+pn+">"+cn, 1)
 		}
-		return true
+	}
+	if depth > w.maxDepth {
+		w.maxDepth = depth
+	}
+	w.totalDepth += depth
+	w.nodeCount++
+	if k >= 0 {
+		w.depthSum[k] += depth
+		w.depthCnt[k]++
+	} else {
+		if w.slowDepth == nil {
+			w.slowDepth = make(map[string][2]int)
+		}
+		agg := w.slowDepth[kName]
+		agg[0] += depth
+		agg[1]++
+		w.slowDepth[kName] = agg
+	}
+	// AST leaf terms (identifiers and literals at the leaves).
+	switch l := n.(type) {
+	case *cppast.Ident:
+		w.fv.AddLeaf(l.Name, 1)
+	case *cppast.Lit:
+		if len(l.Text) <= 24 {
+			w.fv.AddLeaf(l.Text, 1)
+		}
+	}
+	cppast.VisitChildren(n, func(c cppast.Node) {
+		w.walk(c, depth+1, k, kName)
 	})
+}
+
+func syntacticFeaturesVec(fv *FeatureVec, tu *cppast.TranslationUnit) {
+	w := synWalker{fv: fv}
+	w.walk(tu, 0, -2, "")
+
+	fv.Set(sidMaxASTDepth, float64(w.maxDepth))
+	if w.nodeCount > 0 {
+		fv.Set(sidAvgASTDepth, float64(w.totalDepth)/float64(w.nodeCount))
+	}
+	for k := 0; k < numKinds; k++ {
+		if w.depthCnt[k] > 0 {
+			fv.Set(sidAvgDepthKind[k], float64(w.depthSum[k])/float64(w.depthCnt[k]))
+		}
+	}
+	for name, agg := range w.slowDepth {
+		fv.overflowMap()["ASTAvgDepth:"+name] = float64(agg[0]) / float64(agg[1])
+	}
 
 	// Structural style signals used by the grouping stage: how much
 	// logic lives outside main.
-	fns := tu.Functions()
-	var helpers int
-	for _, fn := range fns {
-		if fn.Name != "main" && fn.Body != nil {
+	helpers := 0
+	for _, d := range tu.Decls {
+		if fn, ok := d.(*cppast.FuncDecl); ok && fn.Name != "main" && fn.Body != nil {
 			helpers++
 		}
 	}
-	f["HelperFunctionCount"] = float64(helpers)
-	kinds := cppast.CountKinds(tu)
-	f["ForWhileRatio"] = ratio(kinds["For"], kinds["For"]+kinds["While"]+kinds["DoWhile"])
+	fv.Set(sidHelperFunctionCount, float64(helpers))
+	fors, whiles, dos := w.depthCnt[kFor], w.depthCnt[kWhile], w.depthCnt[kDoWhile]
+	fv.Set(sidForWhileRatio, ratio(fors, fors+whiles+dos))
 }
 
 func ratio(a, total int) float64 {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"gptattr/internal/cpptok"
 )
 
 const sampleA = `#include <iostream>
@@ -135,19 +137,23 @@ func TestClassifyName(t *testing.T) {
 		{"", "other"},
 	}
 	for _, tt := range tests {
-		if got := classifyName(tt.name); got != tt.want {
-			t.Errorf("classifyName(%q) = %q, want %q", tt.name, got, tt.want)
+		if got := classifyNameFast(tt.name); got != tt.want {
+			t.Errorf("classifyNameFast(%q) = %q, want %q", tt.name, got, tt.want)
 		}
 	}
 }
 
 func TestSpacedRatios(t *testing.T) {
 	src := "int a = 1;\nint b=2;\nf(x, y);\ng(p,q);\nif (a == b) {}"
-	if got := spacedRatio(src, "="); math.Abs(got-0.5) > 1e-12 {
-		t.Errorf("spacedRatio = %v, want 0.5 (== must not count)", got)
+	var surf cpptok.Surface
+	if _, err := cpptok.ScanSurface(src, nil, &surf); err != nil {
+		t.Fatal(err)
 	}
-	if got := spaceAfterCommaRatio(src); math.Abs(got-0.5) > 1e-12 {
-		t.Errorf("spaceAfterCommaRatio = %v, want 0.5", got)
+	if got := ratio(surf.EqSpaced, surf.EqTotal); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("spaced-assign ratio = %v, want 0.5 (== must not count)", got)
+	}
+	if got := ratio(surf.CommaSpaced, surf.CommaTotal); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("space-after-comma ratio = %v, want 0.5", got)
 	}
 }
 

@@ -1,148 +1,56 @@
 package stylometry
 
-import (
-	"strings"
+// layoutFeaturesVec derives formatting features — whitespace densities,
+// indentation style, brace placement, comment style, operator spacing —
+// from the Surface statistics the tokenizer accumulated during its
+// single fused pass over the raw text (see cpptok.ScanSurface). The
+// old implementation re-walked the source four times; the formulas
+// here consume the same counts in the same arithmetic order, so the
+// output is bit-identical (pinned by the golden corpus and the
+// reference differential test).
+import "gptattr/internal/cpptok"
 
-	"gptattr/internal/cpptok"
-)
-
-// layoutFeatures derives formatting features from the raw source text:
-// whitespace densities, indentation style, brace placement, comment
-// style, and operator spacing.
-func layoutFeatures(f Features, src string, toks []cpptok.Token, length float64) {
-	var tabs, spaces, emptyLines, wsChars int
-	lines := strings.Split(src, "\n")
-	tabLeadLines, spaceLeadLines := 0, 0
-	indentWidths := make(map[int]int)
-
-	for _, ln := range lines {
-		if strings.TrimSpace(ln) == "" {
-			emptyLines++
-			continue
-		}
-		switch {
-		case strings.HasPrefix(ln, "\t"):
-			tabLeadLines++
-		case strings.HasPrefix(ln, " "):
-			spaceLeadLines++
-			w := 0
-			for w < len(ln) && ln[w] == ' ' {
-				w++
-			}
-			indentWidths[w]++
-		}
-	}
-	for i := 0; i < len(src); i++ {
-		switch src[i] {
-		case '\t':
-			tabs++
-			wsChars++
-		case ' ':
-			spaces++
-			wsChars++
-		case '\n', '\r':
-			wsChars++
-		}
-	}
-
-	f["LnTabDensity"] = lnDensity(tabs, length)
-	f["LnSpaceDensity"] = lnDensity(spaces, length)
-	f["LnEmptyLineDensity"] = lnDensity(emptyLines, length)
-	nonWs := len(src) - wsChars
+func layoutFeaturesVec(fv *FeatureVec, surf *cpptok.Surface,
+	lineComments, blockComments, srcLen int, length float64) {
+	fv.Set(sidLnTabDensity, lnDensity(surf.Tabs, length))
+	fv.Set(sidLnSpaceDensity, lnDensity(surf.Spaces, length))
+	fv.Set(sidLnEmptyLineDensity, lnDensity(surf.EmptyLines, length))
+	nonWs := srcLen - surf.WSChars
 	if nonWs > 0 {
-		f["WhitespaceRatio"] = float64(wsChars) / float64(nonWs)
+		fv.Set(sidWhitespaceRatio, float64(surf.WSChars)/float64(nonWs))
 	}
-	if tabLeadLines > spaceLeadLines {
-		f["TabsLeadLines"] = 1
+	if surf.TabLeadLines > surf.SpaceLeadLines {
+		fv.Set(sidTabsLeadLines, 1)
 	}
 
 	// Dominant indentation unit: the smallest leading-space width that
-	// occurs often (>= 20% of indented lines); buckets 2/4/8.
-	total := 0
-	for _, c := range indentWidths {
-		total += c
-	}
-	if total > 0 {
-		for _, unit := range []int{2, 3, 4, 8} {
-			if float64(indentWidths[unit]) >= 0.2*float64(total) {
-				f["IndentUnit"] = float64(unit)
+	// occurs often (>= 20% of indented lines); buckets 2/4/8. Every
+	// space-led line contributes exactly one indent width, so the old
+	// sum over the width histogram equals SpaceLeadLines.
+	if total := surf.SpaceLeadLines; total > 0 {
+		widths := [4]int{surf.Indent2, surf.Indent3, surf.Indent4, surf.Indent8}
+		units := [4]float64{2, 3, 4, 8}
+		for i, c := range widths {
+			if float64(c) >= 0.2*float64(total) {
+				fv.Set(sidIndentUnit, units[i])
 				break
 			}
 		}
 	}
 
 	// Brace placement: newline before '{' (Allman) vs same-line (K&R).
-	sameLine, ownLine := 0, 0
-	for _, ln := range lines {
-		t := strings.TrimSpace(ln)
-		if t == "{" {
-			ownLine++
-		} else if strings.HasSuffix(t, "{") && len(t) > 1 {
-			sameLine++
-		}
+	if surf.BraceOwnLine > surf.BraceSameLine {
+		fv.Set(sidNewlineBeforeBrace, 1)
 	}
-	if ownLine > sameLine {
-		f["NewlineBeforeOpenBrace"] = 1
-	}
-	f["BraceOwnLineRatio"] = ratio(ownLine, ownLine+sameLine)
+	fv.Set(sidBraceOwnLineRatio, ratio(surf.BraceOwnLine, surf.BraceOwnLine+surf.BraceSameLine))
 
 	// Comment style: line vs block.
-	lineC, blockC := 0, 0
-	for _, t := range toks {
-		switch t.Kind {
-		case cpptok.KindLineComment:
-			lineC++
-		case cpptok.KindBlockComment:
-			blockC++
-		}
-	}
-	f["LineCommentRatio"] = ratio(lineC, lineC+blockC)
+	fv.Set(sidLineCommentRatio, ratio(lineComments, lineComments+blockComments))
 
 	// Operator spacing: fraction of '=' assignments written with
 	// surrounding spaces, and of commas followed by a space.
-	f["SpacedAssignRatio"] = spacedRatio(src, "=")
-	f["SpaceAfterCommaRatio"] = spaceAfterCommaRatio(src)
-}
-
-// spacedRatio estimates how often the single-character operator op
-// appears with spaces on both sides (ignores compound operators by
-// requiring non-operator neighbours).
-func spacedRatio(src, op string) float64 {
-	spaced, total := 0, 0
-	for i := 1; i < len(src)-1; i++ {
-		if string(src[i]) != op {
-			continue
-		}
-		prev, next := src[i-1], src[i+1]
-		if isOpChar(prev) || isOpChar(next) {
-			continue // part of ==, <=, +=, etc.
-		}
-		total++
-		if prev == ' ' && next == ' ' {
-			spaced++
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(spaced) / float64(total)
-}
-
-func spaceAfterCommaRatio(src string) float64 {
-	spaced, total := 0, 0
-	for i := 0; i < len(src)-1; i++ {
-		if src[i] != ',' {
-			continue
-		}
-		total++
-		if src[i+1] == ' ' {
-			spaced++
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(spaced) / float64(total)
+	fv.Set(sidSpacedAssignRatio, ratio(surf.EqSpaced, surf.EqTotal))
+	fv.Set(sidSpaceAfterComma, ratio(surf.CommaSpaced, surf.CommaTotal))
 }
 
 func isOpChar(c byte) bool {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package stylometry
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package stylometry
+
+// raceEnabled reports whether the race detector instruments this
+// build; sync.Pool deliberately drops Puts under it, which voids
+// steady-state allocation counting.
+const raceEnabled = true

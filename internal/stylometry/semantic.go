@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"gptattr/internal/cppast"
-	"gptattr/internal/semstats"
 )
 
 // SemanticVersion tags the semantic feature group's layout. It is part
@@ -27,19 +26,33 @@ func semanticFeatures(f Features, tu *cppast.TranslationUnit) {
 	_ = semanticFeaturesCtx(context.Background(), f, tu)
 }
 
-// semanticFeaturesCtx is the budgeted form: the semstats pipeline
+// semanticFeaturesCtx is the budgeted map-boundary form over the vec
+// engine: extraction proper goes through semanticFeaturesCtxVec.
+func semanticFeaturesCtx(ctx context.Context, f Features, tu *cppast.TranslationUnit) error {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	sc.vec.Reset()
+	if err := semanticFeaturesCtxVec(ctx, sc, tu); err != nil {
+		return err
+	}
+	sc.vec.mergeInto(f)
+	return nil
+}
+
+// semanticFeaturesCtxVec is the budgeted pass: the semstats pipeline
 // checks ctx at every function boundary, and on budget exhaustion NO
 // semantic feature is written — the family is all-or-nothing so the
 // degraded vector's content depends only on the level, never on how
 // far the pass got (determinism under latency storms).
-func semanticFeaturesCtx(ctx context.Context, f Features, tu *cppast.TranslationUnit) error {
-	fs, err := semstats.AnalyzeContext(ctx, tu)
+func semanticFeaturesCtxVec(ctx context.Context, sc *Scratch, tu *cppast.TranslationUnit) error {
+	fv := &sc.vec
+	fs, err := sc.sem.AnalyzeContext(ctx, tu)
 	if err != nil {
 		return err
 	}
-	f["SemFuncCount"] = float64(len(fs.Funcs))
-	f["SemCallEdges"] = float64(fs.CallEdges)
-	f["SemRecursiveFuncs"] = float64(fs.RecursiveFuncs)
+	fv.Set(sidSemFuncCount, float64(len(fs.Funcs)))
+	fv.Set(sidSemCallEdges, float64(fs.CallEdges))
+	fv.Set(sidSemRecursiveFuncs, float64(fs.RecursiveFuncs))
 	if len(fs.Funcs) == 0 {
 		return nil
 	}
@@ -79,39 +92,39 @@ func semanticFeaturesCtx(ctx context.Context, f Features, tu *cppast.Translation
 		maxFanIn = maxi(maxFanIn, st.FanIn)
 		maxBlocks = maxi(maxBlocks, st.Blocks)
 		for gram, n := range st.ExprGrams {
-			f["SemShape:"+gram] += float64(n)
+			fv.AddShape(gram, float64(n))
 		}
 	}
 	nf := float64(len(fs.Funcs))
-	f["SemBlocksTotal"] = float64(blocks)
-	f["SemBlocksMax"] = float64(maxBlocks)
-	f["SemEdgesTotal"] = float64(edges)
-	f["SemBranchesTotal"] = float64(branches)
-	f["SemBranchFactorMean"] = branchFactorSum / nf
-	f["SemCyclomaticMean"] = float64(cyclo) / nf
-	f["SemCyclomaticMax"] = float64(maxCyclo)
-	f["SemBackEdgesTotal"] = float64(back)
-	f["SemLoopsTotal"] = float64(loops)
-	f["SemLoopDepthMax"] = float64(maxLoopDepth)
-	f["SemLoopsDepth1"] = float64(depth1)
-	f["SemLoopsDepth2"] = float64(depth2)
-	f["SemLoopsDepth3"] = float64(depth3)
-	f["SemChainsTotal"] = float64(chains)
-	f["SemChainLenMax"] = float64(maxChain)
+	fv.Set(sidSemBlocksTotal, float64(blocks))
+	fv.Set(sidSemBlocksMax, float64(maxBlocks))
+	fv.Set(sidSemEdgesTotal, float64(edges))
+	fv.Set(sidSemBranchesTotal, float64(branches))
+	fv.Set(sidSemBranchFactorMean, branchFactorSum/nf)
+	fv.Set(sidSemCyclomaticMean, float64(cyclo)/nf)
+	fv.Set(sidSemCyclomaticMax, float64(maxCyclo))
+	fv.Set(sidSemBackEdgesTotal, float64(back))
+	fv.Set(sidSemLoopsTotal, float64(loops))
+	fv.Set(sidSemLoopDepthMax, float64(maxLoopDepth))
+	fv.Set(sidSemLoopsDepth1, float64(depth1))
+	fv.Set(sidSemLoopsDepth2, float64(depth2))
+	fv.Set(sidSemLoopsDepth3, float64(depth3))
+	fv.Set(sidSemChainsTotal, float64(chains))
+	fv.Set(sidSemChainLenMax, float64(maxChain))
 	if chains > 0 {
-		f["SemChainLenMean"] = float64(useTotal) / float64(chains)
+		fv.Set(sidSemChainLenMean, float64(useTotal)/float64(chains))
 	}
-	f["SemChains0"] = float64(chains0)
-	f["SemChains1"] = float64(chains1)
-	f["SemChains2"] = float64(chains2)
-	f["SemChains3"] = float64(chains3)
-	f["SemVarsTotal"] = float64(vars)
-	f["SemLiveWidthMax"] = float64(maxLive)
+	fv.Set(sidSemChains0, float64(chains0))
+	fv.Set(sidSemChains1, float64(chains1))
+	fv.Set(sidSemChains2, float64(chains2))
+	fv.Set(sidSemChains3, float64(chains3))
+	fv.Set(sidSemVarsTotal, float64(vars))
+	fv.Set(sidSemLiveWidthMax, float64(maxLive))
 	if vars > 0 {
-		f["SemLiveWidthMean"] = float64(liveTotal) / float64(vars)
+		fv.Set(sidSemLiveWidthMean, float64(liveTotal)/float64(vars))
 	}
-	f["SemFanOutMax"] = float64(maxFanOut)
-	f["SemFanInMax"] = float64(maxFanIn)
+	fv.Set(sidSemFanOutMax, float64(maxFanOut))
+	fv.Set(sidSemFanInMax, float64(maxFanIn))
 	return nil
 }
 

@@ -39,6 +39,35 @@ type Vectorizer struct {
 	index map[string]int
 	idf   map[string]float64
 	cfg   VectorizerConfig
+
+	// scalarCols/scalarIDF map the interned scalar vocabulary straight
+	// to columns (and TF-IDF weights) so VectorIntoVec never touches a
+	// feature-name string for fixed features. Built eagerly by
+	// NewVectorizer/UnmarshalJSON — never lazily, the vectorizer is
+	// shared across serving workers.
+	scalarCols []int32
+	scalarIDF  []float64
+}
+
+// buildScalarTables precomputes ScalarID -> (column, idf weight).
+func (v *Vectorizer) buildScalarTables() {
+	v.scalarCols = make([]int32, len(scalarNames))
+	v.scalarIDF = make([]float64, len(scalarNames))
+	for id, name := range scalarNames {
+		col, ok := v.index[name]
+		if !ok {
+			v.scalarCols[id] = -1
+			continue
+		}
+		v.scalarCols[id] = int32(col)
+		w := 1.0
+		if v.cfg.UseTFIDF {
+			if iw, ok := v.idf[name]; ok {
+				w = iw
+			}
+		}
+		v.scalarIDF[id] = w
+	}
 }
 
 // termFeature reports whether the feature name is an open-vocabulary
@@ -60,7 +89,7 @@ func NewVectorizer(docs []Features, cfg VectorizerConfig) *Vectorizer {
 			df[name]++
 		}
 	}
-	v := &Vectorizer{index: make(map[string]int), idf: make(map[string]float64), cfg: cfg}
+	v := &Vectorizer{index: make(map[string]int), idf: make(map[string]float64), cfg: cfg} // repolint:allow-featmap training-time IDF table
 	minDF := cfg.minDF()
 	for name, n := range df {
 		if termFeature(name) && n < minDF {
@@ -80,6 +109,7 @@ func NewVectorizer(docs []Features, cfg VectorizerConfig) *Vectorizer {
 			}
 		}
 	}
+	v.buildScalarTables()
 	return v
 }
 
@@ -142,14 +172,72 @@ func (v *Vectorizer) UnmarshalJSON(data []byte) error {
 	v.names = dto.Names
 	v.idf = dto.IDF
 	if v.idf == nil {
-		v.idf = map[string]float64{}
+		v.idf = map[string]float64{} // repolint:allow-featmap persisted-model decode
 	}
 	v.cfg = dto.Cfg
 	v.index = make(map[string]int, len(v.names))
 	for i, n := range v.names {
 		v.index[n] = i
 	}
+	v.buildScalarTables()
 	return nil
+}
+
+// VectorIntoVec fills a caller-provided row (len must be NumFeatures)
+// straight from a FeatureVec, allocating nothing: present scalars go
+// through the precomputed ScalarID -> column table, term features
+// through one map probe on their interned names. This is the serving
+// path's vectorization — it produces exactly VectorInto(vec.Features(),
+// row) without ever materializing the map.
+func (v *Vectorizer) VectorIntoVec(fv *FeatureVec, row []float64) {
+	if len(row) != len(v.names) {
+		// repolint:allow-panic caller-contract violation (wrongly sized scratch), not a data fault the supervisors should absorb
+		panic(fmt.Sprintf("stylometry: VectorIntoVec row len %d, want %d", len(row), len(v.names)))
+	}
+	clear(row)
+	for id, p := range fv.present {
+		if !p {
+			continue
+		}
+		col := v.scalarCols[id]
+		if col < 0 {
+			continue
+		}
+		// scalarIDF is 1 when no reweighting applies; x*1.0 is exact.
+		row[col] = fv.scalars[id] * v.scalarIDF[id]
+	}
+	v.termRow(&fv.words, row)
+	v.termRow(&fv.leafs, row)
+	v.termRow(&fv.shapes, row)
+	for name, val := range fv.overflow {
+		i, ok := v.index[name]
+		if !ok {
+			continue
+		}
+		if v.cfg.UseTFIDF {
+			if w, ok := v.idf[name]; ok {
+				val *= w
+			}
+		}
+		row[i] = val
+	}
+}
+
+func (v *Vectorizer) termRow(ta *termAccum, row []float64) {
+	for _, id := range ta.touched {
+		name := ta.space.names[id]
+		i, ok := v.index[name]
+		if !ok {
+			continue
+		}
+		val := ta.vals[id]
+		if v.cfg.UseTFIDF {
+			if w, ok := v.idf[name]; ok {
+				val *= w
+			}
+		}
+		row[i] = val
+	}
 }
 
 // BuildDataset extracts features for every source, learns a vectorizer
